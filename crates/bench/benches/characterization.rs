@@ -1,0 +1,74 @@
+//! Benchmarks of the cell-characterization paths: DC solves, analytical
+//! fitting vs Monte-Carlo sampling, and Random Gate kernel construction —
+//! the cost trade-off discussed in §2.1.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leakage_bench::{context, Context, SIGNAL_P};
+use leakage_cells::charax::Characterizer;
+use leakage_cells::corrmap::CorrelationPolicy;
+use leakage_cells::UsageHistogram;
+use leakage_core::RandomGate;
+use leakage_sim::LeakageSolver;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(context)
+}
+
+fn bench_dc_solve(c: &mut Criterion) {
+    let ctx = ctx();
+    let solver = LeakageSolver::new(&ctx.tech);
+    let mut group = c.benchmark_group("dc_solve");
+    for name in ["inv_x1", "nand4_x1", "dff_x1", "fulladder_x1"] {
+        let cell = ctx.lib.cell_by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cell, |b, cell| {
+            b.iter(|| solver.cell_leakage(cell.netlist(), 0, 0.0, 0.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_characterization_paths(c: &mut Criterion) {
+    let ctx = ctx();
+    let charax = Characterizer::new(&ctx.tech);
+    let nand3 = ctx.lib.cell_by_name("nand3_x1").unwrap();
+    let mut group = c.benchmark_group("characterize_nand3_state0");
+    group.bench_function("analytical_fit_13pt", |b| {
+        b.iter(|| charax.fit_state(nand3.netlist(), 0, 13).unwrap())
+    });
+    group.bench_function("mc_10k_samples", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| charax.mc_state(nand3.netlist(), 0, 10_000, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_random_gate_kernel(c: &mut Criterion) {
+    let ctx = ctx();
+    let hist = UsageHistogram::uniform(ctx.lib.len()).unwrap();
+    let mut group = c.benchmark_group("random_gate_build");
+    group.sample_size(10);
+    group.bench_function("exact_kernel_62_cells", |b| {
+        b.iter(|| {
+            RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact).unwrap()
+        })
+    });
+    group.bench_function("simplified_kernel_62_cells", |b| {
+        b.iter(|| {
+            RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Simplified)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dc_solve,
+    bench_characterization_paths,
+    bench_random_gate_kernel
+);
+criterion_main!(benches);

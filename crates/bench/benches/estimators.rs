@@ -1,0 +1,91 @@
+//! Experiment E8 (§3.2.3 runtime claims): wall-clock scaling of the
+//! estimators — O(n²) exact, O(n) linear, O(1) 2-D integral, O(1) polar.
+//!
+//! Paper reference: the O(n) algorithm runs in under a second below 1,000
+//! gates; the integral methods are size-independent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leakage_bench::{context, Context, SIGNAL_P};
+use leakage_cells::corrmap::CorrelationPolicy;
+use leakage_cells::UsageHistogram;
+use leakage_core::estimator::{
+    exact_placed_stats, integral_2d_variance, linear_time_variance, polar_1d_variance,
+};
+use leakage_core::pairwise::PairwiseCovariance;
+use leakage_core::RandomGate;
+use leakage_netlist::generate::RandomCircuitGenerator;
+use leakage_netlist::placement::{place, PlacementStyle};
+use leakage_process::correlation::{SpatialCorrelation, TentCorrelation};
+use leakage_process::field::GridGeometry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(context)
+}
+
+fn wid() -> TentCorrelation {
+    leakage_bench::wid()
+}
+
+fn bench_linear_vs_integral(c: &mut Criterion) {
+    let ctx = ctx();
+    let wid = wid();
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let rho_total = move |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let hist = UsageHistogram::uniform(ctx.lib.len()).unwrap();
+    let rg = RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact).unwrap();
+
+    let mut group = c.benchmark_group("variance_estimators");
+    for side in [10usize, 32, 100, 316] {
+        let n = side * side;
+        let grid = GridGeometry::new(side, side, 3.0, 3.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("linear_O(n)", n), &grid, |b, grid| {
+            b.iter(|| linear_time_variance(&rg, grid, &rho_total))
+        });
+        group.bench_with_input(BenchmarkId::new("integral2d_O(1)", n), &grid, |b, grid| {
+            b.iter(|| {
+                integral_2d_variance(&rg, n, grid.width(), grid.height(), &rho_total, 32, 8)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("polar1d_O(1)", n), &grid, |b, grid| {
+            b.iter(|| {
+                polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 64, 16)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_reference(c: &mut Criterion) {
+    let ctx = ctx();
+    let wid = wid();
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let rho_total = move |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let hist = UsageHistogram::uniform(ctx.lib.len()).unwrap();
+    let generator = RandomCircuitGenerator::new(hist.clone());
+    let pairwise = PairwiseCovariance::new(
+        &ctx.charlib,
+        &hist.support(),
+        SIGNAL_P,
+        CorrelationPolicy::Exact,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("exact_placed_O(n2)");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let circuit = generator.generate_exact(n, &mut rng).unwrap();
+        let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &placed, |b, placed| {
+            b.iter(|| exact_placed_stats(placed.gates(), &pairwise, &rho_total))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear_vs_integral, bench_exact_reference);
+criterion_main!(benches);

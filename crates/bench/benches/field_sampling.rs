@@ -1,0 +1,62 @@
+//! Benchmarks of the correlated-field samplers backing the Monte-Carlo
+//! engine: Cholesky vs FFT circulant embedding as the grid grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leakage_process::correlation::ExponentialCorrelation;
+use leakage_process::field::{
+    CholeskyFieldSampler, CirculantFieldSampler, FieldSampler, GridGeometry,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_setup(c: &mut Criterion) {
+    let corr = ExponentialCorrelation::new(30.0).unwrap();
+    let mut group = c.benchmark_group("field_sampler_setup");
+    group.sample_size(10);
+    for side in [8usize, 16, 32] {
+        let grid = GridGeometry::new(side, side, 3.0, 3.0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("cholesky", side * side),
+            &grid,
+            |b, grid| b.iter(|| CholeskyFieldSampler::new(*grid, &corr, 1.0).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("circulant", side * side),
+            &grid,
+            |b, grid| b.iter(|| CirculantFieldSampler::new(*grid, &corr, 1.0).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_draws(c: &mut Criterion) {
+    let corr = ExponentialCorrelation::new(30.0).unwrap();
+    let mut group = c.benchmark_group("field_sample_draw");
+    for side in [16usize, 64, 128] {
+        let grid = GridGeometry::new(side, side, 3.0, 3.0).unwrap();
+        let circ = CirculantFieldSampler::new(grid, &corr, 1.0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("circulant_pair", side * side),
+            &circ,
+            |b, s| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| s.sample_two(&mut rng))
+            },
+        );
+        if side <= 16 {
+            let chol = CholeskyFieldSampler::new(grid, &corr, 1.0).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("cholesky", side * side),
+                &chol,
+                |b, s| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    b.iter(|| s.sample(&mut rng))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup, bench_draws);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks of the full-chip Monte-Carlo engine: per-trial cost vs
+//! design size, and circulant vs quadtree field backends — the cost the
+//! analytical Random Gate model eliminates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leakage_bench::{context, Context, SIGNAL_P};
+use leakage_cells::UsageHistogram;
+use leakage_montecarlo::{ChipSamplerBuilder, QuadtreeChipSampler};
+use leakage_netlist::generate::RandomCircuitGenerator;
+use leakage_netlist::placement::{place, PlacementStyle};
+use leakage_netlist::PlacedCircuit;
+use leakage_process::hierarchical::QuadtreeCorrelation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(context)
+}
+
+fn design(n: usize) -> PlacedCircuit {
+    let ctx = ctx();
+    let hist = UsageHistogram::uniform(ctx.lib.len()).unwrap();
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let circuit = RandomCircuitGenerator::new(hist)
+        .generate_exact(n, &mut rng)
+        .unwrap();
+    place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).unwrap()
+}
+
+fn bench_chip_trial(c: &mut Criterion) {
+    let ctx = ctx();
+    let wid = leakage_bench::wid();
+    let mut group = c.benchmark_group("chip_mc_trial");
+    for n in [400usize, 1600, 6400] {
+        let placed = design(n);
+        let sampler = ChipSamplerBuilder::new(&placed, &ctx.charlib, &ctx.tech, &wid)
+            .signal_probability(SIGNAL_P)
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("circulant_field", n),
+            &sampler,
+            |b, s| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| s.sample(&mut rng))
+            },
+        );
+        let quadtree = QuadtreeCorrelation::standard(placed.width(), placed.height()).unwrap();
+        let qs = QuadtreeChipSampler::new(
+            &placed,
+            &ctx.charlib,
+            quadtree,
+            ctx.tech.l_variation().total_sigma(),
+            SIGNAL_P,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("quadtree_field", n), &qs, |b, s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| s.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chip_trial);
+criterion_main!(benches);

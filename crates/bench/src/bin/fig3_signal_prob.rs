@@ -1,0 +1,80 @@
+//! Experiment E3 (Fig. 3, §2.1.4): design mean leakage vs global signal
+//! probability for several usage histograms, plus the conservative
+//! max-finding search.
+//!
+//! Paper reference: the effect of signal probability on large-circuit
+//! leakage is muted (unlike the up-to-10× spread of single gates), and
+//! depends on the cell mix; the maximizing setting is used as a
+//! conservative estimate.
+
+use leakage_bench::{context, print_table, sci};
+use leakage_cells::state::{design_stats_at_probability, max_mean_signal_probability};
+use leakage_cells::UsageHistogram;
+use leakage_netlist::iscas85::{spec_histogram, TABLE1_SPECS};
+
+fn main() {
+    let ctx = context();
+
+    let uniform = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty library");
+    let control = spec_histogram(
+        TABLE1_SPECS.iter().find(|s| s.name == "c880").expect("c880"),
+        &ctx.lib,
+    )
+    .expect("control mix");
+    let xor_rich = spec_histogram(
+        TABLE1_SPECS.iter().find(|s| s.name == "c499").expect("c499"),
+        &ctx.lib,
+    )
+    .expect("xor mix");
+    let mult = spec_histogram(
+        TABLE1_SPECS.iter().find(|s| s.name == "c6288").expect("c6288"),
+        &ctx.lib,
+    )
+    .expect("multiplier mix");
+
+    let histograms = [
+        ("uniform-62", &uniform),
+        ("control (c880 mix)", &control),
+        ("xor-rich (c499 mix)", &xor_rich),
+        ("multiplier (c6288 mix)", &mult),
+    ];
+
+    let mut rows = Vec::new();
+    for k in 0..=10 {
+        let p = k as f64 / 10.0;
+        let mut row = vec![format!("{p:.1}")];
+        for (_, h) in &histograms {
+            let (mean, _) = design_stats_at_probability(&ctx.charlib, h, p).expect("stats");
+            row.push(sci(mean));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "E3 / Fig. 3: per-gate mean leakage (A) vs global signal probability",
+        &[
+            "p",
+            "uniform-62",
+            "control (c880)",
+            "xor-rich (c499)",
+            "multiplier (c6288)",
+        ],
+        &rows,
+    );
+
+    let mut opt_rows = Vec::new();
+    for (name, h) in &histograms {
+        let opt = max_mean_signal_probability(&ctx.charlib, h, 101).expect("search");
+        let (at_half, _) = design_stats_at_probability(&ctx.charlib, h, 0.5).expect("stats");
+        opt_rows.push(vec![
+            (*name).to_owned(),
+            format!("{:.2}", opt.p),
+            sci(opt.mean),
+            format!("{:.2}%", (opt.mean / at_half - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        "E3: conservative signal-probability optimum per histogram",
+        &["histogram", "p*", "mean at p*", "vs p = 0.5"],
+        &opt_rows,
+    );
+}

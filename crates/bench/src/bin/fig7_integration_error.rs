@@ -1,0 +1,68 @@
+//! Experiment E7 (Fig. 7, §3.2.3): % error of the O(1) numerical
+//! integration against the O(n) linear-time algorithm versus circuit size.
+//!
+//! Paper reference: > 1 % below ~100 gates (site granularity), < 0.1 %
+//! for large designs, < 0.01 % above ten thousand gates.
+
+use leakage_bench::{context, print_table, SIGNAL_P};
+use leakage_cells::corrmap::CorrelationPolicy;
+use leakage_cells::UsageHistogram;
+use leakage_core::estimator::{integral_2d_variance, linear_time_variance, polar_1d_variance};
+use leakage_core::RandomGate;
+use leakage_process::correlation::SpatialCorrelation;
+use leakage_process::field::GridGeometry;
+
+fn main() {
+    let ctx = context();
+    let wid = leakage_bench::wid();
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+
+    let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
+    let rg = RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact)
+        .expect("random gate");
+
+    // Same die family as Fig. 6/7: ~3 µm pitch, square.
+    let mut rows = Vec::new();
+    for side in [4usize, 7, 10, 22, 32, 71, 100, 224, 316, 1000] {
+        let n = side * side;
+        let pitch = 3.0;
+        let grid = GridGeometry::new(side, side, pitch, pitch).expect("grid");
+        let v_lin = linear_time_variance(&rg, &grid, &rho_total);
+        let v_2d = integral_2d_variance(
+            &rg,
+            n,
+            grid.width(),
+            grid.height(),
+            &rho_total,
+            32,
+            8,
+        );
+        let err_2d = ((v_2d.sqrt() / v_lin.sqrt()) - 1.0).abs() * 100.0;
+        let polar = polar_1d_variance(
+            &rg,
+            n,
+            grid.width(),
+            grid.height(),
+            &wid,
+            rho_c,
+            64,
+            16,
+        );
+        let err_1d = polar
+            .map(|v| format!("{:.4}%", ((v.sqrt() / v_lin.sqrt()) - 1.0).abs() * 100.0))
+            .unwrap_or_else(|_| "n/a (D_max > min(W,H))".to_owned());
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.4e}", v_lin.sqrt()),
+            format!("{err_2d:.4}%"),
+            err_1d,
+        ]);
+        eprintln!("n = {n} done");
+    }
+    print_table(
+        "E7 / Fig. 7: % std error of O(1) integration vs O(n) linear sum",
+        &["gates", "σ linear (A)", "2-D integral err", "1-D polar err"],
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Library overview report: per-class leakage statistics of the
+//! characterized 62-cell library — the "standard cell library information"
+//! input of the paper's Fig. 1, in human-readable form.
+
+use leakage_bench::{context, print_table, sci};
+use leakage_cells::library::CellClass;
+use leakage_cells::state::state_probabilities;
+use std::collections::BTreeMap;
+
+fn main() {
+    let ctx = context();
+
+    // Per-cell mixture stats at p = 0.5.
+    let mut per_class: BTreeMap<String, Vec<(String, f64, f64, f64)>> = BTreeMap::new();
+    for cell in ctx.lib.cells() {
+        let model = ctx.charlib.cell(cell.id()).expect("characterized");
+        let probs = state_probabilities(cell.n_inputs(), 0.5).expect("probs");
+        let (mean, std) = model.mixture_stats(&probs).expect("stats");
+        let state_spread = {
+            let lo = model.states.iter().map(|s| s.mean).fold(f64::INFINITY, f64::min);
+            let hi = model.states.iter().map(|s| s.mean).fold(0.0_f64, f64::max);
+            hi / lo
+        };
+        per_class
+            .entry(format!("{:?}", cell.class()))
+            .or_default()
+            .push((cell.name().to_owned(), mean, std, state_spread));
+    }
+
+    let mut rows = Vec::new();
+    for (class, cells) in &per_class {
+        let n = cells.len();
+        let mean_avg = cells.iter().map(|c| c.1).sum::<f64>() / n as f64;
+        let rel_sigma = cells.iter().map(|c| c.2 / c.1).sum::<f64>() / n as f64;
+        let spread = cells.iter().map(|c| c.3).fold(0.0_f64, f64::max);
+        rows.push(vec![
+            class.clone(),
+            n.to_string(),
+            sci(mean_avg),
+            format!("{:.1}%", rel_sigma * 100.0),
+            format!("{spread:.1}x"),
+        ]);
+    }
+    print_table(
+        "library report: per-class leakage at p = 0.5",
+        &["class", "cells", "avg mean (A)", "avg σ/μ", "max state spread"],
+        &rows,
+    );
+
+    // Leakiest and quietest cells.
+    let mut all: Vec<(String, f64)> = ctx
+        .lib
+        .cells()
+        .iter()
+        .map(|cell| {
+            let model = ctx.charlib.cell(cell.id()).expect("characterized");
+            let probs = state_probabilities(cell.n_inputs(), 0.5).expect("probs");
+            let (mean, _) = model.mixture_stats(&probs).expect("stats");
+            (cell.name().to_owned(), mean)
+        })
+        .collect();
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let top: Vec<Vec<String>> = all.iter().take(5).map(|(n, m)| vec![n.clone(), sci(*m)]).collect();
+    let bottom: Vec<Vec<String>> =
+        all.iter().rev().take(5).map(|(n, m)| vec![n.clone(), sci(*m)]).collect();
+    print_table("five leakiest cells", &["cell", "mean (A)"], &top);
+    print_table("five quietest cells", &["cell", "mean (A)"], &bottom);
+    let _ = CellClass::Inverter; // referenced for doc purposes
+}

@@ -1,0 +1,72 @@
+//! Ablation A2 (DESIGN.md §6): quadrature order/panel sweep for the O(1)
+//! estimators — how cheap can the constant-time integral get before its
+//! own error exceeds the model error?
+
+use leakage_bench::{context, print_table, SIGNAL_P};
+use leakage_cells::corrmap::CorrelationPolicy;
+use leakage_cells::UsageHistogram;
+use leakage_core::estimator::{integral_2d_variance, linear_time_variance, polar_1d_variance};
+use leakage_core::RandomGate;
+use leakage_process::correlation::SpatialCorrelation;
+use leakage_process::field::GridGeometry;
+use std::time::Instant;
+
+fn main() {
+    let ctx = context();
+    let wid = leakage_bench::wid();
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
+    let rg = RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact)
+        .expect("random gate");
+
+    let grid = GridGeometry::new(316, 316, 1.0, 1.0).expect("grid"); // ~100k gates
+    let n = grid.n_sites();
+    let reference = linear_time_variance(&rg, &grid, &rho_total).sqrt();
+
+    let mut rows = Vec::new();
+    for (order, panels) in [(4usize, 1usize), (8, 1), (8, 4), (16, 4), (32, 8), (64, 16)] {
+        let t0 = Instant::now();
+        let v2d = integral_2d_variance(
+            &rg,
+            n,
+            grid.width(),
+            grid.height(),
+            &rho_total,
+            order,
+            panels,
+        )
+        .sqrt();
+        let t_2d = t0.elapsed();
+        let t0 = Instant::now();
+        let v1d = polar_1d_variance(
+            &rg,
+            n,
+            grid.width(),
+            grid.height(),
+            &wid,
+            rho_c,
+            order,
+            panels,
+        )
+        .expect("polar applies")
+        .sqrt();
+        let t_1d = t0.elapsed();
+        rows.push(vec![
+            format!("{order}x{panels}"),
+            format!("{:+.4}%", (v2d / reference - 1.0) * 100.0),
+            format!("{:.1} µs", t_2d.as_secs_f64() * 1e6),
+            format!("{:+.4}%", (v1d / reference - 1.0) * 100.0),
+            format!("{:.1} µs", t_1d.as_secs_f64() * 1e6),
+        ]);
+    }
+    print_table(
+        "A2: quadrature order/panels vs σ error (reference: O(n) sum, ~100k gates)",
+        &["order×panels", "2-D err", "2-D time", "polar err", "polar time"],
+        &rows,
+    );
+    println!(
+        "the kinked tent correlation needs panels (composite rule); beyond 16x4 the \
+         quadrature error is far below the model error, at microseconds of cost"
+    );
+}

@@ -1,0 +1,88 @@
+//! Experiment E5 (Table 1, §3.1.1): late-mode estimation on the ISCAS85
+//! suite — extract the high-level characteristics from each placed
+//! benchmark, estimate with the RG model, and compare against the true
+//! (O(n²)) leakage.
+//!
+//! Paper reference errors in the std: c499 1.04 %, c1355 0.41 %, c432
+//! 1.14 %, c1908 0.36 %, c880 0.74 %, c2670 0.52 %, c5315 0.23 %, c7552
+//! 0.34 %, c6288 1.38 % (mean errors "truly negligible").
+
+use leakage_bench::{context, print_table, sci, SIGNAL_P};
+use leakage_cells::corrmap::CorrelationPolicy;
+use leakage_core::estimator::exact_placed_stats;
+use leakage_core::pairwise::PairwiseCovariance;
+use leakage_core::ChipLeakageEstimator;
+use leakage_netlist::extract::extract_characteristics;
+use leakage_netlist::iscas85::build_suite;
+use leakage_process::correlation::SpatialCorrelation;
+
+fn main() {
+    let ctx = context();
+    let wid = leakage_bench::wid();
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+
+    let suite = build_suite(&ctx.lib).expect("iscas85 suite");
+    let paper = [
+        ("c499", 1.04),
+        ("c1355", 0.41),
+        ("c432", 1.14),
+        ("c1908", 0.36),
+        ("c880", 0.74),
+        ("c2670", 0.52),
+        ("c5315", 0.23),
+        ("c7552", 0.34),
+        ("c6288", 1.38),
+    ];
+
+    let mut rows = Vec::new();
+    for placed in &suite {
+        // Late mode: characteristics are *extracted* from the placement.
+        let chars = extract_characteristics(placed, ctx.lib.len(), SIGNAL_P).expect("extraction");
+        let est = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars, &wid)
+            .expect("estimator")
+            .estimate_linear()
+            .expect("linear estimate");
+
+        // True leakage of the specific placed design.
+        let pairwise = PairwiseCovariance::new(
+            &ctx.charlib,
+            &placed.support(),
+            SIGNAL_P,
+            CorrelationPolicy::Exact,
+        )
+        .expect("pairwise tables");
+        let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
+
+        let std_err = (est.std() / truth.std() - 1.0).abs() * 100.0;
+        let mean_err = (est.mean / truth.mean - 1.0).abs() * 100.0;
+        let paper_err = paper
+            .iter()
+            .find(|(n, _)| *n == placed.name())
+            .map(|(_, e)| format!("{e:.2}%"))
+            .unwrap_or_default();
+        rows.push(vec![
+            placed.name().to_owned(),
+            placed.n_gates().to_string(),
+            sci(truth.std()),
+            sci(est.std()),
+            format!("{std_err:.2}%"),
+            paper_err,
+            format!("{mean_err:.3}%"),
+        ]);
+        eprintln!("{} done", placed.name());
+    }
+    print_table(
+        "E5 / Table 1: % error in full-chip std, ISCAS85 (RG vs true leakage)",
+        &[
+            "circuit",
+            "gates",
+            "true σ (A)",
+            "RG σ (A)",
+            "σ err",
+            "paper σ err",
+            "μ err",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,90 @@
+//! Shared context and reporting helpers for the experiment binaries.
+//!
+//! Every paper figure/table has a dedicated binary in `src/bin/`; see the
+//! experiment index in `DESIGN.md`. All binaries share one canonical
+//! configuration so their numbers are mutually consistent.
+
+use leakage_cells::charax::{CharMethod, Characterizer};
+use leakage_cells::library::CellLibrary;
+use leakage_cells::model::CharacterizedLibrary;
+use leakage_process::correlation::TentCorrelation;
+use leakage_process::Technology;
+
+/// Canonical WID correlation cutoff distance (µm).
+pub const WID_DMAX_UM: f64 = 100.0;
+
+/// Canonical global signal probability.
+pub const SIGNAL_P: f64 = 0.5;
+
+/// Shared experiment context.
+#[derive(Debug)]
+pub struct Context {
+    /// Technology card (90 nm class).
+    pub tech: Technology,
+    /// The 62-cell library.
+    pub lib: CellLibrary,
+    /// Analytically characterized library (13-point fits).
+    pub charlib: CharacterizedLibrary,
+}
+
+/// Builds the canonical context (technology, library, characterization).
+///
+/// # Panics
+///
+/// Panics if the static configuration fails to characterize — that is a
+/// bug, not an input error, so the experiment binaries fail loudly.
+pub fn context() -> Context {
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    let charlib = Characterizer::new(&tech)
+        .characterize_library(&lib, CharMethod::Analytical { sweep_points: 13 })
+        .expect("static library characterizes cleanly");
+    Context { tech, lib, charlib }
+}
+
+/// The canonical WID correlation model.
+///
+/// # Panics
+///
+/// Never (static valid parameter).
+pub fn wid() -> TentCorrelation {
+    TentCorrelation::new(WID_DMAX_UM).expect("static valid cutoff")
+}
+
+/// Prints a markdown table: header row + aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// Formats a value in scientific notation with 4 significant digits.
+pub fn sci(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+/// Formats a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0123), "1.23%");
+        assert!(sci(1234.5).contains('e'));
+    }
+
+    #[test]
+    fn wid_has_canonical_cutoff() {
+        use leakage_process::correlation::SpatialCorrelation;
+        assert_eq!(wid().support_radius(), Some(WID_DMAX_UM));
+    }
+}

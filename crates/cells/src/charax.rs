@@ -1,0 +1,351 @@
+//! Cell leakage characterization: Monte-Carlo and analytical paths (§2.1).
+//!
+//! Both paths view a cell's leakage in a given input state as a function
+//! of a single channel-length deviation `ΔL` shared by all its transistors
+//! (within-cell lengths are fully correlated — the devices are microns
+//! apart, §2.1.1):
+//!
+//! * the **analytical** path sweeps `ΔL` over a few points, fits
+//!   `ln X = ln a + bΔL + cΔL²`, and computes moments exactly via the MGF;
+//! * the **Monte-Carlo** path samples `ΔL ~ N(0, σ_L)` and evaluates the
+//!   leakage through a dense tabulation of `ln X(ΔL)` (the tabulation
+//!   replaces re-solving the same 1-D curve thousands of times; its
+//!   interpolation error is orders of magnitude below MC noise).
+
+use crate::error::CellError;
+use crate::library::{Cell, CellLibrary};
+use crate::model::{CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel};
+use leakage_numeric::interp::LinearInterp;
+use leakage_numeric::regression::fit_exp_quadratic;
+use leakage_numeric::stats::RunningStats;
+use leakage_process::Technology;
+use leakage_sim::netlist::CellNetlist;
+use leakage_sim::LeakageSolver;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Which characterization method to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CharMethod {
+    /// Fit `(a, b, c)` on a `ΔL` sweep of `sweep_points` points spanning
+    /// ±3σ, then compute moments analytically (paper §2.1.2).
+    Analytical {
+        /// Number of sweep points (≥ 3).
+        sweep_points: usize,
+    },
+    /// Monte-Carlo sampling of `ΔL` (paper §2.1.1).
+    MonteCarlo {
+        /// Number of samples per state.
+        samples: usize,
+        /// RNG seed (deterministic per cell/state).
+        seed: u64,
+    },
+}
+
+impl Default for CharMethod {
+    fn default() -> CharMethod {
+        CharMethod::Analytical { sweep_points: 13 }
+    }
+}
+
+/// Characterization engine bound to a technology.
+///
+/// # Example
+///
+/// ```no_run
+/// use leakage_cells::charax::{Characterizer, CharMethod};
+/// use leakage_cells::library::CellLibrary;
+/// use leakage_process::Technology;
+///
+/// let lib = CellLibrary::standard_62();
+/// let charax = Characterizer::new(&Technology::cmos90());
+/// let model = charax.characterize_library(&lib, CharMethod::default())?;
+/// assert_eq!(model.len(), 62);
+/// # Ok::<(), leakage_cells::CellError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    solver: LeakageSolver,
+    l_sigma: f64,
+    sweep_span_sigmas: f64,
+}
+
+impl Characterizer {
+    /// Creates a characterizer; the `ΔL` distribution comes from the
+    /// technology card's channel-length budget (total σ).
+    pub fn new(tech: &Technology) -> Characterizer {
+        Characterizer {
+            solver: LeakageSolver::new(tech),
+            l_sigma: tech.l_variation().total_sigma(),
+            sweep_span_sigmas: 3.0,
+        }
+    }
+
+    /// Total channel-length sigma used (nm).
+    pub fn l_sigma(&self) -> f64 {
+        self.l_sigma
+    }
+
+    /// Fits the `(a, b, c)` triplet for one cell state from a `ΔL` sweep.
+    /// Returns the triplet and the log-space R².
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures; returns [`CellError::InvalidArgument`]
+    /// for fewer than three sweep points.
+    pub fn fit_state(
+        &self,
+        netlist: &CellNetlist,
+        state: u32,
+        sweep_points: usize,
+    ) -> Result<(LeakageTriplet, f64), CellError> {
+        if sweep_points < 3 {
+            return Err(CellError::InvalidArgument {
+                reason: "quadratic fit needs at least three sweep points".into(),
+            });
+        }
+        let span = self.sweep_span_sigmas * self.l_sigma;
+        let mut dls = Vec::with_capacity(sweep_points);
+        let mut leaks = Vec::with_capacity(sweep_points);
+        for i in 0..sweep_points {
+            let dl = -span + 2.0 * span * i as f64 / (sweep_points - 1) as f64;
+            let leak = self.solver.cell_leakage(netlist, state, dl, 0.0)?;
+            dls.push(dl);
+            leaks.push(leak);
+        }
+        let (a, b, c, r2) = fit_exp_quadratic(&dls, &leaks)?;
+        Ok((LeakageTriplet::new(a, b, c)?, r2))
+    }
+
+    /// Tabulates `ln X(ΔL)` densely over ±5σ for fast Monte-Carlo reuse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn tabulate_state(
+        &self,
+        netlist: &CellNetlist,
+        state: u32,
+        points: usize,
+    ) -> Result<LinearInterp, CellError> {
+        let points = points.max(8);
+        let span = 5.0 * self.l_sigma;
+        let mut dls = Vec::with_capacity(points);
+        let mut logs = Vec::with_capacity(points);
+        for i in 0..points {
+            let dl = -span + 2.0 * span * i as f64 / (points - 1) as f64;
+            let leak = self.solver.cell_leakage(netlist, state, dl, 0.0)?;
+            dls.push(dl);
+            logs.push(leak.max(1e-300).ln());
+        }
+        Ok(LinearInterp::new(dls, logs)?)
+    }
+
+    /// Monte-Carlo mean/std of a cell state's leakage under
+    /// `ΔL ~ N(0, σ_L)` using a dense `ln X` tabulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and distribution errors.
+    pub fn mc_state(
+        &self,
+        netlist: &CellNetlist,
+        state: u32,
+        samples: usize,
+        rng: &mut StdRng,
+    ) -> Result<(f64, f64), CellError> {
+        let table = self.tabulate_state(netlist, state, 61)?;
+        let normal = Normal::new(0.0, self.l_sigma).map_err(|_| CellError::InvalidArgument {
+            reason: "sigma must be positive for monte-carlo".into(),
+        })?;
+        let mut stats = RunningStats::new();
+        for _ in 0..samples {
+            let dl: f64 = normal.sample(rng);
+            stats.push(table.eval(dl).exp());
+        }
+        Ok((stats.mean(), stats.sample_std()))
+    }
+
+    /// Characterizes every input state of a cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from the selected method.
+    pub fn characterize_cell(
+        &self,
+        cell: &Cell,
+        method: CharMethod,
+    ) -> Result<CharacterizedCell, CellError> {
+        let mut states = Vec::with_capacity(cell.n_states() as usize);
+        for state in 0..cell.n_states() {
+            let model = match method {
+                CharMethod::Analytical { sweep_points } => {
+                    let (triplet, r2) = self.fit_state(cell.netlist(), state, sweep_points)?;
+                    StateModel {
+                        state,
+                        mean: triplet.mean(self.l_sigma)?,
+                        std: triplet.std(self.l_sigma)?,
+                        triplet: Some(triplet),
+                        fit_r2: Some(r2),
+                    }
+                }
+                CharMethod::MonteCarlo { samples, seed } => {
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (cell.id().0 as u64) << 16 ^ state as u64);
+                    let (mean, std) = self.mc_state(cell.netlist(), state, samples, &mut rng)?;
+                    StateModel {
+                        state,
+                        triplet: None,
+                        mean,
+                        std,
+                        fit_r2: None,
+                    }
+                }
+            };
+            states.push(model);
+        }
+        Ok(CharacterizedCell {
+            id: cell.id(),
+            name: cell.name().to_owned(),
+            n_inputs: cell.n_inputs(),
+            states,
+        })
+    }
+
+    /// Characterizes a whole library.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-cell failures (annotated with the cell name by the
+    /// underlying error).
+    pub fn characterize_library(
+        &self,
+        lib: &CellLibrary,
+        method: CharMethod,
+    ) -> Result<CharacterizedLibrary, CellError> {
+        let mut cells = Vec::with_capacity(lib.len());
+        for cell in lib.cells() {
+            cells.push(self.characterize_cell(cell, method)?);
+        }
+        Ok(CharacterizedLibrary {
+            cells,
+            l_sigma: self.l_sigma,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn charax() -> Characterizer {
+        Characterizer::new(&Technology::cmos90())
+    }
+
+    #[test]
+    fn fit_quality_is_high_for_inverter() {
+        let c = charax();
+        let inv = CellNetlist::inverter(0.6, 1.2);
+        for state in 0..2 {
+            let (triplet, r2) = c.fit_state(&inv, state, 13).unwrap();
+            assert!(r2 > 0.999, "state {state}: r2 {r2}");
+            assert!(triplet.b() < 0.0, "leakage decreases with L");
+            // model reproduces the solver at nominal within a few percent
+            let solver = LeakageSolver::new(&Technology::cmos90());
+            let truth = solver.cell_leakage(&inv, state, 0.0, 0.0).unwrap();
+            assert!(
+                (triplet.eval(0.0) - truth).abs() / truth < 0.05,
+                "state {state}"
+            );
+        }
+    }
+
+    #[test]
+    fn analytical_matches_mc_for_nand2() {
+        let c = charax();
+        let nand2 = CellNetlist::nand(2, 0.6, 1.2);
+        let (triplet, _) = c.fit_state(&nand2, 0, 13).unwrap();
+        let an_mean = triplet.mean(c.l_sigma()).unwrap();
+        let an_std = triplet.std(c.l_sigma()).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let (mc_mean, mc_std) = c.mc_state(&nand2, 0, 60_000, &mut rng).unwrap();
+        // Paper: mean error < 2 %, std error up to ~10 %.
+        assert!(
+            (an_mean - mc_mean).abs() / mc_mean < 0.03,
+            "mean: {an_mean} vs {mc_mean}"
+        );
+        assert!(
+            (an_std - mc_std).abs() / mc_std < 0.12,
+            "std: {an_std} vs {mc_std}"
+        );
+    }
+
+    #[test]
+    fn fit_rejects_too_few_points() {
+        let c = charax();
+        let inv = CellNetlist::inverter(0.6, 1.2);
+        assert!(c.fit_state(&inv, 0, 2).is_err());
+    }
+
+    #[test]
+    fn characterize_cell_analytical_covers_all_states() {
+        let lib = CellLibrary::standard_62();
+        let c = charax();
+        let nand3 = lib.cell_by_name("nand3_x1").unwrap();
+        let model = c
+            .characterize_cell(nand3, CharMethod::Analytical { sweep_points: 9 })
+            .unwrap();
+        assert_eq!(model.states.len(), 8);
+        for s in &model.states {
+            assert!(s.mean > 0.0 && s.std > 0.0);
+            assert!(s.triplet.is_some());
+            assert!(s.fit_r2.unwrap() > 0.99, "state {}: r2 {:?}", s.state, s.fit_r2);
+        }
+        // state 0 (all inputs low, full stack) leaks least
+        let min_state = model
+            .states
+            .iter()
+            .min_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap())
+            .unwrap();
+        assert_eq!(min_state.state, 0, "full stack leaks least");
+    }
+
+    #[test]
+    fn characterize_cell_mc_is_deterministic() {
+        let lib = CellLibrary::standard_62();
+        let c = charax();
+        let inv = lib.cell_by_name("inv_x1").unwrap();
+        let m1 = c
+            .characterize_cell(
+                inv,
+                CharMethod::MonteCarlo {
+                    samples: 2000,
+                    seed: 9,
+                },
+            )
+            .unwrap();
+        let m2 = c
+            .characterize_cell(
+                inv,
+                CharMethod::MonteCarlo {
+                    samples: 2000,
+                    seed: 9,
+                },
+            )
+            .unwrap();
+        assert_eq!(m1, m2, "same seed, same result");
+        assert!(m1.states[0].triplet.is_none(), "mc mode carries no triplet");
+    }
+
+    #[test]
+    fn tabulation_is_monotone_decreasing_for_inverter() {
+        let c = charax();
+        let inv = CellNetlist::inverter(0.6, 1.2);
+        let table = c.tabulate_state(&inv, 0, 31).unwrap();
+        let v: Vec<f64> = table.values().to_vec();
+        for w in v.windows(2) {
+            assert!(w[1] < w[0], "ln leakage decreases with L");
+        }
+    }
+}

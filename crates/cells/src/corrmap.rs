@@ -1,0 +1,407 @@
+//! The leakage-correlation mapping `ρ_{m,n} = f_{m,n}(ρ_L)` (§2.1.3).
+//!
+//! The paper states that an analytical mapping from channel-length
+//! correlation to leakage correlation exists for fitted cells but omits
+//! the derivation. We derive it exactly: for two cells with triplets
+//! `(a_m, b_m, c_m)` and `(a_n, b_n, c_n)` and bivariate-normal `ΔL`s
+//! with correlation `ρ_L`,
+//!
+//! ```text
+//! E[X_m X_n] = a_m a_n · E[exp(b_m L₁ + c_m L₁² + b_n L₂ + c_n L₂²)]
+//! ```
+//!
+//! is the MGF of a Gaussian quadratic form with a closed 2×2 solution
+//! ([`leakage_numeric::quadform::bivariate_exp_quadratic_mean`]). The
+//! resulting `f_{m,n}` hugs the `y = x` line (paper Fig. 2), motivating
+//! the *simplified assumption* `ρ_{m,n} ≈ ρ_L` (§3.1.2) used when only
+//! Monte-Carlo statistics are available.
+
+use crate::error::CellError;
+use crate::model::{CharacterizedCell, LeakageTriplet};
+use leakage_numeric::quadform::{bivariate_exp_quadratic_mean, gaussian_quadratic_mgf};
+use serde::{Deserialize, Serialize};
+
+/// How pairwise leakage correlation is derived from length correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrelationPolicy {
+    /// Exact analytical mapping from the fitted triplets (§2.1.3).
+    Exact,
+    /// `ρ_{m,n} = ρ_L` (paper §3.1.2; error < 2.8 % in the full-chip std).
+    Simplified,
+}
+
+/// Correlations this close to ±1 are clamped before the bivariate solve;
+/// beyond it the 2×2 inversion loses too many digits and the univariate
+/// limit is used instead.
+const RHO_CLAMP: f64 = 1.0 - 1e-7;
+
+/// Exact `E[X_m X_n]` for two fitted states under length correlation
+/// `ρ_L ∈ [-1, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if the expectation diverges (MGF condition violated).
+pub fn cross_moment(
+    tm: &LeakageTriplet,
+    tn: &LeakageTriplet,
+    sigma: f64,
+    rho_l: f64,
+) -> Result<f64, CellError> {
+    if !(-1.0..=1.0).contains(&rho_l) {
+        return Err(CellError::InvalidArgument {
+            reason: format!("length correlation must be in [-1, 1], got {rho_l}"),
+        });
+    }
+    if sigma == 0.0 {
+        return Ok(tm.eval(0.0) * tn.eval(0.0));
+    }
+    let scale = tm.a() * tn.a();
+    if rho_l >= RHO_CLAMP {
+        // Perfectly correlated: one Gaussian drives both exponents.
+        let v = gaussian_quadratic_mgf(
+            1.0,
+            tm.c() + tn.c(),
+            tm.b() + tn.b(),
+            0.0,
+            0.0,
+            sigma,
+        )?;
+        return Ok(scale * v);
+    }
+    if rho_l <= -RHO_CLAMP {
+        // Anti-correlated: L₂ = −L₁.
+        let v = gaussian_quadratic_mgf(
+            1.0,
+            tm.c() + tn.c(),
+            tm.b() - tn.b(),
+            0.0,
+            0.0,
+            sigma,
+        )?;
+        return Ok(scale * v);
+    }
+    let v = bivariate_exp_quadratic_mean(
+        tm.c(),
+        tm.b(),
+        tn.c(),
+        tn.b(),
+        0.0,
+        0.0,
+        sigma,
+        sigma,
+        rho_l,
+    )?;
+    Ok(scale * v)
+}
+
+/// Exact leakage correlation `f_{m,n}(ρ_L)` between two fitted states.
+///
+/// # Errors
+///
+/// Propagates moment-computation failures.
+pub fn state_leakage_correlation(
+    tm: &LeakageTriplet,
+    tn: &LeakageTriplet,
+    sigma: f64,
+    rho_l: f64,
+) -> Result<f64, CellError> {
+    let mm = tm.mean(sigma)?;
+    let mn = tn.mean(sigma)?;
+    let sm = tm.std(sigma)?;
+    let sn = tn.std(sigma)?;
+    if sm == 0.0 || sn == 0.0 {
+        return Ok(0.0);
+    }
+    let cov = cross_moment(tm, tn, sigma, rho_l)? - mm * mn;
+    Ok((cov / (sm * sn)).clamp(-1.0, 1.0))
+}
+
+/// Leakage covariance between two cells whose input states follow the
+/// given probability mixtures, under length correlation `ρ_L`.
+///
+/// The gate-selection and state spaces are independent of the process
+/// space (§2.2.3), so
+/// `E[X_m X_n] = Σ_s Σ_t π_s π_t E[X_m^s X_n^t]` and
+/// `Cov = E[X_m X_n] − μ_m μ_n` with mixture means.
+///
+/// With [`CorrelationPolicy::Simplified`] the per-state-pair correlation
+/// is taken as `ρ_L`, so the covariance collapses to
+/// `ρ_L · σ̄_m · σ̄_n` with `σ̄ = Σ_s π_s σ^s` the state-weighted
+/// *within-state* standard deviation. (Between-state variance never
+/// correlates across sites — the two instances draw their states
+/// independently — so the mixture std must not appear here.) This is also
+/// the only option when triplets are absent (Monte-Carlo
+/// characterization).
+///
+/// # Errors
+///
+/// Returns [`CellError::InvalidArgument`] if the exact policy is requested
+/// but a state lacks a triplet, or the probability vectors are malformed.
+#[allow(clippy::too_many_arguments)]
+pub fn cell_leakage_covariance(
+    cm: &CharacterizedCell,
+    probs_m: &[f64],
+    cn: &CharacterizedCell,
+    probs_n: &[f64],
+    sigma: f64,
+    rho_l: f64,
+    policy: CorrelationPolicy,
+) -> Result<f64, CellError> {
+    let (mean_m, _) = cm.mixture_stats(probs_m)?;
+    let (mean_n, _) = cn.mixture_stats(probs_n)?;
+    match policy {
+        CorrelationPolicy::Simplified => {
+            let sbar_m: f64 = cm
+                .states
+                .iter()
+                .zip(probs_m)
+                .map(|(s, p)| p * s.std)
+                .sum();
+            let sbar_n: f64 = cn
+                .states
+                .iter()
+                .zip(probs_n)
+                .map(|(s, p)| p * s.std)
+                .sum();
+            Ok(rho_l * sbar_m * sbar_n)
+        }
+        CorrelationPolicy::Exact => {
+            let mut cross = 0.0;
+            for (sm, pm) in cm.states.iter().zip(probs_m) {
+                if *pm == 0.0 {
+                    continue;
+                }
+                let tm = sm.triplet.as_ref().ok_or_else(|| CellError::InvalidArgument {
+                    reason: format!(
+                        "{} state {} has no fitted triplet; use the simplified policy",
+                        cm.name, sm.state
+                    ),
+                })?;
+                for (sn, pn) in cn.states.iter().zip(probs_n) {
+                    if *pn == 0.0 {
+                        continue;
+                    }
+                    let tn = sn.triplet.as_ref().ok_or_else(|| {
+                        CellError::InvalidArgument {
+                            reason: format!(
+                                "{} state {} has no fitted triplet; use the simplified policy",
+                                cn.name, sn.state
+                            ),
+                        }
+                    })?;
+                    cross += pm * pn * cross_moment(tm, tn, sigma, rho_l)?;
+                }
+            }
+            Ok(cross - mean_m * mean_n)
+        }
+    }
+}
+
+/// Leakage correlation between two cells (covariance normalized by the
+/// mixture standard deviations), clamped to `[-1, 1]`.
+///
+/// # Errors
+///
+/// See [`cell_leakage_covariance`].
+#[allow(clippy::too_many_arguments)]
+pub fn cell_leakage_correlation(
+    cm: &CharacterizedCell,
+    probs_m: &[f64],
+    cn: &CharacterizedCell,
+    probs_n: &[f64],
+    sigma: f64,
+    rho_l: f64,
+    policy: CorrelationPolicy,
+) -> Result<f64, CellError> {
+    let (_, std_m) = cm.mixture_stats(probs_m)?;
+    let (_, std_n) = cn.mixture_stats(probs_n)?;
+    if std_m == 0.0 || std_n == 0.0 {
+        return Ok(0.0);
+    }
+    let cov = cell_leakage_covariance(cm, probs_m, cn, probs_n, sigma, rho_l, policy)?;
+    Ok((cov / (std_m * std_n)).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellId;
+    use crate::model::StateModel;
+
+    // Magnitudes matching the characterized library: |b| ≈ rolloff/(n·V_T)
+    // ≈ 0.057 per nm, so b·σ ≈ 0.26 — moderate lognormality, which is what
+    // keeps f_{m,n} near the y = x line in the paper's Fig. 2.
+    fn triplets() -> (LeakageTriplet, LeakageTriplet) {
+        (
+            LeakageTriplet::new(1e-9, -0.060, 0.0009).unwrap(),
+            LeakageTriplet::new(3e-9, -0.050, 0.0006).unwrap(),
+        )
+    }
+
+    const SIGMA: f64 = 4.5;
+
+    #[test]
+    fn cross_moment_at_zero_correlation_factorizes() {
+        let (tm, tn) = triplets();
+        let joint = cross_moment(&tm, &tn, SIGMA, 0.0).unwrap();
+        let product = tm.mean(SIGMA).unwrap() * tn.mean(SIGMA).unwrap();
+        assert!((joint - product).abs() / product < 1e-10);
+    }
+
+    #[test]
+    fn cross_moment_at_unit_correlation_matches_combined_mgf() {
+        let (tm, _) = triplets();
+        // m with itself at ρ = 1 must equal E[X²].
+        let joint = cross_moment(&tm, &tm, SIGMA, 1.0).unwrap();
+        let second = tm.second_moment(SIGMA).unwrap();
+        assert!((joint - second).abs() / second < 1e-10);
+    }
+
+    #[test]
+    fn correlation_endpoints() {
+        let (tm, tn) = triplets();
+        let rho0 = state_leakage_correlation(&tm, &tn, SIGMA, 0.0).unwrap();
+        assert!(rho0.abs() < 1e-9);
+        let rho1 = state_leakage_correlation(&tm, &tm, SIGMA, 1.0).unwrap();
+        assert!((rho1 - 1.0).abs() < 1e-9, "self at ρ=1 is 1, got {rho1}");
+    }
+
+    #[test]
+    fn mapping_hugs_identity_line() {
+        // The paper's Fig. 2 observation: f_{m,n}(ρ) ≈ ρ.
+        let (tm, tn) = triplets();
+        for i in 1..10 {
+            let rho = i as f64 / 10.0;
+            let f = state_leakage_correlation(&tm, &tn, SIGMA, rho).unwrap();
+            assert!(
+                (f - rho).abs() < 0.08,
+                "f({rho}) = {f} strays from identity"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_is_monotone() {
+        let (tm, tn) = triplets();
+        let mut prev = -2.0;
+        for i in 0..=20 {
+            let rho = i as f64 / 20.0;
+            let f = state_leakage_correlation(&tm, &tn, SIGMA, rho).unwrap();
+            assert!(f > prev, "monotone at ρ = {rho}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn cross_moment_rejects_out_of_range() {
+        let (tm, tn) = triplets();
+        assert!(cross_moment(&tm, &tn, SIGMA, 1.5).is_err());
+        assert!(cross_moment(&tm, &tn, SIGMA, -1.5).is_err());
+    }
+
+    fn cell_from(triplet: LeakageTriplet, name: &str) -> CharacterizedCell {
+        CharacterizedCell {
+            id: CellId(0),
+            name: name.into(),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: triplet.mean(SIGMA).unwrap(),
+                std: triplet.std(SIGMA).unwrap(),
+                triplet: Some(triplet),
+                fit_r2: Some(1.0),
+            }],
+        }
+    }
+
+    #[test]
+    fn cell_covariance_single_state_matches_state_level() {
+        let (tm, tn) = triplets();
+        let cm = cell_from(tm, "m");
+        let cn = cell_from(tn, "n");
+        let rho = 0.6;
+        let cov = cell_leakage_covariance(
+            &cm,
+            &[1.0],
+            &cn,
+            &[1.0],
+            SIGMA,
+            rho,
+            CorrelationPolicy::Exact,
+        )
+        .unwrap();
+        let expect = cross_moment(&tm, &tn, SIGMA, rho).unwrap()
+            - tm.mean(SIGMA).unwrap() * tn.mean(SIGMA).unwrap();
+        assert!((cov - expect).abs() / expect.abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplified_policy_equals_rho_sigma_product() {
+        let (tm, tn) = triplets();
+        let cm = cell_from(tm, "m");
+        let cn = cell_from(tn, "n");
+        let cov = cell_leakage_covariance(
+            &cm,
+            &[1.0],
+            &cn,
+            &[1.0],
+            SIGMA,
+            0.5,
+            CorrelationPolicy::Simplified,
+        )
+        .unwrap();
+        let expect = 0.5 * tm.std(SIGMA).unwrap() * tn.std(SIGMA).unwrap();
+        assert!((cov - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn exact_policy_requires_triplets() {
+        let (tm, tn) = triplets();
+        let cm = cell_from(tm, "m");
+        let mut cn = cell_from(tn, "n");
+        cn.states[0].triplet = None;
+        assert!(cell_leakage_covariance(
+            &cm,
+            &[1.0],
+            &cn,
+            &[1.0],
+            SIGMA,
+            0.5,
+            CorrelationPolicy::Exact
+        )
+        .is_err());
+        // ... but simplified still works
+        assert!(cell_leakage_covariance(
+            &cm,
+            &[1.0],
+            &cn,
+            &[1.0],
+            SIGMA,
+            0.5,
+            CorrelationPolicy::Simplified
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn exact_and_simplified_agree_closely() {
+        // This is the quantitative basis of §3.1.2's < 2.8 % claim.
+        let (tm, tn) = triplets();
+        let cm = cell_from(tm, "m");
+        let cn = cell_from(tn, "n");
+        for i in 0..=10 {
+            let rho = i as f64 / 10.0;
+            let exact = cell_leakage_correlation(
+                &cm,
+                &[1.0],
+                &cn,
+                &[1.0],
+                SIGMA,
+                rho,
+                CorrelationPolicy::Exact,
+            )
+            .unwrap();
+            assert!((exact - rho).abs() < 0.08, "ρ = {rho}: exact = {exact}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for library construction and characterization.
+
+use std::fmt;
+
+/// Errors from cell-library operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// A referenced cell does not exist in the library.
+    UnknownCell {
+        /// What was looked up.
+        what: String,
+    },
+    /// A histogram or probability argument was malformed.
+    InvalidArgument {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A transistor-level simulation failed.
+    Sim(leakage_sim::SimError),
+    /// A numerical routine failed.
+    Numeric(leakage_numeric::NumericError),
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::UnknownCell { what } => write!(f, "unknown cell: {what}"),
+            CellError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            CellError::Sim(e) => write!(f, "simulation failure: {e}"),
+            CellError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CellError::Sim(e) => Some(e),
+            CellError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<leakage_sim::SimError> for CellError {
+    fn from(e: leakage_sim::SimError) -> CellError {
+        CellError::Sim(e)
+    }
+}
+
+impl From<leakage_numeric::NumericError> for CellError {
+    fn from(e: leakage_numeric::NumericError) -> CellError {
+        CellError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_chain() {
+        use std::error::Error;
+        let e = CellError::UnknownCell {
+            what: "nand9_x1".into(),
+        };
+        assert!(e.to_string().contains("nand9_x1"));
+        let e: CellError = leakage_numeric::NumericError::Singular { pivot: 2 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,219 @@
+//! Cell-usage histograms (the frequency-of-use distribution `α`).
+//!
+//! The usage histogram is one of the four high-level characteristics the
+//! paper shows to determine full-chip leakage: `α_i = P{I = i}` is the
+//! probability that a random gate drawn from the design is of type `i`
+//! (paper Eq. 6).
+
+use crate::error::CellError;
+use crate::library::CellId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A normalized frequency-of-use distribution over library cells.
+///
+/// # Example
+///
+/// ```
+/// use leakage_cells::{CellId, UsageHistogram};
+///
+/// let h = UsageHistogram::from_weights(vec![3.0, 1.0])?;
+/// assert!((h.alpha(CellId(0)) - 0.75).abs() < 1e-12);
+/// assert!((h.alpha(CellId(1)) - 0.25).abs() < 1e-12);
+/// # Ok::<(), leakage_cells::CellError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageHistogram {
+    probs: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl UsageHistogram {
+    /// Uniform usage across `len` cell types.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidArgument`] if `len == 0`.
+    pub fn uniform(len: usize) -> Result<UsageHistogram, CellError> {
+        UsageHistogram::from_weights(vec![1.0; len])
+    }
+
+    /// Builds a histogram by normalizing non-negative weights (e.g. raw
+    /// instance counts), indexed by [`CellId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidArgument`] for an empty weight vector,
+    /// negative/non-finite weights, or an all-zero total.
+    pub fn from_weights(weights: Vec<f64>) -> Result<UsageHistogram, CellError> {
+        if weights.is_empty() {
+            return Err(CellError::InvalidArgument {
+                reason: "histogram must cover at least one cell".into(),
+            });
+        }
+        if weights.iter().any(|w| !(*w >= 0.0) || !w.is_finite()) {
+            return Err(CellError::InvalidArgument {
+                reason: "weights must be finite and non-negative".into(),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(CellError::InvalidArgument {
+                reason: "at least one weight must be positive".into(),
+            });
+        }
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        // Guard against rounding: the last entry must be exactly 1.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Ok(UsageHistogram { probs, cumulative })
+    }
+
+    /// Builds a histogram from `(CellId, count)` pairs over a library of
+    /// `library_len` cells; unmentioned cells get zero usage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidArgument`] if an id is out of range or
+    /// all counts are zero.
+    pub fn from_counts(
+        library_len: usize,
+        counts: &[(CellId, u64)],
+    ) -> Result<UsageHistogram, CellError> {
+        let mut weights = vec![0.0; library_len];
+        for (id, count) in counts {
+            let slot = weights.get_mut(id.0).ok_or_else(|| CellError::InvalidArgument {
+                reason: format!("cell id {} out of range for library of {library_len}", id.0),
+            })?;
+            *slot += *count as f64;
+        }
+        UsageHistogram::from_weights(weights)
+    }
+
+    /// Usage probability `α_i` of a cell (0 for out-of-range ids).
+    pub fn alpha(&self, id: CellId) -> f64 {
+        self.probs.get(id.0).copied().unwrap_or(0.0)
+    }
+
+    /// All probabilities, indexed by cell id.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of cell types covered.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the histogram covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Ids with non-zero usage.
+    pub fn support(&self) -> Vec<CellId> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p > 0.0)
+            .map(|(i, _)| CellId(i))
+            .collect()
+    }
+
+    /// Draws a random cell id according to the distribution — this is the
+    /// sampling step that turns the Random Gate abstraction into concrete
+    /// design instances.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> CellId {
+        let u: f64 = rng.gen();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.probs.len() - 1);
+        CellId(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_is_uniform() {
+        let h = UsageHistogram::uniform(4).unwrap();
+        for i in 0..4 {
+            assert!((h.alpha(CellId(i)) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let h = UsageHistogram::from_weights(vec![2.0, 6.0]).unwrap();
+        assert!((h.alpha(CellId(0)) - 0.25).abs() < 1e-12);
+        assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_accumulates() {
+        let h = UsageHistogram::from_counts(
+            3,
+            &[(CellId(0), 1), (CellId(2), 2), (CellId(0), 1)],
+        )
+        .unwrap();
+        assert!((h.alpha(CellId(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(h.alpha(CellId(1)), 0.0);
+        assert!((h.alpha(CellId(2)) - 0.5).abs() < 1e-12);
+        assert_eq!(h.support(), vec![CellId(0), CellId(2)]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(UsageHistogram::from_weights(vec![]).is_err());
+        assert!(UsageHistogram::from_weights(vec![-1.0, 2.0]).is_err());
+        assert!(UsageHistogram::from_weights(vec![0.0, 0.0]).is_err());
+        assert!(UsageHistogram::from_weights(vec![f64::NAN]).is_err());
+        assert!(UsageHistogram::from_counts(2, &[(CellId(5), 1)]).is_err());
+        assert!(UsageHistogram::uniform(0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_alpha_is_zero() {
+        let h = UsageHistogram::uniform(2).unwrap();
+        assert_eq!(h.alpha(CellId(99)), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let h = UsageHistogram::from_weights(vec![1.0, 3.0, 0.0, 4.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[h.sample(&mut rng).0] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-probability cell never sampled");
+        for (i, expect) in [(0usize, 0.125), (1, 0.375), (3, 0.5)] {
+            let freq = counts[i] as f64 / n as f64;
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "cell {i}: {freq} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_handles_edge_uniform() {
+        let h = UsageHistogram::uniform(1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(h.sample(&mut rng), CellId(0));
+        }
+    }
+}

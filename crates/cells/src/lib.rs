@@ -1,0 +1,49 @@
+//! Standard-cell library with statistical leakage characterization.
+//!
+//! This crate is the in-repo substitute for the commercial 90 nm library
+//! the paper characterizes (§2.1): 62 cells spanning inverters/buffers,
+//! NAND/NOR/AND/OR up to 4 inputs, AOI/OAI complex gates, XOR/XNOR,
+//! multiplexers, tristate buffers, latches, flip-flops, adders and the
+//! 6-T SRAM cell, each at one or more drive strengths.
+//!
+//! Two characterization paths, as in the paper:
+//!
+//! * **Monte-Carlo** ([`charax::Characterizer::mc_state`]) — sample the
+//!   channel length (fully correlated within a cell), solve the DC leakage,
+//!   accumulate statistics;
+//! * **Analytical** ([`charax::Characterizer::fit_state`]) — fit
+//!   `X = a·exp(bL + cL²)` on a small L sweep, then obtain moments exactly
+//!   from the non-central-χ² MGF (paper Eqs. 1–5).
+//!
+//! The analytical triplets also yield the leakage-correlation mapping
+//! `ρ_{m,n} = f_{m,n}(ρ_L)` of §2.1.3 ([`corrmap`]), and the per-state
+//! data supports the signal-probability analysis of §2.1.4 ([`state`]).
+//!
+//! # Example
+//!
+//! ```
+//! use leakage_cells::library::CellLibrary;
+//!
+//! let lib = CellLibrary::standard_62();
+//! assert_eq!(lib.len(), 62);
+//! assert!(lib.cell_by_name("nand2_x1").is_some());
+//! ```
+
+// `!(x > 0.0)`-style comparisons deliberately treat NaN as invalid input;
+// rewriting them per clippy would silently accept NaN. Index-based loops in
+// the math kernels mirror the paper's summation notation.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+pub mod charax;
+pub mod corrmap;
+pub mod error;
+pub mod histogram;
+pub mod library;
+pub mod model;
+pub mod presets;
+pub mod state;
+
+pub use error::CellError;
+pub use histogram::UsageHistogram;
+pub use library::{CellId, CellLibrary};
+pub use model::{CharacterizedCell, CharacterizedLibrary, LeakageTriplet};

@@ -1,0 +1,1056 @@
+//! The 62-cell standard library.
+//!
+//! Cell topologies are built procedurally on the transistor-netlist
+//! builder of `leakage-sim`. The mix matches the paper's description of
+//! its commercial library (§2.1.1): "the SRAM cell, various flip flops and
+//! a range of different logic cells" — here inverters/buffers, NAND/NOR up
+//! to 4 inputs, AND/OR, AOI/OAI complex gates, XOR/XNOR, multiplexers,
+//! tristate buffers, D latches, D flip-flops, half/full adders and the 6-T
+//! SRAM cell, across several drive strengths, for 62 cells total.
+
+use leakage_sim::netlist::{input_node, CellNetlist, InitHint, NetlistBuilder, NodeId, GND, VDD};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a cell within its [`CellLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub usize);
+
+/// Coarse functional class of a cell, used to group experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellClass {
+    /// Single-stage inverter.
+    Inverter,
+    /// Two-stage buffer.
+    Buffer,
+    /// NAND gate.
+    Nand,
+    /// NOR gate.
+    Nor,
+    /// AND (NAND + inverter).
+    And,
+    /// OR (NOR + inverter).
+    Or,
+    /// AND-OR-invert complex gate.
+    Aoi,
+    /// OR-AND-invert complex gate.
+    Oai,
+    /// XOR/XNOR.
+    Xor,
+    /// Transmission-gate multiplexer.
+    Mux,
+    /// Tristate buffer.
+    Tbuf,
+    /// Transparent D latch.
+    Latch,
+    /// Master-slave D flip-flop.
+    FlipFlop,
+    /// 6-T SRAM bit cell.
+    Sram,
+    /// Half/full adder.
+    Adder,
+}
+
+/// One library cell: a named transistor netlist with bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    id: CellId,
+    name: String,
+    class: CellClass,
+    drive: f64,
+    netlist: CellNetlist,
+    area_um2: f64,
+}
+
+impl Cell {
+    /// Library index of the cell.
+    pub fn id(&self) -> CellId {
+        self.id
+    }
+
+    /// Cell name, e.g. `"nand2_x1"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Functional class.
+    pub fn class(&self) -> CellClass {
+        self.class
+    }
+
+    /// Drive strength multiplier (1, 2, 4, …).
+    pub fn drive(&self) -> f64 {
+        self.drive
+    }
+
+    /// Transistor netlist.
+    pub fn netlist(&self) -> &CellNetlist {
+        &self.netlist
+    }
+
+    /// Approximate layout area (µm²), proportional to total device width.
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+
+    /// Number of input pins.
+    pub fn n_inputs(&self) -> usize {
+        self.netlist.n_inputs()
+    }
+
+    /// Number of input states.
+    pub fn n_states(&self) -> u32 {
+        self.netlist.n_states()
+    }
+}
+
+/// The cell library.
+///
+/// # Example
+///
+/// ```
+/// use leakage_cells::library::{CellClass, CellLibrary};
+///
+/// let lib = CellLibrary::standard_62();
+/// let nand2 = lib.cell_by_name("nand2_x1").unwrap();
+/// assert_eq!(nand2.class(), CellClass::Nand);
+/// assert_eq!(nand2.n_inputs(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+}
+
+/// Base NMOS width (µm) at drive 1.
+const WN: f64 = 0.6;
+/// Base PMOS width (µm) at drive 1.
+const WP: f64 = 1.2;
+
+impl CellLibrary {
+    /// Builds the full 62-cell library.
+    pub fn standard_62() -> CellLibrary {
+        let mut b = LibraryBuilder::default();
+        for d in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            b.add(inverter_cell(d), CellClass::Inverter, d);
+        }
+        for d in [1.0, 2.0, 4.0, 8.0] {
+            b.add(buffer_cell(d), CellClass::Buffer, d);
+        }
+        for d in [1.0, 2.0, 4.0, 8.0] {
+            b.add(nand_cell(2, d), CellClass::Nand, d);
+        }
+        for d in [1.0, 2.0] {
+            b.add(nand_cell(3, d), CellClass::Nand, d);
+            b.add(nand_cell(4, d), CellClass::Nand, d);
+        }
+        for d in [1.0, 2.0, 4.0, 8.0] {
+            b.add(nor_cell(2, d), CellClass::Nor, d);
+        }
+        for d in [1.0, 2.0] {
+            b.add(nor_cell(3, d), CellClass::Nor, d);
+            b.add(nor_cell(4, d), CellClass::Nor, d);
+        }
+        for d in [1.0, 2.0, 4.0] {
+            b.add(and_cell(2, d), CellClass::And, d);
+        }
+        b.add(and_cell(3, 1.0), CellClass::And, 1.0);
+        b.add(and_cell(4, 1.0), CellClass::And, 1.0);
+        for d in [1.0, 2.0, 4.0] {
+            b.add(or_cell(2, d), CellClass::Or, d);
+        }
+        b.add(or_cell(3, 1.0), CellClass::Or, 1.0);
+        b.add(or_cell(4, 1.0), CellClass::Or, 1.0);
+        for d in [1.0, 2.0] {
+            b.add(aoi21_cell(d), CellClass::Aoi, d);
+            b.add(aoi22_cell(d), CellClass::Aoi, d);
+            b.add(oai21_cell(d), CellClass::Oai, d);
+            b.add(oai22_cell(d), CellClass::Oai, d);
+        }
+        b.add(aoi211_cell(1.0), CellClass::Aoi, 1.0);
+        b.add(oai211_cell(1.0), CellClass::Oai, 1.0);
+        for d in [1.0, 2.0] {
+            b.add(xor2_cell(d, false), CellClass::Xor, d);
+            b.add(xor2_cell(d, true), CellClass::Xor, d);
+        }
+        for d in [1.0, 2.0, 4.0] {
+            b.add(mux2_cell(d), CellClass::Mux, d);
+        }
+        for d in [1.0, 2.0] {
+            b.add(tbuf_cell(d), CellClass::Tbuf, d);
+            b.add(dlatch_cell(d), CellClass::Latch, d);
+        }
+        for d in [1.0, 2.0, 4.0] {
+            b.add(dff_cell(d), CellClass::FlipFlop, d);
+        }
+        b.add(sram6t_cell(), CellClass::Sram, 1.0);
+        b.add(halfadder_cell(), CellClass::Adder, 1.0);
+        b.add(fulladder_cell(), CellClass::Adder, 1.0);
+        let lib = b.build();
+        debug_assert_eq!(lib.len(), 62, "library must contain exactly 62 cells");
+        lib
+    }
+
+    /// Number of cells (`p` in the paper).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cells in id order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Looks a cell up by id.
+    pub fn cell(&self, id: CellId) -> Option<&Cell> {
+        self.cells.get(id.0)
+    }
+
+    /// Looks a cell up by name.
+    pub fn cell_by_name(&self, name: &str) -> Option<&Cell> {
+        self.by_name.get(name).and_then(|id| self.cell(*id))
+    }
+
+    /// Iterates over `(CellId, &Cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells.iter().map(|c| (c.id, c))
+    }
+}
+
+#[derive(Default)]
+struct LibraryBuilder {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+}
+
+impl LibraryBuilder {
+    fn add(&mut self, netlist: CellNetlist, class: CellClass, drive: f64) {
+        let id = CellId(self.cells.len());
+        let name = netlist.name().to_owned();
+        let width_sum: f64 = netlist.devices().iter().map(|d| d.width_um).sum();
+        let area = width_sum * 1.0 + netlist.devices().len() as f64 * 0.4;
+        assert!(
+            self.by_name.insert(name.clone(), id).is_none(),
+            "duplicate cell name {name}"
+        );
+        self.cells.push(Cell {
+            id,
+            name,
+            class,
+            drive,
+            netlist,
+            area_um2: area,
+        });
+    }
+
+    fn build(self) -> CellLibrary {
+        CellLibrary {
+            cells: self.cells,
+            by_name: self.by_name,
+        }
+    }
+}
+
+fn drive_name(base: &str, d: f64) -> String {
+    format!("{base}_x{}", d as u32)
+}
+
+/// Adds an inverter stage `in → out` to a builder; returns nothing.
+fn inv_stage(b: &mut NetlistBuilder, input: NodeId, out: NodeId, d: f64) {
+    b.nmos(out, input, GND, WN * d);
+    b.pmos(out, input, VDD, WP * d);
+}
+
+fn inverter_cell(d: f64) -> CellNetlist {
+    let mut b = NetlistBuilder::new(drive_name("inv", d), 1);
+    let out = b.node();
+    inv_stage(&mut b, input_node(0), out, d);
+    b.hint(
+        out,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: true,
+        },
+    );
+    b.build().expect("static netlist")
+}
+
+fn buffer_cell(d: f64) -> CellNetlist {
+    let mut b = NetlistBuilder::new(drive_name("buf", d), 1);
+    let mid = b.node();
+    let out = b.node();
+    inv_stage(&mut b, input_node(0), mid, 1.0);
+    inv_stage(&mut b, mid, out, d);
+    b.hint(
+        mid,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: true,
+        },
+    );
+    b.hint(
+        out,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: false,
+        },
+    );
+    b.build().expect("static netlist")
+}
+
+fn nand_cell(n: usize, d: f64) -> CellNetlist {
+    let mut b = NetlistBuilder::new(drive_name(&format!("nand{n}"), d), n);
+    let out = b.node();
+    for i in 0..n {
+        b.pmos(out, input_node(i), VDD, WP * d);
+    }
+    let mut upper = out;
+    for i in 0..n {
+        let lower = if i + 1 == n { GND } else { b.node() };
+        // Series NMOS are upsized by the stack depth, as in real libraries.
+        b.nmos(upper, input_node(i), lower, WN * d * n as f64 / 2.0_f64.max(1.0));
+        if lower != GND {
+            b.hint(lower, InitHint::Fraction(0.05));
+        }
+        upper = lower;
+    }
+    b.hint(out, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+fn nor_cell(n: usize, d: f64) -> CellNetlist {
+    let mut b = NetlistBuilder::new(drive_name(&format!("nor{n}"), d), n);
+    let out = b.node();
+    for i in 0..n {
+        b.nmos(out, input_node(i), GND, WN * d);
+    }
+    let mut upper = VDD;
+    for i in 0..n {
+        let lower = if i + 1 == n { out } else { b.node() };
+        b.pmos(lower, input_node(i), upper, WP * d * n as f64 / 2.0_f64.max(1.0));
+        if lower != out {
+            b.hint(lower, InitHint::Fraction(0.95));
+        }
+        upper = lower;
+    }
+    b.hint(out, InitHint::Fraction(0.05));
+    b.build().expect("static netlist")
+}
+
+fn and_cell(n: usize, d: f64) -> CellNetlist {
+    let mut b = NetlistBuilder::new(drive_name(&format!("and{n}"), d), n);
+    let nand_out = b.node();
+    let out = b.node();
+    for i in 0..n {
+        b.pmos(nand_out, input_node(i), VDD, WP);
+    }
+    let mut upper = nand_out;
+    for i in 0..n {
+        let lower = if i + 1 == n { GND } else { b.node() };
+        b.nmos(upper, input_node(i), lower, WN * n as f64 / 2.0_f64.max(1.0));
+        if lower != GND {
+            b.hint(lower, InitHint::Fraction(0.05));
+        }
+        upper = lower;
+    }
+    inv_stage(&mut b, nand_out, out, d);
+    b.hint(nand_out, InitHint::Fraction(0.95));
+    b.hint(out, InitHint::Fraction(0.05));
+    b.build().expect("static netlist")
+}
+
+fn or_cell(n: usize, d: f64) -> CellNetlist {
+    let mut b = NetlistBuilder::new(drive_name(&format!("or{n}"), d), n);
+    let nor_out = b.node();
+    let out = b.node();
+    for i in 0..n {
+        b.nmos(nor_out, input_node(i), GND, WN);
+    }
+    let mut upper = VDD;
+    for i in 0..n {
+        let lower = if i + 1 == n { nor_out } else { b.node() };
+        b.pmos(lower, input_node(i), upper, WP * n as f64 / 2.0_f64.max(1.0));
+        if lower != nor_out {
+            b.hint(lower, InitHint::Fraction(0.95));
+        }
+        upper = lower;
+    }
+    inv_stage(&mut b, nor_out, out, d);
+    b.hint(nor_out, InitHint::Fraction(0.05));
+    b.hint(out, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// AOI21: `out = !(A·B + C)`, inputs (A, B, C).
+fn aoi21_cell(d: f64) -> CellNetlist {
+    let (a, c2, c) = (input_node(0), input_node(1), input_node(2));
+    let mut b = NetlistBuilder::new(drive_name("aoi21", d), 3);
+    let out = b.node();
+    let x = b.node();
+    let y = b.node();
+    // PDN: A-B series, C parallel.
+    b.nmos(out, a, x, WN * d * 1.5);
+    b.nmos(x, c2, GND, WN * d * 1.5);
+    b.nmos(out, c, GND, WN * d);
+    // PUN: (A || B) series C.
+    b.pmos(y, a, VDD, WP * d);
+    b.pmos(y, c2, VDD, WP * d);
+    b.pmos(out, c, y, WP * d * 1.5);
+    b.hint(out, InitHint::Fraction(0.5));
+    b.hint(x, InitHint::Fraction(0.05));
+    b.hint(y, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// AOI22: `out = !(A·B + C·D)`.
+fn aoi22_cell(d: f64) -> CellNetlist {
+    let (a, bb, c, dd) = (
+        input_node(0),
+        input_node(1),
+        input_node(2),
+        input_node(3),
+    );
+    let mut b = NetlistBuilder::new(drive_name("aoi22", d), 4);
+    let out = b.node();
+    let x1 = b.node();
+    let x2 = b.node();
+    let y = b.node();
+    b.nmos(out, a, x1, WN * d * 1.5);
+    b.nmos(x1, bb, GND, WN * d * 1.5);
+    b.nmos(out, c, x2, WN * d * 1.5);
+    b.nmos(x2, dd, GND, WN * d * 1.5);
+    b.pmos(y, a, VDD, WP * d);
+    b.pmos(y, bb, VDD, WP * d);
+    b.pmos(out, c, y, WP * d);
+    b.pmos(out, dd, y, WP * d);
+    b.hint(out, InitHint::Fraction(0.5));
+    b.hint(x1, InitHint::Fraction(0.05));
+    b.hint(x2, InitHint::Fraction(0.05));
+    b.hint(y, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// AOI211: `out = !(A·B + C + D)`.
+fn aoi211_cell(d: f64) -> CellNetlist {
+    let (a, bb, c, dd) = (
+        input_node(0),
+        input_node(1),
+        input_node(2),
+        input_node(3),
+    );
+    let mut b = NetlistBuilder::new(drive_name("aoi211", d), 4);
+    let out = b.node();
+    let x = b.node();
+    let y1 = b.node();
+    let y2 = b.node();
+    b.nmos(out, a, x, WN * d * 1.5);
+    b.nmos(x, bb, GND, WN * d * 1.5);
+    b.nmos(out, c, GND, WN * d);
+    b.nmos(out, dd, GND, WN * d);
+    b.pmos(y1, a, VDD, WP * d);
+    b.pmos(y1, bb, VDD, WP * d);
+    b.pmos(y2, c, y1, WP * d * 1.5);
+    b.pmos(out, dd, y2, WP * d * 1.5);
+    b.hint(out, InitHint::Fraction(0.5));
+    b.hint(x, InitHint::Fraction(0.05));
+    b.hint(y1, InitHint::Fraction(0.95));
+    b.hint(y2, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// OAI21: `out = !((A+B)·C)`.
+fn oai21_cell(d: f64) -> CellNetlist {
+    let (a, bb, c) = (input_node(0), input_node(1), input_node(2));
+    let mut b = NetlistBuilder::new(drive_name("oai21", d), 3);
+    let out = b.node();
+    let x = b.node();
+    let y = b.node();
+    // PDN: (A || B) series C.
+    b.nmos(out, a, x, WN * d * 1.5);
+    b.nmos(out, bb, x, WN * d * 1.5);
+    b.nmos(x, c, GND, WN * d * 1.5);
+    // PUN: A-B series, C parallel.
+    b.pmos(y, a, VDD, WP * d * 1.5);
+    b.pmos(out, bb, y, WP * d * 1.5);
+    b.pmos(out, c, VDD, WP * d);
+    b.hint(out, InitHint::Fraction(0.5));
+    b.hint(x, InitHint::Fraction(0.05));
+    b.hint(y, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// OAI22: `out = !((A+B)·(C+D))`.
+fn oai22_cell(d: f64) -> CellNetlist {
+    let (a, bb, c, dd) = (
+        input_node(0),
+        input_node(1),
+        input_node(2),
+        input_node(3),
+    );
+    let mut b = NetlistBuilder::new(drive_name("oai22", d), 4);
+    let out = b.node();
+    let x = b.node();
+    let y1 = b.node();
+    let y2 = b.node();
+    b.nmos(out, a, x, WN * d * 1.5);
+    b.nmos(out, bb, x, WN * d * 1.5);
+    b.nmos(x, c, GND, WN * d * 1.5);
+    b.nmos(x, dd, GND, WN * d * 1.5);
+    b.pmos(y1, a, VDD, WP * d * 1.5);
+    b.pmos(out, bb, y1, WP * d * 1.5);
+    b.pmos(y2, c, VDD, WP * d * 1.5);
+    b.pmos(out, dd, y2, WP * d * 1.5);
+    b.hint(out, InitHint::Fraction(0.5));
+    b.hint(x, InitHint::Fraction(0.05));
+    b.hint(y1, InitHint::Fraction(0.95));
+    b.hint(y2, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// OAI211: `out = !((A+B)·C·D)`.
+fn oai211_cell(d: f64) -> CellNetlist {
+    let (a, bb, c, dd) = (
+        input_node(0),
+        input_node(1),
+        input_node(2),
+        input_node(3),
+    );
+    let mut b = NetlistBuilder::new(drive_name("oai211", d), 4);
+    let out = b.node();
+    let x1 = b.node();
+    let x2 = b.node();
+    let y = b.node();
+    // PDN: (A||B)–C–D series chain.
+    b.nmos(out, a, x1, WN * d * 2.0);
+    b.nmos(out, bb, x1, WN * d * 2.0);
+    b.nmos(x1, c, x2, WN * d * 2.0);
+    b.nmos(x2, dd, GND, WN * d * 2.0);
+    // PUN: (A series B) || C || D.
+    b.pmos(y, a, VDD, WP * d * 1.5);
+    b.pmos(out, bb, y, WP * d * 1.5);
+    b.pmos(out, c, VDD, WP * d);
+    b.pmos(out, dd, VDD, WP * d);
+    b.hint(out, InitHint::Fraction(0.5));
+    b.hint(x1, InitHint::Fraction(0.05));
+    b.hint(x2, InitHint::Fraction(0.05));
+    b.hint(y, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// Static-CMOS XOR2 (or XNOR2 when `invert` is true), inputs (A, B).
+fn xor2_cell(d: f64, invert: bool) -> CellNetlist {
+    let base = if invert { "xnor2" } else { "xor2" };
+    let (a, bb) = (input_node(0), input_node(1));
+    let mut b = NetlistBuilder::new(drive_name(base, d), 2);
+    let an = b.node();
+    let bn = b.node();
+    let out = b.node();
+    let x1 = b.node();
+    let x2 = b.node();
+    let y1 = b.node();
+    let y2 = b.node();
+    inv_stage(&mut b, a, an, 1.0);
+    inv_stage(&mut b, bb, bn, 1.0);
+    if !invert {
+        // XOR: PDN on when A == B.
+        b.nmos(out, a, x1, WN * d * 1.5);
+        b.nmos(x1, bb, GND, WN * d * 1.5);
+        b.nmos(out, an, x2, WN * d * 1.5);
+        b.nmos(x2, bn, GND, WN * d * 1.5);
+        // PUN on when A != B.
+        b.pmos(y1, a, VDD, WP * d * 1.5);
+        b.pmos(out, bn, y1, WP * d * 1.5);
+        b.pmos(y2, an, VDD, WP * d * 1.5);
+        b.pmos(out, bb, y2, WP * d * 1.5);
+    } else {
+        // XNOR: PDN on when A != B.
+        b.nmos(out, a, x1, WN * d * 1.5);
+        b.nmos(x1, bn, GND, WN * d * 1.5);
+        b.nmos(out, an, x2, WN * d * 1.5);
+        b.nmos(x2, bb, GND, WN * d * 1.5);
+        // PUN on when A == B.
+        b.pmos(y1, a, VDD, WP * d * 1.5);
+        b.pmos(out, bb, y1, WP * d * 1.5);
+        b.pmos(y2, an, VDD, WP * d * 1.5);
+        b.pmos(out, bn, y2, WP * d * 1.5);
+    }
+    b.hint(
+        an,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: true,
+        },
+    );
+    b.hint(
+        bn,
+        InitHint::FollowInput {
+            input: 1,
+            inverted: true,
+        },
+    );
+    b.hint(out, InitHint::Fraction(0.5));
+    b.hint(x1, InitHint::Fraction(0.05));
+    b.hint(x2, InitHint::Fraction(0.05));
+    b.hint(y1, InitHint::Fraction(0.95));
+    b.hint(y2, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// Transmission-gate 2:1 mux with output inverter: `out = !(S ? B : A)`,
+/// inputs (A, B, S).
+fn mux2_cell(d: f64) -> CellNetlist {
+    let (a, bb, s) = (input_node(0), input_node(1), input_node(2));
+    let mut b = NetlistBuilder::new(drive_name("mux2", d), 3);
+    let sb = b.node();
+    let m = b.node();
+    let out = b.node();
+    inv_stage(&mut b, s, sb, 1.0);
+    // Pass A when S = 0.
+    b.nmos(m, sb, a, WN);
+    b.pmos(m, s, a, WP);
+    // Pass B when S = 1.
+    b.nmos(m, s, bb, WN);
+    b.pmos(m, sb, bb, WP);
+    inv_stage(&mut b, m, out, d);
+    b.hint(
+        sb,
+        InitHint::FollowInput {
+            input: 2,
+            inverted: true,
+        },
+    );
+    b.hint(m, InitHint::Fraction(0.5));
+    b.hint(out, InitHint::Fraction(0.5));
+    b.build().expect("static netlist")
+}
+
+/// Tristate buffer: `out = A` when `EN = 1`, hi-Z otherwise. Inputs (A, EN).
+fn tbuf_cell(d: f64) -> CellNetlist {
+    let (a, en) = (input_node(0), input_node(1));
+    let mut b = NetlistBuilder::new(drive_name("tbuf", d), 2);
+    let an = b.node();
+    let enb = b.node();
+    let t1 = b.node();
+    let t2 = b.node();
+    let out = b.node();
+    inv_stage(&mut b, a, an, 1.0);
+    inv_stage(&mut b, en, enb, 1.0);
+    // Tristate inverter driven by an: conducts when EN = 1.
+    b.pmos(t1, an, VDD, WP * d);
+    b.pmos(out, enb, t1, WP * d);
+    b.nmos(out, en, t2, WN * d);
+    b.nmos(t2, an, GND, WN * d);
+    b.hint(
+        an,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: true,
+        },
+    );
+    b.hint(
+        enb,
+        InitHint::FollowInput {
+            input: 1,
+            inverted: true,
+        },
+    );
+    b.hint(t1, InitHint::Fraction(0.95));
+    b.hint(t2, InitHint::Fraction(0.05));
+    b.hint(out, InitHint::Fraction(0.5));
+    b.build().expect("static netlist")
+}
+
+fn tgate(b: &mut NetlistBuilder, from: NodeId, to: NodeId, en_high: NodeId, en_low: NodeId) {
+    // Conducts when en_high = 1 (and en_low = 0, its complement).
+    b.nmos(to, en_high, from, WN);
+    b.pmos(to, en_low, from, WP);
+}
+
+/// Transparent-high D latch: inputs (D, EN).
+fn dlatch_cell(d: f64) -> CellNetlist {
+    let (din, en) = (input_node(0), input_node(1));
+    let mut b = NetlistBuilder::new(drive_name("dlatch", d), 2);
+    let enb = b.node();
+    let m = b.node();
+    let q = b.node();
+    let fb = b.node();
+    inv_stage(&mut b, en, enb, 1.0);
+    tgate(&mut b, din, m, en, enb);
+    inv_stage(&mut b, m, q, d);
+    inv_stage(&mut b, q, fb, 1.0);
+    tgate(&mut b, fb, m, enb, en);
+    b.hint(
+        enb,
+        InitHint::FollowInput {
+            input: 1,
+            inverted: true,
+        },
+    );
+    b.hint(
+        m,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: false,
+        },
+    );
+    b.hint(
+        q,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: true,
+        },
+    );
+    b.hint(
+        fb,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: false,
+        },
+    );
+    b.build().expect("static netlist")
+}
+
+/// Master-slave D flip-flop: inputs (D, CK). Master transparent at CK = 0.
+fn dff_cell(d: f64) -> CellNetlist {
+    let (din, ck) = (input_node(0), input_node(1));
+    let mut b = NetlistBuilder::new(drive_name("dff", d), 2);
+    let ckb = b.node();
+    let m = b.node();
+    let mq = b.node();
+    let mfb = b.node();
+    let s = b.node();
+    let q = b.node();
+    let sfb = b.node();
+    inv_stage(&mut b, ck, ckb, 1.0);
+    // Master: input tgate on CK = 0.
+    tgate(&mut b, din, m, ckb, ck);
+    inv_stage(&mut b, m, mq, 1.0);
+    inv_stage(&mut b, mq, mfb, 1.0);
+    tgate(&mut b, mfb, m, ck, ckb);
+    // Slave: input tgate on CK = 1.
+    tgate(&mut b, mq, s, ck, ckb);
+    inv_stage(&mut b, s, q, d);
+    inv_stage(&mut b, q, sfb, 1.0);
+    tgate(&mut b, sfb, s, ckb, ck);
+    let follow = |input: usize, inverted: bool| InitHint::FollowInput { input, inverted };
+    b.hint(ckb, follow(1, true));
+    b.hint(m, follow(0, false));
+    b.hint(mq, follow(0, true));
+    b.hint(mfb, follow(0, false));
+    b.hint(s, follow(0, true));
+    b.hint(q, follow(0, false));
+    b.hint(sfb, follow(0, true));
+    b.build().expect("static netlist")
+}
+
+/// 6-T SRAM bit cell. Single input = the stored bit (selects the stable
+/// state); wordline is off (gates at GND) and both bitlines sit at VDD,
+/// the standard retention-leakage setup.
+fn sram6t_cell() -> CellNetlist {
+    let mut b = NetlistBuilder::new("sram6t", 1);
+    let q = b.node();
+    let qb = b.node();
+    inv_stage(&mut b, q, qb, 0.75);
+    inv_stage(&mut b, qb, q, 0.75);
+    // Access transistors, off (gate at GND), bitlines at VDD.
+    b.nmos(VDD, GND, q, WN * 0.9);
+    b.nmos(VDD, GND, qb, WN * 0.9);
+    b.hint(
+        q,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: false,
+        },
+    );
+    b.hint(
+        qb,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: true,
+        },
+    );
+    b.build().expect("static netlist")
+}
+
+/// Half adder: `sum = A ⊕ B`, `carry = A·B`. Inputs (A, B).
+fn halfadder_cell() -> CellNetlist {
+    let (a, bb) = (input_node(0), input_node(1));
+    let mut b = NetlistBuilder::new("halfadder_x1", 2);
+    let an = b.node();
+    let bn = b.node();
+    let sum = b.node();
+    let x1 = b.node();
+    let x2 = b.node();
+    let y1 = b.node();
+    let y2 = b.node();
+    let cb = b.node();
+    let carry = b.node();
+    inv_stage(&mut b, a, an, 1.0);
+    inv_stage(&mut b, bb, bn, 1.0);
+    // XOR network for sum.
+    b.nmos(sum, a, x1, WN * 1.5);
+    b.nmos(x1, bb, GND, WN * 1.5);
+    b.nmos(sum, an, x2, WN * 1.5);
+    b.nmos(x2, bn, GND, WN * 1.5);
+    b.pmos(y1, a, VDD, WP * 1.5);
+    b.pmos(sum, bn, y1, WP * 1.5);
+    b.pmos(y2, an, VDD, WP * 1.5);
+    b.pmos(sum, bb, y2, WP * 1.5);
+    // NAND2 + INV for carry.
+    b.pmos(cb, a, VDD, WP);
+    b.pmos(cb, bb, VDD, WP);
+    let mid = b.node();
+    b.nmos(cb, a, mid, WN * 1.5);
+    b.nmos(mid, bb, GND, WN * 1.5);
+    inv_stage(&mut b, cb, carry, 1.0);
+    b.hint(
+        an,
+        InitHint::FollowInput {
+            input: 0,
+            inverted: true,
+        },
+    );
+    b.hint(
+        bn,
+        InitHint::FollowInput {
+            input: 1,
+            inverted: true,
+        },
+    );
+    for n in [sum, cb, carry] {
+        b.hint(n, InitHint::Fraction(0.5));
+    }
+    b.hint(x1, InitHint::Fraction(0.05));
+    b.hint(x2, InitHint::Fraction(0.05));
+    b.hint(mid, InitHint::Fraction(0.05));
+    b.hint(y1, InitHint::Fraction(0.95));
+    b.hint(y2, InitHint::Fraction(0.95));
+    b.build().expect("static netlist")
+}
+
+/// 28-T mirror full adder. Inputs (A, B, Ci); outputs `sum`, `cout`.
+fn fulladder_cell() -> CellNetlist {
+    let (a, bb, ci) = (input_node(0), input_node(1), input_node(2));
+    let mut b = NetlistBuilder::new("fulladder_x1", 3);
+    let cob = b.node(); // carry-out bar
+    let sb = b.node(); // sum bar
+    let cout = b.node();
+    let sum = b.node();
+    // --- cob stage PDN: (A·B) || (Ci·(A||B))
+    let x1 = b.node();
+    b.nmos(cob, a, x1, WN * 1.5);
+    b.nmos(x1, bb, GND, WN * 1.5);
+    let x2 = b.node();
+    b.nmos(cob, ci, x2, WN * 1.5);
+    b.nmos(x2, a, GND, WN * 1.5);
+    b.nmos(x2, bb, GND, WN * 1.5);
+    // --- cob stage PUN (mirror): (A||B seen from VDD)
+    let u1 = b.node();
+    b.pmos(u1, a, VDD, WP * 1.5);
+    b.pmos(cob, bb, u1, WP * 1.5);
+    let u2 = b.node();
+    b.pmos(u2, a, VDD, WP * 1.5);
+    b.pmos(u2, bb, VDD, WP * 1.5);
+    b.pmos(cob, ci, u2, WP * 1.5);
+    // --- sb stage PDN: (A·B·Ci) || (cob·(A||B||Ci))
+    let v1 = b.node();
+    let v2 = b.node();
+    b.nmos(sb, a, v1, WN * 2.0);
+    b.nmos(v1, bb, v2, WN * 2.0);
+    b.nmos(v2, ci, GND, WN * 2.0);
+    let v3 = b.node();
+    b.nmos(sb, cob, v3, WN * 2.0);
+    b.nmos(v3, a, GND, WN * 2.0);
+    b.nmos(v3, bb, GND, WN * 2.0);
+    b.nmos(v3, ci, GND, WN * 2.0);
+    // --- sb stage PUN mirrored
+    let w1 = b.node();
+    let w2 = b.node();
+    b.pmos(w1, a, VDD, WP * 2.0);
+    b.pmos(w2, bb, w1, WP * 2.0);
+    b.pmos(sb, ci, w2, WP * 2.0);
+    let w3 = b.node();
+    b.pmos(w3, a, VDD, WP * 2.0);
+    b.pmos(w3, bb, VDD, WP * 2.0);
+    b.pmos(w3, ci, VDD, WP * 2.0);
+    b.pmos(sb, cob, w3, WP * 2.0);
+    // Output inverters.
+    inv_stage(&mut b, cob, cout, 1.0);
+    inv_stage(&mut b, sb, sum, 1.0);
+    for n in [cob, sb, cout, sum] {
+        b.hint(n, InitHint::Fraction(0.5));
+    }
+    for n in [x1, x2, v1, v2, v3] {
+        b.hint(n, InitHint::Fraction(0.05));
+    }
+    for n in [u1, u2, w1, w2, w3] {
+        b.hint(n, InitHint::Fraction(0.95));
+    }
+    b.build().expect("static netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_process::Technology;
+    use leakage_sim::LeakageSolver;
+
+    #[test]
+    fn library_has_exactly_62_cells() {
+        let lib = CellLibrary::standard_62();
+        assert_eq!(lib.len(), 62);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let lib = CellLibrary::standard_62();
+        for (id, cell) in lib.iter() {
+            let looked_up = lib.cell_by_name(cell.name()).expect("name resolves");
+            assert_eq!(looked_up.id(), id);
+        }
+        assert!(lib.cell_by_name("nonexistent_x1").is_none());
+    }
+
+    #[test]
+    fn every_class_is_represented() {
+        use std::collections::HashSet;
+        let lib = CellLibrary::standard_62();
+        let classes: HashSet<_> = lib.cells().iter().map(|c| c.class()).collect();
+        assert_eq!(classes.len(), 15, "all 15 classes present");
+    }
+
+    #[test]
+    fn cell_ids_are_dense_and_ordered() {
+        let lib = CellLibrary::standard_62();
+        for (i, cell) in lib.cells().iter().enumerate() {
+            assert_eq!(cell.id(), CellId(i));
+        }
+    }
+
+    #[test]
+    fn areas_are_positive_and_scale_with_drive() {
+        let lib = CellLibrary::standard_62();
+        for cell in lib.cells() {
+            assert!(cell.area_um2() > 0.0, "cell {}", cell.name());
+        }
+        let x1 = lib.cell_by_name("inv_x1").unwrap().area_um2();
+        let x4 = lib.cell_by_name("inv_x4").unwrap().area_um2();
+        assert!(x4 > x1);
+    }
+
+    #[test]
+    fn all_cells_all_states_converge_with_positive_leakage() {
+        let lib = CellLibrary::standard_62();
+        let solver = LeakageSolver::new(&Technology::cmos90());
+        for cell in lib.cells() {
+            for state in 0..cell.n_states() {
+                let leak = solver
+                    .cell_leakage(cell.netlist(), state, 0.0, 0.0)
+                    .unwrap_or_else(|e| panic!("{} state {state}: {e}", cell.name()));
+                assert!(
+                    leak > 1e-14 && leak < 1e-4,
+                    "{} state {state}: leakage {leak}",
+                    cell.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_counts_match_function() {
+        let lib = CellLibrary::standard_62();
+        assert_eq!(lib.cell_by_name("inv_x1").unwrap().n_inputs(), 1);
+        assert_eq!(lib.cell_by_name("nand4_x1").unwrap().n_inputs(), 4);
+        assert_eq!(lib.cell_by_name("aoi22_x1").unwrap().n_inputs(), 4);
+        assert_eq!(lib.cell_by_name("mux2_x1").unwrap().n_inputs(), 3);
+        assert_eq!(lib.cell_by_name("fulladder_x1").unwrap().n_inputs(), 3);
+        assert_eq!(lib.cell_by_name("sram6t").unwrap().n_inputs(), 1);
+        assert_eq!(lib.cell_by_name("dff_x1").unwrap().n_inputs(), 2);
+    }
+
+    #[test]
+    fn fulladder_logic_levels() {
+        // Functional sanity of the mirror adder: check sum/cout for all 8
+        // input states via node voltages.
+        let lib = CellLibrary::standard_62();
+        let fa = lib.cell_by_name("fulladder_x1").unwrap();
+        let solver = LeakageSolver::new(&Technology::cmos90());
+        let vdd = 1.2;
+        // node ids: cob, sb, cout, sum are the first four internals
+        let first = 2 + fa.n_inputs();
+        let (cout_node, sum_node) = (first + 2, first + 3);
+        for state in 0..8u32 {
+            let a = state & 1;
+            let b = (state >> 1) & 1;
+            let ci = (state >> 2) & 1;
+            let total = a + b + ci;
+            let want_sum = total % 2 == 1;
+            let want_cout = total >= 2;
+            let sol = solver.solve(fa.netlist(), state, 0.0, &[]).unwrap();
+            let vs = sol.voltages[sum_node];
+            let vc = sol.voltages[cout_node];
+            assert_eq!(vs > vdd / 2.0, want_sum, "state {state}: sum = {vs}");
+            assert_eq!(vc > vdd / 2.0, want_cout, "state {state}: cout = {vc}");
+        }
+    }
+
+    #[test]
+    fn xor_logic_levels() {
+        let lib = CellLibrary::standard_62();
+        let solver = LeakageSolver::new(&Technology::cmos90());
+        let xor = lib.cell_by_name("xor2_x1").unwrap();
+        let xnor = lib.cell_by_name("xnor2_x1").unwrap();
+        // out node is the 3rd internal (after an, bn)
+        let out = 2 + 2 + 2;
+        for state in 0..4u32 {
+            let a = state & 1;
+            let b = (state >> 1) & 1;
+            let sol = solver.solve(xor.netlist(), state, 0.0, &[]).unwrap();
+            assert_eq!(
+                sol.voltages[out] > 0.6,
+                (a ^ b) == 1,
+                "xor state {state}: {}",
+                sol.voltages[out]
+            );
+            let sol = solver.solve(xnor.netlist(), state, 0.0, &[]).unwrap();
+            assert_eq!(
+                sol.voltages[out] > 0.6,
+                (a ^ b) == 0,
+                "xnor state {state}: {}",
+                sol.voltages[out]
+            );
+        }
+    }
+
+    #[test]
+    fn sram_retains_both_states() {
+        let lib = CellLibrary::standard_62();
+        let solver = LeakageSolver::new(&Technology::cmos90());
+        let sram = lib.cell_by_name("sram6t").unwrap();
+        let q = 2 + 1; // first internal
+        let sol0 = solver.solve(sram.netlist(), 0, 0.0, &[]).unwrap();
+        let sol1 = solver.solve(sram.netlist(), 1, 0.0, &[]).unwrap();
+        assert!(sol0.voltages[q] < 0.3, "stored 0: q = {}", sol0.voltages[q]);
+        assert!(sol1.voltages[q] > 0.9, "stored 1: q = {}", sol1.voltages[q]);
+    }
+
+    #[test]
+    fn stack_effect_visible_in_library_nand4() {
+        let lib = CellLibrary::standard_62();
+        let solver = LeakageSolver::new(&Technology::cmos90());
+        let nand4 = lib.cell_by_name("nand4_x1").unwrap();
+        let all_low = solver.cell_leakage(nand4.netlist(), 0b0000, 0.0, 0.0).unwrap();
+        let one_low = solver.cell_leakage(nand4.netlist(), 0b0111, 0.0, 0.0).unwrap();
+        assert!(
+            one_low / all_low > 4.0,
+            "deep stack ratio {}",
+            one_low / all_low
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! Statistical leakage models of characterized cells.
+//!
+//! Each (cell, input-state) pair carries either fitted `(a, b, c)`
+//! parameters of the Rao et al. functional form `X = a·exp(bΔL + cΔL²)`
+//! (analytical path) or Monte-Carlo moments. `ΔL` is the deviation of the
+//! channel length from nominal in nm, so the underlying Gaussian is
+//! `ΔL ~ N(0, σ_L)`; this is the paper's model up to a shift of variable.
+
+use crate::error::CellError;
+use crate::library::CellId;
+use leakage_numeric::quadform::gaussian_quadratic_mgf;
+use serde::{Deserialize, Serialize};
+
+/// Fitted leakage model `X = a·exp(b·ΔL + c·ΔL²)` for one cell and input
+/// state (`ΔL` in nm).
+///
+/// # Example
+///
+/// ```
+/// use leakage_cells::LeakageTriplet;
+///
+/// let t = LeakageTriplet::new(1e-9, -0.15, 0.004)?;
+/// let sigma = 4.5;
+/// let mean = t.mean(sigma)?;
+/// let std = t.std(sigma)?;
+/// assert!(mean > 0.0 && std > 0.0);
+/// // lognormal-like: mean exceeds the nominal-corner value
+/// assert!(mean > t.eval(0.0));
+/// # Ok::<(), leakage_cells::CellError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageTriplet {
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl LeakageTriplet {
+    /// Creates a triplet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidArgument`] if `a ≤ 0` or any parameter
+    /// is non-finite.
+    pub fn new(a: f64, b: f64, c: f64) -> Result<LeakageTriplet, CellError> {
+        if !(a > 0.0) || !a.is_finite() || !b.is_finite() || !c.is_finite() {
+            return Err(CellError::InvalidArgument {
+                reason: format!("invalid triplet (a={a}, b={b}, c={c})"),
+            });
+        }
+        Ok(LeakageTriplet { a, b, c })
+    }
+
+    /// Scale parameter `a` (A).
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Linear exponent coefficient `b` (1/nm).
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Quadratic exponent coefficient `c` (1/nm²).
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Deterministic leakage at a given `ΔL` (nm).
+    pub fn eval(&self, dl: f64) -> f64 {
+        self.a * (self.b * dl + self.c * dl * dl).exp()
+    }
+
+    /// Mean leakage under `ΔL ~ N(0, σ)`: `μ_X = M_Y(1)` (paper Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the MGF does not exist at `t = 1`
+    /// (`1 − 2cσ² ≤ 0`).
+    pub fn mean(&self, sigma: f64) -> Result<f64, CellError> {
+        Ok(gaussian_quadratic_mgf(
+            1.0,
+            self.c,
+            self.b,
+            self.a.ln(),
+            0.0,
+            sigma,
+        )?)
+    }
+
+    /// Second moment `E[X²] = M_Y(2)` (paper Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the MGF does not exist at `t = 2`.
+    pub fn second_moment(&self, sigma: f64) -> Result<f64, CellError> {
+        Ok(gaussian_quadratic_mgf(
+            2.0,
+            self.c,
+            self.b,
+            self.a.ln(),
+            0.0,
+            sigma,
+        )?)
+    }
+
+    /// Variance `E[X²] − μ²`.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageTriplet::second_moment`].
+    pub fn variance(&self, sigma: f64) -> Result<f64, CellError> {
+        let m = self.mean(sigma)?;
+        Ok((self.second_moment(sigma)? - m * m).max(0.0))
+    }
+
+    /// Standard deviation of the leakage.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageTriplet::second_moment`].
+    pub fn std(&self, sigma: f64) -> Result<f64, CellError> {
+        Ok(self.variance(sigma)?.sqrt())
+    }
+}
+
+/// Per-input-state leakage model of a characterized cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateModel {
+    /// Input state (bit `i` = input pin `i`).
+    pub state: u32,
+    /// Fitted functional form (present on the analytical path).
+    pub triplet: Option<LeakageTriplet>,
+    /// Mean leakage (A), by the active characterization method.
+    pub mean: f64,
+    /// Leakage standard deviation (A).
+    pub std: f64,
+    /// R² of the log-space fit (analytical path only).
+    pub fit_r2: Option<f64>,
+}
+
+/// A cell with leakage statistics for every input state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizedCell {
+    /// Library id of the cell.
+    pub id: CellId,
+    /// Cell name.
+    pub name: String,
+    /// Number of input pins.
+    pub n_inputs: usize,
+    /// Per-state models, indexed by state.
+    pub states: Vec<StateModel>,
+}
+
+impl CharacterizedCell {
+    /// The model for one input state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn state(&self, state: u32) -> &StateModel {
+        &self.states[state as usize]
+    }
+
+    /// The input state with the highest mean leakage (ties: lowest state
+    /// index) — the worst-case vector for this cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no states (cannot happen for characterized
+    /// cells).
+    pub fn max_leakage_state(&self) -> &StateModel {
+        self.states
+            .iter()
+            .max_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"))
+            .expect("characterized cells have at least one state")
+    }
+
+    /// The input state with the lowest mean leakage — the sleep vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no states.
+    pub fn min_leakage_state(&self) -> &StateModel {
+        self.states
+            .iter()
+            .min_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"))
+            .expect("characterized cells have at least one state")
+    }
+
+    /// Ratio of the leakiest to the quietest state mean (the paper's
+    /// "spread of 10X in some cases", §2.1.4).
+    pub fn state_spread(&self) -> f64 {
+        self.max_leakage_state().mean / self.min_leakage_state().mean
+    }
+
+    /// Mixture mean and standard deviation over input states with the
+    /// given state probabilities (which must sum to ≈ 1 and match the
+    /// state count).
+    ///
+    /// Mixture moments: `μ = Σ π_s μ_s`, `E[X²] = Σ π_s (σ_s² + μ_s²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidArgument`] on a length mismatch or
+    /// non-normalized probabilities.
+    pub fn mixture_stats(&self, probs: &[f64]) -> Result<(f64, f64), CellError> {
+        if probs.len() != self.states.len() {
+            return Err(CellError::InvalidArgument {
+                reason: format!(
+                    "{}: {} state probabilities for {} states",
+                    self.name,
+                    probs.len(),
+                    self.states.len()
+                ),
+            });
+        }
+        let total: f64 = probs.iter().sum();
+        if (total - 1.0).abs() > 1e-9 || probs.iter().any(|p| *p < 0.0) {
+            return Err(CellError::InvalidArgument {
+                reason: format!("state probabilities must be a distribution (sum {total})"),
+            });
+        }
+        let mut mean = 0.0;
+        let mut second = 0.0;
+        for (s, p) in self.states.iter().zip(probs) {
+            mean += p * s.mean;
+            second += p * (s.std * s.std + s.mean * s.mean);
+        }
+        Ok((mean, (second - mean * mean).max(0.0).sqrt()))
+    }
+}
+
+/// A fully characterized library plus the L-distribution it was
+/// characterized under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizedLibrary {
+    /// Per-cell characterizations, indexed by [`CellId`].
+    pub cells: Vec<CharacterizedCell>,
+    /// Total channel-length sigma used (nm).
+    pub l_sigma: f64,
+}
+
+impl CharacterizedLibrary {
+    /// The characterization of one cell.
+    pub fn cell(&self, id: CellId) -> Option<&CharacterizedCell> {
+        self.cells.get(id.0)
+    }
+
+    /// Number of characterized cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Multiplicative correction to the mean leakage from independent RDF
+/// threshold-voltage variation (§2.1): for `I ∝ exp(−V_t/(n·V_T))` with
+/// `V_t ~ N(0, σ_vt)` the lognormal mean factor is
+/// `exp(σ_vt² / (2 n² V_T²))`.
+///
+/// The corresponding *variance* contribution averages out over a large
+/// chip (independent per device) and is therefore ignored by the model —
+/// the `vt_ablation` experiment quantifies this.
+///
+/// # Example
+///
+/// ```
+/// let f = leakage_cells::model::vt_mean_multiplier(0.02, 1.5, 0.02585);
+/// assert!(f > 1.0 && f < 1.3);
+/// ```
+pub fn vt_mean_multiplier(sigma_vt: f64, n_factor: f64, v_thermal: f64) -> f64 {
+    let s = sigma_vt / (n_factor * v_thermal);
+    (0.5 * s * s).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triplet() -> LeakageTriplet {
+        LeakageTriplet::new(1e-9, -0.15, 0.003).unwrap()
+    }
+
+    #[test]
+    fn triplet_rejects_invalid() {
+        assert!(LeakageTriplet::new(0.0, 1.0, 1.0).is_err());
+        assert!(LeakageTriplet::new(-1.0, 1.0, 1.0).is_err());
+        assert!(LeakageTriplet::new(1.0, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn moments_match_quadrature() {
+        let t = triplet();
+        let sigma = 4.5;
+        let mean = t.mean(sigma).unwrap();
+        // quadrature of eval * normal pdf
+        let numeric = leakage_numeric::integrate::gauss_legendre(
+            |dl| {
+                let z = dl / sigma;
+                t.eval(dl) * (-0.5 * z * z).exp()
+                    / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+            },
+            -10.0 * sigma,
+            10.0 * sigma,
+            128,
+        );
+        assert!((mean - numeric).abs() / numeric < 1e-9, "{mean} vs {numeric}");
+    }
+
+    #[test]
+    fn pure_lognormal_limit() {
+        // c = 0: X = a·exp(bΔL), mean = a·exp(b²σ²/2).
+        let t = LeakageTriplet::new(2e-9, -0.1, 0.0).unwrap();
+        let sigma = 3.0;
+        let expect = 2e-9 * (0.01 * 9.0 / 2.0_f64).exp();
+        assert!((t.mean(sigma).unwrap() - expect).abs() / expect < 1e-12);
+        // variance: a²e^{b²σ²}(e^{b²σ²}−1)
+        let w = (0.01_f64 * 9.0).exp();
+        let expect_var = 4e-18 * w * (w - 1.0);
+        assert!((t.variance(sigma).unwrap() - expect_var).abs() / expect_var < 1e-9);
+    }
+
+    #[test]
+    fn mgf_divergence_reported() {
+        // huge positive c: E[X] diverges
+        let t = LeakageTriplet::new(1e-9, 0.0, 10.0).unwrap();
+        assert!(t.mean(1.0).is_err());
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let t = triplet();
+        assert!((t.mean(0.0).unwrap() - 1e-9).abs() < 1e-24);
+        assert!(t.std(0.0).unwrap() < 1e-20);
+    }
+
+    fn two_state_cell() -> CharacterizedCell {
+        CharacterizedCell {
+            id: CellId(0),
+            name: "inv_x1".into(),
+            n_inputs: 1,
+            states: vec![
+                StateModel {
+                    state: 0,
+                    triplet: None,
+                    mean: 2.0,
+                    std: 0.5,
+                    fit_r2: None,
+                },
+                StateModel {
+                    state: 1,
+                    triplet: None,
+                    mean: 4.0,
+                    std: 1.0,
+                    fit_r2: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn state_extremes_and_spread() {
+        let cell = two_state_cell();
+        assert_eq!(cell.max_leakage_state().state, 1);
+        assert_eq!(cell.min_leakage_state().state, 0);
+        assert!((cell.state_spread() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_stats_hand_computed() {
+        let cell = two_state_cell();
+        let (m, s) = cell.mixture_stats(&[0.5, 0.5]).unwrap();
+        assert!((m - 3.0).abs() < 1e-12);
+        // E[X²] = 0.5(0.25+4) + 0.5(1+16) = 2.125 + 8.5 = 10.625
+        // var = 10.625 - 9 = 1.625
+        assert!((s - 1.625_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_degenerate_prob_recovers_state() {
+        let cell = two_state_cell();
+        let (m, s) = cell.mixture_stats(&[1.0, 0.0]).unwrap();
+        assert_eq!((m, s), (2.0, 0.5));
+    }
+
+    #[test]
+    fn mixture_rejects_bad_probs() {
+        let cell = two_state_cell();
+        assert!(cell.mixture_stats(&[0.5]).is_err());
+        assert!(cell.mixture_stats(&[0.7, 0.7]).is_err());
+        assert!(cell.mixture_stats(&[-0.5, 1.5]).is_err());
+    }
+
+    #[test]
+    fn vt_multiplier_properties() {
+        // no variation -> no correction
+        assert_eq!(vt_mean_multiplier(0.0, 1.5, 0.026), 1.0);
+        // bigger sigma -> bigger correction
+        let f1 = vt_mean_multiplier(0.02, 1.5, 0.026);
+        let f2 = vt_mean_multiplier(0.04, 1.5, 0.026);
+        assert!(f2 > f1 && f1 > 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Usage-histogram presets for early-mode estimation.
+//!
+//! Before a netlist exists, the usage histogram is an *expected* quantity
+//! (paper §1: "specified as expected values based on previous design
+//! experience"). These presets encode the gate mixes of common design
+//! styles so planning sweeps have realistic starting points.
+
+use crate::error::CellError;
+use crate::histogram::UsageHistogram;
+use crate::library::CellLibrary;
+
+fn from_mix(lib: &CellLibrary, mix: &[(&str, f64)]) -> Result<UsageHistogram, CellError> {
+    let mut weights = vec![0.0; lib.len()];
+    for (name, w) in mix {
+        let cell = lib.cell_by_name(name).ok_or_else(|| CellError::UnknownCell {
+            what: (*name).to_owned(),
+        })?;
+        weights[cell.id().0] += *w;
+    }
+    UsageHistogram::from_weights(weights)
+}
+
+/// Control-dominated logic: NAND/NOR/inverter heavy, a sprinkle of complex
+/// gates, ~8 % sequential.
+///
+/// # Errors
+///
+/// Returns [`CellError::UnknownCell`] if the library lacks a preset cell
+/// (never for [`CellLibrary::standard_62`]).
+pub fn control_logic(lib: &CellLibrary) -> Result<UsageHistogram, CellError> {
+    from_mix(
+        lib,
+        &[
+            ("inv_x1", 18.0),
+            ("inv_x2", 6.0),
+            ("buf_x1", 5.0),
+            ("nand2_x1", 22.0),
+            ("nand3_x1", 7.0),
+            ("nor2_x1", 13.0),
+            ("nor3_x1", 4.0),
+            ("aoi21_x1", 4.0),
+            ("oai21_x1", 4.0),
+            ("and2_x1", 5.0),
+            ("or2_x1", 4.0),
+            ("dff_x1", 8.0),
+        ],
+    )
+}
+
+/// Datapath: arithmetic cells, XORs and muxes dominate, wider drives.
+///
+/// # Errors
+///
+/// Returns [`CellError::UnknownCell`] if the library lacks a preset cell.
+pub fn datapath(lib: &CellLibrary) -> Result<UsageHistogram, CellError> {
+    from_mix(
+        lib,
+        &[
+            ("fulladder_x1", 14.0),
+            ("halfadder_x1", 6.0),
+            ("xor2_x1", 12.0),
+            ("xnor2_x1", 6.0),
+            ("mux2_x1", 10.0),
+            ("mux2_x2", 4.0),
+            ("nand2_x2", 10.0),
+            ("nor2_x2", 6.0),
+            ("inv_x2", 10.0),
+            ("buf_x2", 6.0),
+            ("and2_x2", 6.0),
+            ("dff_x2", 10.0),
+        ],
+    )
+}
+
+/// Memory-dominated block: mostly SRAM bit cells with peripheral logic.
+///
+/// # Errors
+///
+/// Returns [`CellError::UnknownCell`] if the library lacks a preset cell.
+pub fn memory_dominated(lib: &CellLibrary) -> Result<UsageHistogram, CellError> {
+    from_mix(
+        lib,
+        &[
+            ("sram6t", 70.0),
+            ("inv_x1", 6.0),
+            ("inv_x4", 3.0),
+            ("nand2_x1", 6.0),
+            ("nor2_x1", 4.0),
+            ("buf_x4", 3.0),
+            ("tbuf_x1", 3.0),
+            ("dff_x1", 5.0),
+        ],
+    )
+}
+
+/// Clock-tree / repeater fabric: buffers and wide inverters.
+///
+/// # Errors
+///
+/// Returns [`CellError::UnknownCell`] if the library lacks a preset cell.
+pub fn clock_tree(lib: &CellLibrary) -> Result<UsageHistogram, CellError> {
+    from_mix(
+        lib,
+        &[
+            ("buf_x2", 20.0),
+            ("buf_x4", 25.0),
+            ("buf_x8", 20.0),
+            ("inv_x4", 15.0),
+            ("inv_x8", 12.0),
+            ("inv_x16", 8.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellId;
+
+    #[test]
+    fn all_presets_build_on_standard_library() {
+        let lib = CellLibrary::standard_62();
+        for (name, preset) in [
+            ("control", control_logic(&lib)),
+            ("datapath", datapath(&lib)),
+            ("memory", memory_dominated(&lib)),
+            ("clock", clock_tree(&lib)),
+        ] {
+            let h = preset.unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(h.len(), 62);
+            assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(!h.support().is_empty());
+        }
+    }
+
+    #[test]
+    fn memory_preset_is_sram_dominated() {
+        let lib = CellLibrary::standard_62();
+        let h = memory_dominated(&lib).unwrap();
+        let sram = lib.cell_by_name("sram6t").unwrap().id();
+        assert!(h.alpha(sram) > 0.5);
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let lib = CellLibrary::standard_62();
+        let c = control_logic(&lib).unwrap();
+        let d = datapath(&lib).unwrap();
+        assert_ne!(c.probs(), d.probs());
+    }
+
+    #[test]
+    fn unknown_cell_is_reported() {
+        let lib = CellLibrary::standard_62();
+        let r = from_mix(&lib, &[("tardis_x1", 1.0)]);
+        assert!(matches!(r, Err(CellError::UnknownCell { .. })));
+        let _ = CellId(0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Input states and signal probabilities (paper §2.1.4).
+//!
+//! Each cell is characterized for *all* input states; the probability of
+//! a state follows from the signal probabilities of the inputs (assumed
+//! independent). The paper's conservative policy is implemented in
+//! [`max_mean_signal_probability`]: sweep a global signal probability and
+//! keep the setting that maximizes the design's mean leakage.
+
+use crate::error::CellError;
+use crate::histogram::UsageHistogram;
+use crate::model::CharacterizedLibrary;
+
+/// State probabilities for a cell with `n_inputs` pins when every input
+/// has (independent) probability `p` of being logic 1. Entry `s` is
+/// `P{state = s} = p^{popcount(s)} (1−p)^{n−popcount(s)}`.
+///
+/// # Errors
+///
+/// Returns [`CellError::InvalidArgument`] if `p ∉ [0, 1]` or
+/// `n_inputs ≥ 32`.
+///
+/// # Example
+///
+/// ```
+/// let probs = leakage_cells::state::state_probabilities(2, 0.5)?;
+/// assert_eq!(probs.len(), 4);
+/// assert!(probs.iter().all(|p| (p - 0.25).abs() < 1e-12));
+/// # Ok::<(), leakage_cells::CellError>(())
+/// ```
+pub fn state_probabilities(n_inputs: usize, p: f64) -> Result<Vec<f64>, CellError> {
+    per_input_state_probabilities(&vec![p; n_inputs])
+}
+
+/// State probabilities when each input pin `i` has its own probability
+/// `ps[i]` of being logic 1.
+///
+/// # Errors
+///
+/// Returns [`CellError::InvalidArgument`] if any probability is outside
+/// `[0, 1]` or there are 32+ inputs.
+pub fn per_input_state_probabilities(ps: &[f64]) -> Result<Vec<f64>, CellError> {
+    if ps.len() >= 32 {
+        return Err(CellError::InvalidArgument {
+            reason: format!("{} inputs is not a standard cell", ps.len()),
+        });
+    }
+    if ps.iter().any(|p| !(0.0..=1.0).contains(p)) {
+        return Err(CellError::InvalidArgument {
+            reason: "signal probabilities must lie in [0, 1]".into(),
+        });
+    }
+    let n_states = 1usize << ps.len();
+    let mut out = Vec::with_capacity(n_states);
+    for s in 0..n_states {
+        let mut prob = 1.0;
+        for (i, p) in ps.iter().enumerate() {
+            prob *= if (s >> i) & 1 == 1 { *p } else { 1.0 - *p };
+        }
+        out.push(prob);
+    }
+    Ok(out)
+}
+
+/// Design-level leakage mean and std at a global signal probability `p`:
+/// the histogram-weighted mixture over cells and their input states
+/// (paper Eqs. 7–8 with state-probability-weighted cell statistics).
+///
+/// # Errors
+///
+/// Returns [`CellError::InvalidArgument`] if the histogram and library
+/// lengths disagree or `p` is out of range.
+pub fn design_stats_at_probability(
+    lib: &CharacterizedLibrary,
+    histogram: &UsageHistogram,
+    p: f64,
+) -> Result<(f64, f64), CellError> {
+    if histogram.len() != lib.len() {
+        return Err(CellError::InvalidArgument {
+            reason: format!(
+                "histogram covers {} cells, library has {}",
+                histogram.len(),
+                lib.len()
+            ),
+        });
+    }
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    for (cell, alpha) in lib.cells.iter().zip(histogram.probs()) {
+        if *alpha == 0.0 {
+            continue;
+        }
+        let probs = state_probabilities(cell.n_inputs, p)?;
+        let (m, s) = cell.mixture_stats(&probs)?;
+        mean += alpha * m;
+        second += alpha * (s * s + m * m);
+    }
+    Ok((mean, (second - mean * mean).max(0.0).sqrt()))
+}
+
+/// Result of the conservative signal-probability search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalProbabilityOptimum {
+    /// The maximizing global signal probability.
+    pub p: f64,
+    /// Design mean leakage at the optimum (A per gate).
+    pub mean: f64,
+    /// Design leakage standard deviation at the optimum (A per gate).
+    pub std: f64,
+}
+
+/// Finds the global signal probability in `[0, 1]` that maximizes the
+/// design's mean leakage (the paper's conservative setting, §2.1.4),
+/// by evaluating `grid_points ≥ 2` equally spaced candidates.
+///
+/// # Errors
+///
+/// Returns [`CellError::InvalidArgument`] for a degenerate grid or
+/// mismatched histogram.
+pub fn max_mean_signal_probability(
+    lib: &CharacterizedLibrary,
+    histogram: &UsageHistogram,
+    grid_points: usize,
+) -> Result<SignalProbabilityOptimum, CellError> {
+    if grid_points < 2 {
+        return Err(CellError::InvalidArgument {
+            reason: "need at least two grid points".into(),
+        });
+    }
+    let mut best: Option<SignalProbabilityOptimum> = None;
+    for i in 0..grid_points {
+        let p = i as f64 / (grid_points - 1) as f64;
+        let (mean, std) = design_stats_at_probability(lib, histogram, p)?;
+        if best.is_none_or(|b| mean > b.mean) {
+            best = Some(SignalProbabilityOptimum { p, mean, std });
+        }
+    }
+    Ok(best.expect("grid_points >= 2 guarantees at least one candidate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellId;
+    use crate::model::{CharacterizedCell, StateModel};
+
+    #[test]
+    fn state_probabilities_sum_to_one() {
+        for n in 0..5 {
+            for p in [0.0, 0.3, 0.5, 1.0] {
+                let probs = state_probabilities(n, p).unwrap();
+                assert_eq!(probs.len(), 1 << n);
+                let total: f64 = probs.iter().sum();
+                assert!((total - 1.0).abs() < 1e-12, "n={n}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities_are_deterministic() {
+        let probs = state_probabilities(3, 1.0).unwrap();
+        assert_eq!(probs[7], 1.0);
+        assert!(probs[..7].iter().all(|p| *p == 0.0));
+        let probs = state_probabilities(3, 0.0).unwrap();
+        assert_eq!(probs[0], 1.0);
+    }
+
+    #[test]
+    fn per_input_probabilities() {
+        let probs = per_input_state_probabilities(&[1.0, 0.0]).unwrap();
+        // state bit0 = input0 = 1, bit1 = input1 = 0 -> state 0b01
+        assert_eq!(probs[0b01], 1.0);
+        assert_eq!(probs.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        assert!(state_probabilities(2, -0.1).is_err());
+        assert!(state_probabilities(2, 1.5).is_err());
+        assert!(per_input_state_probabilities(&[0.5; 32]).is_err());
+    }
+
+    fn toy_library() -> CharacterizedLibrary {
+        // One inverter-like cell: leaks more when input is 0.
+        let cell = CharacterizedCell {
+            id: CellId(0),
+            name: "inv".into(),
+            n_inputs: 1,
+            states: vec![
+                StateModel {
+                    state: 0,
+                    triplet: None,
+                    mean: 10.0,
+                    std: 2.0,
+                    fit_r2: None,
+                },
+                StateModel {
+                    state: 1,
+                    triplet: None,
+                    mean: 2.0,
+                    std: 0.5,
+                    fit_r2: None,
+                },
+            ],
+        };
+        CharacterizedLibrary {
+            cells: vec![cell],
+            l_sigma: 4.5,
+        }
+    }
+
+    #[test]
+    fn design_stats_interpolate_between_states() {
+        let lib = toy_library();
+        let h = UsageHistogram::uniform(1).unwrap();
+        let (m0, _) = design_stats_at_probability(&lib, &h, 0.0).unwrap();
+        let (m1, _) = design_stats_at_probability(&lib, &h, 1.0).unwrap();
+        let (mh, _) = design_stats_at_probability(&lib, &h, 0.5).unwrap();
+        assert_eq!(m0, 10.0);
+        assert_eq!(m1, 2.0);
+        assert!((mh - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimum_finds_leakiest_setting() {
+        let lib = toy_library();
+        let h = UsageHistogram::uniform(1).unwrap();
+        let opt = max_mean_signal_probability(&lib, &h, 11).unwrap();
+        assert_eq!(opt.p, 0.0, "input low maximizes inverter leakage");
+        assert_eq!(opt.mean, 10.0);
+    }
+
+    #[test]
+    fn optimum_rejects_degenerate_grid() {
+        let lib = toy_library();
+        let h = UsageHistogram::uniform(1).unwrap();
+        assert!(max_mean_signal_probability(&lib, &h, 1).is_err());
+    }
+
+    #[test]
+    fn design_stats_reject_mismatch() {
+        let lib = toy_library();
+        let h = UsageHistogram::uniform(2).unwrap();
+        assert!(design_stats_at_probability(&lib, &h, 0.5).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the cell-model layer on synthetic
+//! characterizations (no transistor solves — these check the statistical
+//! algebra, not the simulator).
+
+use leakage_cells::corrmap::{cell_leakage_covariance, CorrelationPolicy};
+use leakage_cells::library::CellId;
+use leakage_cells::model::{CharacterizedCell, StateModel};
+use leakage_cells::state::{per_input_state_probabilities, state_probabilities};
+use leakage_cells::{LeakageTriplet, UsageHistogram};
+use proptest::prelude::*;
+
+const SIGMA: f64 = 4.5;
+
+fn triplet_strategy() -> impl Strategy<Value = LeakageTriplet> {
+    (1e-10_f64..1e-8, -0.09_f64..-0.02, 1e-5_f64..1e-3)
+        .prop_map(|(a, b, c)| LeakageTriplet::new(a, b, c).expect("valid"))
+}
+
+fn cell_strategy(n_inputs: usize) -> impl Strategy<Value = CharacterizedCell> {
+    proptest::collection::vec(triplet_strategy(), 1 << n_inputs).prop_map(move |ts| {
+        CharacterizedCell {
+            id: CellId(0),
+            name: format!("syn{n_inputs}"),
+            n_inputs,
+            states: ts
+                .into_iter()
+                .enumerate()
+                .map(|(s, t)| StateModel {
+                    state: s as u32,
+                    mean: t.mean(SIGMA).expect("finite"),
+                    std: t.std(SIGMA).expect("finite"),
+                    triplet: Some(t),
+                    fit_r2: Some(1.0),
+                })
+                .collect(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mixture_mean_between_state_extremes(
+        cell in (0usize..3).prop_flat_map(cell_strategy),
+        p in 0.0_f64..=1.0,
+    ) {
+        let probs = state_probabilities(cell.n_inputs, p).unwrap();
+        let (mean, std) = cell.mixture_stats(&probs).unwrap();
+        let lo = cell.min_leakage_state().mean;
+        let hi = cell.max_leakage_state().mean;
+        prop_assert!(mean >= lo - 1e-18 && mean <= hi + 1e-18);
+        prop_assert!(std >= 0.0);
+        prop_assert!(cell.state_spread() >= 1.0);
+    }
+
+    #[test]
+    fn mixture_variance_at_least_weighted_state_variance(
+        cell in (1usize..3).prop_flat_map(cell_strategy),
+        p in 0.0_f64..=1.0,
+    ) {
+        // Law of total variance: Var ≥ E[Var | state].
+        let probs = state_probabilities(cell.n_inputs, p).unwrap();
+        let (_, std) = cell.mixture_stats(&probs).unwrap();
+        let within: f64 = cell
+            .states
+            .iter()
+            .zip(&probs)
+            .map(|(s, q)| q * s.std * s.std)
+            .sum();
+        prop_assert!(std * std >= within - 1e-24);
+    }
+
+    #[test]
+    fn covariance_policies_agree_at_zero_and_bounded(
+        ca in (0usize..2).prop_flat_map(cell_strategy),
+        cb in (0usize..2).prop_flat_map(cell_strategy),
+        p in 0.1_f64..0.9,
+        rho in 0.0_f64..=1.0,
+    ) {
+        let pa = state_probabilities(ca.n_inputs, p).unwrap();
+        let pb = state_probabilities(cb.n_inputs, p).unwrap();
+        let exact = cell_leakage_covariance(
+            &ca, &pa, &cb, &pb, SIGMA, rho, CorrelationPolicy::Exact,
+        ).unwrap();
+        let simple = cell_leakage_covariance(
+            &ca, &pa, &cb, &pb, SIGMA, rho, CorrelationPolicy::Simplified,
+        ).unwrap();
+        if rho == 0.0 {
+            prop_assert!(exact.abs() < 1e-24);
+            prop_assert!(simple.abs() < 1e-24);
+        }
+        prop_assert!(exact >= -1e-24, "non-negative for non-negative rho");
+        // Both are bounded by the product of mixture stds (Cauchy–Schwarz).
+        let (_, sa) = ca.mixture_stats(&pa).unwrap();
+        let (_, sb) = cb.mixture_stats(&pb).unwrap();
+        prop_assert!(exact <= sa * sb * (1.0 + 1e-9));
+        prop_assert!(simple <= sa * sb * (1.0 + 1e-9));
+        // The mapping bows under the identity: exact ≤ simplified for ρ≥0.
+        prop_assert!(exact <= simple + sa * sb * 1e-9);
+    }
+
+    #[test]
+    fn per_input_probabilities_marginalize_correctly(
+        ps in proptest::collection::vec(0.0_f64..=1.0, 1..4),
+    ) {
+        let probs = per_input_state_probabilities(&ps).unwrap();
+        // Marginal of input i over all states recovers ps[i].
+        for (i, want) in ps.iter().enumerate() {
+            let marginal: f64 = probs
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| (s >> i) & 1 == 1)
+                .map(|(_, q)| q)
+                .sum();
+            prop_assert!((marginal - want).abs() < 1e-12, "input {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_normalization_invariant(
+        weights in proptest::collection::vec(0.0_f64..100.0, 1..12),
+        scale in 0.001_f64..1000.0,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let h1 = UsageHistogram::from_weights(weights.clone()).unwrap();
+        let scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let h2 = UsageHistogram::from_weights(scaled).unwrap();
+        for i in 0..weights.len() {
+            prop_assert!((h1.alpha(CellId(i)) - h2.alpha(CellId(i))).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Characterized-library persistence: the JSON the `chipleak` CLI writes
+//! must round-trip losslessly — a corrupted or hand-edited library file
+//! must be rejected, not silently misread.
+
+use leakage_cells::charax::{CharMethod, Characterizer};
+use leakage_cells::library::CellLibrary;
+use leakage_cells::model::CharacterizedLibrary;
+use leakage_process::Technology;
+
+fn small_characterization() -> CharacterizedLibrary {
+    // Characterize a handful of cells only — enough structure, fast tests.
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    let charax = Characterizer::new(&tech);
+    let mut cells = Vec::new();
+    for name in ["inv_x1", "nand2_x1", "xor2_x1"] {
+        let cell = lib.cell_by_name(name).expect("known cell");
+        cells.push(
+            charax
+                .characterize_cell(cell, CharMethod::Analytical { sweep_points: 7 })
+                .expect("characterization"),
+        );
+    }
+    CharacterizedLibrary {
+        cells,
+        l_sigma: charax.l_sigma(),
+    }
+}
+
+#[test]
+fn json_roundtrip_is_lossless() {
+    let charlib = small_characterization();
+    let json = serde_json::to_string(&charlib).expect("serialize");
+    let back: CharacterizedLibrary = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, charlib);
+    // Spot-check the semantic payload survives.
+    let orig = &charlib.cells[0].states[0];
+    let restored = &back.cells[0].states[0];
+    assert_eq!(orig.mean, restored.mean);
+    assert_eq!(
+        orig.triplet.expect("analytical").b(),
+        restored.triplet.expect("analytical").b()
+    );
+}
+
+#[test]
+fn malformed_json_is_rejected() {
+    assert!(serde_json::from_str::<CharacterizedLibrary>("{}").is_err());
+    assert!(serde_json::from_str::<CharacterizedLibrary>("not json at all").is_err());
+    // Field with the wrong type.
+    let bad = r#"{"cells": "nope", "l_sigma": 4.5}"#;
+    assert!(serde_json::from_str::<CharacterizedLibrary>(bad).is_err());
+}
+
+#[test]
+fn pretty_and_compact_forms_agree() {
+    let charlib = small_characterization();
+    let compact = serde_json::to_string(&charlib).expect("serialize");
+    let pretty = serde_json::to_string_pretty(&charlib).expect("serialize");
+    let a: CharacterizedLibrary = serde_json::from_str(&compact).expect("deserialize");
+    let b: CharacterizedLibrary = serde_json::from_str(&pretty).expect("deserialize");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,268 @@
+//! The high-level design characteristics (paper §2.2, Fig. 1).
+
+use crate::error::CoreError;
+use leakage_cells::UsageHistogram;
+use leakage_process::field::GridGeometry;
+use serde::{Deserialize, Serialize};
+
+/// The four high-level characteristics of a candidate design that, per the
+/// paper's thesis, suffice to determine its full-chip leakage statistics:
+/// cell-usage histogram, cell count, and layout dimensions (the fourth —
+/// the characterized library — travels separately because it is shared by
+/// all designs in a technology).
+///
+/// In early mode these are *expected* values from design planning; in late
+/// mode they are *extracted* from a netlist/placement (see
+/// `leakage-netlist`).
+///
+/// # Example
+///
+/// ```
+/// use leakage_cells::UsageHistogram;
+/// use leakage_core::HighLevelCharacteristics;
+///
+/// let chars = HighLevelCharacteristics::builder()
+///     .histogram(UsageHistogram::uniform(62)?)
+///     .n_cells(50_000)
+///     .die_dimensions(800.0, 600.0)
+///     .signal_probability(0.5)
+///     .build()?;
+/// assert_eq!(chars.n_cells(), 50_000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HighLevelCharacteristics {
+    histogram: UsageHistogram,
+    n_cells: usize,
+    width: f64,
+    height: f64,
+    signal_probability: f64,
+}
+
+impl HighLevelCharacteristics {
+    /// Starts a builder.
+    pub fn builder() -> HighLevelCharacteristicsBuilder {
+        HighLevelCharacteristicsBuilder::default()
+    }
+
+    /// The cell-usage histogram (`α` in the paper).
+    pub fn histogram(&self) -> &UsageHistogram {
+        &self.histogram
+    }
+
+    /// The (actual or expected) number of cells `n`.
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Die width `W` (µm).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Die height `H` (µm).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Die area `W·H` (µm²).
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Global signal probability used to weight input states.
+    pub fn signal_probability(&self) -> f64 {
+        self.signal_probability
+    }
+
+    /// The Random-Gate site array for these characteristics (paper Fig. 4):
+    /// a `k × m` grid with `k·m ≥ n` sites as close to `n` as possible and
+    /// the exact die dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation failures (cannot occur for values
+    /// accepted by the builder).
+    pub fn grid(&self) -> Result<GridGeometry, CoreError> {
+        Ok(GridGeometry::for_die(self.n_cells, self.width, self.height)?)
+    }
+}
+
+/// Builder for [`HighLevelCharacteristics`].
+#[derive(Debug, Clone)]
+pub struct HighLevelCharacteristicsBuilder {
+    histogram: Option<UsageHistogram>,
+    n_cells: Option<usize>,
+    width: Option<f64>,
+    height: Option<f64>,
+    signal_probability: f64,
+}
+
+impl Default for HighLevelCharacteristicsBuilder {
+    fn default() -> Self {
+        HighLevelCharacteristicsBuilder {
+            histogram: None,
+            n_cells: None,
+            width: None,
+            height: None,
+            signal_probability: 0.5,
+        }
+    }
+}
+
+impl HighLevelCharacteristicsBuilder {
+    /// Sets the usage histogram (required).
+    pub fn histogram(mut self, h: UsageHistogram) -> Self {
+        self.histogram = Some(h);
+        self
+    }
+
+    /// Sets the cell count (required, > 0).
+    pub fn n_cells(mut self, n: usize) -> Self {
+        self.n_cells = Some(n);
+        self
+    }
+
+    /// Sets the die dimensions in µm (required, positive).
+    pub fn die_dimensions(mut self, width: f64, height: f64) -> Self {
+        self.width = Some(width);
+        self.height = Some(height);
+        self
+    }
+
+    /// Sets the global signal probability (default 0.5).
+    pub fn signal_probability(mut self, p: f64) -> Self {
+        self.signal_probability = p;
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for missing or out-of-range
+    /// fields.
+    pub fn build(self) -> Result<HighLevelCharacteristics, CoreError> {
+        let histogram = self.histogram.ok_or_else(|| CoreError::InvalidArgument {
+            reason: "usage histogram is required".into(),
+        })?;
+        let n_cells = self.n_cells.ok_or_else(|| CoreError::InvalidArgument {
+            reason: "cell count is required".into(),
+        })?;
+        if n_cells == 0 {
+            return Err(CoreError::InvalidArgument {
+                reason: "cell count must be positive".into(),
+            });
+        }
+        let width = self.width.ok_or_else(|| CoreError::InvalidArgument {
+            reason: "die dimensions are required".into(),
+        })?;
+        let height = self.height.expect("width and height are set together");
+        if !(width > 0.0) || !(height > 0.0) || !width.is_finite() || !height.is_finite() {
+            return Err(CoreError::InvalidArgument {
+                reason: format!("die dimensions must be positive, got {width} x {height}"),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.signal_probability) {
+            return Err(CoreError::InvalidArgument {
+                reason: format!(
+                    "signal probability must be in [0, 1], got {}",
+                    self.signal_probability
+                ),
+            });
+        }
+        Ok(HighLevelCharacteristics {
+            histogram,
+            n_cells,
+            width,
+            height,
+            signal_probability: self.signal_probability,
+        })
+    }
+}
+
+impl Default for HighLevelCharacteristics {
+    fn default() -> Self {
+        HighLevelCharacteristics {
+            histogram: UsageHistogram::uniform(1).expect("non-empty"),
+            n_cells: 1,
+            width: 1.0,
+            height: 1.0,
+            signal_probability: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram() -> UsageHistogram {
+        UsageHistogram::uniform(3).unwrap()
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let c = HighLevelCharacteristics::builder()
+            .histogram(histogram())
+            .n_cells(1000)
+            .die_dimensions(100.0, 50.0)
+            .build()
+            .unwrap();
+        assert_eq!(c.n_cells(), 1000);
+        assert_eq!(c.area(), 5000.0);
+        assert_eq!(c.signal_probability(), 0.5);
+    }
+
+    #[test]
+    fn builder_requires_all_fields() {
+        assert!(HighLevelCharacteristics::builder().build().is_err());
+        assert!(HighLevelCharacteristics::builder()
+            .histogram(histogram())
+            .build()
+            .is_err());
+        assert!(HighLevelCharacteristics::builder()
+            .histogram(histogram())
+            .n_cells(10)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert!(HighLevelCharacteristics::builder()
+            .histogram(histogram())
+            .n_cells(0)
+            .die_dimensions(10.0, 10.0)
+            .build()
+            .is_err());
+        assert!(HighLevelCharacteristics::builder()
+            .histogram(histogram())
+            .n_cells(10)
+            .die_dimensions(-1.0, 10.0)
+            .build()
+            .is_err());
+        assert!(HighLevelCharacteristics::builder()
+            .histogram(histogram())
+            .n_cells(10)
+            .die_dimensions(10.0, 10.0)
+            .signal_probability(1.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn grid_matches_die() {
+        let c = HighLevelCharacteristics::builder()
+            .histogram(histogram())
+            .n_cells(10_000)
+            .die_dimensions(200.0, 200.0)
+            .build()
+            .unwrap();
+        let g = c.grid().unwrap();
+        assert!(g.n_sites() >= 10_000);
+        assert!(g.n_sites() < 10_300, "site padding stays small");
+        assert!((g.width() - 200.0).abs() < 1e-9);
+        assert!((g.height() - 200.0).abs() < 1e-9);
+    }
+}

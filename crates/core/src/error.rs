@@ -1,0 +1,89 @@
+//! Error type for full-chip estimation.
+
+use std::fmt;
+
+/// Errors from Random-Gate construction or chip-level estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An input characteristic or argument was malformed.
+    InvalidArgument {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The requested estimator's preconditions do not hold (e.g. the 1-D
+    /// polar method with a correlation that never reaches zero within the
+    /// die).
+    MethodNotApplicable {
+        /// Which estimator was requested.
+        method: &'static str,
+        /// Why it cannot be used.
+        reason: String,
+    },
+    /// A cell-model operation failed.
+    Cells(leakage_cells::CellError),
+    /// A process-model operation failed.
+    Process(leakage_process::ProcessError),
+    /// A numerical routine failed.
+    Numeric(leakage_numeric::NumericError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            CoreError::MethodNotApplicable { method, reason } => {
+                write!(f, "{method} not applicable: {reason}")
+            }
+            CoreError::Cells(e) => write!(f, "cell model failure: {e}"),
+            CoreError::Process(e) => write!(f, "process model failure: {e}"),
+            CoreError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Cells(e) => Some(e),
+            CoreError::Process(e) => Some(e),
+            CoreError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<leakage_cells::CellError> for CoreError {
+    fn from(e: leakage_cells::CellError) -> CoreError {
+        CoreError::Cells(e)
+    }
+}
+
+impl From<leakage_process::ProcessError> for CoreError {
+    fn from(e: leakage_process::ProcessError) -> CoreError {
+        CoreError::Process(e)
+    }
+}
+
+impl From<leakage_numeric::NumericError> for CoreError {
+    fn from(e: leakage_numeric::NumericError) -> CoreError {
+        CoreError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = CoreError::MethodNotApplicable {
+            method: "polar 1-d",
+            reason: "correlation support exceeds die".into(),
+        };
+        assert!(e.to_string().contains("polar"));
+        assert!(e.source().is_none());
+        let e: CoreError = leakage_numeric::NumericError::Singular { pivot: 0 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,177 @@
+//! The O(n²) pairwise reference on a placed design ("true leakage", §3).
+
+use crate::estimator::{EstimatorMethod, LeakageEstimate};
+use crate::pairwise::PairwiseCovariance;
+use serde::{Deserialize, Serialize};
+
+/// One placed cell instance: type and placement coordinates (µm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacedGate {
+    /// Library type of the instance.
+    pub cell: leakage_cells::CellId,
+    /// X coordinate of the instance centre (µm).
+    pub x: f64,
+    /// Y coordinate of the instance centre (µm).
+    pub y: f64,
+}
+
+/// Mean total leakage of a placed design: `Σ μ_type(a)`.
+pub fn exact_placed_mean(gates: &[PlacedGate], pairwise: &PairwiseCovariance) -> f64 {
+    gates.iter().map(|g| pairwise.mean(g.cell)).sum()
+}
+
+/// The paper's "true leakage": mean and variance of a *specific placed
+/// design* by the full O(n²) pairwise covariance sum,
+/// `σ² = Σ_a σ²_a + Σ_{a≠b} C_{ab}(ρ_L(d_ab))`.
+///
+/// `rho_total` maps instance distance to total length correlation. This is
+/// the reference every Random-Gate estimate is validated against (Fig. 6,
+/// Table 1); its cost is why the paper exists.
+///
+/// # Panics
+///
+/// Panics if a gate's type is outside the pairwise table's support.
+pub fn exact_placed_stats<R: Fn(f64) -> f64>(
+    gates: &[PlacedGate],
+    pairwise: &PairwiseCovariance,
+    rho_total: &R,
+) -> LeakageEstimate {
+    let mean = exact_placed_mean(gates, pairwise);
+    let mut variance = 0.0;
+    for (a, ga) in gates.iter().enumerate() {
+        let sa = pairwise.std(ga.cell);
+        variance += sa * sa;
+        for gb in &gates[a + 1..] {
+            let dx = ga.x - gb.x;
+            let dy = ga.y - gb.y;
+            let d = (dx * dx + dy * dy).sqrt();
+            variance += 2.0 * pairwise.covariance(ga.cell, gb.cell, rho_total(d));
+        }
+    }
+    LeakageEstimate {
+        mean,
+        variance,
+        method: EstimatorMethod::ExactPlaced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_cells::corrmap::CorrelationPolicy;
+    use leakage_cells::library::CellId;
+    use leakage_cells::model::{
+        CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel,
+    };
+
+    const SIGMA: f64 = 4.5;
+
+    fn charlib() -> CharacterizedLibrary {
+        let t1 = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        let t2 = LeakageTriplet::new(3e-9, -0.05, 0.0006).unwrap();
+        let mk = |id: usize, t: LeakageTriplet| CharacterizedCell {
+            id: CellId(id),
+            name: format!("cell{id}"),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(SIGMA).unwrap(),
+                std: t.std(SIGMA).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        CharacterizedLibrary {
+            cells: vec![mk(0, t1), mk(1, t2)],
+            l_sigma: SIGMA,
+        }
+    }
+
+    fn pairwise(policy: CorrelationPolicy) -> PairwiseCovariance {
+        PairwiseCovariance::new(&charlib(), &[CellId(0), CellId(1)], 0.5, policy).unwrap()
+    }
+
+    #[test]
+    fn single_gate_variance_is_type_variance() {
+        let pw = pairwise(CorrelationPolicy::Exact);
+        let gates = [PlacedGate {
+            cell: CellId(0),
+            x: 0.0,
+            y: 0.0,
+        }];
+        let est = exact_placed_stats(&gates, &pw, &|_d| 0.5);
+        let s = pw.std(CellId(0));
+        assert!((est.variance - s * s).abs() / (s * s) < 1e-12);
+        assert_eq!(est.mean, pw.mean(CellId(0)));
+        assert_eq!(est.method, EstimatorMethod::ExactPlaced);
+    }
+
+    #[test]
+    fn independent_gates_add_variances() {
+        let pw = pairwise(CorrelationPolicy::Exact);
+        let gates: Vec<PlacedGate> = (0..10)
+            .map(|i| PlacedGate {
+                cell: CellId(i % 2),
+                x: i as f64 * 1000.0,
+                y: 0.0,
+            })
+            .collect();
+        let est = exact_placed_stats(&gates, &pw, &|_d| 0.0);
+        let expect: f64 = gates.iter().map(|g| pw.std(g.cell).powi(2)).sum();
+        assert!((est.variance - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn fully_correlated_same_type_gates_sum_as_stds() {
+        // n identical fully correlated gates: σ_total = n·σ.
+        let pw = pairwise(CorrelationPolicy::Exact);
+        let gates: Vec<PlacedGate> = (0..5)
+            .map(|_| PlacedGate {
+                cell: CellId(0),
+                x: 0.0,
+                y: 0.0,
+            })
+            .collect();
+        let est = exact_placed_stats(&gates, &pw, &|_d| 1.0);
+        let s = pw.std(CellId(0));
+        let expect = (5.0 * s) * (5.0 * s);
+        assert!(
+            (est.variance - expect).abs() / expect < 2e-3,
+            "{} vs {expect}",
+            est.variance
+        );
+    }
+
+    #[test]
+    fn distance_dependence_reduces_covariance() {
+        let pw = pairwise(CorrelationPolicy::Exact);
+        let near = [
+            PlacedGate {
+                cell: CellId(0),
+                x: 0.0,
+                y: 0.0,
+            },
+            PlacedGate {
+                cell: CellId(1),
+                x: 1.0,
+                y: 0.0,
+            },
+        ];
+        let far = [
+            PlacedGate {
+                cell: CellId(0),
+                x: 0.0,
+                y: 0.0,
+            },
+            PlacedGate {
+                cell: CellId(1),
+                x: 90.0,
+                y: 0.0,
+            },
+        ];
+        let tent = |d: f64| (1.0 - d / 100.0).max(0.0);
+        let v_near = exact_placed_stats(&near, &pw, &tent).variance;
+        let v_far = exact_placed_stats(&far, &pw, &tent).variance;
+        assert!(v_near > v_far);
+    }
+}

@@ -1,0 +1,316 @@
+//! The O(1) integral estimators (paper §3.2).
+//!
+//! For large `n`, the lattice sum of Eq. 17 is a Riemann sum of
+//!
+//! ```text
+//! σ²_IT ≈ 4 (n/A)² ∫₀^W ∫₀^H (W−x)(H−y) · C(ρ_L(√(x²+y²))) dy dx
+//! ```
+//!
+//! (Eq. 20, written here in covariance rather than normalized-correlation
+//! form). When the WID correlation has compact support `D_max ≤ min(W,H)`,
+//! the angular integral has the closed form `g(r)` of Eq. 24 and the
+//! variance reduces to a single radial integral plus the D2D constant term
+//! (Eqs. 25–26).
+
+use crate::error::CoreError;
+use crate::random_gate::RandomGate;
+use leakage_numeric::integrate::{composite_gauss_legendre, gauss_legendre_2d};
+use leakage_process::correlation::SpatialCorrelation;
+
+/// O(1) full-chip leakage variance by 2-D rectangular quadrature (Eq. 20).
+///
+/// `rho_total` maps distance to total (D2D + WID) length correlation. The
+/// quadrature uses an `order`-point composite Gauss–Legendre rule with
+/// `panels × panels` panels (panels help when the correlation has a kink
+/// at its support boundary).
+pub fn integral_2d_variance<R: Fn(f64) -> f64>(
+    rg: &RandomGate,
+    n_cells: usize,
+    width: f64,
+    height: f64,
+    rho_total: &R,
+    order: usize,
+    panels: usize,
+) -> f64 {
+    let n = n_cells as f64;
+    let area = width * height;
+    let integral = gauss_legendre_2d(
+        |x, y| {
+            let d = (x * x + y * y).sqrt();
+            (width - x) * (height - y) * rg.covariance(rho_total(d))
+        },
+        0.0,
+        width,
+        0.0,
+        height,
+        order,
+        panels,
+    );
+    4.0 * (n / area) * (n / area) * integral
+}
+
+/// The closed-form angular factor `g(r) = r²/2 − (W+H)r + (π/2)WH`
+/// (paper Eq. 24).
+pub fn g_polar(r: f64, width: f64, height: f64) -> f64 {
+    0.5 * r * r - (width + height) * r + std::f64::consts::FRAC_PI_2 * width * height
+}
+
+/// O(1) full-chip leakage variance by the single polar integral with the
+/// D2D constant split (Eqs. 25–26):
+///
+/// ```text
+/// σ² ≈ 4 (n/A)² ∫₀^{D_max} C'(r) · r · g(r) dr + n² · C_floor
+/// ```
+///
+/// where `C'(r) = C(ρ_total(r)) − C_floor` vanishes beyond `D_max` and
+/// `C_floor = C(ρ_C)` is the never-decaying D2D contribution.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MethodNotApplicable`] when the WID model has no
+/// compact support, or its radius exceeds `min(W, H)` (the paper's
+/// precondition for the polar reduction).
+#[allow(clippy::too_many_arguments)]
+pub fn polar_1d_variance<C: SpatialCorrelation>(
+    rg: &RandomGate,
+    n_cells: usize,
+    width: f64,
+    height: f64,
+    wid: &C,
+    rho_c: f64,
+    order: usize,
+    panels: usize,
+) -> Result<f64, CoreError> {
+    let d_max = wid.support_radius().ok_or_else(|| CoreError::MethodNotApplicable {
+        method: "polar 1-d integral",
+        reason: "the WID correlation model has an infinite tail; use the 2-D \
+                 integral or the linear-time method"
+            .into(),
+    })?;
+    if d_max > width.min(height) {
+        return Err(CoreError::MethodNotApplicable {
+            method: "polar 1-d integral",
+            reason: format!(
+                "correlation support D_max = {d_max} exceeds min(W, H) = {}",
+                width.min(height)
+            ),
+        });
+    }
+    let n = n_cells as f64;
+    let area = width * height;
+    let c_floor = rg.covariance(rho_c);
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let radial = composite_gauss_legendre(
+        |r| (rg.covariance(rho_total(r)) - c_floor) * r * g_polar(r, width, height),
+        0.0,
+        d_max,
+        order,
+        panels,
+    );
+    Ok(4.0 * (n / area) * (n / area) * radial + n * n * c_floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::linear::linear_time_variance;
+    use leakage_cells::corrmap::CorrelationPolicy;
+    use leakage_cells::library::CellId;
+    use leakage_cells::model::{
+        CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel,
+    };
+    use leakage_cells::UsageHistogram;
+    use leakage_process::correlation::{ExponentialCorrelation, TentCorrelation};
+    use leakage_process::field::GridGeometry;
+
+    const SIGMA: f64 = 4.5;
+
+    fn rg() -> RandomGate {
+        let t1 = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        let t2 = LeakageTriplet::new(3e-9, -0.05, 0.0006).unwrap();
+        let mk = |id: usize, t: LeakageTriplet| CharacterizedCell {
+            id: CellId(id),
+            name: format!("cell{id}"),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(SIGMA).unwrap(),
+                std: t.std(SIGMA).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        let lib = CharacterizedLibrary {
+            cells: vec![mk(0, t1), mk(1, t2)],
+            l_sigma: SIGMA,
+        };
+        RandomGate::new(
+            &lib,
+            &UsageHistogram::uniform(2).unwrap(),
+            0.5,
+            CorrelationPolicy::Exact,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn g_polar_endpoints() {
+        // g(0) = (π/2)WH; g is the angular integral so it must be positive
+        // over the valid radius range r ≤ min(W, H).
+        let (w, h) = (100.0, 80.0);
+        assert!((g_polar(0.0, w, h) - std::f64::consts::FRAC_PI_2 * w * h).abs() < 1e-9);
+        for r in [0.0, 20.0, 50.0, 80.0] {
+            assert!(g_polar(r, w, h) > 0.0, "g({r}) must be positive");
+        }
+    }
+
+    #[test]
+    fn g_polar_matches_numeric_angular_integral() {
+        let (w, h) = (120.0, 90.0);
+        for r in [5.0, 30.0, 70.0] {
+            let numeric = leakage_numeric::integrate::gauss_legendre(
+                |th: f64| (w - r * th.cos()) * (h - r * th.sin()),
+                0.0,
+                std::f64::consts::FRAC_PI_2,
+                32,
+            );
+            assert!(
+                (g_polar(r, w, h) - numeric).abs() / numeric < 1e-12,
+                "r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn integral_2d_converges_to_linear_for_large_n() {
+        // Paper Fig. 7: < 0.01 % error above ten thousand gates.
+        let rg = rg();
+        let tent = TentCorrelation::new(60.0).unwrap();
+        let rho_c = 0.0;
+        let rho_total = |d: f64| rho_c + (1.0 - rho_c) * tent.rho(d);
+        let grid = GridGeometry::new(106, 106, 2.0, 2.0).unwrap(); // 11236 sites
+        let lin = linear_time_variance(&rg, &grid, &rho_total);
+        let int2d = integral_2d_variance(
+            &rg,
+            grid.n_sites(),
+            grid.width(),
+            grid.height(),
+            &rho_total,
+            32,
+            8,
+        );
+        let rel = (int2d - lin).abs() / lin;
+        // The Riemann error scales as (pitch/D_max)²; for this geometry
+        // that is a few tenths of a percent.
+        assert!(rel < 1e-2, "relative error {rel}");
+    }
+
+    #[test]
+    fn integral_error_shrinks_with_gate_count() {
+        // The paper's Fig. 7 trend: the % error of the O(1) integral vs
+        // the O(n) sum decreases as the design grows (same die, finer
+        // pitch = more gates).
+        let rg = rg();
+        let tent = TentCorrelation::new(60.0).unwrap();
+        let rho_total = |d: f64| tent.rho(d);
+        let die = 212.0;
+        let mut prev_rel = f64::INFINITY;
+        for sites_per_side in [10usize, 30, 106] {
+            let pitch = die / sites_per_side as f64;
+            let grid = GridGeometry::new(sites_per_side, sites_per_side, pitch, pitch).unwrap();
+            let lin = linear_time_variance(&rg, &grid, &rho_total);
+            let int2d = integral_2d_variance(
+                &rg,
+                grid.n_sites(),
+                grid.width(),
+                grid.height(),
+                &rho_total,
+                32,
+                8,
+            );
+            let rel = (int2d - lin).abs() / lin;
+            assert!(rel < prev_rel, "error must shrink: {rel} vs {prev_rel}");
+            prev_rel = rel;
+        }
+        assert!(prev_rel < 1e-2, "largest grid below 1 %: {prev_rel}");
+    }
+
+    #[test]
+    fn integral_2d_less_accurate_for_tiny_n() {
+        // Small circuits: the integral's granularity error is visible
+        // (paper: > 1 % below 100 gates).
+        let rg = rg();
+        let tent = TentCorrelation::new(8.0).unwrap();
+        let rho_total = |d: f64| tent.rho(d);
+        let grid = GridGeometry::new(7, 7, 2.0, 2.0).unwrap(); // 49 sites
+        let lin = linear_time_variance(&rg, &grid, &rho_total);
+        let int2d = integral_2d_variance(
+            &rg,
+            grid.n_sites(),
+            grid.width(),
+            grid.height(),
+            &rho_total,
+            32,
+            8,
+        );
+        let rel = (int2d - lin).abs() / lin;
+        assert!(rel > 1e-3, "granularity error should be visible, got {rel}");
+    }
+
+    #[test]
+    fn polar_matches_2d_for_compact_support() {
+        let rg = rg();
+        let tent = TentCorrelation::new(50.0).unwrap();
+        let (w, h, n) = (200.0, 160.0, 20_000);
+        let rho_total = |d: f64| tent.rho(d);
+        let v2d = integral_2d_variance(&rg, n, w, h, &rho_total, 48, 12);
+        let v1d = polar_1d_variance(&rg, n, w, h, &tent, 0.0, 64, 16).unwrap();
+        let rel = (v1d - v2d).abs() / v2d;
+        assert!(rel < 1e-6, "polar vs 2-d: {rel}");
+    }
+
+    #[test]
+    fn polar_with_d2d_floor_matches_2d() {
+        let rg = rg();
+        let tent = TentCorrelation::new(50.0).unwrap();
+        let (w, h, n) = (200.0, 160.0, 20_000);
+        let rho_c = 0.5;
+        let rho_total = |d: f64| rho_c + (1.0 - rho_c) * tent.rho(d);
+        let v2d = integral_2d_variance(&rg, n, w, h, &rho_total, 48, 12);
+        let v1d = polar_1d_variance(&rg, n, w, h, &tent, rho_c, 64, 16).unwrap();
+        let rel = (v1d - v2d).abs() / v2d;
+        assert!(rel < 1e-6, "polar+d2d vs 2-d: {rel}");
+    }
+
+    #[test]
+    fn polar_rejects_infinite_tail() {
+        let rg = rg();
+        let exp = ExponentialCorrelation::new(30.0).unwrap();
+        assert!(matches!(
+            polar_1d_variance(&rg, 1000, 100.0, 100.0, &exp, 0.0, 32, 8),
+            Err(CoreError::MethodNotApplicable { .. })
+        ));
+    }
+
+    #[test]
+    fn polar_rejects_oversized_support() {
+        let rg = rg();
+        let tent = TentCorrelation::new(150.0).unwrap();
+        assert!(matches!(
+            polar_1d_variance(&rg, 1000, 100.0, 100.0, &tent, 0.0, 32, 8),
+            Err(CoreError::MethodNotApplicable { .. })
+        ));
+    }
+
+    #[test]
+    fn d2d_only_gives_n_squared_scaling() {
+        // With no WID correlation at all (support → 0) and a D2D floor,
+        // the variance is dominated by n²·C(ρ_C).
+        let rg = rg();
+        let tent = TentCorrelation::new(1e-6).unwrap();
+        let n = 10_000;
+        let v = polar_1d_variance(&rg, n, 100.0, 100.0, &tent, 0.4, 32, 8).unwrap();
+        let floor = (n as f64) * (n as f64) * rg.covariance(0.4);
+        assert!((v - floor).abs() / floor < 1e-6);
+    }
+}

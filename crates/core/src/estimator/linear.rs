@@ -1,0 +1,180 @@
+//! The O(n) distance-multiplicity estimator (paper Eq. 17).
+//!
+//! The O(n²) lattice sum `Σ_a Σ_b C(d_ab)` collapses, on a `k × m`
+//! rectangular grid, to a sum over index offsets `(i, j)` weighted by the
+//! number of site pairs realizing each offset, `n_ij = (m−|i|)(k−|j|)`
+//! (Eq. 16). The transformation is exact — no approximation is involved.
+
+use crate::random_gate::RandomGate;
+use leakage_process::field::GridGeometry;
+
+/// Computes the full-chip leakage variance by the exact O(n) multiplicity
+/// sum (Eq. 17). `rho_total` maps distance to *total* (D2D + WID) channel
+/// length correlation.
+///
+/// The `(0, 0)` offset contributes `n · σ²_XI` (same-site covariance is
+/// the RG variance, Eq. 11); every other offset contributes
+/// `n_ij · F(ρ_total(d_ij))`.
+pub fn linear_time_variance<R: Fn(f64) -> f64>(
+    rg: &RandomGate,
+    grid: &GridGeometry,
+    rho_total: &R,
+) -> f64 {
+    let m = grid.cols();
+    let k = grid.rows();
+    let n = grid.n_sites() as f64;
+    // Same-site term.
+    let mut var = n * rg.variance();
+    // Distinct-site offsets: use symmetry (±i, ±j give the same distance);
+    // multiplicity 2 per non-zero axis sign.
+    for i in 0..m {
+        for j in 0..k {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            let mult = (m - i) as f64 * (k - j) as f64
+                * if i > 0 { 2.0 } else { 1.0 }
+                * if j > 0 { 2.0 } else { 1.0 };
+            let d = grid.offset_distance(i as i64, j as i64);
+            var += mult * rg.covariance(rho_total(d));
+        }
+    }
+    var
+}
+
+/// Brute-force O(n²) lattice sum of the same quantity, for validating the
+/// multiplicity transformation (tests and small grids only).
+pub fn quadratic_lattice_variance<R: Fn(f64) -> f64>(
+    rg: &RandomGate,
+    grid: &GridGeometry,
+    rho_total: &R,
+) -> f64 {
+    let m = grid.cols();
+    let k = grid.rows();
+    let mut var = 0.0;
+    for a in 0..(k * m) {
+        let (ra, ca) = (a / m, a % m);
+        for b in 0..(k * m) {
+            let (rb, cb) = (b / m, b % m);
+            if a == b {
+                var += rg.variance();
+            } else {
+                let d = grid.site_distance((ra, ca), (rb, cb));
+                var += rg.covariance(rho_total(d));
+            }
+        }
+    }
+    var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_cells::corrmap::CorrelationPolicy;
+    use leakage_cells::library::CellId;
+    use leakage_cells::model::{CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel};
+    use leakage_cells::UsageHistogram;
+
+    const SIGMA: f64 = 4.5;
+
+    fn rg(policy: CorrelationPolicy) -> RandomGate {
+        let t1 = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        let t2 = LeakageTriplet::new(3e-9, -0.05, 0.0006).unwrap();
+        let mk = |id: usize, t: LeakageTriplet| CharacterizedCell {
+            id: CellId(id),
+            name: format!("cell{id}"),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(SIGMA).unwrap(),
+                std: t.std(SIGMA).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        let lib = CharacterizedLibrary {
+            cells: vec![mk(0, t1), mk(1, t2)],
+            l_sigma: SIGMA,
+        };
+        let hist = UsageHistogram::uniform(2).unwrap();
+        RandomGate::new(&lib, &hist, 0.5, policy).unwrap()
+    }
+
+    fn tent(dmax: f64) -> impl Fn(f64) -> f64 {
+        move |d: f64| (1.0 - d / dmax).max(0.0)
+    }
+
+    #[test]
+    fn linear_equals_quadratic_exactly() {
+        // Eq. 17 is an exact transformation of Eq. 15 — verify to
+        // near machine precision on asymmetric grids.
+        let rg = rg(CorrelationPolicy::Exact);
+        for (rows, cols) in [(1, 1), (1, 7), (4, 4), (3, 9), (8, 5)] {
+            let grid = GridGeometry::new(rows, cols, 3.0, 5.0).unwrap();
+            let corr = tent(12.0);
+            let lin = linear_time_variance(&rg, &grid, &corr);
+            let quad = quadratic_lattice_variance(&rg, &grid, &corr);
+            assert!(
+                (lin - quad).abs() / quad < 1e-12,
+                "{rows}x{cols}: {lin} vs {quad}"
+            );
+        }
+    }
+
+    #[test]
+    fn uncorrelated_limit_is_n_sigma_squared() {
+        let rg = rg(CorrelationPolicy::Simplified);
+        let grid = GridGeometry::new(10, 10, 100.0, 100.0).unwrap();
+        // correlation dies within one pitch
+        let corr = tent(1.0);
+        let var = linear_time_variance(&rg, &grid, &corr);
+        let expect = 100.0 * rg.variance();
+        assert!((var - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn fully_correlated_limit_simplified() {
+        // With ρ ≡ 1 everywhere and the simplified kernel, the variance is
+        // n σ² + n(n−1) σ̄² where σ̄ = Σασ. Check against direct formula.
+        let rg = rg(CorrelationPolicy::Simplified);
+        let grid = GridGeometry::new(5, 5, 1.0, 1.0).unwrap();
+        let corr = |_d: f64| 1.0;
+        let var = linear_time_variance(&rg, &grid, &corr);
+        let n = 25.0;
+        let cross = rg.covariance(1.0);
+        let expect = n * rg.variance() + n * (n - 1.0) * cross;
+        assert!((var - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn variance_grows_faster_than_n_under_correlation() {
+        // Correlated variance scales between n and n²: doubling the die
+        // (with correlation length comparable to die size) more than
+        // doubles the variance.
+        let rg = rg(CorrelationPolicy::Exact);
+        let corr = tent(50.0);
+        let g1 = GridGeometry::new(10, 10, 2.0, 2.0).unwrap();
+        let g2 = GridGeometry::new(20, 20, 2.0, 2.0).unwrap();
+        let v1 = linear_time_variance(&rg, &g1, &corr);
+        let v2 = linear_time_variance(&rg, &g2, &corr);
+        let n_ratio = (g2.n_sites() as f64) / (g1.n_sites() as f64);
+        assert!(v2 / v1 > 1.5 * n_ratio, "super-linear growth: {}", v2 / v1);
+        assert!(
+            v2 / v1 < n_ratio * n_ratio,
+            "sub-quadratic growth: {}",
+            v2 / v1
+        );
+    }
+
+    #[test]
+    fn monotone_in_correlation_range() {
+        let rg = rg(CorrelationPolicy::Exact);
+        let grid = GridGeometry::new(8, 8, 5.0, 5.0).unwrap();
+        let mut prev = 0.0;
+        for dmax in [1.0, 10.0, 40.0, 200.0] {
+            let var = linear_time_variance(&rg, &grid, &tent(dmax));
+            assert!(var > prev, "longer correlation → larger variance");
+            prev = var;
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Full-chip leakage estimators (paper §3).
+//!
+//! * [`exact_placed_stats`] — the O(n²) pairwise reference on a placed
+//!   design ("true leakage");
+//! * [`linear_time_variance`] — the O(n) distance-multiplicity sum
+//!   (Eq. 17, an exact transformation of the O(n²) lattice sum);
+//! * [`integral_2d_variance`] — the O(1) rectangular integral (Eq. 20);
+//! * [`polar_1d_variance`] — the O(1) single polar integral with the D2D
+//!   constant split (Eqs. 24–26);
+//! * [`ChipLeakageEstimator`] — a facade tying the Random Gate, the grid
+//!   and the correlation model together.
+
+mod exact;
+mod integral;
+mod linear;
+
+pub use exact::{exact_placed_mean, exact_placed_stats, PlacedGate};
+pub use integral::{g_polar, integral_2d_variance, polar_1d_variance};
+pub use linear::{linear_time_variance, quadratic_lattice_variance};
+
+use crate::chars::HighLevelCharacteristics;
+use crate::error::CoreError;
+use crate::random_gate::RandomGate;
+use leakage_cells::corrmap::CorrelationPolicy;
+use leakage_cells::model::{vt_mean_multiplier, CharacterizedLibrary};
+use leakage_process::correlation::SpatialCorrelation;
+use leakage_process::field::GridGeometry;
+use leakage_process::Technology;
+use serde::{Deserialize, Serialize};
+
+/// Which estimator produced a [`LeakageEstimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EstimatorMethod {
+    /// O(n²) pairwise reference on a placed design.
+    ExactPlaced,
+    /// O(n) multiplicity sum (Eq. 17).
+    Linear,
+    /// O(1) 2-D rectangular integral (Eq. 20).
+    Integral2d,
+    /// O(1) 1-D polar integral (Eqs. 24–26).
+    Polar1d,
+}
+
+/// A full-chip leakage estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageEstimate {
+    /// Mean total leakage (A).
+    pub mean: f64,
+    /// Variance of the total leakage (A²).
+    pub variance: f64,
+    /// The estimator that produced this value.
+    pub method: EstimatorMethod,
+}
+
+impl LeakageEstimate {
+    /// Standard deviation of the total leakage (A).
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Relative spread `σ/μ` (0 when the mean is 0).
+    pub fn relative_std(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std() / self.mean
+        }
+    }
+}
+
+impl std::fmt::Display for LeakageEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4e} A ± {:.4e} A ({:?})",
+            self.mean,
+            self.std(),
+            self.method
+        )
+    }
+}
+
+/// Facade estimator: Random Gate + site grid + correlation model.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug)]
+pub struct ChipLeakageEstimator<C> {
+    rg: RandomGate,
+    chars: HighLevelCharacteristics,
+    grid: GridGeometry,
+    wid: C,
+    rho_c: f64,
+    vt_factor: f64,
+    quad_order: usize,
+    quad_panels: usize,
+}
+
+impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
+    /// Builds the estimator with the exact correlation policy.
+    ///
+    /// The D2D variance fraction `ρ_C` is taken from the technology's
+    /// channel-length budget; `wid` is the within-die correlation model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Random-Gate construction failures.
+    pub fn new(
+        charlib: &CharacterizedLibrary,
+        tech: &Technology,
+        chars: HighLevelCharacteristics,
+        wid: C,
+    ) -> Result<Self, CoreError> {
+        Self::with_policy(charlib, tech, chars, wid, CorrelationPolicy::Exact)
+    }
+
+    /// Builds the estimator with an explicit correlation policy (§3.1.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates Random-Gate construction failures.
+    pub fn with_policy(
+        charlib: &CharacterizedLibrary,
+        tech: &Technology,
+        chars: HighLevelCharacteristics,
+        wid: C,
+        policy: CorrelationPolicy,
+    ) -> Result<Self, CoreError> {
+        let rg = RandomGate::new(
+            charlib,
+            chars.histogram(),
+            chars.signal_probability(),
+            policy,
+        )?;
+        let grid = chars.grid()?;
+        Ok(ChipLeakageEstimator {
+            rg,
+            chars,
+            grid,
+            wid,
+            rho_c: tech.l_variation().d2d_variance_fraction(),
+            vt_factor: 1.0,
+            quad_order: 32,
+            quad_panels: 8,
+        })
+    }
+
+    /// Enables the multiplicative mean correction for independent RDF
+    /// threshold-voltage variation (§2.1). Off by default so estimates
+    /// align with L-only Monte-Carlo cross-checks.
+    pub fn with_vt_correction(mut self, tech: &Technology) -> Self {
+        let n_avg = 0.5 * (tech.nmos().n_factor + tech.pmos().n_factor);
+        self.vt_factor = vt_mean_multiplier(tech.vt_sigma(), n_avg, tech.thermal_voltage());
+        self
+    }
+
+    /// Overrides the quadrature order/panels of the O(1) estimators.
+    pub fn with_quadrature(mut self, order: usize, panels: usize) -> Self {
+        self.quad_order = order.max(2);
+        self.quad_panels = panels.max(1);
+        self
+    }
+
+    /// The underlying Random Gate.
+    pub fn random_gate(&self) -> &RandomGate {
+        &self.rg
+    }
+
+    /// The site grid (paper Fig. 4).
+    pub fn grid(&self) -> GridGeometry {
+        self.grid
+    }
+
+    /// The D2D correlation floor `ρ_C`.
+    pub fn rho_c(&self) -> f64 {
+        self.rho_c
+    }
+
+    /// Total length correlation at distance `d`.
+    pub fn rho_total(&self, d: f64) -> f64 {
+        self.rho_c + (1.0 - self.rho_c) * self.wid.rho(d)
+    }
+
+    /// Mean total leakage `n·μ_XI` (Eq. 13), with the Vt correction if
+    /// enabled.
+    pub fn mean(&self) -> f64 {
+        self.chars.n_cells() as f64 * self.rg.mean() * self.vt_factor
+    }
+
+    /// Variance de-biasing for the lattice methods: the grid may carry
+    /// slightly more sites than the requested cell count.
+    fn site_scale(&self) -> f64 {
+        let r = self.chars.n_cells() as f64 / self.grid.n_sites() as f64;
+        r * r
+    }
+
+    /// O(n) estimate (Eq. 17).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid construction; returns `Result` for
+    /// interface uniformity with the integral estimators.
+    pub fn estimate_linear(&self) -> Result<LeakageEstimate, CoreError> {
+        let var = linear_time_variance(&self.rg, &self.grid, &|d: f64| self.rho_total(d))
+            * self.site_scale();
+        Ok(LeakageEstimate {
+            mean: self.mean(),
+            variance: var,
+            method: EstimatorMethod::Linear,
+        })
+    }
+
+    /// O(1) 2-D rectangular-integral estimate (Eq. 20).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid construction.
+    pub fn estimate_integral_2d(&self) -> Result<LeakageEstimate, CoreError> {
+        let var = integral_2d_variance(
+            &self.rg,
+            self.chars.n_cells(),
+            self.chars.width(),
+            self.chars.height(),
+            &|d: f64| self.rho_total(d),
+            self.quad_order,
+            self.quad_panels,
+        );
+        Ok(LeakageEstimate {
+            mean: self.mean(),
+            variance: var,
+            method: EstimatorMethod::Integral2d,
+        })
+    }
+
+    /// Runs every applicable estimator and returns the results (the polar
+    /// method is skipped when its compact-support precondition fails).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures other than polar inapplicability.
+    pub fn estimate_all(&self) -> Result<Vec<LeakageEstimate>, CoreError> {
+        let mut out = vec![self.estimate_linear()?, self.estimate_integral_2d()?];
+        match self.estimate_polar_1d() {
+            Ok(e) => out.push(e),
+            Err(CoreError::MethodNotApplicable { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(out)
+    }
+
+    /// O(1) 1-D polar-integral estimate with the D2D split (Eqs. 24–26).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MethodNotApplicable`] if the WID correlation
+    /// has no compact support or its radius exceeds `min(W, H)` (paper
+    /// §3.2.2 precondition).
+    pub fn estimate_polar_1d(&self) -> Result<LeakageEstimate, CoreError> {
+        let var = polar_1d_variance(
+            &self.rg,
+            self.chars.n_cells(),
+            self.chars.width(),
+            self.chars.height(),
+            &self.wid,
+            self.rho_c,
+            self.quad_order,
+            self.quad_panels,
+        )?;
+        Ok(LeakageEstimate {
+            mean: self.mean(),
+            variance: var,
+            method: EstimatorMethod::Polar1d,
+        })
+    }
+}

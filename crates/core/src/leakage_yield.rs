@@ -1,0 +1,179 @@
+//! Leakage yield on top of a [`LeakageEstimate`].
+//!
+//! [`LeakageEstimate`]: crate::LeakageEstimate
+//!
+//! The estimators deliver the first two moments of total chip leakage.
+//! Chip leakage is a sum of many positively correlated lognormal-like
+//! terms; standard practice (Wilkinson moment matching, as used throughout
+//! the statistical-leakage literature the paper builds on) approximates
+//! the total as a lognormal with the same mean and variance. That yields
+//! closed-form exceedance probabilities and quantiles — the actual
+//! decision quantities ("what leakage budget covers 95 % of dies?") a
+//! planner extracts from the model.
+
+use crate::error::CoreError;
+use crate::estimator::LeakageEstimate;
+use leakage_numeric::special::{normal_cdf, normal_quantile};
+use serde::{Deserialize, Serialize};
+
+/// Lognormal approximation of the total-chip leakage distribution,
+/// moment-matched to an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageDistribution {
+    /// Location parameter of `ln I`.
+    mu_log: f64,
+    /// Scale parameter of `ln I`.
+    sigma_log: f64,
+    mean: f64,
+    std: f64,
+}
+
+impl LeakageDistribution {
+    /// Moment-matches a lognormal to an estimate (Wilkinson):
+    /// `σ_ln² = ln(1 + σ²/μ²)`, `μ_ln = ln μ − σ_ln²/2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if the estimate's mean is
+    /// not positive or the variance is negative/non-finite.
+    pub fn from_estimate(estimate: &LeakageEstimate) -> Result<Self, CoreError> {
+        if !(estimate.mean > 0.0) || !estimate.mean.is_finite() {
+            return Err(CoreError::InvalidArgument {
+                reason: format!("estimate mean must be positive, got {}", estimate.mean),
+            });
+        }
+        if !(estimate.variance >= 0.0) || !estimate.variance.is_finite() {
+            return Err(CoreError::InvalidArgument {
+                reason: format!(
+                    "estimate variance must be non-negative, got {}",
+                    estimate.variance
+                ),
+            });
+        }
+        let cv2 = estimate.variance / (estimate.mean * estimate.mean);
+        let sigma_log2 = (1.0 + cv2).ln();
+        Ok(LeakageDistribution {
+            mu_log: estimate.mean.ln() - 0.5 * sigma_log2,
+            sigma_log: sigma_log2.sqrt(),
+            mean: estimate.mean,
+            std: estimate.variance.sqrt(),
+        })
+    }
+
+    /// Mean of the matched distribution (equals the estimate's mean).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation (equals the estimate's std).
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// `P{I_total ≤ budget}` — the leakage yield at a given budget (A).
+    ///
+    /// Returns 0 for non-positive budgets.
+    pub fn yield_at(&self, budget: f64) -> f64 {
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        if self.sigma_log == 0.0 {
+            return if budget >= self.mean { 1.0 } else { 0.0 };
+        }
+        normal_cdf((budget.ln() - self.mu_log) / self.sigma_log)
+    }
+
+    /// `P{I_total > budget}` — the exceedance probability.
+    pub fn exceedance(&self, budget: f64) -> f64 {
+        1.0 - self.yield_at(budget)
+    }
+
+    /// The leakage budget covering a target yield `q ∈ (0, 1)` — i.e. the
+    /// `q`-quantile of total leakage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not strictly inside `(0, 1)`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        (self.mu_log + self.sigma_log * normal_quantile(q)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimatorMethod;
+
+    fn estimate(mean: f64, std: f64) -> LeakageEstimate {
+        LeakageEstimate {
+            mean,
+            variance: std * std,
+            method: EstimatorMethod::Linear,
+        }
+    }
+
+    #[test]
+    fn moment_matching_is_exact() {
+        let d = LeakageDistribution::from_estimate(&estimate(2e-3, 4e-4)).unwrap();
+        // lognormal mean = exp(μ + σ²/2), var = (exp(σ²)−1)exp(2μ+σ²)
+        let m = (d.mu_log + 0.5 * d.sigma_log * d.sigma_log).exp();
+        assert!((m - 2e-3).abs() / 2e-3 < 1e-12);
+        let v = ((d.sigma_log * d.sigma_log).exp() - 1.0)
+            * (2.0 * d.mu_log + d.sigma_log * d.sigma_log).exp();
+        assert!((v - 1.6e-7).abs() / 1.6e-7 < 1e-9);
+    }
+
+    #[test]
+    fn yield_is_monotone_cdf() {
+        let d = LeakageDistribution::from_estimate(&estimate(1e-3, 2e-4)).unwrap();
+        assert_eq!(d.yield_at(0.0), 0.0);
+        assert_eq!(d.yield_at(-1.0), 0.0);
+        let mut prev = 0.0;
+        for k in 1..=40 {
+            let b = k as f64 * 1e-4;
+            let y = d.yield_at(b);
+            assert!(y >= prev);
+            prev = y;
+        }
+        assert!(d.yield_at(1.0) > 1.0 - 1e-9);
+        assert!((d.yield_at(5e-4) + d.exceedance(5e-4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_yield() {
+        let d = LeakageDistribution::from_estimate(&estimate(1e-3, 3e-4)).unwrap();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let b = d.quantile(q);
+            assert!((d.yield_at(b) - q).abs() < 1e-7, "q {q}");
+        }
+        // median below mean for a right-skewed lognormal
+        assert!(d.quantile(0.5) < d.mean());
+    }
+
+    #[test]
+    fn small_cv_approaches_normal() {
+        let d = LeakageDistribution::from_estimate(&estimate(1.0, 0.001)).unwrap();
+        // ~84% below μ+σ for a near-normal distribution
+        let y = d.yield_at(1.001);
+        assert!((y - 0.841).abs() < 0.01, "y {y}");
+    }
+
+    #[test]
+    fn rejects_degenerate_estimates() {
+        assert!(LeakageDistribution::from_estimate(&estimate(0.0, 1.0)).is_err());
+        assert!(LeakageDistribution::from_estimate(&estimate(-1.0, 1.0)).is_err());
+        let bad = LeakageEstimate {
+            mean: 1.0,
+            variance: f64::NAN,
+            method: EstimatorMethod::Linear,
+        };
+        assert!(LeakageDistribution::from_estimate(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_variance_is_a_step() {
+        let d = LeakageDistribution::from_estimate(&estimate(1e-3, 0.0)).unwrap();
+        assert_eq!(d.yield_at(2e-3), 1.0);
+        assert_eq!(d.yield_at(0.5e-3), 0.0);
+    }
+}

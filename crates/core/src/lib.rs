@@ -1,0 +1,63 @@
+//! Full-chip statistical leakage estimation with the Random Gate model.
+//!
+//! This crate implements the paper's primary contribution: from four
+//! *high-level characteristics* of a candidate design —
+//!
+//! 1. a leakage-characterized cell library,
+//! 2. the (actual or expected) cell-usage histogram,
+//! 3. the (actual or expected) number of cells, and
+//! 4. the dimensions of the layout area,
+//!
+//! — compute the mean and standard deviation of the full-chip leakage
+//! under die-to-die and spatially correlated within-die channel-length
+//! variation. Estimators, in increasing efficiency:
+//!
+//! | method | paper | complexity |
+//! |---|---|---|
+//! | [`estimator::exact_placed_stats`] | "true leakage" reference | O(n²) |
+//! | [`estimator::linear_time_variance`] | Eq. 17 | O(n) |
+//! | [`estimator::integral_2d_variance`] | Eq. 20 | O(1) |
+//! | [`estimator::polar_1d_variance`] | Eqs. 24–26 | O(1) |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use leakage_cells::charax::{CharMethod, Characterizer};
+//! use leakage_cells::library::CellLibrary;
+//! use leakage_cells::UsageHistogram;
+//! use leakage_core::{ChipLeakageEstimator, HighLevelCharacteristics};
+//! use leakage_process::correlation::TentCorrelation;
+//! use leakage_process::Technology;
+//!
+//! let tech = Technology::cmos90();
+//! let lib = CellLibrary::standard_62();
+//! let charlib = Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+//! let chars = HighLevelCharacteristics::builder()
+//!     .histogram(UsageHistogram::uniform(62)?)
+//!     .n_cells(10_000)
+//!     .die_dimensions(400.0, 400.0)
+//!     .build()?;
+//! let wid = TentCorrelation::new(100.0)?;
+//! let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)?;
+//! let estimate = est.estimate_linear()?;
+//! println!("mean {} A, std {} A", estimate.mean, estimate.std());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+// `!(x > 0.0)`-style comparisons deliberately treat NaN as invalid input;
+// rewriting them per clippy would silently accept NaN. Index-based loops in
+// the math kernels mirror the paper's summation notation.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+pub mod chars;
+pub mod error;
+pub mod estimator;
+pub mod leakage_yield;
+pub mod pairwise;
+pub mod random_gate;
+
+pub use chars::HighLevelCharacteristics;
+pub use error::CoreError;
+pub use estimator::{ChipLeakageEstimator, LeakageEstimate, PlacedGate};
+pub use leakage_yield::LeakageDistribution;
+pub use random_gate::RandomGate;

@@ -1,0 +1,244 @@
+//! Per-type-pair leakage covariance tables for the O(n²) reference
+//! ("true leakage") computation.
+//!
+//! For a *specific placed design*, the variance is a double sum of
+//! pairwise covariances `C_{m,n}(ρ_L(d_ab))` over all placed instances
+//! (paper §3, the quadratic-cost reference the Random Gate model is
+//! validated against). Evaluating the bivariate MGF for every one of the
+//! `n²` pairs would be prohibitive, so covariance-vs-`ρ_L` curves are
+//! pre-tabulated once per *type pair* in the design's support and
+//! interpolated per instance pair.
+
+use crate::error::CoreError;
+use leakage_cells::corrmap::{cell_leakage_covariance, CorrelationPolicy};
+use leakage_cells::library::CellId;
+use leakage_cells::model::CharacterizedLibrary;
+use leakage_cells::state::state_probabilities;
+use leakage_numeric::interp::LinearInterp;
+use std::collections::HashMap;
+
+/// Number of `ρ_L` knots per pair table.
+const PAIR_KNOTS: usize = 33;
+
+/// Pre-tabulated pairwise covariance kernel over a support of cell types.
+#[derive(Debug, Clone)]
+pub struct PairwiseCovariance {
+    /// Mixture mean per cell id (0 outside the support).
+    means: HashMap<CellId, f64>,
+    /// Mixture std per cell id.
+    stds: HashMap<CellId, f64>,
+    /// Covariance tables per unordered type pair.
+    tables: HashMap<(CellId, CellId), LinearInterp>,
+    policy: CorrelationPolicy,
+}
+
+impl PairwiseCovariance {
+    /// Builds tables for every unordered pair of types in `support`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for an empty or out-of-range
+    /// support, and propagates cell-model failures (e.g. missing triplets
+    /// under the exact policy).
+    pub fn new(
+        charlib: &CharacterizedLibrary,
+        support: &[CellId],
+        signal_probability: f64,
+        policy: CorrelationPolicy,
+    ) -> Result<PairwiseCovariance, CoreError> {
+        if support.is_empty() {
+            return Err(CoreError::InvalidArgument {
+                reason: "support must contain at least one cell type".into(),
+            });
+        }
+        let mut means = HashMap::new();
+        let mut stds = HashMap::new();
+        let mut probs_by_id: HashMap<CellId, Vec<f64>> = HashMap::new();
+        for id in support {
+            let cell = charlib.cell(*id).ok_or_else(|| CoreError::InvalidArgument {
+                reason: format!("cell id {} outside characterized library", id.0),
+            })?;
+            let probs = state_probabilities(cell.n_inputs, signal_probability)?;
+            let (m, s) = cell.mixture_stats(&probs)?;
+            means.insert(*id, m);
+            stds.insert(*id, s);
+            probs_by_id.insert(*id, probs);
+        }
+        let mut tables = HashMap::new();
+        for (i, m) in support.iter().enumerate() {
+            for n in &support[i..] {
+                let key = if m.0 <= n.0 { (*m, *n) } else { (*n, *m) };
+                if tables.contains_key(&key) {
+                    continue;
+                }
+                let cm = charlib.cell(key.0).expect("validated above");
+                let cn = charlib.cell(key.1).expect("validated above");
+                let pm = &probs_by_id[&key.0];
+                let pn = &probs_by_id[&key.1];
+                let mut knots = Vec::with_capacity(PAIR_KNOTS);
+                let mut values = Vec::with_capacity(PAIR_KNOTS);
+                for k in 0..PAIR_KNOTS {
+                    let rho = k as f64 / (PAIR_KNOTS - 1) as f64;
+                    let cov = cell_leakage_covariance(
+                        cm,
+                        pm,
+                        cn,
+                        pn,
+                        charlib.l_sigma,
+                        rho,
+                        policy,
+                    )?;
+                    knots.push(rho);
+                    values.push(cov);
+                }
+                tables.insert(key, LinearInterp::new(knots, values)?);
+            }
+        }
+        Ok(PairwiseCovariance {
+            means,
+            stds,
+            tables,
+            policy,
+        })
+    }
+
+    /// Mixture mean leakage of a type (A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not in the support.
+    pub fn mean(&self, id: CellId) -> f64 {
+        self.means[&id]
+    }
+
+    /// Mixture leakage standard deviation of a type (A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not in the support.
+    pub fn std(&self, id: CellId) -> f64 {
+        self.stds[&id]
+    }
+
+    /// Covariance between two *distinct instances* of types `m` and `n`
+    /// whose channel-length correlation is `ρ_L` (clamped to `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either type is not in the support.
+    pub fn covariance(&self, m: CellId, n: CellId, rho_l: f64) -> f64 {
+        let key = if m.0 <= n.0 { (m, n) } else { (n, m) };
+        self.tables[&key].eval(rho_l.clamp(0.0, 1.0))
+    }
+
+    /// The correlation policy used to build the tables.
+    pub fn policy(&self) -> CorrelationPolicy {
+        self.policy
+    }
+
+    /// Types in the support.
+    pub fn support(&self) -> Vec<CellId> {
+        let mut ids: Vec<CellId> = self.means.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_cells::model::{CharacterizedCell, LeakageTriplet, StateModel};
+
+    const SIGMA: f64 = 4.5;
+
+    fn charlib() -> CharacterizedLibrary {
+        let t1 = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        let t2 = LeakageTriplet::new(3e-9, -0.05, 0.0006).unwrap();
+        let mk = |id: usize, t: LeakageTriplet| CharacterizedCell {
+            id: CellId(id),
+            name: format!("cell{id}"),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(SIGMA).unwrap(),
+                std: t.std(SIGMA).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        CharacterizedLibrary {
+            cells: vec![mk(0, t1), mk(1, t2)],
+            l_sigma: SIGMA,
+        }
+    }
+
+    #[test]
+    fn self_covariance_at_full_correlation_is_variance() {
+        let lib = charlib();
+        let pw = PairwiseCovariance::new(
+            &lib,
+            &[CellId(0), CellId(1)],
+            0.5,
+            CorrelationPolicy::Exact,
+        )
+        .unwrap();
+        // Two distinct instances of the same single-state type at ρ_L = 1
+        // share the same length, so covariance = that type's variance.
+        let s0 = pw.std(CellId(0));
+        let c = pw.covariance(CellId(0), CellId(0), 1.0);
+        assert!((c - s0 * s0).abs() / (s0 * s0) < 1e-3, "{c} vs {}", s0 * s0);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_and_zero_at_rho0() {
+        let lib = charlib();
+        let pw = PairwiseCovariance::new(
+            &lib,
+            &[CellId(0), CellId(1)],
+            0.5,
+            CorrelationPolicy::Exact,
+        )
+        .unwrap();
+        let ab = pw.covariance(CellId(0), CellId(1), 0.4);
+        let ba = pw.covariance(CellId(1), CellId(0), 0.4);
+        assert_eq!(ab, ba);
+        assert!(pw.covariance(CellId(0), CellId(1), 0.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn simplified_matches_closed_form() {
+        let lib = charlib();
+        let pw = PairwiseCovariance::new(
+            &lib,
+            &[CellId(0), CellId(1)],
+            0.5,
+            CorrelationPolicy::Simplified,
+        )
+        .unwrap();
+        let expect = 0.7 * pw.std(CellId(0)) * pw.std(CellId(1));
+        let got = pw.covariance(CellId(0), CellId(1), 0.7);
+        assert!((got - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn rejects_empty_or_unknown_support() {
+        let lib = charlib();
+        assert!(PairwiseCovariance::new(&lib, &[], 0.5, CorrelationPolicy::Exact).is_err());
+        assert!(
+            PairwiseCovariance::new(&lib, &[CellId(7)], 0.5, CorrelationPolicy::Exact).is_err()
+        );
+    }
+
+    #[test]
+    fn support_listing() {
+        let lib = charlib();
+        let pw = PairwiseCovariance::new(
+            &lib,
+            &[CellId(1), CellId(0)],
+            0.5,
+            CorrelationPolicy::Simplified,
+        )
+        .unwrap();
+        assert_eq!(pw.support(), vec![CellId(0), CellId(1)]);
+    }
+}

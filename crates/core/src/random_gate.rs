@@ -1,0 +1,437 @@
+//! The Random Gate abstraction (paper §2.2.2–§2.2.3).
+//!
+//! A Random Gate (RG) is to gates what a random variable is to numbers:
+//! its instances are cells drawn from the library with the probabilities
+//! of the usage histogram. Its statistics (Eqs. 7–8) and cross-site
+//! covariance kernel (Eqs. 9–11) are everything the chip-level estimators
+//! need:
+//!
+//! ```text
+//! μ_XI   = Σ αᵢ μᵢ
+//! E[XI²] = Σ αᵢ (σᵢ² + μᵢ²)
+//! C_XI(l₁,l₂) = F(ρ_L(l₁,l₂))   (l₁ ≠ l₂),  σ²_XI  (l₁ = l₂)
+//! F(ρ)  = Σ_m Σ_n α_m α_n σ_m σ_n f_{m,n}(ρ)
+//! ```
+//!
+//! The exact kernel `F` is tabulated once over a `ρ_L` grid (each knot is
+//! a double sum of bivariate MGFs over cell/state pairs) and interpolated;
+//! under the simplified assumption `f_{m,n}(ρ) = ρ` (§3.1.2) it collapses
+//! to the closed form `F(ρ) = ρ·(Σ αᵢσ̄ᵢ)²`, where `σ̄ᵢ` is the
+//! state-probability-weighted within-state standard deviation (the
+//! between-state variance never correlates across sites).
+
+use crate::error::CoreError;
+use leakage_cells::corrmap::{cross_moment, CorrelationPolicy};
+use leakage_cells::model::{CharacterizedLibrary, LeakageTriplet};
+use leakage_cells::state::state_probabilities;
+use leakage_cells::UsageHistogram;
+use leakage_numeric::interp::LinearInterp;
+
+/// The leakage statistics and covariance kernel of a Random Gate.
+///
+/// # Example
+///
+/// ```no_run
+/// # use leakage_cells::charax::{CharMethod, Characterizer};
+/// # use leakage_cells::library::CellLibrary;
+/// # use leakage_cells::corrmap::CorrelationPolicy;
+/// # use leakage_cells::UsageHistogram;
+/// # use leakage_core::RandomGate;
+/// # use leakage_process::Technology;
+/// let tech = Technology::cmos90();
+/// let lib = CellLibrary::standard_62();
+/// let charlib = Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+/// let hist = UsageHistogram::uniform(62)?;
+/// let rg = RandomGate::new(&charlib, &hist, 0.5, CorrelationPolicy::Exact)?;
+/// assert!(rg.mean() > 0.0);
+/// assert!(rg.covariance(0.5) <= rg.variance());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomGate {
+    mean: f64,
+    variance: f64,
+    policy: CorrelationPolicy,
+    /// Σ αᵢσᵢ — closed-form kernel scale for the simplified policy.
+    sigma_bar: f64,
+    /// Tabulated `F(ρ)` for the exact policy.
+    kernel: Option<LinearInterp>,
+    l_sigma: f64,
+}
+
+/// Number of `ρ_L` knots in the tabulated exact kernel.
+const KERNEL_KNOTS: usize = 41;
+
+impl RandomGate {
+    /// Builds the RG for a characterized library, usage histogram, global
+    /// signal probability, and correlation policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if the histogram length does
+    /// not match the library, and propagates cell-model failures (e.g.
+    /// missing triplets under [`CorrelationPolicy::Exact`]).
+    pub fn new(
+        charlib: &CharacterizedLibrary,
+        histogram: &UsageHistogram,
+        signal_probability: f64,
+        policy: CorrelationPolicy,
+    ) -> Result<RandomGate, CoreError> {
+        Self::with_state_probabilities(charlib, histogram, policy, |cell| {
+            Ok(state_probabilities(cell.n_inputs, signal_probability)?)
+        })
+    }
+
+    /// Builds the RG with caller-supplied per-cell input-state
+    /// probabilities (e.g. from per-pin signal probabilities or logic
+    /// simulation), instead of a single global signal probability.
+    ///
+    /// `state_probs` receives each cell in the histogram's support and
+    /// must return a distribution over its `2^n_inputs` states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] on a histogram/library
+    /// mismatch or a malformed returned distribution, and propagates
+    /// cell-model failures.
+    pub fn with_state_probabilities<F>(
+        charlib: &CharacterizedLibrary,
+        histogram: &UsageHistogram,
+        policy: CorrelationPolicy,
+        state_probs: F,
+    ) -> Result<RandomGate, CoreError>
+    where
+        F: Fn(&leakage_cells::model::CharacterizedCell) -> Result<Vec<f64>, CoreError>,
+    {
+        if histogram.len() != charlib.len() {
+            return Err(CoreError::InvalidArgument {
+                reason: format!(
+                    "histogram covers {} cells, library has {}",
+                    histogram.len(),
+                    charlib.len()
+                ),
+            });
+        }
+        // Flatten (cell, state) pairs with joint weights α_i·π_s.
+        let mut weights: Vec<f64> = Vec::new();
+        let mut triplets: Vec<Option<LeakageTriplet>> = Vec::new();
+        let mut mean = 0.0;
+        let mut second = 0.0;
+        let mut sigma_bar = 0.0;
+        for (cell, alpha) in charlib.cells.iter().zip(histogram.probs()) {
+            if *alpha == 0.0 {
+                continue;
+            }
+            let probs = state_probs(cell)?;
+            if probs.len() != cell.states.len() {
+                return Err(CoreError::InvalidArgument {
+                    reason: format!(
+                        "{}: {} state probabilities for {} states",
+                        cell.name,
+                        probs.len(),
+                        cell.states.len()
+                    ),
+                });
+            }
+            let (mu_i, sd_i) = cell.mixture_stats(&probs)?;
+            mean += alpha * mu_i;
+            second += alpha * (sd_i * sd_i + mu_i * mu_i);
+            // Simplified-kernel scale: state-weighted *within-state* std —
+            // between-state variance never correlates across sites.
+            sigma_bar += alpha
+                * cell
+                    .states
+                    .iter()
+                    .zip(&probs)
+                    .map(|(s, p)| p * s.std)
+                    .sum::<f64>();
+            for (sm, pi) in cell.states.iter().zip(&probs) {
+                if *pi == 0.0 {
+                    continue;
+                }
+                weights.push(alpha * pi);
+                triplets.push(sm.triplet);
+            }
+        }
+        if weights.is_empty() {
+            return Err(CoreError::InvalidArgument {
+                reason: "histogram has empty support".into(),
+            });
+        }
+        let variance = (second - mean * mean).max(0.0);
+
+        let kernel = match policy {
+            CorrelationPolicy::Simplified => None,
+            CorrelationPolicy::Exact => {
+                let concrete: Vec<LeakageTriplet> = triplets
+                    .iter()
+                    .map(|t| {
+                        t.ok_or_else(|| CoreError::InvalidArgument {
+                            reason:
+                                "exact correlation policy requires fitted triplets for every \
+                                 state in the histogram support; use the simplified policy \
+                                 with monte-carlo characterization"
+                                    .into(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                Some(Self::tabulate_kernel(
+                    &weights,
+                    &concrete,
+                    charlib.l_sigma,
+                    mean,
+                )?)
+            }
+        };
+
+        Ok(RandomGate {
+            mean,
+            variance,
+            policy,
+            sigma_bar,
+            kernel,
+            l_sigma: charlib.l_sigma,
+        })
+    }
+
+    fn tabulate_kernel(
+        weights: &[f64],
+        triplets: &[LeakageTriplet],
+        l_sigma: f64,
+        mean: f64,
+    ) -> Result<LinearInterp, CoreError> {
+        let mut knots = Vec::with_capacity(KERNEL_KNOTS);
+        let mut values = Vec::with_capacity(KERNEL_KNOTS);
+        for k in 0..KERNEL_KNOTS {
+            let rho = k as f64 / (KERNEL_KNOTS - 1) as f64;
+            // E[X(l₁)X(l₂)] at length correlation ρ — symmetric double sum.
+            let mut cross = 0.0;
+            for j in 0..weights.len() {
+                // diagonal term
+                cross += weights[j]
+                    * weights[j]
+                    * cross_moment(&triplets[j], &triplets[j], l_sigma, rho)?;
+                for i in (j + 1)..weights.len() {
+                    cross += 2.0
+                        * weights[j]
+                        * weights[i]
+                        * cross_moment(&triplets[j], &triplets[i], l_sigma, rho)?;
+                }
+            }
+            knots.push(rho);
+            values.push(cross - mean * mean);
+        }
+        Ok(LinearInterp::new(knots, values)?)
+    }
+
+    /// Mean leakage `μ_XI` of the RG (A).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Variance `σ²_XI` (the same-site covariance, Eq. 11).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Standard deviation `σ_XI`.
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// The correlation policy the kernel was built with.
+    pub fn policy(&self) -> CorrelationPolicy {
+        self.policy
+    }
+
+    /// Channel-length sigma (nm) of the underlying characterization.
+    pub fn l_sigma(&self) -> f64 {
+        self.l_sigma
+    }
+
+    /// Cross-site covariance `F(ρ_L)` for two *distinct* sites whose
+    /// channel-length correlation is `ρ_L` (Eq. 10). The same-site value
+    /// is [`RandomGate::variance`], not `F(1)` — the gate identities at
+    /// two sites differ even at full length correlation.
+    pub fn covariance(&self, rho_l: f64) -> f64 {
+        let rho = rho_l.clamp(0.0, 1.0);
+        match &self.kernel {
+            Some(k) => k.eval(rho),
+            None => rho * self.sigma_bar * self.sigma_bar,
+        }
+    }
+
+    /// Normalized cross-site correlation `ρ_XI(ρ_L) = F(ρ_L)/σ²_XI`
+    /// (used in Eqs. 15–20).
+    pub fn rho_xi(&self, rho_l: f64) -> f64 {
+        if self.variance == 0.0 {
+            0.0
+        } else {
+            self.covariance(rho_l) / self.variance
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_cells::library::CellId;
+    use leakage_cells::model::{CharacterizedCell, StateModel};
+
+    const SIGMA: f64 = 4.5;
+
+    fn toy_charlib() -> CharacterizedLibrary {
+        // Two single-state "cells" with realistic triplet magnitudes.
+        let t1 = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        let t2 = LeakageTriplet::new(3e-9, -0.05, 0.0006).unwrap();
+        let mk = |id: usize, t: LeakageTriplet, name: &str| CharacterizedCell {
+            id: CellId(id),
+            name: name.into(),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(SIGMA).unwrap(),
+                std: t.std(SIGMA).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        CharacterizedLibrary {
+            cells: vec![mk(0, t1, "a"), mk(1, t2, "b")],
+            l_sigma: SIGMA,
+        }
+    }
+
+    #[test]
+    fn rg_moments_match_hand_formula() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::from_weights(vec![1.0, 3.0]).unwrap();
+        let rg = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Simplified).unwrap();
+        let (m1, s1) = (lib.cells[0].states[0].mean, lib.cells[0].states[0].std);
+        let (m2, s2) = (lib.cells[1].states[0].mean, lib.cells[1].states[0].std);
+        let mean = 0.25 * m1 + 0.75 * m2;
+        let second = 0.25 * (s1 * s1 + m1 * m1) + 0.75 * (s2 * s2 + m2 * m2);
+        assert!((rg.mean() - mean).abs() / mean < 1e-12);
+        assert!((rg.variance() - (second - mean * mean)).abs() / rg.variance() < 1e-12);
+    }
+
+    #[test]
+    fn simplified_kernel_is_linear_in_rho() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::uniform(2).unwrap();
+        let rg = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Simplified).unwrap();
+        let c_half = rg.covariance(0.5);
+        let c_full = rg.covariance(1.0);
+        assert!((c_full - 2.0 * c_half).abs() / c_full < 1e-12);
+        assert_eq!(rg.covariance(0.0), 0.0);
+    }
+
+    #[test]
+    fn exact_kernel_properties() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::uniform(2).unwrap();
+        let rg = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Exact).unwrap();
+        // F(0) = 0 (independent lengths, independent gate draws).
+        assert!(rg.covariance(0.0).abs() / rg.variance() < 1e-9);
+        // F is increasing and bounded by the variance.
+        let mut prev = -1.0;
+        for k in 0..=10 {
+            let c = rg.covariance(k as f64 / 10.0);
+            assert!(c >= prev);
+            assert!(c <= rg.variance() * (1.0 + 1e-12));
+            prev = c;
+        }
+        // F(1) < σ²: same length, different gate identities.
+        assert!(rg.covariance(1.0) < rg.variance());
+    }
+
+    #[test]
+    fn exact_close_to_simplified() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::uniform(2).unwrap();
+        let exact = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Exact).unwrap();
+        let simple = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Simplified).unwrap();
+        for k in 1..10 {
+            let rho = k as f64 / 10.0;
+            let rel = (exact.covariance(rho) - simple.covariance(rho)).abs()
+                / exact.variance();
+            assert!(rel < 0.1, "rho {rho}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn rejects_histogram_mismatch() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::uniform(3).unwrap();
+        assert!(RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Simplified).is_err());
+    }
+
+    #[test]
+    fn exact_requires_triplets() {
+        let mut lib = toy_charlib();
+        lib.cells[0].states[0].triplet = None;
+        let hist = UsageHistogram::uniform(2).unwrap();
+        assert!(RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Exact).is_err());
+        assert!(RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Simplified).is_ok());
+    }
+
+    #[test]
+    fn zero_weight_cells_do_not_need_triplets() {
+        let mut lib = toy_charlib();
+        lib.cells[1].states[0].triplet = None;
+        let hist = UsageHistogram::from_weights(vec![1.0, 0.0]).unwrap();
+        assert!(RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Exact).is_ok());
+    }
+
+    #[test]
+    fn rho_xi_is_normalized() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::uniform(2).unwrap();
+        let rg = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Exact).unwrap();
+        for k in 0..=10 {
+            let rho = k as f64 / 10.0;
+            let r = rg.rho_xi(rho);
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn custom_state_probabilities_match_global_p() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::uniform(2).unwrap();
+        let via_p = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Exact).unwrap();
+        let via_fn = RandomGate::with_state_probabilities(
+            &lib,
+            &hist,
+            CorrelationPolicy::Exact,
+            |cell| {
+                Ok(leakage_cells::state::state_probabilities(cell.n_inputs, 0.5).unwrap())
+            },
+        )
+        .unwrap();
+        assert_eq!(via_p.mean(), via_fn.mean());
+        assert_eq!(via_p.variance(), via_fn.variance());
+    }
+
+    #[test]
+    fn custom_state_probabilities_validated() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::uniform(2).unwrap();
+        let bad = RandomGate::with_state_probabilities(
+            &lib,
+            &hist,
+            CorrelationPolicy::Exact,
+            |_cell| Ok(vec![0.5, 0.5]), // wrong length for 0-input cells
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn covariance_clamps_out_of_range_rho() {
+        let lib = toy_charlib();
+        let hist = UsageHistogram::uniform(2).unwrap();
+        let rg = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Simplified).unwrap();
+        assert_eq!(rg.covariance(-0.5), 0.0);
+        assert_eq!(rg.covariance(1.5), rg.covariance(1.0));
+    }
+}

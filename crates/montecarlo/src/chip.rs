@@ -1,0 +1,340 @@
+//! Full-chip leakage sampling over a placed design.
+
+use crate::error::McError;
+use crate::gate_model::{build_gate_models, GateModel};
+use leakage_cells::model::CharacterizedLibrary;
+use leakage_netlist::PlacedCircuit;
+use leakage_numeric::stats::RunningStats;
+use leakage_process::correlation::SpatialCorrelation;
+use leakage_process::field::{CirculantFieldSampler, GridGeometry};
+use leakage_process::Technology;
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+
+/// Builder for [`ChipSampler`].
+#[derive(Debug)]
+pub struct ChipSamplerBuilder<'a, C> {
+    placed: &'a PlacedCircuit,
+    charlib: &'a CharacterizedLibrary,
+    tech: &'a Technology,
+    wid: &'a C,
+    signal_probability: f64,
+    sample_vt: bool,
+}
+
+impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
+    /// Starts a builder over a placed design.
+    pub fn new(
+        placed: &'a PlacedCircuit,
+        charlib: &'a CharacterizedLibrary,
+        tech: &'a Technology,
+        wid: &'a C,
+    ) -> Self {
+        ChipSamplerBuilder {
+            placed,
+            charlib,
+            tech,
+            wid,
+            signal_probability: 0.5,
+            sample_vt: false,
+        }
+    }
+
+    /// Sets the global signal probability (default 0.5).
+    pub fn signal_probability(mut self, p: f64) -> Self {
+        self.signal_probability = p;
+        self
+    }
+
+    /// Enables independent per-gate RDF Vt sampling (for the §2.1
+    /// variance-negligibility ablation).
+    pub fn sample_vt(mut self, enable: bool) -> Self {
+        self.sample_vt = enable;
+        self
+    }
+
+    /// Builds the sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::InvalidArgument`] if a gate lacks fitted
+    /// triplets (the MC engine evaluates leakage through the fitted state
+    /// curves) or falls outside the library.
+    pub fn build(self) -> Result<ChipSampler, McError> {
+        let grid = GridGeometry::for_die(
+            self.placed.n_gates(),
+            self.placed.width(),
+            self.placed.height(),
+        )?;
+        let l_var = self.tech.l_variation();
+        let field = CirculantFieldSampler::new(grid, self.wid, l_var.sigma_wid())?;
+        let vt_slope = if self.sample_vt {
+            let n_avg = 0.5 * (self.tech.nmos().n_factor + self.tech.pmos().n_factor);
+            1.0 / (n_avg * self.tech.thermal_voltage())
+        } else {
+            0.0
+        };
+        let gates = build_gate_models(self.placed, self.charlib, self.signal_probability)?;
+        // Map each gate position to its nearest site.
+        let sites: Vec<usize> = self
+            .placed
+            .gates()
+            .iter()
+            .map(|g| {
+                let col = ((g.x / grid.pitch_x()) as usize).min(grid.cols() - 1);
+                let row = ((g.y / grid.pitch_y()) as usize).min(grid.rows() - 1);
+                row * grid.cols() + col
+            })
+            .collect();
+        Ok(ChipSampler {
+            grid,
+            field,
+            sigma_d2d: l_var.sigma_d2d(),
+            vt_sigma: self.tech.vt_sigma(),
+            vt_slope,
+            sites,
+            gates,
+        })
+    }
+}
+
+/// Samples total-chip leakage under correlated L and (optionally)
+/// independent Vt variation.
+///
+/// # Example
+///
+/// ```no_run
+/// # use leakage_cells::charax::{CharMethod, Characterizer};
+/// # use leakage_cells::library::CellLibrary;
+/// # use leakage_cells::UsageHistogram;
+/// # use leakage_montecarlo::ChipSamplerBuilder;
+/// # use leakage_netlist::generate::RandomCircuitGenerator;
+/// # use leakage_netlist::placement::{place, PlacementStyle};
+/// # use leakage_process::correlation::TentCorrelation;
+/// # use leakage_process::Technology;
+/// # use rand::SeedableRng;
+/// let tech = Technology::cmos90();
+/// let lib = CellLibrary::standard_62();
+/// let charlib = Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+/// let gen = RandomCircuitGenerator::new(UsageHistogram::uniform(62)?);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let placed = place(&gen.generate_exact(500, &mut rng)?, &lib, PlacementStyle::RowMajor, 0.7)?;
+/// let wid = TentCorrelation::new(50.0)?;
+/// let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid).build()?;
+/// let stats = sampler.run(1000, &mut rng);
+/// println!("chip leakage: {} ± {} A", stats.mean(), stats.sample_std());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ChipSampler {
+    grid: GridGeometry,
+    field: CirculantFieldSampler,
+    sigma_d2d: f64,
+    vt_sigma: f64,
+    /// Vt sensitivity `1/(n·V_T)` (per volt) — 0 disables Vt sampling.
+    vt_slope: f64,
+    sites: Vec<usize>,
+    gates: Vec<GateModel>,
+}
+
+impl ChipSampler {
+    /// The site grid the field is sampled on.
+    pub fn grid(&self) -> GridGeometry {
+        self.grid
+    }
+
+    /// Evaluates the chip leakage for one pre-sampled WID field.
+    fn eval_with_field<R: Rng + ?Sized>(&self, wid_field: &[f64], rng: &mut R) -> f64 {
+        let d2d: f64 = {
+            let z: f64 = StandardNormal.sample(rng);
+            z * self.sigma_d2d
+        };
+        let mut total = 0.0;
+        for (g, site) in self.gates.iter().zip(&self.sites) {
+            let dl = d2d + wid_field[*site];
+            let mut leak = g.sample_leakage(dl, rng);
+            if self.vt_slope > 0.0 {
+                let dvt: f64 = {
+                    let z: f64 = StandardNormal.sample(rng);
+                    z * self.vt_sigma
+                };
+                leak *= (-dvt * self.vt_slope).exp();
+            }
+            total += leak;
+        }
+        total
+    }
+
+    /// Draws one total-chip leakage sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let (f, _) = self.field.sample_two(rng);
+        self.eval_with_field(&f, rng)
+    }
+
+    /// Runs `trials` chip samples and returns streaming statistics.
+    /// (Field samples come in independent pairs from the FFT, so an odd
+    /// trial count wastes half a field — harmless.)
+    pub fn run<R: Rng + ?Sized>(&self, trials: usize, rng: &mut R) -> RunningStats {
+        let mut stats = RunningStats::new();
+        let mut done = 0;
+        while done < trials {
+            let (f1, f2) = self.field.sample_two(rng);
+            stats.push(self.eval_with_field(&f1, rng));
+            done += 1;
+            if done < trials {
+                stats.push(self.eval_with_field(&f2, rng));
+                done += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_cells::library::CellId;
+    use leakage_cells::model::{CharacterizedCell, StateModel};
+    use leakage_cells::LeakageTriplet;
+    use leakage_core::PlacedGate;
+    use leakage_process::correlation::TentCorrelation;
+    use leakage_process::ParameterVariation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SIGMA: f64 = 4.5;
+
+    fn charlib() -> CharacterizedLibrary {
+        let t = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        CharacterizedLibrary {
+            cells: vec![CharacterizedCell {
+                id: CellId(0),
+                name: "cell0".into(),
+                n_inputs: 0,
+                states: vec![StateModel {
+                    state: 0,
+                    mean: t.mean(SIGMA).unwrap(),
+                    std: t.std(SIGMA).unwrap(),
+                    triplet: Some(t),
+                    fit_r2: Some(1.0),
+                }],
+            }],
+            l_sigma: SIGMA,
+        }
+    }
+
+    fn placed(n: usize) -> PlacedCircuit {
+        let side = (n as f64).sqrt().ceil() as usize;
+        let gates: Vec<PlacedGate> = (0..n)
+            .map(|i| PlacedGate {
+                cell: CellId(0),
+                x: (i % side) as f64 * 2.0 + 1.0,
+                y: (i / side) as f64 * 2.0 + 1.0,
+            })
+            .collect();
+        PlacedCircuit::new("mc", gates, side as f64 * 2.0, side as f64 * 2.0).unwrap()
+    }
+
+    fn tech() -> Technology {
+        // Match the toy charlib's σ_L = 4.5 split evenly.
+        let v = ParameterVariation::from_total(90.0, SIGMA, 0.5).unwrap();
+        Technology::cmos90().with_l_variation(v).unwrap()
+    }
+
+    #[test]
+    fn mc_mean_matches_analytic_gate_mean() {
+        let charlib = charlib();
+        let tech = tech();
+        let placed = placed(100);
+        let wid = TentCorrelation::new(20.0).unwrap();
+        let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = sampler.run(4000, &mut rng);
+        let expect = 100.0 * charlib.cells[0].states[0].mean;
+        let rel = (stats.mean() - expect).abs() / expect;
+        assert!(rel < 0.02, "mc mean off by {rel}");
+    }
+
+    #[test]
+    fn perfect_correlation_limit() {
+        // Tiny die vs huge correlation length + pure-WID budget: all gates
+        // share one ΔL, so σ_chip ≈ n·σ_gate.
+        let charlib = charlib();
+        let v = ParameterVariation::from_total(90.0, SIGMA, 0.0).unwrap();
+        let tech = Technology::cmos90().with_l_variation(v).unwrap();
+        let placed = placed(25);
+        let wid = TentCorrelation::new(1e6).unwrap();
+        let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = sampler.run(6000, &mut rng);
+        let expect = 25.0 * charlib.cells[0].states[0].std;
+        let rel = (stats.sample_std() - expect).abs() / expect;
+        assert!(rel < 0.06, "σ {} vs {expect}", stats.sample_std());
+    }
+
+    #[test]
+    fn uncorrelated_limit() {
+        // Correlation dies within a pitch and no D2D: σ_chip ≈ √n·σ_gate.
+        let charlib = charlib();
+        let v = ParameterVariation::from_total(90.0, SIGMA, 0.0).unwrap();
+        let tech = Technology::cmos90().with_l_variation(v).unwrap();
+        let placed = placed(100);
+        let wid = TentCorrelation::new(0.5).unwrap();
+        let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let stats = sampler.run(6000, &mut rng);
+        let expect = 10.0 * charlib.cells[0].states[0].std;
+        let rel = (stats.sample_std() - expect).abs() / expect;
+        assert!(rel < 0.08, "σ {} vs {expect}", stats.sample_std());
+    }
+
+    #[test]
+    fn vt_sampling_increases_mean_but_not_relative_std() {
+        let charlib = charlib();
+        let tech = tech();
+        let placed = placed(400);
+        let wid = TentCorrelation::new(20.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap()
+            .run(3000, &mut rng);
+        let with_vt = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .sample_vt(true)
+            .build()
+            .unwrap()
+            .run(3000, &mut rng);
+        assert!(
+            with_vt.mean() > base.mean() * 1.02,
+            "vt lifts the mean: {} vs {}",
+            with_vt.mean(),
+            base.mean()
+        );
+        // For 400 independent gates the extra *relative* std from Vt is
+        // tiny compared to the correlated-L std.
+        let rel_base = base.sample_std() / base.mean();
+        let rel_vt = with_vt.sample_std() / with_vt.mean();
+        assert!(
+            (rel_vt - rel_base).abs() / rel_base < 0.15,
+            "relative spread barely moves: {rel_base} vs {rel_vt}"
+        );
+    }
+
+    #[test]
+    fn build_rejects_missing_triplets() {
+        let mut charlib = charlib();
+        charlib.cells[0].states[0].triplet = None;
+        let tech = tech();
+        let placed = placed(9);
+        let wid = TentCorrelation::new(10.0).unwrap();
+        assert!(ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .is_err());
+    }
+}

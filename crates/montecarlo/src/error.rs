@@ -1,0 +1,62 @@
+//! Error type for the Monte-Carlo engine.
+
+use std::fmt;
+
+/// Errors from Monte-Carlo setup or sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McError {
+    /// An argument was out of range or inconsistent.
+    InvalidArgument {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A cell-model operation failed.
+    Cells(leakage_cells::CellError),
+    /// A process-model operation failed.
+    Process(leakage_process::ProcessError),
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            McError::Cells(e) => write!(f, "cell model failure: {e}"),
+            McError::Process(e) => write!(f, "process model failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for McError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McError::Cells(e) => Some(e),
+            McError::Process(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<leakage_cells::CellError> for McError {
+    fn from(e: leakage_cells::CellError) -> McError {
+        McError::Cells(e)
+    }
+}
+
+impl From<leakage_process::ProcessError> for McError {
+    fn from(e: leakage_process::ProcessError) -> McError {
+        McError::Process(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_works() {
+        let e = McError::InvalidArgument {
+            reason: "trials must be positive".into(),
+        };
+        assert!(e.to_string().contains("trials"));
+    }
+}

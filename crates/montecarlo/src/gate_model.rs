@@ -1,0 +1,73 @@
+//! Shared per-instance sampling model used by the chip samplers.
+
+use crate::error::McError;
+use leakage_cells::model::CharacterizedLibrary;
+use leakage_cells::state::state_probabilities;
+use leakage_cells::LeakageTriplet;
+use leakage_netlist::PlacedCircuit;
+use rand::Rng;
+
+/// Per-instance sampling model: cumulative state distribution and
+/// per-state leakage curves.
+#[derive(Debug, Clone)]
+pub(crate) struct GateModel {
+    pub(crate) cum_state_probs: Vec<f64>,
+    pub(crate) triplets: Vec<LeakageTriplet>,
+}
+
+impl GateModel {
+    /// Draws a state and evaluates the leakage at channel-length
+    /// deviation `dl`.
+    pub(crate) fn sample_leakage<R: Rng + ?Sized>(&self, dl: f64, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let state = self
+            .cum_state_probs
+            .partition_point(|&c| c < u)
+            .min(self.triplets.len() - 1);
+        self.triplets[state].eval(dl)
+    }
+}
+
+/// Builds the per-instance models for a placed design.
+pub(crate) fn build_gate_models(
+    placed: &PlacedCircuit,
+    charlib: &CharacterizedLibrary,
+    signal_probability: f64,
+) -> Result<Vec<GateModel>, McError> {
+    let mut gates = Vec::with_capacity(placed.n_gates());
+    for g in placed.gates() {
+        let cell = charlib
+            .cell(g.cell)
+            .ok_or_else(|| McError::InvalidArgument {
+                reason: format!("gate type {} outside characterized library", g.cell.0),
+            })?;
+        let probs = state_probabilities(cell.n_inputs, signal_probability)?;
+        let mut cum = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cum.push(acc);
+        }
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        let triplets: Vec<LeakageTriplet> = cell
+            .states
+            .iter()
+            .map(|s| {
+                s.triplet.ok_or_else(|| McError::InvalidArgument {
+                    reason: format!(
+                        "{} state {} has no fitted triplet; monte-carlo needs the \
+                         analytical characterization",
+                        cell.name, s.state
+                    ),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        gates.push(GateModel {
+            cum_state_probs: cum,
+            triplets,
+        });
+    }
+    Ok(gates)
+}

@@ -1,0 +1,28 @@
+//! Full-chip Monte-Carlo leakage: the empirical cross-check for every
+//! analytical estimator in the workspace.
+//!
+//! The engine samples a correlated within-die channel-length field over
+//! the placement grid (FFT circulant embedding), adds a shared
+//! die-to-die offset, draws each instance's input state from its signal
+//! probabilities, evaluates each instance's leakage through its fitted
+//! state model, and accumulates total-chip statistics.
+//!
+//! It also hosts the Monte-Carlo side of the paper's Fig. 2 (pairwise
+//! leakage correlation vs length correlation) and the Vt-variance
+//! ablation justifying §2.1's "Vt does not matter for chip variance"
+//! argument.
+
+// `!(x > 0.0)`-style comparisons deliberately treat NaN as invalid input;
+// rewriting them per clippy would silently accept NaN. Index-based loops in
+// the math kernels mirror the paper's summation notation.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+pub mod chip;
+pub mod error;
+mod gate_model;
+pub mod pair;
+pub mod quadtree;
+
+pub use chip::{ChipSampler, ChipSamplerBuilder};
+pub use error::McError;
+pub use quadtree::QuadtreeChipSampler;

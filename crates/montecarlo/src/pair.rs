@@ -1,0 +1,112 @@
+//! Monte-Carlo pairwise leakage correlation (the MC curve of Fig. 2).
+//!
+//! Samples bivariate-normal channel lengths with a prescribed correlation
+//! and pushes them through *solver-derived* leakage curves (dense `ln I`
+//! tabulations, not the fitted triplets), so the result is an independent
+//! check of the analytical `f_{m,n}` mapping.
+
+use crate::error::McError;
+use leakage_numeric::interp::LinearInterp;
+use leakage_numeric::stats::pearson_correlation;
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+
+/// Monte-Carlo estimate of the leakage correlation between two cells whose
+/// `ln I(ΔL)` curves are tabulated, under length correlation `rho_l` and
+/// `ΔL ~ N(0, sigma)`.
+///
+/// # Errors
+///
+/// Returns [`McError::InvalidArgument`] for out-of-range `rho_l`,
+/// non-positive `sigma`, or too few samples.
+pub fn pair_leakage_correlation_mc<R: Rng + ?Sized>(
+    curve_a: &LinearInterp,
+    curve_b: &LinearInterp,
+    sigma: f64,
+    rho_l: f64,
+    samples: usize,
+    rng: &mut R,
+) -> Result<f64, McError> {
+    if !(-1.0..=1.0).contains(&rho_l) {
+        return Err(McError::InvalidArgument {
+            reason: format!("length correlation must be in [-1, 1], got {rho_l}"),
+        });
+    }
+    if !(sigma > 0.0) {
+        return Err(McError::InvalidArgument {
+            reason: "sigma must be positive".into(),
+        });
+    }
+    if samples < 16 {
+        return Err(McError::InvalidArgument {
+            reason: "need at least 16 samples".into(),
+        });
+    }
+    let mut xa = Vec::with_capacity(samples);
+    let mut xb = Vec::with_capacity(samples);
+    let tail = (1.0 - rho_l * rho_l).sqrt();
+    for _ in 0..samples {
+        let z1: f64 = StandardNormal.sample(rng);
+        let z2: f64 = StandardNormal.sample(rng);
+        let l1 = sigma * z1;
+        let l2 = sigma * (rho_l * z1 + tail * z2);
+        xa.push(curve_a.eval(l1).exp());
+        xb.push(curve_b.eval(l2).exp());
+    }
+    Ok(pearson_correlation(&xa, &xb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn log_curve(a: f64, b: f64, c: f64) -> LinearInterp {
+        let xs: Vec<f64> = (0..200).map(|i| -25.0 + i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a.ln() + b * x + c * x * x).collect();
+        LinearInterp::new(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn mc_correlation_matches_analytic_mapping() {
+        let (a_par, b_par, c_par) = (1e-9, -0.06, 0.0009);
+        let (a2, b2, c2) = (3e-9, -0.05, 0.0006);
+        let curve_a = log_curve(a_par, b_par, c_par);
+        let curve_b = log_curve(a2, b2, c2);
+        let ta = leakage_cells::LeakageTriplet::new(a_par, b_par, c_par).unwrap();
+        let tb = leakage_cells::LeakageTriplet::new(a2, b2, c2).unwrap();
+        let sigma = 4.5;
+        let mut rng = StdRng::seed_from_u64(1);
+        for rho in [0.2, 0.5, 0.8] {
+            let mc = pair_leakage_correlation_mc(&curve_a, &curve_b, sigma, rho, 60_000, &mut rng)
+                .unwrap();
+            let analytic =
+                leakage_cells::corrmap::state_leakage_correlation(&ta, &tb, sigma, rho).unwrap();
+            assert!(
+                (mc - analytic).abs() < 0.02,
+                "rho {rho}: mc {mc} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn endpoints() {
+        let curve = log_curve(1e-9, -0.06, 0.0009);
+        let mut rng = StdRng::seed_from_u64(2);
+        let zero =
+            pair_leakage_correlation_mc(&curve, &curve, 4.5, 0.0, 40_000, &mut rng).unwrap();
+        assert!(zero.abs() < 0.02);
+        let one = pair_leakage_correlation_mc(&curve, &curve, 4.5, 1.0, 40_000, &mut rng).unwrap();
+        assert!(one > 0.999);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        let curve = log_curve(1e-9, -0.06, 0.0009);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(pair_leakage_correlation_mc(&curve, &curve, 4.5, 1.5, 100, &mut rng).is_err());
+        assert!(pair_leakage_correlation_mc(&curve, &curve, 0.0, 0.5, 100, &mut rng).is_err());
+        assert!(pair_leakage_correlation_mc(&curve, &curve, 4.5, 0.5, 5, &mut rng).is_err());
+    }
+}

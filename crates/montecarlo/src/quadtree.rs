@@ -1,0 +1,170 @@
+//! Chip leakage sampling under a *hierarchical* (quadtree) within-die
+//! field — the non-isotropic ground truth for the isotropic-approximation
+//! ablation (`quadtree_ablation` experiment).
+
+use crate::error::McError;
+use crate::gate_model::{build_gate_models, GateModel};
+use leakage_cells::model::CharacterizedLibrary;
+use leakage_netlist::PlacedCircuit;
+use leakage_numeric::stats::RunningStats;
+use leakage_process::hierarchical::QuadtreeCorrelation;
+use rand::Rng;
+
+/// Samples total-chip leakage with `ΔL` drawn from a quadtree field.
+///
+/// The quadtree's level-0 share plays the role of a die-wide (D2D-like)
+/// component; `sigma_total` scales the unit-variance field to nm.
+#[derive(Debug)]
+pub struct QuadtreeChipSampler {
+    model: QuadtreeCorrelation,
+    positions: Vec<(f64, f64)>,
+    gates: Vec<GateModel>,
+    sigma_total: f64,
+}
+
+impl QuadtreeChipSampler {
+    /// Builds the sampler for a placed design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::InvalidArgument`] for a non-positive sigma, a
+    /// quadtree not covering the die, or missing triplets.
+    pub fn new(
+        placed: &PlacedCircuit,
+        charlib: &CharacterizedLibrary,
+        model: QuadtreeCorrelation,
+        sigma_total: f64,
+        signal_probability: f64,
+    ) -> Result<Self, McError> {
+        if !(sigma_total > 0.0) || !sigma_total.is_finite() {
+            return Err(McError::InvalidArgument {
+                reason: format!("sigma must be positive, got {sigma_total}"),
+            });
+        }
+        if model.width() < placed.width() || model.height() < placed.height() {
+            return Err(McError::InvalidArgument {
+                reason: "quadtree die must cover the placed design".into(),
+            });
+        }
+        let gates = build_gate_models(placed, charlib, signal_probability)?;
+        let positions = placed.gates().iter().map(|g| (g.x, g.y)).collect();
+        Ok(QuadtreeChipSampler {
+            model,
+            positions,
+            gates,
+            sigma_total,
+        })
+    }
+
+    /// Draws one total-chip leakage sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let field = self.model.sample_field(&self.positions, rng);
+        self.gates
+            .iter()
+            .zip(&field)
+            .map(|(g, f)| g.sample_leakage(f * self.sigma_total, rng))
+            .sum()
+    }
+
+    /// Runs `trials` samples and returns streaming statistics.
+    pub fn run<R: Rng + ?Sized>(&self, trials: usize, rng: &mut R) -> RunningStats {
+        let mut stats = RunningStats::new();
+        for _ in 0..trials {
+            stats.push(self.sample(rng));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_cells::library::CellId;
+    use leakage_cells::model::{CharacterizedCell, StateModel};
+    use leakage_cells::LeakageTriplet;
+    use leakage_core::PlacedGate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SIGMA: f64 = 4.5;
+
+    fn charlib() -> CharacterizedLibrary {
+        let t = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        CharacterizedLibrary {
+            cells: vec![CharacterizedCell {
+                id: CellId(0),
+                name: "cell0".into(),
+                n_inputs: 0,
+                states: vec![StateModel {
+                    state: 0,
+                    mean: t.mean(SIGMA).unwrap(),
+                    std: t.std(SIGMA).unwrap(),
+                    triplet: Some(t),
+                    fit_r2: Some(1.0),
+                }],
+            }],
+            l_sigma: SIGMA,
+        }
+    }
+
+    fn placed(n: usize, side: f64) -> PlacedCircuit {
+        let per_row = (n as f64).sqrt().ceil() as usize;
+        let pitch = side / per_row as f64;
+        let gates: Vec<PlacedGate> = (0..n)
+            .map(|i| PlacedGate {
+                cell: CellId(0),
+                x: (i % per_row) as f64 * pitch + pitch / 2.0,
+                y: (i / per_row) as f64 * pitch + pitch / 2.0,
+            })
+            .collect();
+        PlacedCircuit::new("qt", gates, side, side).unwrap()
+    }
+
+    #[test]
+    fn mean_matches_analytic() {
+        let charlib = charlib();
+        let placed = placed(64, 128.0);
+        let model = QuadtreeCorrelation::standard(128.0, 128.0).unwrap();
+        let s = QuadtreeChipSampler::new(&placed, &charlib, model, SIGMA, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = s.run(6000, &mut rng);
+        let expect = 64.0 * charlib.cells[0].states[0].mean;
+        assert!(
+            (stats.mean() - expect).abs() / expect < 0.02,
+            "{} vs {expect}",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn all_shared_variance_gives_full_correlation_std() {
+        // One level covering the die: all gates share ΔL ⇒ σ_chip = n·σ.
+        let charlib = charlib();
+        let placed = placed(16, 64.0);
+        let model = QuadtreeCorrelation::new(64.0, 64.0, vec![1.0]).unwrap();
+        let s = QuadtreeChipSampler::new(&placed, &charlib, model, SIGMA, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let stats = s.run(8000, &mut rng);
+        let expect = 16.0 * charlib.cells[0].states[0].std;
+        assert!(
+            (stats.sample_std() - expect).abs() / expect < 0.05,
+            "{} vs {expect}",
+            stats.sample_std()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_configuration() {
+        let charlib = charlib();
+        let placed = placed(16, 64.0);
+        let model = QuadtreeCorrelation::standard(64.0, 64.0).unwrap();
+        assert!(
+            QuadtreeChipSampler::new(&placed, &charlib, model.clone(), 0.0, 0.5).is_err()
+        );
+        let small = QuadtreeCorrelation::standard(32.0, 32.0).unwrap();
+        assert!(QuadtreeChipSampler::new(&placed, &charlib, small, SIGMA, 0.5).is_err());
+        let mut nolib = charlib;
+        nolib.cells[0].states[0].triplet = None;
+        assert!(QuadtreeChipSampler::new(&placed, &nolib, model, SIGMA, 0.5).is_err());
+    }
+}

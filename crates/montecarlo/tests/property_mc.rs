@@ -1,0 +1,109 @@
+//! Property-based consistency tests of the Monte-Carlo chip samplers on
+//! synthetic single-state libraries: whatever the triplet, correlation
+//! range or placement, the empirical mean must track the analytic gate
+//! mean and the empirical std must sit between the iid floor and the
+//! full-correlation ceiling.
+
+use leakage_cells::library::CellId;
+use leakage_cells::model::{CharacterizedCell, CharacterizedLibrary, StateModel};
+use leakage_cells::LeakageTriplet;
+use leakage_core::PlacedGate;
+use leakage_montecarlo::{ChipSamplerBuilder, QuadtreeChipSampler};
+use leakage_netlist::PlacedCircuit;
+use leakage_process::correlation::TentCorrelation;
+use leakage_process::hierarchical::QuadtreeCorrelation;
+use leakage_process::{ParameterVariation, Technology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SIGMA: f64 = 4.5;
+
+fn charlib(a: f64, b: f64, c: f64) -> CharacterizedLibrary {
+    let t = LeakageTriplet::new(a, b, c).expect("valid");
+    CharacterizedLibrary {
+        cells: vec![CharacterizedCell {
+            id: CellId(0),
+            name: "syn".into(),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(SIGMA).expect("finite"),
+                std: t.std(SIGMA).expect("finite"),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        }],
+        l_sigma: SIGMA,
+    }
+}
+
+fn placed(n_side: usize, pitch: f64) -> PlacedCircuit {
+    let gates: Vec<PlacedGate> = (0..n_side * n_side)
+        .map(|i| PlacedGate {
+            cell: CellId(0),
+            x: (i % n_side) as f64 * pitch + pitch / 2.0,
+            y: (i / n_side) as f64 * pitch + pitch / 2.0,
+        })
+        .collect();
+    let side = n_side as f64 * pitch;
+    PlacedCircuit::new("prop", gates, side, side).expect("valid")
+}
+
+fn tech() -> Technology {
+    let v = ParameterVariation::from_total(90.0, SIGMA, 0.3).expect("budget");
+    Technology::cmos90().with_l_variation(v).expect("tech")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn circulant_sampler_brackets(
+        b in -0.08_f64..-0.03,
+        dmax in 5.0_f64..200.0,
+        seed in 0u64..100,
+    ) {
+        let charlib = charlib(1e-9, b, 5e-4);
+        let tech = tech();
+        let placed = placed(6, 4.0); // 36 gates on a 24 µm die
+        let wid = TentCorrelation::new(dmax).unwrap();
+        let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = sampler.run(1200, &mut rng);
+        let n = 36.0;
+        let gate = &charlib.cells[0].states[0];
+        // Mean tracks n·μ within MC error.
+        let rel = (stats.mean() - n * gate.mean).abs() / (n * gate.mean);
+        prop_assert!(rel < 0.08, "mean off by {rel}");
+        // Std bracketed by iid floor and full-correlation ceiling
+        // (generous MC slack on both sides).
+        let floor = n.sqrt() * gate.std;
+        let ceiling = n * gate.std;
+        prop_assert!(stats.sample_std() > floor * 0.7, "below iid floor");
+        prop_assert!(stats.sample_std() < ceiling * 1.3, "above ceiling");
+    }
+
+    #[test]
+    fn quadtree_sampler_brackets(
+        b in -0.08_f64..-0.03,
+        w0 in 0.1_f64..0.9,
+        seed in 0u64..100,
+    ) {
+        let charlib = charlib(2e-9, b, 5e-4);
+        let placed = placed(5, 6.0); // 25 gates on a 30 µm die
+        let model = QuadtreeCorrelation::new(30.0, 30.0, vec![w0, (1.0 - w0) * 0.5]).unwrap();
+        let sampler =
+            QuadtreeChipSampler::new(&placed, &charlib, model, SIGMA, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = sampler.run(1200, &mut rng);
+        let n = 25.0;
+        let gate = &charlib.cells[0].states[0];
+        let rel = (stats.mean() - n * gate.mean).abs() / (n * gate.mean);
+        prop_assert!(rel < 0.08, "mean off by {rel}");
+        prop_assert!(stats.sample_std() > n.sqrt() * gate.std * 0.7);
+        prop_assert!(stats.sample_std() < n * gate.std * 1.3);
+    }
+}

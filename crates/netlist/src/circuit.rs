@@ -1,0 +1,241 @@
+//! Circuit containers: unplaced gate lists and placed designs.
+//!
+//! Leakage analysis consumes only what the paper's model consumes: the
+//! gate *types*, their *positions*, and the die dimensions. Connectivity
+//! does not enter the leakage statistics (it is absorbed by the signal
+//! probabilities), so nets are deliberately not modeled.
+
+use crate::error::NetlistError;
+use leakage_cells::{CellId, UsageHistogram};
+use leakage_core::PlacedGate;
+use serde::{Deserialize, Serialize};
+
+/// An unplaced circuit: a named bag of gate instances by type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    gates: Vec<CellId>,
+}
+
+impl Circuit {
+    /// Creates a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidArgument`] if the gate list is empty.
+    pub fn new(name: impl Into<String>, gates: Vec<CellId>) -> Result<Circuit, NetlistError> {
+        if gates.is_empty() {
+            return Err(NetlistError::InvalidArgument {
+                reason: "circuit must contain at least one gate".into(),
+            });
+        }
+        Ok(Circuit {
+            name: name.into(),
+            gates,
+        })
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Gate types, one entry per instance.
+    pub fn gates(&self) -> &[CellId] {
+        &self.gates
+    }
+
+    /// Number of gate instances.
+    pub fn n_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The circuit's actual usage histogram over a library of
+    /// `library_len` types.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidArgument`] if a gate id exceeds the
+    /// library size.
+    pub fn usage_histogram(&self, library_len: usize) -> Result<UsageHistogram, NetlistError> {
+        let mut counts = vec![0.0; library_len];
+        for g in &self.gates {
+            let slot = counts
+                .get_mut(g.0)
+                .ok_or_else(|| NetlistError::InvalidArgument {
+                    reason: format!("gate type {} outside library of {library_len}", g.0),
+                })?;
+            *slot += 1.0;
+        }
+        Ok(UsageHistogram::from_weights(counts)?)
+    }
+}
+
+/// A placed circuit: gate instances with coordinates inside a die outline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedCircuit {
+    name: String,
+    gates: Vec<PlacedGate>,
+    width: f64,
+    height: f64,
+}
+
+impl PlacedCircuit {
+    /// Creates a placed circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidArgument`] for an empty gate list,
+    /// non-positive die dimensions, or gates outside the outline.
+    pub fn new(
+        name: impl Into<String>,
+        gates: Vec<PlacedGate>,
+        width: f64,
+        height: f64,
+    ) -> Result<PlacedCircuit, NetlistError> {
+        if gates.is_empty() {
+            return Err(NetlistError::InvalidArgument {
+                reason: "placed circuit must contain at least one gate".into(),
+            });
+        }
+        if !(width > 0.0 && height > 0.0) {
+            return Err(NetlistError::InvalidArgument {
+                reason: format!("die dimensions must be positive, got {width} x {height}"),
+            });
+        }
+        for (i, g) in gates.iter().enumerate() {
+            if g.x < 0.0 || g.x > width || g.y < 0.0 || g.y > height {
+                return Err(NetlistError::InvalidArgument {
+                    reason: format!(
+                        "gate {i} at ({}, {}) lies outside the {width} x {height} die",
+                        g.x, g.y
+                    ),
+                });
+            }
+        }
+        Ok(PlacedCircuit {
+            name: name.into(),
+            gates,
+            width,
+            height,
+        })
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The placed instances.
+    pub fn gates(&self) -> &[PlacedGate] {
+        &self.gates
+    }
+
+    /// Number of gate instances.
+    pub fn n_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Die width (µm).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Die height (µm).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Gate types in instance order (drops coordinates).
+    pub fn gate_types(&self) -> Vec<CellId> {
+        self.gates.iter().map(|g| g.cell).collect()
+    }
+
+    /// Distinct types used, sorted.
+    pub fn support(&self) -> Vec<CellId> {
+        let mut ids: Vec<CellId> = self.gates.iter().map(|g| g.cell).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_histogram_counts() {
+        let c = Circuit::new(
+            "t",
+            vec![CellId(0), CellId(0), CellId(2), CellId(0)],
+        )
+        .unwrap();
+        let h = c.usage_histogram(3).unwrap();
+        assert!((h.alpha(CellId(0)) - 0.75).abs() < 1e-12);
+        assert_eq!(h.alpha(CellId(1)), 0.0);
+        assert!((h.alpha(CellId(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_rejects_empty_and_out_of_range() {
+        assert!(Circuit::new("t", vec![]).is_err());
+        let c = Circuit::new("t", vec![CellId(9)]).unwrap();
+        assert!(c.usage_histogram(3).is_err());
+    }
+
+    #[test]
+    fn placed_circuit_validates_bounds() {
+        let ok = PlacedCircuit::new(
+            "t",
+            vec![PlacedGate {
+                cell: CellId(0),
+                x: 5.0,
+                y: 5.0,
+            }],
+            10.0,
+            10.0,
+        );
+        assert!(ok.is_ok());
+        let bad = PlacedCircuit::new(
+            "t",
+            vec![PlacedGate {
+                cell: CellId(0),
+                x: 15.0,
+                y: 5.0,
+            }],
+            10.0,
+            10.0,
+        );
+        assert!(bad.is_err());
+        assert!(PlacedCircuit::new("t", vec![], 10.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn support_is_sorted_unique() {
+        let p = PlacedCircuit::new(
+            "t",
+            vec![
+                PlacedGate {
+                    cell: CellId(3),
+                    x: 1.0,
+                    y: 1.0,
+                },
+                PlacedGate {
+                    cell: CellId(1),
+                    x: 2.0,
+                    y: 1.0,
+                },
+                PlacedGate {
+                    cell: CellId(3),
+                    x: 3.0,
+                    y: 1.0,
+                },
+            ],
+            10.0,
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(p.support(), vec![CellId(1), CellId(3)]);
+    }
+}

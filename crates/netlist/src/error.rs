@@ -1,0 +1,72 @@
+//! Error type for circuit generation and placement.
+
+use std::fmt;
+
+/// Errors from circuit construction, placement, or extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// An argument was out of range or inconsistent.
+    InvalidArgument {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A cell-library operation failed.
+    Cells(leakage_cells::CellError),
+    /// A core-model operation failed.
+    Core(leakage_core::CoreError),
+    /// A process-model operation failed.
+    Process(leakage_process::ProcessError),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            NetlistError::Cells(e) => write!(f, "cell library failure: {e}"),
+            NetlistError::Core(e) => write!(f, "core model failure: {e}"),
+            NetlistError::Process(e) => write!(f, "process model failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetlistError::Cells(e) => Some(e),
+            NetlistError::Core(e) => Some(e),
+            NetlistError::Process(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<leakage_cells::CellError> for NetlistError {
+    fn from(e: leakage_cells::CellError) -> NetlistError {
+        NetlistError::Cells(e)
+    }
+}
+
+impl From<leakage_core::CoreError> for NetlistError {
+    fn from(e: leakage_core::CoreError) -> NetlistError {
+        NetlistError::Core(e)
+    }
+}
+
+impl From<leakage_process::ProcessError> for NetlistError {
+    fn from(e: leakage_process::ProcessError) -> NetlistError {
+        NetlistError::Process(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_works() {
+        let e = NetlistError::InvalidArgument {
+            reason: "no gates".into(),
+        };
+        assert!(e.to_string().contains("no gates"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Late-mode extraction of high-level characteristics (§1, §3.1.1).
+//!
+//! Given a placed design, extraction recovers exactly the four
+//! characteristics the Random Gate model consumes: the usage histogram,
+//! the gate count, and the layout dimensions (the characterized library is
+//! shared). This is the "late mode" entry into the estimation flow — the
+//! extraction is a single pass over the instances, i.e. linear time,
+//! matching the paper's footnote on extraction cost.
+
+use crate::circuit::PlacedCircuit;
+use crate::error::NetlistError;
+use leakage_core::HighLevelCharacteristics;
+
+/// Extracts the high-level characteristics of a placed design.
+///
+/// `library_len` is the number of types in the target library;
+/// `signal_probability` is carried through to state weighting.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidArgument`] if a gate type falls outside
+/// the library or the characteristics fail validation.
+pub fn extract_characteristics(
+    placed: &PlacedCircuit,
+    library_len: usize,
+    signal_probability: f64,
+) -> Result<HighLevelCharacteristics, NetlistError> {
+    let mut counts = vec![0.0; library_len];
+    for g in placed.gates() {
+        let slot = counts
+            .get_mut(g.cell.0)
+            .ok_or_else(|| NetlistError::InvalidArgument {
+                reason: format!(
+                    "gate type {} outside library of {library_len}",
+                    g.cell.0
+                ),
+            })?;
+        *slot += 1.0;
+    }
+    let histogram = leakage_cells::UsageHistogram::from_weights(counts)?;
+    Ok(HighLevelCharacteristics::builder()
+        .histogram(histogram)
+        .n_cells(placed.n_gates())
+        .die_dimensions(placed.width(), placed.height())
+        .signal_probability(signal_probability)
+        .build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_cells::CellId;
+    use leakage_core::PlacedGate;
+
+    fn placed() -> PlacedCircuit {
+        PlacedCircuit::new(
+            "t",
+            vec![
+                PlacedGate {
+                    cell: CellId(0),
+                    x: 1.0,
+                    y: 1.0,
+                },
+                PlacedGate {
+                    cell: CellId(0),
+                    x: 2.0,
+                    y: 1.0,
+                },
+                PlacedGate {
+                    cell: CellId(2),
+                    x: 3.0,
+                    y: 1.0,
+                },
+            ],
+            10.0,
+            8.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extraction_recovers_characteristics() {
+        let chars = extract_characteristics(&placed(), 3, 0.5).unwrap();
+        assert_eq!(chars.n_cells(), 3);
+        assert_eq!(chars.width(), 10.0);
+        assert_eq!(chars.height(), 8.0);
+        assert!((chars.histogram().alpha(CellId(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(chars.histogram().alpha(CellId(1)), 0.0);
+        assert_eq!(chars.signal_probability(), 0.5);
+    }
+
+    #[test]
+    fn extraction_rejects_small_library() {
+        assert!(extract_characteristics(&placed(), 2, 0.5).is_err());
+    }
+
+    #[test]
+    fn extraction_roundtrips_with_circuit_histogram() {
+        let p = placed();
+        let chars = extract_characteristics(&p, 5, 0.5).unwrap();
+        let direct = crate::circuit::Circuit::new("t", p.gate_types())
+            .unwrap()
+            .usage_histogram(5)
+            .unwrap();
+        assert_eq!(chars.histogram().probs(), direct.probs());
+    }
+}

@@ -1,0 +1,175 @@
+//! Random circuit generation matching a target usage histogram (§3.1.1).
+
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+use leakage_cells::{CellId, UsageHistogram};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates random circuits whose cell mix follows a target histogram.
+///
+/// Two modes mirror the two ways a "random design with given
+/// characteristics" can be construed:
+///
+/// * [`RandomCircuitGenerator::generate`] — every gate type is an i.i.d.
+///   draw from the histogram (the circuit's *empirical* histogram
+///   fluctuates around the target, shrinking as `1/√n`);
+/// * [`RandomCircuitGenerator::generate_exact`] — type counts match the
+///   target exactly (largest-remainder rounding), with the instance order
+///   shuffled.
+#[derive(Debug, Clone)]
+pub struct RandomCircuitGenerator {
+    histogram: UsageHistogram,
+    counter: std::cell::Cell<u64>,
+}
+
+impl RandomCircuitGenerator {
+    /// Creates a generator for the target histogram.
+    pub fn new(histogram: UsageHistogram) -> RandomCircuitGenerator {
+        RandomCircuitGenerator {
+            histogram,
+            counter: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The target histogram.
+    pub fn histogram(&self) -> &UsageHistogram {
+        &self.histogram
+    }
+
+    fn next_name(&self, prefix: &str, n: usize) -> String {
+        let k = self.counter.get();
+        self.counter.set(k + 1);
+        format!("{prefix}_{n}g_{k}")
+    }
+
+    /// Generates a circuit of `n` i.i.d. gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidArgument`] if `n == 0`.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Circuit, NetlistError> {
+        if n == 0 {
+            return Err(NetlistError::InvalidArgument {
+                reason: "cannot generate an empty circuit".into(),
+            });
+        }
+        let gates: Vec<CellId> = (0..n).map(|_| self.histogram.sample(rng)).collect();
+        Circuit::new(self.next_name("rand", n), gates)
+    }
+
+    /// Generates a circuit of exactly `n` gates whose type counts match
+    /// `round(αᵢ·n)` with largest-remainder correction, shuffled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidArgument`] if `n == 0`.
+    pub fn generate_exact<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Circuit, NetlistError> {
+        if n == 0 {
+            return Err(NetlistError::InvalidArgument {
+                reason: "cannot generate an empty circuit".into(),
+            });
+        }
+        // Largest-remainder apportionment of n instances to types.
+        let probs = self.histogram.probs();
+        let mut counts: Vec<usize> = Vec::with_capacity(probs.len());
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(probs.len());
+        let mut assigned = 0usize;
+        for (i, p) in probs.iter().enumerate() {
+            let exactly = p * n as f64;
+            let floor = exactly.floor() as usize;
+            counts.push(floor);
+            assigned += floor;
+            remainders.push((i, exactly - floor as f64));
+        }
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+        for (i, _) in remainders.iter().take(n - assigned) {
+            counts[*i] += 1;
+        }
+        let mut gates: Vec<CellId> = Vec::with_capacity(n);
+        for (i, c) in counts.iter().enumerate() {
+            gates.extend(std::iter::repeat_n(CellId(i), *c));
+        }
+        gates.shuffle(rng);
+        Circuit::new(self.next_name("randx", n), gates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hist() -> UsageHistogram {
+        UsageHistogram::from_weights(vec![1.0, 3.0, 0.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn iid_generation_approximates_histogram() {
+        let g = RandomCircuitGenerator::new(hist());
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = g.generate(50_000, &mut rng).unwrap();
+        let h = c.usage_histogram(4).unwrap();
+        assert!((h.alpha(CellId(1)) - 0.375).abs() < 0.01);
+        assert_eq!(h.alpha(CellId(2)), 0.0);
+    }
+
+    #[test]
+    fn exact_generation_matches_counts() {
+        let g = RandomCircuitGenerator::new(hist());
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1usize, 7, 100, 1234] {
+            let c = g.generate_exact(n, &mut rng).unwrap();
+            assert_eq!(c.n_gates(), n);
+            let mut counts = [0usize; 4];
+            for gate in c.gates() {
+                counts[gate.0] += 1;
+            }
+            // exact apportionment: each count within 1 of α·n
+            for (i, alpha) in [0.125, 0.375, 0.0, 0.5].iter().enumerate() {
+                let expect = alpha * n as f64;
+                assert!(
+                    (counts[i] as f64 - expect).abs() < 1.0 + 1e-9,
+                    "n={n}, type {i}: {} vs {expect}",
+                    counts[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_generation_is_shuffled() {
+        let g = RandomCircuitGenerator::new(UsageHistogram::uniform(2).unwrap());
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = g.generate_exact(100, &mut rng).unwrap();
+        // If unshuffled, the first 50 would all be type 0.
+        let first_half_type0 = c.gates()[..50].iter().filter(|g| g.0 == 0).count();
+        assert!(first_half_type0 < 40, "gates are interleaved");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let g = RandomCircuitGenerator::new(hist());
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = g.generate(10, &mut rng).unwrap();
+        let b = g.generate(10, &mut rng).unwrap();
+        assert_ne!(a.name(), b.name());
+    }
+
+    #[test]
+    fn zero_gate_request_rejected() {
+        let g = RandomCircuitGenerator::new(hist());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(g.generate(0, &mut rng).is_err());
+        assert!(g.generate_exact(0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Plain-text placement interchange format.
+//!
+//! The late-mode flow needs to ingest *somebody else's* placed design. The
+//! format is deliberately trivial (one header line, one line per
+//! instance) so any placer can emit it with a ten-line script:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! design <name> <die_width_um> <die_height_um>
+//! <instance_name> <cell_name> <x_um> <y_um>
+//! ...
+//! ```
+//!
+//! Cell names resolve against the library at load time; unknown cells are
+//! reported with their line number.
+
+use crate::circuit::PlacedCircuit;
+use crate::error::NetlistError;
+use leakage_cells::library::CellLibrary;
+use leakage_core::PlacedGate;
+use std::io::{BufRead, Write};
+
+/// Parses a placement from a reader.
+///
+/// A mutable reference to a reader can be passed (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidArgument`] with a line number for any
+/// syntax problem, unknown cell, missing header, or I/O failure.
+pub fn read_placement<R: BufRead>(
+    mut reader: R,
+    library: &CellLibrary,
+) -> Result<PlacedCircuit, NetlistError> {
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut header: Option<(String, f64, f64)> = None;
+    let mut gates: Vec<PlacedGate> = Vec::new();
+
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| NetlistError::InvalidArgument {
+                reason: format!("i/o error on line {}: {e}", line_no + 1),
+            })?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if header.is_none() {
+            if fields.len() != 4 || fields[0] != "design" {
+                return Err(NetlistError::InvalidArgument {
+                    reason: format!(
+                        "line {line_no}: expected 'design <name> <width> <height>'"
+                    ),
+                });
+            }
+            let width = parse_num(fields[2], line_no, "die width")?;
+            let height = parse_num(fields[3], line_no, "die height")?;
+            header = Some((fields[1].to_owned(), width, height));
+            continue;
+        }
+        if fields.len() != 4 {
+            return Err(NetlistError::InvalidArgument {
+                reason: format!(
+                    "line {line_no}: expected '<instance> <cell> <x> <y>', got {} fields",
+                    fields.len()
+                ),
+            });
+        }
+        let cell = library
+            .cell_by_name(fields[1])
+            .ok_or_else(|| NetlistError::InvalidArgument {
+                reason: format!("line {line_no}: unknown cell '{}'", fields[1]),
+            })?;
+        let x = parse_num(fields[2], line_no, "x coordinate")?;
+        let y = parse_num(fields[3], line_no, "y coordinate")?;
+        gates.push(PlacedGate {
+            cell: cell.id(),
+            x,
+            y,
+        });
+    }
+
+    let (name, width, height) = header.ok_or_else(|| NetlistError::InvalidArgument {
+        reason: "missing 'design' header line".into(),
+    })?;
+    PlacedCircuit::new(name, gates, width, height)
+}
+
+fn parse_num(s: &str, line_no: usize, what: &str) -> Result<f64, NetlistError> {
+    let v: f64 = s.parse().map_err(|_| NetlistError::InvalidArgument {
+        reason: format!("line {line_no}: cannot parse {what} '{s}'"),
+    })?;
+    if !v.is_finite() {
+        return Err(NetlistError::InvalidArgument {
+            reason: format!("line {line_no}: {what} must be finite"),
+        });
+    }
+    Ok(v)
+}
+
+/// Writes a placement in the interchange format.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidArgument`] if a gate's type is missing
+/// from the library or on I/O failure.
+pub fn write_placement<W: Write>(
+    mut writer: W,
+    placed: &PlacedCircuit,
+    library: &CellLibrary,
+) -> Result<(), NetlistError> {
+    let io_err = |e: std::io::Error| NetlistError::InvalidArgument {
+        reason: format!("i/o error: {e}"),
+    };
+    writeln!(
+        writer,
+        "design {} {} {}",
+        placed.name(),
+        placed.width(),
+        placed.height()
+    )
+    .map_err(io_err)?;
+    for (i, g) in placed.gates().iter().enumerate() {
+        let cell = library
+            .cell(g.cell)
+            .ok_or_else(|| NetlistError::InvalidArgument {
+                reason: format!("gate {i}: type {} not in library", g.cell.0),
+            })?;
+        writeln!(writer, "u{i} {} {} {}", cell.name(), g.x, g.y).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::RandomCircuitGenerator;
+    use crate::placement::{place, PlacementStyle};
+    use leakage_cells::UsageHistogram;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn library() -> CellLibrary {
+        CellLibrary::standard_62()
+    }
+
+    #[test]
+    fn roundtrip_preserves_placement() {
+        let lib = library();
+        let hist = UsageHistogram::uniform(lib.len()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let circuit = RandomCircuitGenerator::new(hist)
+            .generate_exact(50, &mut rng)
+            .unwrap();
+        let placed = place(&circuit, &lib, PlacementStyle::RowMajor, 0.7).unwrap();
+
+        let mut buf = Vec::new();
+        write_placement(&mut buf, &placed, &lib).unwrap();
+        let back = read_placement(buf.as_slice(), &lib).unwrap();
+        assert_eq!(back.name(), placed.name());
+        assert_eq!(back.n_gates(), placed.n_gates());
+        assert_eq!(back.width(), placed.width());
+        assert_eq!(back.height(), placed.height());
+        for (a, b) in back.gates().iter().zip(placed.gates()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.y, b.y);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let lib = library();
+        let text = "# a placed design\n\ndesign tiny 10 10\n# the one gate\nu0 inv_x1 5 5\n";
+        let placed = read_placement(text.as_bytes(), &lib).unwrap();
+        assert_eq!(placed.name(), "tiny");
+        assert_eq!(placed.n_gates(), 1);
+        assert_eq!(
+            placed.gates()[0].cell,
+            lib.cell_by_name("inv_x1").unwrap().id()
+        );
+    }
+
+    #[test]
+    fn reports_unknown_cell_with_line_number() {
+        let lib = library();
+        let text = "design t 10 10\nu0 warpdrive_x9 1 1\n";
+        let err = read_placement(text.as_bytes(), &lib).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("warpdrive_x9"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let lib = library();
+        let text = "u0 inv_x1 1 1\n";
+        assert!(read_placement(text.as_bytes(), &lib).is_err());
+        let empty = "";
+        let err = read_placement(empty.as_bytes(), &lib).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let lib = library();
+        for bad in [
+            "design t 10\nu0 inv_x1 1 1\n",    // short header
+            "design t 10 10\nu0 inv_x1 1\n",   // short row
+            "design t 10 10\nu0 inv_x1 a 1\n", // non-numeric
+            "design t 10 10\nu0 inv_x1 inf 1\n",
+            "design t ten 10\n",
+        ] {
+            assert!(read_placement(bad.as_bytes(), &lib).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_die_gate() {
+        let lib = library();
+        let text = "design t 10 10\nu0 inv_x1 50 1\n";
+        assert!(read_placement(text.as_bytes(), &lib).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Gate-level circuits for validating the Random Gate model.
+//!
+//! The paper's validation (§3.1.1) uses two circuit populations:
+//!
+//! 1. **randomly generated circuits** matching an a-priori cell-usage
+//!    histogram, placed and routed, whose "true" (O(n²)) leakage is
+//!    compared against the Random Gate estimate as the gate count grows
+//!    (Fig. 6);
+//! 2. the **ISCAS85 benchmarks**, from which the high-level
+//!    characteristics are *extracted* and fed to the model (Table 1).
+//!
+//! The original ISCAS85 layouts are not shippable, so [`iscas85`] builds a
+//! synthetic suite with the published gate counts and realistic gate-type
+//! mixes mapped onto the 62-cell library; what the experiments consume —
+//! gate count, histogram, placement coordinates, die dimensions — is fully
+//! determined by those public parameters.
+//!
+//! # Example
+//!
+//! ```
+//! use leakage_cells::library::CellLibrary;
+//! use leakage_cells::UsageHistogram;
+//! use leakage_netlist::generate::RandomCircuitGenerator;
+//! use leakage_netlist::placement::{place, PlacementStyle};
+//! use rand::SeedableRng;
+//!
+//! let lib = CellLibrary::standard_62();
+//! let hist = UsageHistogram::uniform(62)?;
+//! let gen = RandomCircuitGenerator::new(hist);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let circuit = gen.generate_exact(1000, &mut rng)?;
+//! let placed = place(&circuit, &lib, PlacementStyle::RowMajor, 0.7)?;
+//! assert_eq!(placed.gates().len(), 1000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+// `!(x > 0.0)`-style comparisons deliberately treat NaN as invalid input;
+// rewriting them per clippy would silently accept NaN. Index-based loops in
+// the math kernels mirror the paper's summation notation.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+pub mod circuit;
+pub mod error;
+pub mod extract;
+pub mod generate;
+pub mod io;
+pub mod iscas85;
+pub mod placement;
+
+pub use circuit::{Circuit, PlacedCircuit};
+pub use error::NetlistError;

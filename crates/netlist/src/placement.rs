@@ -1,0 +1,202 @@
+//! Placement of circuits onto the site grid.
+//!
+//! The Random Gate model predicts that, for fixed high-level
+//! characteristics, leakage statistics are insensitive to *where* each
+//! gate type lands — the placement styles here exist to test exactly that
+//! claim (and they matter for the O(n²) "true leakage" of a specific
+//! design, which does see positions).
+
+use crate::circuit::{Circuit, PlacedCircuit};
+use crate::error::NetlistError;
+use leakage_cells::library::CellLibrary;
+use leakage_core::PlacedGate;
+use leakage_process::field::GridGeometry;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How instances are assigned to grid sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementStyle {
+    /// Instance order, row by row (what a naive placer produces).
+    RowMajor,
+    /// Random permutation of sites (seeded for reproducibility).
+    RandomShuffle {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Same-type instances clustered contiguously (adversarial for the
+    /// placement-independence claim: like types share nearby lengths).
+    Clustered,
+}
+
+/// Places a circuit into an automatically sized near-square die.
+///
+/// The die area is the summed cell area divided by `utilization`
+/// (`0 < utilization ≤ 1`); sites come from
+/// [`GridGeometry::for_die`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidArgument`] for an invalid utilization or
+/// a gate type missing from the library.
+pub fn place(
+    circuit: &Circuit,
+    library: &CellLibrary,
+    style: PlacementStyle,
+    utilization: f64,
+) -> Result<PlacedCircuit, NetlistError> {
+    if !(utilization > 0.0 && utilization <= 1.0) {
+        return Err(NetlistError::InvalidArgument {
+            reason: format!("utilization must be in (0, 1], got {utilization}"),
+        });
+    }
+    let mut total_area = 0.0;
+    for id in circuit.gates() {
+        let cell = library.cell(*id).ok_or_else(|| NetlistError::InvalidArgument {
+            reason: format!("gate type {} not in library", id.0),
+        })?;
+        total_area += cell.area_um2();
+    }
+    let die_area = total_area / utilization;
+    let side = die_area.sqrt();
+    place_in_die(circuit, style, side, side)
+}
+
+/// Places a circuit into an explicitly sized die.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidArgument`] for non-positive dimensions.
+pub fn place_in_die(
+    circuit: &Circuit,
+    style: PlacementStyle,
+    width: f64,
+    height: f64,
+) -> Result<PlacedCircuit, NetlistError> {
+    let n = circuit.n_gates();
+    let grid = GridGeometry::for_die(n, width, height)?;
+    // Order the instances according to the style, then fill sites 0..n.
+    let order: Vec<usize> = match style {
+        PlacementStyle::RowMajor => (0..n).collect(),
+        PlacementStyle::RandomShuffle { seed } => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            order
+        }
+        PlacementStyle::Clustered => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|i| circuit.gates()[*i].0);
+            order
+        }
+    };
+    let mut gates = Vec::with_capacity(n);
+    for (site, inst) in order.iter().enumerate() {
+        let row = site / grid.cols();
+        let col = site % grid.cols();
+        let (x, y) = grid.site_center(row, col);
+        gates.push(PlacedGate {
+            cell: circuit.gates()[*inst],
+            x,
+            y,
+        });
+    }
+    // Instance order in the output follows site order; the circuit's type
+    // multiset is preserved by construction.
+    PlacedCircuit::new(circuit.name(), gates, grid.width(), grid.height())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_cells::CellId;
+
+    fn circuit(n: usize) -> Circuit {
+        Circuit::new("t", (0..n).map(|i| CellId(i % 3)).collect()).unwrap()
+    }
+
+    #[test]
+    fn place_in_die_covers_all_gates_in_bounds() {
+        let c = circuit(100);
+        let p = place_in_die(&c, PlacementStyle::RowMajor, 50.0, 50.0).unwrap();
+        assert_eq!(p.n_gates(), 100);
+        for g in p.gates() {
+            assert!(g.x > 0.0 && g.x < p.width());
+            assert!(g.y > 0.0 && g.y < p.height());
+        }
+    }
+
+    #[test]
+    fn placements_preserve_type_multiset() {
+        let c = circuit(91);
+        for style in [
+            PlacementStyle::RowMajor,
+            PlacementStyle::RandomShuffle { seed: 3 },
+            PlacementStyle::Clustered,
+        ] {
+            let p = place_in_die(&c, style, 40.0, 40.0).unwrap();
+            let mut orig: Vec<usize> = c.gates().iter().map(|g| g.0).collect();
+            let mut placed: Vec<usize> = p.gates().iter().map(|g| g.cell.0).collect();
+            orig.sort();
+            placed.sort();
+            assert_eq!(orig, placed, "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_sites_for_distinct_gates() {
+        let c = circuit(50);
+        let p = place_in_die(&c, PlacementStyle::RandomShuffle { seed: 1 }, 30.0, 30.0).unwrap();
+        let mut coords: Vec<(u64, u64)> = p
+            .gates()
+            .iter()
+            .map(|g| (g.x.to_bits(), g.y.to_bits()))
+            .collect();
+        coords.sort();
+        coords.dedup();
+        assert_eq!(coords.len(), 50, "one site per gate");
+    }
+
+    #[test]
+    fn clustered_groups_types() {
+        let c = circuit(99);
+        let p = place_in_die(&c, PlacementStyle::Clustered, 40.0, 40.0).unwrap();
+        // site order must be sorted by type
+        let types: Vec<usize> = p.gates().iter().map(|g| g.cell.0).collect();
+        let mut sorted = types.clone();
+        sorted.sort();
+        assert_eq!(types, sorted);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let c = circuit(60);
+        let a = place_in_die(&c, PlacementStyle::RandomShuffle { seed: 9 }, 30.0, 30.0).unwrap();
+        let b = place_in_die(&c, PlacementStyle::RandomShuffle { seed: 9 }, 30.0, 30.0).unwrap();
+        assert_eq!(a, b);
+        let c2 = place_in_die(&c, PlacementStyle::RandomShuffle { seed: 10 }, 30.0, 30.0).unwrap();
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn auto_sizing_uses_library_area() {
+        let lib = leakage_cells::library::CellLibrary::standard_62();
+        let c = Circuit::new("t", vec![CellId(0); 200]).unwrap();
+        let p = place(&c, &lib, PlacementStyle::RowMajor, 0.7).unwrap();
+        let cell_area = lib.cell(CellId(0)).unwrap().area_um2();
+        let expect_area = 200.0 * cell_area / 0.7;
+        let got = p.width() * p.height();
+        assert!(
+            (got - expect_area).abs() / expect_area < 0.1,
+            "{got} vs {expect_area}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_utilization() {
+        let lib = leakage_cells::library::CellLibrary::standard_62();
+        let c = circuit(10);
+        assert!(place(&c, &lib, PlacementStyle::RowMajor, 0.0).is_err());
+        assert!(place(&c, &lib, PlacementStyle::RowMajor, 1.5).is_err());
+    }
+}

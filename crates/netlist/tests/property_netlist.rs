@@ -1,0 +1,103 @@
+//! Property-based tests of circuit generation, placement and extraction.
+
+use leakage_cells::library::CellLibrary;
+use leakage_cells::{CellId, UsageHistogram};
+use leakage_netlist::extract::extract_characteristics;
+use leakage_netlist::generate::RandomCircuitGenerator;
+use leakage_netlist::placement::{place_in_die, PlacementStyle};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn library() -> &'static CellLibrary {
+    static LIB: OnceLock<CellLibrary> = OnceLock::new();
+    LIB.get_or_init(CellLibrary::standard_62)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exact_generation_apportions_within_one(
+        weights in proptest::collection::vec(0.0_f64..10.0, 2..10),
+        n in 1usize..500,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let hist = UsageHistogram::from_weights(weights.clone()).unwrap();
+        let gen = RandomCircuitGenerator::new(hist.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = gen.generate_exact(n, &mut rng).unwrap();
+        prop_assert_eq!(c.n_gates(), n);
+        let mut counts = vec![0usize; weights.len()];
+        for g in c.gates() {
+            counts[g.0] += 1;
+        }
+        for (i, count) in counts.iter().enumerate() {
+            let expect = hist.alpha(CellId(i)) * n as f64;
+            prop_assert!(
+                (*count as f64 - expect).abs() <= 1.0 + 1e-9,
+                "type {i}: {count} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_roundtrip_through_extraction(
+        n in 1usize..200,
+        seed in 0u64..1000,
+        style_pick in 0usize..3,
+        w in 20.0_f64..300.0,
+        h in 20.0_f64..300.0,
+    ) {
+        let lib = library();
+        let hist = UsageHistogram::uniform(lib.len()).unwrap();
+        let gen = RandomCircuitGenerator::new(hist);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = gen.generate(n, &mut rng).unwrap();
+        let style = match style_pick {
+            0 => PlacementStyle::RowMajor,
+            1 => PlacementStyle::RandomShuffle { seed },
+            _ => PlacementStyle::Clustered,
+        };
+        let placed = place_in_die(&circuit, style, w, h).unwrap();
+        prop_assert_eq!(placed.n_gates(), n);
+        // every gate strictly inside the die
+        for g in placed.gates() {
+            prop_assert!(g.x > 0.0 && g.x < placed.width());
+            prop_assert!(g.y > 0.0 && g.y < placed.height());
+        }
+        // extraction recovers the circuit's histogram and count exactly
+        let chars = extract_characteristics(&placed, lib.len(), 0.5).unwrap();
+        prop_assert_eq!(chars.n_cells(), n);
+        let direct = circuit.usage_histogram(lib.len()).unwrap();
+        for i in 0..lib.len() {
+            prop_assert!(
+                (chars.histogram().alpha(CellId(i)) - direct.alpha(CellId(i))).abs() < 1e-12
+            );
+        }
+        // die dimensions preserved through placement and extraction
+        prop_assert!((chars.width() - placed.width()).abs() < 1e-9);
+        prop_assert!((chars.height() - placed.height()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_roundtrip_random_designs(n in 1usize..60, seed in 0u64..500) {
+        let lib = library();
+        let hist = UsageHistogram::uniform(lib.len()).unwrap();
+        let gen = RandomCircuitGenerator::new(hist);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = gen.generate(n, &mut rng).unwrap();
+        let placed = place_in_die(&circuit, PlacementStyle::RowMajor, 100.0, 100.0).unwrap();
+        let mut buf = Vec::new();
+        leakage_netlist::io::write_placement(&mut buf, &placed, lib).unwrap();
+        let back = leakage_netlist::io::read_placement(buf.as_slice(), lib).unwrap();
+        prop_assert_eq!(back.n_gates(), placed.n_gates());
+        for (a, b) in back.gates().iter().zip(placed.gates()) {
+            prop_assert_eq!(a.cell, b.cell);
+            prop_assert!((a.x - b.x).abs() < 1e-12);
+            prop_assert!((a.y - b.y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by the numerical kernels.
+
+use std::fmt;
+
+/// Errors produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// A matrix operation received operands of incompatible shape.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot that failed.
+        pivot: usize,
+    },
+    /// LU factorization hit a (numerically) singular pivot.
+    Singular {
+        /// Index of the singular pivot.
+        pivot: usize,
+    },
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// Routine that failed.
+        what: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside the routine's domain.
+    InvalidArgument {
+        /// What was wrong with the argument.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NumericError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite at pivot {pivot}")
+            }
+            NumericError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            NumericError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            NumericError::InvalidArgument { reason } => {
+                write!(f, "invalid argument: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NumericError::ShapeMismatch {
+                op: "mul",
+                lhs: (2, 3),
+                rhs: (4, 5),
+            },
+            NumericError::NotPositiveDefinite { pivot: 1 },
+            NumericError::Singular { pivot: 0 },
+            NumericError::NoConvergence {
+                what: "newton",
+                iterations: 10,
+            },
+            NumericError::InvalidArgument {
+                reason: "n must be positive".into(),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

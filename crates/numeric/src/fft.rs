@@ -1,0 +1,320 @@
+//! Radix-2 FFT used for circulant-embedding sampling of correlated
+//! channel-length fields.
+//!
+//! The Monte-Carlo engine embeds the (stationary) within-die covariance on a
+//! doubled torus; sampling then costs two 2-D FFTs instead of an `O(n³)`
+//! Cholesky factorization. Grids are padded to powers of two.
+
+use crate::error::NumericError;
+
+/// A complex number as a `(re, im)` pair; minimal on purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// The additive identity.
+    pub fn zero() -> Complex {
+        Complex { re: 0.0, im: 0.0 }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+/// Rounds `n` up to the next power of two (identity on powers of two).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(leakage_numeric::fft::next_pow2(5), 8);
+/// assert_eq!(leakage_numeric::fft::next_pow2(8), 8);
+/// assert_eq!(leakage_numeric::fft::next_pow2(1), 1);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place forward FFT on a power-of-two-length buffer.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if the length is not a power
+/// of two (or is zero).
+pub fn fft(data: &mut [Complex]) -> Result<(), NumericError> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT (includes the `1/n` normalization).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if the length is not a power
+/// of two (or is zero).
+pub fn ifft(data: &mut [Complex]) -> Result<(), NumericError> {
+    transform(data, true)?;
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex], inverse: bool) -> Result<(), NumericError> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(NumericError::InvalidArgument {
+            reason: format!("fft length must be a power of two, got {n}"),
+        });
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Iterative Cooley–Tukey butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wl = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wl;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// In-place 2-D FFT on a row-major `rows × cols` buffer; both dimensions
+/// must be powers of two.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] on bad dimensions.
+pub fn fft2d(data: &mut [Complex], rows: usize, cols: usize) -> Result<(), NumericError> {
+    transform2d(data, rows, cols, false)
+}
+
+/// In-place inverse 2-D FFT (normalized by `1/(rows·cols)`).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] on bad dimensions.
+pub fn ifft2d(data: &mut [Complex], rows: usize, cols: usize) -> Result<(), NumericError> {
+    transform2d(data, rows, cols, true)?;
+    let scale = (rows * cols) as f64;
+    for v in data.iter_mut() {
+        v.re /= scale;
+        v.im /= scale;
+    }
+    Ok(())
+}
+
+fn transform2d(
+    data: &mut [Complex],
+    rows: usize,
+    cols: usize,
+    inverse: bool,
+) -> Result<(), NumericError> {
+    if data.len() != rows * cols {
+        return Err(NumericError::InvalidArgument {
+            reason: format!(
+                "buffer length {} does not match {rows}x{cols}",
+                data.len()
+            ),
+        });
+    }
+    // Rows.
+    for r in 0..rows {
+        transform(&mut data[r * cols..(r + 1) * cols], inverse)?;
+    }
+    // Columns (gather/scatter through a scratch buffer).
+    let mut col = vec![Complex::zero(); rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        transform(&mut col, inverse)?;
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(n: usize) {
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let orig = data.clone();
+        fft(&mut data).unwrap();
+        ifft(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10);
+            assert!((a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrips() {
+        for n in [1, 2, 4, 8, 64, 256] {
+            roundtrip(n);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_pow2() {
+        let mut data = vec![Complex::zero(); 6];
+        assert!(fft(&mut data).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft(&mut empty).is_err());
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::zero(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data).unwrap();
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex::new(1.0, 0.0); 8];
+        fft(&mut data).unwrap();
+        assert!((data[0].re - 8.0).abs() < 1e-12);
+        for v in &data[1..] {
+            assert!(v.norm_sqr() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_definition() {
+        let n = 16;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.1).cos()))
+            .collect();
+        let mut fast = x.clone();
+        fft(&mut fast).unwrap();
+        for k in 0..n {
+            let mut acc = Complex::zero();
+            for (j, xj) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc + *xj * Complex::new(ang.cos(), ang.sin());
+            }
+            assert!((acc.re - fast[k].re).abs() < 1e-9);
+            assert!((acc.im - fast[k].im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut freq = x.clone();
+        fft(&mut freq).unwrap();
+        let freq_energy: f64 = freq.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fft2d_roundtrips() {
+        let (rows, cols) = (8, 16);
+        let mut data: Vec<Complex> = (0..rows * cols)
+            .map(|i| Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        let orig = data.clone();
+        fft2d(&mut data, rows, cols).unwrap();
+        ifft2d(&mut data, rows, cols).unwrap();
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10);
+            assert!((a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft2d_rejects_bad_shape() {
+        let mut data = vec![Complex::zero(); 12];
+        assert!(fft2d(&mut data, 4, 4).is_err());
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+}

@@ -1,0 +1,156 @@
+//! Piecewise-linear interpolation for tabulated functions.
+//!
+//! The random-gate covariance kernel `F(ρ_L)` (paper Eq. 10) is a smooth
+//! monotone function of the channel-length correlation; it is tabulated
+//! once per usage histogram and interpolated afterwards so that each pair
+//! or quadrature node costs O(log n).
+
+use crate::error::NumericError;
+
+/// Piecewise-linear interpolant over strictly increasing knots.
+///
+/// Queries outside the knot range are clamped to the boundary values, which
+/// is the right behaviour for correlation tables over `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use leakage_numeric::interp::LinearInterp;
+///
+/// let f = LinearInterp::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0]).unwrap();
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(-1.0), 0.0); // clamped
+/// assert_eq!(f.eval(3.0), 0.0);  // clamped
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterp {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterp {
+    /// Builds an interpolant from knots `xs` (strictly increasing) and
+    /// values `ys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if the lengths differ, are
+    /// below 2, or `xs` is not strictly increasing / contains NaN.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<LinearInterp, NumericError> {
+        if xs.len() != ys.len() {
+            return Err(NumericError::InvalidArgument {
+                reason: format!("knot/value lengths differ: {} vs {}", xs.len(), ys.len()),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(NumericError::InvalidArgument {
+                reason: "need at least two knots".into(),
+            });
+        }
+        if xs.windows(2).any(|w| !(w[1] > w[0])) {
+            return Err(NumericError::InvalidArgument {
+                reason: "knots must be strictly increasing".into(),
+            });
+        }
+        if ys.iter().any(|y| y.is_nan()) {
+            return Err(NumericError::InvalidArgument {
+                reason: "values must not be NaN".into(),
+            });
+        }
+        Ok(LinearInterp { xs, ys })
+    }
+
+    /// Evaluates the interpolant at `x`, clamping outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // binary search for the bracketing interval
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo]);
+        self.ys[lo] * (1.0 - t) + self.ys[hi] * t
+    }
+
+    /// The knot abscissae.
+    pub fn knots(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The knot ordinates.
+    pub fn values(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Smallest knot.
+    pub fn min_knot(&self) -> f64 {
+        self.xs[0]
+    }
+
+    /// Largest knot.
+    pub fn max_knot(&self) -> f64 {
+        self.xs[self.xs.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_knots() {
+        let f = LinearInterp::new(vec![0.0, 0.5, 1.0], vec![1.0, 2.0, -3.0]).unwrap();
+        assert_eq!(f.eval(0.0), 1.0);
+        assert_eq!(f.eval(0.5), 2.0);
+        assert_eq!(f.eval(1.0), -3.0);
+    }
+
+    #[test]
+    fn linear_between_knots() {
+        let f = LinearInterp::new(vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        assert!((f.eval(0.5) - 1.0).abs() < 1e-15);
+        assert!((f.eval(1.5) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let f = LinearInterp::new(vec![1.0, 2.0], vec![5.0, 7.0]).unwrap();
+        assert_eq!(f.eval(0.0), 5.0);
+        assert_eq!(f.eval(100.0), 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(LinearInterp::new(vec![0.0], vec![1.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 1.0], vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn dense_table_approximates_smooth_function() {
+        let xs: Vec<f64> = (0..=1000).map(|i| i as f64 / 1000.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 3.0).sin()).collect();
+        let f = LinearInterp::new(xs, ys).unwrap();
+        for i in 0..100 {
+            let x = i as f64 / 100.0 + 0.0037;
+            if x > 1.0 {
+                break;
+            }
+            assert!((f.eval(x) - (x * 3.0).sin()).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Self-contained numerical kernels for the full-chip leakage workspace.
+//!
+//! This crate deliberately avoids external linear-algebra dependencies: the
+//! leakage estimators only need *small* dense matrices (cell fitting uses
+//! 3×3 normal equations, the correlation map a 2×2 Gaussian quadratic form),
+//! 1-D/2-D quadrature for the constant-time estimators, an FFT for
+//! circulant-embedding field sampling, and streaming statistics for the
+//! Monte-Carlo engines.
+//!
+//! # Example
+//!
+//! ```
+//! use leakage_numeric::integrate::gauss_legendre;
+//!
+//! // ∫₀^π sin(x) dx = 2
+//! let v = gauss_legendre(|x| x.sin(), 0.0, std::f64::consts::PI, 32);
+//! assert!((v - 2.0).abs() < 1e-12);
+//! ```
+
+// `!(x > 0.0)`-style comparisons deliberately treat NaN as invalid input;
+// rewriting them per clippy would silently accept NaN. Index-based loops in
+// the math kernels mirror the paper's summation notation.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+pub mod error;
+pub mod fft;
+pub mod integrate;
+pub mod interp;
+pub mod matrix;
+pub mod quadform;
+pub mod regression;
+pub mod special;
+pub mod stats;
+
+pub use error::NumericError;
+pub use matrix::Matrix;

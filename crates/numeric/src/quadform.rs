@@ -1,0 +1,313 @@
+//! Moment-generating functions of Gaussian quadratic forms.
+//!
+//! Two closed forms drive the paper's analytical cell model:
+//!
+//! * **Univariate** (Eqs. 1–5): with `L ~ N(μ, σ²)` and
+//!   `Y = ln X = ln a + bL + cL²`, `E[e^{tY}]` follows from the non-central
+//!   χ² MGF.
+//! * **Bivariate** (the `f_{m,n}` correlation map of §2.1.3, whose details
+//!   the paper omits): `E[X_m X_n] = E[exp(u'x + x'Cx)]` for bivariate
+//!   normal channel lengths `x = (L₁, L₂)` with correlation `ρ_L`.
+//!
+//! For `x ~ N(μ, Σ)`:
+//! `E[exp(x'Cx + u'x)] = |I − 2ΣC|^{−1/2} · exp(½ v'M⁻¹v − ½ μ'Σ⁻¹μ)`
+//! with `M = Σ⁻¹ − 2C` and `v = Σ⁻¹μ + u`, valid when `M` is positive
+//! definite.
+
+use crate::error::NumericError;
+
+/// `E[exp(t·(c·L² + b·L + k))]` for `L ~ N(mu, sigma²)`.
+///
+/// This is the moment-generating function of `Y = k + bL + cL²` evaluated
+/// at `t`; setting `k = ln a`, `t = 1` gives the cell mean leakage
+/// `μ_X = M_Y(1)` and `t = 2` gives `E[X²]` (paper Eqs. 1–2).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if `sigma < 0` or the MGF does
+/// not exist at `t` (i.e. `1 − 2tcσ² ≤ 0`).
+///
+/// # Example
+///
+/// ```
+/// use leakage_numeric::quadform::gaussian_quadratic_mgf;
+///
+/// // With c = 0 this must reduce to the lognormal mean:
+/// // E[exp(b L)] = exp(b μ + b² σ²/2).
+/// let v = gaussian_quadratic_mgf(1.0, 0.0, 2.0, 0.5, 1.0, 0.2).unwrap();
+/// let expected = (2.0 * 1.0 + 0.5 + 0.5f64 * 4.0 * 0.04).exp();
+/// assert!((v - expected).abs() / expected < 1e-12);
+/// ```
+pub fn gaussian_quadratic_mgf(
+    t: f64,
+    c: f64,
+    b: f64,
+    k: f64,
+    mu: f64,
+    sigma: f64,
+) -> Result<f64, NumericError> {
+    if sigma < 0.0 {
+        return Err(NumericError::InvalidArgument {
+            reason: "sigma must be non-negative".into(),
+        });
+    }
+    if sigma == 0.0 {
+        // Degenerate: L is deterministic.
+        return Ok((t * (c * mu * mu + b * mu + k)).exp());
+    }
+    let denom = 1.0 - 2.0 * t * c * sigma * sigma;
+    if denom <= 0.0 {
+        return Err(NumericError::InvalidArgument {
+            reason: format!("mgf does not exist: 1 - 2tcσ² = {denom} ≤ 0"),
+        });
+    }
+    // Complete the square: Y = K3 + K1 (Z + K2)² with Z ~ N(0,1) when c≠0;
+    // handle c == 0 (pure lognormal) separately to avoid division by c.
+    if c == 0.0 {
+        return Ok((t * (b * mu + k) + 0.5 * t * t * b * b * sigma * sigma).exp());
+    }
+    let k1 = c * sigma * sigma;
+    let k2 = (b / (2.0 * c) + mu) / sigma;
+    let k3 = k + b * mu + c * mu * mu - c * (b / (2.0 * c) + mu).powi(2);
+    // Non-central χ²(1, λ = K2²) MGF at K1·t: (1−2K1t)^{−1/2} exp(λK1t/(1−2K1t))
+    let s = k1 * t;
+    Ok(denom.powf(-0.5) * ((k2 * k2 * s) / (1.0 - 2.0 * s) + k3 * t).exp())
+}
+
+/// The paper's `(K₁, K₂, K₃)` triplet (Eqs. 4–5) for a fitted cell
+/// `X = a·exp(bL + cL²)` under `L ~ N(μ, σ²)`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] when `c == 0` or `σ ≤ 0`
+/// (the triplet is defined through `b/2c` and `1/σ`).
+pub fn k_triplet(
+    a: f64,
+    b: f64,
+    c: f64,
+    mu: f64,
+    sigma: f64,
+) -> Result<(f64, f64, f64), NumericError> {
+    if c == 0.0 {
+        return Err(NumericError::InvalidArgument {
+            reason: "K-triplet requires c != 0".into(),
+        });
+    }
+    if !(sigma > 0.0) {
+        return Err(NumericError::InvalidArgument {
+            reason: "K-triplet requires sigma > 0".into(),
+        });
+    }
+    if !(a > 0.0) {
+        return Err(NumericError::InvalidArgument {
+            reason: "K-triplet requires a > 0".into(),
+        });
+    }
+    let k1 = c * sigma * sigma;
+    let k2 = (b / (2.0 * c) + mu) / sigma;
+    let k3 = a.ln() + b * mu + c * mu * mu - c * (b / (2.0 * c) + mu).powi(2);
+    Ok((k1, k2, k3))
+}
+
+/// `E[exp(x'Cx + u'x)]` for bivariate normal `x ~ N(mu, Sigma)` with
+/// diagonal-free notation: `C = diag-symmetric [[c1, 0], [0, c2]]`,
+/// `u = (b1, b2)`, `Sigma = [[s1², ρ s1 s2], [ρ s1 s2, s2²]]`.
+///
+/// This exactly evaluates `E[exp(b₁L₁ + c₁L₁² + b₂L₂ + c₂L₂²)]`, the
+/// cross-moment kernel of the `f_{m,n}` leakage-correlation mapping.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] for invalid `ρ ∉ (−1, 1)` or
+/// non-positive standard deviations, and when the integral diverges
+/// (`M = Σ⁻¹ − 2C` not positive definite).
+#[allow(clippy::too_many_arguments)]
+pub fn bivariate_exp_quadratic_mean(
+    c1: f64,
+    b1: f64,
+    c2: f64,
+    b2: f64,
+    mu1: f64,
+    mu2: f64,
+    s1: f64,
+    s2: f64,
+    rho: f64,
+) -> Result<f64, NumericError> {
+    if !(s1 > 0.0 && s2 > 0.0) {
+        return Err(NumericError::InvalidArgument {
+            reason: "standard deviations must be positive".into(),
+        });
+    }
+    if !(-1.0 < rho && rho < 1.0) {
+        // Perfect correlation collapses to the univariate case; callers
+        // should use `gaussian_quadratic_mgf` directly at |rho| = 1.
+        return Err(NumericError::InvalidArgument {
+            reason: format!("correlation must lie in (-1, 1), got {rho}"),
+        });
+    }
+    // Σ and Σ⁻¹ in closed form.
+    let det_sigma = s1 * s1 * s2 * s2 * (1.0 - rho * rho);
+    let inv11 = s2 * s2 / det_sigma;
+    let inv22 = s1 * s1 / det_sigma;
+    let inv12 = -rho * s1 * s2 / det_sigma;
+    // M = Σ⁻¹ − 2C with C = diag(c1, c2).
+    let m11 = inv11 - 2.0 * c1;
+    let m22 = inv22 - 2.0 * c2;
+    let m12 = inv12;
+    let det_m = m11 * m22 - m12 * m12;
+    if !(m11 > 0.0 && det_m > 0.0) {
+        return Err(NumericError::InvalidArgument {
+            reason: "integral diverges: Σ⁻¹ − 2C is not positive definite".into(),
+        });
+    }
+    // v = Σ⁻¹ μ + u.
+    let v1 = inv11 * mu1 + inv12 * mu2 + b1;
+    let v2 = inv12 * mu1 + inv22 * mu2 + b2;
+    // v' M⁻¹ v  via closed-form 2×2 inverse.
+    let quad_v = (m22 * v1 * v1 - 2.0 * m12 * v1 * v2 + m11 * v2 * v2) / det_m;
+    // μ' Σ⁻¹ μ.
+    let quad_mu = inv11 * mu1 * mu1 + 2.0 * inv12 * mu1 * mu2 + inv22 * mu2 * mu2;
+    // |I − 2ΣC| = |Σ|·|Σ⁻¹ − 2C| = det_sigma · det_m  (equals 1 when C = 0).
+    let det_factor = det_sigma * det_m;
+    Ok(det_factor.powf(-0.5) * (0.5 * (quad_v - quad_mu)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_mgf_matches_monte_carlo_shape() {
+        // Spot check against a brute-force quadrature of the defining
+        // integral for a representative leakage-like parameter set.
+        let (c, b, k) = (150.0, -60.0, -18.0);
+        let (mu, sigma) = (0.09, 0.005);
+        let analytic = gaussian_quadratic_mgf(1.0, c, b, k, mu, sigma).unwrap();
+        let numeric = crate::integrate::gauss_legendre(
+            |l| {
+                let z = (l - mu) / sigma;
+                let pdf = (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+                (c * l * l + b * l + k).exp() * pdf
+            },
+            mu - 10.0 * sigma,
+            mu + 10.0 * sigma,
+            96,
+        );
+        assert!(
+            (analytic - numeric).abs() / numeric < 1e-9,
+            "analytic {analytic}, numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn scalar_mgf_degenerate_sigma() {
+        let v = gaussian_quadratic_mgf(1.0, 2.0, 3.0, 0.5, 1.0, 0.0).unwrap();
+        assert!((v - (2.0 + 3.0 + 0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_mgf_divergence_detected() {
+        // 2tcσ² ≥ 1 ⇒ no MGF.
+        assert!(gaussian_quadratic_mgf(1.0, 1.0, 0.0, 0.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn k_triplet_matches_paper_formulas() {
+        let (a, b, c, mu, sigma) = (2e-9, -50.0, 120.0, 0.09, 0.004);
+        let (k1, k2, k3) = k_triplet(a, b, c, mu, sigma).unwrap();
+        assert!((k1 - c * sigma * sigma).abs() < 1e-15);
+        assert!((k2 - (b / (2.0 * c) + mu) / sigma).abs() < 1e-9);
+        let expect_k3 =
+            a.ln() + b * mu + c * mu * mu - c * (b / (2.0 * c) + mu) * (b / (2.0 * c) + mu);
+        assert!((k3 - expect_k3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_triplet_rejects_degenerate() {
+        assert!(k_triplet(1.0, 1.0, 0.0, 0.0, 1.0).is_err());
+        assert!(k_triplet(1.0, 1.0, 1.0, 0.0, 0.0).is_err());
+        assert!(k_triplet(0.0, 1.0, 1.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn bivariate_independent_factorizes() {
+        // With ρ = 0 the expectation factorizes into two univariate MGFs.
+        let (c1, b1) = (80.0, -30.0);
+        let (c2, b2) = (120.0, -45.0);
+        let (mu1, mu2, s1, s2) = (0.09, 0.09, 0.005, 0.004);
+        let joint =
+            bivariate_exp_quadratic_mean(c1, b1, c2, b2, mu1, mu2, s1, s2, 1e-300).unwrap();
+        let m1 = gaussian_quadratic_mgf(1.0, c1, b1, 0.0, mu1, s1).unwrap();
+        let m2 = gaussian_quadratic_mgf(1.0, c2, b2, 0.0, mu2, s2).unwrap();
+        assert!(
+            (joint - m1 * m2).abs() / (m1 * m2) < 1e-10,
+            "joint {joint} vs product {}",
+            m1 * m2
+        );
+    }
+
+    #[test]
+    fn bivariate_near_perfect_correlation_matches_univariate() {
+        // At ρ → 1 with identical marginals, E[X₁X₂] → E[X²] of one variable.
+        let (c, b) = (100.0, -40.0);
+        let (mu, s) = (0.09, 0.005);
+        // 1−ρ can't be too small: Σ⁻¹ entries blow up as 1/(1−ρ²) and the
+        // 2×2 determinant cancellation costs ~eps/(1−ρ²) relative accuracy.
+        let joint =
+            bivariate_exp_quadratic_mean(c, b, c, b, mu, mu, s, s, 1.0 - 1e-7).unwrap();
+        let second = gaussian_quadratic_mgf(2.0, c, b, 0.0, mu, s).unwrap();
+        assert!(
+            (joint - second).abs() / second < 1e-3,
+            "joint {joint} vs E[X²] {second}"
+        );
+    }
+
+    #[test]
+    fn bivariate_matches_2d_quadrature() {
+        let (c1, b1) = (60.0, -25.0);
+        let (c2, b2) = (90.0, -35.0);
+        let (mu1, mu2, s1, s2, rho) = (0.09, 0.092, 0.004, 0.005, 0.6);
+        let analytic =
+            bivariate_exp_quadratic_mean(c1, b1, c2, b2, mu1, mu2, s1, s2, rho).unwrap();
+        // Brute-force 2-D quadrature of the defining integral.
+        let det = s1 * s1 * s2 * s2 * (1.0 - rho * rho);
+        let numeric = crate::integrate::gauss_legendre_2d(
+            |x, y| {
+                let dx = x - mu1;
+                let dy = y - mu2;
+                let q = (dx * dx * s2 * s2 - 2.0 * rho * s1 * s2 * dx * dy
+                    + dy * dy * s1 * s1)
+                    / det;
+                let pdf = (-0.5 * q).exp() / (2.0 * std::f64::consts::PI * det.sqrt());
+                (c1 * x * x + b1 * x + c2 * y * y + b2 * y).exp() * pdf
+            },
+            mu1 - 8.0 * s1,
+            mu1 + 8.0 * s1,
+            mu2 - 8.0 * s2,
+            mu2 + 8.0 * s2,
+            32,
+            4,
+        );
+        assert!(
+            (analytic - numeric).abs() / numeric < 1e-8,
+            "analytic {analytic}, numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn bivariate_rejects_bad_inputs() {
+        assert!(bivariate_exp_quadratic_mean(
+            1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.5
+        )
+        .is_err());
+        assert!(bivariate_exp_quadratic_mean(
+            1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.5
+        )
+        .is_err());
+        // Divergent quadratic (huge positive c against small variance gap).
+        assert!(bivariate_exp_quadratic_mean(
+            1e9, 0.0, 1e9, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Least-squares fitting used for cell leakage characterization.
+//!
+//! The paper (after Rao et al., TVLSI'04) models cell leakage as
+//! `X = a·exp(bL + cL²)`, i.e. `ln X = ln a + bL + cL²`, which is *linear in
+//! the parameters* — a plain polynomial least-squares fit on `(L, ln X)`
+//! samples recovers `(ln a, b, c)` exactly for noiseless data.
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+
+/// Result of a polynomial least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Coefficients, lowest order first: `y ≈ Σ coeffs[k]·x^k`.
+    pub coeffs: Vec<f64>,
+    /// Coefficient of determination on the fitting data.
+    pub r_squared: f64,
+    /// Root-mean-square residual on the fitting data.
+    pub rms_residual: f64,
+}
+
+impl PolyFit {
+    /// Evaluates the fitted polynomial at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // Horner evaluation, highest order first.
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+}
+
+/// Fits `y ≈ Σ_{k≤degree} c_k x^k` by normal equations.
+///
+/// The small degrees used here (≤ 3) make normal equations perfectly
+/// adequate; inputs are centered and scaled internally for conditioning.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if there are fewer samples
+/// than coefficients, and [`NumericError::Singular`] if the design matrix
+/// is rank-deficient (e.g. all `x` identical).
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit, NumericError> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::InvalidArgument {
+            reason: format!("x and y lengths differ: {} vs {}", xs.len(), ys.len()),
+        });
+    }
+    let p = degree + 1;
+    if xs.len() < p {
+        return Err(NumericError::InvalidArgument {
+            reason: format!("need at least {p} samples for degree {degree}"),
+        });
+    }
+    // Center/scale x for conditioning; refit in t = (x - mx)/sx.
+    let mx = crate::stats::mean(xs);
+    let sx = {
+        let s = crate::stats::sample_std(xs);
+        if s > 0.0 {
+            s
+        } else {
+            1.0
+        }
+    };
+    let ts: Vec<f64> = xs.iter().map(|x| (x - mx) / sx).collect();
+
+    // Normal equations in the scaled variable.
+    let mut ata = Matrix::zeros(p, p);
+    let mut atb = vec![0.0; p];
+    let mut powers = vec![0.0; p];
+    for (t, y) in ts.iter().zip(ys) {
+        let mut tp = 1.0;
+        for pw in powers.iter_mut() {
+            *pw = tp;
+            tp *= t;
+        }
+        for i in 0..p {
+            atb[i] += powers[i] * y;
+            for j in 0..p {
+                ata[(i, j)] += powers[i] * powers[j];
+            }
+        }
+    }
+    let scaled = ata.solve(&atb)?;
+
+    // Expand back to raw-x coefficients: y = Σ s_k ((x-mx)/sx)^k.
+    let mut coeffs = vec![0.0; p];
+    // Binomial expansion of ((x - mx)/sx)^k.
+    for (k, &sk) in scaled.iter().enumerate() {
+        // ((x - mx)^k) = Σ_j C(k,j) x^j (-mx)^{k-j}
+        let mut binom = 1.0_f64; // C(k, 0)
+        for j in 0..=k {
+            let term = sk / sx.powi(k as i32) * binom * (-mx).powi((k - j) as i32);
+            coeffs[j] += term;
+            // C(k, j+1) = C(k, j) * (k - j) / (j + 1)
+            binom = binom * (k - j) as f64 / (j + 1) as f64;
+        }
+    }
+
+    // Fit quality in the raw variable.
+    let my = crate::stats::mean(ys);
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    let fit = PolyFit {
+        coeffs: coeffs.clone(),
+        r_squared: 0.0,
+        rms_residual: 0.0,
+    };
+    for (x, y) in xs.iter().zip(ys) {
+        let e = y - fit.eval(*x);
+        ss_res += e * e;
+        ss_tot += (y - my) * (y - my);
+    }
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Ok(PolyFit {
+        coeffs,
+        r_squared: r2,
+        rms_residual: (ss_res / xs.len() as f64).sqrt(),
+    })
+}
+
+/// Fits the leakage functional form `X = a·exp(bL + cL²)` from `(L, X)`
+/// samples by quadratic regression on `(L, ln X)`.
+///
+/// Returns `(a, b, c)` plus the fit's R² in log space.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if any leakage sample is not
+/// strictly positive (its logarithm would be undefined) or there are fewer
+/// than three samples; propagates regression errors.
+pub fn fit_exp_quadratic(
+    lengths: &[f64],
+    leakages: &[f64],
+) -> Result<(f64, f64, f64, f64), NumericError> {
+    if leakages.iter().any(|&x| !(x > 0.0)) {
+        return Err(NumericError::InvalidArgument {
+            reason: "leakage samples must be strictly positive".into(),
+        });
+    }
+    let logs: Vec<f64> = leakages.iter().map(|x| x.ln()).collect();
+    let fit = polyfit(lengths, &logs, 2)?;
+    let a = fit.coeffs[0].exp();
+    Ok((a, fit.coeffs[1], fit.coeffs[2], fit.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyfit_recovers_exact_quadratic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1 - 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 - 3.0 * x + 0.5 * x * x).collect();
+        let fit = polyfit(&xs, &ys, 2).unwrap();
+        assert!((fit.coeffs[0] - 2.0).abs() < 1e-10);
+        assert!((fit.coeffs[1] + 3.0).abs() < 1e-10);
+        assert!((fit.coeffs[2] - 0.5).abs() < 1e-10);
+        assert!(fit.r_squared > 1.0 - 1e-12);
+        assert!(fit.rms_residual < 1e-10);
+    }
+
+    #[test]
+    fn polyfit_handles_offset_scale() {
+        // Poorly conditioned raw values (x around 9e-8, like channel lengths
+        // in meters) — centering/scaling must keep this stable.
+        let xs: Vec<f64> = (0..10).map(|i| 9.0e-8 + i as f64 * 1e-9).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0e8 * x).collect();
+        let fit = polyfit(&xs, &ys, 1).unwrap();
+        assert!((fit.coeffs[1] - 2.0e8).abs() / 2.0e8 < 1e-6);
+    }
+
+    #[test]
+    fn polyfit_degree_zero_is_mean() {
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let fit = polyfit(&xs, &ys, 0).unwrap();
+        assert!((fit.coeffs[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyfit_too_few_samples_errors() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2).is_err());
+    }
+
+    #[test]
+    fn polyfit_mismatched_lengths_error() {
+        assert!(polyfit(&[1.0, 2.0, 3.0], &[1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn polyfit_identical_x_is_singular() {
+        let r = polyfit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 1);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn eval_horner_matches_direct() {
+        let fit = PolyFit {
+            coeffs: vec![1.0, -2.0, 3.0],
+            r_squared: 1.0,
+            rms_residual: 0.0,
+        };
+        let x = 1.7;
+        assert!((fit.eval(x) - (1.0 - 2.0 * x + 3.0 * x * x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_exp_quadratic_roundtrip() {
+        // Synthetic leakage with a = 5e-9, b = -80 (per unit L), c = 200.
+        let (a, b, c) = (5e-9, -80.0, 200.0);
+        let ls: Vec<f64> = (0..30).map(|i| 0.05 + i as f64 * 0.005).collect();
+        let xs: Vec<f64> = ls.iter().map(|l| a * (b * l + c * l * l).exp()).collect();
+        let (fa, fb, fc, r2) = fit_exp_quadratic(&ls, &xs).unwrap();
+        assert!((fa - a).abs() / a < 1e-6, "a: {fa}");
+        assert!((fb - b).abs() / b.abs() < 1e-6, "b: {fb}");
+        assert!((fc - c).abs() / c < 1e-6, "c: {fc}");
+        assert!(r2 > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn fit_exp_quadratic_rejects_nonpositive() {
+        assert!(fit_exp_quadratic(&[1.0, 2.0, 3.0], &[1.0, 0.0, 2.0]).is_err());
+        assert!(fit_exp_quadratic(&[1.0, 2.0, 3.0], &[1.0, -1.0, 2.0]).is_err());
+    }
+}

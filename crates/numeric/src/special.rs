@@ -1,0 +1,199 @@
+//! Special functions: error function and the normal distribution helpers.
+
+/// Error function, accurate to near machine precision (power series for
+/// small arguments, Lentz continued fraction for the complementary tail).
+///
+/// # Example
+///
+/// ```
+/// let v = leakage_numeric::special::erf(1.0);
+/// assert!((v - 0.8427007929497149).abs() < 1e-14);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    let z = x.abs();
+    let v = if z < 3.0 {
+        erf_series(z)
+    } else {
+        1.0 - erfc_cfrac(z)
+    };
+    if x >= 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Power series erf(x) = (2/√π) Σ (−1)ⁿ x^{2n+1} / (n!(2n+1)), |x| ≲ 3.
+fn erf_series(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    for n in 1..200 {
+        let nf = n as f64;
+        term *= -x2 / nf;
+        let add = term / (2.0 * nf + 1.0);
+        sum += add;
+        if add.abs() < 1e-18 * sum.abs() {
+            break;
+        }
+    }
+    sum * 2.0 / std::f64::consts::PI.sqrt()
+}
+
+/// erfc(x) for x ≥ 3 via the classic continued fraction
+/// erfc(x) = exp(−x²)/(x√π) · 1/(1 + 1/(2x²)/(1 + 2/(2x²)/(1 + …)))
+/// evaluated with modified Lentz.
+fn erfc_cfrac(x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let x2 = x * x;
+    let mut f = TINY;
+    let mut c = f;
+    let mut d = 0.0;
+    // Continued fraction: b0 = x, a1 = 1, b1 = x... use the form
+    // erfc(x)·√π·e^{x²} = 1/(x + 1/2/(x + 1/(x + 3/2/(x + 2/(x + ...)))))
+    // a_n = n/2, b_n = x.
+    for n in 0..200 {
+        let an = if n == 0 { 1.0 } else { n as f64 / 2.0 };
+        let bn = x;
+        d = bn + an * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = bn + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    // First step seeds f with 1/(x + ...), so here f already equals the CF.
+    f * (-x2).exp() / std::f64::consts::PI.sqrt()
+}
+
+/// Standard normal probability density.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inverse standard normal CDF (Acklam's algorithm, relative error < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile level must be in (0, 1)");
+    // Coefficients for Acklam's rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step for full double-ish precision.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-12);
+        assert!((erf(1.0) - 0.842_700_792_9).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_265_0).abs() < 1e-6);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12, "odd symmetry");
+        assert!((erf(6.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_symmetry_and_extremes() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        for x in [-3.0, -1.0, 0.5, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-10);
+        }
+        assert!(normal_cdf(8.0) > 1.0 - 1e-12);
+        assert!(normal_cdf(-8.0) < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-7,
+                "p = {p}: cdf(quantile) = {}",
+                normal_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.841_344_746) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level must be in (0, 1)")]
+    fn quantile_rejects_zero() {
+        let _ = normal_quantile(0.0);
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((normal_pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+        assert!((normal_pdf(1.3) - normal_pdf(-1.3)).abs() < 1e-15);
+    }
+}

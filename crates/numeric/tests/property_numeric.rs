@@ -1,0 +1,152 @@
+//! Property-based tests of the numerical kernels.
+
+use leakage_numeric::fft::{fft, ifft, Complex};
+use leakage_numeric::integrate::{composite_gauss_legendre, gauss_legendre};
+use leakage_numeric::interp::LinearInterp;
+use leakage_numeric::matrix::Matrix;
+use leakage_numeric::regression::polyfit;
+use leakage_numeric::special::{normal_cdf, normal_quantile};
+use leakage_numeric::stats::RunningStats;
+use proptest::prelude::*;
+
+fn small_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0_f64..100.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solve_then_multiply_roundtrips(
+        n in 2usize..6,
+        seed in proptest::collection::vec(-10.0_f64..10.0, 36 + 6),
+    ) {
+        // Build a well-conditioned SPD-ish matrix A = B Bᵀ + I.
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b[(i, j)] = seed[i * 6 + j];
+            }
+        }
+        let mut a = b.mul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let rhs: Vec<f64> = seed[36..36 + n].to_vec();
+        let x = a.solve(&rhs).unwrap();
+        let back = a.mul_vec(&x).unwrap();
+        for (u, v) in back.iter().zip(&rhs) {
+            prop_assert!((u - v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+        // Cholesky agrees with LU on SPD systems.
+        let xc = a.cholesky().unwrap().solve(&rhs);
+        for (u, v) in x.iter().zip(&xc) {
+            prop_assert!((u - v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn determinant_of_product_multiplies(
+        s in proptest::collection::vec(-3.0_f64..3.0, 8),
+    ) {
+        let a = Matrix::from_rows(&[&s[0..2], &s[2..4]]).unwrap();
+        let b = Matrix::from_rows(&[&s[4..6], &s[6..8]]).unwrap();
+        let det_ab = a.mul(&b).unwrap().det().unwrap();
+        let sep = a.det().unwrap() * b.det().unwrap();
+        prop_assert!((det_ab - sep).abs() < 1e-9 * (1.0 + sep.abs()));
+    }
+
+    #[test]
+    fn fft_roundtrip_preserves_signal(xs in small_vec(64)) {
+        let mut data: Vec<Complex> = xs.iter().map(|x| Complex::new(*x, 0.0)).collect();
+        fft(&mut data).unwrap();
+        ifft(&mut data).unwrap();
+        for (c, x) in data.iter().zip(&xs) {
+            prop_assert!((c.re - x).abs() < 1e-9);
+            prop_assert!(c.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(xs in small_vec(32), ys in small_vec(32), a in -5.0_f64..5.0) {
+        let mut fx: Vec<Complex> = xs.iter().map(|x| Complex::new(*x, 0.0)).collect();
+        let mut fy: Vec<Complex> = ys.iter().map(|y| Complex::new(*y, 0.0)).collect();
+        let mut fz: Vec<Complex> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| Complex::new(a * x + y, 0.0))
+            .collect();
+        fft(&mut fx).unwrap();
+        fft(&mut fy).unwrap();
+        fft(&mut fz).unwrap();
+        for i in 0..32 {
+            prop_assert!((fz[i].re - (a * fx[i].re + fy[i].re)).abs() < 1e-7);
+            prop_assert!((fz[i].im - (a * fx[i].im + fy[i].im)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn quadrature_is_additive_over_subintervals(a in -5.0_f64..0.0, b in 0.1_f64..5.0, m in -2.0_f64..2.0) {
+        let f = move |x: f64| (m * x).sin() + x * x;
+        let whole = gauss_legendre(f, a, b, 48);
+        let mid = 0.5 * (a + b);
+        let split = gauss_legendre(f, a, mid, 48) + gauss_legendre(f, mid, b, 48);
+        prop_assert!((whole - split).abs() < 1e-9 * (1.0 + whole.abs()));
+        // composite with many panels agrees too
+        let comp = composite_gauss_legendre(f, a, b, 16, 8);
+        prop_assert!((whole - comp).abs() < 1e-9 * (1.0 + whole.abs()));
+    }
+
+    #[test]
+    fn polyfit_residual_never_worse_than_lower_degree(
+        xs in proptest::collection::vec(-10.0_f64..10.0, 8..20),
+        noise_seed in 0u64..1000,
+    ) {
+        // distinct xs
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+        prop_assume!(xs.len() >= 6);
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * x - 2.0 * x + ((i as u64 * noise_seed) % 7) as f64 * 0.1)
+            .collect();
+        let lin = polyfit(&xs, &ys, 1).unwrap();
+        let quad = polyfit(&xs, &ys, 2).unwrap();
+        prop_assert!(quad.rms_residual <= lin.rms_residual + 1e-12);
+    }
+
+    #[test]
+    fn interp_stays_within_value_bounds(
+        ys in proptest::collection::vec(-50.0_f64..50.0, 3..12),
+        q in 0.0_f64..1.0,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let f = LinearInterp::new(xs, ys).unwrap();
+        let x = q * (f.max_knot() + 2.0) - 1.0; // includes out-of-range
+        let v = f.eval(x);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_cdf_inverse(p in 0.001_f64..0.999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn running_stats_invariant_under_order(mut xs in small_vec(20)) {
+        let mut fwd = RunningStats::new();
+        xs.iter().for_each(|&x| fwd.push(x));
+        xs.reverse();
+        let mut rev = RunningStats::new();
+        xs.iter().for_each(|&x| rev.push(x));
+        prop_assert!((fwd.mean() - rev.mean()).abs() < 1e-9);
+        prop_assert!((fwd.sample_variance() - rev.sample_variance()).abs() < 1e-7);
+        prop_assert_eq!(fwd.min(), rev.min());
+        prop_assert_eq!(fwd.max(), rev.max());
+    }
+}

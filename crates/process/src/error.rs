@@ -1,0 +1,59 @@
+//! Error type for process-model construction and sampling.
+
+use std::fmt;
+
+/// Errors arising while building process models or sampling fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcessError {
+    /// A model parameter was out of its valid domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An underlying numerical routine failed.
+    Numeric(leakage_numeric::NumericError),
+}
+
+impl fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessError::InvalidParameter { reason } => {
+                write!(f, "invalid process parameter: {reason}")
+            }
+            ProcessError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProcessError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<leakage_numeric::NumericError> for ProcessError {
+    fn from(e: leakage_numeric::NumericError) -> ProcessError {
+        ProcessError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ProcessError::InvalidParameter {
+            reason: "sigma must be non-negative".into(),
+        };
+        assert!(e.to_string().contains("sigma"));
+        assert!(e.source().is_none());
+
+        let n = ProcessError::Numeric(leakage_numeric::NumericError::Singular { pivot: 0 });
+        assert!(n.source().is_some());
+    }
+}

@@ -1,0 +1,314 @@
+//! Robust extraction of a spatial correlation function from noisy
+//! measurements (the substrate the paper takes from Xiong, Zolotov & He,
+//! *"Robust extraction of spatial correlation"*, ISPD 2006 — its ref 5).
+//!
+//! Test structures yield sample correlations at a set of distances; raw
+//! sample correlations are noisy, can exceed 1, dip negative, or violate
+//! monotonicity, and used directly they may produce an invalid (indefinite)
+//! covariance. Extraction enforces the properties the estimators rely on:
+//!
+//! 1. `ρ(0) = 1`;
+//! 2. values clamped to `[0, 1]`;
+//! 3. monotone non-increasing in distance (isotonic regression via
+//!    pool-adjacent-violators, weighted by sample counts);
+//! 4. optional compact support: once the regressed value falls below a
+//!    threshold, it is snapped to zero so the 1-D polar estimator applies.
+
+use crate::correlation::TableCorrelation;
+use crate::error::ProcessError;
+
+/// One measured correlation point: distance, sample correlation, and the
+/// number of sample pairs behind it (its weight).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationSample {
+    /// Separation distance of the measurement pair (µm).
+    pub distance: f64,
+    /// Sample (Pearson) correlation at that distance.
+    pub correlation: f64,
+    /// Number of sample pairs (weight); must be ≥ 1.
+    pub count: u64,
+}
+
+/// Extraction configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractionOptions {
+    /// Values at or below this threshold are snapped to zero, giving the
+    /// extracted model compact support (default 0.02).
+    pub zero_threshold: f64,
+}
+
+impl Default for ExtractionOptions {
+    fn default() -> Self {
+        ExtractionOptions {
+            zero_threshold: 0.02,
+        }
+    }
+}
+
+/// Extracts a valid correlation model from noisy samples.
+///
+/// Samples at duplicate distances are merged (weighted). A `(0, 1)` anchor
+/// is always present. Returns a [`TableCorrelation`] whose support radius
+/// is finite when the tail was snapped to zero.
+///
+/// # Errors
+///
+/// Returns [`ProcessError::InvalidParameter`] if no sample is given, a
+/// distance is negative/non-finite, a count is zero, or a correlation is
+/// non-finite.
+///
+/// # Example
+///
+/// ```
+/// use leakage_process::extraction::{extract_correlation, CorrelationSample, ExtractionOptions};
+/// use leakage_process::correlation::SpatialCorrelation;
+///
+/// // Noisy, non-monotone raw measurements.
+/// let samples = [
+///     CorrelationSample { distance: 10.0, correlation: 0.93, count: 400 },
+///     CorrelationSample { distance: 20.0, correlation: 0.72, count: 400 },
+///     CorrelationSample { distance: 30.0, correlation: 0.78, count: 100 }, // bump up: noise
+///     CorrelationSample { distance: 60.0, correlation: 0.31, count: 400 },
+///     CorrelationSample { distance: 90.0, correlation: -0.04, count: 400 },
+/// ];
+/// let model = extract_correlation(&samples, ExtractionOptions::default())?;
+/// assert_eq!(model.rho(0.0), 1.0);
+/// assert!(model.rho(20.0) >= model.rho(30.0)); // monotone after PAV
+/// assert_eq!(model.rho(95.0), 0.0);            // snapped tail
+/// assert!(model.support_radius().is_some());
+/// # Ok::<(), leakage_process::ProcessError>(())
+/// ```
+pub fn extract_correlation(
+    samples: &[CorrelationSample],
+    options: ExtractionOptions,
+) -> Result<TableCorrelation, ProcessError> {
+    if samples.is_empty() {
+        return Err(ProcessError::InvalidParameter {
+            reason: "need at least one correlation sample".into(),
+        });
+    }
+    for s in samples {
+        if !(s.distance >= 0.0) || !s.distance.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("invalid sample distance {}", s.distance),
+            });
+        }
+        if !s.correlation.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: "sample correlation must be finite".into(),
+            });
+        }
+        if s.count == 0 {
+            return Err(ProcessError::InvalidParameter {
+                reason: "sample count must be at least 1".into(),
+            });
+        }
+    }
+
+    // Sort by distance and merge duplicates (weighted mean).
+    let mut pts: Vec<(f64, f64, f64)> = samples
+        .iter()
+        .map(|s| (s.distance, s.correlation.clamp(-1.0, 1.0), s.count as f64))
+        .collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    let mut merged: Vec<(f64, f64, f64)> = Vec::with_capacity(pts.len());
+    for (d, r, w) in pts {
+        match merged.last_mut() {
+            Some((md, mr, mw)) if (*md - d).abs() < 1e-12 => {
+                *mr = (*mr * *mw + r * w) / (*mw + w);
+                *mw += w;
+            }
+            _ => merged.push((d, r, w)),
+        }
+    }
+    // Anchor ρ(0) = 1 with overwhelming weight.
+    if merged[0].0 > 0.0 {
+        merged.insert(0, (0.0, 1.0, f64::MAX / 1e6));
+    } else {
+        merged[0] = (0.0, 1.0, f64::MAX / 1e6);
+    }
+
+    // Weighted isotonic regression for a non-increasing sequence
+    // (pool-adjacent-violators on the negated values).
+    let values: Vec<f64> = merged.iter().map(|(_, r, _)| *r).collect();
+    let weights: Vec<f64> = merged.iter().map(|(_, _, w)| *w).collect();
+    let fitted = pav_non_increasing(&values, &weights);
+
+    // Clamp into [0, 1] and snap the sub-threshold tail to zero.
+    let mut rhos: Vec<f64> = fitted
+        .iter()
+        .map(|r| r.clamp(0.0, 1.0))
+        .collect();
+    let mut snapped = false;
+    for r in rhos.iter_mut() {
+        if snapped || *r <= options.zero_threshold {
+            *r = 0.0;
+            snapped = true;
+        }
+    }
+    let distances: Vec<f64> = merged.iter().map(|(d, _, _)| *d).collect();
+    TableCorrelation::new(distances, rhos)
+}
+
+/// Weighted pool-adjacent-violators for a *non-increasing* fit.
+fn pav_non_increasing(values: &[f64], weights: &[f64]) -> Vec<f64> {
+    // Classic PAV computes non-decreasing fits; negate for non-increasing.
+    #[derive(Clone, Copy)]
+    struct Block {
+        mean: f64,
+        weight: f64,
+        len: usize,
+    }
+    let mut blocks: Vec<Block> = Vec::with_capacity(values.len());
+    for (v, w) in values.iter().zip(weights) {
+        blocks.push(Block {
+            mean: -v,
+            weight: *w,
+            len: 1,
+        });
+        while blocks.len() >= 2 {
+            let b = blocks[blocks.len() - 1];
+            let a = blocks[blocks.len() - 2];
+            if a.mean <= b.mean {
+                break;
+            }
+            // merge
+            let merged = Block {
+                mean: (a.mean * a.weight + b.mean * b.weight) / (a.weight + b.weight),
+                weight: a.weight + b.weight,
+                len: a.len + b.len,
+            };
+            blocks.pop();
+            blocks.pop();
+            blocks.push(merged);
+        }
+    }
+    let mut out = Vec::with_capacity(values.len());
+    for b in blocks {
+        for _ in 0..b.len {
+            out.push(-b.mean);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::SpatialCorrelation;
+
+    fn sample(d: f64, r: f64, c: u64) -> CorrelationSample {
+        CorrelationSample {
+            distance: d,
+            correlation: r,
+            count: c,
+        }
+    }
+
+    #[test]
+    fn clean_monotone_data_passes_through() {
+        let samples = [
+            sample(10.0, 0.9, 100),
+            sample(20.0, 0.8, 100),
+            sample(40.0, 0.5, 100),
+        ];
+        let m = extract_correlation(&samples, ExtractionOptions::default()).unwrap();
+        assert_eq!(m.rho(0.0), 1.0);
+        assert!((m.rho(10.0) - 0.9).abs() < 1e-12);
+        assert!((m.rho(40.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violations_are_pooled() {
+        // Bump at 30 µm must be averaged with its neighbours, weighted.
+        let samples = [
+            sample(10.0, 0.9, 100),
+            sample(20.0, 0.5, 300),
+            sample(30.0, 0.7, 100),
+        ];
+        let m = extract_correlation(&samples, ExtractionOptions::default()).unwrap();
+        let r20 = m.rho(20.0);
+        let r30 = m.rho(30.0);
+        assert!(r20 >= r30, "monotone after pav");
+        // pooled weighted mean of 0.5 (w 300) and 0.7 (w 100) = 0.55
+        assert!((r30 - 0.55).abs() < 1e-9, "r30 {r30}");
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let samples = [sample(5.0, 1.2, 10), sample(50.0, -0.3, 10)];
+        let m = extract_correlation(&samples, ExtractionOptions::default()).unwrap();
+        assert!(m.rho(5.0) <= 1.0);
+        assert_eq!(m.rho(50.0), 0.0);
+    }
+
+    #[test]
+    fn tail_snapping_gives_compact_support() {
+        let samples = [
+            sample(10.0, 0.8, 10),
+            sample(50.0, 0.4, 10),
+            sample(100.0, 0.015, 10),
+            sample(150.0, 0.01, 10),
+        ];
+        let m = extract_correlation(&samples, ExtractionOptions::default()).unwrap();
+        assert_eq!(m.rho(100.0), 0.0);
+        assert_eq!(m.support_radius(), Some(150.0));
+    }
+
+    #[test]
+    fn no_snap_without_low_tail() {
+        let samples = [sample(10.0, 0.9, 10), sample(50.0, 0.6, 10)];
+        let m = extract_correlation(&samples, ExtractionOptions::default()).unwrap();
+        assert_eq!(m.support_radius(), None);
+        assert!((m.rho(1e6) - 0.6).abs() < 1e-12, "clamps to last value");
+    }
+
+    #[test]
+    fn duplicate_distances_merge_weighted() {
+        let samples = [
+            sample(10.0, 0.8, 100),
+            sample(10.0, 0.6, 300),
+        ];
+        let m = extract_correlation(&samples, ExtractionOptions::default()).unwrap();
+        assert!((m.rho(10.0) - 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_samples() {
+        assert!(extract_correlation(&[], ExtractionOptions::default()).is_err());
+        assert!(
+            extract_correlation(&[sample(-1.0, 0.5, 1)], ExtractionOptions::default()).is_err()
+        );
+        assert!(
+            extract_correlation(&[sample(1.0, f64::NAN, 1)], ExtractionOptions::default())
+                .is_err()
+        );
+        assert!(extract_correlation(&[sample(1.0, 0.5, 0)], ExtractionOptions::default()).is_err());
+    }
+
+    #[test]
+    fn recovers_tent_from_noisy_samples() {
+        // End-to-end: noisy observations of a tent with D_max = 80.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let truth = |d: f64| (1.0 - d / 80.0_f64).max(0.0);
+        let samples: Vec<CorrelationSample> = (1..=20)
+            .map(|i| {
+                let d = i as f64 * 5.0;
+                let noise: f64 = rng.gen_range(-0.04..0.04);
+                sample(d, truth(d) + noise, 500)
+            })
+            .collect();
+        let m = extract_correlation(&samples, ExtractionOptions::default()).unwrap();
+        for d in [10.0, 30.0, 50.0, 70.0] {
+            assert!(
+                (m.rho(d) - truth(d)).abs() < 0.06,
+                "d {d}: {} vs {}",
+                m.rho(d),
+                truth(d)
+            );
+        }
+        assert!(m.support_radius().is_some(), "compact support recovered");
+    }
+}

@@ -1,0 +1,694 @@
+//! Correlated Gaussian random-field sampling on placement grids.
+//!
+//! The Monte-Carlo cross-checks need samples of the within-die channel
+//! length field over the `k × m` site grid with the prescribed spatial
+//! correlation. Two backends:
+//!
+//! * [`CholeskyFieldSampler`] — exact, `O(n³)` setup; fine up to a few
+//!   thousand sites. Applies escalating diagonal jitter when the sampled
+//!   covariance (e.g. a tent function, which is not guaranteed positive
+//!   definite on a 2-D grid) is numerically indefinite.
+//! * [`CirculantFieldSampler`] — FFT circulant embedding on a doubled
+//!   torus; `O(N log N)` and exact when the embedding is non-negative,
+//!   otherwise clips negative eigenvalues and reports the clipped mass.
+
+use crate::correlation::SpatialCorrelation;
+use crate::error::ProcessError;
+use leakage_numeric::fft::{fft2d, ifft2d, next_pow2, Complex};
+use leakage_numeric::matrix::{Cholesky, Matrix};
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the rectangular site grid (paper Fig. 4): `rows × cols`
+/// sites at pitch `(pitch_x, pitch_y)`; the die is `W = cols·pitch_x` by
+/// `H = rows·pitch_y`.
+///
+/// # Example
+///
+/// ```
+/// use leakage_process::field::GridGeometry;
+///
+/// let g = GridGeometry::new(10, 20, 2.0, 3.0).unwrap();
+/// assert_eq!(g.n_sites(), 200);
+/// assert_eq!(g.width(), 40.0);
+/// assert_eq!(g.height(), 30.0);
+/// assert!((g.offset_distance(3, 4) - (6.0f64*6.0 + 12.0*12.0).sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridGeometry {
+    rows: usize,
+    cols: usize,
+    pitch_x: f64,
+    pitch_y: f64,
+}
+
+impl GridGeometry {
+    /// Creates a grid with `rows × cols` sites and the given pitches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for zero dimensions or
+    /// non-positive pitches.
+    pub fn new(rows: usize, cols: usize, pitch_x: f64, pitch_y: f64) -> Result<Self, ProcessError> {
+        if rows == 0 || cols == 0 {
+            return Err(ProcessError::InvalidParameter {
+                reason: "grid must have at least one row and column".into(),
+            });
+        }
+        if !(pitch_x > 0.0) || !(pitch_y > 0.0) || !pitch_x.is_finite() || !pitch_y.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("pitches must be positive and finite, got ({pitch_x}, {pitch_y})"),
+            });
+        }
+        Ok(GridGeometry {
+            rows,
+            cols,
+            pitch_x,
+            pitch_y,
+        })
+    }
+
+    /// Creates the most-square grid holding at least `n` sites inside a
+    /// `width × height` die: `cols ≈ width/√(area/n)`. Used when mapping a
+    /// gate count and die dimensions to the RG array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for `n == 0` or
+    /// non-positive dimensions.
+    pub fn for_die(n: usize, width: f64, height: f64) -> Result<Self, ProcessError> {
+        if n == 0 {
+            return Err(ProcessError::InvalidParameter {
+                reason: "site count must be positive".into(),
+            });
+        }
+        if !(width > 0.0 && height > 0.0) {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("die dimensions must be positive, got {width} x {height}"),
+            });
+        }
+        // Pick cols/rows so sites are near-square and rows*cols >= n.
+        let aspect = width / height;
+        let cols = ((n as f64 * aspect).sqrt().round() as usize).max(1);
+        let rows = n.div_ceil(cols);
+        GridGeometry::new(rows, cols, width / cols as f64, height / rows as f64)
+    }
+
+    /// Number of site rows (`k` in the paper).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of site columns (`m` in the paper).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Horizontal site pitch (`ΔW`).
+    pub fn pitch_x(&self) -> f64 {
+        self.pitch_x
+    }
+
+    /// Vertical site pitch (`ΔH`).
+    pub fn pitch_y(&self) -> f64 {
+        self.pitch_y
+    }
+
+    /// Total number of sites `n = rows·cols`.
+    pub fn n_sites(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Die width `W = cols·ΔW`.
+    pub fn width(&self) -> f64 {
+        self.cols as f64 * self.pitch_x
+    }
+
+    /// Die height `H = rows·ΔH`.
+    pub fn height(&self) -> f64 {
+        self.rows as f64 * self.pitch_y
+    }
+
+    /// Die area `W·H`.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre-to-centre distance for an index offset `(di, dj)` =
+    /// (column difference, row difference): `√((di·ΔW)² + (dj·ΔH)²)`.
+    pub fn offset_distance(&self, di: i64, dj: i64) -> f64 {
+        let dx = di as f64 * self.pitch_x;
+        let dy = dj as f64 * self.pitch_y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Distance between two sites given as `(row, col)` pairs.
+    pub fn site_distance(&self, a: (usize, usize), b: (usize, usize)) -> f64 {
+        self.offset_distance(b.1 as i64 - a.1 as i64, b.0 as i64 - a.0 as i64)
+    }
+
+    /// Coordinates of a site centre.
+    pub fn site_center(&self, row: usize, col: usize) -> (f64, f64) {
+        (
+            (col as f64 + 0.5) * self.pitch_x,
+            (row as f64 + 0.5) * self.pitch_y,
+        )
+    }
+}
+
+/// A sampler of zero-mean correlated Gaussian fields over a grid.
+pub trait FieldSampler: std::fmt::Debug {
+    /// Grid geometry the sampler was built for.
+    fn geometry(&self) -> GridGeometry;
+
+    /// Draws one zero-mean field sample, row-major, length `n_sites()`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64>
+    where
+        Self: Sized;
+}
+
+/// Exact Cholesky-based sampler (small grids).
+#[derive(Debug)]
+pub struct CholeskyFieldSampler {
+    geometry: GridGeometry,
+    factor: Cholesky,
+    jitter: f64,
+}
+
+impl CholeskyFieldSampler {
+    /// Builds the sampler for `sigma²·ρ(d)` over the grid.
+    ///
+    /// Tent-like correlation functions are not always positive definite on
+    /// a 2-D grid; escalating relative diagonal jitter (up to `1e-6`) is
+    /// applied if the plain factorization fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for `sigma < 0`, and a
+    /// numeric error if even the jittered matrix fails to factor.
+    pub fn new<C: SpatialCorrelation>(
+        geometry: GridGeometry,
+        corr: &C,
+        sigma: f64,
+    ) -> Result<Self, ProcessError> {
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("sigma must be finite and >= 0, got {sigma}"),
+            });
+        }
+        let n = geometry.n_sites();
+        let var = sigma * sigma;
+        let mut cov = Matrix::zeros(n, n);
+        for a in 0..n {
+            let (ra, ca) = (a / geometry.cols(), a % geometry.cols());
+            for b in a..n {
+                let (rb, cb) = (b / geometry.cols(), b % geometry.cols());
+                let d = geometry.site_distance((ra, ca), (rb, cb));
+                let v = var * corr.rho(d);
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+        }
+        let mut jitter = 0.0;
+        let mut attempt = cov.cholesky();
+        let mut rel = 1e-12;
+        while attempt.is_err() && rel <= 1e-6 {
+            jitter = rel * var.max(1e-300);
+            let mut jittered = cov.clone();
+            for i in 0..n {
+                jittered[(i, i)] += jitter;
+            }
+            attempt = jittered.cholesky();
+            rel *= 100.0;
+        }
+        let factor = attempt.map_err(ProcessError::from)?;
+        Ok(CholeskyFieldSampler {
+            geometry,
+            factor,
+            jitter,
+        })
+    }
+
+    /// Diagonal jitter that had to be added (0 when none was needed).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+}
+
+impl FieldSampler for CholeskyFieldSampler {
+    fn geometry(&self) -> GridGeometry {
+        self.geometry
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let n = self.geometry.n_sites();
+        let white: Vec<f64> = (0..n).map(|_| StandardNormal.sample(rng)).collect();
+        self.factor.mul_factor(&white)
+    }
+}
+
+/// FFT circulant-embedding sampler (large grids).
+///
+/// Embeds the stationary covariance on a `P × Q` torus (doubled and padded
+/// to powers of two) and samples by colouring complex white noise with the
+/// square root of the (non-negative) eigenvalue field.
+#[derive(Debug)]
+pub struct CirculantFieldSampler {
+    geometry: GridGeometry,
+    torus_rows: usize,
+    torus_cols: usize,
+    /// √(λ/(P·Q)) per torus frequency.
+    sqrt_scaled_eigs: Vec<f64>,
+    clipped_fraction: f64,
+}
+
+impl CirculantFieldSampler {
+    /// Builds the sampler for `sigma²·ρ(d)` over the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for `sigma < 0`;
+    /// propagates FFT shape errors (which cannot occur for the padded
+    /// sizes chosen internally).
+    pub fn new<C: SpatialCorrelation>(
+        geometry: GridGeometry,
+        corr: &C,
+        sigma: f64,
+    ) -> Result<Self, ProcessError> {
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("sigma must be finite and >= 0, got {sigma}"),
+            });
+        }
+        let p = next_pow2(2 * geometry.rows());
+        let q = next_pow2(2 * geometry.cols());
+        let var = sigma * sigma;
+        // Torus covariance kernel: distance wraps around.
+        let mut kernel = vec![Complex::zero(); p * q];
+        for r in 0..p {
+            let wrap_r = r.min(p - r) as f64 * geometry.pitch_y();
+            for c in 0..q {
+                let wrap_c = c.min(q - c) as f64 * geometry.pitch_x();
+                let d = (wrap_r * wrap_r + wrap_c * wrap_c).sqrt();
+                kernel[r * q + c] = Complex::new(var * corr.rho(d), 0.0);
+            }
+        }
+        fft2d(&mut kernel, p, q)?;
+        let mut clipped = 0.0;
+        let mut total = 0.0;
+        let scale = (p * q) as f64;
+        let sqrt_scaled_eigs: Vec<f64> = kernel
+            .iter()
+            .map(|e| {
+                total += e.re.abs();
+                if e.re < 0.0 {
+                    clipped += -e.re;
+                    0.0
+                } else {
+                    (e.re / scale).sqrt()
+                }
+            })
+            .collect();
+        Ok(CirculantFieldSampler {
+            geometry,
+            torus_rows: p,
+            torus_cols: q,
+            sqrt_scaled_eigs,
+            clipped_fraction: if total > 0.0 { clipped / total } else { 0.0 },
+        })
+    }
+
+    /// Fraction of spectral mass that had to be clipped because the
+    /// embedding was indefinite (0 for an exact embedding).
+    pub fn clipped_fraction(&self) -> f64 {
+        self.clipped_fraction
+    }
+
+    /// Draws **two** independent field samples for the price of one pair
+    /// of FFTs (real and imaginary parts of the coloured noise).
+    pub fn sample_two<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<f64>, Vec<f64>) {
+        let (p, q) = (self.torus_rows, self.torus_cols);
+        let mut buf: Vec<Complex> = self
+            .sqrt_scaled_eigs
+            .iter()
+            .map(|&s| {
+                let re: f64 = StandardNormal.sample(rng);
+                let im: f64 = StandardNormal.sample(rng);
+                Complex::new(s * re, s * im)
+            })
+            .collect();
+        // Forward unnormalized FFT colours the noise (see derivation in
+        // module docs: real/imag parts are independent with covariance c).
+        fft2d(&mut buf, p, q).expect("padded power-of-two dimensions");
+        let (rows, cols) = (self.geometry.rows(), self.geometry.cols());
+        let mut a = Vec::with_capacity(rows * cols);
+        let mut b = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = buf[r * q + c];
+                a.push(v.re);
+                b.push(v.im);
+            }
+        }
+        (a, b)
+    }
+
+    /// Reconstructs the effective (possibly clipped) covariance the
+    /// sampler realizes at a given index offset — used in tests to verify
+    /// the embedding.
+    pub fn effective_covariance(&self, dr: usize, dc: usize) -> f64 {
+        let (p, q) = (self.torus_rows, self.torus_cols);
+        let mut eigs: Vec<Complex> = self
+            .sqrt_scaled_eigs
+            .iter()
+            .map(|&s| Complex::new(s * s * (p * q) as f64, 0.0))
+            .collect();
+        ifft2d(&mut eigs, p, q).expect("padded power-of-two dimensions");
+        eigs[(dr % p) * q + (dc % q)].re
+    }
+}
+
+impl FieldSampler for CirculantFieldSampler {
+    fn geometry(&self) -> GridGeometry {
+        self.geometry
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.sample_two(rng).0
+    }
+}
+
+/// Exact Cholesky sampler at *arbitrary* point locations (no grid).
+///
+/// Used when instances do not sit on a regular lattice and the
+/// nearest-site approximation of the grid samplers is not wanted; cost is
+/// `O(n³)` setup and `O(n²)` per draw, so it suits small designs and
+/// validation runs.
+#[derive(Debug)]
+pub struct PointFieldSampler {
+    points: Vec<(f64, f64)>,
+    factor: Cholesky,
+    jitter: f64,
+}
+
+impl PointFieldSampler {
+    /// Builds the sampler for `sigma²·ρ(d)` over the given points.
+    ///
+    /// Escalating diagonal jitter (up to 1e-6 relative) is applied if the
+    /// covariance is numerically indefinite, as with the grid sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for an empty point set,
+    /// non-finite coordinates, or `sigma < 0`; propagates factorization
+    /// failure if even the jittered matrix is indefinite.
+    pub fn new<C: SpatialCorrelation>(
+        points: Vec<(f64, f64)>,
+        corr: &C,
+        sigma: f64,
+    ) -> Result<Self, ProcessError> {
+        if points.is_empty() {
+            return Err(ProcessError::InvalidParameter {
+                reason: "need at least one point".into(),
+            });
+        }
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(ProcessError::InvalidParameter {
+                reason: "point coordinates must be finite".into(),
+            });
+        }
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("sigma must be finite and >= 0, got {sigma}"),
+            });
+        }
+        let n = points.len();
+        let var = sigma * sigma;
+        let mut cov = Matrix::zeros(n, n);
+        for a in 0..n {
+            for b in a..n {
+                let dx = points[a].0 - points[b].0;
+                let dy = points[a].1 - points[b].1;
+                let v = var * corr.rho((dx * dx + dy * dy).sqrt());
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+        }
+        let mut jitter = 0.0;
+        let mut attempt = cov.cholesky();
+        let mut rel = 1e-12;
+        while attempt.is_err() && rel <= 1e-6 {
+            jitter = rel * var.max(1e-300);
+            let mut jittered = cov.clone();
+            for i in 0..n {
+                jittered[(i, i)] += jitter;
+            }
+            attempt = jittered.cholesky();
+            rel *= 100.0;
+        }
+        Ok(PointFieldSampler {
+            points,
+            factor: attempt?,
+            jitter,
+        })
+    }
+
+    /// The sampled point locations.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Diagonal jitter that had to be added (0 when none was needed).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Draws one zero-mean field sample, one value per point.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let n = self.points.len();
+        let white: Vec<f64> = (0..n).map(|_| StandardNormal.sample(rng)).collect();
+        self.factor.mul_factor(&white)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{ExponentialCorrelation, TentCorrelation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_geometry_basics() {
+        let g = GridGeometry::new(4, 6, 1.5, 2.0).unwrap();
+        assert_eq!(g.n_sites(), 24);
+        assert_eq!(g.width(), 9.0);
+        assert_eq!(g.height(), 8.0);
+        assert_eq!(g.area(), 72.0);
+        assert_eq!(g.offset_distance(0, 0), 0.0);
+        assert!((g.offset_distance(1, 0) - 1.5).abs() < 1e-15);
+        assert!((g.offset_distance(0, 1) - 2.0).abs() < 1e-15);
+        assert_eq!(
+            g.site_distance((0, 0), (3, 4)),
+            g.offset_distance(4, 3)
+        );
+    }
+
+    #[test]
+    fn grid_geometry_rejects_bad() {
+        assert!(GridGeometry::new(0, 5, 1.0, 1.0).is_err());
+        assert!(GridGeometry::new(5, 0, 1.0, 1.0).is_err());
+        assert!(GridGeometry::new(5, 5, 0.0, 1.0).is_err());
+        assert!(GridGeometry::new(5, 5, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn for_die_matches_count_and_dims() {
+        let g = GridGeometry::for_die(1000, 500.0, 500.0).unwrap();
+        assert!(g.n_sites() >= 1000);
+        assert!((g.width() - 500.0).abs() < 1e-9);
+        assert!((g.height() - 500.0).abs() < 1e-9);
+        // near square sites
+        assert!((g.pitch_x() / g.pitch_y() - 1.0).abs() < 0.2);
+        assert!(GridGeometry::for_die(0, 1.0, 1.0).is_err());
+        assert!(GridGeometry::for_die(10, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn for_die_respects_aspect() {
+        let g = GridGeometry::for_die(1000, 1000.0, 250.0).unwrap();
+        assert!(g.cols() > g.rows(), "wide die gets more columns");
+    }
+
+    #[test]
+    fn site_center_in_bounds() {
+        let g = GridGeometry::new(2, 2, 1.0, 1.0).unwrap();
+        let (x, y) = g.site_center(1, 1);
+        assert_eq!((x, y), (1.5, 1.5));
+    }
+
+    #[test]
+    fn cholesky_sampler_reproduces_variance_and_correlation() {
+        let g = GridGeometry::new(4, 4, 10.0, 10.0).unwrap();
+        let corr = ExponentialCorrelation::new(20.0).unwrap();
+        let s = CholeskyFieldSampler::new(g, &corr, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n_draws = 20_000;
+        let mut v00 = Vec::with_capacity(n_draws);
+        let mut v01 = Vec::with_capacity(n_draws);
+        for _ in 0..n_draws {
+            let f = s.sample(&mut rng);
+            v00.push(f[0]);
+            v01.push(f[1]);
+        }
+        let var = leakage_numeric::stats::sample_variance(&v00);
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+        let rho = leakage_numeric::stats::pearson_correlation(&v00, &v01);
+        let expect = corr.rho(10.0);
+        assert!((rho - expect).abs() < 0.03, "rho {rho} vs {expect}");
+    }
+
+    #[test]
+    fn cholesky_sampler_handles_tent_with_jitter() {
+        // A dense grid against a tent correlation may need jitter; must not fail.
+        let g = GridGeometry::new(6, 6, 5.0, 5.0).unwrap();
+        let corr = TentCorrelation::new(12.0).unwrap();
+        let s = CholeskyFieldSampler::new(g, &corr, 1.0).unwrap();
+        assert!(s.jitter() >= 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = s.sample(&mut rng);
+        assert_eq!(f.len(), 36);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn circulant_embedding_exact_for_exponential() {
+        let g = GridGeometry::new(8, 8, 5.0, 5.0).unwrap();
+        let corr = ExponentialCorrelation::new(15.0).unwrap();
+        let s = CirculantFieldSampler::new(g, &corr, 1.5).unwrap();
+        // Exponential on a generously padded torus: eigenvalues stay ≥ 0.
+        assert!(s.clipped_fraction() < 1e-12, "clipped {}", s.clipped_fraction());
+        // Effective covariance at offsets matches σ²ρ(d).
+        let c0 = s.effective_covariance(0, 0);
+        assert!((c0 - 2.25).abs() < 1e-9, "c0 {c0}");
+        let c1 = s.effective_covariance(0, 1);
+        let expect = 2.25 * corr.rho(5.0);
+        // torus wrap adds a tiny positive bias at long range; small here
+        assert!((c1 - expect).abs() < 0.02, "c1 {c1} vs {expect}");
+    }
+
+    #[test]
+    fn circulant_sampler_statistics() {
+        let g = GridGeometry::new(8, 8, 5.0, 5.0).unwrap();
+        let corr = ExponentialCorrelation::new(15.0).unwrap();
+        let s = CirculantFieldSampler::new(g, &corr, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut a0 = Vec::new();
+        let mut a1 = Vec::new();
+        for _ in 0..8000 {
+            let (f, f2) = s.sample_two(&mut rng);
+            a0.push(f[0]);
+            a1.push(f[1]);
+            a0.push(f2[0]);
+            a1.push(f2[1]);
+        }
+        let var = leakage_numeric::stats::sample_variance(&a0);
+        assert!((var - 1.0).abs() < 0.06, "var {var}");
+        let rho = leakage_numeric::stats::pearson_correlation(&a0, &a1);
+        let expect = corr.rho(5.0);
+        assert!((rho - expect).abs() < 0.03, "rho {rho} vs {expect}");
+    }
+
+    #[test]
+    fn circulant_and_cholesky_agree() {
+        let g = GridGeometry::new(5, 7, 8.0, 6.0).unwrap();
+        let corr = ExponentialCorrelation::new(25.0).unwrap();
+        let chol = CholeskyFieldSampler::new(g, &corr, 1.0).unwrap();
+        let circ = CirculantFieldSampler::new(g, &corr, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        // Compare empirical variance of the site-averaged field (a scalar
+        // functional very sensitive to the full covariance structure).
+        let mut m_chol = leakage_numeric::stats::RunningStats::new();
+        let mut m_circ = leakage_numeric::stats::RunningStats::new();
+        for _ in 0..6000 {
+            let f = chol.sample(&mut rng);
+            m_chol.push(f.iter().sum::<f64>() / f.len() as f64);
+            let f = circ.sample(&mut rng);
+            m_circ.push(f.iter().sum::<f64>() / f.len() as f64);
+        }
+        let (va, vb) = (m_chol.sample_variance(), m_circ.sample_variance());
+        assert!(
+            (va - vb).abs() / va < 0.12,
+            "cholesky {va} vs circulant {vb}"
+        );
+    }
+
+    #[test]
+    fn point_sampler_matches_correlation() {
+        let corr = ExponentialCorrelation::new(20.0).unwrap();
+        let points = vec![(0.0, 0.0), (10.0, 0.0), (300.0, 300.0)];
+        let s = PointFieldSampler::new(points, &corr, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        for _ in 0..20_000 {
+            let f = s.sample(&mut rng);
+            a.push(f[0]);
+            b.push(f[1]);
+            c.push(f[2]);
+        }
+        let var = leakage_numeric::stats::sample_variance(&a);
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+        let near = leakage_numeric::stats::pearson_correlation(&a, &b);
+        assert!((near - corr.rho(10.0)).abs() < 0.03, "near {near}");
+        let far = leakage_numeric::stats::pearson_correlation(&a, &c);
+        assert!(far.abs() < 0.03, "far {far}");
+    }
+
+    #[test]
+    fn point_sampler_rejects_bad_input() {
+        let corr = ExponentialCorrelation::new(20.0).unwrap();
+        assert!(PointFieldSampler::new(vec![], &corr, 1.0).is_err());
+        assert!(PointFieldSampler::new(vec![(f64::NAN, 0.0)], &corr, 1.0).is_err());
+        assert!(PointFieldSampler::new(vec![(0.0, 0.0)], &corr, -1.0).is_err());
+    }
+
+    #[test]
+    fn point_sampler_handles_coincident_points_with_jitter() {
+        let corr = ExponentialCorrelation::new(20.0).unwrap();
+        // Two identical points make the covariance singular; jitter saves it.
+        let s = PointFieldSampler::new(vec![(5.0, 5.0), (5.0, 5.0)], &corr, 1.0).unwrap();
+        assert!(s.jitter() > 0.0);
+        let mut rng = StdRng::seed_from_u64(32);
+        let f = s.sample(&mut rng);
+        assert!((f[0] - f[1]).abs() < 1e-2, "coincident points nearly equal");
+    }
+
+    #[test]
+    fn samplers_reject_negative_sigma() {
+        let g = GridGeometry::new(2, 2, 1.0, 1.0).unwrap();
+        let corr = ExponentialCorrelation::new(5.0).unwrap();
+        assert!(CholeskyFieldSampler::new(g, &corr, -1.0).is_err());
+        assert!(CirculantFieldSampler::new(g, &corr, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_sigma_yields_zero_field() {
+        let g = GridGeometry::new(3, 3, 1.0, 1.0).unwrap();
+        let corr = ExponentialCorrelation::new(5.0).unwrap();
+        let s = CholeskyFieldSampler::new(g, &corr, 0.0);
+        // zero variance is degenerate for cholesky (diagonal zero) — it
+        // may fail gracefully (not positive definite) but must not panic
+        if let Ok(s) = s {
+            let mut rng = StdRng::seed_from_u64(1);
+            let f = s.sample(&mut rng);
+            assert!(f.iter().all(|v| v.abs() < 1e-6));
+        }
+        let c = CirculantFieldSampler::new(g, &corr, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = c.sample(&mut rng);
+        assert!(f.iter().all(|v| *v == 0.0));
+    }
+}

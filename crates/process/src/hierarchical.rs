@@ -1,0 +1,322 @@
+//! Hierarchical (quadtree) within-die correlation — the alternative WID
+//! model used by the late-mode competitors the paper compares against
+//! (Chang & Sapatnekar DAC'05 — the paper's ref 3 — and Agarwal et al. ICCAD'05, ref 4).
+//!
+//! The die is recursively partitioned into quadrants for `levels` levels;
+//! each region at each level carries an independent Gaussian component
+//! with a per-level variance share. Two locations correlate by the summed
+//! shares of the regions they *both* fall in:
+//!
+//! ```text
+//! ρ(p, q) = Σ_{levels ℓ where p, q share a region} w_ℓ
+//! ```
+//!
+//! Unlike the distance-based models in [`crate::correlation`], this is
+//! *not* isotropic: two points straddling a top-level quadrant boundary
+//! decorrelate abruptly however close they are. The Random Gate
+//! estimators assume isotropy, so [`QuadtreeCorrelation::isotropic_table`]
+//! provides the distance-averaged approximation — and the
+//! `quadtree_ablation` experiment measures what that approximation costs.
+
+use crate::error::ProcessError;
+use crate::correlation::TableCorrelation;
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+use serde::{Deserialize, Serialize};
+
+/// Quadtree correlation model over a `width × height` die.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuadtreeCorrelation {
+    width: f64,
+    height: f64,
+    /// Per-level variance shares, level 0 = whole die; sums to ≤ 1; any
+    /// remainder is the purely independent per-site share.
+    weights: Vec<f64>,
+}
+
+impl QuadtreeCorrelation {
+    /// Creates the model.
+    ///
+    /// `weights[ℓ]` is the variance share of level `ℓ` (level 0 covers
+    /// the whole die — within-die-wise it acts like a D2D share). The
+    /// remainder `1 − Σw` is independent per location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for non-positive die
+    /// dimensions, empty/negative weights, or shares summing above 1.
+    pub fn new(width: f64, height: f64, weights: Vec<f64>) -> Result<Self, ProcessError> {
+        if !(width > 0.0 && height > 0.0) {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("die dimensions must be positive, got {width} x {height}"),
+            });
+        }
+        if weights.is_empty() {
+            return Err(ProcessError::InvalidParameter {
+                reason: "need at least one level".into(),
+            });
+        }
+        if weights.iter().any(|w| !(*w >= 0.0) || !w.is_finite()) {
+            return Err(ProcessError::InvalidParameter {
+                reason: "level weights must be finite and non-negative".into(),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total > 1.0 + 1e-12 {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("level weights sum to {total} > 1"),
+            });
+        }
+        Ok(QuadtreeCorrelation {
+            width,
+            height,
+            weights,
+        })
+    }
+
+    /// A common 4-level split: 40 % whole-die, then 30/20/10 % on finer
+    /// quadrants (no independent remainder).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension validation.
+    pub fn standard(width: f64, height: f64) -> Result<Self, ProcessError> {
+        QuadtreeCorrelation::new(width, height, vec![0.4, 0.3, 0.2, 0.1])
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Die width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Die height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Region index of a point at a level (row-major over the `2^ℓ × 2^ℓ`
+    /// grid of that level). Points outside the die clamp to the border.
+    fn region(&self, level: usize, x: f64, y: f64) -> usize {
+        let divs = 1usize << level;
+        let cx = ((x / self.width * divs as f64) as usize).min(divs - 1);
+        let cy = ((y / self.height * divs as f64) as usize).min(divs - 1);
+        cy * divs + cx
+    }
+
+    /// Correlation between two locations (position-dependent!).
+    pub fn rho_between(&self, p: (f64, f64), q: (f64, f64)) -> f64 {
+        let mut rho = 0.0;
+        for (level, w) in self.weights.iter().enumerate() {
+            if self.region(level, p.0, p.1) == self.region(level, q.0, q.1) {
+                rho += w;
+            } else {
+                break; // regions nest: once split, all finer levels split
+            }
+        }
+        rho
+    }
+
+    /// Samples one field over arbitrary site positions (unit variance).
+    pub fn sample_field<R: Rng + ?Sized>(&self, sites: &[(f64, f64)], rng: &mut R) -> Vec<f64> {
+        // Per-level, per-region independent components.
+        let mut field = vec![0.0; sites.len()];
+        for (level, w) in self.weights.iter().enumerate() {
+            if *w == 0.0 {
+                continue;
+            }
+            let divs = 1usize << level;
+            let mut values = vec![f64::NAN; divs * divs];
+            let scale = w.sqrt();
+            for (i, site) in sites.iter().enumerate() {
+                let r = self.region(level, site.0, site.1);
+                if values[r].is_nan() {
+                    let z: f64 = StandardNormal.sample(rng);
+                    values[r] = z * scale;
+                }
+                field[i] += values[r];
+            }
+        }
+        let independent = (1.0 - self.weights.iter().sum::<f64>()).max(0.0);
+        if independent > 0.0 {
+            let scale = independent.sqrt();
+            for f in field.iter_mut() {
+                let z: f64 = StandardNormal.sample(rng);
+                *f += z * scale;
+            }
+        }
+        field
+    }
+
+    /// Distance-averaged isotropic approximation: for each distance bin,
+    /// averages `rho_between` over random same-distance point pairs inside
+    /// the die, then extracts a valid monotone table model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures (cannot occur for valid bins).
+    pub fn isotropic_table<R: Rng + ?Sized>(
+        &self,
+        bins: usize,
+        pairs_per_bin: usize,
+        rng: &mut R,
+    ) -> Result<TableCorrelation, ProcessError> {
+        if bins < 2 || pairs_per_bin == 0 {
+            return Err(ProcessError::InvalidParameter {
+                reason: "need at least two bins and one pair per bin".into(),
+            });
+        }
+        let d_max = self.width.min(self.height);
+        let mut samples = Vec::with_capacity(bins);
+        for b in 1..=bins {
+            let d = d_max * b as f64 / bins as f64;
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            while count < pairs_per_bin {
+                let x1 = rng.gen_range(0.0..self.width);
+                let y1 = rng.gen_range(0.0..self.height);
+                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                let x2 = x1 + d * theta.cos();
+                let y2 = y1 + d * theta.sin();
+                if !(0.0..=self.width).contains(&x2) || !(0.0..=self.height).contains(&y2) {
+                    continue;
+                }
+                acc += self.rho_between((x1, y1), (x2, y2));
+                count += 1;
+            }
+            samples.push(crate::extraction::CorrelationSample {
+                distance: d,
+                correlation: acc / pairs_per_bin as f64,
+                count: pairs_per_bin as u64,
+            });
+        }
+        crate::extraction::extract_correlation(
+            &samples,
+            crate::extraction::ExtractionOptions::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::SpatialCorrelation;
+    use leakage_numeric::stats::pearson_correlation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> QuadtreeCorrelation {
+        QuadtreeCorrelation::standard(128.0, 128.0).unwrap()
+    }
+
+    #[test]
+    fn same_point_full_correlation() {
+        let m = model();
+        assert!((m.rho_between((10.0, 10.0), (10.0, 10.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_region_shares() {
+        let m = model();
+        // Same finest cell (die/8 = 16): full share.
+        let full = m.rho_between((1.0, 1.0), (2.0, 2.0));
+        assert!((full - 1.0).abs() < 1e-12);
+        // Opposite corners: only the level-0 share.
+        let far = m.rho_between((1.0, 1.0), (127.0, 127.0));
+        assert!((far - 0.4).abs() < 1e-12);
+        // Same quadrant, different sub-quadrant: 0.4 + 0.3.
+        let mid = m.rho_between((1.0, 1.0), (60.0, 60.0));
+        assert!((mid - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anisotropy_at_boundaries() {
+        let m = model();
+        // Two points 2 µm apart straddling the die midline decorrelate to
+        // the level-0 share only — the model's defining non-isotropy.
+        let straddle = m.rho_between((63.0, 10.0), (65.0, 10.0));
+        assert!((straddle - 0.4).abs() < 1e-12);
+        let inside = m.rho_between((60.0, 10.0), (62.0, 10.0));
+        assert!((inside - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(QuadtreeCorrelation::new(0.0, 1.0, vec![0.5]).is_err());
+        assert!(QuadtreeCorrelation::new(1.0, 1.0, vec![]).is_err());
+        assert!(QuadtreeCorrelation::new(1.0, 1.0, vec![-0.1]).is_err());
+        assert!(QuadtreeCorrelation::new(1.0, 1.0, vec![0.7, 0.7]).is_err());
+        // partial sum < 1 leaves an independent remainder: valid
+        assert!(QuadtreeCorrelation::new(1.0, 1.0, vec![0.5, 0.2]).is_ok());
+    }
+
+    #[test]
+    fn sampled_field_matches_model_correlation() {
+        let m = model();
+        let sites = [(10.0, 10.0), (20.0, 20.0), (120.0, 120.0)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        for _ in 0..20_000 {
+            let f = m.sample_field(&sites, &mut rng);
+            a.push(f[0]);
+            b.push(f[1]);
+            c.push(f[2]);
+        }
+        let var_a = leakage_numeric::stats::sample_variance(&a);
+        assert!((var_a - 1.0).abs() < 0.05, "unit variance, got {var_a}");
+        let near = pearson_correlation(&a, &b);
+        assert!((near - m.rho_between(sites[0], sites[1])).abs() < 0.03);
+        let far = pearson_correlation(&a, &c);
+        assert!((far - m.rho_between(sites[0], sites[2])).abs() < 0.03);
+    }
+
+    #[test]
+    fn sampled_field_with_independent_remainder() {
+        let m = QuadtreeCorrelation::new(100.0, 100.0, vec![0.3]).unwrap();
+        let sites = [(10.0, 10.0), (90.0, 90.0)];
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..20_000 {
+            let f = m.sample_field(&sites, &mut rng);
+            a.push(f[0]);
+            b.push(f[1]);
+        }
+        let rho = pearson_correlation(&a, &b);
+        assert!((rho - 0.3).abs() < 0.03, "rho {rho}");
+        let var = leakage_numeric::stats::sample_variance(&a);
+        assert!((var - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn isotropic_table_is_valid_and_decreasing() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(7);
+        let table = m.isotropic_table(16, 400, &mut rng).unwrap();
+        assert_eq!(table.rho(0.0), 1.0);
+        let mut prev = 1.0;
+        for b in 1..=16 {
+            let d = 128.0 * b as f64 / 16.0;
+            let r = table.rho(d);
+            assert!(r <= prev + 1e-12, "monotone at {d}");
+            assert!((0.0..=1.0).contains(&r));
+            prev = r;
+        }
+        // Long range approaches the level-0 share.
+        assert!((table.rho(120.0) - 0.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn isotropic_table_rejects_degenerate_request() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(m.isotropic_table(1, 10, &mut rng).is_err());
+        assert!(m.isotropic_table(4, 0, &mut rng).is_err());
+    }
+}

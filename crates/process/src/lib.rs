@@ -1,0 +1,51 @@
+//! Process-variation modeling for statistical leakage analysis.
+//!
+//! Variations are decomposed, following the paper (§2), into a die-to-die
+//! (D2D) component shared by every device on a die and a within-die (WID)
+//! component that varies across the die with a distance-dependent spatial
+//! correlation:
+//!
+//! ```text
+//! σ² = σ_dd² + σ_wd²
+//! ρ_total(d) = (σ_dd² + σ_wd²·ρ_wid(d)) / (σ_dd² + σ_wd²)
+//! ```
+//!
+//! The crate provides:
+//!
+//! * [`parameters`] — per-parameter variation budgets (channel length `L`,
+//!   threshold voltage `Vt`) and their D2D/WID split;
+//! * [`correlation`] — a family of spatial correlation models plus the
+//!   D2D-aware total-correlation combinator;
+//! * [`technology`] — a self-consistent 90 nm-class technology card used by
+//!   the transistor-level leakage solver;
+//! * [`field`] — correlated Gaussian random-field sampling on placement
+//!   grids (Cholesky for small grids, FFT circulant embedding for large).
+//!
+//! # Example
+//!
+//! ```
+//! use leakage_process::correlation::{SpatialCorrelation, TentCorrelation, TotalCorrelation};
+//!
+//! let wid = TentCorrelation::new(200.0).unwrap();      // ρ → 0 at 200 µm
+//! let total = TotalCorrelation::new(wid, 0.5).unwrap(); // 50 % D2D variance
+//! assert_eq!(total.rho(0.0), 1.0);
+//! assert!((total.rho(1e9) - 0.5).abs() < 1e-12);        // floor at ρ_C
+//! ```
+
+// `!(x > 0.0)`-style comparisons deliberately treat NaN as invalid input;
+// rewriting them per clippy would silently accept NaN. Index-based loops in
+// the math kernels mirror the paper's summation notation.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+pub mod correlation;
+pub mod error;
+pub mod extraction;
+pub mod field;
+pub mod hierarchical;
+pub mod parameters;
+pub mod technology;
+
+pub use correlation::{SpatialCorrelation, TotalCorrelation};
+pub use error::ProcessError;
+pub use parameters::ParameterVariation;
+pub use technology::Technology;

@@ -1,0 +1,221 @@
+//! Per-parameter variation budgets and their D2D/WID decomposition.
+
+use crate::error::ProcessError;
+use serde::{Deserialize, Serialize};
+
+/// Which physical transistor parameter a variation budget refers to.
+///
+/// Following the paper (§2.1), only channel length `L` and threshold
+/// voltage `Vt` matter for leakage, due to the exponential dependence of
+/// subthreshold current on both. `Vt` here means the *random dopant
+/// fluctuation* component, which is independent across the die; the `Vt`
+/// roll-off contribution is folded into the `L` dependence of the device
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessParameter {
+    /// Transistor channel length (correlated within die).
+    ChannelLength,
+    /// Threshold voltage from random dopant fluctuations (independent).
+    ThresholdVoltage,
+}
+
+/// Variation budget of one process parameter: a nominal value plus
+/// independent D2D and WID Gaussian components.
+///
+/// The total standard deviation obeys `σ² = σ_dd² + σ_wd²` because the two
+/// components are statistically independent.
+///
+/// # Example
+///
+/// ```
+/// use leakage_process::ParameterVariation;
+///
+/// let l = ParameterVariation::new(90.0, 3.2, 3.2).unwrap();
+/// assert!((l.total_sigma() - (2.0 * 3.2f64 * 3.2).sqrt()).abs() < 1e-12);
+/// assert!((l.d2d_variance_fraction() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParameterVariation {
+    nominal: f64,
+    sigma_d2d: f64,
+    sigma_wid: f64,
+}
+
+impl ParameterVariation {
+    /// Creates a variation budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] if the nominal value is
+    /// not finite, either sigma is negative or non-finite, or both sigmas
+    /// are zero *and* negative checks fail (a fully deterministic budget is
+    /// allowed).
+    pub fn new(nominal: f64, sigma_d2d: f64, sigma_wid: f64) -> Result<Self, ProcessError> {
+        if !nominal.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("nominal must be finite, got {nominal}"),
+            });
+        }
+        if !(sigma_d2d >= 0.0) || !sigma_d2d.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("sigma_d2d must be finite and >= 0, got {sigma_d2d}"),
+            });
+        }
+        if !(sigma_wid >= 0.0) || !sigma_wid.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("sigma_wid must be finite and >= 0, got {sigma_wid}"),
+            });
+        }
+        Ok(ParameterVariation {
+            nominal,
+            sigma_d2d,
+            sigma_wid,
+        })
+    }
+
+    /// Creates a budget from a total sigma and the D2D variance fraction
+    /// `f ∈ [0, 1]`: `σ_dd² = f σ²`, `σ_wd² = (1−f) σ²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for negative sigma or a
+    /// fraction outside `[0, 1]`.
+    pub fn from_total(
+        nominal: f64,
+        total_sigma: f64,
+        d2d_fraction: f64,
+    ) -> Result<Self, ProcessError> {
+        if !(0.0..=1.0).contains(&d2d_fraction) {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("d2d fraction must be in [0,1], got {d2d_fraction}"),
+            });
+        }
+        if !(total_sigma >= 0.0) || !total_sigma.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("total sigma must be finite and >= 0, got {total_sigma}"),
+            });
+        }
+        let var = total_sigma * total_sigma;
+        ParameterVariation::new(
+            nominal,
+            (d2d_fraction * var).sqrt(),
+            ((1.0 - d2d_fraction) * var).sqrt(),
+        )
+    }
+
+    /// Nominal (mean) value of the parameter.
+    pub fn nominal(&self) -> f64 {
+        self.nominal
+    }
+
+    /// Die-to-die standard deviation.
+    pub fn sigma_d2d(&self) -> f64 {
+        self.sigma_d2d
+    }
+
+    /// Within-die standard deviation.
+    pub fn sigma_wid(&self) -> f64 {
+        self.sigma_wid
+    }
+
+    /// Total standard deviation `√(σ_dd² + σ_wd²)`.
+    pub fn total_sigma(&self) -> f64 {
+        (self.sigma_d2d * self.sigma_d2d + self.sigma_wid * self.sigma_wid).sqrt()
+    }
+
+    /// Total variance `σ_dd² + σ_wd²`.
+    pub fn total_variance(&self) -> f64 {
+        self.sigma_d2d * self.sigma_d2d + self.sigma_wid * self.sigma_wid
+    }
+
+    /// Fraction of the total variance contributed by the D2D component
+    /// (`ρ_C`, the asymptotic correlation floor). Returns 0 for a fully
+    /// deterministic budget.
+    pub fn d2d_variance_fraction(&self) -> f64 {
+        let total = self.total_variance();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.sigma_d2d * self.sigma_d2d / total
+        }
+    }
+
+    /// Returns a copy with WID-only variation (D2D removed), used by the
+    /// WID-only experiments of §3.1.2.
+    pub fn wid_only(&self) -> ParameterVariation {
+        ParameterVariation {
+            nominal: self.nominal,
+            sigma_d2d: 0.0,
+            sigma_wid: self.sigma_wid,
+        }
+    }
+
+    /// Relative variation `σ/nominal` (0 if nominal is 0).
+    pub fn relative_sigma(&self) -> f64 {
+        if self.nominal == 0.0 {
+            0.0
+        } else {
+            self.total_sigma() / self.nominal.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_decomposition() {
+        let p = ParameterVariation::new(90.0, 3.0, 4.0).unwrap();
+        assert!((p.total_sigma() - 5.0).abs() < 1e-12);
+        assert!((p.total_variance() - 25.0).abs() < 1e-12);
+        assert!((p.d2d_variance_fraction() - 9.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_total_roundtrip() {
+        let p = ParameterVariation::from_total(90.0, 5.0, 0.36).unwrap();
+        assert!((p.total_sigma() - 5.0).abs() < 1e-12);
+        assert!((p.sigma_d2d() - 3.0).abs() < 1e-12);
+        assert!((p.sigma_wid() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(ParameterVariation::new(f64::NAN, 1.0, 1.0).is_err());
+        assert!(ParameterVariation::new(90.0, -1.0, 1.0).is_err());
+        assert!(ParameterVariation::new(90.0, 1.0, f64::INFINITY).is_err());
+        assert!(ParameterVariation::from_total(90.0, 5.0, 1.5).is_err());
+        assert!(ParameterVariation::from_total(90.0, -5.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn deterministic_budget_allowed() {
+        let p = ParameterVariation::new(90.0, 0.0, 0.0).unwrap();
+        assert_eq!(p.total_sigma(), 0.0);
+        assert_eq!(p.d2d_variance_fraction(), 0.0);
+        assert_eq!(p.relative_sigma(), 0.0);
+    }
+
+    #[test]
+    fn wid_only_strips_d2d() {
+        let p = ParameterVariation::new(90.0, 3.0, 4.0).unwrap();
+        let w = p.wid_only();
+        assert_eq!(w.sigma_d2d(), 0.0);
+        assert_eq!(w.sigma_wid(), 4.0);
+        assert_eq!(w.nominal(), 90.0);
+    }
+
+    #[test]
+    fn relative_sigma() {
+        let p = ParameterVariation::new(100.0, 3.0, 4.0).unwrap();
+        assert!((p.relative_sigma() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implements_serde_traits() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<ParameterVariation>();
+        assert_serde::<ProcessParameter>();
+    }
+}

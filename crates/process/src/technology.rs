@@ -1,0 +1,348 @@
+//! A self-consistent technology card for a 90 nm-class CMOS process.
+//!
+//! The paper characterizes a commercial 90 nm library; we cannot ship that,
+//! so this card carries the physical constants and variation magnitudes a
+//! BSIM-lite subthreshold model needs to reproduce the same *behaviour*:
+//! exponential leakage dependence on channel length (through Vt roll-off
+//! and DIBL), the stack effect, and σ_L/L of a few percent split between
+//! D2D and WID components.
+
+use crate::error::ProcessError;
+use crate::parameters::ParameterVariation;
+use serde::{Deserialize, Serialize};
+
+/// Boltzmann constant over elementary charge, V/K.
+const K_OVER_Q: f64 = 8.617_333_262e-5;
+
+/// Device-type-specific subthreshold model parameters.
+///
+/// All voltages in volts; `i0` is the subthreshold current scale in amperes
+/// per micron of width at `Vgs = Vth`, `L = L_nominal`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Zero-bias threshold voltage magnitude at nominal L (V).
+    pub vth0: f64,
+    /// DIBL coefficient (V of Vth reduction per V of |Vds|).
+    pub dibl: f64,
+    /// Subthreshold slope ideality factor `n` (swing = n·VT·ln10).
+    pub n_factor: f64,
+    /// Current scale at threshold (A/µm of width).
+    pub i0_per_um: f64,
+    /// Vt roll-off sensitivity: d|Vth|/dL (V per nm), negative length
+    /// deltas *increase* leakage. Typical short-channel value ~ 2 mV/nm.
+    pub vth_rolloff_per_nm: f64,
+    /// Body-effect linearized coefficient (V of Vth increase per V of
+    /// source-body reverse bias) — drives the stack effect.
+    pub body_effect: f64,
+    /// Gate-tunneling current density scale (A per µm of width per nm of
+    /// length) at `|V_gs| = VDD`. Zero disables the mechanism (the
+    /// paper's scope is subthreshold only).
+    pub gate_j0: f64,
+    /// Gate-tunneling exponential slope (1/V of |V_gs| below VDD).
+    pub gate_beta: f64,
+}
+
+/// Technology card: supply, temperature, and variation budgets.
+///
+/// # Example
+///
+/// ```
+/// use leakage_process::Technology;
+///
+/// let t = Technology::cmos90();
+/// assert!((t.thermal_voltage() - 0.02585).abs() < 1e-4);
+/// assert!(t.l_variation().relative_sigma() < 0.10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    name: String,
+    vdd: f64,
+    temperature: f64,
+    l_variation: ParameterVariation,
+    vt_sigma: f64,
+    nmos: DeviceParams,
+    pmos: DeviceParams,
+}
+
+impl Technology {
+    /// A representative 90 nm-class card.
+    ///
+    /// * `VDD` 1.2 V, 300 K;
+    /// * drawn channel length 90 nm with σ_L ≈ 5 % split evenly between
+    ///   D2D and WID (σ_dd = σ_wd = 3.2 nm);
+    /// * RDF threshold-voltage sigma 20 mV (independent per device);
+    /// * NMOS/PMOS subthreshold parameters giving inverter leakage in the
+    ///   nA range with a 5–10× stack-effect ratio.
+    pub fn cmos90() -> Technology {
+        Technology {
+            name: "generic-cmos90".to_owned(),
+            vdd: 1.2,
+            temperature: 300.0,
+            l_variation: ParameterVariation::new(90.0, 3.2, 3.2)
+                .expect("static parameters are valid"),
+            vt_sigma: 0.020,
+            nmos: DeviceParams {
+                vth0: 0.23,
+                dibl: 0.08,
+                n_factor: 1.5,
+                i0_per_um: 3.0e-7,
+                vth_rolloff_per_nm: 0.0022,
+                body_effect: 0.18,
+                gate_j0: 0.0,
+                gate_beta: 0.0,
+            },
+            pmos: DeviceParams {
+                vth0: 0.25,
+                dibl: 0.07,
+                n_factor: 1.5,
+                i0_per_um: 1.2e-7,
+                vth_rolloff_per_nm: 0.0020,
+                body_effect: 0.16,
+                gate_j0: 0.0,
+                gate_beta: 0.0,
+            },
+        }
+    }
+
+    /// A representative 65 nm-class card: the next node down, with a
+    /// lower supply, a larger *relative* channel-length spread and a
+    /// larger WID share — the scaling trends that made statistical
+    /// leakage analysis urgent. Useful for cross-node comparisons.
+    pub fn cmos65() -> Technology {
+        Technology {
+            name: "generic-cmos65".to_owned(),
+            vdd: 1.0,
+            temperature: 300.0,
+            // σ_L/L ≈ 6 %, with WID the larger share at this node.
+            l_variation: ParameterVariation::new(65.0, 2.3, 3.2)
+                .expect("static parameters are valid"),
+            vt_sigma: 0.028,
+            nmos: DeviceParams {
+                vth0: 0.20,
+                dibl: 0.10,
+                n_factor: 1.5,
+                i0_per_um: 6.0e-7,
+                vth_rolloff_per_nm: 0.0030,
+                body_effect: 0.17,
+                gate_j0: 0.0,
+                gate_beta: 0.0,
+            },
+            pmos: DeviceParams {
+                vth0: 0.22,
+                dibl: 0.09,
+                n_factor: 1.5,
+                i0_per_um: 2.5e-7,
+                vth_rolloff_per_nm: 0.0027,
+                body_effect: 0.15,
+                gate_j0: 0.0,
+                gate_beta: 0.0,
+            },
+        }
+    }
+
+    /// The 90 nm card with gate-tunneling leakage enabled — an extension
+    /// beyond the paper's subthreshold-only scope, used to stress the
+    /// fitted `a·exp(bL+cL²)` form with a second, nearly L-independent
+    /// mechanism. At nominal corners the on-state gate leakage of an
+    /// inverter is roughly a quarter of its off-state subthreshold
+    /// leakage, the usual 90 nm ballpark.
+    pub fn cmos90_with_gate_leakage() -> Technology {
+        let mut t = Technology::cmos90();
+        t.name = "generic-cmos90-gl".to_owned();
+        t.nmos.gate_j0 = 8.0e-12; // A/(µm·nm) at full bias
+        t.nmos.gate_beta = 6.0;
+        t.pmos.gate_j0 = 1.5e-12; // PMOS tunneling is ~5x weaker
+        t.pmos.gate_beta = 6.0;
+        t
+    }
+
+    /// Builder-style override of the channel-length variation budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] if the budget's nominal
+    /// is not positive.
+    pub fn with_l_variation(mut self, v: ParameterVariation) -> Result<Technology, ProcessError> {
+        if !(v.nominal() > 0.0) {
+            return Err(ProcessError::InvalidParameter {
+                reason: "nominal channel length must be positive".into(),
+            });
+        }
+        self.l_variation = v;
+        Ok(self)
+    }
+
+    /// Builder-style override of the RDF threshold-voltage sigma (V).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for a negative sigma.
+    pub fn with_vt_sigma(mut self, sigma: f64) -> Result<Technology, ProcessError> {
+        if !(sigma >= 0.0) || !sigma.is_finite() {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("vt sigma must be finite and >= 0, got {sigma}"),
+            });
+        }
+        self.vt_sigma = sigma;
+        Ok(self)
+    }
+
+    /// Builder-style override of the junction temperature (K). Leakage is
+    /// strongly temperature-sensitive through both the thermal voltage and
+    /// the threshold roll-down (`dV_th/dT ≈ −0.8 mV/K`, applied to both
+    /// device types); this is the knob for re-characterizing a library at
+    /// a hot corner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessError::InvalidParameter`] for a non-positive or
+    /// implausible (> 500 K) temperature.
+    pub fn with_temperature(mut self, kelvin: f64) -> Result<Technology, ProcessError> {
+        if !(kelvin > 0.0 && kelvin <= 500.0) {
+            return Err(ProcessError::InvalidParameter {
+                reason: format!("temperature must be in (0, 500] K, got {kelvin}"),
+            });
+        }
+        /// Threshold-voltage temperature coefficient (V/K).
+        const VTH_TEMPCO: f64 = -8.0e-4;
+        let delta = VTH_TEMPCO * (kelvin - self.temperature);
+        self.nmos.vth0 = (self.nmos.vth0 + delta).max(0.05);
+        self.pmos.vth0 = (self.pmos.vth0 + delta).max(0.05);
+        self.temperature = kelvin;
+        Ok(self)
+    }
+
+    /// Technology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Supply voltage (V).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Junction temperature (K).
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Thermal voltage `kT/q` (V).
+    pub fn thermal_voltage(&self) -> f64 {
+        K_OVER_Q * self.temperature
+    }
+
+    /// Channel-length variation budget (nm).
+    pub fn l_variation(&self) -> ParameterVariation {
+        self.l_variation
+    }
+
+    /// RDF threshold-voltage standard deviation (V), independent across
+    /// devices.
+    pub fn vt_sigma(&self) -> f64 {
+        self.vt_sigma
+    }
+
+    /// NMOS subthreshold parameters.
+    pub fn nmos(&self) -> DeviceParams {
+        self.nmos
+    }
+
+    /// PMOS subthreshold parameters.
+    pub fn pmos(&self) -> DeviceParams {
+        self.pmos
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Technology {
+        Technology::cmos90()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos90_is_self_consistent() {
+        let t = Technology::cmos90();
+        assert!(t.vdd() > 0.0);
+        assert!(t.thermal_voltage() > 0.02 && t.thermal_voltage() < 0.03);
+        assert!(t.l_variation().nominal() == 90.0);
+        assert!(t.l_variation().relative_sigma() > 0.01);
+        assert!(t.nmos().vth0 > 0.0 && t.pmos().vth0 > 0.0);
+        assert!(t.nmos().i0_per_um > t.pmos().i0_per_um, "nmos leaks more");
+    }
+
+    #[test]
+    fn default_is_cmos90() {
+        assert_eq!(Technology::default(), Technology::cmos90());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let v = ParameterVariation::new(90.0, 4.0, 2.0).unwrap();
+        let t = Technology::cmos90().with_l_variation(v).unwrap();
+        assert_eq!(t.l_variation(), v);
+        let t = t.with_vt_sigma(0.03).unwrap();
+        assert_eq!(t.vt_sigma(), 0.03);
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        let v = ParameterVariation::new(0.0, 1.0, 1.0).unwrap();
+        assert!(Technology::cmos90().with_l_variation(v).is_err());
+        assert!(Technology::cmos90().with_vt_sigma(-0.1).is_err());
+        assert!(Technology::cmos90().with_vt_sigma(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn thermal_voltage_scales_with_temperature() {
+        let t = Technology::cmos90();
+        let vt300 = t.thermal_voltage();
+        assert!((vt300 - 8.617_333_262e-5 * 300.0).abs() < 1e-12);
+        let hot = t.with_temperature(398.0).unwrap();
+        assert!((hot.thermal_voltage() / vt300 - 398.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_override_validation() {
+        assert!(Technology::cmos90().with_temperature(0.0).is_err());
+        assert!(Technology::cmos90().with_temperature(-10.0).is_err());
+        assert!(Technology::cmos90().with_temperature(900.0).is_err());
+        assert!(Technology::cmos90().with_temperature(398.0).is_ok());
+    }
+
+    #[test]
+    fn cmos65_scales_as_expected() {
+        let n90 = Technology::cmos90();
+        let n65 = Technology::cmos65();
+        assert!(n65.vdd() < n90.vdd());
+        assert!(n65.l_variation().nominal() < n90.l_variation().nominal());
+        assert!(
+            n65.l_variation().relative_sigma() > n90.l_variation().relative_sigma(),
+            "relative spread grows with scaling"
+        );
+        assert!(
+            n65.l_variation().d2d_variance_fraction()
+                < n90.l_variation().d2d_variance_fraction(),
+            "WID share grows with scaling"
+        );
+        assert!(n65.nmos().vth0 < n90.nmos().vth0, "thresholds drop");
+        assert!(n65.vt_sigma() > n90.vt_sigma(), "RDF worsens");
+    }
+
+    #[test]
+    fn hot_corner_lowers_threshold() {
+        let cold = Technology::cmos90();
+        let hot = cold.clone().with_temperature(398.0).unwrap();
+        assert!(hot.nmos().vth0 < cold.nmos().vth0);
+        assert!(hot.pmos().vth0 < cold.pmos().vth0);
+        // ~0.8 mV/K over 98 K ≈ 78 mV
+        assert!((cold.nmos().vth0 - hot.nmos().vth0 - 0.0784).abs() < 1e-9);
+        // round-tripping back restores the threshold
+        let back = hot.with_temperature(300.0).unwrap();
+        assert!((back.nmos().vth0 - cold.nmos().vth0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the transistor-level solver.
+
+use std::fmt;
+
+/// Errors from netlist construction or DC solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The netlist is malformed (bad node references, no devices, …).
+    InvalidNetlist {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The Newton iteration failed to converge.
+    NoConvergence {
+        /// Cell name for diagnosis.
+        cell: String,
+        /// Input state that failed.
+        state: u32,
+        /// Final residual norm (A).
+        residual: f64,
+    },
+    /// An input state index exceeds the cell's input count.
+    InvalidState {
+        /// The offending state.
+        state: u32,
+        /// Number of inputs of the cell.
+        n_inputs: usize,
+    },
+    /// An underlying numerical routine failed.
+    Numeric(leakage_numeric::NumericError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidNetlist { reason } => write!(f, "invalid netlist: {reason}"),
+            SimError::NoConvergence {
+                cell,
+                state,
+                residual,
+            } => write!(
+                f,
+                "dc solve for cell {cell} state {state:b} did not converge (residual {residual:.3e} A)"
+            ),
+            SimError::InvalidState { state, n_inputs } => write!(
+                f,
+                "input state {state:#b} out of range for {n_inputs} inputs"
+            ),
+            SimError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<leakage_numeric::NumericError> for SimError {
+    fn from(e: leakage_numeric::NumericError) -> SimError {
+        SimError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SimError::InvalidNetlist {
+            reason: "no devices".into(),
+        };
+        assert!(e.to_string().contains("no devices"));
+        let e = SimError::NoConvergence {
+            cell: "nand2".into(),
+            state: 2,
+            residual: 1e-12,
+        };
+        assert!(e.to_string().contains("nand2"));
+        let e = SimError::InvalidState {
+            state: 8,
+            n_inputs: 2,
+        };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Transistor-level subthreshold leakage simulation.
+//!
+//! The paper characterizes its standard-cell library with SPICE on a
+//! commercial 90 nm process. This crate is the in-repo substitute: a
+//! BSIM-lite subthreshold MOSFET model (DIBL, body effect, Vt roll-off
+//! versus channel length) plus a damped-Newton DC operating-point solver
+//! for the small transistor networks of standard cells. It reproduces the
+//! behaviours the statistical model depends on:
+//!
+//! * exponential leakage dependence on channel length (`ln I` is locally
+//!   quadratic in `L`, which is exactly the Rao et al. fitted form);
+//! * the *stack effect*: series off-transistors leak an order of magnitude
+//!   less than a single off device;
+//! * input-state dependence of cell leakage.
+//!
+//! # Example
+//!
+//! ```
+//! use leakage_process::Technology;
+//! use leakage_sim::netlist::CellNetlist;
+//! use leakage_sim::solver::LeakageSolver;
+//!
+//! let tech = Technology::cmos90();
+//! let inv = CellNetlist::inverter(1.0, 2.0);
+//! let solver = LeakageSolver::new(&tech);
+//! // input low: leakage through the off NMOS
+//! let i_low = solver.cell_leakage(&inv, 0b0, 0.0, 0.0)?;
+//! // input high: leakage through the off PMOS
+//! let i_high = solver.cell_leakage(&inv, 0b1, 0.0, 0.0)?;
+//! assert!(i_low > 0.0 && i_high > 0.0);
+//! # Ok::<(), leakage_sim::SimError>(())
+//! ```
+
+// `!(x > 0.0)`-style comparisons deliberately treat NaN as invalid input;
+// rewriting them per clippy would silently accept NaN. Index-based loops in
+// the math kernels mirror the paper's summation notation.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+
+pub mod device;
+pub mod error;
+pub mod netlist;
+pub mod parse;
+pub mod solver;
+
+pub use error::SimError;
+pub use netlist::CellNetlist;
+pub use solver::LeakageSolver;

@@ -1,0 +1,401 @@
+//! Transistor netlists of standard cells.
+//!
+//! Nodes use a fixed convention so the solver can set boundary conditions
+//! without per-cell code: node 0 is GND, node 1 is VDD, nodes
+//! `2..2+n_inputs` are the cell inputs, and everything after that
+//! (outputs included) is an internal unknown solved by Newton iteration.
+
+use crate::device::MosType;
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Node identifier within a cell netlist.
+pub type NodeId = usize;
+
+/// Ground node (always 0 V).
+pub const GND: NodeId = 0;
+/// Supply node (always VDD).
+pub const VDD: NodeId = 1;
+
+/// Returns the node id of input pin `idx`.
+pub const fn input_node(idx: usize) -> NodeId {
+    2 + idx
+}
+
+/// One transistor instance inside a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Polarity.
+    pub mos_type: MosType,
+    /// Drain node.
+    pub drain: NodeId,
+    /// Gate node.
+    pub gate: NodeId,
+    /// Source node.
+    pub source: NodeId,
+    /// Width in µm.
+    pub width_um: f64,
+}
+
+/// Initialization hint for an internal node, used to pick the Newton
+/// starting point (and, for bistable cells, the intended stable state).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InitHint {
+    /// Start the node at `fraction·VDD`.
+    Fraction(f64),
+    /// Start the node at the rail selected by input bit `input` (optionally
+    /// inverted) — e.g. an inverter output follows its input inverted, an
+    /// SRAM storage node follows the "stored bit" pseudo-input directly.
+    FollowInput {
+        /// Input pin index controlling the node.
+        input: usize,
+        /// Whether the node is the logical inverse of that input.
+        inverted: bool,
+    },
+}
+
+/// A cell's transistor-level netlist.
+///
+/// Build cells with [`NetlistBuilder`]; a few canonical constructors
+/// ([`CellNetlist::inverter`], [`CellNetlist::nand`], [`CellNetlist::nor`])
+/// are provided for direct use and as building blocks for tests. The full
+/// 62-cell library lives in the `leakage-cells` crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellNetlist {
+    name: String,
+    n_inputs: usize,
+    n_nodes: usize,
+    devices: Vec<Device>,
+    init_hints: Vec<(NodeId, InitHint)>,
+}
+
+impl CellNetlist {
+    /// Cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of input pins.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Total node count (rails + inputs + internal).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of internal (solved) nodes.
+    pub fn n_internal(&self) -> usize {
+        self.n_nodes - 2 - self.n_inputs
+    }
+
+    /// The transistor instances.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Initialization hints for internal nodes.
+    pub fn init_hints(&self) -> &[(NodeId, InitHint)] {
+        &self.init_hints
+    }
+
+    /// Number of distinct input states (`2^n_inputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has more than 31 inputs (never true for a
+    /// standard-cell library).
+    pub fn n_states(&self) -> u32 {
+        assert!(self.n_inputs < 32, "unreasonable input count");
+        1u32 << self.n_inputs
+    }
+
+    /// A CMOS inverter: NMOS width `wn` µm, PMOS width `wp` µm.
+    pub fn inverter(wn: f64, wp: f64) -> CellNetlist {
+        let mut b = NetlistBuilder::new("inv", 1);
+        let out = b.node();
+        b.nmos(out, input_node(0), GND, wn);
+        b.pmos(out, input_node(0), VDD, wp);
+        b.hint(
+            out,
+            InitHint::FollowInput {
+                input: 0,
+                inverted: true,
+            },
+        );
+        b.build().expect("static inverter netlist is valid")
+    }
+
+    /// An n-input NAND: series NMOS stack, parallel PMOS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs == 0`.
+    pub fn nand(n_inputs: usize, wn: f64, wp: f64) -> CellNetlist {
+        assert!(n_inputs >= 1, "nand needs at least one input");
+        let mut b = NetlistBuilder::new(format!("nand{n_inputs}"), n_inputs);
+        let out = b.node();
+        // PMOS pull-up network in parallel.
+        for i in 0..n_inputs {
+            b.pmos(out, input_node(i), VDD, wp);
+        }
+        // NMOS pull-down series stack from out to GND.
+        let mut upper = out;
+        for i in 0..n_inputs {
+            let lower = if i + 1 == n_inputs { GND } else { b.node() };
+            b.nmos(upper, input_node(i), lower, wn);
+            if lower != GND {
+                b.hint(lower, InitHint::Fraction(0.05));
+            }
+            upper = lower;
+        }
+        b.hint(out, InitHint::Fraction(0.95));
+        b.build().expect("static nand netlist is valid")
+    }
+
+    /// An n-input NOR: parallel NMOS, series PMOS stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs == 0`.
+    pub fn nor(n_inputs: usize, wn: f64, wp: f64) -> CellNetlist {
+        assert!(n_inputs >= 1, "nor needs at least one input");
+        let mut b = NetlistBuilder::new(format!("nor{n_inputs}"), n_inputs);
+        let out = b.node();
+        for i in 0..n_inputs {
+            b.nmos(out, input_node(i), GND, wn);
+        }
+        let mut upper = VDD;
+        for i in 0..n_inputs {
+            let lower = if i + 1 == n_inputs { out } else { b.node() };
+            b.pmos(lower, input_node(i), upper, wp);
+            if lower != out {
+                b.hint(lower, InitHint::Fraction(0.95));
+            }
+            upper = lower;
+        }
+        b.hint(out, InitHint::Fraction(0.05));
+        b.build().expect("static nor netlist is valid")
+    }
+}
+
+/// Incremental builder for [`CellNetlist`].
+///
+/// # Example
+///
+/// ```
+/// use leakage_sim::netlist::{NetlistBuilder, input_node, GND, VDD};
+///
+/// let mut b = NetlistBuilder::new("inv_x1", 1);
+/// let out = b.node();
+/// b.nmos(out, input_node(0), GND, 1.0);
+/// b.pmos(out, input_node(0), VDD, 2.0);
+/// let cell = b.build()?;
+/// assert_eq!(cell.n_internal(), 1);
+/// # Ok::<(), leakage_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    n_inputs: usize,
+    n_nodes: usize,
+    devices: Vec<Device>,
+    init_hints: Vec<(NodeId, InitHint)>,
+}
+
+impl NetlistBuilder {
+    /// Starts a netlist with the given name and input-pin count.
+    pub fn new(name: impl Into<String>, n_inputs: usize) -> NetlistBuilder {
+        NetlistBuilder {
+            name: name.into(),
+            n_inputs,
+            n_nodes: 2 + n_inputs,
+            devices: Vec::new(),
+            init_hints: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh internal node and returns its id.
+    pub fn node(&mut self) -> NodeId {
+        let id = self.n_nodes;
+        self.n_nodes += 1;
+        id
+    }
+
+    /// Adds an NMOS transistor.
+    pub fn nmos(&mut self, drain: NodeId, gate: NodeId, source: NodeId, width_um: f64) {
+        self.devices.push(Device {
+            mos_type: MosType::Nmos,
+            drain,
+            gate,
+            source,
+            width_um,
+        });
+    }
+
+    /// Adds a PMOS transistor.
+    pub fn pmos(&mut self, drain: NodeId, gate: NodeId, source: NodeId, width_um: f64) {
+        self.devices.push(Device {
+            mos_type: MosType::Pmos,
+            drain,
+            gate,
+            source,
+            width_um,
+        });
+    }
+
+    /// Records an initialization hint for an internal node.
+    pub fn hint(&mut self, node: NodeId, hint: InitHint) {
+        self.init_hints.push((node, hint));
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidNetlist`] if the netlist has no devices,
+    /// a device references an unknown node, a width is non-positive, or an
+    /// init hint targets a non-internal node or missing input.
+    pub fn build(self) -> Result<CellNetlist, SimError> {
+        if self.devices.is_empty() {
+            return Err(SimError::InvalidNetlist {
+                reason: format!("cell {} has no devices", self.name),
+            });
+        }
+        for d in &self.devices {
+            for node in [d.drain, d.gate, d.source] {
+                if node >= self.n_nodes {
+                    return Err(SimError::InvalidNetlist {
+                        reason: format!(
+                            "cell {}: device references node {node} >= {}",
+                            self.name, self.n_nodes
+                        ),
+                    });
+                }
+            }
+            if !(d.width_um > 0.0) || !d.width_um.is_finite() {
+                return Err(SimError::InvalidNetlist {
+                    reason: format!("cell {}: non-positive device width", self.name),
+                });
+            }
+        }
+        let first_internal = 2 + self.n_inputs;
+        for (node, hint) in &self.init_hints {
+            if *node < first_internal || *node >= self.n_nodes {
+                return Err(SimError::InvalidNetlist {
+                    reason: format!(
+                        "cell {}: init hint targets non-internal node {node}",
+                        self.name
+                    ),
+                });
+            }
+            if let InitHint::FollowInput { input, .. } = hint {
+                if *input >= self.n_inputs {
+                    return Err(SimError::InvalidNetlist {
+                        reason: format!(
+                            "cell {}: init hint references missing input {input}",
+                            self.name
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(CellNetlist {
+            name: self.name,
+            n_inputs: self.n_inputs,
+            n_nodes: self.n_nodes,
+            devices: self.devices,
+            init_hints: self.init_hints,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_structure() {
+        let inv = CellNetlist::inverter(1.0, 2.0);
+        assert_eq!(inv.n_inputs(), 1);
+        assert_eq!(inv.n_internal(), 1);
+        assert_eq!(inv.devices().len(), 2);
+        assert_eq!(inv.n_states(), 2);
+    }
+
+    #[test]
+    fn nand_structure() {
+        for n in 1..=4 {
+            let g = CellNetlist::nand(n, 1.0, 2.0);
+            assert_eq!(g.n_inputs(), n);
+            assert_eq!(g.devices().len(), 2 * n);
+            // out + (n-1) stack nodes
+            assert_eq!(g.n_internal(), n);
+            assert_eq!(g.n_states(), 1 << n);
+        }
+    }
+
+    #[test]
+    fn nor_structure() {
+        for n in 1..=4 {
+            let g = CellNetlist::nor(n, 1.0, 2.0);
+            assert_eq!(g.n_inputs(), n);
+            assert_eq!(g.devices().len(), 2 * n);
+            assert_eq!(g.n_internal(), n);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        let b = NetlistBuilder::new("empty", 1);
+        assert!(matches!(
+            b.build(),
+            Err(SimError::InvalidNetlist { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_node() {
+        let mut b = NetlistBuilder::new("bad", 1);
+        b.nmos(99, input_node(0), GND, 1.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_width() {
+        let mut b = NetlistBuilder::new("bad", 1);
+        let out = b.node();
+        b.nmos(out, input_node(0), GND, 0.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_hint() {
+        let mut b = NetlistBuilder::new("bad", 1);
+        let out = b.node();
+        b.nmos(out, input_node(0), GND, 1.0);
+        b.hint(GND, InitHint::Fraction(0.5));
+        assert!(b.build().is_err());
+
+        let mut b = NetlistBuilder::new("bad2", 1);
+        let out = b.node();
+        b.nmos(out, input_node(0), GND, 1.0);
+        b.hint(
+            out,
+            InitHint::FollowInput {
+                input: 3,
+                inverted: false,
+            },
+        );
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn input_node_convention() {
+        assert_eq!(input_node(0), 2);
+        assert_eq!(input_node(3), 5);
+        assert_eq!(GND, 0);
+        assert_eq!(VDD, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based robustness tests: the DC solver must converge with a
+//! balanced KCL on randomly composed multi-stage cells (random gate types
+//! wired into random acyclic stage graphs), across input states and
+//! process corners.
+
+use leakage_process::Technology;
+use leakage_sim::netlist::{input_node, InitHint, NetlistBuilder, NodeId, GND, VDD};
+use leakage_sim::{CellNetlist, LeakageSolver};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum StageKind {
+    Inv,
+    Nand2,
+    Nor2,
+}
+
+/// Builds a random multi-stage cell: `n_inputs` primary inputs, then
+/// `stages` gates whose inputs are drawn from primary inputs and earlier
+/// stage outputs.
+fn build_cell(n_inputs: usize, stages: &[(StageKind, usize, usize)]) -> CellNetlist {
+    let mut b = NetlistBuilder::new("fuzz", n_inputs);
+    let mut signals: Vec<NodeId> = (0..n_inputs).map(input_node).collect();
+    for (kind, sel_a, sel_b) in stages {
+        let a = signals[sel_a % signals.len()];
+        let bb = signals[sel_b % signals.len()];
+        let out = b.node();
+        match kind {
+            StageKind::Inv => {
+                b.nmos(out, a, GND, 0.6);
+                b.pmos(out, a, VDD, 1.2);
+            }
+            StageKind::Nand2 => {
+                let x = b.node();
+                b.pmos(out, a, VDD, 1.2);
+                b.pmos(out, bb, VDD, 1.2);
+                b.nmos(out, a, x, 0.9);
+                b.nmos(x, bb, GND, 0.9);
+                b.hint(x, InitHint::Fraction(0.05));
+            }
+            StageKind::Nor2 => {
+                let y = b.node();
+                b.nmos(out, a, GND, 0.6);
+                b.nmos(out, bb, GND, 0.6);
+                b.pmos(y, a, VDD, 1.8);
+                b.pmos(out, bb, y, 1.8);
+                b.hint(y, InitHint::Fraction(0.95));
+            }
+        }
+        b.hint(out, InitHint::Fraction(0.5));
+        signals.push(out);
+    }
+    b.build().expect("generated netlist is structurally valid")
+}
+
+fn stage_strategy() -> impl Strategy<Value = (StageKind, usize, usize)> {
+    (0usize..3, any::<usize>(), any::<usize>()).prop_map(|(k, a, b)| {
+        let kind = match k {
+            0 => StageKind::Inv,
+            1 => StageKind::Nand2,
+            _ => StageKind::Nor2,
+        };
+        (kind, a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_cells_converge_with_balanced_kcl(
+        n_inputs in 1usize..4,
+        stages in proptest::collection::vec(stage_strategy(), 1..5),
+        state_seed in any::<u32>(),
+        dl in -9.0_f64..9.0,
+    ) {
+        let cell = build_cell(n_inputs, &stages);
+        let solver = LeakageSolver::new(&Technology::cmos90());
+        let state = state_seed % cell.n_states();
+        let sol = solver.solve(&cell, state, dl, &[]).expect("solver converges");
+        prop_assert!(sol.leakage > 0.0, "positive leakage");
+        prop_assert!(sol.leakage < 1e-4, "sane magnitude, got {}", sol.leakage);
+        // KCL: supply current equals ground current.
+        let rel = (sol.leakage - sol.leakage_gnd_side).abs() / sol.leakage;
+        prop_assert!(rel < 1e-2, "kcl balance: {rel}");
+        // All node voltages inside (slightly padded) rails.
+        for v in &sol.voltages {
+            prop_assert!((-0.21..=1.41).contains(v), "voltage {v} out of range");
+        }
+    }
+
+    #[test]
+    fn random_cells_converge_with_gate_leakage(
+        n_inputs in 1usize..3,
+        stages in proptest::collection::vec(stage_strategy(), 1..4),
+        state_seed in any::<u32>(),
+    ) {
+        let cell = build_cell(n_inputs, &stages);
+        let solver = LeakageSolver::new(&Technology::cmos90_with_gate_leakage());
+        let state = state_seed % cell.n_states();
+        let sol = solver.solve(&cell, state, 0.0, &[]).expect("solver converges");
+        prop_assert!(sol.leakage > 0.0);
+        let rel = (sol.leakage - sol.leakage_gnd_side).abs() / sol.leakage;
+        prop_assert!(rel < 1e-2, "kcl balance with gate leakage: {rel}");
+    }
+
+    #[test]
+    fn leakage_monotone_decreasing_in_length(
+        n_inputs in 1usize..3,
+        stages in proptest::collection::vec(stage_strategy(), 1..4),
+        state_seed in any::<u32>(),
+    ) {
+        let cell = build_cell(n_inputs, &stages);
+        let solver = LeakageSolver::new(&Technology::cmos90());
+        let state = state_seed % cell.n_states();
+        let mut prev = f64::INFINITY;
+        for dl in [-6.0, -2.0, 0.0, 2.0, 6.0] {
+            let leak = solver.cell_leakage(&cell, state, dl, 0.0).expect("converges");
+            prop_assert!(leak < prev, "dl {dl}: {leak} !< {prev}");
+            prev = leak;
+        }
+    }
+}

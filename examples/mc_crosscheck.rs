@@ -1,0 +1,61 @@
+//! Analytic estimate vs full-chip Monte-Carlo: place a random design,
+//! estimate its leakage with the Random Gate model, then verify both the
+//! mean and the standard deviation against direct sampling of correlated
+//! channel-length fields.
+//!
+//! ```sh
+//! cargo run --release --example mc_crosscheck
+//! ```
+
+use fullchip_leakage::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    println!("characterizing {} cells ...", lib.len());
+    let charlib = Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+
+    // A 2,000-gate random design over the full library.
+    let hist = UsageHistogram::uniform(lib.len())?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let circuit = RandomCircuitGenerator::new(hist.clone()).generate_exact(2_000, &mut rng)?;
+    let placed = place(&circuit, &lib, PlacementStyle::RandomShuffle { seed: 7 }, 0.7)?;
+    println!(
+        "design: {} gates on a {:.0} x {:.0} µm die",
+        placed.n_gates(),
+        placed.width(),
+        placed.height()
+    );
+
+    let wid = TentCorrelation::new(100.0)?;
+
+    // Analytic estimate from the high-level characteristics.
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(hist)
+        .n_cells(placed.n_gates())
+        .die_dimensions(placed.width(), placed.height())
+        .build()?;
+    let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)?.estimate_linear()?;
+
+    // Monte-Carlo ground truth on the same placed design.
+    println!("sampling 4,000 chip instances ...");
+    let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid).build()?;
+    let stats = sampler.run(4_000, &mut rng);
+
+    println!("\n{:>22} {:>14} {:>14}", "", "mean (A)", "std (A)");
+    println!("{:>22} {:>14.4e} {:>14.4e}", "Random Gate (O(n))", est.mean, est.std());
+    println!(
+        "{:>22} {:>14.4e} {:>14.4e}",
+        "Monte-Carlo (4k)",
+        stats.mean(),
+        stats.sample_std()
+    );
+    println!(
+        "{:>22} {:>13.2}% {:>13.2}%",
+        "difference",
+        (est.mean / stats.mean() - 1.0) * 100.0,
+        (est.std() / stats.sample_std() - 1.0) * 100.0
+    );
+    Ok(())
+}

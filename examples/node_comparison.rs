@@ -1,0 +1,45 @@
+//! Cross-node comparison: the same design estimated on the 90 nm and
+//! 65 nm technology cards — the scaling trend (more leakage, more
+//! spread, more WID share) that motivated statistical leakage analysis.
+//!
+//! ```sh
+//! cargo run --release --example node_comparison
+//! ```
+
+use fullchip_leakage::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = CellLibrary::standard_62();
+    let hist = UsageHistogram::uniform(lib.len())?;
+    let wid = TentCorrelation::new(150.0)?;
+
+    println!(
+        "{:>14} {:>13} {:>13} {:>8} {:>10}",
+        "node", "mean (A)", "std (A)", "σ/μ", "d2d share"
+    );
+    for tech in [Technology::cmos90(), Technology::cmos65()] {
+        // Each node needs its own characterization pass.
+        let charlib =
+            Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+        let chars = HighLevelCharacteristics::builder()
+            .histogram(hist.clone())
+            .n_cells(100_000)
+            .die_dimensions(1_000.0, 1_000.0)
+            .build()?;
+        let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)?
+            .with_vt_correction(&tech)
+            .estimate_polar_1d()?;
+        println!(
+            "{:>14} {:>13.4e} {:>13.4e} {:>7.2}% {:>9.2}",
+            tech.name(),
+            est.mean,
+            est.std(),
+            est.relative_std() * 100.0,
+            tech.l_variation().d2d_variance_fraction()
+        );
+    }
+    println!("\nscaling 90 → 65 nm: absolute leakage rises several-fold, while the");
+    println!("chip-level σ/μ is pinned by the D2D floor — which shrinks at 65 nm, so");
+    println!("the (harder) within-die correlation detail carries more of the spread.");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: early-mode full-chip leakage estimate in ~30 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fullchip_leakage::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Technology and characterized cell library — computed once per
+    //    process node and shared by every design.
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    println!("characterizing {} cells ...", lib.len());
+    let charlib = Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+
+    // 2. High-level characteristics of the candidate design. In early
+    //    mode these are *expected* values from planning, not a netlist.
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(UsageHistogram::uniform(lib.len())?)
+        .n_cells(250_000)
+        .die_dimensions(1_500.0, 1_500.0) // µm
+        .signal_probability(0.5)
+        .build()?;
+
+    // 3. Within-die spatial correlation of channel length: linear decay
+    //    reaching zero at 200 µm (D2D share comes from the technology).
+    let wid = TentCorrelation::new(200.0)?;
+
+    // 4. Estimate. The polar O(1) method applies because the correlation
+    //    support fits inside the die.
+    let estimator = ChipLeakageEstimator::new(&charlib, &tech, chars, wid)?
+        .with_vt_correction(&tech);
+    let polar = estimator.estimate_polar_1d()?;
+    let linear = estimator.estimate_linear()?;
+
+    println!("full-chip leakage (O(1) polar):  {:.4e} A ± {:.4e} A", polar.mean, polar.std());
+    println!("full-chip leakage (O(n) linear): {:.4e} A ± {:.4e} A", linear.mean, linear.std());
+    println!("relative spread σ/μ: {:.2}%", polar.relative_std() * 100.0);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Leakage-yield planning: turn the estimator's two moments into the
+//! decision quantities a power planner actually asks for — budgets that
+//! cover a target fraction of dies, and yields at a fixed budget — across
+//! temperature corners.
+//!
+//! ```sh
+//! cargo run --release --example yield_planning
+//! ```
+
+use fullchip_leakage::core::LeakageDistribution;
+use fullchip_leakage::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = CellLibrary::standard_62();
+    let hist = UsageHistogram::uniform(lib.len())?;
+    let wid = TentCorrelation::new(150.0)?;
+
+    println!(
+        "{:>8} {:>13} {:>13} {:>13} {:>13}",
+        "T (K)", "mean (A)", "std (A)", "95% budget", "99% budget"
+    );
+    let mut budget_25c = 0.0;
+    for kelvin in [248.0, 300.0, 348.0, 398.0] {
+        // Each corner needs its own characterization: the subthreshold
+        // slope scales with kT/q, so leakage rises steeply with T.
+        let tech = Technology::cmos90().with_temperature(kelvin)?;
+        let charlib =
+            Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+        let chars = HighLevelCharacteristics::builder()
+            .histogram(hist.clone())
+            .n_cells(100_000)
+            .die_dimensions(1_000.0, 1_000.0)
+            .build()?;
+        let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)?
+            .with_vt_correction(&tech)
+            .estimate_polar_1d()?;
+        let dist = LeakageDistribution::from_estimate(&est)?;
+        println!(
+            "{kelvin:>8} {:>13.4e} {:>13.4e} {:>13.4e} {:>13.4e}",
+            est.mean,
+            est.std(),
+            dist.quantile(0.95),
+            dist.quantile(0.99)
+        );
+        if kelvin == 300.0 {
+            budget_25c = dist.quantile(0.95);
+        }
+    }
+
+    // What fraction of dies stays within the room-temperature budget at
+    // the hot corner?
+    let tech = Technology::cmos90().with_temperature(398.0)?;
+    let charlib = Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(hist)
+        .n_cells(100_000)
+        .die_dimensions(1_000.0, 1_000.0)
+        .build()?;
+    let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)?
+        .with_vt_correction(&tech)
+        .estimate_polar_1d()?;
+    let dist = LeakageDistribution::from_estimate(&est)?;
+    println!(
+        "\nyield at 398 K against the 300 K 95% budget ({budget_25c:.3e} A): {:.2}%",
+        dist.yield_at(budget_25c) * 100.0
+    );
+    Ok(())
+}

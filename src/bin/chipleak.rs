@@ -1,0 +1,281 @@
+//! `chipleak` — command-line front end to the full-chip leakage estimator.
+//!
+//! ```text
+//! chipleak characterize [--sweep-points N] [--out FILE.json]
+//! chipleak estimate --cells N --die WxH [--dmax D] [--p P]
+//!                   [--method linear|integral2d|polar1d]
+//!                   [--library FILE.json] [--yield-budget AMPS]
+//! chipleak iscas85  [--library FILE.json]
+//! ```
+//!
+//! `characterize` writes the characterized library as JSON so repeated
+//! estimates skip the transistor-level solves; `estimate` runs the early-
+//! mode flow on given high-level characteristics; `iscas85` runs the
+//! late-mode flow over the synthetic benchmark suite.
+
+use fullchip_leakage::cells::model::CharacterizedLibrary;
+use fullchip_leakage::core::LeakageDistribution;
+use fullchip_leakage::netlist::extract::extract_characteristics;
+use fullchip_leakage::netlist::iscas85;
+use fullchip_leakage::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "characterize" => cmd_characterize(&opts),
+        "estimate" => cmd_estimate(&opts),
+        "estimate-file" => cmd_estimate_file(&opts),
+        "iscas85" => cmd_iscas85(&opts),
+        other => Err(format!("unknown command {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  chipleak characterize [--sweep-points N] [--out FILE.json]
+  chipleak estimate --cells N --die WxH [--dmax D] [--p P]
+                    [--method linear|integral2d|polar1d]
+                    [--mix uniform|control|datapath|memory|clock]
+                    [--library FILE.json] [--yield-budget AMPS]
+  chipleak estimate-file --placement FILE.txt [--dmax D] [--p P]
+                    [--library FILE.json] [--exact true]
+  chipleak iscas85  [--library FILE.json]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {flag}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        out.insert(key.to_owned(), value.clone());
+    }
+    Ok(out)
+}
+
+fn load_or_characterize(
+    opts: &HashMap<String, String>,
+    tech: &Technology,
+) -> Result<CharacterizedLibrary, String> {
+    if let Some(path) = opts.get("library") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        return serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"));
+    }
+    eprintln!("characterizing the 62-cell library (pass --library FILE.json to reuse one) ...");
+    let lib = CellLibrary::standard_62();
+    Characterizer::new(tech)
+        .characterize_library(&lib, CharMethod::default())
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_characterize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let sweep_points: usize = opts
+        .get("sweep-points")
+        .map(|v| v.parse().map_err(|e| format!("--sweep-points: {e}")))
+        .transpose()?
+        .unwrap_or(13);
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    eprintln!("characterizing {} cells at {sweep_points} sweep points ...", lib.len());
+    let charlib = Characterizer::new(&tech)
+        .characterize_library(&lib, CharMethod::Analytical { sweep_points })
+        .map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&charlib).map_err(|e| e.to_string())?;
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} cells to {path}", charlib.len());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_estimate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let n_cells: usize = opts
+        .get("cells")
+        .ok_or("--cells is required")?
+        .parse()
+        .map_err(|e| format!("--cells: {e}"))?;
+    let die = opts.get("die").ok_or("--die is required (WxH in µm)")?;
+    let (w, h) = die
+        .split_once(['x', 'X'])
+        .ok_or("--die must look like 800x600")?;
+    let width: f64 = w.parse().map_err(|e| format!("--die width: {e}"))?;
+    let height: f64 = h.parse().map_err(|e| format!("--die height: {e}"))?;
+    let dmax: f64 = opts
+        .get("dmax")
+        .map(|v| v.parse().map_err(|e| format!("--dmax: {e}")))
+        .transpose()?
+        .unwrap_or(100.0);
+    let p: f64 = opts
+        .get("p")
+        .map(|v| v.parse().map_err(|e| format!("--p: {e}")))
+        .transpose()?
+        .unwrap_or(0.5);
+    let method = opts.get("method").map(String::as_str).unwrap_or("polar1d");
+
+    let tech = Technology::cmos90();
+    let charlib = load_or_characterize(opts, &tech)?;
+    let histogram = match opts.get("mix").map(String::as_str) {
+        None | Some("uniform") => {
+            UsageHistogram::uniform(charlib.len()).map_err(|e| e.to_string())?
+        }
+        Some(preset) => {
+            use fullchip_leakage::cells::presets;
+            let lib = CellLibrary::standard_62();
+            match preset {
+                "control" => presets::control_logic(&lib),
+                "datapath" => presets::datapath(&lib),
+                "memory" => presets::memory_dominated(&lib),
+                "clock" => presets::clock_tree(&lib),
+                other => {
+                    return Err(format!(
+                        "unknown mix {other}; use uniform|control|datapath|memory|clock"
+                    ))
+                }
+            }
+            .map_err(|e| e.to_string())?
+        }
+    };
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(histogram)
+        .n_cells(n_cells)
+        .die_dimensions(width, height)
+        .signal_probability(p)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let wid = TentCorrelation::new(dmax).map_err(|e| e.to_string())?;
+    let est = ChipLeakageEstimator::new(&charlib, &tech, chars, wid)
+        .map_err(|e| e.to_string())?
+        .with_vt_correction(&tech);
+    let e = match method {
+        "linear" => est.estimate_linear(),
+        "integral2d" => est.estimate_integral_2d(),
+        "polar1d" => est.estimate_polar_1d(),
+        other => return Err(format!("unknown method {other}")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!("method:        {method}");
+    println!("mean leakage:  {:.4e} A", e.mean);
+    println!("std leakage:   {:.4e} A", e.std());
+    println!("σ/μ:           {:.2}%", e.relative_std() * 100.0);
+    let dist = LeakageDistribution::from_estimate(&e).map_err(|e| e.to_string())?;
+    println!("95% budget:    {:.4e} A", dist.quantile(0.95));
+    println!("99% budget:    {:.4e} A", dist.quantile(0.99));
+    if let Some(budget) = opts.get("yield-budget") {
+        let budget: f64 = budget.parse().map_err(|e| format!("--yield-budget: {e}"))?;
+        println!(
+            "yield at {budget:.3e} A: {:.2}%",
+            dist.yield_at(budget) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_estimate_file(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fullchip_leakage::cells::corrmap::CorrelationPolicy;
+    use fullchip_leakage::netlist::io::read_placement;
+    let path = opts.get("placement").ok_or("--placement is required")?;
+    let dmax: f64 = opts
+        .get("dmax")
+        .map(|v| v.parse().map_err(|e| format!("--dmax: {e}")))
+        .transpose()?
+        .unwrap_or(100.0);
+    let p: f64 = opts
+        .get("p")
+        .map(|v| v.parse().map_err(|e| format!("--p: {e}")))
+        .transpose()?
+        .unwrap_or(0.5);
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    let charlib = load_or_characterize(opts, &tech)?;
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let placed = read_placement(std::io::BufReader::new(file), &lib)
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    println!(
+        "design {}: {} gates on {:.1} x {:.1} µm",
+        placed.name(),
+        placed.n_gates(),
+        placed.width(),
+        placed.height()
+    );
+    let chars =
+        extract_characteristics(&placed, lib.len(), p).map_err(|e| e.to_string())?;
+    let wid = TentCorrelation::new(dmax).map_err(|e| e.to_string())?;
+    let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)
+        .map_err(|e| e.to_string())?
+        .estimate_linear()
+        .map_err(|e| e.to_string())?;
+    println!("RG estimate:   {:.4e} ± {:.4e} A", est.mean, est.std());
+    if opts.get("exact").map(String::as_str) == Some("true") {
+        let rho_c = tech.l_variation().d2d_variance_fraction();
+        let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+        let pairwise = PairwiseCovariance::new(
+            &charlib,
+            &placed.support(),
+            p,
+            CorrelationPolicy::Exact,
+        )
+        .map_err(|e| e.to_string())?;
+        let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
+        println!("O(n²) truth:   {:.4e} ± {:.4e} A", truth.mean, truth.std());
+        println!(
+            "σ error:       {:.2}%",
+            (est.std() / truth.std() - 1.0).abs() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_iscas85(opts: &HashMap<String, String>) -> Result<(), String> {
+    let tech = Technology::cmos90();
+    let charlib = load_or_characterize(opts, &tech)?;
+    let lib = CellLibrary::standard_62();
+    let wid = TentCorrelation::new(100.0).map_err(|e| e.to_string())?;
+    println!(
+        "{:>8} {:>7} {:>13} {:>13} {:>8}",
+        "circuit", "gates", "mean (A)", "std (A)", "σ/μ"
+    );
+    for spec in iscas85::TABLE1_SPECS {
+        let placed = iscas85::build(spec, &lib).map_err(|e| e.to_string())?;
+        let chars =
+            extract_characteristics(&placed, lib.len(), 0.5).map_err(|e| e.to_string())?;
+        let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)
+            .map_err(|e| e.to_string())?
+            .estimate_linear()
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:>8} {:>7} {:>13.4e} {:>13.4e} {:>7.2}%",
+            placed.name(),
+            placed.n_gates(),
+            est.mean,
+            est.std(),
+            est.relative_std() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Full-chip statistical leakage estimation with within-die correlation.
+//!
+//! This is the facade crate of the workspace — a single dependency that
+//! re-exports every layer of the reproduction of Heloue, Azizi & Najm,
+//! *"Modeling and Estimation of Full-Chip Leakage Current Considering
+//! Within-Die Correlation"* (DAC 2007):
+//!
+//! * [`numeric`] — self-contained numerical kernels;
+//! * [`process`] — D2D/WID variation, spatial correlation, field sampling;
+//! * [`sim`] — transistor-level subthreshold leakage solver;
+//! * [`cells`] — the 62-cell library and its statistical characterization;
+//! * [`core`] — the Random Gate model and the O(n²)/O(n)/O(1) estimators;
+//! * [`netlist`] — random circuits, placement, synthetic ISCAS85 suite;
+//! * [`montecarlo`] — full-chip Monte-Carlo cross-checks.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use fullchip_leakage::prelude::*;
+//!
+//! // 1. Technology + characterized library (shared across designs).
+//! let tech = Technology::cmos90();
+//! let lib = CellLibrary::standard_62();
+//! let charlib = Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+//!
+//! // 2. High-level characteristics of the candidate design (early mode).
+//! let chars = HighLevelCharacteristics::builder()
+//!     .histogram(UsageHistogram::uniform(62)?)
+//!     .n_cells(100_000)
+//!     .die_dimensions(1_000.0, 1_000.0)
+//!     .build()?;
+//!
+//! // 3. Estimate, in O(1) via the polar integral.
+//! let wid = TentCorrelation::new(200.0)?;
+//! let est = ChipLeakageEstimator::new(&charlib, &tech, chars, wid)?;
+//! let e = est.estimate_polar_1d()?;
+//! println!("full-chip leakage: {:.3e} ± {:.3e} A", e.mean, e.std());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use leakage_cells as cells;
+pub use leakage_core as core;
+pub use leakage_montecarlo as montecarlo;
+pub use leakage_netlist as netlist;
+pub use leakage_numeric as numeric;
+pub use leakage_process as process;
+pub use leakage_sim as sim;
+
+/// Builds a late-mode estimator directly from a placed design: extracts
+/// the high-level characteristics and binds them to the characterized
+/// library and correlation model in one call.
+///
+/// # Errors
+///
+/// Propagates extraction and Random-Gate construction failures.
+///
+/// # Example
+///
+/// ```no_run
+/// # use fullchip_leakage::prelude::*;
+/// # use rand::SeedableRng;
+/// let tech = Technology::cmos90();
+/// let lib = CellLibrary::standard_62();
+/// let charlib = Characterizer::new(&tech).characterize_library(&lib, CharMethod::default())?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let circuit = RandomCircuitGenerator::new(UsageHistogram::uniform(62)?)
+///     .generate_exact(1_000, &mut rng)?;
+/// let placed = place(&circuit, &lib, PlacementStyle::RowMajor, 0.7)?;
+/// let est = fullchip_leakage::late_mode_estimator(
+///     &charlib, &tech, &placed, TentCorrelation::new(100.0)?, 0.5,
+/// )?;
+/// println!("{:.3e} A", est.estimate_linear()?.mean);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn late_mode_estimator<C: leakage_process::SpatialCorrelation>(
+    charlib: &leakage_cells::model::CharacterizedLibrary,
+    tech: &leakage_process::Technology,
+    placed: &leakage_netlist::PlacedCircuit,
+    wid: C,
+    signal_probability: f64,
+) -> Result<leakage_core::ChipLeakageEstimator<C>, leakage_netlist::NetlistError> {
+    let chars = leakage_netlist::extract::extract_characteristics(
+        placed,
+        charlib.len(),
+        signal_probability,
+    )?;
+    Ok(leakage_core::ChipLeakageEstimator::new(
+        charlib, tech, chars, wid,
+    )?)
+}
+
+/// One-import convenience prelude covering the common flow.
+pub mod prelude {
+    pub use leakage_cells::charax::{CharMethod, Characterizer};
+    pub use leakage_cells::corrmap::CorrelationPolicy;
+    pub use leakage_cells::library::{CellClass, CellLibrary};
+    pub use leakage_cells::{CellId, LeakageTriplet, UsageHistogram};
+    pub use leakage_core::estimator::{
+        exact_placed_stats, EstimatorMethod, LeakageEstimate, PlacedGate,
+    };
+    pub use leakage_core::pairwise::PairwiseCovariance;
+    pub use leakage_core::{
+        ChipLeakageEstimator, HighLevelCharacteristics, LeakageDistribution, RandomGate,
+    };
+    pub use leakage_montecarlo::{ChipSampler, ChipSamplerBuilder};
+    pub use leakage_netlist::generate::RandomCircuitGenerator;
+    pub use leakage_netlist::placement::{place, place_in_die, PlacementStyle};
+    pub use leakage_netlist::{Circuit, PlacedCircuit};
+    pub use leakage_process::correlation::{
+        ExponentialCorrelation, GaussianCorrelation, SpatialCorrelation, SphericalCorrelation,
+        TentCorrelation, TotalCorrelation,
+    };
+    pub use leakage_process::{ParameterVariation, Technology};
+}

@@ -1,0 +1,196 @@
+//! Integration tests of the `chipleak` CLI binary (spawned as a process
+//! via the `CARGO_BIN_EXE_*` environment Cargo provides to integration
+//! tests).
+
+use std::process::Command;
+
+fn chipleak() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chipleak"))
+}
+
+fn charlib_path() -> std::path::PathBuf {
+    // Characterize once per test binary run and cache in the target dir.
+    static ONCE: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        let path = std::env::temp_dir().join("chipleak_test_charlib.json");
+        let out = chipleak()
+            .args([
+                "characterize",
+                "--sweep-points",
+                "7",
+                "--out",
+                path.to_str().expect("utf-8 temp path"),
+            ])
+            .output()
+            .expect("spawn chipleak");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        path
+    })
+    .clone()
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = chipleak().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = chipleak().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn estimate_requires_cells_flag() {
+    let out = chipleak()
+        .args(["estimate", "--die", "100x100"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cells"));
+}
+
+#[test]
+fn estimate_rejects_malformed_die() {
+    let lib = charlib_path();
+    let out = chipleak()
+        .args([
+            "estimate",
+            "--cells",
+            "100",
+            "--die",
+            "100by100",
+            "--library",
+            lib.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("800x600"));
+}
+
+#[test]
+fn characterize_then_estimate_roundtrip() {
+    let lib = charlib_path();
+    let out = chipleak()
+        .args([
+            "estimate",
+            "--cells",
+            "10000",
+            "--die",
+            "400x400",
+            "--library",
+            lib.to_str().expect("utf-8"),
+            "--yield-budget",
+            "1e-3",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mean leakage"), "{stdout}");
+    assert!(stdout.contains("95% budget"), "{stdout}");
+    assert!(stdout.contains("yield at"), "{stdout}");
+}
+
+#[test]
+fn estimate_file_flow_works() {
+    let lib = charlib_path();
+    let placement = std::env::temp_dir().join("chipleak_test_design.txt");
+    std::fs::write(
+        &placement,
+        "design demo 40 40\nu0 inv_x1 5 5\nu1 nand2_x1 15 5\nu2 nor2_x1 25 5\n",
+    )
+    .expect("write placement");
+    let out = chipleak()
+        .args([
+            "estimate-file",
+            "--placement",
+            placement.to_str().expect("utf-8"),
+            "--library",
+            lib.to_str().expect("utf-8"),
+            "--exact",
+            "true",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RG estimate"), "{stdout}");
+    assert!(stdout.contains("O(n²) truth"), "{stdout}");
+}
+
+#[test]
+fn estimate_file_reports_unknown_cells() {
+    let lib = charlib_path();
+    let placement = std::env::temp_dir().join("chipleak_test_bad_design.txt");
+    std::fs::write(&placement, "design demo 40 40\nu0 flux_capacitor 5 5\n")
+        .expect("write placement");
+    let out = chipleak()
+        .args([
+            "estimate-file",
+            "--placement",
+            placement.to_str().expect("utf-8"),
+            "--library",
+            lib.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("flux_capacitor"));
+}
+
+#[test]
+fn estimate_supports_mix_presets() {
+    let lib = charlib_path();
+    for (mix, should_pass) in [("datapath", true), ("memory", true), ("bogus", false)] {
+        let out = chipleak()
+            .args([
+                "estimate",
+                "--cells",
+                "5000",
+                "--die",
+                "300x300",
+                "--mix",
+                mix,
+                "--library",
+                lib.to_str().expect("utf-8"),
+            ])
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.success(), should_pass, "mix {mix}");
+        if !should_pass {
+            assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mix"));
+        }
+    }
+}
+
+#[test]
+fn polar_method_rejected_when_dmax_exceeds_die() {
+    let lib = charlib_path();
+    let out = chipleak()
+        .args([
+            "estimate",
+            "--cells",
+            "1000",
+            "--die",
+            "50x50",
+            "--dmax",
+            "100",
+            "--method",
+            "polar1d",
+            "--library",
+            lib.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not applicable"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

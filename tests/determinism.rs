@@ -1,0 +1,85 @@
+//! Determinism guarantees: every seeded flow must produce bit-identical
+//! results across runs — experiments cite exact numbers, so silent
+//! nondeterminism would invalidate EXPERIMENTS.md.
+
+use fullchip_leakage::netlist::iscas85;
+use fullchip_leakage::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn circuit_generation_is_seed_deterministic() {
+    let hist = UsageHistogram::from_weights(vec![1.0, 2.0, 3.0]).expect("hist");
+    let gen = RandomCircuitGenerator::new(hist);
+    let a = gen
+        .generate(500, &mut rand::rngs::StdRng::seed_from_u64(7))
+        .expect("gen");
+    let b = gen
+        .generate(500, &mut rand::rngs::StdRng::seed_from_u64(7))
+        .expect("gen");
+    assert_eq!(a.gates(), b.gates());
+    let c = gen
+        .generate(500, &mut rand::rngs::StdRng::seed_from_u64(8))
+        .expect("gen");
+    assert_ne!(a.gates(), c.gates());
+}
+
+#[test]
+fn iscas_suite_is_bit_stable() {
+    let lib = CellLibrary::standard_62();
+    let a = iscas85::build_suite(&lib).expect("suite");
+    let b = iscas85::build_suite(&lib).expect("suite");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn characterization_is_deterministic() {
+    // The analytical path involves no randomness at all; two passes must
+    // agree exactly.
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    let charax = Characterizer::new(&tech);
+    let inv = lib.cell_by_name("inv_x1").expect("cell");
+    let m1 = charax
+        .characterize_cell(inv, CharMethod::Analytical { sweep_points: 9 })
+        .expect("charax");
+    let m2 = charax
+        .characterize_cell(inv, CharMethod::Analytical { sweep_points: 9 })
+        .expect("charax");
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn field_samplers_are_seed_deterministic() {
+    use fullchip_leakage::process::field::{
+        CirculantFieldSampler, FieldSampler, GridGeometry,
+    };
+    let grid = GridGeometry::new(6, 6, 3.0, 3.0).expect("grid");
+    let corr = TentCorrelation::new(20.0).expect("model");
+    let s = CirculantFieldSampler::new(grid, &corr, 1.0).expect("sampler");
+    let a = s.sample(&mut rand::rngs::StdRng::seed_from_u64(5));
+    let b = s.sample(&mut rand::rngs::StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn estimators_are_pure_functions() {
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    let charlib = Characterizer::new(&tech)
+        .characterize_library(&lib, CharMethod::Analytical { sweep_points: 7 })
+        .expect("charax");
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(UsageHistogram::uniform(lib.len()).expect("hist"))
+        .n_cells(2_000)
+        .die_dimensions(150.0, 150.0)
+        .build()
+        .expect("chars");
+    let wid = TentCorrelation::new(100.0).expect("model");
+    let est = ChipLeakageEstimator::new(&charlib, &tech, chars, wid).expect("estimator");
+    let a = est.estimate_linear().expect("estimate");
+    let b = est.estimate_linear().expect("estimate");
+    assert_eq!(a, b);
+    let c = est.estimate_integral_2d().expect("estimate");
+    let d = est.estimate_integral_2d().expect("estimate");
+    assert_eq!(c, d);
+}

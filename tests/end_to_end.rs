@@ -1,0 +1,282 @@
+//! End-to-end integration tests spanning every crate: characterize the
+//! real 62-cell library once, then drive the full estimation flows the
+//! paper describes (early mode, late mode, O(n²)/O(n)/O(1) consistency,
+//! placement independence, Monte-Carlo agreement).
+
+use fullchip_leakage::cells::corrmap::CorrelationPolicy;
+use fullchip_leakage::cells::model::CharacterizedLibrary;
+use fullchip_leakage::netlist::extract::extract_characteristics;
+use fullchip_leakage::netlist::iscas85;
+use fullchip_leakage::prelude::*;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Ctx {
+    tech: Technology,
+    lib: CellLibrary,
+    charlib: CharacterizedLibrary,
+}
+
+fn ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let tech = Technology::cmos90();
+        let lib = CellLibrary::standard_62();
+        let charlib = Characterizer::new(&tech)
+            .characterize_library(&lib, CharMethod::Analytical { sweep_points: 9 })
+            .expect("characterization");
+        Ctx { tech, lib, charlib }
+    })
+}
+
+fn wid() -> TentCorrelation {
+    TentCorrelation::new(100.0).expect("static")
+}
+
+#[test]
+fn full_library_characterizes_with_tight_fits() {
+    let ctx = ctx();
+    assert_eq!(ctx.charlib.len(), 62);
+    for cell in &ctx.charlib.cells {
+        for s in &cell.states {
+            assert!(s.mean > 0.0, "{} state {}", cell.name, s.state);
+            assert!(s.std > 0.0);
+            assert!(
+                s.fit_r2.expect("analytical") > 0.99,
+                "{} state {}: r2 {:?}",
+                cell.name,
+                s.state,
+                s.fit_r2
+            );
+        }
+    }
+}
+
+#[test]
+fn early_mode_estimate_is_sane() {
+    let ctx = ctx();
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(UsageHistogram::uniform(62).expect("hist"))
+        .n_cells(10_000)
+        .die_dimensions(400.0, 400.0)
+        .build()
+        .expect("chars");
+    let est = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars, wid()).expect("est");
+    let e = est.estimate_linear().expect("linear");
+    // mean = n * per-gate mean
+    assert!(e.mean > 0.0 && e.std() > 0.0);
+    let per_gate = est.random_gate().mean();
+    assert!((e.mean - 10_000.0 * per_gate).abs() / e.mean < 1e-12);
+    // correlated variance must exceed the independent-gate floor and stay
+    // below the fully-correlated ceiling
+    let floor = 10_000.0 * est.random_gate().variance();
+    let ceil = (10_000.0f64 * est.random_gate().std()).powi(2);
+    assert!(e.variance > floor, "variance above iid floor");
+    assert!(e.variance < ceil, "variance below full-correlation ceiling");
+}
+
+#[test]
+fn three_estimators_agree_on_large_design() {
+    let ctx = ctx();
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(UsageHistogram::uniform(62).expect("hist"))
+        .n_cells(40_000)
+        .die_dimensions(600.0, 600.0)
+        .build()
+        .expect("chars");
+    let est = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars, wid()).expect("est");
+    let lin = est.estimate_linear().expect("linear");
+    let i2d = est.estimate_integral_2d().expect("2d");
+    let p1d = est.estimate_polar_1d().expect("polar");
+    let rel = |a: f64, b: f64| (a / b - 1.0).abs();
+    assert!(rel(i2d.std(), lin.std()) < 0.01, "2d vs linear: {}", rel(i2d.std(), lin.std()));
+    assert!(rel(p1d.std(), lin.std()) < 0.01, "polar vs linear");
+    assert!(rel(p1d.std(), i2d.std()) < 1e-4, "polar vs 2d (same continuum limit)");
+    assert_eq!(lin.mean, i2d.mean);
+}
+
+#[test]
+fn late_mode_extraction_matches_true_leakage() {
+    // A compact Table-1-style check on the smallest benchmark.
+    let ctx = ctx();
+    let spec = iscas85::TABLE1_SPECS
+        .iter()
+        .find(|s| s.name == "c432")
+        .expect("c432");
+    let placed = iscas85::build(spec, &ctx.lib).expect("build");
+    let chars = extract_characteristics(&placed, ctx.lib.len(), 0.5).expect("extract");
+    let est = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars, wid())
+        .expect("est")
+        .estimate_linear()
+        .expect("linear");
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let w = wid();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * w.rho(d);
+    let pairwise = PairwiseCovariance::new(
+        &ctx.charlib,
+        &placed.support(),
+        0.5,
+        CorrelationPolicy::Exact,
+    )
+    .expect("pairwise");
+    let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
+    let mean_err = (est.mean / truth.mean - 1.0).abs();
+    let std_err = (est.std() / truth.std() - 1.0).abs();
+    assert!(mean_err < 0.01, "mean err {mean_err}");
+    assert!(std_err < 0.05, "std err {std_err}");
+}
+
+#[test]
+fn placement_style_barely_moves_true_leakage() {
+    // The RG thesis: designs sharing the characteristics have ~the same
+    // leakage. Reshuffling or clustering the placement of one design must
+    // not move its true std much (same histogram, same die).
+    let ctx = ctx();
+    let hist = UsageHistogram::uniform(62).expect("hist");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let circuit = RandomCircuitGenerator::new(hist)
+        .generate_exact(900, &mut rng)
+        .expect("gen");
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let w = wid();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * w.rho(d);
+    let mut stds = Vec::new();
+    for style in [
+        PlacementStyle::RowMajor,
+        PlacementStyle::RandomShuffle { seed: 1 },
+        PlacementStyle::RandomShuffle { seed: 2 },
+        PlacementStyle::Clustered,
+    ] {
+        let placed = place(&circuit, &ctx.lib, style, 0.7).expect("place");
+        let pairwise = PairwiseCovariance::new(
+            &ctx.charlib,
+            &placed.support(),
+            0.5,
+            CorrelationPolicy::Exact,
+        )
+        .expect("pairwise");
+        stds.push(exact_placed_stats(placed.gates(), &pairwise, &rho_total).std());
+    }
+    let lo = stds.iter().fold(f64::INFINITY, |m, v| m.min(*v));
+    let hi = stds.iter().fold(0.0_f64, |m, v| m.max(*v));
+    assert!(
+        hi / lo < 1.05,
+        "placement styles move σ by {:.2}% ({stds:?})",
+        (hi / lo - 1.0) * 100.0
+    );
+}
+
+#[test]
+fn monte_carlo_confirms_analytic_estimate() {
+    let ctx = ctx();
+    let hist = UsageHistogram::uniform(62).expect("hist");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let circuit = RandomCircuitGenerator::new(hist.clone())
+        .generate_exact(600, &mut rng)
+        .expect("gen");
+    let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
+    let w = wid();
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(hist)
+        .n_cells(placed.n_gates())
+        .die_dimensions(placed.width(), placed.height())
+        .build()
+        .expect("chars");
+    let est = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars, &w)
+        .expect("est")
+        .estimate_linear()
+        .expect("linear");
+    let sampler = ChipSamplerBuilder::new(&placed, &ctx.charlib, &ctx.tech, &w)
+        .build()
+        .expect("sampler");
+    let stats = sampler.run(3_000, &mut rng);
+    let mean_err = (est.mean / stats.mean() - 1.0).abs();
+    let std_err = (est.std() / stats.sample_std() - 1.0).abs();
+    assert!(mean_err < 0.02, "mean err {mean_err}");
+    assert!(std_err < 0.10, "std err {std_err}");
+}
+
+#[test]
+fn vt_correction_scales_only_the_mean() {
+    let ctx = ctx();
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(UsageHistogram::uniform(62).expect("hist"))
+        .n_cells(5_000)
+        .die_dimensions(300.0, 300.0)
+        .build()
+        .expect("chars");
+    let plain = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars.clone(), wid())
+        .expect("est")
+        .estimate_linear()
+        .expect("linear");
+    let corrected = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars, wid())
+        .expect("est")
+        .with_vt_correction(&ctx.tech)
+        .estimate_linear()
+        .expect("linear");
+    assert!(corrected.mean > plain.mean * 1.02);
+    assert_eq!(corrected.variance, plain.variance);
+}
+
+#[test]
+fn late_mode_facade_matches_manual_flow() {
+    let ctx = ctx();
+    let hist = UsageHistogram::uniform(62).expect("hist");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    let circuit = RandomCircuitGenerator::new(hist)
+        .generate_exact(300, &mut rng)
+        .expect("gen");
+    let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
+    let facade = fullchip_leakage::late_mode_estimator(
+        &ctx.charlib,
+        &ctx.tech,
+        &placed,
+        wid(),
+        0.5,
+    )
+    .expect("facade")
+    .estimate_linear()
+    .expect("estimate");
+    let manual_chars =
+        extract_characteristics(&placed, ctx.lib.len(), 0.5).expect("extract");
+    let manual = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, manual_chars, wid())
+        .expect("estimator")
+        .estimate_linear()
+        .expect("estimate");
+    assert_eq!(facade.mean, manual.mean);
+    assert_eq!(facade.variance, manual.variance);
+}
+
+#[test]
+fn simplified_policy_close_to_exact_full_library() {
+    // §3.1.2 on the real library: < 2.8 % error in the std.
+    let ctx = ctx();
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(UsageHistogram::uniform(62).expect("hist"))
+        .n_cells(2_500)
+        .die_dimensions(200.0, 200.0)
+        .build()
+        .expect("chars");
+    let exact = ChipLeakageEstimator::with_policy(
+        &ctx.charlib,
+        &ctx.tech,
+        chars.clone(),
+        wid(),
+        CorrelationPolicy::Exact,
+    )
+    .expect("est")
+    .estimate_linear()
+    .expect("linear");
+    let simple = ChipLeakageEstimator::with_policy(
+        &ctx.charlib,
+        &ctx.tech,
+        chars,
+        wid(),
+        CorrelationPolicy::Simplified,
+    )
+    .expect("est")
+    .estimate_linear()
+    .expect("linear");
+    let err = (simple.std() / exact.std() - 1.0).abs();
+    assert!(err < 0.028, "simplified vs exact σ error {err}");
+}

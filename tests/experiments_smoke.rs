@@ -1,0 +1,200 @@
+//! Small-scale smoke versions of every experiment flow, so the logic
+//! behind each figure/table binary is exercised in the ordinary test
+//! suite (the full binaries live in `leakage-bench`).
+
+use fullchip_leakage::cells::corrmap::{
+    state_leakage_correlation, CorrelationPolicy,
+};
+use fullchip_leakage::cells::state::{
+    design_stats_at_probability, max_mean_signal_probability,
+};
+use fullchip_leakage::core::estimator::{integral_2d_variance, linear_time_variance};
+use fullchip_leakage::core::LeakageDistribution;
+use fullchip_leakage::montecarlo::pair::pair_leakage_correlation_mc;
+use fullchip_leakage::netlist::iscas85;
+use fullchip_leakage::prelude::*;
+use fullchip_leakage::process::field::GridGeometry;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Ctx {
+    tech: Technology,
+    lib: CellLibrary,
+    charlib: fullchip_leakage::cells::model::CharacterizedLibrary,
+}
+
+fn ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let tech = Technology::cmos90();
+        let lib = CellLibrary::standard_62();
+        let charlib = Characterizer::new(&tech)
+            .characterize_library(&lib, CharMethod::Analytical { sweep_points: 7 })
+            .expect("characterization");
+        Ctx { tech, lib, charlib }
+    })
+}
+
+/// E1 in miniature: analytic vs MC moments for a few representative cells.
+#[test]
+fn e1_cell_accuracy_smoke() {
+    let ctx = ctx();
+    let charax = Characterizer::new(&ctx.tech);
+    for name in ["inv_x1", "nand3_x1", "sram6t"] {
+        let cell = ctx.lib.cell_by_name(name).expect("cell");
+        let model = ctx.charlib.cell(cell.id()).expect("characterized");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xE1);
+        let (mc_mean, mc_std) = charax
+            .mc_state(cell.netlist(), 0, 20_000, &mut rng)
+            .expect("mc");
+        let s = &model.states[0];
+        assert!((s.mean - mc_mean).abs() / mc_mean < 0.02, "{name}");
+        assert!((s.std - mc_std).abs() / mc_std < 0.10, "{name}");
+    }
+}
+
+/// E2 in miniature: MC and analytic correlation mapping agree, near y=x.
+#[test]
+fn e2_corr_map_smoke() {
+    let ctx = ctx();
+    let charax = Characterizer::new(&ctx.tech);
+    let a = ctx.lib.cell_by_name("inv_x1").expect("cell");
+    let b = ctx.lib.cell_by_name("nand2_x1").expect("cell");
+    let curve_a = charax.tabulate_state(a.netlist(), 0, 41).expect("curve");
+    let curve_b = charax.tabulate_state(b.netlist(), 0, 41).expect("curve");
+    let ta = ctx.charlib.cell(a.id()).unwrap().states[0].triplet.expect("triplet");
+    let tb = ctx.charlib.cell(b.id()).unwrap().states[0].triplet.expect("triplet");
+    let sigma = ctx.charlib.l_sigma;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE2);
+    for rho in [0.3, 0.7] {
+        let analytic = state_leakage_correlation(&ta, &tb, sigma, rho).expect("map");
+        let mc = pair_leakage_correlation_mc(&curve_a, &curve_b, sigma, rho, 30_000, &mut rng)
+            .expect("mc");
+        assert!((analytic - mc).abs() < 0.03, "rho {rho}: {analytic} vs {mc}");
+        assert!((analytic - rho).abs() < 0.05, "near identity at {rho}");
+    }
+}
+
+/// E3 in miniature: design-level spread is muted; optimum is found.
+#[test]
+fn e3_signal_probability_smoke() {
+    let ctx = ctx();
+    let hist = UsageHistogram::uniform(ctx.lib.len()).expect("hist");
+    let (m0, _) = design_stats_at_probability(&ctx.charlib, &hist, 0.0).expect("stats");
+    let (m1, _) = design_stats_at_probability(&ctx.charlib, &hist, 1.0).expect("stats");
+    let spread = m0.max(m1) / m0.min(m1);
+    assert!(spread < 3.0, "design-level spread is muted, got {spread}");
+    let opt = max_mean_signal_probability(&ctx.charlib, &hist, 21).expect("search");
+    assert!(opt.mean >= m0.max(m1) - 1e-18);
+    // single gates can spread much more
+    let leakiest_spread = ctx
+        .charlib
+        .cells
+        .iter()
+        .map(|c| c.state_spread())
+        .fold(0.0_f64, f64::max);
+    assert!(leakiest_spread > 5.0, "single-gate spread {leakiest_spread}");
+}
+
+/// E4 in miniature: one random design's true stats near the RG estimate.
+#[test]
+fn e4_convergence_smoke() {
+    let ctx = ctx();
+    let hist = UsageHistogram::uniform(ctx.lib.len()).expect("hist");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE4);
+    let circuit = RandomCircuitGenerator::new(hist.clone())
+        .generate_exact(900, &mut rng)
+        .expect("gen");
+    let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
+    let wid = TentCorrelation::new(100.0).expect("model");
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let pairwise = PairwiseCovariance::new(
+        &ctx.charlib,
+        &placed.support(),
+        0.5,
+        CorrelationPolicy::Exact,
+    )
+    .expect("pairwise");
+    let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(hist)
+        .n_cells(placed.n_gates())
+        .die_dimensions(placed.width(), placed.height())
+        .build()
+        .expect("chars");
+    let est = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars, &wid)
+        .expect("estimator")
+        .estimate_linear()
+        .expect("estimate");
+    assert!((est.std() / truth.std() - 1.0).abs() < 0.05);
+}
+
+/// E5 in miniature: the smallest ISCAS85 benchmark late-mode flow.
+#[test]
+fn e5_iscas_smoke() {
+    let ctx = ctx();
+    let spec = iscas85::TABLE1_SPECS
+        .iter()
+        .find(|s| s.name == "c432")
+        .expect("spec");
+    let placed = iscas85::build(spec, &ctx.lib).expect("build");
+    let wid = TentCorrelation::new(100.0).expect("model");
+    let est = fullchip_leakage::late_mode_estimator(&ctx.charlib, &ctx.tech, &placed, &wid, 0.5)
+        .expect("facade")
+        .estimate_all()
+        .expect("estimates");
+    assert!(est.len() >= 2);
+    for e in &est {
+        assert!(e.mean > 0.0 && e.std() > 0.0, "{e}");
+    }
+}
+
+/// E7 in miniature: the integral error shrinks between two sizes.
+#[test]
+fn e7_integration_error_smoke() {
+    let ctx = ctx();
+    let hist = UsageHistogram::uniform(ctx.lib.len()).expect("hist");
+    let rg = RandomGate::new(&ctx.charlib, &hist, 0.5, CorrelationPolicy::Exact).expect("rg");
+    let wid = TentCorrelation::new(60.0).expect("model");
+    let rho_total = |d: f64| wid.rho(d);
+    let mut errs = Vec::new();
+    for side in [12usize, 48] {
+        let grid = GridGeometry::new(side, side, 180.0 / side as f64, 180.0 / side as f64)
+            .expect("grid");
+        let lin = linear_time_variance(&rg, &grid, &rho_total);
+        let int = integral_2d_variance(
+            &rg,
+            grid.n_sites(),
+            grid.width(),
+            grid.height(),
+            &rho_total,
+            16,
+            4,
+        );
+        errs.push((int - lin).abs() / lin);
+    }
+    assert!(errs[1] < errs[0], "error shrinks with n: {errs:?}");
+}
+
+/// Yield flow: budget quantiles invert, larger budgets yield more.
+#[test]
+fn yield_smoke() {
+    let ctx = ctx();
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(UsageHistogram::uniform(ctx.lib.len()).expect("hist"))
+        .n_cells(5_000)
+        .die_dimensions(250.0, 250.0)
+        .build()
+        .expect("chars");
+    let wid = TentCorrelation::new(100.0).expect("model");
+    let est = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, chars, wid)
+        .expect("estimator")
+        .estimate_linear()
+        .expect("estimate");
+    let dist = LeakageDistribution::from_estimate(&est).expect("distribution");
+    let b95 = dist.quantile(0.95);
+    assert!(b95 > est.mean, "95% budget above the mean");
+    assert!((dist.yield_at(b95) - 0.95).abs() < 1e-6);
+    assert!(dist.yield_at(2.0 * b95) > 0.99);
+}

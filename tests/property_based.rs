@@ -1,0 +1,230 @@
+//! Property-based tests (proptest) on the core mathematical invariants:
+//! cell-moment closed forms, the correlation mapping, the Random Gate
+//! kernel, and the estimator identities that the paper's derivations rest
+//! on.
+
+use fullchip_leakage::cells::corrmap::{
+    cross_moment, state_leakage_correlation, CorrelationPolicy,
+};
+use fullchip_leakage::cells::model::{CharacterizedCell, CharacterizedLibrary, StateModel};
+use fullchip_leakage::cells::state::state_probabilities;
+use fullchip_leakage::core::estimator::{linear_time_variance, quadratic_lattice_variance};
+use fullchip_leakage::numeric::integrate::gauss_legendre;
+use fullchip_leakage::prelude::*;
+use fullchip_leakage::process::field::GridGeometry;
+use proptest::prelude::*;
+
+/// Realistic triplet parameter ranges (see the characterized library:
+/// |b| ≈ 0.03–0.09 per nm, c small and positive).
+fn triplet_strategy() -> impl Strategy<Value = LeakageTriplet> {
+    (
+        1e-10_f64..1e-8,
+        -0.09_f64..-0.02,
+        1e-5_f64..2e-3,
+    )
+        .prop_map(|(a, b, c)| LeakageTriplet::new(a, b, c).expect("valid triplet"))
+}
+
+fn sigma_strategy() -> impl Strategy<Value = f64> {
+    1.0_f64..8.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn triplet_moments_match_quadrature(t in triplet_strategy(), sigma in sigma_strategy()) {
+        let mean = t.mean(sigma).unwrap();
+        let second = t.second_moment(sigma).unwrap();
+        // quadrature cross-checks of both moments
+        let q_mean = gauss_legendre(
+            |dl| {
+                let z = dl / sigma;
+                t.eval(dl) * (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+            },
+            -12.0 * sigma, 12.0 * sigma, 196,
+        );
+        prop_assert!((mean - q_mean).abs() / q_mean < 1e-6, "mean {mean} vs {q_mean}");
+        let q_second = gauss_legendre(
+            |dl| {
+                let z = dl / sigma;
+                let x = t.eval(dl);
+                x * x * (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+            },
+            -12.0 * sigma, 12.0 * sigma, 196,
+        );
+        prop_assert!((second - q_second).abs() / q_second < 1e-6);
+        // Jensen: mean of the convex exponential exceeds nominal value.
+        prop_assert!(mean >= t.eval(0.0));
+        prop_assert!(second >= mean * mean);
+    }
+
+    #[test]
+    fn correlation_mapping_is_bounded_monotone(
+        ta in triplet_strategy(),
+        tb in triplet_strategy(),
+        sigma in sigma_strategy(),
+    ) {
+        let mut prev = -1.1;
+        for k in 0..=10 {
+            let rho = k as f64 / 10.0;
+            let f = state_leakage_correlation(&ta, &tb, sigma, rho).unwrap();
+            prop_assert!((-1.0..=1.0).contains(&f));
+            prop_assert!(f >= prev - 1e-12, "monotone in rho");
+            prev = f;
+        }
+        // f(0) = 0 always.
+        let f0 = state_leakage_correlation(&ta, &tb, sigma, 0.0).unwrap();
+        prop_assert!(f0.abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_moment_cauchy_schwarz(
+        ta in triplet_strategy(),
+        tb in triplet_strategy(),
+        sigma in sigma_strategy(),
+        rho in 0.0_f64..1.0,
+    ) {
+        let e_ab = cross_moment(&ta, &tb, sigma, rho).unwrap();
+        let e_aa = ta.second_moment(sigma).unwrap();
+        let e_bb = tb.second_moment(sigma).unwrap();
+        prop_assert!(e_ab > 0.0);
+        prop_assert!(e_ab * e_ab <= e_aa * e_bb * (1.0 + 1e-9), "cauchy-schwarz");
+    }
+
+    #[test]
+    fn state_probabilities_form_distribution(n in 0usize..6, p in 0.0_f64..=1.0) {
+        let probs = state_probabilities(n, p).unwrap();
+        prop_assert_eq!(probs.len(), 1usize << n);
+        let total: f64 = probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-10);
+        prop_assert!(probs.iter().all(|q| (0.0..=1.0 + 1e-12).contains(q)));
+    }
+
+    #[test]
+    fn histogram_sampling_stays_in_support(weights in proptest::collection::vec(0.0_f64..10.0, 2..8), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let hist = UsageHistogram::from_weights(weights.clone()).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let id = hist.sample(&mut rng);
+            prop_assert!(id.0 < weights.len());
+            prop_assert!(hist.alpha(id) > 0.0, "sampled zero-probability cell");
+        }
+    }
+
+    #[test]
+    fn linear_sum_equals_quadratic_sum(
+        rows in 1usize..7,
+        cols in 1usize..7,
+        dmax in 2.0_f64..50.0,
+        t in triplet_strategy(),
+        sigma in sigma_strategy(),
+    ) {
+        let cell = CharacterizedCell {
+            id: CellId(0),
+            name: "c".into(),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(sigma).unwrap(),
+                std: t.std(sigma).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        let lib = CharacterizedLibrary { cells: vec![cell], l_sigma: sigma };
+        let rg = RandomGate::new(
+            &lib,
+            &UsageHistogram::uniform(1).unwrap(),
+            0.5,
+            CorrelationPolicy::Exact,
+        ).unwrap();
+        let grid = GridGeometry::new(rows, cols, 2.5, 3.5).unwrap();
+        let corr = move |d: f64| (1.0 - d / dmax).max(0.0);
+        let lin = linear_time_variance(&rg, &grid, &corr);
+        let quad = quadratic_lattice_variance(&rg, &grid, &corr);
+        prop_assert!((lin - quad).abs() / quad < 1e-12);
+    }
+
+    #[test]
+    fn chip_variance_bounded_by_iid_and_full_correlation(
+        n_side in 2usize..12,
+        dmax in 1.0_f64..200.0,
+        t in triplet_strategy(),
+        sigma in sigma_strategy(),
+    ) {
+        let cell = CharacterizedCell {
+            id: CellId(0),
+            name: "c".into(),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(sigma).unwrap(),
+                std: t.std(sigma).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        let var_gate = cell.states[0].std * cell.states[0].std;
+        let lib = CharacterizedLibrary { cells: vec![cell], l_sigma: sigma };
+        let rg = RandomGate::new(
+            &lib,
+            &UsageHistogram::uniform(1).unwrap(),
+            0.5,
+            CorrelationPolicy::Exact,
+        ).unwrap();
+        let grid = GridGeometry::new(n_side, n_side, 3.0, 3.0).unwrap();
+        let corr = move |d: f64| (1.0 - d / dmax).max(0.0);
+        let var = linear_time_variance(&rg, &grid, &corr);
+        let n = grid.n_sites() as f64;
+        prop_assert!(var >= n * var_gate * (1.0 - 1e-9), "≥ iid floor");
+        prop_assert!(var <= n * n * var_gate * (1.0 + 1e-9), "≤ full-correlation ceiling");
+    }
+
+    #[test]
+    fn tent_correlation_contract(dmax in 0.1_f64..1e4, d in 0.0_f64..1e5) {
+        let c = TentCorrelation::new(dmax).unwrap();
+        let r = c.rho(d);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert_eq!(c.rho(0.0), 1.0);
+        if d >= dmax {
+            prop_assert_eq!(r, 0.0);
+        }
+    }
+
+    #[test]
+    fn total_correlation_floor_holds(rho_c in 0.0_f64..1.0, d in 0.0_f64..1e5) {
+        let wid = TentCorrelation::new(50.0).unwrap();
+        let t = TotalCorrelation::new(wid, rho_c).unwrap();
+        let r = t.rho(d);
+        prop_assert!(r >= rho_c - 1e-12);
+        prop_assert!(r <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn grid_distances_are_a_metric_sample(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        px in 0.5_f64..10.0,
+        py in 0.5_f64..10.0,
+    ) {
+        let g = GridGeometry::new(rows, cols, px, py).unwrap();
+        // symmetry + identity for a handful of site pairs
+        for a in 0..(rows * cols).min(6) {
+            for b in 0..(rows * cols).min(6) {
+                let sa = (a / cols, a % cols);
+                let sb = (b / cols, b % cols);
+                let dab = g.site_distance(sa, sb);
+                let dba = g.site_distance(sb, sa);
+                prop_assert!((dab - dba).abs() < 1e-12);
+                if a == b {
+                    prop_assert_eq!(dab, 0.0);
+                } else {
+                    prop_assert!(dab > 0.0);
+                }
+            }
+        }
+    }
+}
