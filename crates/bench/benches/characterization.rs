@@ -41,7 +41,11 @@ fn bench_characterization_paths(c: &mut Criterion) {
     });
     group.bench_function("mc_10k_samples", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| charax.mc_state(nand3.netlist(), 0, 10_000, &mut rng).unwrap())
+        b.iter(|| {
+            charax
+                .mc_state(nand3.netlist(), 0, 10_000, &mut rng)
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -52,14 +56,11 @@ fn bench_random_gate_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("random_gate_build");
     group.sample_size(10);
     group.bench_function("exact_kernel_62_cells", |b| {
-        b.iter(|| {
-            RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact).unwrap()
-        })
+        b.iter(|| RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact).unwrap())
     });
     group.bench_function("simplified_kernel_62_cells", |b| {
         b.iter(|| {
-            RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Simplified)
-                .unwrap()
+            RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Simplified).unwrap()
         })
     });
     group.finish();

@@ -9,10 +9,11 @@ use leakage_bench::{context, Context, SIGNAL_P};
 use leakage_cells::corrmap::CorrelationPolicy;
 use leakage_cells::UsageHistogram;
 use leakage_core::estimator::{
-    exact_placed_stats, integral_2d_variance, linear_time_variance, polar_1d_variance,
+    exact_placed_stats, exact_placed_stats_with, integral_2d_variance, linear_time_variance,
+    polar_1d_variance,
 };
 use leakage_core::pairwise::PairwiseCovariance;
-use leakage_core::RandomGate;
+use leakage_core::{Parallelism, RandomGate};
 use leakage_netlist::generate::RandomCircuitGenerator;
 use leakage_netlist::placement::{place, PlacementStyle};
 use leakage_process::correlation::{SpatialCorrelation, TentCorrelation};
@@ -46,14 +47,10 @@ fn bench_linear_vs_integral(c: &mut Criterion) {
             b.iter(|| linear_time_variance(&rg, grid, &rho_total))
         });
         group.bench_with_input(BenchmarkId::new("integral2d_O(1)", n), &grid, |b, grid| {
-            b.iter(|| {
-                integral_2d_variance(&rg, n, grid.width(), grid.height(), &rho_total, 32, 8)
-            })
+            b.iter(|| integral_2d_variance(&rg, n, grid.width(), grid.height(), &rho_total, 32, 8))
         });
         group.bench_with_input(BenchmarkId::new("polar1d_O(1)", n), &grid, |b, grid| {
-            b.iter(|| {
-                polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 64, 16)
-            })
+            b.iter(|| polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 64, 16))
         });
     }
     group.finish();
@@ -87,5 +84,49 @@ fn bench_exact_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_linear_vs_integral, bench_exact_reference);
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let ctx = ctx();
+    let wid = wid();
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let rho_total = move |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let hist = UsageHistogram::uniform(ctx.lib.len()).unwrap();
+    let generator = RandomCircuitGenerator::new(hist.clone());
+    let pairwise = PairwiseCovariance::new(
+        &ctx.charlib,
+        &hist.support(),
+        SIGNAL_P,
+        CorrelationPolicy::Exact,
+    )
+    .unwrap();
+
+    let mut thread_counts = vec![1usize, 2, Parallelism::auto().thread_count()];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut group = c.benchmark_group("serial_vs_parallel");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let circuit = generator.generate_exact(n, &mut rng).unwrap();
+        let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).unwrap();
+        for &threads in &thread_counts {
+            let par = Parallelism::threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("exact_{n}_gates"), threads),
+                &placed,
+                |b, placed| {
+                    b.iter(|| exact_placed_stats_with(placed.gates(), &pairwise, &rho_total, par))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linear_vs_integral,
+    bench_exact_reference,
+    bench_serial_vs_parallel
+);
 criterion_main!(benches);

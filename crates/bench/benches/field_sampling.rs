@@ -45,14 +45,10 @@ fn bench_draws(c: &mut Criterion) {
         );
         if side <= 16 {
             let chol = CholeskyFieldSampler::new(grid, &corr, 1.0).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new("cholesky", side * side),
-                &chol,
-                |b, s| {
-                    let mut rng = StdRng::seed_from_u64(1);
-                    b.iter(|| s.sample(&mut rng))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("cholesky", side * side), &chol, |b, s| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| s.sample(&mut rng))
+            });
         }
     }
     group.finish();

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use leakage_bench::{context, Context, SIGNAL_P};
 use leakage_cells::UsageHistogram;
+use leakage_core::Parallelism;
 use leakage_montecarlo::{ChipSamplerBuilder, QuadtreeChipSampler};
 use leakage_netlist::generate::RandomCircuitGenerator;
 use leakage_netlist::placement::{place, PlacementStyle};
@@ -39,14 +40,10 @@ fn bench_chip_trial(c: &mut Criterion) {
             .signal_probability(SIGNAL_P)
             .build()
             .unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("circulant_field", n),
-            &sampler,
-            |b, s| {
-                let mut rng = StdRng::seed_from_u64(1);
-                b.iter(|| s.sample(&mut rng))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("circulant_field", n), &sampler, |b, s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| s.sample(&mut rng))
+        });
         let quadtree = QuadtreeCorrelation::standard(placed.width(), placed.height()).unwrap();
         let qs = QuadtreeChipSampler::new(
             &placed,
@@ -64,5 +61,36 @@ fn bench_chip_trial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_chip_trial);
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let ctx = ctx();
+    let wid = leakage_bench::wid();
+    // Trials per measured iteration: enough pairs to fill every worker's
+    // chunk queue, small enough for criterion's sampling budget.
+    const TRIALS: usize = 128;
+
+    let mut thread_counts = vec![1usize, 2, Parallelism::auto().thread_count()];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut group = c.benchmark_group("serial_vs_parallel");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let placed = design(n);
+        let sampler = ChipSamplerBuilder::new(&placed, &ctx.charlib, &ctx.tech, &wid)
+            .signal_probability(SIGNAL_P)
+            .build()
+            .unwrap();
+        for &threads in &thread_counts {
+            let par = Parallelism::threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("mc_{n}_gates"), threads),
+                &sampler,
+                |b, s| b.iter(|| s.run_seeded_with(TRIALS, 7, par)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chip_trial, bench_serial_vs_parallel);
 criterion_main!(benches);

@@ -15,6 +15,7 @@ use leakage_process::correlation::{
 use leakage_process::ParameterVariation;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
     let n = 10_000usize;
@@ -94,9 +95,7 @@ fn main() {
         let tech = ctx
             .tech
             .clone()
-            .with_l_variation(
-                ParameterVariation::from_total(90.0, total, frac).expect("budget"),
-            )
+            .with_l_variation(ParameterVariation::from_total(90.0, total, frac).expect("budget"))
             .expect("tech");
         let tent = TentCorrelation::new(100.0).expect("model");
         let run = ChipLeakageEstimator::new(&ctx.charlib, &tech, chars(), &tent)

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let charax = Characterizer::new(&ctx.tech);
     let sigma = ctx.charlib.l_sigma;

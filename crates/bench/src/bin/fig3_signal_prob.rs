@@ -13,21 +13,31 @@ use leakage_cells::UsageHistogram;
 use leakage_netlist::iscas85::{spec_histogram, TABLE1_SPECS};
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
 
     let uniform = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty library");
     let control = spec_histogram(
-        TABLE1_SPECS.iter().find(|s| s.name == "c880").expect("c880"),
+        TABLE1_SPECS
+            .iter()
+            .find(|s| s.name == "c880")
+            .expect("c880"),
         &ctx.lib,
     )
     .expect("control mix");
     let xor_rich = spec_histogram(
-        TABLE1_SPECS.iter().find(|s| s.name == "c499").expect("c499"),
+        TABLE1_SPECS
+            .iter()
+            .find(|s| s.name == "c499")
+            .expect("c499"),
         &ctx.lib,
     )
     .expect("xor mix");
     let mult = spec_histogram(
-        TABLE1_SPECS.iter().find(|s| s.name == "c6288").expect("c6288"),
+        TABLE1_SPECS
+            .iter()
+            .find(|s| s.name == "c6288")
+            .expect("c6288"),
         &ctx.lib,
     )
     .expect("multiplier mix");

@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let wid = leakage_bench::wid();
     let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
@@ -29,13 +30,9 @@ fn main() {
     let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
     let generator = RandomCircuitGenerator::new(hist.clone());
     let support: Vec<_> = hist.support();
-    let pairwise = PairwiseCovariance::new(
-        &ctx.charlib,
-        &support,
-        SIGNAL_P,
-        CorrelationPolicy::Exact,
-    )
-    .expect("pairwise tables");
+    let pairwise =
+        PairwiseCovariance::new(&ctx.charlib, &support, SIGNAL_P, CorrelationPolicy::Exact)
+            .expect("pairwise tables");
 
     let sizes = [100usize, 400, 900, 2500, 4900, 8100, 11236];
     let circuits_per_size = 5;
@@ -48,8 +45,8 @@ fn main() {
         for k in 0..circuits_per_size {
             let mut rng = StdRng::seed_from_u64(0xF6 ^ (n as u64) << 8 ^ k);
             let circuit = generator.generate(n, &mut rng).expect("generation");
-            let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7)
-                .expect("placement");
+            let placed =
+                place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("placement");
             let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
 
             // Early-mode RG estimate from the shared characteristics.

@@ -13,6 +13,7 @@ use leakage_process::correlation::SpatialCorrelation;
 use leakage_process::field::GridGeometry;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let wid = leakage_bench::wid();
     let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
@@ -29,26 +30,9 @@ fn main() {
         let pitch = 3.0;
         let grid = GridGeometry::new(side, side, pitch, pitch).expect("grid");
         let v_lin = linear_time_variance(&rg, &grid, &rho_total);
-        let v_2d = integral_2d_variance(
-            &rg,
-            n,
-            grid.width(),
-            grid.height(),
-            &rho_total,
-            32,
-            8,
-        );
+        let v_2d = integral_2d_variance(&rg, n, grid.width(), grid.height(), &rho_total, 32, 8);
         let err_2d = ((v_2d.sqrt() / v_lin.sqrt()) - 1.0).abs() * 100.0;
-        let polar = polar_1d_variance(
-            &rg,
-            n,
-            grid.width(),
-            grid.height(),
-            &wid,
-            rho_c,
-            64,
-            16,
-        );
+        let polar = polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 64, 16);
         let err_1d = polar
             .map(|v| format!("{:.4}%", ((v.sqrt() / v_lin.sqrt()) - 1.0).abs() * 100.0))
             .unwrap_or_else(|_| "n/a (D_max > min(W,H))".to_owned());

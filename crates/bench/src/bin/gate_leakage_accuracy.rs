@@ -23,12 +23,12 @@ fn run(tech: &Technology, lib: &CellLibrary, mc_samples: usize) -> (f64, f64, f6
         for state in 0..cell.n_states() {
             let (triplet, r2) = charax.fit_state(cell.netlist(), state, 13).expect("fit");
             min_r2 = min_r2.min(r2);
-            let mut rng =
-                StdRng::seed_from_u64(0xE12 ^ ((cell.id().0 as u64) << 8) ^ state as u64);
+            let mut rng = StdRng::seed_from_u64(0xE12 ^ ((cell.id().0 as u64) << 8) ^ state as u64);
             let (mc_mean, mc_std) = charax
                 .mc_state(cell.netlist(), state, mc_samples, &mut rng)
                 .expect("mc");
-            mean_errs.push((triplet.mean(charax.l_sigma()).expect("mean") - mc_mean).abs() / mc_mean);
+            mean_errs
+                .push((triplet.mean(charax.l_sigma()).expect("mean") - mc_mean).abs() / mc_mean);
             std_errs.push((triplet.std(charax.l_sigma()).expect("std") - mc_std).abs() / mc_std);
         }
     }
@@ -44,6 +44,7 @@ fn run(tech: &Technology, lib: &CellLibrary, mc_samples: usize) -> (f64, f64, f6
 }
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let lib = CellLibrary::standard_62();
     let sub = run(&Technology::cmos90(), &lib, 20_000);
     let gl = run(&Technology::cmos90_with_gate_leakage(), &lib, 20_000);

@@ -8,6 +8,7 @@ use leakage_cells::state::state_probabilities;
 use std::collections::BTreeMap;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
 
     // Per-cell mixture stats at p = 0.5.
@@ -17,7 +18,11 @@ fn main() {
         let probs = state_probabilities(cell.n_inputs(), 0.5).expect("probs");
         let (mean, std) = model.mixture_stats(&probs).expect("stats");
         let state_spread = {
-            let lo = model.states.iter().map(|s| s.mean).fold(f64::INFINITY, f64::min);
+            let lo = model
+                .states
+                .iter()
+                .map(|s| s.mean)
+                .fold(f64::INFINITY, f64::min);
             let hi = model.states.iter().map(|s| s.mean).fold(0.0_f64, f64::max);
             hi / lo
         };
@@ -43,7 +48,13 @@ fn main() {
     }
     print_table(
         "library report: per-class leakage at p = 0.5",
-        &["class", "cells", "avg mean (A)", "avg σ/μ", "max state spread"],
+        &[
+            "class",
+            "cells",
+            "avg mean (A)",
+            "avg σ/μ",
+            "max state spread",
+        ],
         &rows,
     );
 
@@ -60,9 +71,17 @@ fn main() {
         })
         .collect();
     all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    let top: Vec<Vec<String>> = all.iter().take(5).map(|(n, m)| vec![n.clone(), sci(*m)]).collect();
-    let bottom: Vec<Vec<String>> =
-        all.iter().rev().take(5).map(|(n, m)| vec![n.clone(), sci(*m)]).collect();
+    let top: Vec<Vec<String>> = all
+        .iter()
+        .take(5)
+        .map(|(n, m)| vec![n.clone(), sci(*m)])
+        .collect();
+    let bottom: Vec<Vec<String>> = all
+        .iter()
+        .rev()
+        .take(5)
+        .map(|(n, m)| vec![n.clone(), sci(*m)])
+        .collect();
     print_table("five leakiest cells", &["cell", "mean (A)"], &top);
     print_table("five quietest cells", &["cell", "mean (A)"], &bottom);
     let _ = CellClass::Inverter; // referenced for doc purposes

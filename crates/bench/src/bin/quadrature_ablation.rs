@@ -12,6 +12,7 @@ use leakage_process::field::GridGeometry;
 use std::time::Instant;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let wid = leakage_bench::wid();
     let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
@@ -62,7 +63,13 @@ fn main() {
     }
     print_table(
         "A2: quadrature order/panels vs σ error (reference: O(n) sum, ~100k gates)",
-        &["order×panels", "2-D err", "2-D time", "polar err", "polar time"],
+        &[
+            "order×panels",
+            "2-D err",
+            "2-D time",
+            "polar err",
+            "polar time",
+        ],
         &rows,
     );
     println!(

@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
     let generator = RandomCircuitGenerator::new(hist.clone());
@@ -28,18 +29,20 @@ fn main() {
     let tech_no_d2d = ctx
         .tech
         .clone()
-        .with_l_variation(
-            ParameterVariation::from_total(90.0, sigma_total, 0.0).expect("budget"),
-        )
+        .with_l_variation(ParameterVariation::from_total(90.0, sigma_total, 0.0).expect("budget"))
         .expect("tech");
 
     let mut rows = Vec::new();
     for n in [400usize, 1600, 6400] {
         let mut rng = StdRng::seed_from_u64(0x47 ^ n as u64);
         let circuit = generator.generate_exact(n, &mut rng).expect("generation");
-        let placed =
-            place(&circuit, &ctx.lib, PlacementStyle::RandomShuffle { seed: 3 }, 0.7)
-                .expect("placement");
+        let placed = place(
+            &circuit,
+            &ctx.lib,
+            PlacementStyle::RandomShuffle { seed: 3 },
+            0.7,
+        )
+        .expect("placement");
         let quadtree =
             QuadtreeCorrelation::standard(placed.width(), placed.height()).expect("model");
 

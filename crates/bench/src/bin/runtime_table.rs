@@ -2,15 +2,21 @@
 //! ladder — O(n²) exact, O(n) linear, O(1) integral — versus design size
 //! (the paper's §3.2.3 runtime discussion; Criterion benches give the
 //! rigorous statistics, this prints the headline table).
+//!
+//! The exact estimator and the Monte-Carlo engine are timed both serially
+//! and with the session thread budget (`--threads N`, default all cores);
+//! the speedup columns quantify the parallel execution layer, and the raw
+//! numbers are recorded in `BENCH_parallel.json` for regression tracking.
 
 use leakage_bench::{context, print_table, SIGNAL_P};
 use leakage_cells::corrmap::CorrelationPolicy;
 use leakage_cells::UsageHistogram;
 use leakage_core::estimator::{
-    exact_placed_stats, integral_2d_variance, linear_time_variance, polar_1d_variance,
+    exact_placed_stats_with, integral_2d_variance, linear_time_variance, polar_1d_variance,
 };
 use leakage_core::pairwise::PairwiseCovariance;
-use leakage_core::RandomGate;
+use leakage_core::{Parallelism, RandomGate};
+use leakage_montecarlo::ChipSamplerBuilder;
 use leakage_netlist::generate::RandomCircuitGenerator;
 use leakage_netlist::placement::{place, PlacementStyle};
 use leakage_process::correlation::SpatialCorrelation;
@@ -18,6 +24,9 @@ use leakage_process::field::GridGeometry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+const MC_TRIALS: usize = 10_000;
+const MC_SEED: u64 = 1234;
 
 fn fmt_time(seconds: f64) -> String {
     if seconds < 1e-3 {
@@ -30,6 +39,8 @@ fn fmt_time(seconds: f64) -> String {
 }
 
 fn main() {
+    let par = leakage_bench::apply_threads_flag();
+    let threads = par.thread_count();
     let ctx = context();
     let wid = leakage_bench::wid();
     let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
@@ -46,22 +57,42 @@ fn main() {
     )
     .expect("pairwise");
 
+    // (gates, serial seconds, parallel seconds) for the JSON record.
+    let mut exact_records: Vec<(usize, f64, f64)> = Vec::new();
     let mut rows = Vec::new();
     for side in [10usize, 32, 100, 316, 1000] {
         let n = side * side;
         let grid = GridGeometry::new(side, side, 3.0, 3.0).expect("grid");
 
         // O(n²) on a real placed design — only up to 10k gates.
-        let exact_time = if n <= 10_000 {
+        let (exact_serial, exact_parallel, exact_speedup) = if n <= 10_000 {
             let mut rng = StdRng::seed_from_u64(n as u64);
             let circuit = generator.generate_exact(n, &mut rng).expect("gen");
-            let placed =
-                place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
+            let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
             let t0 = Instant::now();
-            let _ = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
-            fmt_time(t0.elapsed().as_secs_f64())
+            let serial = exact_placed_stats_with(
+                placed.gates(),
+                &pairwise,
+                &rho_total,
+                Parallelism::serial(),
+            );
+            let ts = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let parallel = exact_placed_stats_with(placed.gates(), &pairwise, &rho_total, par);
+            let tp = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                serial.variance.to_bits(),
+                parallel.variance.to_bits(),
+                "parallel exact estimate must be bit-identical to serial"
+            );
+            exact_records.push((n, ts, tp));
+            (fmt_time(ts), fmt_time(tp), format!("{:.2}x", ts / tp))
         } else {
-            "(skipped)".to_owned()
+            (
+                "(skipped)".to_owned(),
+                "(skipped)".to_owned(),
+                "-".to_owned(),
+            )
         };
 
         let t0 = Instant::now();
@@ -73,16 +104,8 @@ fn main() {
         let int2d_time = fmt_time(t0.elapsed().as_secs_f64());
 
         let t0 = Instant::now();
-        let polar_result = polar_1d_variance(
-            &rg,
-            n,
-            grid.width(),
-            grid.height(),
-            &wid,
-            rho_c,
-            64,
-            16,
-        );
+        let polar_result =
+            polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 64, 16);
         let polar_time = match polar_result {
             Ok(_) => fmt_time(t0.elapsed().as_secs_f64()),
             Err(_) => "n/a".to_owned(),
@@ -90,7 +113,9 @@ fn main() {
 
         rows.push(vec![
             n.to_string(),
-            exact_time,
+            exact_serial,
+            exact_parallel,
+            exact_speedup,
             linear_time,
             int2d_time,
             polar_time,
@@ -98,12 +123,75 @@ fn main() {
         eprintln!("n = {n} done");
     }
     print_table(
-        "E8: wall-clock of the estimator ladder (single run, release build)",
-        &["gates", "exact O(n²)", "linear O(n)", "2-D O(1)", "polar O(1)"],
+        &format!(
+            "E8: wall-clock of the estimator ladder (single run, release build, \
+             {threads} threads)"
+        ),
+        &[
+            "gates",
+            "exact serial",
+            "exact parallel",
+            "speedup",
+            "linear O(n)",
+            "2-D O(1)",
+            "polar O(1)",
+        ],
         &rows,
+    );
+
+    // Monte-Carlo engine: serial vs parallel at the acceptance point
+    // (10k gates, 10k trials), bit-identical by construction.
+    let n = 10_000;
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let circuit = generator.generate_exact(n, &mut rng).expect("gen");
+    let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
+    let sampler = ChipSamplerBuilder::new(&placed, &ctx.charlib, &ctx.tech, &wid)
+        .signal_probability(SIGNAL_P)
+        .build()
+        .expect("sampler");
+    let t0 = Instant::now();
+    let serial = sampler.run_seeded_with(MC_TRIALS, MC_SEED, Parallelism::serial());
+    let mc_serial = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = sampler.run_seeded_with(MC_TRIALS, MC_SEED, par);
+    let mc_parallel = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        serial, parallel,
+        "parallel Monte-Carlo statistics must be bit-identical to serial"
+    );
+    print_table(
+        &format!("Monte-Carlo engine: {n} gates, {MC_TRIALS} trials, {threads} threads"),
+        &["serial", "parallel", "speedup"],
+        &[vec![
+            fmt_time(mc_serial),
+            fmt_time(mc_parallel),
+            format!("{:.2}x", mc_serial / mc_parallel),
+        ]],
     );
     println!(
         "paper claim: the O(n) method runs in under a second below 1,000 gates; the \
          O(1) methods are size-independent"
     );
+
+    // Machine-readable record (hand-rolled JSON: flat numbers only).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"exact\": [\n");
+    for (i, (gates, ts, tp)) in exact_records.iter().enumerate() {
+        let comma = if i + 1 < exact_records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"gates\": {gates}, \"serial_s\": {ts:.6}, \"parallel_s\": {tp:.6}, \
+             \"speedup\": {:.3}}}{comma}\n",
+            ts / tp
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"montecarlo\": [\n    {{\"gates\": {n}, \"trials\": {MC_TRIALS}, \
+         \"serial_s\": {mc_serial:.6}, \"parallel_s\": {mc_parallel:.6}, \
+         \"speedup\": {:.3}}}\n  ]\n}}\n",
+        mc_serial / mc_parallel
+    ));
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    eprintln!("wrote BENCH_parallel.json");
 }

@@ -11,6 +11,7 @@ use leakage_core::{ChipLeakageEstimator, HighLevelCharacteristics};
 use leakage_process::ParameterVariation;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let wid = leakage_bench::wid();
     let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
@@ -18,7 +19,10 @@ fn main() {
     let l_total = ctx.tech.l_variation().total_sigma();
     let wid_only = ParameterVariation::from_total(90.0, l_total, 0.0).expect("budget");
     let scenarios = [
-        ("WID only", ctx.tech.clone().with_l_variation(wid_only).expect("tech")),
+        (
+            "WID only",
+            ctx.tech.clone().with_l_variation(wid_only).expect("tech"),
+        ),
         ("WID + D2D", ctx.tech.clone()),
     ];
 
@@ -65,7 +69,13 @@ fn main() {
     }
     print_table(
         "E6 / §3.1.2: simplified ρ_{m,n} = ρ_L vs exact mapping (paper: < 2.8%)",
-        &["gates", "variations", "exact σ (A)", "simplified σ (A)", "err"],
+        &[
+            "gates",
+            "variations",
+            "exact σ (A)",
+            "simplified σ (A)",
+            "err",
+        ],
         &rows,
     );
 }

@@ -17,6 +17,7 @@ use leakage_netlist::iscas85::build_suite;
 use leakage_process::correlation::SpatialCorrelation;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let wid = leakage_bench::wid();
     let rho_c = ctx.tech.l_variation().d2d_variance_fraction();

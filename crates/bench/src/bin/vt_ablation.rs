@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    leakage_bench::apply_threads_flag();
     let ctx = context();
     let wid = leakage_bench::wid();
     let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
@@ -32,8 +33,7 @@ fn main() {
     for n in [25usize, 100, 400, 1600, 6400] {
         let mut rng = StdRng::seed_from_u64(0xA9 ^ n as u64);
         let circuit = generator.generate_exact(n, &mut rng).expect("generation");
-        let placed =
-            place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("placement");
+        let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("placement");
 
         let l_only = ChipSamplerBuilder::new(&placed, &ctx.charlib, &ctx.tech, &wid)
             .signal_probability(SIGNAL_P)

@@ -7,6 +7,7 @@
 use leakage_cells::charax::{CharMethod, Characterizer};
 use leakage_cells::library::CellLibrary;
 use leakage_cells::model::CharacterizedLibrary;
+use leakage_numeric::parallel::{Parallelism, THREADS_ENV};
 use leakage_process::correlation::TentCorrelation;
 use leakage_process::Technology;
 
@@ -51,11 +52,36 @@ pub fn wid() -> TentCorrelation {
     TentCorrelation::new(WID_DMAX_UM).expect("static valid cutoff")
 }
 
+/// Applies the shared `--threads N` experiment flag: when present in the
+/// process arguments (as `--threads N` or `--threads=N`), exports it via
+/// `CHIPLEAK_THREADS` so every `Parallelism::auto()` call in the run obeys
+/// it (`0` or absent = all hardware threads). Returns the resolved budget.
+///
+/// Call this first in every experiment binary's `main`.
+pub fn apply_threads_flag() -> Parallelism {
+    let args: Vec<String> = std::env::args().collect();
+    let value = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--threads=").map(str::to_owned))
+        });
+    if let Some(v) = value {
+        std::env::set_var(THREADS_ENV, v);
+    }
+    Parallelism::auto()
+}
+
 /// Prints a markdown table: header row + aligned data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

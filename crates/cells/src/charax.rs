@@ -16,6 +16,7 @@ use crate::error::CellError;
 use crate::library::{Cell, CellLibrary};
 use crate::model::{CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel};
 use leakage_numeric::interp::LinearInterp;
+use leakage_numeric::parallel::Parallelism;
 use leakage_numeric::regression::fit_exp_quadratic;
 use leakage_numeric::stats::RunningStats;
 use leakage_process::Technology;
@@ -224,9 +225,33 @@ impl Characterizer {
         lib: &CellLibrary,
         method: CharMethod,
     ) -> Result<CharacterizedLibrary, CellError> {
-        let mut cells = Vec::with_capacity(lib.len());
-        for cell in lib.cells() {
-            cells.push(self.characterize_cell(cell, method)?);
+        self.characterize_library_with(lib, method, Parallelism::auto())
+    }
+
+    /// [`Characterizer::characterize_library`] with an explicit thread
+    /// budget, one work unit per cell.
+    ///
+    /// Each cell's characterization is already self-contained — the
+    /// Monte-Carlo path seeds its RNG from the cell id and state — so the
+    /// result is identical for every thread count, and on failure the
+    /// reported error is the same one the serial loop would hit first
+    /// (errors are inspected in library order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-cell failures (annotated with the cell name by the
+    /// underlying error).
+    pub fn characterize_library_with(
+        &self,
+        lib: &CellLibrary,
+        method: CharMethod,
+        par: Parallelism,
+    ) -> Result<CharacterizedLibrary, CellError> {
+        let all = lib.cells();
+        let results = par.map_chunks(all.len(), |i| self.characterize_cell(&all[i], method));
+        let mut cells = Vec::with_capacity(all.len());
+        for r in results {
+            cells.push(r?);
         }
         Ok(CharacterizedLibrary {
             cells,
@@ -300,7 +325,12 @@ mod tests {
         for s in &model.states {
             assert!(s.mean > 0.0 && s.std > 0.0);
             assert!(s.triplet.is_some());
-            assert!(s.fit_r2.unwrap() > 0.99, "state {}: r2 {:?}", s.state, s.fit_r2);
+            assert!(
+                s.fit_r2.unwrap() > 0.99,
+                "state {}: r2 {:?}",
+                s.state,
+                s.fit_r2
+            );
         }
         // state 0 (all inputs low, full stack) leaks least
         let min_state = model
@@ -336,6 +366,21 @@ mod tests {
             .unwrap();
         assert_eq!(m1, m2, "same seed, same result");
         assert!(m1.states[0].triplet.is_none(), "mc mode carries no triplet");
+    }
+
+    #[test]
+    fn characterize_library_parallel_matches_serial() {
+        let lib = CellLibrary::standard_62();
+        let c = charax();
+        let method = CharMethod::Analytical { sweep_points: 5 };
+        let serial = c
+            .characterize_library_with(&lib, method, Parallelism::serial())
+            .unwrap();
+        let parallel = c
+            .characterize_library_with(&lib, method, Parallelism::threads(4))
+            .unwrap();
+        assert_eq!(serial.cells.len(), lib.len());
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -58,26 +58,12 @@ pub fn cross_moment(
     let scale = tm.a() * tn.a();
     if rho_l >= RHO_CLAMP {
         // Perfectly correlated: one Gaussian drives both exponents.
-        let v = gaussian_quadratic_mgf(
-            1.0,
-            tm.c() + tn.c(),
-            tm.b() + tn.b(),
-            0.0,
-            0.0,
-            sigma,
-        )?;
+        let v = gaussian_quadratic_mgf(1.0, tm.c() + tn.c(), tm.b() + tn.b(), 0.0, 0.0, sigma)?;
         return Ok(scale * v);
     }
     if rho_l <= -RHO_CLAMP {
         // Anti-correlated: L₂ = −L₁.
-        let v = gaussian_quadratic_mgf(
-            1.0,
-            tm.c() + tn.c(),
-            tm.b() - tn.b(),
-            0.0,
-            0.0,
-            sigma,
-        )?;
+        let v = gaussian_quadratic_mgf(1.0, tm.c() + tn.c(), tm.b() - tn.b(), 0.0, 0.0, sigma)?;
         return Ok(scale * v);
     }
     let v = bivariate_exp_quadratic_mean(
@@ -151,18 +137,8 @@ pub fn cell_leakage_covariance(
     let (mean_n, _) = cn.mixture_stats(probs_n)?;
     match policy {
         CorrelationPolicy::Simplified => {
-            let sbar_m: f64 = cm
-                .states
-                .iter()
-                .zip(probs_m)
-                .map(|(s, p)| p * s.std)
-                .sum();
-            let sbar_n: f64 = cn
-                .states
-                .iter()
-                .zip(probs_n)
-                .map(|(s, p)| p * s.std)
-                .sum();
+            let sbar_m: f64 = cm.states.iter().zip(probs_m).map(|(s, p)| p * s.std).sum();
+            let sbar_n: f64 = cn.states.iter().zip(probs_n).map(|(s, p)| p * s.std).sum();
             Ok(rho_l * sbar_m * sbar_n)
         }
         CorrelationPolicy::Exact => {
@@ -171,24 +147,28 @@ pub fn cell_leakage_covariance(
                 if *pm == 0.0 {
                     continue;
                 }
-                let tm = sm.triplet.as_ref().ok_or_else(|| CellError::InvalidArgument {
-                    reason: format!(
-                        "{} state {} has no fitted triplet; use the simplified policy",
-                        cm.name, sm.state
-                    ),
-                })?;
+                let tm = sm
+                    .triplet
+                    .as_ref()
+                    .ok_or_else(|| CellError::InvalidArgument {
+                        reason: format!(
+                            "{} state {} has no fitted triplet; use the simplified policy",
+                            cm.name, sm.state
+                        ),
+                    })?;
                 for (sn, pn) in cn.states.iter().zip(probs_n) {
                     if *pn == 0.0 {
                         continue;
                     }
-                    let tn = sn.triplet.as_ref().ok_or_else(|| {
-                        CellError::InvalidArgument {
+                    let tn = sn
+                        .triplet
+                        .as_ref()
+                        .ok_or_else(|| CellError::InvalidArgument {
                             reason: format!(
                                 "{} state {} has no fitted triplet; use the simplified policy",
                                 cn.name, sn.state
                             ),
-                        }
-                    })?;
+                        })?;
                     cross += pm * pn * cross_moment(tm, tn, sigma, rho_l)?;
                 }
             }

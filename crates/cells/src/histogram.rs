@@ -87,9 +87,11 @@ impl UsageHistogram {
     ) -> Result<UsageHistogram, CellError> {
         let mut weights = vec![0.0; library_len];
         for (id, count) in counts {
-            let slot = weights.get_mut(id.0).ok_or_else(|| CellError::InvalidArgument {
-                reason: format!("cell id {} out of range for library of {library_len}", id.0),
-            })?;
+            let slot = weights
+                .get_mut(id.0)
+                .ok_or_else(|| CellError::InvalidArgument {
+                    reason: format!("cell id {} out of range for library of {library_len}", id.0),
+                })?;
             *slot += *count as f64;
         }
         UsageHistogram::from_weights(weights)
@@ -162,11 +164,8 @@ mod tests {
 
     #[test]
     fn from_counts_accumulates() {
-        let h = UsageHistogram::from_counts(
-            3,
-            &[(CellId(0), 1), (CellId(2), 2), (CellId(0), 1)],
-        )
-        .unwrap();
+        let h = UsageHistogram::from_counts(3, &[(CellId(0), 1), (CellId(2), 2), (CellId(0), 1)])
+            .unwrap();
         assert!((h.alpha(CellId(0)) - 0.5).abs() < 1e-12);
         assert_eq!(h.alpha(CellId(1)), 0.0);
         assert!((h.alpha(CellId(2)) - 0.5).abs() < 1e-12);
@@ -201,10 +200,7 @@ mod tests {
         assert_eq!(counts[2], 0, "zero-probability cell never sampled");
         for (i, expect) in [(0usize, 0.125), (1, 0.375), (3, 0.5)] {
             let freq = counts[i] as f64 / n as f64;
-            assert!(
-                (freq - expect).abs() < 0.01,
-                "cell {i}: {freq} vs {expect}"
-            );
+            assert!((freq - expect).abs() < 0.01, "cell {i}: {freq} vs {expect}");
         }
     }
 

@@ -313,7 +313,12 @@ fn nand_cell(n: usize, d: f64) -> CellNetlist {
     for i in 0..n {
         let lower = if i + 1 == n { GND } else { b.node() };
         // Series NMOS are upsized by the stack depth, as in real libraries.
-        b.nmos(upper, input_node(i), lower, WN * d * n as f64 / 2.0_f64.max(1.0));
+        b.nmos(
+            upper,
+            input_node(i),
+            lower,
+            WN * d * n as f64 / 2.0_f64.max(1.0),
+        );
         if lower != GND {
             b.hint(lower, InitHint::Fraction(0.05));
         }
@@ -332,7 +337,12 @@ fn nor_cell(n: usize, d: f64) -> CellNetlist {
     let mut upper = VDD;
     for i in 0..n {
         let lower = if i + 1 == n { out } else { b.node() };
-        b.pmos(lower, input_node(i), upper, WP * d * n as f64 / 2.0_f64.max(1.0));
+        b.pmos(
+            lower,
+            input_node(i),
+            upper,
+            WP * d * n as f64 / 2.0_f64.max(1.0),
+        );
         if lower != out {
             b.hint(lower, InitHint::Fraction(0.95));
         }
@@ -352,7 +362,12 @@ fn and_cell(n: usize, d: f64) -> CellNetlist {
     let mut upper = nand_out;
     for i in 0..n {
         let lower = if i + 1 == n { GND } else { b.node() };
-        b.nmos(upper, input_node(i), lower, WN * n as f64 / 2.0_f64.max(1.0));
+        b.nmos(
+            upper,
+            input_node(i),
+            lower,
+            WN * n as f64 / 2.0_f64.max(1.0),
+        );
         if lower != GND {
             b.hint(lower, InitHint::Fraction(0.05));
         }
@@ -374,7 +389,12 @@ fn or_cell(n: usize, d: f64) -> CellNetlist {
     let mut upper = VDD;
     for i in 0..n {
         let lower = if i + 1 == n { nor_out } else { b.node() };
-        b.pmos(lower, input_node(i), upper, WP * n as f64 / 2.0_f64.max(1.0));
+        b.pmos(
+            lower,
+            input_node(i),
+            upper,
+            WP * n as f64 / 2.0_f64.max(1.0),
+        );
         if lower != nor_out {
             b.hint(lower, InitHint::Fraction(0.95));
         }
@@ -409,12 +429,7 @@ fn aoi21_cell(d: f64) -> CellNetlist {
 
 /// AOI22: `out = !(A·B + C·D)`.
 fn aoi22_cell(d: f64) -> CellNetlist {
-    let (a, bb, c, dd) = (
-        input_node(0),
-        input_node(1),
-        input_node(2),
-        input_node(3),
-    );
+    let (a, bb, c, dd) = (input_node(0), input_node(1), input_node(2), input_node(3));
     let mut b = NetlistBuilder::new(drive_name("aoi22", d), 4);
     let out = b.node();
     let x1 = b.node();
@@ -437,12 +452,7 @@ fn aoi22_cell(d: f64) -> CellNetlist {
 
 /// AOI211: `out = !(A·B + C + D)`.
 fn aoi211_cell(d: f64) -> CellNetlist {
-    let (a, bb, c, dd) = (
-        input_node(0),
-        input_node(1),
-        input_node(2),
-        input_node(3),
-    );
+    let (a, bb, c, dd) = (input_node(0), input_node(1), input_node(2), input_node(3));
     let mut b = NetlistBuilder::new(drive_name("aoi211", d), 4);
     let out = b.node();
     let x = b.node();
@@ -486,12 +496,7 @@ fn oai21_cell(d: f64) -> CellNetlist {
 
 /// OAI22: `out = !((A+B)·(C+D))`.
 fn oai22_cell(d: f64) -> CellNetlist {
-    let (a, bb, c, dd) = (
-        input_node(0),
-        input_node(1),
-        input_node(2),
-        input_node(3),
-    );
+    let (a, bb, c, dd) = (input_node(0), input_node(1), input_node(2), input_node(3));
     let mut b = NetlistBuilder::new(drive_name("oai22", d), 4);
     let out = b.node();
     let x = b.node();
@@ -514,12 +519,7 @@ fn oai22_cell(d: f64) -> CellNetlist {
 
 /// OAI211: `out = !((A+B)·C·D)`.
 fn oai211_cell(d: f64) -> CellNetlist {
-    let (a, bb, c, dd) = (
-        input_node(0),
-        input_node(1),
-        input_node(2),
-        input_node(3),
-    );
+    let (a, bb, c, dd) = (input_node(0), input_node(1), input_node(2), input_node(3));
     let mut b = NetlistBuilder::new(drive_name("oai211", d), 4);
     let out = b.node();
     let x1 = b.node();
@@ -1045,8 +1045,12 @@ mod tests {
         let lib = CellLibrary::standard_62();
         let solver = LeakageSolver::new(&Technology::cmos90());
         let nand4 = lib.cell_by_name("nand4_x1").unwrap();
-        let all_low = solver.cell_leakage(nand4.netlist(), 0b0000, 0.0, 0.0).unwrap();
-        let one_low = solver.cell_leakage(nand4.netlist(), 0b0111, 0.0, 0.0).unwrap();
+        let all_low = solver
+            .cell_leakage(nand4.netlist(), 0b0000, 0.0, 0.0)
+            .unwrap();
+        let one_low = solver
+            .cell_leakage(nand4.netlist(), 0b0111, 0.0, 0.0)
+            .unwrap();
         assert!(
             one_low / all_low > 4.0,
             "deep stack ratio {}",

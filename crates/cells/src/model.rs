@@ -302,14 +302,16 @@ mod tests {
         let numeric = leakage_numeric::integrate::gauss_legendre(
             |dl| {
                 let z = dl / sigma;
-                t.eval(dl) * (-0.5 * z * z).exp()
-                    / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+                t.eval(dl) * (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
             },
             -10.0 * sigma,
             10.0 * sigma,
             128,
         );
-        assert!((mean - numeric).abs() / numeric < 1e-9, "{mean} vs {numeric}");
+        assert!(
+            (mean - numeric).abs() / numeric < 1e-9,
+            "{mean} vs {numeric}"
+        );
     }
 
     #[test]

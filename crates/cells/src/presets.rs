@@ -12,9 +12,11 @@ use crate::library::CellLibrary;
 fn from_mix(lib: &CellLibrary, mix: &[(&str, f64)]) -> Result<UsageHistogram, CellError> {
     let mut weights = vec![0.0; lib.len()];
     for (name, w) in mix {
-        let cell = lib.cell_by_name(name).ok_or_else(|| CellError::UnknownCell {
-            what: (*name).to_owned(),
-        })?;
+        let cell = lib
+            .cell_by_name(name)
+            .ok_or_else(|| CellError::UnknownCell {
+                what: (*name).to_owned(),
+            })?;
         weights[cell.id().0] += *w;
     }
     UsageHistogram::from_weights(weights)

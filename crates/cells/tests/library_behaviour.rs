@@ -106,10 +106,7 @@ fn buffer_leaks_more_than_its_first_stage() {
     let inv = ctx.lib.cell_by_name("inv_x1").expect("cell");
     let inv_states = &ctx.charlib.cell(inv.id()).expect("model").states;
     for d in [1, 2, 4, 8] {
-        let buf = ctx
-            .lib
-            .cell_by_name(&format!("buf_x{d}"))
-            .expect("cell");
+        let buf = ctx.lib.cell_by_name(&format!("buf_x{d}")).expect("cell");
         let buf_states = &ctx.charlib.cell(buf.id()).expect("model").states;
         for s in 0..2 {
             assert!(
@@ -126,7 +123,10 @@ fn buffer_leaks_more_than_its_first_stage() {
 fn sequential_cells_leak_more_than_simple_gates() {
     let dff = mean_at_state0("dff_x1");
     let nand = mean_at_state0("nand2_x1");
-    assert!(dff > 2.0 * nand, "18T flip-flop vs 4T nand: {dff} vs {nand}");
+    assert!(
+        dff > 2.0 * nand,
+        "18T flip-flop vs 4T nand: {dff} vs {nand}"
+    );
 }
 
 #[test]

@@ -84,7 +84,11 @@ impl HighLevelCharacteristics {
     /// Propagates geometry validation failures (cannot occur for values
     /// accepted by the builder).
     pub fn grid(&self) -> Result<GridGeometry, CoreError> {
-        Ok(GridGeometry::for_die(self.n_cells, self.width, self.height)?)
+        Ok(GridGeometry::for_die(
+            self.n_cells,
+            self.width,
+            self.height,
+        )?)
     }
 }
 

@@ -2,6 +2,8 @@
 
 use crate::estimator::{EstimatorMethod, LeakageEstimate};
 use crate::pairwise::PairwiseCovariance;
+use leakage_numeric::parallel::Parallelism;
+use leakage_numeric::stats::KahanSum;
 use serde::{Deserialize, Serialize};
 
 /// One placed cell instance: type and placement coordinates (µm).
@@ -15,9 +17,13 @@ pub struct PlacedGate {
     pub y: f64,
 }
 
-/// Mean total leakage of a placed design: `Σ μ_type(a)`.
+/// Mean total leakage of a placed design: `Σ μ_type(a)` (compensated sum).
 pub fn exact_placed_mean(gates: &[PlacedGate], pairwise: &PairwiseCovariance) -> f64 {
-    gates.iter().map(|g| pairwise.mean(g.cell)).sum()
+    let mut acc = KahanSum::new();
+    for g in gates {
+        acc.add(pairwise.mean(g.cell));
+    }
+    acc.sum()
 }
 
 /// The paper's "true leakage": mean and variance of a *specific placed
@@ -31,26 +37,84 @@ pub fn exact_placed_mean(gates: &[PlacedGate], pairwise: &PairwiseCovariance) ->
 /// # Panics
 ///
 /// Panics if a gate's type is outside the pairwise table's support.
-pub fn exact_placed_stats<R: Fn(f64) -> f64>(
+pub fn exact_placed_stats<R: Fn(f64) -> f64 + Sync>(
     gates: &[PlacedGate],
     pairwise: &PairwiseCovariance,
     rho_total: &R,
 ) -> LeakageEstimate {
-    let mean = exact_placed_mean(gates, pairwise);
-    let mut variance = 0.0;
-    for (a, ga) in gates.iter().enumerate() {
-        let sa = pairwise.std(ga.cell);
-        variance += sa * sa;
-        for gb in &gates[a + 1..] {
-            let dx = ga.x - gb.x;
-            let dy = ga.y - gb.y;
-            let d = (dx * dx + dy * dy).sqrt();
-            variance += 2.0 * pairwise.covariance(ga.cell, gb.cell, rho_total(d));
+    exact_placed_stats_with(gates, pairwise, rho_total, Parallelism::auto())
+}
+
+/// Target pair count per work chunk. Fixed (never derived from the thread
+/// count) so the chunk decomposition — and therefore the bit pattern of the
+/// result — is identical for serial and parallel runs.
+const PAIRS_PER_CHUNK: u128 = 1 << 15;
+
+/// Splits the lower-triangle row range `0..n` into `n_chunks` contiguous
+/// spans of roughly equal pair count (row `a` owns `n - a` terms: its
+/// diagonal term plus the pairs `(a, b)` for `b > a`). Returns the
+/// `n_chunks + 1` row boundaries.
+fn triangle_row_bounds(n: usize, n_chunks: usize) -> Vec<usize> {
+    let total: u128 = n as u128 * (n as u128 + 1) / 2;
+    let mut bounds = vec![0usize; n_chunks + 1];
+    let mut cum: u128 = 0;
+    let mut next = 1usize;
+    for a in 0..n {
+        cum += (n - a) as u128;
+        while next < n_chunks && cum * n_chunks as u128 >= next as u128 * total {
+            bounds[next] = a + 1;
+            next += 1;
         }
+    }
+    bounds[n_chunks] = n;
+    bounds
+}
+
+/// [`exact_placed_stats`] with an explicit thread budget.
+///
+/// The lower triangle is split into fixed, pair-balanced row chunks; each
+/// chunk accumulates its variance contribution into a compensated
+/// (Kahan–Neumaier) partial sum, and the partials are merged strictly in
+/// chunk order. The decomposition depends only on `gates.len()`, so the
+/// result is **bit-identical** for every thread budget, including
+/// [`Parallelism::serial`].
+///
+/// # Panics
+///
+/// Panics if a gate's type is outside the pairwise table's support.
+pub fn exact_placed_stats_with<R: Fn(f64) -> f64 + Sync>(
+    gates: &[PlacedGate],
+    pairwise: &PairwiseCovariance,
+    rho_total: &R,
+    par: Parallelism,
+) -> LeakageEstimate {
+    let mean = exact_placed_mean(gates, pairwise);
+    let n = gates.len();
+    let total_work: u128 = n as u128 * (n as u128 + 1) / 2;
+    let n_chunks = (total_work / PAIRS_PER_CHUNK + 1).min(n.max(1) as u128) as usize;
+    let bounds = triangle_row_bounds(n, n_chunks);
+    let partials = par.map_chunks(n_chunks, |c| {
+        let mut acc = KahanSum::new();
+        for a in bounds[c]..bounds[c + 1] {
+            let ga = &gates[a];
+            let sa = pairwise.std(ga.cell);
+            acc.add(sa * sa);
+            for gb in &gates[a + 1..] {
+                let dx = ga.x - gb.x;
+                let dy = ga.y - gb.y;
+                let d = (dx * dx + dy * dy).sqrt();
+                acc.add(2.0 * pairwise.covariance(ga.cell, gb.cell, rho_total(d)));
+            }
+        }
+        acc
+    });
+    let mut variance = KahanSum::new();
+    for p in &partials {
+        variance.merge(p);
     }
     LeakageEstimate {
         mean,
-        variance,
+        variance: variance.sum(),
         method: EstimatorMethod::ExactPlaced,
     }
 }
@@ -140,6 +204,106 @@ mod tests {
             "{} vs {expect}",
             est.variance
         );
+    }
+
+    #[test]
+    fn triangle_row_bounds_partition_and_balance() {
+        for (n, chunks) in [(1usize, 1usize), (10, 3), (1000, 17), (1000, 1)] {
+            let b = triangle_row_bounds(n, chunks);
+            assert_eq!(b.len(), chunks + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(b[chunks], n);
+            for w in b.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+        // Pair-balanced: first chunk of a large triangle takes far fewer
+        // rows than an even row split would give it.
+        let b = triangle_row_bounds(1000, 10);
+        assert!(b[1] < 100, "first chunk rows = {}", b[1]);
+    }
+
+    fn grid(n: usize) -> Vec<PlacedGate> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| PlacedGate {
+                cell: CellId(i % 2),
+                x: (i % side) as f64 * 3.0,
+                y: (i / side) as f64 * 3.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let pw = pairwise(CorrelationPolicy::Exact);
+        let gates = grid(700);
+        let tent = |d: f64| (1.0 - d / 40.0).max(0.0);
+        let serial = exact_placed_stats_with(&gates, &pw, &tent, Parallelism::serial());
+        for threads in [2, 4, 8] {
+            let par = exact_placed_stats_with(&gates, &pw, &tent, Parallelism::threads(threads));
+            assert_eq!(
+                serial.mean.to_bits(),
+                par.mean.to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                serial.variance.to_bits(),
+                par.variance.to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    /// Two-float (double-double) accumulator used as the high-precision
+    /// summation reference; ~32 significant digits for these magnitudes.
+    #[derive(Clone, Copy, Default)]
+    struct DoubleDouble {
+        hi: f64,
+        lo: f64,
+    }
+
+    impl DoubleDouble {
+        fn add(&mut self, x: f64) {
+            // TwoSum(hi, x), then fold the error into lo and renormalize.
+            let s = self.hi + x;
+            let bb = s - self.hi;
+            let err = (self.hi - (s - bb)) + (x - bb);
+            let lo = self.lo + err;
+            let hi = s + lo;
+            self.lo = lo - (hi - s);
+            self.hi = hi;
+        }
+
+        fn sum(self) -> f64 {
+            self.hi + self.lo
+        }
+    }
+
+    #[test]
+    fn compensated_variance_matches_high_precision_reference_10k() {
+        // Satellite regression: on a 10k-gate design the chunked Kahan
+        // reduction must agree with an independent double-double sum of the
+        // same terms to near machine precision — the naive running sum this
+        // replaced drifts orders of magnitude further.
+        let pw = pairwise(CorrelationPolicy::Exact);
+        let gates = grid(10_000);
+        let tent = |d: f64| (1.0 - d / 60.0).max(0.0);
+        let est = exact_placed_stats(&gates, &pw, &tent);
+
+        let mut reference = DoubleDouble::default();
+        for (a, ga) in gates.iter().enumerate() {
+            let sa = pw.std(ga.cell);
+            reference.add(sa * sa);
+            for gb in &gates[a + 1..] {
+                let dx = ga.x - gb.x;
+                let dy = ga.y - gb.y;
+                let d = (dx * dx + dy * dy).sqrt();
+                reference.add(2.0 * pw.covariance(ga.cell, gb.cell, tent(d)));
+            }
+        }
+        let rel = (est.variance - reference.sum()).abs() / reference.sum().abs();
+        assert!(rel < 1e-13, "relative error {rel:e}");
     }
 
     #[test]

@@ -81,12 +81,14 @@ pub fn polar_1d_variance<C: SpatialCorrelation>(
     order: usize,
     panels: usize,
 ) -> Result<f64, CoreError> {
-    let d_max = wid.support_radius().ok_or_else(|| CoreError::MethodNotApplicable {
-        method: "polar 1-d integral",
-        reason: "the WID correlation model has an infinite tail; use the 2-D \
+    let d_max = wid
+        .support_radius()
+        .ok_or_else(|| CoreError::MethodNotApplicable {
+            method: "polar 1-d integral",
+            reason: "the WID correlation model has an infinite tail; use the 2-D \
                  integral or the linear-time method"
-            .into(),
-    })?;
+                .into(),
+        })?;
     if d_max > width.min(height) {
         return Err(CoreError::MethodNotApplicable {
             method: "polar 1-d integral",

@@ -32,7 +32,8 @@ pub fn linear_time_variance<R: Fn(f64) -> f64>(
             if i == 0 && j == 0 {
                 continue;
             }
-            let mult = (m - i) as f64 * (k - j) as f64
+            let mult = (m - i) as f64
+                * (k - j) as f64
                 * if i > 0 { 2.0 } else { 1.0 }
                 * if j > 0 { 2.0 } else { 1.0 };
             let d = grid.offset_distance(i as i64, j as i64);
@@ -72,7 +73,9 @@ mod tests {
     use super::*;
     use leakage_cells::corrmap::CorrelationPolicy;
     use leakage_cells::library::CellId;
-    use leakage_cells::model::{CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel};
+    use leakage_cells::model::{
+        CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel,
+    };
     use leakage_cells::UsageHistogram;
 
     const SIGMA: f64 = 4.5;

@@ -14,7 +14,7 @@ mod exact;
 mod integral;
 mod linear;
 
-pub use exact::{exact_placed_mean, exact_placed_stats, PlacedGate};
+pub use exact::{exact_placed_mean, exact_placed_stats, exact_placed_stats_with, PlacedGate};
 pub use integral::{g_polar, integral_2d_variance, polar_1d_variance};
 pub use linear::{linear_time_variance, quadratic_lattice_variance};
 

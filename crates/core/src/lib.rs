@@ -56,8 +56,14 @@ pub mod leakage_yield;
 pub mod pairwise;
 pub mod random_gate;
 
+/// Workspace-wide deterministic parallel execution (re-export of
+/// [`leakage_numeric::parallel`]): thread-count policy plus the chunked
+/// map/reduce primitives every hot path is built on.
+pub use leakage_numeric::parallel;
+
 pub use chars::HighLevelCharacteristics;
 pub use error::CoreError;
 pub use estimator::{ChipLeakageEstimator, LeakageEstimate, PlacedGate};
 pub use leakage_yield::LeakageDistribution;
+pub use parallel::Parallelism;
 pub use random_gate::RandomGate;

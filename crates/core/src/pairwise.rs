@@ -55,9 +55,11 @@ impl PairwiseCovariance {
         let mut stds = HashMap::new();
         let mut probs_by_id: HashMap<CellId, Vec<f64>> = HashMap::new();
         for id in support {
-            let cell = charlib.cell(*id).ok_or_else(|| CoreError::InvalidArgument {
-                reason: format!("cell id {} outside characterized library", id.0),
-            })?;
+            let cell = charlib
+                .cell(*id)
+                .ok_or_else(|| CoreError::InvalidArgument {
+                    reason: format!("cell id {} outside characterized library", id.0),
+                })?;
             let probs = state_probabilities(cell.n_inputs, signal_probability)?;
             let (m, s) = cell.mixture_stats(&probs)?;
             means.insert(*id, m);
@@ -79,15 +81,8 @@ impl PairwiseCovariance {
                 let mut values = Vec::with_capacity(PAIR_KNOTS);
                 for k in 0..PAIR_KNOTS {
                     let rho = k as f64 / (PAIR_KNOTS - 1) as f64;
-                    let cov = cell_leakage_covariance(
-                        cm,
-                        pm,
-                        cn,
-                        pn,
-                        charlib.l_sigma,
-                        rho,
-                        policy,
-                    )?;
+                    let cov =
+                        cell_leakage_covariance(cm, pm, cn, pn, charlib.l_sigma, rho, policy)?;
                     knots.push(rho);
                     values.push(cov);
                 }
@@ -175,13 +170,9 @@ mod tests {
     #[test]
     fn self_covariance_at_full_correlation_is_variance() {
         let lib = charlib();
-        let pw = PairwiseCovariance::new(
-            &lib,
-            &[CellId(0), CellId(1)],
-            0.5,
-            CorrelationPolicy::Exact,
-        )
-        .unwrap();
+        let pw =
+            PairwiseCovariance::new(&lib, &[CellId(0), CellId(1)], 0.5, CorrelationPolicy::Exact)
+                .unwrap();
         // Two distinct instances of the same single-state type at ρ_L = 1
         // share the same length, so covariance = that type's variance.
         let s0 = pw.std(CellId(0));
@@ -192,13 +183,9 @@ mod tests {
     #[test]
     fn covariance_is_symmetric_and_zero_at_rho0() {
         let lib = charlib();
-        let pw = PairwiseCovariance::new(
-            &lib,
-            &[CellId(0), CellId(1)],
-            0.5,
-            CorrelationPolicy::Exact,
-        )
-        .unwrap();
+        let pw =
+            PairwiseCovariance::new(&lib, &[CellId(0), CellId(1)], 0.5, CorrelationPolicy::Exact)
+                .unwrap();
         let ab = pw.covariance(CellId(0), CellId(1), 0.4);
         let ba = pw.covariance(CellId(1), CellId(0), 0.4);
         assert_eq!(ab, ba);

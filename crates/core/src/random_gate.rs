@@ -167,11 +167,10 @@ impl RandomGate {
                     .iter()
                     .map(|t| {
                         t.ok_or_else(|| CoreError::InvalidArgument {
-                            reason:
-                                "exact correlation policy requires fitted triplets for every \
+                            reason: "exact correlation policy requires fitted triplets for every \
                                  state in the histogram support; use the simplified policy \
                                  with monte-carlo characterization"
-                                    .into(),
+                                .into(),
                         })
                     })
                     .collect::<Result<_, _>>()?;
@@ -353,8 +352,7 @@ mod tests {
         let simple = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Simplified).unwrap();
         for k in 1..10 {
             let rho = k as f64 / 10.0;
-            let rel = (exact.covariance(rho) - simple.covariance(rho)).abs()
-                / exact.variance();
+            let rel = (exact.covariance(rho) - simple.covariance(rho)).abs() / exact.variance();
             assert!(rel < 0.1, "rho {rho}: rel {rel}");
         }
     }
@@ -400,15 +398,11 @@ mod tests {
         let lib = toy_charlib();
         let hist = UsageHistogram::uniform(2).unwrap();
         let via_p = RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Exact).unwrap();
-        let via_fn = RandomGate::with_state_probabilities(
-            &lib,
-            &hist,
-            CorrelationPolicy::Exact,
-            |cell| {
+        let via_fn =
+            RandomGate::with_state_probabilities(&lib, &hist, CorrelationPolicy::Exact, |cell| {
                 Ok(leakage_cells::state::state_probabilities(cell.n_inputs, 0.5).unwrap())
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         assert_eq!(via_p.mean(), via_fn.mean());
         assert_eq!(via_p.variance(), via_fn.variance());
     }

@@ -4,11 +4,13 @@ use crate::error::McError;
 use crate::gate_model::{build_gate_models, GateModel};
 use leakage_cells::model::CharacterizedLibrary;
 use leakage_netlist::PlacedCircuit;
+use leakage_numeric::parallel::Parallelism;
 use leakage_numeric::stats::RunningStats;
 use leakage_process::correlation::SpatialCorrelation;
 use leakage_process::field::{CirculantFieldSampler, GridGeometry};
 use leakage_process::Technology;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, StandardNormal};
 
 /// Builder for [`ChipSampler`].
@@ -188,6 +190,53 @@ impl ChipSampler {
         }
         stats
     }
+
+    /// Runs `trials` chip samples from counter-derived RNG streams with the
+    /// session-default thread budget; see [`ChipSampler::run_seeded_with`].
+    pub fn run_seeded(&self, trials: usize, base_seed: u64) -> RunningStats {
+        self.run_seeded_with(trials, base_seed, Parallelism::auto())
+    }
+
+    /// Parallel Monte Carlo with per-trial RNG streams.
+    ///
+    /// The FFT field sampler yields two independent fields per draw, so the
+    /// unit of work is the *pair* `p` covering trials `2p` and `2p + 1`,
+    /// evaluated from its own stream seeded with
+    /// `base_seed.wrapping_add(p)`. Pairs are grouped into fixed-size
+    /// chunks, each chunk accumulates [`RunningStats`] over its trials in
+    /// trial order, and the partials are merged strictly in chunk order —
+    /// so the result is **bit-identical** for every thread budget,
+    /// including [`Parallelism::serial`].
+    ///
+    /// Unlike [`ChipSampler::run`], which consumes a single caller-owned
+    /// RNG sequentially, the trial count here changes no trial's stream:
+    /// trial `i` of a 10k-trial run equals trial `i` of a 1k-trial run.
+    pub fn run_seeded_with(&self, trials: usize, base_seed: u64, par: Parallelism) -> RunningStats {
+        // Fixed chunk size (in field pairs, i.e. 32 trials): never derived
+        // from the thread count, to keep the decomposition deterministic.
+        const PAIRS_PER_CHUNK: usize = 16;
+        let n_pairs = trials.div_ceil(2);
+        let n_chunks = n_pairs.div_ceil(PAIRS_PER_CHUNK);
+        let partials = par.map_chunks(n_chunks, |c| {
+            let mut stats = RunningStats::new();
+            let lo = c * PAIRS_PER_CHUNK;
+            let hi = ((c + 1) * PAIRS_PER_CHUNK).min(n_pairs);
+            for p in lo..hi {
+                let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(p as u64));
+                let (f1, f2) = self.field.sample_two(&mut rng);
+                stats.push(self.eval_with_field(&f1, &mut rng));
+                if 2 * p + 1 < trials {
+                    stats.push(self.eval_with_field(&f2, &mut rng));
+                }
+            }
+            stats
+        });
+        let mut stats = RunningStats::new();
+        for p in &partials {
+            stats.merge(p);
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +373,59 @@ mod tests {
             (rel_vt - rel_base).abs() / rel_base < 0.15,
             "relative spread barely moves: {rel_base} vs {rel_vt}"
         );
+    }
+
+    #[test]
+    fn run_seeded_is_bit_identical_across_thread_counts() {
+        let charlib = charlib();
+        let tech = tech();
+        let placed = placed(64);
+        let wid = TentCorrelation::new(10.0).unwrap();
+        let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap();
+        // 201 trials: odd count exercises the half-used final field pair.
+        let serial = sampler.run_seeded_with(201, 42, Parallelism::serial());
+        for threads in [2, 4, 8] {
+            let par = sampler.run_seeded_with(201, 42, Parallelism::threads(threads));
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+        assert_eq!(serial.count(), 201);
+    }
+
+    #[test]
+    fn run_seeded_trial_streams_are_independent_of_trial_count() {
+        let charlib = charlib();
+        let tech = tech();
+        let placed = placed(36);
+        let wid = TentCorrelation::new(10.0).unwrap();
+        let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap();
+        // A prefix run must be a strict statistical prefix of a longer run:
+        // the first 50 trials see identical streams either way, so the
+        // 50-trial stats of both runs agree exactly.
+        let short = sampler.run_seeded(50, 7);
+        let long_prefix = sampler.run_seeded_with(50, 7, Parallelism::threads(4));
+        assert_eq!(short, long_prefix);
+        let long = sampler.run_seeded(100, 7);
+        assert_eq!(long.count(), 100);
+        assert_ne!(long, short);
+    }
+
+    #[test]
+    fn run_seeded_mean_matches_analytic_gate_mean() {
+        let charlib = charlib();
+        let tech = tech();
+        let placed = placed(100);
+        let wid = TentCorrelation::new(20.0).unwrap();
+        let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap();
+        let stats = sampler.run_seeded(4000, 2);
+        let expect = 100.0 * charlib.cells[0].states[0].mean;
+        let rel = (stats.mean() - expect).abs() / expect;
+        assert!(rel < 0.02, "mc mean off by {rel}");
     }
 
     #[test]

@@ -94,8 +94,7 @@ mod tests {
     fn endpoints() {
         let curve = log_curve(1e-9, -0.06, 0.0009);
         let mut rng = StdRng::seed_from_u64(2);
-        let zero =
-            pair_leakage_correlation_mc(&curve, &curve, 4.5, 0.0, 40_000, &mut rng).unwrap();
+        let zero = pair_leakage_correlation_mc(&curve, &curve, 4.5, 0.0, 40_000, &mut rng).unwrap();
         assert!(zero.abs() < 0.02);
         let one = pair_leakage_correlation_mc(&curve, &curve, 4.5, 1.0, 40_000, &mut rng).unwrap();
         assert!(one > 0.999);

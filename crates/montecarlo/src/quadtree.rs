@@ -158,9 +158,7 @@ mod tests {
         let charlib = charlib();
         let placed = placed(16, 64.0);
         let model = QuadtreeCorrelation::standard(64.0, 64.0).unwrap();
-        assert!(
-            QuadtreeChipSampler::new(&placed, &charlib, model.clone(), 0.0, 0.5).is_err()
-        );
+        assert!(QuadtreeChipSampler::new(&placed, &charlib, model.clone(), 0.0, 0.5).is_err());
         let small = QuadtreeCorrelation::standard(32.0, 32.0).unwrap();
         assert!(QuadtreeChipSampler::new(&placed, &charlib, small, SIGMA, 0.5).is_err());
         let mut nolib = charlib;

@@ -166,11 +166,7 @@ mod tests {
 
     #[test]
     fn circuit_histogram_counts() {
-        let c = Circuit::new(
-            "t",
-            vec![CellId(0), CellId(0), CellId(2), CellId(0)],
-        )
-        .unwrap();
+        let c = Circuit::new("t", vec![CellId(0), CellId(0), CellId(2), CellId(0)]).unwrap();
         let h = c.usage_histogram(3).unwrap();
         assert!((h.alpha(CellId(0)) - 0.75).abs() < 1e-12);
         assert_eq!(h.alpha(CellId(1)), 0.0);

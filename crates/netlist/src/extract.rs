@@ -30,10 +30,7 @@ pub fn extract_characteristics(
         let slot = counts
             .get_mut(g.cell.0)
             .ok_or_else(|| NetlistError::InvalidArgument {
-                reason: format!(
-                    "gate type {} outside library of {library_len}",
-                    g.cell.0
-                ),
+                reason: format!("gate type {} outside library of {library_len}", g.cell.0),
             })?;
         *slot += 1.0;
     }

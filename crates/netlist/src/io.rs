@@ -56,9 +56,7 @@ pub fn read_placement<R: BufRead>(
         if header.is_none() {
             if fields.len() != 4 || fields[0] != "design" {
                 return Err(NetlistError::InvalidArgument {
-                    reason: format!(
-                        "line {line_no}: expected 'design <name> <width> <height>'"
-                    ),
+                    reason: format!("line {line_no}: expected 'design <name> <width> <height>'"),
                 });
             }
             let width = parse_num(fields[2], line_no, "die width")?;
@@ -74,11 +72,12 @@ pub fn read_placement<R: BufRead>(
                 ),
             });
         }
-        let cell = library
-            .cell_by_name(fields[1])
-            .ok_or_else(|| NetlistError::InvalidArgument {
-                reason: format!("line {line_no}: unknown cell '{}'", fields[1]),
-            })?;
+        let cell =
+            library
+                .cell_by_name(fields[1])
+                .ok_or_else(|| NetlistError::InvalidArgument {
+                    reason: format!("line {line_no}: unknown cell '{}'", fields[1]),
+                })?;
         let x = parse_num(fields[2], line_no, "x coordinate")?;
         let y = parse_num(fields[3], line_no, "y coordinate")?;
         gates.push(PlacedGate {

@@ -53,9 +53,11 @@ pub fn place(
     }
     let mut total_area = 0.0;
     for id in circuit.gates() {
-        let cell = library.cell(*id).ok_or_else(|| NetlistError::InvalidArgument {
-            reason: format!("gate type {} not in library", id.0),
-        })?;
+        let cell = library
+            .cell(*id)
+            .ok_or_else(|| NetlistError::InvalidArgument {
+                reason: format!("gate type {} not in library", id.0),
+            })?;
         total_area += cell.area_um2();
     }
     let die_area = total_area / utilization;

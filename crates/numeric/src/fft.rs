@@ -6,6 +6,7 @@
 //! Cholesky factorization. Grids are padded to powers of two.
 
 use crate::error::NumericError;
+use crate::parallel::Parallelism;
 
 /// A complex number as a `(re, im)` pair; minimal on purpose.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -155,7 +156,7 @@ fn transform(data: &mut [Complex], inverse: bool) -> Result<(), NumericError> {
 ///
 /// Returns [`NumericError::InvalidArgument`] on bad dimensions.
 pub fn fft2d(data: &mut [Complex], rows: usize, cols: usize) -> Result<(), NumericError> {
-    transform2d(data, rows, cols, false)
+    transform2d(data, rows, cols, false, Parallelism::serial())
 }
 
 /// In-place inverse 2-D FFT (normalized by `1/(rows·cols)`).
@@ -164,13 +165,49 @@ pub fn fft2d(data: &mut [Complex], rows: usize, cols: usize) -> Result<(), Numer
 ///
 /// Returns [`NumericError::InvalidArgument`] on bad dimensions.
 pub fn ifft2d(data: &mut [Complex], rows: usize, cols: usize) -> Result<(), NumericError> {
-    transform2d(data, rows, cols, true)?;
+    transform2d(data, rows, cols, true, Parallelism::serial())?;
+    scale_inverse(data, rows, cols);
+    Ok(())
+}
+
+/// [`fft2d`] with an explicit thread budget. Row transforms run on disjoint
+/// row slices; column transforms run as row transforms of the transpose.
+/// Bit-identical to the serial [`fft2d`] for every thread count.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] on bad dimensions.
+pub fn fft2d_with(
+    data: &mut [Complex],
+    rows: usize,
+    cols: usize,
+    par: Parallelism,
+) -> Result<(), NumericError> {
+    transform2d(data, rows, cols, false, par)
+}
+
+/// [`ifft2d`] with an explicit thread budget; see [`fft2d_with`].
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] on bad dimensions.
+pub fn ifft2d_with(
+    data: &mut [Complex],
+    rows: usize,
+    cols: usize,
+    par: Parallelism,
+) -> Result<(), NumericError> {
+    transform2d(data, rows, cols, true, par)?;
+    scale_inverse(data, rows, cols);
+    Ok(())
+}
+
+fn scale_inverse(data: &mut [Complex], rows: usize, cols: usize) {
     let scale = (rows * cols) as f64;
     for v in data.iter_mut() {
         v.re /= scale;
         v.im /= scale;
     }
-    Ok(())
 }
 
 fn transform2d(
@@ -178,28 +215,56 @@ fn transform2d(
     rows: usize,
     cols: usize,
     inverse: bool,
+    par: Parallelism,
 ) -> Result<(), NumericError> {
     if data.len() != rows * cols {
         return Err(NumericError::InvalidArgument {
-            reason: format!(
-                "buffer length {} does not match {rows}x{cols}",
-                data.len()
-            ),
+            reason: format!("buffer length {} does not match {rows}x{cols}", data.len()),
         });
     }
-    // Rows.
-    for r in 0..rows {
-        transform(&mut data[r * cols..(r + 1) * cols], inverse)?;
+    if !rows.is_power_of_two() || !cols.is_power_of_two() {
+        return Err(NumericError::InvalidArgument {
+            reason: format!("fft2d dimensions must be powers of two, got {rows}x{cols}"),
+        });
     }
-    // Columns (gather/scatter through a scratch buffer).
-    let mut col = vec![Complex::zero(); rows];
-    for c in 0..cols {
+    if par.is_serial() {
+        // Rows.
         for r in 0..rows {
-            col[r] = data[r * cols + c];
+            transform(&mut data[r * cols..(r + 1) * cols], inverse)?;
         }
-        transform(&mut col, inverse)?;
-        for r in 0..rows {
-            data[r * cols + c] = col[r];
+        // Columns (gather/scatter through a scratch buffer).
+        let mut col = vec![Complex::zero(); rows];
+        for c in 0..cols {
+            for r in 0..rows {
+                col[r] = data[r * cols + c];
+            }
+            transform(&mut col, inverse)?;
+            for r in 0..rows {
+                data[r * cols + c] = col[r];
+            }
+        }
+        return Ok(());
+    }
+    // Rows: disjoint `cols`-length slices, validated above so the inner
+    // transform cannot fail.
+    par.for_each_chunk_mut(data, cols, |_, row| {
+        transform(row, inverse).expect("row length validated as power of two");
+    });
+    // Columns: transpose, transform the transposed rows, transpose back.
+    // Each column transform sees exactly the bytes the gather/scatter serial
+    // path would feed it, so the result is bit-identical.
+    let mut t = vec![Complex::zero(); rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            t[c * rows + r] = data[r * cols + c];
+        }
+    }
+    par.for_each_chunk_mut(&mut t, rows, |_, col| {
+        transform(col, inverse).expect("column length validated as power of two");
+    });
+    for r in 0..rows {
+        for c in 0..cols {
+            data[r * cols + c] = t[c * rows + r];
         }
     }
     Ok(())
@@ -308,6 +373,29 @@ mod tests {
     fn fft2d_rejects_bad_shape() {
         let mut data = vec![Complex::zero(); 12];
         assert!(fft2d(&mut data, 4, 4).is_err());
+        let mut data = vec![Complex::zero(); 12];
+        assert!(fft2d(&mut data, 3, 4).is_err());
+    }
+
+    #[test]
+    fn fft2d_parallel_is_bit_identical_to_serial() {
+        let (rows, cols) = (16, 32);
+        let base: Vec<Complex> = (0..rows * cols)
+            .map(|i| Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        let mut serial = base.clone();
+        fft2d(&mut serial, rows, cols).unwrap();
+        for threads in [2, 3, 8] {
+            let mut par = base.clone();
+            fft2d_with(&mut par, rows, cols, Parallelism::threads(threads)).unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+        // Inverse round-trips through the parallel path too.
+        let mut rt = serial.clone();
+        ifft2d_with(&mut rt, rows, cols, Parallelism::threads(4)).unwrap();
+        let mut rt_serial = serial;
+        ifft2d(&mut rt_serial, rows, cols).unwrap();
+        assert_eq!(rt, rt_serial);
     }
 
     #[test]

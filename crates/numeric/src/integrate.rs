@@ -292,15 +292,7 @@ mod tests {
     #[test]
     fn quad_2d_radial() {
         // ∫∫ exp(-(x²+y²)) over [0,3]² ≈ (√π/2 · erf(3))² ≈ (0.886207·0.99998)²
-        let v = gauss_legendre_2d(
-            |x, y| (-(x * x + y * y)).exp(),
-            0.0,
-            3.0,
-            0.0,
-            3.0,
-            16,
-            4,
-        );
+        let v = gauss_legendre_2d(|x, y| (-(x * x + y * y)).exp(), 0.0, 3.0, 0.0, 3.0, 16, 4);
         let erf3 = crate::special::erf(3.0);
         let expected = (0.5 * std::f64::consts::PI.sqrt() * erf3).powi(2);
         assert!((v - expected).abs() < 1e-10, "got {v}, want {expected}");

@@ -27,6 +27,7 @@ pub mod fft;
 pub mod integrate;
 pub mod interp;
 pub mod matrix;
+pub mod parallel;
 pub mod quadform;
 pub mod regression;
 pub mod special;
@@ -34,3 +35,4 @@ pub mod stats;
 
 pub use error::NumericError;
 pub use matrix::Matrix;
+pub use parallel::Parallelism;

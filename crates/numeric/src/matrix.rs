@@ -111,6 +111,17 @@ impl Matrix {
         self.cols
     }
 
+    /// Row-major backing storage (`rows * cols` values).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing storage; row `r` occupies
+    /// `[r * cols, (r + 1) * cols)`.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Whether the matrix is square.
     pub fn is_square(&self) -> bool {
         self.rows == self.cols
@@ -539,10 +550,7 @@ mod tests {
     fn mul_shape_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(
-            a.mul(&b),
-            Err(NumericError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.mul(&b), Err(NumericError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -554,12 +562,8 @@ mod tests {
 
     #[test]
     fn lu_solve_recovers_known_solution() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         // Known system with solution (2, 3, -1).
         let b = [8.0, -11.0, -3.0];
         let x = a.solve(&b).unwrap();
@@ -631,8 +635,7 @@ mod tests {
 
     #[test]
     fn cholesky_solve_agrees_with_lu() {
-        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
         let b = [1.0, -2.0, 3.5];
         let x1 = a.cholesky().unwrap().solve(&b);
         let x2 = a.solve(&b).unwrap();

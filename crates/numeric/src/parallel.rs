@@ -1,0 +1,288 @@
+//! Deterministic data-parallel execution for the leakage hot paths.
+//!
+//! Every parallel loop in the workspace is expressed as a *fixed chunk
+//! decomposition* of the work followed by an in-order reduction of the
+//! per-chunk results. The decomposition depends only on the problem size —
+//! never on the thread count — and each chunk's internal evaluation order
+//! is fixed, so the result is **bit-identical** for any thread count,
+//! including the serial path. That property keeps `tests/determinism.rs`
+//! honest: experiments cite exact numbers, and turning parallelism on or
+//! off must not change them.
+//!
+//! Thread-count resolution, in priority order:
+//!
+//! 1. an explicit builder/API override ([`Parallelism::threads`]);
+//! 2. the `CHIPLEAK_THREADS` environment variable (`0` or unset = auto);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With the `parallel` cargo feature disabled every path degrades
+//! gracefully to `threads = 1` and no thread is ever spawned.
+//!
+//! # Example
+//!
+//! ```
+//! use leakage_numeric::parallel::Parallelism;
+//!
+//! // Sum of squares over 4 chunks; identical for any thread count.
+//! let partials = Parallelism::threads(2).map_chunks(4, |c| {
+//!     let lo = c * 25;
+//!     (lo..lo + 25).map(|i| (i * i) as u64).sum::<u64>()
+//! });
+//! assert_eq!(partials.iter().sum::<u64>(), (0..100u64).map(|i| i * i).sum());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable consulted by [`Parallelism::auto`] (`0` = auto).
+pub const THREADS_ENV: &str = "CHIPLEAK_THREADS";
+
+#[cfg(feature = "parallel")]
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(feature = "parallel")]
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var(THREADS_ENV).ok()?;
+    let parsed = raw.trim().parse::<usize>().ok()?;
+    (parsed > 0).then_some(parsed)
+}
+
+/// A resolved worker-thread budget (always ≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Resolves from `CHIPLEAK_THREADS`, falling back to the hardware
+    /// thread count. Always 1 when the `parallel` feature is off.
+    pub fn auto() -> Parallelism {
+        Parallelism::threads(0)
+    }
+
+    /// An explicit thread count; `0` means [`Parallelism::auto`]. Clamped
+    /// to 1 when the `parallel` feature is off.
+    pub fn threads(n: usize) -> Parallelism {
+        #[cfg(not(feature = "parallel"))]
+        {
+            let _ = n;
+            Parallelism { threads: 1 }
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let threads = match n {
+                0 => env_threads().unwrap_or_else(hardware_threads),
+                n => n,
+            };
+            Parallelism {
+                threads: threads.max(1),
+            }
+        }
+    }
+
+    /// Exactly one worker; never spawns.
+    pub fn serial() -> Parallelism {
+        Parallelism { threads: 1 }
+    }
+
+    /// The resolved worker count.
+    pub fn thread_count(self) -> usize {
+        self.threads
+    }
+
+    /// `true` when no threads will be spawned.
+    pub fn is_serial(self) -> bool {
+        self.threads == 1
+    }
+
+    /// Computes `f(0), f(1), …, f(n_chunks - 1)` and returns the results in
+    /// chunk order. Chunks are claimed dynamically by the worker pool, but
+    /// since each chunk is evaluated independently and the output vector is
+    /// ordered by chunk index, the result does not depend on scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `f` on the calling thread.
+    pub fn map_chunks<T, F>(self, n_chunks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n_chunks);
+        if workers <= 1 {
+            return (0..n_chunks).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        let collected = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_chunks {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(n_chunks);
+            for h in handles {
+                match h.join() {
+                    Ok(local) => all.extend(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all
+        });
+        for (i, v) in collected {
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every chunk index claimed exactly once"))
+            .collect()
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk_len` elements (the
+    /// last may be shorter) and runs `f(chunk_index, chunk)` on each, with
+    /// chunks distributed round-robin over the workers. Chunks are disjoint
+    /// `&mut` windows, so the outcome is scheduling-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`; re-raises a panic from `f`.
+    pub fn for_each_chunk_mut<T, F>(self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        if data.is_empty() {
+            return;
+        }
+        let n_chunks = data.len().div_ceil(chunk_len);
+        let workers = self.threads.min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            buckets[i % workers].push((i, chunk));
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(|| {
+                        for (i, chunk) in bucket {
+                            f(i, chunk);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::auto()
+    }
+}
+
+/// Even, thread-count-independent split of `len` items into `n_chunks`
+/// ranges: chunk `i` covers `[start, end)` with the sizes differing by at
+/// most one item.
+pub fn chunk_bounds(i: usize, n_chunks: usize, len: usize) -> (usize, usize) {
+    debug_assert!(i < n_chunks);
+    let start = (i as u128 * len as u128 / n_chunks as u128) as usize;
+    let end = ((i as u128 + 1) * len as u128 / n_chunks as u128) as usize;
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_resolution() {
+        assert_eq!(Parallelism::serial().thread_count(), 1);
+        assert!(Parallelism::serial().is_serial());
+        let auto = Parallelism::auto();
+        assert!(auto.thread_count() >= 1);
+        #[cfg(feature = "parallel")]
+        assert_eq!(Parallelism::threads(3).thread_count(), 3);
+        #[cfg(not(feature = "parallel"))]
+        assert_eq!(Parallelism::threads(3).thread_count(), 1);
+    }
+
+    #[test]
+    fn map_chunks_matches_serial_for_any_thread_count() {
+        let work = |c: usize| {
+            let (lo, hi) = chunk_bounds(c, 37, 1000);
+            (lo..hi).map(|i| (i as f64).sqrt()).sum::<f64>()
+        };
+        let serial = Parallelism::serial().map_chunks(37, work);
+        for t in [2, 3, 8, 64] {
+            let par = Parallelism::threads(t).map_chunks(37, work);
+            assert_eq!(serial, par, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_handles_edge_counts() {
+        assert!(Parallelism::threads(4).map_chunks(0, |_| 0u8).is_empty());
+        assert_eq!(Parallelism::threads(4).map_chunks(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_element_once() {
+        let mut data = vec![0u32; 103];
+        Parallelism::threads(5).for_each_chunk_mut(&mut data, 10, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (k / 10) as u32, "element {k}");
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_partition() {
+        let mut covered = 0;
+        for i in 0..7 {
+            let (lo, hi) = chunk_bounds(i, 7, 23);
+            assert_eq!(lo, covered);
+            covered = hi;
+        }
+        assert_eq!(covered, 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn worker_panics_propagate() {
+        Parallelism::threads(2).map_chunks(4, |i| {
+            if i == 2 {
+                panic!("deliberate");
+            }
+            i
+        });
+    }
+}

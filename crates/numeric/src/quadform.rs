@@ -235,8 +235,7 @@ mod tests {
         let (c1, b1) = (80.0, -30.0);
         let (c2, b2) = (120.0, -45.0);
         let (mu1, mu2, s1, s2) = (0.09, 0.09, 0.005, 0.004);
-        let joint =
-            bivariate_exp_quadratic_mean(c1, b1, c2, b2, mu1, mu2, s1, s2, 1e-300).unwrap();
+        let joint = bivariate_exp_quadratic_mean(c1, b1, c2, b2, mu1, mu2, s1, s2, 1e-300).unwrap();
         let m1 = gaussian_quadratic_mgf(1.0, c1, b1, 0.0, mu1, s1).unwrap();
         let m2 = gaussian_quadratic_mgf(1.0, c2, b2, 0.0, mu2, s2).unwrap();
         assert!(
@@ -253,8 +252,7 @@ mod tests {
         let (mu, s) = (0.09, 0.005);
         // 1−ρ can't be too small: Σ⁻¹ entries blow up as 1/(1−ρ²) and the
         // 2×2 determinant cancellation costs ~eps/(1−ρ²) relative accuracy.
-        let joint =
-            bivariate_exp_quadratic_mean(c, b, c, b, mu, mu, s, s, 1.0 - 1e-7).unwrap();
+        let joint = bivariate_exp_quadratic_mean(c, b, c, b, mu, mu, s, s, 1.0 - 1e-7).unwrap();
         let second = gaussian_quadratic_mgf(2.0, c, b, 0.0, mu, s).unwrap();
         assert!(
             (joint - second).abs() / second < 1e-3,
@@ -267,17 +265,15 @@ mod tests {
         let (c1, b1) = (60.0, -25.0);
         let (c2, b2) = (90.0, -35.0);
         let (mu1, mu2, s1, s2, rho) = (0.09, 0.092, 0.004, 0.005, 0.6);
-        let analytic =
-            bivariate_exp_quadratic_mean(c1, b1, c2, b2, mu1, mu2, s1, s2, rho).unwrap();
+        let analytic = bivariate_exp_quadratic_mean(c1, b1, c2, b2, mu1, mu2, s1, s2, rho).unwrap();
         // Brute-force 2-D quadrature of the defining integral.
         let det = s1 * s1 * s2 * s2 * (1.0 - rho * rho);
         let numeric = crate::integrate::gauss_legendre_2d(
             |x, y| {
                 let dx = x - mu1;
                 let dy = y - mu2;
-                let q = (dx * dx * s2 * s2 - 2.0 * rho * s1 * s2 * dx * dy
-                    + dy * dy * s1 * s1)
-                    / det;
+                let q =
+                    (dx * dx * s2 * s2 - 2.0 * rho * s1 * s2 * dx * dy + dy * dy * s1 * s1) / det;
                 let pdf = (-0.5 * q).exp() / (2.0 * std::f64::consts::PI * det.sqrt());
                 (c1 * x * x + b1 * x + c2 * y * y + b2 * y).exp() * pdf
             },
@@ -296,18 +292,9 @@ mod tests {
 
     #[test]
     fn bivariate_rejects_bad_inputs() {
-        assert!(bivariate_exp_quadratic_mean(
-            1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.5
-        )
-        .is_err());
-        assert!(bivariate_exp_quadratic_mean(
-            1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.5
-        )
-        .is_err());
+        assert!(bivariate_exp_quadratic_mean(1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.5).is_err());
+        assert!(bivariate_exp_quadratic_mean(1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.5).is_err());
         // Divergent quadratic (huge positive c against small variance gap).
-        assert!(bivariate_exp_quadratic_mean(
-            1e9, 0.0, 1e9, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0
-        )
-        .is_err());
+        assert!(bivariate_exp_quadratic_mean(1e9, 0.0, 1e9, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0).is_err());
     }
 }

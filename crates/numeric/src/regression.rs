@@ -23,10 +23,7 @@ impl PolyFit {
     /// Evaluates the fitted polynomial at `x`.
     pub fn eval(&self, x: f64) -> f64 {
         // Horner evaluation, highest order first.
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(0.0, |acc, &c| acc * x + c)
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
     }
 }
 

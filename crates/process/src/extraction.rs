@@ -135,10 +135,7 @@ pub fn extract_correlation(
     let fitted = pav_non_increasing(&values, &weights);
 
     // Clamp into [0, 1] and snap the sub-threshold tail to zero.
-    let mut rhos: Vec<f64> = fitted
-        .iter()
-        .map(|r| r.clamp(0.0, 1.0))
-        .collect();
+    let mut rhos: Vec<f64> = fitted.iter().map(|r| r.clamp(0.0, 1.0)).collect();
     let mut snapped = false;
     for r in rhos.iter_mut() {
         if snapped || *r <= options.zero_threshold {
@@ -265,10 +262,7 @@ mod tests {
 
     #[test]
     fn duplicate_distances_merge_weighted() {
-        let samples = [
-            sample(10.0, 0.8, 100),
-            sample(10.0, 0.6, 300),
-        ];
+        let samples = [sample(10.0, 0.8, 100), sample(10.0, 0.6, 300)];
         let m = extract_correlation(&samples, ExtractionOptions::default()).unwrap();
         assert!((m.rho(10.0) - 0.65).abs() < 1e-9);
     }
@@ -280,8 +274,7 @@ mod tests {
             extract_correlation(&[sample(-1.0, 0.5, 1)], ExtractionOptions::default()).is_err()
         );
         assert!(
-            extract_correlation(&[sample(1.0, f64::NAN, 1)], ExtractionOptions::default())
-                .is_err()
+            extract_correlation(&[sample(1.0, f64::NAN, 1)], ExtractionOptions::default()).is_err()
         );
         assert!(extract_correlation(&[sample(1.0, 0.5, 0)], ExtractionOptions::default()).is_err());
     }

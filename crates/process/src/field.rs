@@ -14,8 +14,9 @@
 
 use crate::correlation::SpatialCorrelation;
 use crate::error::ProcessError;
-use leakage_numeric::fft::{fft2d, ifft2d, next_pow2, Complex};
+use leakage_numeric::fft::{fft2d_with, ifft2d, next_pow2, Complex};
 use leakage_numeric::matrix::{Cholesky, Matrix};
+use leakage_numeric::parallel::Parallelism;
 use rand::Rng;
 use rand_distr::{Distribution, StandardNormal};
 use serde::{Deserialize, Serialize};
@@ -192,6 +193,24 @@ impl CholeskyFieldSampler {
         corr: &C,
         sigma: f64,
     ) -> Result<Self, ProcessError> {
+        CholeskyFieldSampler::new_with(geometry, corr, sigma, Parallelism::auto())
+    }
+
+    /// [`CholeskyFieldSampler::new`] with an explicit thread budget for the
+    /// O(n²) covariance assembly. Each worker fills whole matrix rows
+    /// (disjoint slices; `ρ(d)` is evaluated per entry rather than mirrored
+    /// across the diagonal, which costs twice the arithmetic but no shared
+    /// writes), so the matrix is identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CholeskyFieldSampler::new`].
+    pub fn new_with<C: SpatialCorrelation>(
+        geometry: GridGeometry,
+        corr: &C,
+        sigma: f64,
+        par: Parallelism,
+    ) -> Result<Self, ProcessError> {
         if !(sigma >= 0.0) || !sigma.is_finite() {
             return Err(ProcessError::InvalidParameter {
                 reason: format!("sigma must be finite and >= 0, got {sigma}"),
@@ -200,16 +219,14 @@ impl CholeskyFieldSampler {
         let n = geometry.n_sites();
         let var = sigma * sigma;
         let mut cov = Matrix::zeros(n, n);
-        for a in 0..n {
+        par.for_each_chunk_mut(cov.as_mut_slice(), n, |a, row| {
             let (ra, ca) = (a / geometry.cols(), a % geometry.cols());
-            for b in a..n {
+            for (b, slot) in row.iter_mut().enumerate() {
                 let (rb, cb) = (b / geometry.cols(), b % geometry.cols());
                 let d = geometry.site_distance((ra, ca), (rb, cb));
-                let v = var * corr.rho(d);
-                cov[(a, b)] = v;
-                cov[(b, a)] = v;
+                *slot = var * corr.rho(d);
             }
-        }
+        });
         let mut jitter = 0.0;
         let mut attempt = cov.cholesky();
         let mut rel = 1e-12;
@@ -276,6 +293,22 @@ impl CirculantFieldSampler {
         corr: &C,
         sigma: f64,
     ) -> Result<Self, ProcessError> {
+        CirculantFieldSampler::new_with(geometry, corr, sigma, Parallelism::auto())
+    }
+
+    /// [`CirculantFieldSampler::new`] with an explicit thread budget for
+    /// kernel assembly and the embedding FFT. The spectrum is identical for
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CirculantFieldSampler::new`].
+    pub fn new_with<C: SpatialCorrelation>(
+        geometry: GridGeometry,
+        corr: &C,
+        sigma: f64,
+        par: Parallelism,
+    ) -> Result<Self, ProcessError> {
         if !(sigma >= 0.0) || !sigma.is_finite() {
             return Err(ProcessError::InvalidParameter {
                 reason: format!("sigma must be finite and >= 0, got {sigma}"),
@@ -284,17 +317,18 @@ impl CirculantFieldSampler {
         let p = next_pow2(2 * geometry.rows());
         let q = next_pow2(2 * geometry.cols());
         let var = sigma * sigma;
-        // Torus covariance kernel: distance wraps around.
+        // Torus covariance kernel: distance wraps around. Workers fill
+        // whole torus rows (disjoint slices).
         let mut kernel = vec![Complex::zero(); p * q];
-        for r in 0..p {
+        par.for_each_chunk_mut(&mut kernel, q, |r, row| {
             let wrap_r = r.min(p - r) as f64 * geometry.pitch_y();
-            for c in 0..q {
+            for (c, slot) in row.iter_mut().enumerate() {
                 let wrap_c = c.min(q - c) as f64 * geometry.pitch_x();
                 let d = (wrap_r * wrap_r + wrap_c * wrap_c).sqrt();
-                kernel[r * q + c] = Complex::new(var * corr.rho(d), 0.0);
+                *slot = Complex::new(var * corr.rho(d), 0.0);
             }
-        }
-        fft2d(&mut kernel, p, q)?;
+        });
+        fft2d_with(&mut kernel, p, q, par)?;
         let mut clipped = 0.0;
         let mut total = 0.0;
         let scale = (p * q) as f64;
@@ -328,6 +362,20 @@ impl CirculantFieldSampler {
     /// Draws **two** independent field samples for the price of one pair
     /// of FFTs (real and imaginary parts of the coloured noise).
     pub fn sample_two<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<f64>, Vec<f64>) {
+        // Serial FFT: `sample_two` is typically called from already-parallel
+        // Monte-Carlo workers, where nested spawning would oversubscribe.
+        self.sample_two_with(rng, Parallelism::serial())
+    }
+
+    /// [`CirculantFieldSampler::sample_two`] with an explicit thread budget
+    /// for the colouring FFT. The noise draw itself is sequential on `rng`,
+    /// and the parallel FFT is bit-identical to the serial one, so the
+    /// fields do not depend on the thread count.
+    pub fn sample_two_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        par: Parallelism,
+    ) -> (Vec<f64>, Vec<f64>) {
         let (p, q) = (self.torus_rows, self.torus_cols);
         let mut buf: Vec<Complex> = self
             .sqrt_scaled_eigs
@@ -340,7 +388,7 @@ impl CirculantFieldSampler {
             .collect();
         // Forward unnormalized FFT colours the noise (see derivation in
         // module docs: real/imag parts are independent with covariance c).
-        fft2d(&mut buf, p, q).expect("padded power-of-two dimensions");
+        fft2d_with(&mut buf, p, q, par).expect("padded power-of-two dimensions");
         let (rows, cols) = (self.geometry.rows(), self.geometry.cols());
         let mut a = Vec::with_capacity(rows * cols);
         let mut b = Vec::with_capacity(rows * cols);
@@ -408,6 +456,22 @@ impl PointFieldSampler {
         corr: &C,
         sigma: f64,
     ) -> Result<Self, ProcessError> {
+        PointFieldSampler::new_with(points, corr, sigma, Parallelism::auto())
+    }
+
+    /// [`PointFieldSampler::new`] with an explicit thread budget for the
+    /// O(n²) covariance assembly (whole-row fills, as with
+    /// [`CholeskyFieldSampler::new_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PointFieldSampler::new`].
+    pub fn new_with<C: SpatialCorrelation>(
+        points: Vec<(f64, f64)>,
+        corr: &C,
+        sigma: f64,
+        par: Parallelism,
+    ) -> Result<Self, ProcessError> {
         if points.is_empty() {
             return Err(ProcessError::InvalidParameter {
                 reason: "need at least one point".into(),
@@ -426,15 +490,13 @@ impl PointFieldSampler {
         let n = points.len();
         let var = sigma * sigma;
         let mut cov = Matrix::zeros(n, n);
-        for a in 0..n {
-            for b in a..n {
+        par.for_each_chunk_mut(cov.as_mut_slice(), n, |a, row| {
+            for (b, slot) in row.iter_mut().enumerate() {
                 let dx = points[a].0 - points[b].0;
                 let dy = points[a].1 - points[b].1;
-                let v = var * corr.rho((dx * dx + dy * dy).sqrt());
-                cov[(a, b)] = v;
-                cov[(b, a)] = v;
+                *slot = var * corr.rho((dx * dx + dy * dy).sqrt());
             }
-        }
+        });
         let mut jitter = 0.0;
         let mut attempt = cov.cholesky();
         let mut rel = 1e-12;
@@ -489,10 +551,7 @@ mod tests {
         assert_eq!(g.offset_distance(0, 0), 0.0);
         assert!((g.offset_distance(1, 0) - 1.5).abs() < 1e-15);
         assert!((g.offset_distance(0, 1) - 2.0).abs() < 1e-15);
-        assert_eq!(
-            g.site_distance((0, 0), (3, 4)),
-            g.offset_distance(4, 3)
-        );
+        assert_eq!(g.site_distance((0, 0), (3, 4)), g.offset_distance(4, 3));
     }
 
     #[test]
@@ -568,7 +627,11 @@ mod tests {
         let corr = ExponentialCorrelation::new(15.0).unwrap();
         let s = CirculantFieldSampler::new(g, &corr, 1.5).unwrap();
         // Exponential on a generously padded torus: eigenvalues stay ≥ 0.
-        assert!(s.clipped_fraction() < 1e-12, "clipped {}", s.clipped_fraction());
+        assert!(
+            s.clipped_fraction() < 1e-12,
+            "clipped {}",
+            s.clipped_fraction()
+        );
         // Effective covariance at offsets matches σ²ρ(d).
         let c0 = s.effective_covariance(0, 0);
         assert!((c0 - 2.25).abs() < 1e-9, "c0 {c0}");
@@ -622,6 +685,54 @@ mod tests {
             (va - vb).abs() / va < 0.12,
             "cholesky {va} vs circulant {vb}"
         );
+    }
+
+    #[test]
+    fn samplers_are_bit_identical_across_thread_counts() {
+        let g = GridGeometry::new(6, 9, 4.0, 5.0).unwrap();
+        let corr = ExponentialCorrelation::new(18.0).unwrap();
+
+        let chol_serial =
+            CholeskyFieldSampler::new_with(g, &corr, 1.3, Parallelism::serial()).unwrap();
+        let circ_serial =
+            CirculantFieldSampler::new_with(g, &corr, 1.3, Parallelism::serial()).unwrap();
+        let points: Vec<(f64, f64)> = (0..40)
+            .map(|i| ((i % 8) as f64 * 3.0, (i / 8) as f64 * 4.0))
+            .collect();
+        let point_serial =
+            PointFieldSampler::new_with(points.clone(), &corr, 1.3, Parallelism::serial()).unwrap();
+
+        for threads in [2, 4] {
+            let par = Parallelism::threads(threads);
+            let chol = CholeskyFieldSampler::new_with(g, &corr, 1.3, par).unwrap();
+            let mut r1 = StdRng::seed_from_u64(9);
+            let mut r2 = StdRng::seed_from_u64(9);
+            assert_eq!(
+                chol_serial.sample(&mut r1),
+                chol.sample(&mut r2),
+                "cholesky, threads = {threads}"
+            );
+
+            let circ = CirculantFieldSampler::new_with(g, &corr, 1.3, par).unwrap();
+            let mut r1 = StdRng::seed_from_u64(9);
+            let mut r2 = StdRng::seed_from_u64(9);
+            // Parallel-FFT draw from the parallel-built sampler vs the
+            // fully serial draw.
+            assert_eq!(
+                circ_serial.sample_two(&mut r1),
+                circ.sample_two_with(&mut r2, par),
+                "circulant, threads = {threads}"
+            );
+
+            let point = PointFieldSampler::new_with(points.clone(), &corr, 1.3, par).unwrap();
+            let mut r1 = StdRng::seed_from_u64(9);
+            let mut r2 = StdRng::seed_from_u64(9);
+            assert_eq!(
+                point_serial.sample(&mut r1),
+                point.sample(&mut r2),
+                "points, threads = {threads}"
+            );
+        }
     }
 
     #[test]

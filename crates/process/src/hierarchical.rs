@@ -18,8 +18,8 @@
 //! provides the distance-averaged approximation — and the
 //! `quadtree_ablation` experiment measures what that approximation costs.
 
-use crate::error::ProcessError;
 use crate::correlation::TableCorrelation;
+use crate::error::ProcessError;
 use rand::Rng;
 use rand_distr::{Distribution, StandardNormal};
 use serde::{Deserialize, Serialize};

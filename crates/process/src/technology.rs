@@ -325,8 +325,7 @@ mod tests {
             "relative spread grows with scaling"
         );
         assert!(
-            n65.l_variation().d2d_variance_fraction()
-                < n90.l_variation().d2d_variance_fraction(),
+            n65.l_variation().d2d_variance_fraction() < n90.l_variation().d2d_variance_fraction(),
             "WID share grows with scaling"
         );
         assert!(n65.nmos().vth0 < n90.nmos().vth0, "thresholds drop");

@@ -167,8 +167,7 @@ pub fn gate_current(
     let l_nm = (env.l_nominal + l_delta_nm).max(1.0);
     let v_ch = 0.5 * (v_d + v_s);
     let vgc = v_g - v_ch;
-    let mag =
-        params.gate_j0 * width_um * l_nm * (params.gate_beta * (vgc.abs() - env.vdd)).exp();
+    let mag = params.gate_j0 * width_um * l_nm * (params.gate_beta * (vgc.abs() - env.vdd)).exp();
     mag * (vgc / (2.0 * env.v_thermal)).tanh()
 }
 
@@ -202,7 +201,17 @@ mod tests {
         let e = env();
         // PMOS gate at VDD (off), source at VDD, drain at 0: current flows
         // source→drain, i.e. i_ds < 0 in the drain→source convention.
-        let i = mos_current(MosType::Pmos, &t.pmos(), &e, 1.0, 0.0, 0.0, 0.0, e.vdd, e.vdd);
+        let i = mos_current(
+            MosType::Pmos,
+            &t.pmos(),
+            &e,
+            1.0,
+            0.0,
+            0.0,
+            0.0,
+            e.vdd,
+            e.vdd,
+        );
         assert!(i < 0.0, "pmos leakage flows source→drain, got {i}");
     }
 
@@ -220,7 +229,17 @@ mod tests {
         let t = Technology::cmos90();
         let e = env();
         let nominal = mos_current(MosType::Nmos, &t.nmos(), &e, 1.0, 0.0, 0.0, e.vdd, 0.0, 0.0);
-        let short = mos_current(MosType::Nmos, &t.nmos(), &e, 1.0, -9.0, 0.0, e.vdd, 0.0, 0.0);
+        let short = mos_current(
+            MosType::Nmos,
+            &t.nmos(),
+            &e,
+            1.0,
+            -9.0,
+            0.0,
+            e.vdd,
+            0.0,
+            0.0,
+        );
         let long = mos_current(MosType::Nmos, &t.nmos(), &e, 1.0, 9.0, 0.0, e.vdd, 0.0, 0.0);
         assert!(short > nominal * 1.3, "short {short} vs nominal {nominal}");
         assert!(long < nominal / 1.3, "long {long} vs nominal {nominal}");
@@ -257,17 +276,7 @@ mod tests {
         let t = Technology::cmos90();
         let e = env();
         let i_grounded = mos_current(MosType::Nmos, &t.nmos(), &e, 1.0, 0.0, 0.0, e.vdd, 0.0, 0.0);
-        let i_raised = mos_current(
-            MosType::Nmos,
-            &t.nmos(),
-            &e,
-            1.0,
-            0.0,
-            0.0,
-            e.vdd,
-            0.1,
-            0.1,
-        );
+        let i_raised = mos_current(MosType::Nmos, &t.nmos(), &e, 1.0, 0.0, 0.0, e.vdd, 0.1, 0.1);
         // raising source by 0.1 V (with gate following) still reduces
         // leakage via body effect and reduced vds
         assert!(i_raised < i_grounded, "{i_raised} vs {i_grounded}");
@@ -278,7 +287,17 @@ mod tests {
         let t = Technology::cmos90();
         let e = env();
         let nom = mos_current(MosType::Nmos, &t.nmos(), &e, 1.0, 0.0, 0.0, e.vdd, 0.0, 0.0);
-        let lowvt = mos_current(MosType::Nmos, &t.nmos(), &e, 1.0, 0.0, -0.05, e.vdd, 0.0, 0.0);
+        let lowvt = mos_current(
+            MosType::Nmos,
+            &t.nmos(),
+            &e,
+            1.0,
+            0.0,
+            -0.05,
+            e.vdd,
+            0.0,
+            0.0,
+        );
         let n_vt = t.nmos().n_factor * e.v_thermal;
         let expect = (0.05 / n_vt).exp();
         assert!(
@@ -293,7 +312,17 @@ mod tests {
         let t = Technology::cmos90();
         let e = env();
         // Gate high, small vds: strong conduction.
-        let i = mos_current(MosType::Nmos, &t.nmos(), &e, 1.0, 0.0, 0.0, 0.01, e.vdd, 0.0);
+        let i = mos_current(
+            MosType::Nmos,
+            &t.nmos(),
+            &e,
+            1.0,
+            0.0,
+            0.0,
+            0.01,
+            e.vdd,
+            0.0,
+        );
         assert!(i > 1e-6, "on current should be large, got {i}");
     }
 

@@ -349,10 +349,7 @@ mod tests {
     #[test]
     fn builder_rejects_empty() {
         let b = NetlistBuilder::new("empty", 1);
-        assert!(matches!(
-            b.build(),
-            Err(SimError::InvalidNetlist { .. })
-        ));
+        assert!(matches!(b.build(), Err(SimError::InvalidNetlist { .. })));
     }
 
     #[test]

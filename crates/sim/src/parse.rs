@@ -113,7 +113,10 @@ pub fn parse_cell(text: &str) -> Result<CellNetlist, SimError> {
             }
             ("hint", Some(b)) => {
                 if fields.len() < 3 {
-                    return Err(err(line_no, "expected 'hint <node> frac|follow ...'".into()));
+                    return Err(err(
+                        line_no,
+                        "expected 'hint <node> frac|follow ...'".into(),
+                    ));
                 }
                 let node = resolve(fields[1], &nodes, n_inputs)
                     .ok_or_else(|| err(line_no, format!("unknown node '{}'", fields[1])))?;
@@ -130,9 +133,8 @@ pub fn parse_cell(text: &str) -> Result<CellNetlist, SimError> {
                         let pin = fields
                             .get(3)
                             .ok_or_else(|| err(line_no, "follow needs an input pin".into()))?;
-                        let input = parse_input_index(pin, n_inputs).ok_or_else(|| {
-                            err(line_no, format!("'{pin}' is not an input pin"))
-                        })?;
+                        let input = parse_input_index(pin, n_inputs)
+                            .ok_or_else(|| err(line_no, format!("'{pin}' is not an input pin")))?;
                         let inverted = fields.get(4) == Some(&"inverted");
                         InitHint::FollowInput { input, inverted }
                     }
@@ -204,10 +206,7 @@ hint x   frac 0.05
         for state in 0..4 {
             let a = solver.cell_leakage(&custom, state, 0.0, 0.0).unwrap();
             let b = solver.cell_leakage(&builtin, state, 0.0, 0.0).unwrap();
-            assert!(
-                (a - b).abs() / b < 1e-9,
-                "state {state}: {a} vs {b}"
-            );
+            assert!((a - b).abs() / b < 1e-9, "state {state}: {a} vs {b}");
         }
     }
 
@@ -240,7 +239,10 @@ hint x   frac 0.05
             ("cell c 1\nnode out\nnmos out in9 gnd 0.6\n", "in9"),
             ("cell c 1\nnode out\nnmos out in0 gnd wide\n", "bad width"),
             ("cell c 1\nnode gnd\n", "already defined"),
-            ("cell c 1\nnode out\nzmos out in0 gnd 1.0\n", "unknown statement"),
+            (
+                "cell c 1\nnode out\nzmos out in0 gnd 1.0\n",
+                "unknown statement",
+            ),
             ("cell c 1\nnode out\nhint out maybe 1\n", "unknown hint"),
             ("", "empty netlist"),
         ] {

@@ -567,10 +567,7 @@ mod tests {
         for state in 0..2 {
             let without = base.cell_leakage(&inv, state, 0.0, 0.0).unwrap();
             let with = gl.cell_leakage(&inv, state, 0.0, 0.0).unwrap();
-            assert!(
-                with > without * 1.02,
-                "state {state}: {with} vs {without}"
-            );
+            assert!(with > without * 1.02, "state {state}: {with} vs {without}");
             if state == 1 {
                 // Input high: the wide on-NMOS tunnels hard.
                 assert!(with > without * 1.2, "{with} vs {without}");

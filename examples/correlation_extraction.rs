@@ -6,10 +6,10 @@
 //! cargo run --release --example correlation_extraction
 //! ```
 
+use fullchip_leakage::prelude::*;
 use fullchip_leakage::process::extraction::{
     extract_correlation, CorrelationSample, ExtractionOptions,
 };
-use fullchip_leakage::prelude::*;
 use rand::Rng;
 use rand::SeedableRng;
 
@@ -57,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .n_cells(50_000)
         .die_dimensions(700.0, 700.0)
         .build()?;
-    let with_truth = ChipLeakageEstimator::new(&charlib, &tech, chars.clone(), &truth)?
-        .estimate_linear()?;
+    let with_truth =
+        ChipLeakageEstimator::new(&charlib, &tech, chars.clone(), &truth)?.estimate_linear()?;
     let with_extracted =
         ChipLeakageEstimator::new(&charlib, &tech, chars, &extracted)?.estimate_linear()?;
     println!(

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wid = TentCorrelation::new(150.0)?;
 
     println!("\n--- sweep 1: gate count at fixed 1 mm² die ---");
-    println!("{:>10} {:>14} {:>14} {:>8}", "gates", "mean (A)", "std (A)", "σ/μ");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "gates", "mean (A)", "std (A)", "σ/μ"
+    );
     for n in [10_000usize, 50_000, 100_000, 500_000, 1_000_000] {
         let chars = HighLevelCharacteristics::builder()
             .histogram(hist.clone())
@@ -34,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n--- sweep 2: die area at fixed 100k gates ---");
-    println!("{:>10} {:>14} {:>14} {:>8}", "side (µm)", "mean (A)", "std (A)", "σ/μ");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "side (µm)", "mean (A)", "std (A)", "σ/μ"
+    );
     for side in [500.0, 800.0, 1_200.0, 2_000.0, 4_000.0] {
         let chars = HighLevelCharacteristics::builder()
             .histogram(hist.clone())

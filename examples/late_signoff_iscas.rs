@@ -33,12 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)?.estimate_linear()?;
 
         // ... versus the O(n²) true leakage of this exact placement.
-        let pairwise = PairwiseCovariance::new(
-            &charlib,
-            &placed.support(),
-            0.5,
-            CorrelationPolicy::Exact,
-        )?;
+        let pairwise =
+            PairwiseCovariance::new(&charlib, &placed.support(), 0.5, CorrelationPolicy::Exact)?;
         let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
 
         println!(

@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hist = UsageHistogram::uniform(lib.len())?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let circuit = RandomCircuitGenerator::new(hist.clone()).generate_exact(2_000, &mut rng)?;
-    let placed = place(&circuit, &lib, PlacementStyle::RandomShuffle { seed: 7 }, 0.7)?;
+    let placed = place(
+        &circuit,
+        &lib,
+        PlacementStyle::RandomShuffle { seed: 7 },
+        0.7,
+    )?;
     println!(
         "design: {} gates on a {:.0} x {:.0} µm die",
         placed.n_gates(),
@@ -44,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = sampler.run(4_000, &mut rng);
 
     println!("\n{:>22} {:>14} {:>14}", "", "mean (A)", "std (A)");
-    println!("{:>22} {:>14.4e} {:>14.4e}", "Random Gate (O(n))", est.mean, est.std());
+    println!(
+        "{:>22} {:>14.4e} {:>14.4e}",
+        "Random Gate (O(n))",
+        est.mean,
+        est.std()
+    );
     println!(
         "{:>22} {:>14.4e} {:>14.4e}",
         "Monte-Carlo (4k)",

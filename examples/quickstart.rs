@@ -29,13 +29,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Estimate. The polar O(1) method applies because the correlation
     //    support fits inside the die.
-    let estimator = ChipLeakageEstimator::new(&charlib, &tech, chars, wid)?
-        .with_vt_correction(&tech);
+    let estimator =
+        ChipLeakageEstimator::new(&charlib, &tech, chars, wid)?.with_vt_correction(&tech);
     let polar = estimator.estimate_polar_1d()?;
     let linear = estimator.estimate_linear()?;
 
-    println!("full-chip leakage (O(1) polar):  {:.4e} A ± {:.4e} A", polar.mean, polar.std());
-    println!("full-chip leakage (O(n) linear): {:.4e} A ± {:.4e} A", linear.mean, linear.std());
+    println!(
+        "full-chip leakage (O(1) polar):  {:.4e} A ± {:.4e} A",
+        polar.mean,
+        polar.std()
+    );
+    println!(
+        "full-chip leakage (O(n) linear): {:.4e} A ± {:.4e} A",
+        linear.mean,
+        linear.std()
+    );
     println!("relative spread σ/μ: {:.2}%", polar.relative_std() * 100.0);
     Ok(())
 }

@@ -6,9 +6,7 @@
 //! cargo run --release --example signal_probability
 //! ```
 
-use fullchip_leakage::cells::state::{
-    design_stats_at_probability, max_mean_signal_probability,
-};
+use fullchip_leakage::cells::state::{design_stats_at_probability, max_mean_signal_probability};
 use fullchip_leakage::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // library, to contrast with the design-level curve.
     let mut worst: (String, f64) = (String::new(), 0.0);
     for cell in &charlib.cells {
-        let lo = cell.states.iter().map(|s| s.mean).fold(f64::INFINITY, f64::min);
+        let lo = cell
+            .states
+            .iter()
+            .map(|s| s.mean)
+            .fold(f64::INFINITY, f64::min);
         let hi = cell.states.iter().map(|s| s.mean).fold(0.0, f64::max);
         if hi / lo > worst.1 {
             worst = (cell.name.clone(), hi / lo);
@@ -33,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst.0, worst.1
     );
 
-    println!("\n{:>6} {:>14} {:>14}", "p", "mean/gate (A)", "std/gate (A)");
+    println!(
+        "\n{:>6} {:>14} {:>14}",
+        "p", "mean/gate (A)", "std/gate (A)"
+    );
     let mut lo = f64::INFINITY;
     let mut hi: f64 = 0.0;
     for k in 0..=20 {

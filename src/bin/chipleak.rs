@@ -34,6 +34,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Global flag: `--threads N` caps the worker pool of every parallel
+    // hot path (0 or absent = all hardware threads).
+    if let Some(threads) = opts.get("threads") {
+        if threads.parse::<usize>().is_err() {
+            eprintln!("error: --threads must be a non-negative integer\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        std::env::set_var(fullchip_leakage::core::parallel::THREADS_ENV, threads);
+    }
     let result = match command.as_str() {
         "characterize" => cmd_characterize(&opts),
         "estimate" => cmd_estimate(&opts),
@@ -58,7 +67,10 @@ const USAGE: &str = "usage:
                     [--library FILE.json] [--yield-budget AMPS]
   chipleak estimate-file --placement FILE.txt [--dmax D] [--p P]
                     [--library FILE.json] [--exact true]
-  chipleak iscas85  [--library FILE.json]";
+  chipleak iscas85  [--library FILE.json]
+
+global flags:
+  --threads N   worker threads for the parallel hot paths (0 = all cores)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -98,7 +110,10 @@ fn cmd_characterize(opts: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or(13);
     let tech = Technology::cmos90();
     let lib = CellLibrary::standard_62();
-    eprintln!("characterizing {} cells at {sweep_points} sweep points ...", lib.len());
+    eprintln!(
+        "characterizing {} cells at {sweep_points} sweep points ...",
+        lib.len()
+    );
     let charlib = Characterizer::new(&tech)
         .characterize_library(&lib, CharMethod::Analytical { sweep_points })
         .map_err(|e| e.to_string())?;
@@ -223,8 +238,7 @@ fn cmd_estimate_file(opts: &HashMap<String, String>) -> Result<(), String> {
         placed.width(),
         placed.height()
     );
-    let chars =
-        extract_characteristics(&placed, lib.len(), p).map_err(|e| e.to_string())?;
+    let chars = extract_characteristics(&placed, lib.len(), p).map_err(|e| e.to_string())?;
     let wid = TentCorrelation::new(dmax).map_err(|e| e.to_string())?;
     let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)
         .map_err(|e| e.to_string())?
@@ -234,13 +248,9 @@ fn cmd_estimate_file(opts: &HashMap<String, String>) -> Result<(), String> {
     if opts.get("exact").map(String::as_str) == Some("true") {
         let rho_c = tech.l_variation().d2d_variance_fraction();
         let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
-        let pairwise = PairwiseCovariance::new(
-            &charlib,
-            &placed.support(),
-            p,
-            CorrelationPolicy::Exact,
-        )
-        .map_err(|e| e.to_string())?;
+        let pairwise =
+            PairwiseCovariance::new(&charlib, &placed.support(), p, CorrelationPolicy::Exact)
+                .map_err(|e| e.to_string())?;
         let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
         println!("O(n²) truth:   {:.4e} ± {:.4e} A", truth.mean, truth.std());
         println!(
@@ -262,8 +272,7 @@ fn cmd_iscas85(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     for spec in iscas85::TABLE1_SPECS {
         let placed = iscas85::build(spec, &lib).map_err(|e| e.to_string())?;
-        let chars =
-            extract_characteristics(&placed, lib.len(), 0.5).map_err(|e| e.to_string())?;
+        let chars = extract_characteristics(&placed, lib.len(), 0.5).map_err(|e| e.to_string())?;
         let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)
             .map_err(|e| e.to_string())?
             .estimate_linear()

@@ -100,7 +100,8 @@ pub mod prelude {
     };
     pub use leakage_core::pairwise::PairwiseCovariance;
     pub use leakage_core::{
-        ChipLeakageEstimator, HighLevelCharacteristics, LeakageDistribution, RandomGate,
+        ChipLeakageEstimator, HighLevelCharacteristics, LeakageDistribution, Parallelism,
+        RandomGate,
     };
     pub use leakage_montecarlo::{ChipSampler, ChipSamplerBuilder};
     pub use leakage_netlist::generate::RandomCircuitGenerator;

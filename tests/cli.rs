@@ -23,7 +23,11 @@ fn charlib_path() -> std::path::PathBuf {
             ])
             .output()
             .expect("spawn chipleak");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         path
     })
     .clone()
@@ -89,7 +93,11 @@ fn characterize_then_estimate_roundtrip() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("mean leakage"), "{stdout}");
     assert!(stdout.contains("95% budget"), "{stdout}");
@@ -117,7 +125,11 @@ fn estimate_file_flow_works() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("RG estimate"), "{stdout}");
     assert!(stdout.contains("O(n²) truth"), "{stdout}");

@@ -50,15 +50,84 @@ fn characterization_is_deterministic() {
 
 #[test]
 fn field_samplers_are_seed_deterministic() {
-    use fullchip_leakage::process::field::{
-        CirculantFieldSampler, FieldSampler, GridGeometry,
-    };
+    use fullchip_leakage::process::field::{CirculantFieldSampler, FieldSampler, GridGeometry};
     let grid = GridGeometry::new(6, 6, 3.0, 3.0).expect("grid");
     let corr = TentCorrelation::new(20.0).expect("model");
     let s = CirculantFieldSampler::new(grid, &corr, 1.0).expect("sampler");
     let a = s.sample(&mut rand::rngs::StdRng::seed_from_u64(5));
     let b = s.sample(&mut rand::rngs::StdRng::seed_from_u64(5));
     assert_eq!(a, b);
+}
+
+/// Builds a small placed design plus the pairwise table used by the
+/// thread-count invariance tests below.
+fn placed_design(
+    n: usize,
+) -> (
+    PlacedCircuit,
+    fullchip_leakage::cells::model::CharacterizedLibrary,
+    Technology,
+) {
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    let charlib = Characterizer::new(&tech)
+        .characterize_library(&lib, CharMethod::Analytical { sweep_points: 7 })
+        .expect("charax");
+    let hist = UsageHistogram::uniform(lib.len()).expect("hist");
+    let circuit = RandomCircuitGenerator::new(hist)
+        .generate_exact(n, &mut rand::rngs::StdRng::seed_from_u64(n as u64))
+        .expect("gen");
+    let placed = place(&circuit, &lib, PlacementStyle::RowMajor, 0.7).expect("place");
+    (placed, charlib, tech)
+}
+
+#[test]
+fn exact_estimator_is_identical_for_any_thread_count() {
+    use fullchip_leakage::core::estimator::exact_placed_stats_with;
+    let (placed, charlib, tech) = placed_design(600);
+    let wid = TentCorrelation::new(50.0).expect("model");
+    let rho_c = tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let pairwise =
+        PairwiseCovariance::new(&charlib, &placed.support(), 0.5, CorrelationPolicy::Exact)
+            .expect("pairwise");
+    let serial =
+        exact_placed_stats_with(placed.gates(), &pairwise, &rho_total, Parallelism::serial());
+    for par in [
+        Parallelism::threads(2),
+        Parallelism::auto(), // max (or CHIPLEAK_THREADS when set)
+    ] {
+        let parallel = exact_placed_stats_with(placed.gates(), &pairwise, &rho_total, par);
+        assert_eq!(
+            serial.mean.to_bits(),
+            parallel.mean.to_bits(),
+            "mean, {} threads",
+            par.thread_count()
+        );
+        assert_eq!(
+            serial.variance.to_bits(),
+            parallel.variance.to_bits(),
+            "variance, {} threads",
+            par.thread_count()
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_run_is_identical_for_any_thread_count() {
+    let (placed, charlib, tech) = placed_design(300);
+    let wid = TentCorrelation::new(50.0).expect("model");
+    let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+        .build()
+        .expect("sampler");
+    let serial = sampler.run_seeded_with(301, 99, Parallelism::serial());
+    assert_eq!(serial.count(), 301);
+    for par in [Parallelism::threads(2), Parallelism::auto()] {
+        let parallel = sampler.run_seeded_with(301, 99, par);
+        assert_eq!(serial, parallel, "{} threads", par.thread_count());
+    }
+    // And a different seed must actually change the statistics.
+    assert_ne!(serial, sampler.run_seeded(301, 100));
 }
 
 #[test]

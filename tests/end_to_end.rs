@@ -89,9 +89,16 @@ fn three_estimators_agree_on_large_design() {
     let i2d = est.estimate_integral_2d().expect("2d");
     let p1d = est.estimate_polar_1d().expect("polar");
     let rel = |a: f64, b: f64| (a / b - 1.0).abs();
-    assert!(rel(i2d.std(), lin.std()) < 0.01, "2d vs linear: {}", rel(i2d.std(), lin.std()));
+    assert!(
+        rel(i2d.std(), lin.std()) < 0.01,
+        "2d vs linear: {}",
+        rel(i2d.std(), lin.std())
+    );
     assert!(rel(p1d.std(), lin.std()) < 0.01, "polar vs linear");
-    assert!(rel(p1d.std(), i2d.std()) < 1e-4, "polar vs 2d (same continuum limit)");
+    assert!(
+        rel(p1d.std(), i2d.std()) < 1e-4,
+        "polar vs 2d (same continuum limit)"
+    );
     assert_eq!(lin.mean, i2d.mean);
 }
 
@@ -227,18 +234,12 @@ fn late_mode_facade_matches_manual_flow() {
         .generate_exact(300, &mut rng)
         .expect("gen");
     let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
-    let facade = fullchip_leakage::late_mode_estimator(
-        &ctx.charlib,
-        &ctx.tech,
-        &placed,
-        wid(),
-        0.5,
-    )
-    .expect("facade")
-    .estimate_linear()
-    .expect("estimate");
-    let manual_chars =
-        extract_characteristics(&placed, ctx.lib.len(), 0.5).expect("extract");
+    let facade =
+        fullchip_leakage::late_mode_estimator(&ctx.charlib, &ctx.tech, &placed, wid(), 0.5)
+            .expect("facade")
+            .estimate_linear()
+            .expect("estimate");
+    let manual_chars = extract_characteristics(&placed, ctx.lib.len(), 0.5).expect("extract");
     let manual = ChipLeakageEstimator::new(&ctx.charlib, &ctx.tech, manual_chars, wid())
         .expect("estimator")
         .estimate_linear()

@@ -2,12 +2,8 @@
 //! behind each figure/table binary is exercised in the ordinary test
 //! suite (the full binaries live in `leakage-bench`).
 
-use fullchip_leakage::cells::corrmap::{
-    state_leakage_correlation, CorrelationPolicy,
-};
-use fullchip_leakage::cells::state::{
-    design_stats_at_probability, max_mean_signal_probability,
-};
+use fullchip_leakage::cells::corrmap::{state_leakage_correlation, CorrelationPolicy};
+use fullchip_leakage::cells::state::{design_stats_at_probability, max_mean_signal_probability};
 use fullchip_leakage::core::estimator::{integral_2d_variance, linear_time_variance};
 use fullchip_leakage::core::LeakageDistribution;
 use fullchip_leakage::montecarlo::pair::pair_leakage_correlation_mc;
@@ -62,15 +58,22 @@ fn e2_corr_map_smoke() {
     let b = ctx.lib.cell_by_name("nand2_x1").expect("cell");
     let curve_a = charax.tabulate_state(a.netlist(), 0, 41).expect("curve");
     let curve_b = charax.tabulate_state(b.netlist(), 0, 41).expect("curve");
-    let ta = ctx.charlib.cell(a.id()).unwrap().states[0].triplet.expect("triplet");
-    let tb = ctx.charlib.cell(b.id()).unwrap().states[0].triplet.expect("triplet");
+    let ta = ctx.charlib.cell(a.id()).unwrap().states[0]
+        .triplet
+        .expect("triplet");
+    let tb = ctx.charlib.cell(b.id()).unwrap().states[0]
+        .triplet
+        .expect("triplet");
     let sigma = ctx.charlib.l_sigma;
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE2);
     for rho in [0.3, 0.7] {
         let analytic = state_leakage_correlation(&ta, &tb, sigma, rho).expect("map");
         let mc = pair_leakage_correlation_mc(&curve_a, &curve_b, sigma, rho, 30_000, &mut rng)
             .expect("mc");
-        assert!((analytic - mc).abs() < 0.03, "rho {rho}: {analytic} vs {mc}");
+        assert!(
+            (analytic - mc).abs() < 0.03,
+            "rho {rho}: {analytic} vs {mc}"
+        );
         assert!((analytic - rho).abs() < 0.05, "near identity at {rho}");
     }
 }
@@ -93,7 +96,10 @@ fn e3_signal_probability_smoke() {
         .iter()
         .map(|c| c.state_spread())
         .fold(0.0_f64, f64::max);
-    assert!(leakiest_spread > 5.0, "single-gate spread {leakiest_spread}");
+    assert!(
+        leakiest_spread > 5.0,
+        "single-gate spread {leakiest_spread}"
+    );
 }
 
 /// E4 in miniature: one random design's true stats near the RG estimate.
@@ -160,8 +166,8 @@ fn e7_integration_error_smoke() {
     let rho_total = |d: f64| wid.rho(d);
     let mut errs = Vec::new();
     for side in [12usize, 48] {
-        let grid = GridGeometry::new(side, side, 180.0 / side as f64, 180.0 / side as f64)
-            .expect("grid");
+        let grid =
+            GridGeometry::new(side, side, 180.0 / side as f64, 180.0 / side as f64).expect("grid");
         let lin = linear_time_variance(&rg, &grid, &rho_total);
         let int = integral_2d_variance(
             &rg,

@@ -17,11 +17,7 @@ use proptest::prelude::*;
 /// Realistic triplet parameter ranges (see the characterized library:
 /// |b| ≈ 0.03–0.09 per nm, c small and positive).
 fn triplet_strategy() -> impl Strategy<Value = LeakageTriplet> {
-    (
-        1e-10_f64..1e-8,
-        -0.09_f64..-0.02,
-        1e-5_f64..2e-3,
-    )
+    (1e-10_f64..1e-8, -0.09_f64..-0.02, 1e-5_f64..2e-3)
         .prop_map(|(a, b, c)| LeakageTriplet::new(a, b, c).expect("valid triplet"))
 }
 
