@@ -70,6 +70,7 @@ impl UsageHistogram {
             cumulative.push(acc);
         }
         // Guard against rounding: the last entry must be exactly 1.
+        // chipleak-lint: allow(l5): probs is validated non-empty at fn entry
         *cumulative.last_mut().expect("non-empty") = 1.0;
         Ok(UsageHistogram { probs, cumulative })
     }

@@ -10,7 +10,12 @@
 
 use leakage_sim::netlist::{input_node, CellNetlist, InitHint, NetlistBuilder, NodeId, GND, VDD};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+// The 62 builder functions below assemble fixed, compile-time cell
+// topologies; `build()` can only fail on a malformed netlist, which the
+// exhaustive library tests (every cell, every input state) would catch.
+// chipleak-lint: allow-file(no-unwrap-in-library): static cmos90 netlists, exhaustively exercised by this file's tests
 
 /// Index of a cell within its [`CellLibrary`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -119,7 +124,7 @@ impl Cell {
 #[derive(Debug, Clone)]
 pub struct CellLibrary {
     cells: Vec<Cell>,
-    by_name: HashMap<String, CellId>,
+    by_name: BTreeMap<String, CellId>,
 }
 
 /// Base NMOS width (µm) at drive 1.
@@ -225,7 +230,7 @@ impl CellLibrary {
 #[derive(Default)]
 struct LibraryBuilder {
     cells: Vec<Cell>,
-    by_name: HashMap<String, CellId>,
+    by_name: BTreeMap<String, CellId>,
 }
 
 impl LibraryBuilder {

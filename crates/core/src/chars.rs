@@ -161,6 +161,7 @@ impl HighLevelCharacteristicsBuilder {
         let width = self.width.ok_or_else(|| CoreError::InvalidArgument {
             reason: "die dimensions are required".into(),
         })?;
+        // chipleak-lint: allow(l5): with_die_size is the only setter and assigns both fields
         let height = self.height.expect("width and height are set together");
         if !(width > 0.0) || !(height > 0.0) || !width.is_finite() || !height.is_finite() {
             return Err(CoreError::InvalidArgument {
@@ -188,6 +189,7 @@ impl HighLevelCharacteristicsBuilder {
 impl Default for HighLevelCharacteristics {
     fn default() -> Self {
         HighLevelCharacteristics {
+            // chipleak-lint: allow(l5): uniform(1) is infallible for a positive length
             histogram: UsageHistogram::uniform(1).expect("non-empty"),
             n_cells: 1,
             width: 1.0,

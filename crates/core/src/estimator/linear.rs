@@ -6,6 +6,7 @@
 //! (Eq. 16). The transformation is exact — no approximation is involved.
 
 use crate::random_gate::RandomGate;
+use leakage_numeric::stats::KahanSum;
 use leakage_process::field::GridGeometry;
 
 /// Computes the full-chip leakage variance by the exact O(n) multiplicity
@@ -24,7 +25,8 @@ pub fn linear_time_variance<R: Fn(f64) -> f64>(
     let k = grid.rows();
     let n = grid.n_sites() as f64;
     // Same-site term.
-    let mut var = n * rg.variance();
+    let mut var = KahanSum::new();
+    var.add(n * rg.variance());
     // Distinct-site offsets: use symmetry (±i, ±j give the same distance);
     // multiplicity 2 per non-zero axis sign.
     for i in 0..m {
@@ -37,10 +39,10 @@ pub fn linear_time_variance<R: Fn(f64) -> f64>(
                 * if i > 0 { 2.0 } else { 1.0 }
                 * if j > 0 { 2.0 } else { 1.0 };
             let d = grid.offset_distance(i as i64, j as i64);
-            var += mult * rg.covariance(rho_total(d));
+            var.add(mult * rg.covariance(rho_total(d)));
         }
     }
-    var
+    var.sum()
 }
 
 /// Brute-force O(n²) lattice sum of the same quantity, for validating the
@@ -52,20 +54,20 @@ pub fn quadratic_lattice_variance<R: Fn(f64) -> f64>(
 ) -> f64 {
     let m = grid.cols();
     let k = grid.rows();
-    let mut var = 0.0;
+    let mut var = KahanSum::new();
     for a in 0..(k * m) {
         let (ra, ca) = (a / m, a % m);
         for b in 0..(k * m) {
             let (rb, cb) = (b / m, b % m);
             if a == b {
-                var += rg.variance();
+                var.add(rg.variance());
             } else {
                 let d = grid.site_distance((ra, ca), (rb, cb));
-                var += rg.covariance(rho_total(d));
+                var.add(rg.covariance(rho_total(d)));
             }
         }
     }
-    var
+    var.sum()
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use leakage_cells::library::CellId;
 use leakage_cells::model::CharacterizedLibrary;
 use leakage_cells::state::state_probabilities;
 use leakage_numeric::interp::LinearInterp;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Number of `ρ_L` knots per pair table.
 const PAIR_KNOTS: usize = 33;
@@ -24,11 +24,14 @@ const PAIR_KNOTS: usize = 33;
 #[derive(Debug, Clone)]
 pub struct PairwiseCovariance {
     /// Mixture mean per cell id (0 outside the support).
-    means: HashMap<CellId, f64>,
+    ///
+    /// Ordered maps keep iteration (and `Debug` output) independent of
+    /// insertion order and the process hash seed.
+    means: BTreeMap<CellId, f64>,
     /// Mixture std per cell id.
-    stds: HashMap<CellId, f64>,
+    stds: BTreeMap<CellId, f64>,
     /// Covariance tables per unordered type pair.
-    tables: HashMap<(CellId, CellId), LinearInterp>,
+    tables: BTreeMap<(CellId, CellId), LinearInterp>,
     policy: CorrelationPolicy,
 }
 
@@ -51,9 +54,10 @@ impl PairwiseCovariance {
                 reason: "support must contain at least one cell type".into(),
             });
         }
-        let mut means = HashMap::new();
-        let mut stds = HashMap::new();
-        let mut probs_by_id: HashMap<CellId, Vec<f64>> = HashMap::new();
+        let mut means = BTreeMap::new();
+        let mut stds = BTreeMap::new();
+        let mut cells_by_id = BTreeMap::new();
+        let mut probs_by_id: BTreeMap<CellId, Vec<f64>> = BTreeMap::new();
         for id in support {
             let cell = charlib
                 .cell(*id)
@@ -64,17 +68,18 @@ impl PairwiseCovariance {
             let (m, s) = cell.mixture_stats(&probs)?;
             means.insert(*id, m);
             stds.insert(*id, s);
+            cells_by_id.insert(*id, cell);
             probs_by_id.insert(*id, probs);
         }
-        let mut tables = HashMap::new();
+        let mut tables = BTreeMap::new();
         for (i, m) in support.iter().enumerate() {
             for n in &support[i..] {
                 let key = if m.0 <= n.0 { (*m, *n) } else { (*n, *m) };
                 if tables.contains_key(&key) {
                     continue;
                 }
-                let cm = charlib.cell(key.0).expect("validated above");
-                let cn = charlib.cell(key.1).expect("validated above");
+                let cm = cells_by_id[&key.0];
+                let cn = cells_by_id[&key.1];
                 let pm = &probs_by_id[&key.0];
                 let pn = &probs_by_id[&key.1];
                 let mut knots = Vec::with_capacity(PAIR_KNOTS);
@@ -131,11 +136,9 @@ impl PairwiseCovariance {
         self.policy
     }
 
-    /// Types in the support.
+    /// Types in the support, in ascending id order.
     pub fn support(&self) -> Vec<CellId> {
-        let mut ids: Vec<CellId> = self.means.keys().copied().collect();
-        ids.sort();
-        ids
+        self.means.keys().copied().collect()
     }
 }
 
@@ -214,6 +217,29 @@ mod tests {
         assert!(
             PairwiseCovariance::new(&lib, &[CellId(7)], 0.5, CorrelationPolicy::Exact).is_err()
         );
+    }
+
+    #[test]
+    fn stats_are_bit_identical_across_support_insertion_orders() {
+        let lib = charlib();
+        let fwd =
+            PairwiseCovariance::new(&lib, &[CellId(0), CellId(1)], 0.5, CorrelationPolicy::Exact)
+                .unwrap();
+        let rev =
+            PairwiseCovariance::new(&lib, &[CellId(1), CellId(0)], 0.5, CorrelationPolicy::Exact)
+                .unwrap();
+        assert_eq!(fwd.support(), rev.support());
+        for id in fwd.support() {
+            assert_eq!(fwd.mean(id).to_bits(), rev.mean(id).to_bits());
+            assert_eq!(fwd.std(id).to_bits(), rev.std(id).to_bits());
+        }
+        for rho in [0.0, 0.25, 0.5, 0.99] {
+            for (m, n) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                let a = fwd.covariance(CellId(m), CellId(n), rho);
+                let b = rev.covariance(CellId(m), CellId(n), rho);
+                assert_eq!(a.to_bits(), b.to_bits(), "pair ({m},{n}) at rho={rho}");
+            }
+        }
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl RandomCircuitGenerator {
             assigned += floor;
             remainders.push((i, exactly - floor as f64));
         }
-        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (i, _) in remainders.iter().take(n - assigned) {
             counts[*i] += 1;
         }

@@ -156,7 +156,7 @@ fn transform(data: &mut [Complex], inverse: bool) -> Result<(), NumericError> {
 ///
 /// Returns [`NumericError::InvalidArgument`] on bad dimensions.
 pub fn fft2d(data: &mut [Complex], rows: usize, cols: usize) -> Result<(), NumericError> {
-    transform2d(data, rows, cols, false, Parallelism::serial())
+    fft2d_with(data, rows, cols, Parallelism::serial())
 }
 
 /// In-place inverse 2-D FFT (normalized by `1/(rows·cols)`).
@@ -165,9 +165,7 @@ pub fn fft2d(data: &mut [Complex], rows: usize, cols: usize) -> Result<(), Numer
 ///
 /// Returns [`NumericError::InvalidArgument`] on bad dimensions.
 pub fn ifft2d(data: &mut [Complex], rows: usize, cols: usize) -> Result<(), NumericError> {
-    transform2d(data, rows, cols, true, Parallelism::serial())?;
-    scale_inverse(data, rows, cols);
-    Ok(())
+    ifft2d_with(data, rows, cols, Parallelism::serial())
 }
 
 /// [`fft2d`] with an explicit thread budget. Row transforms run on disjoint
@@ -248,6 +246,7 @@ fn transform2d(
     // Rows: disjoint `cols`-length slices, validated above so the inner
     // transform cannot fail.
     par.for_each_chunk_mut(data, cols, |_, row| {
+        // chipleak-lint: allow(l5): dimensions validated as powers of two at fn entry
         transform(row, inverse).expect("row length validated as power of two");
     });
     // Columns: transpose, transform the transposed rows, transpose back.
@@ -260,6 +259,7 @@ fn transform2d(
         }
     }
     par.for_each_chunk_mut(&mut t, rows, |_, col| {
+        // chipleak-lint: allow(l5): dimensions validated as powers of two at fn entry
         transform(col, inverse).expect("column length validated as power of two");
     });
     for r in 0..rows {

@@ -31,6 +31,7 @@
 //! assert_eq!(partials.iter().sum::<u64>(), (0..100u64).map(|i| i * i).sum());
 //! ```
 
+#[cfg(feature = "parallel")]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable consulted by [`Parallelism::auto`] (`0` = auto).
@@ -115,40 +116,51 @@ impl Parallelism {
         if workers <= 1 {
             return (0..n_chunks).map(f).collect();
         }
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
-        let collected = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n_chunks {
-                                break;
-                            }
-                            local.push((i, f(i)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            let mut all = Vec::with_capacity(n_chunks);
-            for h in handles {
-                match h.join() {
-                    Ok(local) => all.extend(local),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-            all
-        });
-        for (i, v) in collected {
-            slots[i] = Some(v);
+        #[cfg(not(feature = "parallel"))]
+        {
+            // Unreachable in practice: every constructor clamps the budget
+            // to 1 without the feature. Kept so serial builds compile
+            // without ever referencing std::thread.
+            return (0..n_chunks).map(f).collect();
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every chunk index claimed exactly once"))
-            .collect()
+        #[cfg(feature = "parallel")]
+        {
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+            let collected = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n_chunks {
+                                    break;
+                                }
+                                local.push((i, f(i)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::with_capacity(n_chunks);
+                for h in handles {
+                    match h.join() {
+                        Ok(local) => all.extend(local),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                all
+            });
+            for (i, v) in collected {
+                slots[i] = Some(v);
+            }
+            return slots
+                .into_iter()
+                // chipleak-lint: allow(no-unwrap-in-library): the atomic counter hands out every index in 0..n_chunks exactly once
+                .map(|s| s.expect("every chunk index claimed exactly once"))
+                .collect();
+        }
     }
 
     /// Splits `data` into consecutive chunks of `chunk_len` elements (the
@@ -176,27 +188,31 @@ impl Parallelism {
             }
             return;
         }
-        let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            buckets[i % workers].push((i, chunk));
-        }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|bucket| {
-                    scope.spawn(|| {
-                        for (i, chunk) in bucket {
-                            f(i, chunk);
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
-                }
+        #[cfg(feature = "parallel")]
+        {
+            let mut buckets: Vec<Vec<(usize, &mut [T])>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                buckets[i % workers].push((i, chunk));
             }
-        });
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(|| {
+                            for (i, chunk) in bucket {
+                                f(i, chunk);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+        }
     }
 }
 

@@ -184,7 +184,7 @@ pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
     } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
+        kahan_sum(xs) / xs.len() as f64
     }
 }
 
@@ -194,7 +194,11 @@ pub fn sample_variance(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+    let mut acc = KahanSum::new();
+    for x in xs {
+        acc.add((x - m) * (x - m));
+    }
+    acc.sum() / (xs.len() - 1) as f64
 }
 
 /// Unbiased sample standard deviation of a slice.
@@ -216,16 +220,17 @@ pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
+    let mut sxy = KahanSum::new();
+    let mut sxx = KahanSum::new();
+    let mut syy = KahanSum::new();
     for (x, y) in xs.iter().zip(ys) {
         let dx = x - mx;
         let dy = y - my;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
+        sxy.add(dx * dy);
+        sxx.add(dx * dx);
+        syy.add(dy * dy);
     }
+    let (sxy, sxx, syy) = (sxy.sum(), sxx.sum(), syy.sum());
     if sxx <= 0.0 || syy <= 0.0 {
         return 0.0;
     }
@@ -241,7 +246,9 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    // total_cmp orders NaN deterministically (to the end) instead of
+    // panicking mid-sort on exotic input.
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

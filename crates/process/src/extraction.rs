@@ -110,7 +110,7 @@ pub fn extract_correlation(
         .iter()
         .map(|s| (s.distance, s.correlation.clamp(-1.0, 1.0), s.count as f64))
         .collect();
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut merged: Vec<(f64, f64, f64)> = Vec::with_capacity(pts.len());
     for (d, r, w) in pts {
         match merged.last_mut() {

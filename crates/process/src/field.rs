@@ -388,6 +388,7 @@ impl CirculantFieldSampler {
             .collect();
         // Forward unnormalized FFT colours the noise (see derivation in
         // module docs: real/imag parts are independent with covariance c).
+        // chipleak-lint: allow(l5): torus dims are next_power_of_two by construction
         fft2d_with(&mut buf, p, q, par).expect("padded power-of-two dimensions");
         let (rows, cols) = (self.geometry.rows(), self.geometry.cols());
         let mut a = Vec::with_capacity(rows * cols);
@@ -412,6 +413,7 @@ impl CirculantFieldSampler {
             .iter()
             .map(|&s| Complex::new(s * s * (p * q) as f64, 0.0))
             .collect();
+        // chipleak-lint: allow(l5): torus dims are next_power_of_two by construction
         ifft2d(&mut eigs, p, q).expect("padded power-of-two dimensions");
         eigs[(dr % p) * q + (dc % q)].re
     }

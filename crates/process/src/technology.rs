@@ -79,6 +79,7 @@ impl Technology {
             vdd: 1.2,
             temperature: 300.0,
             l_variation: ParameterVariation::new(90.0, 3.2, 3.2)
+                // chipleak-lint: allow(l5): compile-time constants satisfy the validator
                 .expect("static parameters are valid"),
             vt_sigma: 0.020,
             nmos: DeviceParams {
@@ -115,6 +116,7 @@ impl Technology {
             temperature: 300.0,
             // σ_L/L ≈ 6 %, with WID the larger share at this node.
             l_variation: ParameterVariation::new(65.0, 2.3, 3.2)
+                // chipleak-lint: allow(l5): compile-time constants satisfy the validator
                 .expect("static parameters are valid"),
             vt_sigma: 0.028,
             nmos: DeviceParams {

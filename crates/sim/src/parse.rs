@@ -252,6 +252,28 @@ hint x   frac 0.05
     }
 
     #[test]
+    fn truncated_netlists_error_without_panicking() {
+        // A netlist cut off mid-stream (lost tail of a file, interrupted
+        // pipe) must surface a typed SimError, never a panic.
+        let lines: Vec<&str> = NAND2.lines().collect();
+        for n in 0..lines.len() {
+            let prefix = lines[..n].join("\n");
+            let res = parse_cell(&prefix);
+            if n <= 4 {
+                // Comment, header, and node declarations alone carry no
+                // devices yet — structurally incomplete.
+                assert!(res.is_err(), "{n}-line prefix should be rejected: {res:?}");
+            }
+        }
+        // Byte-level truncation (mid-token cuts) must also never panic.
+        for cut in 0..NAND2.len() {
+            if NAND2.is_char_boundary(cut) {
+                let _ = parse_cell(&NAND2[..cut]);
+            }
+        }
+    }
+
+    #[test]
     fn structural_validation_still_applies() {
         // Builder rejects a deviceless cell even if the syntax is fine.
         let text = "cell empty 1\nnode out\n";

@@ -1,0 +1,336 @@
+//! Diagnostic engine: rule registry, suppression handling, and rendering.
+
+use crate::source::SourceFile;
+use std::fmt::Write as _;
+
+/// Diagnostic severity. Only [`Severity::Error`] fails the lint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory (unused suppressions and similar hygiene findings).
+    Warning,
+    /// Invariant violation; fails `cargo xtask lint`.
+    Error,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (kebab-case), e.g. `no-ambient-entropy`.
+    pub rule: &'static str,
+    /// Short rule code, e.g. `L2`.
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong, specifically.
+    pub message: String,
+    /// How to fix (or legitimately suppress) it.
+    pub help: String,
+}
+
+/// Per-crate facts rules may consult.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Workspace-relative crate root (`""` for the root package).
+    pub rel_root: String,
+    /// Whether the crate manifest declares a `parallel` feature.
+    pub has_parallel_feature: bool,
+}
+
+/// Workspace-level context shared by all rules.
+#[derive(Debug, Default)]
+pub struct Context {
+    /// Crates of the workspace.
+    pub crates: Vec<CrateInfo>,
+}
+
+impl Context {
+    /// `true` when `rel` lives in a crate with a `parallel` feature.
+    pub fn in_parallel_crate(&self, rel: &str) -> bool {
+        self.crates.iter().any(|c| {
+            if c.rel_root.is_empty() {
+                // Root package owns `src/**` only.
+                c.has_parallel_feature && rel.starts_with("src/")
+            } else {
+                c.has_parallel_feature && rel.starts_with(&format!("{}/", c.rel_root))
+            }
+        })
+    }
+}
+
+/// A lint rule: inspects one file at a time and reports diagnostics.
+pub trait Rule {
+    /// Kebab-case id used in suppression comments and output.
+    fn id(&self) -> &'static str;
+    /// Short code (`L1`..`L5`), also accepted in suppressions.
+    fn code(&self) -> &'static str;
+    /// One-line description for `cargo xtask rules`.
+    fn description(&self) -> &'static str;
+    /// Runs the rule over one file.
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>);
+}
+
+/// Runs `rules` over `files`, applies suppressions, and returns the
+/// surviving diagnostics sorted by position.
+pub fn run(rules: &[Box<dyn Rule>], files: &[SourceFile], ctx: &Context) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for file in files {
+        for rule in rules {
+            rule.check_file(file, ctx, &mut raw);
+        }
+    }
+    apply_suppressions(files, raw)
+}
+
+/// Suppression matching: a directive covers a diagnostic of a named rule
+/// when it is file-scoped, on the same line, or on the line directly
+/// above. Directives must carry a justification (`: <why>`); unjustified
+/// or unused directives are themselves reported.
+fn apply_suppressions(files: &[SourceFile], raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut used = vec![Vec::new(); files.len()];
+    for (fi, file) in files.iter().enumerate() {
+        used[fi] = vec![false; file.suppressions.len()];
+    }
+    for d in raw {
+        let Some(fi) = files.iter().position(|f| f.rel == d.file) else {
+            out.push(d);
+            continue;
+        };
+        let file = &files[fi];
+        let mut suppressed = false;
+        for (si, s) in file.suppressions.iter().enumerate() {
+            if !s.covers(d.rule, d.code) {
+                continue;
+            }
+            if !(s.file_scope || s.line == d.line || s.line + 1 == d.line) {
+                continue;
+            }
+            if s.reason.is_empty() {
+                continue; // rejected below as unjustified
+            }
+            used[fi][si] = true;
+            suppressed = true;
+            break;
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (fi, file) in files.iter().enumerate() {
+        for (si, s) in file.suppressions.iter().enumerate() {
+            if s.reason.is_empty() {
+                out.push(Diagnostic {
+                    rule: "lint-suppression",
+                    code: "L0",
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!(
+                        "suppression of `{}` has no justification",
+                        s.rules.join(", ")
+                    ),
+                    help: "append `: <why this is sound>` after the closing paren".into(),
+                });
+            } else if !used[fi][si] {
+                out.push(Diagnostic {
+                    rule: "lint-suppression",
+                    code: "L0",
+                    severity: Severity::Warning,
+                    file: file.rel.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!(
+                        "unused suppression of `{}` — nothing fires here",
+                        s.rules.join(", ")
+                    ),
+                    help: "delete the stale directive".into(),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    out
+}
+
+/// Renders diagnostics in the familiar `file:line:col` compiler style.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        let _ = writeln!(
+            s,
+            "{}:{}:{}: {}[{}/{}]: {}",
+            d.file,
+            d.line,
+            d.col,
+            d.severity.as_str(),
+            d.code,
+            d.rule,
+            d.message
+        );
+        if !d.help.is_empty() {
+            let _ = writeln!(s, "    = help: {}", d.help);
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let _ = writeln!(s, "chipleak-lint: {errors} error(s), {warnings} warning(s)");
+    s
+}
+
+/// Renders diagnostics as a JSON array (stable field order, no deps).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"rule\":{},\"code\":{},\"severity\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
+            json_str(d.rule),
+            json_str(d.code),
+            json_str(d.severity.as_str()),
+            json_str(&d.file),
+            d.line,
+            d.col,
+            json_str(&d.message),
+            json_str(&d.help),
+        );
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    struct FakeRule;
+    impl Rule for FakeRule {
+        fn id(&self) -> &'static str {
+            "fake-rule"
+        }
+        fn code(&self) -> &'static str {
+            "L9"
+        }
+        fn description(&self) -> &'static str {
+            "fires on the ident `bad`"
+        }
+        fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+            for t in &file.tokens {
+                if t.is_ident("bad") {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        code: self.code(),
+                        severity: Severity::Error,
+                        file: file.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: "found `bad`".into(),
+                        help: String::new(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn run_fake(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), src.into(), FileKind::Library);
+        run(&[Box::new(FakeRule)], &[f], &Context::default())
+    }
+
+    #[test]
+    fn fires_and_sorts() {
+        let diags = run_fake("fn f() { bad(); }\nfn g() { bad(); }\n");
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].line < diags[1].line);
+    }
+
+    #[test]
+    fn same_line_suppression() {
+        let diags = run_fake("fn f() { bad(); } // chipleak-lint: allow(l9): test fixture\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn previous_line_suppression_by_id() {
+        let diags =
+            run_fake("// chipleak-lint: allow(fake-rule): justified here\nfn f() { bad(); }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn file_scope_suppression_covers_everything() {
+        let diags = run_fake(
+            "// chipleak-lint: allow-file(l9): fixture-wide\nfn f() { bad(); }\nfn g() { bad(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unjustified_suppression_rejected() {
+        let diags = run_fake("fn f() { bad(); } // chipleak-lint: allow(l9)\n");
+        assert_eq!(diags.len(), 2); // original + L0
+        assert!(diags.iter().any(|d| d.rule == "lint-suppression"));
+    }
+
+    #[test]
+    fn unused_suppression_warns() {
+        let diags = run_fake("// chipleak-lint: allow(l9): nothing here\nfn f() { ok(); }\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn human_rendering_has_summary() {
+        let out = render_human(&[]);
+        assert!(out.contains("0 error(s)"));
+    }
+}

@@ -1,0 +1,484 @@
+//! A small Rust lexer: code tokens with line/column spans, plus the
+//! comment stream (comments carry the suppression directives).
+//!
+//! Handles the full literal grammar the rules can encounter — nested block
+//! comments, string/raw-string/byte-string/char literals, lifetimes,
+//! numbers with exponents and suffixes — so that rule patterns never match
+//! inside text. Doc comments (and therefore doctest code) land in the
+//! comment stream, which automatically exempts examples from code rules.
+
+/// Kind of a code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (compound operators arrive as
+    /// consecutive tokens: `+=` is `+` then `=`).
+    Punct,
+    /// Any literal: number, string, char, byte string.
+    Literal,
+    /// A lifetime such as `'a` (label or bound).
+    Lifetime,
+}
+
+/// One code token with its source position (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// One comment (line or block) with its position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without the `//`/`/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based line where the comment ends (same as `line` for `//`).
+    pub end_line: u32,
+    /// `true` when only whitespace precedes the comment on its line.
+    pub own_line: bool,
+    /// `true` for doc comments (`///`, `//!`, `/** */`, `/*! */`).
+    pub doc: bool,
+}
+
+/// Lexer output: the code token stream and the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text. Never fails: unknown bytes become punctuation.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    i: usize,
+    line: u32,
+    col: u32,
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            i: 0,
+            line: 1,
+            col: 1,
+            line_has_code: false,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_code = false;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, col),
+                'r' if matches!(self.peek(1), Some('"') | Some('#'))
+                    && self.raw_string_ahead(1) =>
+                {
+                    self.raw_string(line, col)
+                }
+                'b' if self.peek(1) == Some('"') => self.string_prefixed(line, col),
+                'b' if self.peek(1) == Some('\'') => self.char_prefixed(line, col),
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.raw_string(line, col)
+                }
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    let c = self.bump().unwrap_or(' ');
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.line_has_code = true;
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    /// `r`/`br` raw-string lookahead: `#`* followed by `"`.
+    fn raw_string_ahead(&self, mut ahead: usize) -> bool {
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let own_line = !self.line_has_code;
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let raw: String = self.chars[start..self.i].iter().collect();
+        let doc = raw.starts_with("///") || raw.starts_with("//!");
+        let body = raw
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim()
+            .to_owned();
+        self.out.comments.push(Comment {
+            text: body,
+            line,
+            end_line: line,
+            own_line,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let own_line = !self.line_has_code;
+        let start = self.i;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let raw: String = self.chars[start..self.i].iter().collect();
+        let doc = raw.starts_with("/**") || raw.starts_with("/*!");
+        let body = raw
+            .trim_start_matches("/*")
+            .trim_end_matches("*/")
+            .trim()
+            .to_owned();
+        self.out.comments.push(Comment {
+            text: body,
+            line,
+            end_line: self.line,
+            own_line,
+            doc,
+        });
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Literal, text, line, col);
+    }
+
+    fn string_prefixed(&mut self, line: u32, col: u32) {
+        self.bump(); // the b prefix
+        let start = self.i - 1;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Literal, text, line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while matches!(self.peek(0), Some('r') | Some('b')) {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for _ in 0..hashes {
+                    if self.peek(0) == Some('#') {
+                        self.bump();
+                    } else {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Literal, text, line, col);
+    }
+
+    fn char_prefixed(&mut self, line: u32, col: u32) {
+        self.bump(); // b
+        self.char_literal_body(self.i - 1, line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'x'` / `'\n'` are char literals; `'a` (no closing quote) is a
+        // lifetime or loop label.
+        let is_char = match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => true,
+            (Some(_), Some('\'')) => true,
+            _ => false,
+        };
+        if is_char {
+            self.char_literal_body(self.i, line, col);
+        } else {
+            let start = self.i;
+            self.bump(); // quote
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text: String = self.chars[start..self.i].iter().collect();
+            self.push(TokKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn char_literal_body(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Literal, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '0'..='9' | 'a'..='z' | 'A'..='Z' | '_' => {
+                    // `1e-9` / `2E+4`: the sign belongs to the literal.
+                    let is_exp = (c == 'e' || c == 'E')
+                        && matches!(self.peek(1), Some('+') | Some('-'))
+                        && self.peek(2).is_some_and(|d| d.is_ascii_digit());
+                    self.bump();
+                    if is_exp {
+                        self.bump(); // sign
+                    }
+                }
+                '.' => {
+                    // A digit after the dot keeps it in the literal;
+                    // `0..n` and `1.max(x)` end the number at the dot.
+                    if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Literal, text, line, col);
+    }
+}
+
+// Keep a borrow of the original source so `Lexer` stays generic-free; the
+// field is currently only read by tests/debugging.
+impl std::fmt::Debug for Lexer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Lexer at {}:{} of {} bytes",
+            self.line,
+            self.col,
+            self.src.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            texts("let x = a.b_c + 1e-9;"),
+            ["let", "x", "=", "a", ".", "b_c", "+", "1e-9", ";"]
+        );
+    }
+
+    #[test]
+    fn ranges_and_method_calls_split_correctly() {
+        assert_eq!(texts("0..n"), ["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5.max(2.0)"), ["1.5", ".", "max", "(", "2.0", ")"]);
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let toks = lex(r#"f("let x = HashMap::new()", 'x', '\n')"#);
+        let idents: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["f"]);
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let toks = lex(r##"let s = r#"a "quoted" HashMap"#; let b = b"bytes";"##);
+        let idents: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) {}");
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    }
+
+    #[test]
+    fn comments_collected_with_positions() {
+        let src = "let a = 1; // trailing\n// own line\n/* block\nspans */ let b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[2].line, 3);
+        assert_eq!(lexed.comments[2].end_line, 4);
+        assert_eq!(lexed.comments[0].text, "trailing");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            ["let", "x", "=", "1", ";"]
+        );
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let lexed = lex("a\n  bb\n");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,95 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! Subcommands:
+//! - `lint [--json] [--root PATH]` — run chipleak-lint over the workspace.
+//! - `rules` — list the registered rules.
+//!
+//! Exit codes: 0 clean, 1 lint errors found, 2 usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::engine::{render_human, render_json, Severity};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => rules(),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{USAGE}");
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask <subcommand>
+
+subcommands:
+  lint [--json] [--root PATH]   run chipleak-lint over the workspace
+  rules                         list registered lint rules
+";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask: unknown lint flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let (files, crates) = match (
+        xtask::collect_workspace(&root),
+        xtask::collect_crates(&root),
+    ) {
+        (Ok(f), Ok(c)) => (f, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xtask: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let diags = xtask::run_lint(&files, crates);
+    if json {
+        print!("{}", render_json(&diags));
+    } else {
+        print!("{}", render_human(&diags));
+    }
+    let errors = diags.iter().any(|d| d.severity == Severity::Error);
+    ExitCode::from(u8::from(errors))
+}
+
+fn rules() -> ExitCode {
+    for rule in xtask::rules::registry() {
+        println!(
+            "{:>3}  {:<32} {}",
+            rule.code(),
+            rule.id(),
+            rule.description()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,209 @@
+//! L1 `no-nondeterministic-iteration`: `HashMap`/`HashSet` iteration in
+//! library code is ordered by the hasher's random seed, so any path from
+//! it to floating-point accumulation (the O(n²) pair sum, Eq. 17 lattice
+//! sums, characterization tables) silently breaks bit-reproducibility.
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Methods whose results are ordered by the hash seed.
+const ORDER_SENSITIVE: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// The L1 rule.
+pub struct NondeterministicIteration;
+
+impl Rule for NondeterministicIteration {
+    fn id(&self) -> &'static str {
+        "no-nondeterministic-iteration"
+    }
+
+    fn code(&self) -> &'static str {
+        "L1"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration order is seeded per process; iterating one in \
+         library code can leak nondeterminism into summation order"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != crate::source::FileKind::Library {
+            return;
+        }
+        let toks = &file.tokens;
+        let names = hash_bound_names(file);
+        if names.is_empty() {
+            return;
+        }
+        for i in 0..toks.len() {
+            // `name.iter()` / `self.name.keys()` / `name.drain(..)`.
+            if let Some(m) = super::method_call_at(toks, i) {
+                let method = &toks[m];
+                if ORDER_SENSITIVE.contains(&method.text.as_str())
+                    && i > 0
+                    && toks[i - 1].kind == TokKind::Ident
+                    && names.contains(&toks[i - 1].text)
+                    && file.lintable_library_line(method.line)
+                {
+                    out.push(diag(
+                        self,
+                        file,
+                        method.line,
+                        method.col,
+                        &toks[i - 1].text,
+                        &method.text,
+                    ));
+                }
+            }
+            // `for pat in [&][mut] name {`.
+            if toks[i].is_ident("in") && i + 1 < toks.len() {
+                let mut j = i + 1;
+                while j < toks.len() && (toks[j].is_punct('&') || toks[j].is_ident("mut")) {
+                    j += 1;
+                }
+                let Some(name) = toks.get(j) else { continue };
+                if name.kind == TokKind::Ident
+                    && names.contains(&name.text)
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('{'))
+                    && file.lintable_library_line(name.line)
+                {
+                    out.push(diag(
+                        self, file, name.line, name.col, &name.text, "for-loop",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn diag(
+    rule: &NondeterministicIteration,
+    file: &SourceFile,
+    line: u32,
+    col: u32,
+    name: &str,
+    how: &str,
+) -> Diagnostic {
+    Diagnostic {
+        rule: rule.id(),
+        code: rule.code(),
+        severity: Severity::Error,
+        file: file.rel.clone(),
+        line,
+        col,
+        message: format!(
+            "iteration (`{how}`) over hash-ordered collection `{name}` is \
+             nondeterministic across processes"
+        ),
+        help: "store the data in a BTreeMap/BTreeSet, or collect and sort keys before \
+               iterating; suppress only if the order provably cannot reach any result"
+            .into(),
+    }
+}
+
+/// Identifiers bound (or annotated) as `HashMap`/`HashSet` in this file:
+/// `name: HashMap<..>` (bindings, fields, params) and
+/// `name = HashMap::new()`-style initializations.
+fn hash_bound_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left over `&`, `mut`, and `::`-path prefixes
+        // (`std::collections::HashMap`).
+        let mut j = i;
+        while j >= 2
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && j >= 3
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        while j >= 1 && (toks[j - 1].is_punct('&') || toks[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let before = &toks[j - 1];
+        // `name : HashMap` — but not `:: HashMap` (path) and not inside a
+        // generic argument (`Vec<HashMap<..>>` has `<` before).
+        if before.is_punct(':') && j >= 2 && !toks[j - 2].is_punct(':') {
+            if toks[j - 2].kind == TokKind::Ident {
+                names.insert(toks[j - 2].text.clone());
+            }
+            continue;
+        }
+        // `name = HashMap::...`.
+        if before.is_punct('=') && j >= 2 && toks[j - 2].kind == TokKind::Ident {
+            names.insert(toks[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Context;
+    use crate::source::FileKind;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/d/src/x.rs".into(), src.into(), FileKind::Library);
+        let mut out = Vec::new();
+        NondeterministicIteration.check_file(&f, &Context::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_keys_on_field_and_for_loop() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { m: HashMap<u32, f64> }\n\
+                   impl S {\n\
+                     fn f(&self) -> Vec<u32> { self.m.keys().copied().collect() }\n\
+                     fn g(&self, m: &HashMap<u32, f64>) { for v in m { drop(v); } }\n\
+                   }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("keys"));
+    }
+
+    #[test]
+    fn lookup_only_maps_are_fine() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<String, u32>) -> Option<u32> { m.get(\"x\").copied() }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().sum() }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests {\n\
+                     fn f(m: HashMap<u32, u32>) { for v in m { drop(v); } }\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! L2 `no-ambient-entropy`: results must be a pure function of explicit
+//! seeds and inputs. `thread_rng`, `from_entropy`, and wall-clock reads in
+//! library crates make runs unrepeatable; timing belongs in `bench` and
+//! CLI code, and randomness must flow from counter-seeded streams
+//! (`ChipSampler::run_seeded` and friends).
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::source::SourceFile;
+
+/// The L2 rule.
+pub struct AmbientEntropy;
+
+impl Rule for AmbientEntropy {
+    fn id(&self) -> &'static str {
+        "no-ambient-entropy"
+    }
+
+    fn code(&self) -> &'static str {
+        "L2"
+    }
+
+    fn description(&self) -> &'static str {
+        "library crates must not read ambient entropy or the wall clock \
+         (thread_rng, from_entropy, SystemTime::now, Instant::now)"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != crate::source::FileKind::Library {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !file.lintable_library_line(t.line) {
+                continue;
+            }
+            let found: Option<&str> = if t.is_ident("thread_rng") {
+                Some("rand::thread_rng()")
+            } else if t.is_ident("from_entropy") {
+                Some("SeedableRng::from_entropy()")
+            } else if super::path_pair(toks, i, "SystemTime", "now")
+                || super::path_pair(toks, i, "Instant", "now")
+            {
+                Some("wall-clock read")
+            } else if super::path_pair(toks, i, "rand", "random") {
+                Some("rand::random()")
+            } else {
+                None
+            };
+            if let Some(what) = found {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!("{what} injects ambient entropy into a library crate"),
+                    help: "take an explicit `seed: u64` (counter-seeded per work item) or a \
+                           caller-supplied `Rng`; timing loops belong in crates/bench or the CLI"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn check(src: &str, kind: FileKind) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/d/src/x.rs".into(), src.into(), kind);
+        let mut out = Vec::new();
+        AmbientEntropy.check_file(&f, &Context::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_thread_rng_and_clock() {
+        let src = "fn f() { let mut r = rand::thread_rng(); let t = Instant::now(); }\n";
+        let d = check(src, FileKind::Library);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn bench_and_bin_exempt() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(check(src, FileKind::Bench).is_empty());
+        assert!(check(src, FileKind::Bin).is_empty());
+    }
+
+    #[test]
+    fn seeded_rng_is_fine() {
+        let src = "fn f(seed: u64) { let mut r = SmallRng::seed_from_u64(seed); }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn instant_mentioned_in_comment_or_string_is_fine() {
+        let src = "// Instant::now is banned here\nfn f() { let s = \"Instant::now\"; }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! L3 `compensated-summation`: the estimator hot paths and shared
+//! statistics helpers fold 10⁶–10⁸ floating-point terms spanning several
+//! orders of magnitude (the O(n²) pair sum alone is ~5·10⁷ terms at 10k
+//! gates). A naive `.sum::<f64>()` or bare `acc += term` loop loses the
+//! low-order bits the paper's Table 1 comparisons depend on; those sums
+//! must route through `KahanSum`/`kahan_sum` (Neumaier-compensated).
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Files the rule applies to: the estimator stack and the shared stats
+/// helpers every estimator leans on.
+fn in_scope(rel: &str) -> bool {
+    rel == "crates/numeric/src/stats.rs" || rel.starts_with("crates/core/src/estimator/")
+}
+
+/// The L3 rule.
+pub struct CompensatedSummation;
+
+impl Rule for CompensatedSummation {
+    fn id(&self) -> &'static str {
+        "compensated-summation"
+    }
+
+    fn code(&self) -> &'static str {
+        "L3"
+    }
+
+    fn description(&self) -> &'static str {
+        "estimator/stats accumulation must use the Kahan helpers, not naive \
+         `.sum()` chains or bare `+=` loops"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != crate::source::FileKind::Library || !in_scope(&file.rel) {
+            return;
+        }
+        let toks = &file.tokens;
+        // Iterator sums: `.sum()` / `.sum::<f64>()` whose receiver is a
+        // call chain (`)` before the dot). A plain identifier receiver is
+        // an accessor such as `KahanSum::sum()` and stays exempt.
+        for i in 1..toks.len() {
+            if let Some(m) = super::method_call_at(toks, i) {
+                let t = &toks[m];
+                if t.is_ident("sum")
+                    && toks[i - 1].is_punct(')')
+                    && file.lintable_library_line(t.line)
+                    && !in_kahan_fn(file, i)
+                {
+                    out.push(self.diag(
+                        file,
+                        t.line,
+                        t.col,
+                        "iterator `.sum()` folds terms in naive f64 arithmetic",
+                    ));
+                }
+            }
+        }
+        // Bare accumulator loops: `let mut acc = 0.0; for .. { acc += t; }`.
+        let float_locals = float_zero_locals(toks);
+        let loops = super::loop_body_spans(toks);
+        for i in 1..toks.len().saturating_sub(2) {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !float_locals.contains(&t.text)
+                || !toks[i + 1].is_punct('+')
+                || !toks[i + 2].is_punct('=')
+                || toks[i - 1].is_punct('.')
+            // field update, e.g. Welford's `self.m2`
+            {
+                continue;
+            }
+            let in_loop = loops.iter().any(|&(a, b)| a < i && i < b);
+            if in_loop && file.lintable_library_line(t.line) && !in_kahan_fn(file, i) {
+                out.push(self.diag(
+                    file,
+                    t.line,
+                    t.col,
+                    &format!(
+                        "bare `{} +=` accumulation loop bypasses the Kahan helpers",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl CompensatedSummation {
+    fn diag(&self, file: &SourceFile, line: u32, col: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            code: self.code(),
+            severity: Severity::Error,
+            file: file.rel.clone(),
+            line,
+            col,
+            message: message.to_owned(),
+            help: "accumulate through leakage_numeric::stats::{KahanSum, kahan_sum}; \
+                   suppress only for provably short or integer sums"
+                .into(),
+        }
+    }
+}
+
+/// `true` when token `i` falls inside a function implementing the
+/// compensation itself (named `kahan*`/`neumaier*`).
+fn in_kahan_fn(file: &SourceFile, i: usize) -> bool {
+    file.fns.iter().any(|f| {
+        (f.name.contains("kahan") || f.name.contains("neumaier"))
+            && f.body.is_some_and(|(a, b)| a <= i && i < b)
+    })
+}
+
+/// Names of locals initialized as floating-point zeros (`= 0.0`,
+/// `= 0f64`, `: f64 = 0.0`, …).
+fn float_zero_locals(toks: &[crate::lexer::Tok]) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j) else { continue };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        // Optional `: f64` annotation.
+        let mut k = j + 1;
+        let mut annotated_float = false;
+        if toks.get(k).is_some_and(|t| t.is_punct(':')) {
+            annotated_float = toks
+                .get(k + 1)
+                .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"));
+            k += 2;
+        }
+        if !toks.get(k).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        let Some(init) = toks.get(k + 1) else {
+            continue;
+        };
+        let float_literal = init.kind == TokKind::Literal
+            && (init.text.contains('.')
+                || init.text.ends_with("f64")
+                || init.text.ends_with("f32"));
+        if (float_literal || (annotated_float && init.kind == TokKind::Literal))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct(';'))
+        {
+            names.insert(name.text.clone());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(
+            "crates/core/src/estimator/demo.rs".into(),
+            src.into(),
+            FileKind::Library,
+        );
+        let mut out = Vec::new();
+        CompensatedSummation.check_file(&f, &Context::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_iterator_sum_chains() {
+        let d = check("fn mean(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() / xs.len() as f64 }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn kahan_accessor_is_fine() {
+        let d = check("fn total(acc: KahanSum) -> f64 { acc.sum() }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flags_bare_accumulator_loop() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n  let mut acc = 0.0;\n  for x in xs { acc += x; }\n  acc\n}\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("acc"));
+    }
+
+    #[test]
+    fn integer_counters_are_fine() {
+        let src = "fn f(xs: &[u64]) -> u64 {\n  let mut n = 0;\n  let mut m = 0usize;\n  for x in xs { n += x; m += 1; }\n  n + m as u64\n}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_exempt() {
+        let f = SourceFile::parse(
+            "crates/process/src/field.rs".into(),
+            "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n".into(),
+            FileKind::Library,
+        );
+        let mut out = Vec::new();
+        CompensatedSummation.check_file(&f, &Context::default(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn kahan_impl_fn_exempt() {
+        let src = "pub fn kahan_sum(xs: &[f64]) -> f64 {\n  let mut c = 0.0;\n  for x in xs { c += x; }\n  c\n}\n";
+        assert!(check(src).is_empty());
+    }
+}

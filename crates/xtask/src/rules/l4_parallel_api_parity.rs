@@ -1,0 +1,253 @@
+//! L4 `parallel-api-parity`: in crates with a `parallel` feature, (a) a
+//! public `foo` whose sibling `foo_with(.., Parallelism)` exists must
+//! route its default through that sibling — one code path, bit-identical
+//! results for every thread budget — and (b) thread primitives must stay
+//! behind `cfg(feature = "parallel")`, so `--no-default-features` builds
+//! are genuinely thread-free.
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::source::SourceFile;
+
+/// The L4 rule.
+pub struct ParallelApiParity;
+
+impl Rule for ParallelApiParity {
+    fn id(&self) -> &'static str {
+        "parallel-api-parity"
+    }
+
+    fn code(&self) -> &'static str {
+        "L4"
+    }
+
+    fn description(&self) -> &'static str {
+        "public fns with a `_with(.., Parallelism)` sibling must route through it, \
+         and thread primitives must stay behind cfg(feature = \"parallel\")"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != crate::source::FileKind::Library || !ctx.in_parallel_crate(&file.rel) {
+            return;
+        }
+        self.check_parity(file, out);
+        self.check_gating(file, out);
+    }
+}
+
+impl ParallelApiParity {
+    fn check_parity(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.tokens;
+        // `Type::new` and `OtherType::new_with` are not siblings: pair
+        // only fns sharing an enclosing impl/trait block (or both free).
+        let scopes = impl_scopes(toks);
+        let scope_of = |f: &crate::source::FnItem| {
+            scopes
+                .iter()
+                .enumerate()
+                .filter(|(_, &(a, b))| a < f.sig.0 && f.sig.0 < b)
+                .min_by_key(|(_, &(a, b))| b - a)
+                .map(|(i, _)| i)
+        };
+        // Public `_with` variants that accept a `Parallelism`, with scope.
+        let with_variants: Vec<(&str, Option<usize>)> = file
+            .fns
+            .iter()
+            .filter(|f| {
+                f.is_pub
+                    && f.name.ends_with("_with")
+                    && toks[f.sig.0..f.sig.1]
+                        .iter()
+                        .any(|t| t.is_ident("Parallelism"))
+            })
+            .map(|f| (f.name.as_str(), scope_of(f)))
+            .collect();
+        if with_variants.is_empty() {
+            return;
+        }
+        for f in &file.fns {
+            if !f.is_pub || f.name.ends_with("_with") || file.in_test(f.line) {
+                continue;
+            }
+            let sibling = format!("{}_with", f.name);
+            let scope = scope_of(f);
+            if !with_variants
+                .iter()
+                .any(|&(n, s)| n == sibling && s == scope)
+            {
+                continue;
+            }
+            // The base fn may take a Parallelism itself (no default to route).
+            if toks[f.sig.0..f.sig.1]
+                .iter()
+                .any(|t| t.is_ident("Parallelism"))
+            {
+                continue;
+            }
+            let Some((a, b)) = f.body else { continue };
+            if !toks[a..b].iter().any(|t| t.is_ident(&sibling)) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: f.line,
+                    col: 1,
+                    message: format!(
+                        "`{}` has a `{sibling}(.., Parallelism)` sibling but does not route \
+                         through it; the two defaults can drift apart",
+                        f.name
+                    ),
+                    help: format!(
+                        "implement `{}` as `{sibling}(.., Parallelism::auto())`",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Token spans of `impl`/`trait` block bodies (including braces).
+fn impl_scopes(toks: &[crate::lexer::Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("impl") || t.is_ident("trait")) {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        if j < toks.len() && toks[j].is_punct('{') {
+            spans.push((j, super::skip_braces(toks, j)));
+        }
+    }
+    spans
+}
+
+impl ParallelApiParity {
+    fn check_gating(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            let found: Option<&str> = if super::path_pair(toks, i, "thread", "scope")
+                || super::path_pair(toks, i, "thread", "spawn")
+            {
+                Some("std::thread")
+            } else if t.is_ident("available_parallelism") {
+                Some("available_parallelism")
+            } else if t.is_ident("rayon") {
+                Some("rayon")
+            } else {
+                None
+            };
+            let Some(what) = found else { continue };
+            if file.lintable_library_line(t.line) && !file.in_parallel_gate(t.line) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "{what} used outside a `cfg(feature = \"parallel\")` extent; \
+                         serial builds must compile thread-free"
+                    ),
+                    help: "move the threaded branch into a `#[cfg(feature = \"parallel\")]` \
+                           block with a serial `#[cfg(not(...))]` fallback"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CrateInfo;
+    use crate::source::FileKind;
+
+    fn ctx() -> Context {
+        Context {
+            crates: vec![CrateInfo {
+                rel_root: "crates/d".into(),
+                has_parallel_feature: true,
+            }],
+        }
+    }
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/d/src/x.rs".into(), src.into(), FileKind::Library);
+        let mut out = Vec::new();
+        ParallelApiParity.check_file(&f, &ctx(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_base_fn_not_routing_through_with() {
+        let src = "pub fn stats_with(xs: &[f64], par: Parallelism) -> f64 { 0.0 }\n\
+                   pub fn stats(xs: &[f64]) -> f64 { xs[0] }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("stats_with"));
+    }
+
+    #[test]
+    fn routing_through_with_is_fine() {
+        let src = "pub fn stats_with(xs: &[f64], par: Parallelism) -> f64 { 0.0 }\n\
+                   pub fn stats(xs: &[f64]) -> f64 { stats_with(xs, Parallelism::auto()) }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn non_parallel_sibling_is_ignored() {
+        let src = "pub fn cmos90_with_gate_leakage() -> u8 { 1 }\n\
+                   pub fn cmos90() -> u8 { 0 }\n\
+                   pub fn build_with(x: u8) -> u8 { x }\n\
+                   pub fn build() -> u8 { 7 }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn new_and_new_with_in_different_impls_are_not_siblings() {
+        let src = "pub struct Grid;\n\
+                   impl Grid { pub fn new() -> Grid { Grid } }\n\
+                   pub struct Sampler;\n\
+                   impl Sampler { pub fn new_with(par: Parallelism) -> Sampler { drop(par); Sampler } }\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn same_impl_siblings_are_paired() {
+        let src = "pub struct S;\n\
+                   impl S {\n\
+                     pub fn new_with(par: Parallelism) -> S { drop(par); S }\n\
+                     pub fn new() -> S { S }\n\
+                   }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn ungated_thread_scope_flagged_gated_ok() {
+        let src = "fn a() { std::thread::scope(|s| {}); }\n\
+                   #[cfg(feature = \"parallel\")]\nfn b() { std::thread::scope(|s| {}); }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn crates_without_parallel_feature_exempt() {
+        let f = SourceFile::parse(
+            "crates/other/src/x.rs".into(),
+            "fn a() { std::thread::spawn(|| {}); }\n".into(),
+            FileKind::Library,
+        );
+        let mut out = Vec::new();
+        ParallelApiParity.check_file(&f, &ctx(), &mut out);
+        assert!(out.is_empty());
+    }
+}

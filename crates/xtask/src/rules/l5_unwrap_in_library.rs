@@ -1,0 +1,134 @@
+//! L5 `no-unwrap-in-library`: a full-chip estimate over a 10⁴–10⁶ gate
+//! netlist must degrade into a typed `Error`, not a panic that unwinds
+//! through (or aborts) worker threads. Library code may only panic where
+//! the invariant is locally provable — and then the site must carry a
+//! justified `// chipleak-lint: allow(no-unwrap-in-library): <why>`.
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Macros that unconditionally panic at runtime.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// The L5 rule.
+pub struct UnwrapInLibrary;
+
+impl Rule for UnwrapInLibrary {
+    fn id(&self) -> &'static str {
+        "no-unwrap-in-library"
+    }
+
+    fn code(&self) -> &'static str {
+        "L5"
+    }
+
+    fn description(&self) -> &'static str {
+        "library code must not `.unwrap()`/`.expect()`/`panic!` without a \
+         justified suppression; surface a typed Error instead"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != crate::source::FileKind::Library {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !file.lintable_library_line(t.line) {
+                continue;
+            }
+            // `.unwrap()` / `.expect("..")` — exact method names only, so
+            // `unwrap_or`, `unwrap_or_else`, `expect_err` stay exempt.
+            if let Some(m) = super::method_call_at(toks, i) {
+                let name = &toks[m];
+                if name.is_ident("unwrap") || name.is_ident("expect") {
+                    out.push(self.diag(
+                        file,
+                        name.line,
+                        name.col,
+                        &format!("`.{}()` can panic in library code", name.text),
+                    ));
+                }
+                continue;
+            }
+            // `panic!(..)` and friends.
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|u| u.is_punct('!'))
+            {
+                out.push(self.diag(
+                    file,
+                    t.line,
+                    t.col,
+                    &format!(
+                        "`{}!` aborts the estimate instead of returning an Error",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl UnwrapInLibrary {
+    fn diag(&self, file: &SourceFile, line: u32, col: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            code: self.code(),
+            severity: Severity::Error,
+            file: file.rel.clone(),
+            line,
+            col,
+            message: message.to_owned(),
+            help: "return a typed Error variant, or add \
+                   `// chipleak-lint: allow(no-unwrap-in-library): <invariant>` when the \
+                   panic is locally provable"
+                .into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn check(src: &str, kind: FileKind) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/d/src/x.rs".into(), src.into(), kind);
+        let mut out = Vec::new();
+        UnwrapInLibrary.check_file(&f, &Context::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                     let a = x.unwrap();\n\
+                     let b = x.expect(\"present\");\n\
+                     if a != b { panic!(\"mismatch\"); }\n\
+                     a\n\
+                   }\n";
+        let d = check(src, FileKind::Library);
+        assert_eq!(d.len(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn fallible_combinators_are_fine() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn test_and_bench_code_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(check(src, FileKind::Library).is_empty());
+        assert!(check("fn f() { Some(1).unwrap(); }\n", FileKind::Bench).is_empty());
+    }
+
+    #[test]
+    fn assert_macros_are_fine() {
+        let src = "fn f(x: u8) { assert!(x > 0); debug_assert_eq!(x, x); }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+}

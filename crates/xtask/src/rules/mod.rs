@@ -1,0 +1,113 @@
+//! The chipleak-lint rule set (L1–L5) and shared token-pattern helpers.
+//!
+//! | Code | Id | Invariant |
+//! |------|----|-----------|
+//! | L1 | `no-nondeterministic-iteration` | no `HashMap`/`HashSet` iteration in library code |
+//! | L2 | `no-ambient-entropy` | no `thread_rng`/wall-clock influence on results |
+//! | L3 | `compensated-summation` | estimator/stats sums route through Kahan helpers |
+//! | L4 | `parallel-api-parity` | `foo` routes through `foo_with`, threads stay gated |
+//! | L5 | `no-unwrap-in-library` | no unjustified `.unwrap()`/`.expect()`/`panic!` |
+
+mod l1_nondeterministic_iteration;
+mod l2_ambient_entropy;
+mod l3_compensated_summation;
+mod l4_parallel_api_parity;
+mod l5_unwrap_in_library;
+
+pub use l1_nondeterministic_iteration::NondeterministicIteration;
+pub use l2_ambient_entropy::AmbientEntropy;
+pub use l3_compensated_summation::CompensatedSummation;
+pub use l4_parallel_api_parity::ParallelApiParity;
+pub use l5_unwrap_in_library::UnwrapInLibrary;
+
+use crate::engine::Rule;
+use crate::lexer::Tok;
+
+/// Every rule, in code order. The registry is the single source of truth
+/// for `cargo xtask lint` and `cargo xtask rules`.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NondeterministicIteration),
+        Box::new(AmbientEntropy),
+        Box::new(CompensatedSummation),
+        Box::new(ParallelApiParity),
+        Box::new(UnwrapInLibrary),
+    ]
+}
+
+/// If `tokens[i..]` starts a method call `.name(`, returns the method-name
+/// token index.
+pub(crate) fn method_call_at(tokens: &[Tok], i: usize) -> Option<usize> {
+    if tokens.get(i)?.is_punct('.') {
+        let name = tokens.get(i + 1)?;
+        let next = tokens.get(i + 2)?;
+        if name.kind == crate::lexer::TokKind::Ident
+            && (next.is_punct('(') || (next.is_punct(':') && tokens.get(i + 3)?.is_punct(':')))
+        {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+/// `true` when `tokens[i..]` is the path segment `a::b`.
+pub(crate) fn path_pair(tokens: &[Tok], i: usize, a: &str, b: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_ident(a))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_ident(b))
+}
+
+/// Index just past a balanced `{...}` starting at `open` (must be `{`).
+pub(crate) fn skip_braces(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Token spans (exclusive end) of all `for`/`while`/`loop` bodies.
+pub(crate) fn loop_body_spans(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("for") || t.is_ident("while") || t.is_ident("loop")) {
+            continue;
+        }
+        // `impl Trait for Type` also contains `for`; requiring an `in`
+        // before the body brace filters it out for `for`-loops, and
+        // `while`/`loop` go straight to the brace.
+        let mut j = i + 1;
+        let mut paren = 0isize;
+        let mut saw_in = false;
+        while j < tokens.len() {
+            let u = &tokens[j];
+            if u.is_punct('(') {
+                paren += 1;
+            } else if u.is_punct(')') {
+                paren -= 1;
+            } else if u.is_ident("in") && paren == 0 {
+                saw_in = true;
+            } else if u.is_punct('{') && paren == 0 {
+                if t.is_ident("for") && !saw_in {
+                    break;
+                }
+                spans.push((j, skip_braces(tokens, j)));
+                break;
+            } else if u.is_punct(';') && paren == 0 {
+                break;
+            }
+            j += 1;
+        }
+    }
+    spans
+}

@@ -1,0 +1,516 @@
+//! Per-file structural model: file classification, suppression
+//! directives, `#[cfg(test)]`/`#[test]` extents, `parallel`-feature-gated
+//! extents, and `fn` items with signature/body token ranges.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// Coarse role of a file; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Non-test library code — the full rule set applies.
+    Library,
+    /// Integration tests (`tests/` directories).
+    Test,
+    /// Benchmarks (`benches/`, the `crates/bench` harness crate).
+    Bench,
+    /// Binaries and examples (CLI entry points).
+    Bin,
+    /// Workspace tooling (this crate).
+    Tool,
+}
+
+impl FileKind {
+    /// Classifies a workspace-relative unix-style path.
+    pub fn classify(rel: &str) -> FileKind {
+        if rel.starts_with("crates/xtask/") {
+            FileKind::Tool
+        } else if rel.starts_with("tests/") || rel.contains("/tests/") {
+            FileKind::Test
+        } else if rel.starts_with("crates/bench/") || rel.contains("/benches/") {
+            FileKind::Bench
+        } else if rel.starts_with("src/bin/")
+            || rel.contains("/src/bin/")
+            || rel.contains("/examples/")
+        {
+            FileKind::Bin
+        } else {
+            FileKind::Library
+        }
+    }
+}
+
+/// A parsed `chipleak-lint:` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule ids/codes this directive silences (lower-cased).
+    pub rules: Vec<String>,
+    /// `allow-file(...)` — applies to the whole file.
+    pub file_scope: bool,
+    /// Line the directive's comment starts on.
+    pub line: u32,
+    /// Justification text after the closing paren (may be empty — the
+    /// engine rejects empty justifications).
+    pub reason: String,
+}
+
+impl Suppression {
+    /// `true` when this directive names the rule (by id or `lN` code).
+    pub fn covers(&self, id: &str, code: &str) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r == &id.to_ascii_lowercase() || r == &code.to_ascii_lowercase())
+    }
+}
+
+/// An inclusive 1-based line range.
+pub type LineSpan = (u32, u32);
+
+/// One `fn` item recovered by the scanner.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// `true` when declared with any `pub` visibility.
+    pub is_pub: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the signature: `[fn_index, body_open)` (exclusive).
+    pub sig: (usize, usize),
+    /// Token range of the body including braces, when the fn has one.
+    pub body: Option<(usize, usize)>,
+}
+
+/// A lexed and structurally scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative unix-style path.
+    pub rel: String,
+    /// File classification.
+    pub kind: FileKind,
+    /// Full source text.
+    pub text: String,
+    /// Code tokens (no comments).
+    pub tokens: Vec<Tok>,
+    /// Comment stream.
+    pub comments: Vec<Comment>,
+    /// Parsed `chipleak-lint:` directives.
+    pub suppressions: Vec<Suppression>,
+    /// Line extents of `#[cfg(test)]` items and `#[test]` functions.
+    pub test_spans: Vec<LineSpan>,
+    /// Line extents of items/blocks behind a `cfg` that names the
+    /// `parallel` feature (positively or via `not(...)`).
+    pub gated_spans: Vec<LineSpan>,
+    /// All `fn` items (including nested/test ones).
+    pub fns: Vec<FnItem>,
+}
+
+impl SourceFile {
+    /// Lexes and scans one file.
+    pub fn parse(rel: String, text: String, kind: FileKind) -> SourceFile {
+        let lexed = lex(&text);
+        let suppressions = parse_suppressions(&lexed.comments);
+        let scan = scan_structure(&lexed.tokens);
+        SourceFile {
+            rel,
+            kind,
+            text,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            suppressions,
+            test_spans: scan.test_spans,
+            gated_spans: scan.gated_spans,
+            fns: scan.fns,
+        }
+    }
+
+    /// `true` when the line falls inside test-only code.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// `true` when the line falls inside a `parallel`-feature-gated extent.
+    pub fn in_parallel_gate(&self, line: u32) -> bool {
+        self.gated_spans
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// `true` when library-code rules should inspect this line.
+    pub fn lintable_library_line(&self, line: u32) -> bool {
+        self.kind == FileKind::Library && !self.in_test(line)
+    }
+}
+
+fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.doc {
+            // Doc comments are prose; mentioning the directive syntax in
+            // rustdoc must not create a live suppression.
+            continue;
+        }
+        let Some(pos) = c.text.find("chipleak-lint:") else {
+            continue;
+        };
+        let rest = c.text[pos + "chipleak-lint:".len()..].trim_start();
+        let file_scope = rest.starts_with("allow-file");
+        let rest = rest
+            .strip_prefix("allow-file")
+            .or_else(|| rest.strip_prefix("allow"))
+            .unwrap_or("");
+        let Some(open) = rest.find('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules = rest[open + 1..close]
+            .split(',')
+            .map(|r| r.trim().to_ascii_lowercase())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = rest[close + 1..].trim_start_matches(':').trim().to_owned();
+        out.push(Suppression {
+            rules,
+            file_scope,
+            line: c.line,
+            reason,
+        });
+    }
+    out
+}
+
+#[derive(Debug, Default)]
+struct Scan {
+    test_spans: Vec<LineSpan>,
+    gated_spans: Vec<LineSpan>,
+    fns: Vec<FnItem>,
+}
+
+/// What an attribute means to the scanner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AttrClass {
+    CfgTest,
+    CfgParallel,
+    TestFn,
+    Other,
+}
+
+fn classify_attr(tokens: &[Tok]) -> AttrClass {
+    // `tokens` covers the bracketed body: everything inside `#[ ... ]`.
+    let Some(first) = tokens.first() else {
+        return AttrClass::Other;
+    };
+    if first.is_ident("cfg") {
+        let names_parallel_feature = tokens.windows(3).any(|w| {
+            w[0].is_ident("feature")
+                && w[1].is_punct('=')
+                && w[2].kind == TokKind::Literal
+                && w[2].text == "\"parallel\""
+        });
+        if names_parallel_feature {
+            return AttrClass::CfgParallel;
+        }
+        if tokens.iter().any(|t| t.is_ident("test")) {
+            return AttrClass::CfgTest;
+        }
+        return AttrClass::Other;
+    }
+    // `#[test]`, `#[tokio::test]`, `#[bench]` and friends.
+    if tokens
+        .iter()
+        .all(|t| t.kind == TokKind::Ident || t.is_punct(':'))
+        && tokens
+            .last()
+            .is_some_and(|t| t.is_ident("test") || t.is_ident("bench"))
+    {
+        return AttrClass::TestFn;
+    }
+    AttrClass::Other
+}
+
+/// Index just past a balanced `[...]` starting at `open` (which must be `[`).
+fn skip_brackets(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('[') {
+            depth += 1;
+        } else if tokens[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index just past a balanced `{...}` starting at `open` (which must be `{`).
+fn skip_braces(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// From `start`, finds the end (exclusive token index) of the construct an
+/// attribute attaches to: skips further attributes, then either a `;`-
+/// terminated item or a braced item/block/expression.
+fn attached_extent(tokens: &[Tok], mut i: usize) -> usize {
+    // Skip stacked attributes.
+    while i + 1 < tokens.len() && tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+        i = skip_brackets(tokens, i + 1);
+    }
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+            return skip_braces(tokens, i);
+        } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+fn scan_structure(tokens: &[Tok]) -> Scan {
+    let mut scan = Scan::default();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            let body_end = skip_brackets(tokens, i + 1);
+            let class = classify_attr(&tokens[i + 2..body_end.saturating_sub(1)]);
+            if matches!(
+                class,
+                AttrClass::CfgTest | AttrClass::CfgParallel | AttrClass::TestFn
+            ) {
+                let end = attached_extent(tokens, body_end);
+                let span = (
+                    t.line,
+                    tokens.get(end.saturating_sub(1)).map_or(t.line, |e| e.line),
+                );
+                match class {
+                    AttrClass::CfgTest | AttrClass::TestFn => scan.test_spans.push(span),
+                    AttrClass::CfgParallel => scan.gated_spans.push(span),
+                    AttrClass::Other => {}
+                }
+            }
+            i = body_end;
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    let is_pub = visibility_is_pub(tokens, i);
+                    let (sig_end, body) = fn_extent(tokens, i);
+                    scan.fns.push(FnItem {
+                        name: name_tok.text.clone(),
+                        is_pub,
+                        line: t.line,
+                        sig: (i, sig_end),
+                        body,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    scan
+}
+
+/// Looks backwards from the `fn` keyword for a `pub` in the same
+/// declaration header (stopping at tokens that end a previous item).
+fn visibility_is_pub(tokens: &[Tok], fn_index: usize) -> bool {
+    let mut i = fn_index;
+    let mut paren = 0isize;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        if t.is_punct(')') {
+            paren += 1;
+            continue;
+        }
+        if t.is_punct('(') {
+            paren -= 1;
+            continue;
+        }
+        if paren > 0 {
+            continue; // inside `pub(crate)` etc.
+        }
+        if t.is_ident("pub") {
+            return true;
+        }
+        let header_token = t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern")
+            || t.kind == TokKind::Literal; // ABI string in `extern "C"`
+        if !header_token {
+            return false;
+        }
+    }
+    false
+}
+
+/// Signature end (exclusive) and body token range of the fn at `fn_index`.
+fn fn_extent(tokens: &[Tok], fn_index: usize) -> (usize, Option<(usize, usize)>) {
+    let mut paren = 0isize;
+    let mut i = fn_index + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('{') && paren == 0 {
+            return (i, Some((i, skip_braces(tokens, i))));
+        } else if t.is_punct(';') && paren == 0 {
+            return (i, None); // trait method declaration
+        }
+        i += 1;
+    }
+    (tokens.len(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(src: &str) -> SourceFile {
+        SourceFile::parse(
+            "crates/demo/src/lib.rs".into(),
+            src.into(),
+            FileKind::Library,
+        )
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            FileKind::classify("crates/core/src/pairwise.rs"),
+            FileKind::Library
+        );
+        assert_eq!(
+            FileKind::classify("crates/core/tests/determinism.rs"),
+            FileKind::Test
+        );
+        assert_eq!(FileKind::classify("tests/determinism.rs"), FileKind::Test);
+        assert_eq!(
+            FileKind::classify("crates/bench/src/bin/fig2.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(
+            FileKind::classify("crates/numeric/benches/fft.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(FileKind::classify("src/bin/chipleak.rs"), FileKind::Bin);
+        assert_eq!(FileKind::classify("src/lib.rs"), FileKind::Library);
+        assert_eq!(
+            FileKind::classify("crates/xtask/src/main.rs"),
+            FileKind::Tool
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_extent_covers_its_lines() {
+        let f = lib_file(
+            "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\npub fn after() {}\n",
+        );
+        assert!(!f.in_test(1));
+        assert!(f.in_test(3));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn test_attr_fn_extent() {
+        let f = lib_file("#[test]\nfn check() {\n    body();\n}\nfn other() {}\n");
+        assert!(f.in_test(2));
+        assert!(f.in_test(3));
+        assert!(!f.in_test(5));
+    }
+
+    #[test]
+    fn parallel_gate_extents_including_not() {
+        let src = "#[cfg(feature = \"parallel\")]\nfn spawny() {\n    x();\n}\n\
+                   #[cfg(not(feature = \"parallel\"))]\nfn serial() {}\nfn open() {}\n";
+        let f = lib_file(src);
+        assert!(f.in_parallel_gate(3));
+        assert!(f.in_parallel_gate(6));
+        assert!(!f.in_parallel_gate(7));
+    }
+
+    #[test]
+    fn statement_level_cfg_block_is_gated() {
+        let src = "fn f() {\n    serial();\n    #[cfg(feature = \"parallel\")]\n    {\n        spawn();\n    }\n    more();\n}\n";
+        let f = lib_file(src);
+        assert!(f.in_parallel_gate(5));
+        assert!(!f.in_parallel_gate(2));
+        assert!(!f.in_parallel_gate(7));
+    }
+
+    #[test]
+    fn fn_items_with_visibility_and_bodies() {
+        let src =
+            "pub fn a(x: (i32, i32)) -> Vec<f64> { inner() }\nfn b();\npub(crate) fn c() {}\n";
+        let f = lib_file(src);
+        let names: Vec<_> = f.fns.iter().map(|x| (x.name.as_str(), x.is_pub)).collect();
+        assert_eq!(names, [("a", true), ("b", false), ("c", true)]);
+        assert!(f.fns[0].body.is_some());
+        assert!(f.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn suppression_parsing_roundtrip() {
+        let src =
+            "// chipleak-lint: allow(l5, no-unwrap-in-library): invariant, tested exhaustively\n\
+                   // chipleak-lint: allow-file(L1): lookup-only map\n\
+                   // chipleak-lint: allow(l2)\n";
+        let f = lib_file(src);
+        assert_eq!(f.suppressions.len(), 3);
+        assert!(f.suppressions[0].covers("no-unwrap-in-library", "L5"));
+        assert!(f.suppressions[0].covers("anything", "L5"));
+        assert!(!f.suppressions[0].covers("other", "L2"));
+        assert!(f.suppressions[1].file_scope);
+        assert!(f.suppressions[1].covers("no-nondeterministic-iteration", "L1"));
+        assert!(f.suppressions[2].reason.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "//! Syntax: `// chipleak-lint: allow(l5): reason`.\n\
+                   /// Also `// chipleak-lint: allow-file(l1): reason`.\n\
+                   pub fn documented() {}\n";
+        let f = lib_file(src);
+        assert!(f.suppressions.is_empty(), "{:?}", f.suppressions);
+    }
+
+    #[test]
+    fn doc_comment_examples_are_not_code() {
+        let src =
+            "/// ```\n/// let x = map.keys();\n/// x.unwrap();\n/// ```\npub fn documented() {}\n";
+        let f = lib_file(src);
+        assert!(f.tokens.iter().all(|t| t.text != "unwrap"));
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: L1 must fire — iterating hash-ordered collections in library code.
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    cells: HashMap<u32, f64>,
+}
+
+impl Table {
+    pub fn total(&self) -> f64 {
+        let mut total = 0;
+        for (_, v) in self.cells.iter() {
+            total += *v as u64;
+        }
+        total as f64
+    }
+}
+
+pub fn ids(seen: &HashSet<u32>) -> Vec<u32> {
+    seen.iter().copied().collect()
+}

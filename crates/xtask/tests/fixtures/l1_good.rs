@@ -1,0 +1,21 @@
+// Fixture: L1 must stay quiet — ordered collections and lookup-only hashing.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Table {
+    cells: BTreeMap<u32, f64>,
+    index: HashMap<u32, usize>,
+}
+
+impl Table {
+    pub fn total(&self) -> f64 {
+        let mut total = 0;
+        for (_, v) in self.cells.iter() {
+            total += *v as u64;
+        }
+        total as f64
+    }
+
+    pub fn lookup(&self, id: u32) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: L2 must fire — ambient entropy and wall-clock reads.
+pub fn sample() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,5 @@
+// Fixture: L2 must stay quiet — explicit seeds, no wall clock.
+pub fn sample(seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,18 @@
+// Fixture: L3 must stay quiet — Kahan-routed accumulation, integer counters.
+pub fn mean(xs: &[f64]) -> f64 {
+    kahan_sum(xs.iter().copied()) / xs.len() as f64
+}
+
+pub fn count_nonzero(xs: &[f64]) -> usize {
+    let mut n = 0;
+    for x in xs {
+        if *x != 0.0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+pub fn total(acc: KahanSum) -> f64 {
+    acc.sum()
+}

@@ -1,0 +1,17 @@
+// Fixture: L4 must fire — default fn drifts from its `_with` sibling, and
+// thread primitives appear outside a `parallel` cfg gate.
+pub fn stats_with(xs: &[f64], par: Parallelism) -> f64 {
+    drop(par);
+    xs.len() as f64
+}
+
+pub fn stats(xs: &[f64]) -> f64 {
+    // Reimplements the serial path instead of delegating.
+    xs.len() as f64
+}
+
+pub fn spawn_workers() {
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+}

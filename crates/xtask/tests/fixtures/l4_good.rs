@@ -1,0 +1,17 @@
+// Fixture: L4 must stay quiet — the default routes through `_with` and
+// thread use is feature-gated.
+pub fn stats_with(xs: &[f64], par: Parallelism) -> f64 {
+    drop(par);
+    xs.len() as f64
+}
+
+pub fn stats(xs: &[f64]) -> f64 {
+    stats_with(xs, Parallelism::auto())
+}
+
+#[cfg(feature = "parallel")]
+pub fn spawn_workers() {
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+}

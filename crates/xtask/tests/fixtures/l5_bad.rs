@@ -1,0 +1,12 @@
+// Fixture: L5 must fire — panicking paths in library code.
+pub fn head(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    if !first.is_finite() {
+        panic!("non-finite head");
+    }
+    *first
+}
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, f64>, id: u32) -> f64 {
+    *map.get(&id).expect("id registered")
+}

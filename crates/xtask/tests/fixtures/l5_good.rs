@@ -1,0 +1,8 @@
+// Fixture: L5 must stay quiet — fallible combinators and typed errors.
+pub fn head(xs: &[f64]) -> Result<f64, String> {
+    xs.first().copied().ok_or_else(|| "empty input".to_owned())
+}
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, f64>, id: u32) -> f64 {
+    map.get(&id).copied().unwrap_or(0.0)
+}

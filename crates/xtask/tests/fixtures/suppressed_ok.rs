@@ -1,0 +1,6 @@
+// Fixture: a justified suppression silences the rule without L0 noise.
+pub fn head(xs: &[f64]) -> f64 {
+    // chipleak-lint: allow(no-unwrap-in-library): caller guarantees non-empty via debug_assert
+    let first = xs.first().unwrap();
+    *first
+}

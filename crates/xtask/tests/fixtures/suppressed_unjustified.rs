@@ -1,0 +1,7 @@
+// Fixture: a bare suppression with no `: <why>` must not silence anything
+// and must itself be reported as an L0 error.
+pub fn head(xs: &[f64]) -> f64 {
+    // chipleak-lint: allow(no-unwrap-in-library)
+    let first = xs.first().unwrap();
+    *first
+}

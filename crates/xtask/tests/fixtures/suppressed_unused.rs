@@ -1,0 +1,5 @@
+// Fixture: a suppression that covers nothing is reported as an L0 warning.
+pub fn head(xs: &[f64]) -> Option<f64> {
+    // chipleak-lint: allow(no-unwrap-in-library): stale — the unwrap was removed
+    xs.first().copied()
+}
