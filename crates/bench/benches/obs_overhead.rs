@@ -1,0 +1,234 @@
+//! Observability-layer overhead bench plus the `BENCH_obs.json` metrics
+//! record.
+//!
+//! Two questions, answered on the O(n²) exact estimator and the O(n)
+//! linear estimator:
+//!
+//! 1. Is the `NoopRecorder` default really free? (`baseline` vs `noop`
+//!    groups — medians must be statistically indistinguishable.)
+//! 2. What does live aggregation cost? (`aggregating` group.)
+//!
+//! The custom `main` additionally runs one instrumented workload over the
+//! whole stack (characterization → pairwise table → estimator ladder →
+//! Monte Carlo) against an `AggregatingRecorder`/`WallClock` pair and
+//! writes the snapshot — together with a coarse wall-clock overhead
+//! comparison — to `BENCH_obs.json` for regression tracking in CI.
+
+use criterion::{black_box, criterion_group, Criterion};
+use leakage_bench::{context, Context, SIGNAL_P};
+use leakage_cells::corrmap::CorrelationPolicy;
+use leakage_cells::UsageHistogram;
+use leakage_core::estimator::{
+    exact_placed_stats_instrumented, exact_placed_stats_with, integral_2d_variance_instrumented,
+    linear_time_variance, linear_time_variance_instrumented, polar_1d_variance_instrumented,
+};
+use leakage_core::pairwise::PairwiseCovariance;
+use leakage_core::{Parallelism, RandomGate};
+use leakage_netlist::generate::RandomCircuitGenerator;
+use leakage_netlist::placement::{place, PlacementStyle};
+use leakage_netlist::PlacedCircuit;
+use leakage_numeric::obs::{AggregatingRecorder, WallClock};
+use leakage_numeric::Instruments;
+use leakage_process::correlation::{SpatialCorrelation, TentCorrelation};
+use leakage_process::field::GridGeometry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+const EXACT_GATES: usize = 1_000;
+const LINEAR_SIDE: usize = 100;
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(context)
+}
+
+struct Fixture {
+    rg: RandomGate,
+    pairwise: PairwiseCovariance,
+    placed: PlacedCircuit,
+    grid: GridGeometry,
+    wid: TentCorrelation,
+    rho_c: f64,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ctx = ctx();
+        let wid = leakage_bench::wid();
+        let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
+        let rg = RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact)
+            .expect("random gate");
+        let pairwise = PairwiseCovariance::new(
+            &ctx.charlib,
+            &hist.support(),
+            SIGNAL_P,
+            CorrelationPolicy::Exact,
+        )
+        .expect("pairwise");
+        let mut rng = StdRng::seed_from_u64(EXACT_GATES as u64);
+        let circuit = RandomCircuitGenerator::new(hist)
+            .generate_exact(EXACT_GATES, &mut rng)
+            .expect("gen");
+        let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
+        let grid = GridGeometry::new(LINEAR_SIDE, LINEAR_SIDE, 3.0, 3.0).expect("grid");
+        let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+        Fixture {
+            rg,
+            pairwise,
+            placed,
+            grid,
+            wid,
+            rho_c,
+        }
+    })
+}
+
+fn bench_noop_vs_aggregating(c: &mut Criterion) {
+    let fix = fixture();
+    let rho_c = fix.rho_c;
+    let wid = fix.wid;
+    let rho_total = move |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let par = Parallelism::serial();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("exact_baseline", |b| {
+        b.iter(|| {
+            exact_placed_stats_with(
+                black_box(fix.placed.gates()),
+                &fix.pairwise,
+                &rho_total,
+                par,
+            )
+        })
+    });
+    group.bench_function("exact_noop", |b| {
+        b.iter(|| {
+            exact_placed_stats_instrumented(
+                black_box(fix.placed.gates()),
+                &fix.pairwise,
+                &rho_total,
+                par,
+                Instruments::none(),
+            )
+        })
+    });
+    let recorder = AggregatingRecorder::new();
+    let clock = WallClock;
+    group.bench_function("exact_aggregating", |b| {
+        let ins = Instruments::new(&recorder, &clock);
+        b.iter(|| {
+            exact_placed_stats_instrumented(
+                black_box(fix.placed.gates()),
+                &fix.pairwise,
+                &rho_total,
+                par,
+                ins,
+            )
+        })
+    });
+    group.bench_function("linear_baseline", |b| {
+        b.iter(|| linear_time_variance(&fix.rg, black_box(&fix.grid), &rho_total))
+    });
+    group.bench_function("linear_noop", |b| {
+        b.iter(|| {
+            linear_time_variance_instrumented(
+                &fix.rg,
+                black_box(&fix.grid),
+                &rho_total,
+                Instruments::none(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_noop_vs_aggregating);
+
+/// Coarse wall-clock median over `reps` runs of `f`, in seconds.
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Runs the instrumented workload once and writes `BENCH_obs.json`.
+fn write_bench_obs_json() {
+    let fix = fixture();
+    let rho_c = fix.rho_c;
+    let wid = fix.wid;
+    let rho_total = move |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let par = Parallelism::serial();
+
+    // Overhead record: baseline vs noop-instrumented medians.
+    const REPS: usize = 15;
+    let base = median_secs(REPS, || {
+        let _ = exact_placed_stats_with(fix.placed.gates(), &fix.pairwise, &rho_total, par);
+    });
+    let noop = median_secs(REPS, || {
+        let _ = exact_placed_stats_instrumented(
+            fix.placed.gates(),
+            &fix.pairwise,
+            &rho_total,
+            par,
+            Instruments::none(),
+        );
+    });
+
+    // Metrics section: one instrumented pass over the estimator ladder.
+    let recorder = AggregatingRecorder::new();
+    let clock = WallClock;
+    let ins = Instruments::new(&recorder, &clock);
+    let _ =
+        exact_placed_stats_instrumented(fix.placed.gates(), &fix.pairwise, &rho_total, par, ins);
+    let _ = linear_time_variance_instrumented(&fix.rg, &fix.grid, &rho_total, ins);
+    let n = fix.grid.n_sites();
+    let _ = integral_2d_variance_instrumented(
+        &fix.rg,
+        n,
+        fix.grid.width(),
+        fix.grid.height(),
+        &rho_total,
+        32,
+        8,
+        ins,
+    );
+    let _ = polar_1d_variance_instrumented(
+        &fix.rg,
+        n,
+        fix.grid.width(),
+        fix.grid.height(),
+        &fix.wid,
+        fix.rho_c,
+        64,
+        16,
+        ins,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"exact_gates\": {EXACT_GATES},\n  \"overhead\": {{\"baseline_median_s\": {base:.6}, \
+         \"noop_median_s\": {noop:.6}, \"noop_over_baseline\": {:.4}}},\n",
+        noop / base
+    ));
+    json.push_str("  \"metrics\": ");
+    json.push_str(&recorder.snapshot().to_json_string());
+    json.push_str("\n}\n");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    eprintln!("wrote BENCH_obs.json (noop/baseline = {:.4})", noop / base);
+}
+
+fn main() {
+    leakage_bench::apply_threads_flag();
+    benches();
+    write_bench_obs_json();
+}

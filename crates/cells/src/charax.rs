@@ -19,6 +19,7 @@ use leakage_numeric::interp::LinearInterp;
 use leakage_numeric::parallel::Parallelism;
 use leakage_numeric::regression::fit_exp_quadratic;
 use leakage_numeric::stats::RunningStats;
+use leakage_numeric::Instruments;
 use leakage_process::Technology;
 use leakage_sim::netlist::CellNetlist;
 use leakage_sim::LeakageSolver;
@@ -101,6 +102,24 @@ impl Characterizer {
         state: u32,
         sweep_points: usize,
     ) -> Result<(LeakageTriplet, f64), CellError> {
+        self.fit_state_instrumented(netlist, state, sweep_points, Instruments::none())
+    }
+
+    /// [`Characterizer::fit_state`] reporting to an injected
+    /// [`Instruments`]. Counter-only (solver ticks come from
+    /// [`leakage_sim::LeakageSolver::cell_leakage_instrumented`]) so it is
+    /// safe to call from parallel characterization workers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Characterizer::fit_state`].
+    pub fn fit_state_instrumented(
+        &self,
+        netlist: &CellNetlist,
+        state: u32,
+        sweep_points: usize,
+        ins: Instruments<'_>,
+    ) -> Result<(LeakageTriplet, f64), CellError> {
         if sweep_points < 3 {
             return Err(CellError::InvalidArgument {
                 reason: "quadratic fit needs at least three sweep points".into(),
@@ -111,7 +130,9 @@ impl Characterizer {
         let mut leaks = Vec::with_capacity(sweep_points);
         for i in 0..sweep_points {
             let dl = -span + 2.0 * span * i as f64 / (sweep_points - 1) as f64;
-            let leak = self.solver.cell_leakage(netlist, state, dl, 0.0)?;
+            let leak = self
+                .solver
+                .cell_leakage_instrumented(netlist, state, dl, 0.0, ins)?;
             dls.push(dl);
             leaks.push(leak);
         }
@@ -178,11 +199,30 @@ impl Characterizer {
         cell: &Cell,
         method: CharMethod,
     ) -> Result<CharacterizedCell, CellError> {
+        self.characterize_cell_instrumented(cell, method, Instruments::none())
+    }
+
+    /// [`Characterizer::characterize_cell`] reporting to an injected
+    /// [`Instruments`]. Counter-only, so library-level parallel runs see
+    /// thread-count-independent totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from the selected method.
+    pub fn characterize_cell_instrumented(
+        &self,
+        cell: &Cell,
+        method: CharMethod,
+        ins: Instruments<'_>,
+    ) -> Result<CharacterizedCell, CellError> {
+        ins.add("cells.charax.cells", 1);
+        ins.add("cells.charax.states", u64::from(cell.n_states()));
         let mut states = Vec::with_capacity(cell.n_states() as usize);
         for state in 0..cell.n_states() {
             let model = match method {
                 CharMethod::Analytical { sweep_points } => {
-                    let (triplet, r2) = self.fit_state(cell.netlist(), state, sweep_points)?;
+                    let (triplet, r2) =
+                        self.fit_state_instrumented(cell.netlist(), state, sweep_points, ins)?;
                     StateModel {
                         state,
                         mean: triplet.mean(self.l_sigma)?,
@@ -192,6 +232,7 @@ impl Characterizer {
                     }
                 }
                 CharMethod::MonteCarlo { samples, seed } => {
+                    ins.add("cells.charax.mc_samples", samples as u64);
                     let mut rng =
                         StdRng::seed_from_u64(seed ^ (cell.id().0 as u64) << 16 ^ state as u64);
                     let (mean, std) = self.mc_state(cell.netlist(), state, samples, &mut rng)?;
@@ -247,12 +288,37 @@ impl Characterizer {
         method: CharMethod,
         par: Parallelism,
     ) -> Result<CharacterizedLibrary, CellError> {
+        self.characterize_library_instrumented(lib, method, par, Instruments::none())
+    }
+
+    /// [`Characterizer::characterize_library_with`] reporting to an
+    /// injected [`Instruments`]: a span over the whole characterization
+    /// (opened and closed on the calling thread) plus counter-only
+    /// per-cell/per-solve metrics from the workers. Counters are plain
+    /// commutative increments, so the aggregated totals are identical for
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-cell failures (annotated with the cell name by the
+    /// underlying error).
+    pub fn characterize_library_instrumented(
+        &self,
+        lib: &CellLibrary,
+        method: CharMethod,
+        par: Parallelism,
+        ins: Instruments<'_>,
+    ) -> Result<CharacterizedLibrary, CellError> {
+        let span = ins.span("cells.characterize_library");
         let all = lib.cells();
-        let results = par.map_chunks(all.len(), |i| self.characterize_cell(&all[i], method));
+        let results = par.map_chunks(all.len(), |i| {
+            self.characterize_cell_instrumented(&all[i], method, ins)
+        });
         let mut cells = Vec::with_capacity(all.len());
         for r in results {
             cells.push(r?);
         }
+        drop(span);
         Ok(CharacterizedLibrary {
             cells,
             l_sigma: self.l_sigma,

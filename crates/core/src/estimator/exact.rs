@@ -4,6 +4,7 @@ use crate::estimator::{EstimatorMethod, LeakageEstimate};
 use crate::pairwise::PairwiseCovariance;
 use leakage_numeric::parallel::Parallelism;
 use leakage_numeric::stats::KahanSum;
+use leakage_numeric::Instruments;
 use serde::{Deserialize, Serialize};
 
 /// One placed cell instance: type and placement coordinates (µm).
@@ -88,6 +89,26 @@ pub fn exact_placed_stats_with<R: Fn(f64) -> f64 + Sync>(
     rho_total: &R,
     par: Parallelism,
 ) -> LeakageEstimate {
+    exact_placed_stats_instrumented(gates, pairwise, rho_total, par, Instruments::none())
+}
+
+/// [`exact_placed_stats_with`] reporting to an injected
+/// [`Instruments`]: a span over the whole O(n²) sum plus gate / pair /
+/// chunk counters and the resulting moments as value observations. All
+/// metrics are recorded from the calling thread after the chunk-ordered
+/// reduction, so they are bit-identical for every thread budget.
+///
+/// # Panics
+///
+/// Panics if a gate's type is outside the pairwise table's support.
+pub fn exact_placed_stats_instrumented<R: Fn(f64) -> f64 + Sync>(
+    gates: &[PlacedGate],
+    pairwise: &PairwiseCovariance,
+    rho_total: &R,
+    par: Parallelism,
+    ins: Instruments<'_>,
+) -> LeakageEstimate {
+    let span = ins.span("core.exact_placed_stats");
     let mean = exact_placed_mean(gates, pairwise);
     let n = gates.len();
     let total_work: u128 = n as u128 * (n as u128 + 1) / 2;
@@ -112,6 +133,15 @@ pub fn exact_placed_stats_with<R: Fn(f64) -> f64 + Sync>(
     for p in &partials {
         variance.merge(p);
     }
+    ins.add("core.exact.gates", n as u64);
+    ins.add(
+        "core.exact.pairs",
+        (total_work).min(u64::MAX as u128) as u64,
+    );
+    ins.add("core.exact.chunks", n_chunks as u64);
+    ins.record("core.exact.mean", mean);
+    ins.record("core.exact.variance", variance.sum());
+    drop(span);
     LeakageEstimate {
         mean,
         variance: variance.sum(),

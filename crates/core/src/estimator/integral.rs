@@ -15,6 +15,7 @@
 use crate::error::CoreError;
 use crate::random_gate::RandomGate;
 use leakage_numeric::integrate::{composite_gauss_legendre, gauss_legendre_2d};
+use leakage_numeric::Instruments;
 use leakage_process::correlation::SpatialCorrelation;
 
 /// O(1) full-chip leakage variance by 2-D rectangular quadrature (Eq. 20).
@@ -32,6 +33,38 @@ pub fn integral_2d_variance<R: Fn(f64) -> f64>(
     order: usize,
     panels: usize,
 ) -> f64 {
+    integral_2d_variance_instrumented(
+        rg,
+        n_cells,
+        width,
+        height,
+        rho_total,
+        order,
+        panels,
+        Instruments::none(),
+    )
+}
+
+/// [`integral_2d_variance`] reporting to an injected [`Instruments`]: a
+/// span over the tensor-product quadrature plus panel (`panels²`) and
+/// integrand-evaluation (`order²·panels²`) counters.
+#[allow(clippy::too_many_arguments)]
+pub fn integral_2d_variance_instrumented<R: Fn(f64) -> f64>(
+    rg: &RandomGate,
+    n_cells: usize,
+    width: f64,
+    height: f64,
+    rho_total: &R,
+    order: usize,
+    panels: usize,
+    ins: Instruments<'_>,
+) -> f64 {
+    let span = ins.span("core.integral_2d_variance");
+    ins.add("core.integral2d.panels", (panels * panels) as u64);
+    ins.add(
+        "core.integral2d.evals",
+        (order * order * panels * panels) as u64,
+    );
     let n = n_cells as f64;
     let area = width * height;
     let integral = gauss_legendre_2d(
@@ -46,7 +79,10 @@ pub fn integral_2d_variance<R: Fn(f64) -> f64>(
         order,
         panels,
     );
-    4.0 * (n / area) * (n / area) * integral
+    let variance = 4.0 * (n / area) * (n / area) * integral;
+    ins.record("core.integral2d.variance", variance);
+    drop(span);
+    variance
 }
 
 /// The closed-form angular factor `g(r) = r²/2 − (W+H)r + (π/2)WH`
@@ -81,6 +117,42 @@ pub fn polar_1d_variance<C: SpatialCorrelation>(
     order: usize,
     panels: usize,
 ) -> Result<f64, CoreError> {
+    polar_1d_variance_instrumented(
+        rg,
+        n_cells,
+        width,
+        height,
+        wid,
+        rho_c,
+        order,
+        panels,
+        Instruments::none(),
+    )
+}
+
+/// [`polar_1d_variance`] reporting to an injected [`Instruments`]: a span
+/// over the radial quadrature plus panel and integrand-evaluation
+/// (`order·panels`) counters.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MethodNotApplicable`] under the same conditions as
+/// [`polar_1d_variance`].
+#[allow(clippy::too_many_arguments)]
+pub fn polar_1d_variance_instrumented<C: SpatialCorrelation>(
+    rg: &RandomGate,
+    n_cells: usize,
+    width: f64,
+    height: f64,
+    wid: &C,
+    rho_c: f64,
+    order: usize,
+    panels: usize,
+    ins: Instruments<'_>,
+) -> Result<f64, CoreError> {
+    let span = ins.span("core.polar_1d_variance");
+    ins.add("core.polar1d.panels", panels as u64);
+    ins.add("core.polar1d.evals", (order * panels) as u64);
     let d_max = wid
         .support_radius()
         .ok_or_else(|| CoreError::MethodNotApplicable {
@@ -109,7 +181,10 @@ pub fn polar_1d_variance<C: SpatialCorrelation>(
         order,
         panels,
     );
-    Ok(4.0 * (n / area) * (n / area) * radial + n * n * c_floor)
+    let variance = 4.0 * (n / area) * (n / area) * radial + n * n * c_floor;
+    ins.record("core.polar1d.variance", variance);
+    drop(span);
+    Ok(variance)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use crate::random_gate::RandomGate;
 use leakage_numeric::stats::KahanSum;
+use leakage_numeric::Instruments;
 use leakage_process::field::GridGeometry;
 
 /// Computes the full-chip leakage variance by the exact O(n) multiplicity
@@ -21,6 +22,19 @@ pub fn linear_time_variance<R: Fn(f64) -> f64>(
     grid: &GridGeometry,
     rho_total: &R,
 ) -> f64 {
+    linear_time_variance_instrumented(rg, grid, rho_total, Instruments::none())
+}
+
+/// [`linear_time_variance`] reporting to an injected [`Instruments`]: a
+/// span over the multiplicity sum plus site / offset counters and the
+/// resulting variance as a value observation.
+pub fn linear_time_variance_instrumented<R: Fn(f64) -> f64>(
+    rg: &RandomGate,
+    grid: &GridGeometry,
+    rho_total: &R,
+    ins: Instruments<'_>,
+) -> f64 {
+    let span = ins.span("core.linear_time_variance");
     let m = grid.cols();
     let k = grid.rows();
     let n = grid.n_sites() as f64;
@@ -42,6 +56,10 @@ pub fn linear_time_variance<R: Fn(f64) -> f64>(
             var.add(mult * rg.covariance(rho_total(d)));
         }
     }
+    ins.add("core.linear.sites", (m * k) as u64);
+    ins.add("core.linear.offsets", (m * k) as u64 - 1);
+    ins.record("core.linear.variance", var.sum());
+    drop(span);
     var.sum()
 }
 
@@ -52,6 +70,18 @@ pub fn quadratic_lattice_variance<R: Fn(f64) -> f64>(
     grid: &GridGeometry,
     rho_total: &R,
 ) -> f64 {
+    quadratic_lattice_variance_instrumented(rg, grid, rho_total, Instruments::none())
+}
+
+/// [`quadratic_lattice_variance`] reporting to an injected
+/// [`Instruments`]: a span plus a term counter ((km)² covariance terms).
+pub fn quadratic_lattice_variance_instrumented<R: Fn(f64) -> f64>(
+    rg: &RandomGate,
+    grid: &GridGeometry,
+    rho_total: &R,
+    ins: Instruments<'_>,
+) -> f64 {
+    let span = ins.span("core.quadratic_lattice_variance");
     let m = grid.cols();
     let k = grid.rows();
     let mut var = KahanSum::new();
@@ -67,6 +97,9 @@ pub fn quadratic_lattice_variance<R: Fn(f64) -> f64>(
             }
         }
     }
+    ins.add("core.quadratic.terms", ((k * m) * (k * m)) as u64);
+    ins.record("core.quadratic.variance", var.sum());
+    drop(span);
     var.sum()
 }
 

@@ -14,15 +14,25 @@ mod exact;
 mod integral;
 mod linear;
 
-pub use exact::{exact_placed_mean, exact_placed_stats, exact_placed_stats_with, PlacedGate};
-pub use integral::{g_polar, integral_2d_variance, polar_1d_variance};
-pub use linear::{linear_time_variance, quadratic_lattice_variance};
+pub use exact::{
+    exact_placed_mean, exact_placed_stats, exact_placed_stats_instrumented,
+    exact_placed_stats_with, PlacedGate,
+};
+pub use integral::{
+    g_polar, integral_2d_variance, integral_2d_variance_instrumented, polar_1d_variance,
+    polar_1d_variance_instrumented,
+};
+pub use linear::{
+    linear_time_variance, linear_time_variance_instrumented, quadratic_lattice_variance,
+    quadratic_lattice_variance_instrumented,
+};
 
 use crate::chars::HighLevelCharacteristics;
 use crate::error::CoreError;
 use crate::random_gate::RandomGate;
 use leakage_cells::corrmap::CorrelationPolicy;
 use leakage_cells::model::{vt_mean_multiplier, CharacterizedLibrary};
+use leakage_numeric::Instruments;
 use leakage_process::correlation::SpatialCorrelation;
 use leakage_process::field::GridGeometry;
 use leakage_process::Technology;
@@ -200,8 +210,24 @@ impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
     /// Currently infallible for valid construction; returns `Result` for
     /// interface uniformity with the integral estimators.
     pub fn estimate_linear(&self) -> Result<LeakageEstimate, CoreError> {
-        let var = linear_time_variance(&self.rg, &self.grid, &|d: f64| self.rho_total(d))
-            * self.site_scale();
+        self.estimate_linear_instrumented(Instruments::none())
+    }
+
+    /// [`Self::estimate_linear`] reporting to an injected [`Instruments`].
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Self::estimate_linear`].
+    pub fn estimate_linear_instrumented(
+        &self,
+        ins: Instruments<'_>,
+    ) -> Result<LeakageEstimate, CoreError> {
+        let var = linear_time_variance_instrumented(
+            &self.rg,
+            &self.grid,
+            &|d: f64| self.rho_total(d),
+            ins,
+        ) * self.site_scale();
         Ok(LeakageEstimate {
             mean: self.mean(),
             variance: var,
@@ -215,7 +241,20 @@ impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
     ///
     /// Currently infallible for valid construction.
     pub fn estimate_integral_2d(&self) -> Result<LeakageEstimate, CoreError> {
-        let var = integral_2d_variance(
+        self.estimate_integral_2d_instrumented(Instruments::none())
+    }
+
+    /// [`Self::estimate_integral_2d`] reporting to an injected
+    /// [`Instruments`].
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Self::estimate_integral_2d`].
+    pub fn estimate_integral_2d_instrumented(
+        &self,
+        ins: Instruments<'_>,
+    ) -> Result<LeakageEstimate, CoreError> {
+        let var = integral_2d_variance_instrumented(
             &self.rg,
             self.chars.n_cells(),
             self.chars.width(),
@@ -223,6 +262,7 @@ impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
             &|d: f64| self.rho_total(d),
             self.quad_order,
             self.quad_panels,
+            ins,
         );
         Ok(LeakageEstimate {
             mean: self.mean(),
@@ -238,8 +278,23 @@ impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
     ///
     /// Propagates failures other than polar inapplicability.
     pub fn estimate_all(&self) -> Result<Vec<LeakageEstimate>, CoreError> {
-        let mut out = vec![self.estimate_linear()?, self.estimate_integral_2d()?];
-        match self.estimate_polar_1d() {
+        self.estimate_all_instrumented(Instruments::none())
+    }
+
+    /// [`Self::estimate_all`] reporting to an injected [`Instruments`].
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Self::estimate_all`].
+    pub fn estimate_all_instrumented(
+        &self,
+        ins: Instruments<'_>,
+    ) -> Result<Vec<LeakageEstimate>, CoreError> {
+        let mut out = vec![
+            self.estimate_linear_instrumented(ins)?,
+            self.estimate_integral_2d_instrumented(ins)?,
+        ];
+        match self.estimate_polar_1d_instrumented(ins) {
             Ok(e) => out.push(e),
             Err(CoreError::MethodNotApplicable { .. }) => {}
             Err(e) => return Err(e),
@@ -255,7 +310,20 @@ impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
     /// has no compact support or its radius exceeds `min(W, H)` (paper
     /// §3.2.2 precondition).
     pub fn estimate_polar_1d(&self) -> Result<LeakageEstimate, CoreError> {
-        let var = polar_1d_variance(
+        self.estimate_polar_1d_instrumented(Instruments::none())
+    }
+
+    /// [`Self::estimate_polar_1d`] reporting to an injected
+    /// [`Instruments`].
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Self::estimate_polar_1d`].
+    pub fn estimate_polar_1d_instrumented(
+        &self,
+        ins: Instruments<'_>,
+    ) -> Result<LeakageEstimate, CoreError> {
+        let var = polar_1d_variance_instrumented(
             &self.rg,
             self.chars.n_cells(),
             self.chars.width(),
@@ -264,6 +332,7 @@ impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
             self.rho_c,
             self.quad_order,
             self.quad_panels,
+            ins,
         )?;
         Ok(LeakageEstimate {
             mean: self.mean(),

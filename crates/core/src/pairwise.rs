@@ -15,6 +15,7 @@ use leakage_cells::library::CellId;
 use leakage_cells::model::CharacterizedLibrary;
 use leakage_cells::state::state_probabilities;
 use leakage_numeric::interp::LinearInterp;
+use leakage_numeric::Instruments;
 use std::collections::BTreeMap;
 
 /// Number of `ρ_L` knots per pair table.
@@ -49,6 +50,30 @@ impl PairwiseCovariance {
         signal_probability: f64,
         policy: CorrelationPolicy,
     ) -> Result<PairwiseCovariance, CoreError> {
+        PairwiseCovariance::new_instrumented(
+            charlib,
+            support,
+            signal_probability,
+            policy,
+            Instruments::none(),
+        )
+    }
+
+    /// [`PairwiseCovariance::new`] reporting to an injected [`Instruments`]:
+    /// a span over the tabulation plus type-pair and MGF-evaluation (knot)
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`PairwiseCovariance::new`].
+    pub fn new_instrumented(
+        charlib: &CharacterizedLibrary,
+        support: &[CellId],
+        signal_probability: f64,
+        policy: CorrelationPolicy,
+        ins: Instruments<'_>,
+    ) -> Result<PairwiseCovariance, CoreError> {
+        let span = ins.span("core.pairwise_tabulate");
         if support.is_empty() {
             return Err(CoreError::InvalidArgument {
                 reason: "support must contain at least one cell type".into(),
@@ -94,6 +119,13 @@ impl PairwiseCovariance {
                 tables.insert(key, LinearInterp::new(knots, values)?);
             }
         }
+        ins.add("core.pairwise.types", means.len() as u64);
+        ins.add("core.pairwise.tables", tables.len() as u64);
+        ins.add(
+            "core.pairwise.mgf_evals",
+            (tables.len() * PAIR_KNOTS) as u64,
+        );
+        drop(span);
         Ok(PairwiseCovariance {
             means,
             stds,

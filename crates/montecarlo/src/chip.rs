@@ -6,6 +6,7 @@ use leakage_cells::model::CharacterizedLibrary;
 use leakage_netlist::PlacedCircuit;
 use leakage_numeric::parallel::Parallelism;
 use leakage_numeric::stats::RunningStats;
+use leakage_numeric::Instruments;
 use leakage_process::correlation::SpatialCorrelation;
 use leakage_process::field::{CirculantFieldSampler, GridGeometry};
 use leakage_process::Technology;
@@ -212,6 +213,24 @@ impl ChipSampler {
     /// RNG sequentially, the trial count here changes no trial's stream:
     /// trial `i` of a 10k-trial run equals trial `i` of a 1k-trial run.
     pub fn run_seeded_with(&self, trials: usize, base_seed: u64, par: Parallelism) -> RunningStats {
+        self.run_seeded_instrumented(trials, base_seed, par, Instruments::none())
+    }
+
+    /// [`ChipSampler::run_seeded_with`] reporting to an injected
+    /// [`Instruments`]: a span over the whole run, trial / pair-stream /
+    /// chunk / gate-evaluation counters, the resulting mean, and a
+    /// samples-per-second throughput value. The clock is only read on the
+    /// calling thread (a fixed number of times), so under a deterministic
+    /// clock the metrics are bit-identical for every thread budget.
+    pub fn run_seeded_instrumented(
+        &self,
+        trials: usize,
+        base_seed: u64,
+        par: Parallelism,
+        ins: Instruments<'_>,
+    ) -> RunningStats {
+        let start = ins.now_nanos();
+        let span = ins.span("mc.run_seeded");
         // Fixed chunk size (in field pairs, i.e. 32 trials): never derived
         // from the thread count, to keep the decomposition deterministic.
         const PAIRS_PER_CHUNK: usize = 16;
@@ -234,6 +253,19 @@ impl ChipSampler {
         let mut stats = RunningStats::new();
         for p in &partials {
             stats.merge(p);
+        }
+        ins.add("mc.trials", trials as u64);
+        ins.add("mc.pair_streams", n_pairs as u64);
+        ins.add("mc.chunks", n_chunks as u64);
+        ins.add("mc.gate_evals", (trials * self.gates.len()) as u64);
+        ins.record("mc.mean", stats.mean());
+        drop(span);
+        let elapsed = ins.now_nanos().saturating_sub(start);
+        if elapsed > 0 {
+            ins.record(
+                "mc.samples_per_sec",
+                trials as f64 / (elapsed as f64 * 1e-9),
+            );
         }
         stats
     }

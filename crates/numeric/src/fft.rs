@@ -7,6 +7,7 @@
 
 use crate::error::NumericError;
 use crate::parallel::Parallelism;
+use leakage_obs::Instruments;
 
 /// A complex number as a `(re, im)` pair; minimal on purpose.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -181,6 +182,26 @@ pub fn fft2d_with(
     cols: usize,
     par: Parallelism,
 ) -> Result<(), NumericError> {
+    fft2d_instrumented(data, rows, cols, par, Instruments::none())
+}
+
+/// [`fft2d_with`] reporting to an injected [`Instruments`]: one span plus
+/// call/point counters per transform. The metrics are recorded from the
+/// calling thread, so they are identical for every thread budget.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] on bad dimensions.
+pub fn fft2d_instrumented(
+    data: &mut [Complex],
+    rows: usize,
+    cols: usize,
+    par: Parallelism,
+    ins: Instruments<'_>,
+) -> Result<(), NumericError> {
+    let _span = ins.span("numeric.fft2d");
+    ins.add("numeric.fft2d.calls", 1);
+    ins.add("numeric.fft2d.points", (rows * cols) as u64);
     transform2d(data, rows, cols, false, par)
 }
 
@@ -195,6 +216,25 @@ pub fn ifft2d_with(
     cols: usize,
     par: Parallelism,
 ) -> Result<(), NumericError> {
+    ifft2d_instrumented(data, rows, cols, par, Instruments::none())
+}
+
+/// [`ifft2d_with`] reporting to an injected [`Instruments`]; see
+/// [`fft2d_instrumented`].
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] on bad dimensions.
+pub fn ifft2d_instrumented(
+    data: &mut [Complex],
+    rows: usize,
+    cols: usize,
+    par: Parallelism,
+    ins: Instruments<'_>,
+) -> Result<(), NumericError> {
+    let _span = ins.span("numeric.ifft2d");
+    ins.add("numeric.ifft2d.calls", 1);
+    ins.add("numeric.ifft2d.points", (rows * cols) as u64);
     transform2d(data, rows, cols, true, par)?;
     scale_inverse(data, rows, cols);
     Ok(())

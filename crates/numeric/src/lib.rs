@@ -36,3 +36,8 @@ pub mod stats;
 pub use error::NumericError;
 pub use matrix::Matrix;
 pub use parallel::Parallelism;
+
+// Re-export the observability layer so downstream crates can name
+// `Instruments` without a direct `leakage-obs` dependency.
+pub use leakage_obs as obs;
+pub use leakage_obs::Instruments;

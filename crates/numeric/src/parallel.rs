@@ -155,11 +155,11 @@ impl Parallelism {
             for (i, v) in collected {
                 slots[i] = Some(v);
             }
-            return slots
+            slots
                 .into_iter()
                 // chipleak-lint: allow(no-unwrap-in-library): the atomic counter hands out every index in 0..n_chunks exactly once
                 .map(|s| s.expect("every chunk index claimed exactly once"))
-                .collect();
+                .collect()
         }
     }
 

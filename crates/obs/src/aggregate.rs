@@ -1,0 +1,541 @@
+//! Thread-aware aggregation with a deterministic merge.
+//!
+//! `AggregatingRecorder` holds one shard per worker slot. Workers (or the
+//! calling thread, which is slot 0) record into their own shard; a
+//! [`AggregatingRecorder::snapshot`] merges shards **in worker-index
+//! order** with Kahan-compensated float sums, so the aggregate is a pure
+//! function of *what* was recorded per slot, never of scheduling. The
+//! instrumented hot paths go one step further and record everything from
+//! the calling thread in chunk order, which makes snapshots bit-identical
+//! across serial/parallel runs and thread budgets by construction.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::recorder::Recorder;
+use crate::KahanF64;
+
+/// Per-shard accumulation state for one value histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct ValueStats {
+    count: u64,
+    sum: KahanF64,
+    min: f64,
+    max: f64,
+    /// Count per power-of-two magnitude bucket; the key is the unbiased
+    /// binary exponent of `|value|` (exact, from the bit pattern), with
+    /// `i32::MIN` for zero. A dependency-free deterministic histogram.
+    log2_buckets: BTreeMap<i32, u64>,
+}
+
+impl ValueStats {
+    fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+        self.count += 1;
+        self.sum.add(value);
+        *self.log2_buckets.entry(log2_bucket(value)).or_insert(0) += 1;
+    }
+
+    fn merge(&mut self, other: &ValueStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+        self.count += other.count;
+        self.sum.merge(&other.sum);
+        for (k, v) in &other.log2_buckets {
+            *self.log2_buckets.entry(*k).or_insert(0) += v;
+        }
+    }
+}
+
+/// Exact magnitude bucket: the raw biased exponent field of the f64,
+/// unbiased; `i32::MIN` for ±0. Bit-exact, so identical values always
+/// land in identical buckets.
+fn log2_bucket(value: f64) -> i32 {
+    if value == 0.0 {
+        return i32::MIN;
+    }
+    let biased = ((value.abs().to_bits() >> 52) & 0x7ff) as i32;
+    biased - 1023
+}
+
+/// Per-shard accumulation state for one span.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct SpanStats {
+    count: u64,
+    total_ns: u64,
+}
+
+/// One worker slot's private metric state.
+#[derive(Debug, Default)]
+struct Shard {
+    counters: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, ValueStats>,
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl Shard {
+    fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        // A poisoned shard only means another worker panicked mid-record;
+        // the counters themselves are always structurally valid.
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Thread-aware metric sink with a deterministic worker-index-order merge.
+#[derive(Debug)]
+pub struct AggregatingRecorder {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Default for AggregatingRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AggregatingRecorder {
+    /// Single-shard recorder: every event lands in slot 0. This is the
+    /// right shape for the instrumented hot paths, which record from the
+    /// calling thread only.
+    pub fn new() -> Self {
+        Self::with_shards(1)
+    }
+
+    /// Recorder with `n` worker slots (at least one is always allocated).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(Mutex::new(Shard::default()));
+        }
+        Self { shards }
+    }
+
+    /// Number of worker slots.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A `Recorder` view bound to worker slot `index` (wrapped modulo the
+    /// slot count). Hand one to each worker; slots are lock-contention
+    /// free as long as workers stay in their own slot.
+    pub fn worker(&self, index: usize) -> WorkerRecorder<'_> {
+        WorkerRecorder {
+            shards: &self.shards,
+            index: index % self.shards.len(),
+        }
+    }
+
+    /// Merge all shards — in worker-index order, Kahan-compensated — into
+    /// an ordered snapshot. Does not drain the shards.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut values: BTreeMap<String, ValueStats> = BTreeMap::new();
+        let mut spans: BTreeMap<String, SpanStats> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = Shard::lock(shard);
+            for (k, v) in &shard.counters {
+                *counters.entry((*k).to_owned()).or_insert(0) += v;
+            }
+            for (k, v) in &shard.values {
+                values.entry((*k).to_owned()).or_default().merge(v);
+            }
+            for (k, v) in &shard.spans {
+                let s = spans.entry((*k).to_owned()).or_default();
+                s.count += v.count;
+                s.total_ns += v.total_ns;
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            values: values
+                .into_iter()
+                .map(|(k, v)| (k, ValueSummary::from_stats(&v)))
+                .collect(),
+            spans: spans
+                .into_iter()
+                .map(|(k, v)| {
+                    (
+                        k,
+                        SpanSummary {
+                            count: v.count,
+                            total_ns: v.total_ns,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for AggregatingRecorder {
+    fn add(&self, counter: &'static str, by: u64) {
+        self.worker(0).add(counter, by);
+    }
+
+    fn record(&self, hist: &'static str, value: f64) {
+        self.worker(0).record(hist, value);
+    }
+
+    fn span_ns(&self, span: &'static str, nanos: u64) {
+        self.worker(0).span_ns(span, nanos);
+    }
+}
+
+/// A `Recorder` bound to one worker slot of an [`AggregatingRecorder`].
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerRecorder<'a> {
+    shards: &'a [Mutex<Shard>],
+    index: usize,
+}
+
+impl WorkerRecorder<'_> {
+    fn shard(&self) -> std::sync::MutexGuard<'_, Shard> {
+        Shard::lock(&self.shards[self.index])
+    }
+}
+
+impl Recorder for WorkerRecorder<'_> {
+    fn add(&self, counter: &'static str, by: u64) {
+        *self.shard().counters.entry(counter).or_insert(0) += by;
+    }
+
+    fn record(&self, hist: &'static str, value: f64) {
+        self.shard().values.entry(hist).or_default().record(value);
+    }
+
+    fn span_ns(&self, span: &'static str, nanos: u64) {
+        let mut shard = self.shard();
+        let s = shard.spans.entry(span).or_default();
+        s.count += 1;
+        s.total_ns += nanos;
+    }
+}
+
+/// Merged view of one value histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValueSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Kahan-compensated sum of observations.
+    pub sum: f64,
+    /// Arithmetic mean (`sum / count`).
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// `(log2 magnitude bucket, count)` in ascending bucket order; the
+    /// zero bucket is keyed `i32::MIN`.
+    pub log2_buckets: Vec<(i32, u64)>,
+}
+
+impl ValueSummary {
+    fn from_stats(v: &ValueStats) -> Self {
+        let sum = v.sum.value();
+        ValueSummary {
+            count: v.count,
+            sum,
+            mean: if v.count > 0 {
+                sum / v.count as f64
+            } else {
+                0.0
+            },
+            min: v.min,
+            max: v.max,
+            log2_buckets: v.log2_buckets.iter().map(|(k, c)| (*k, *c)).collect(),
+        }
+    }
+}
+
+/// Merged view of one span.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanSummary {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total duration in nanoseconds on the injected clock.
+    pub total_ns: u64,
+}
+
+/// Ordered, comparable aggregate of everything a recorder saw. All maps
+/// are `BTreeMap`, so iteration (and the JSON rendering) is deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Value histograms.
+    pub values: BTreeMap<String, ValueSummary>,
+    /// Span timings.
+    pub spans: BTreeMap<String, SpanSummary>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.values.is_empty() && self.spans.is_empty()
+    }
+
+    /// Deterministic JSON: keys in BTreeMap order, floats in Rust's
+    /// shortest-roundtrip form (non-finite floats become `null`). Equal
+    /// snapshots always render to byte-identical strings.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            out.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"values\": {");
+        push_entries(&mut out, self.values.iter(), |out, v| {
+            out.push_str("{\"count\": ");
+            out.push_str(&v.count.to_string());
+            out.push_str(", \"sum\": ");
+            push_f64(out, v.sum);
+            out.push_str(", \"mean\": ");
+            push_f64(out, v.mean);
+            out.push_str(", \"min\": ");
+            push_f64(out, v.min);
+            out.push_str(", \"max\": ");
+            push_f64(out, v.max);
+            out.push_str(", \"log2_buckets\": {");
+            for (i, (k, c)) in v.log2_buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let label = if *k == i32::MIN {
+                    "zero".to_owned()
+                } else {
+                    k.to_string()
+                };
+                push_json_string(out, &label);
+                out.push_str(": ");
+                out.push_str(&c.to_string());
+            }
+            out.push_str("}}");
+        });
+        out.push_str("},\n  \"spans\": {");
+        push_entries(&mut out, self.spans.iter(), |out, v| {
+            out.push_str("{\"count\": ");
+            out.push_str(&v.count.to_string());
+            out.push_str(", \"total_ns\": ");
+            out.push_str(&v.total_ns.to_string());
+            out.push('}');
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Human-oriented plain-text rendering for `chipleak --metrics`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for (k, v) in &self.spans {
+                let ms = v.total_ns as f64 / 1e6;
+                out.push_str(&format!("  {k:<40} x{:<6} {ms:.3} ms\n", v.count));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<40} {v}\n"));
+            }
+        }
+        if !self.values.is_empty() {
+            out.push_str("values:\n");
+            for (k, v) in &self.values {
+                out.push_str(&format!(
+                    "  {k:<40} n={} mean={:.6e} min={:.6e} max={:.6e}\n",
+                    v.count, v.mean, v.min, v.max
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("no metrics recorded\n");
+        }
+        out
+    }
+}
+
+/// Write `"key": <value>` entries with comma separation and two-space
+/// inner indentation.
+fn push_entries<'v, V: 'v>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'v String, &'v V)>,
+    mut push_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (k, v) in entries {
+        out.push_str(if first { "\n    " } else { ",\n    " });
+        first = false;
+        push_json_string(out, k);
+        out.push_str(": ");
+        push_value(out, v);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest-roundtrip Debug form; integral values gain a ".0"
+        // suffix, which JSON accepts.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_values_spans_round_trip() {
+        let rec = AggregatingRecorder::new();
+        rec.add("a.calls", 2);
+        rec.add("a.calls", 3);
+        rec.record("a.val", 1.5);
+        rec.record("a.val", -2.5);
+        rec.span_ns("a.span", 100);
+        rec.span_ns("a.span", 50);
+        let s = rec.snapshot();
+        assert_eq!(s.counters["a.calls"], 5);
+        let v = &s.values["a.val"];
+        assert_eq!(v.count, 2);
+        assert_eq!(v.sum, -1.0);
+        assert_eq!(v.min, -2.5);
+        assert_eq!(v.max, 1.5);
+        assert_eq!(s.spans["a.span"].count, 2);
+        assert_eq!(s.spans["a.span"].total_ns, 150);
+    }
+
+    #[test]
+    fn merge_is_worker_index_ordered_not_scheduling_ordered() {
+        // Same per-slot content must produce identical snapshots no
+        // matter which order the slots were *written* in.
+        let xs = [1e16, 1.0, -1e16, 3.5e-9];
+        let make = |write_order: &[usize]| {
+            let rec = AggregatingRecorder::with_shards(2);
+            for &slot in write_order {
+                let w = rec.worker(slot);
+                w.record("v", xs[slot * 2]);
+                w.record("v", xs[slot * 2 + 1]);
+                w.add("c", slot as u64 + 1);
+            }
+            rec.snapshot()
+        };
+        let a = make(&[0, 1]);
+        let b = make(&[1, 0]);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.values["v"].sum.to_bits(),
+            b.values["v"].sum.to_bits(),
+            "Kahan merge in worker-index order must be bit-identical"
+        );
+        assert_eq!(a.to_json_string(), b.to_json_string());
+    }
+
+    #[test]
+    fn log2_buckets_are_exact() {
+        assert_eq!(log2_bucket(0.0), i32::MIN);
+        assert_eq!(log2_bucket(1.0), 0);
+        assert_eq!(log2_bucket(-1.5), 0);
+        assert_eq!(log2_bucket(2.0), 1);
+        assert_eq!(log2_bucket(0.5), -1);
+        assert_eq!(log2_bucket(3.0e-7), -22);
+    }
+
+    #[test]
+    fn json_is_valid_and_deterministic() {
+        let rec = AggregatingRecorder::new();
+        rec.add("n.gates", 100);
+        rec.record("sigma", 5.589e-7);
+        rec.span_ns("estimate", 1234);
+        let s = rec.snapshot();
+        let json = s.to_json_string();
+        assert_eq!(json, rec.snapshot().to_json_string());
+        assert!(json.contains("\"n.gates\": 100"));
+        assert!(json.contains("\"sigma\""));
+        assert!(json.contains("5.589e-7"));
+        assert!(json.contains("\"total_ns\": 1234"));
+        // Crude structural sanity: braces balance.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let s = AggregatingRecorder::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.to_json_string().matches('{').count(), 4);
+        assert_eq!(s.to_text(), "no metrics recorded\n");
+    }
+
+    #[test]
+    fn shard_isolation_under_threads() {
+        // Record the same per-slot content from real threads; the merge
+        // must equal the serial reference exactly.
+        let rec = AggregatingRecorder::with_shards(4);
+        std::thread::scope(|scope| {
+            for slot in 0..4 {
+                let w = rec.worker(slot);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        w.add("ops", 1);
+                        w.record("val", (slot * 100 + i) as f64 * 1e-8);
+                    }
+                });
+            }
+        });
+        let reference = AggregatingRecorder::with_shards(4);
+        for slot in 0..4 {
+            let w = reference.worker(slot);
+            for i in 0..100 {
+                w.add("ops", 1);
+                w.record("val", (slot * 100 + i) as f64 * 1e-8);
+            }
+        }
+        let a = rec.snapshot();
+        let b = reference.snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.values["val"].sum.to_bits(), b.values["val"].sum.to_bits());
+        assert_eq!(a.counters["ops"], 400);
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic observability for the leakage estimator stack.
+//!
+//! The workspace's determinism contract (DESIGN.md §8) requires every
+//! result — including metrics — to be bit-identical across serial and
+//! parallel runs and across thread budgets. This crate provides the
+//! instrumentation primitives that make that possible:
+//!
+//! - [`Recorder`]: spans, counters, and value histograms behind a trait,
+//!   with a zero-overhead [`NoopRecorder`] as the library default.
+//! - [`AggregatingRecorder`]: a thread-aware sink whose per-worker shards
+//!   are merged deterministically — in worker-index order, with
+//!   Kahan-compensated sums — so aggregates never depend on scheduling.
+//! - [`Clock`]: injected time. chipleak-lint L2 bans `Instant::now` in
+//!   library crates; library code only ever sees the trait. Binaries and
+//!   benches supply [`WallClock`], tests supply the deterministic
+//!   [`FakeClock`], and the noop default is the always-zero [`NullClock`].
+//! - [`Instruments`]: the `(recorder, clock)` pair hot paths thread
+//!   through their `*_instrumented` entry points, plus RAII [`SpanGuard`]
+//!   timing.
+//! - [`MetricsSnapshot`]: an ordered, `PartialEq`-comparable view of an
+//!   aggregate with a deterministic JSON rendering (BTreeMap key order,
+//!   shortest-roundtrip floats) for `chipleak --metrics-json` and
+//!   `BENCH_obs.json`.
+//!
+//! The crate is deliberately dependency-free so every workspace member can
+//! link it without enlarging the dependency graph.
+
+pub mod aggregate;
+pub mod clock;
+pub mod recorder;
+
+pub use aggregate::{
+    AggregatingRecorder, MetricsSnapshot, SpanSummary, ValueSummary, WorkerRecorder,
+};
+pub use clock::{Clock, FakeClock, NullClock, WallClock};
+pub use recorder::{Instruments, NoopRecorder, Recorder, SpanGuard};
+
+/// Neumaier-compensated accumulator, local to this crate so `leakage-obs`
+/// stays dependency-free (the estimator stack has its own in
+/// `leakage-numeric`; the two must not be conflated by the linker of
+/// ideas — this one only serves metric aggregation).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KahanF64 {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanF64 {
+    /// Fold one term into the compensated sum.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Merge another accumulator into this one (order-sensitive by design:
+    /// callers merge shards in worker-index order).
+    pub fn merge(&mut self, other: &KahanF64) {
+        self.add(other.sum);
+        self.compensation += other.compensation;
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::KahanF64;
+
+    #[test]
+    fn kahan_recovers_low_order_bits() {
+        let mut k = KahanF64::default();
+        let mut naive = 0.0_f64;
+        for _ in 0..10_000 {
+            k.add(1e16);
+            k.add(1.0);
+            k.add(-1e16);
+            naive += 1e16;
+            naive += 1.0;
+            naive -= 1e16;
+        }
+        assert_eq!(k.value(), 10_000.0);
+        assert!((naive - 10_000.0).abs() > 1.0, "naive sum should be lossy");
+    }
+
+    #[test]
+    fn merge_matches_sequential_adds() {
+        let xs = [1e16, 1.0, -1e16, 0.5, 3.25e-9, 7.0];
+        let mut whole = KahanF64::default();
+        for x in xs {
+            whole.add(x);
+        }
+        let mut left = KahanF64::default();
+        let mut right = KahanF64::default();
+        for x in &xs[..3] {
+            left.add(*x);
+        }
+        for x in &xs[3..] {
+            right.add(*x);
+        }
+        let mut merged = KahanF64::default();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged.value().to_bits(), whole.value().to_bits());
+    }
+}

@@ -1,0 +1,176 @@
+//! The `Recorder` trait, the zero-overhead noop default, and the
+//! `Instruments` bundle hot paths thread through.
+
+use crate::clock::{Clock, NullClock};
+
+/// Sink for instrumentation events. All methods take `&self` so a single
+/// recorder can be shared across worker threads; implementations decide
+/// how (the noop ignores everything, the aggregator shards).
+///
+/// Metric names are `&'static str` by design: the instrumented hot paths
+/// use fixed dotted names (`"core.exact.pairs"`), which keeps recording
+/// allocation-free.
+pub trait Recorder: Sync {
+    /// Increment the named counter by `by`.
+    fn add(&self, counter: &'static str, by: u64);
+
+    /// Record one observation into the named value histogram.
+    fn record(&self, hist: &'static str, value: f64);
+
+    /// Record one completed span of `nanos` nanoseconds.
+    fn span_ns(&self, span: &'static str, nanos: u64);
+
+    /// `false` for sinks that drop everything; lets callers skip metric
+    /// *derivation* work (not just recording) when nobody is listening.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default sink: drops everything. Every method is an empty inlineable
+/// body, so instrumented code paths cost one virtual call per event —
+/// and events are per-API-call, never per-gate or per-pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn add(&self, _counter: &'static str, _by: u64) {}
+
+    fn record(&self, _hist: &'static str, _value: f64) {}
+
+    fn span_ns(&self, _span: &'static str, _nanos: u64) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+static NOOP_RECORDER: NoopRecorder = NoopRecorder;
+static NULL_CLOCK: NullClock = NullClock;
+
+/// The `(recorder, clock)` pair instrumented APIs accept. `Copy`, two
+/// pointers wide — cheap to pass by value everywhere.
+#[derive(Clone, Copy)]
+pub struct Instruments<'a> {
+    recorder: &'a dyn Recorder,
+    clock: &'a dyn Clock,
+}
+
+impl<'a> Instruments<'a> {
+    /// Bundle a recorder with a clock.
+    pub fn new(recorder: &'a dyn Recorder, clock: &'a dyn Clock) -> Self {
+        Self { recorder, clock }
+    }
+
+    /// The zero-overhead default: noop recorder, always-zero clock. This
+    /// is what every un-instrumented public API passes down.
+    pub fn none() -> Instruments<'static> {
+        Instruments {
+            recorder: &NOOP_RECORDER,
+            clock: &NULL_CLOCK,
+        }
+    }
+
+    /// The recorder half.
+    pub fn recorder(&self) -> &'a dyn Recorder {
+        self.recorder
+    }
+
+    /// Whether anything is listening (see [`Recorder::is_enabled`]).
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Read the injected clock.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Increment a counter.
+    pub fn add(&self, counter: &'static str, by: u64) {
+        self.recorder.add(counter, by);
+    }
+
+    /// Record a value observation.
+    pub fn record(&self, hist: &'static str, value: f64) {
+        self.recorder.record(hist, value);
+    }
+
+    /// Record an externally measured span.
+    pub fn span_ns(&self, span: &'static str, nanos: u64) {
+        self.recorder.span_ns(span, nanos);
+    }
+
+    /// Open an RAII span; the duration is recorded when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'a> {
+        SpanGuard {
+            ins: *self,
+            name,
+            start: self.clock.now_nanos(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Instruments<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instruments")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// RAII span: measures from construction to drop on the injected clock.
+#[must_use = "a span measures until it is dropped; binding it to `_` drops immediately"]
+pub struct SpanGuard<'a> {
+    ins: Instruments<'a>,
+    name: &'static str,
+    start: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Nanoseconds elapsed so far on the injected clock.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.ins.now_nanos().saturating_sub(self.start)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.ins.now_nanos();
+        self.ins.span_ns(self.name, end.saturating_sub(self.start));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregatingRecorder;
+    use crate::clock::FakeClock;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let ins = Instruments::none();
+        assert!(!ins.enabled());
+        ins.add("x", 1);
+        ins.record("y", 2.0);
+        let _g = ins.span("z");
+        assert_eq!(ins.now_nanos(), 0);
+    }
+
+    #[test]
+    fn span_guard_measures_on_injected_clock() {
+        let rec = AggregatingRecorder::new();
+        let clock = FakeClock::new(5);
+        let ins = Instruments::new(&rec, &clock);
+        {
+            let _g = ins.span("work");
+            // one extra read between start and drop
+            let _ = ins.now_nanos();
+        }
+        let snap = rec.snapshot();
+        let span = snap.spans.get("work").expect("span recorded");
+        assert_eq!(span.count, 1);
+        // reads: start=0, mid=5, end=10 -> duration 10
+        assert_eq!(span.total_ns, 10);
+    }
+}

@@ -14,9 +14,10 @@
 
 use crate::correlation::SpatialCorrelation;
 use crate::error::ProcessError;
-use leakage_numeric::fft::{fft2d_with, ifft2d, next_pow2, Complex};
+use leakage_numeric::fft::{fft2d_instrumented, fft2d_with, ifft2d, next_pow2, Complex};
 use leakage_numeric::matrix::{Cholesky, Matrix};
 use leakage_numeric::parallel::Parallelism;
+use leakage_numeric::Instruments;
 use rand::Rng;
 use rand_distr::{Distribution, StandardNormal};
 use serde::{Deserialize, Serialize};
@@ -309,6 +310,25 @@ impl CirculantFieldSampler {
         sigma: f64,
         par: Parallelism,
     ) -> Result<Self, ProcessError> {
+        CirculantFieldSampler::new_instrumented(geometry, corr, sigma, par, Instruments::none())
+    }
+
+    /// [`CirculantFieldSampler::new_with`] reporting to an injected
+    /// [`Instruments`]: a span over the embedding build, the torus point
+    /// count, and the clipped spectral-mass fraction as a value
+    /// observation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CirculantFieldSampler::new`].
+    pub fn new_instrumented<C: SpatialCorrelation>(
+        geometry: GridGeometry,
+        corr: &C,
+        sigma: f64,
+        par: Parallelism,
+        ins: Instruments<'_>,
+    ) -> Result<Self, ProcessError> {
+        let span = ins.span("process.circulant_build");
         if !(sigma >= 0.0) || !sigma.is_finite() {
             return Err(ProcessError::InvalidParameter {
                 reason: format!("sigma must be finite and >= 0, got {sigma}"),
@@ -328,7 +348,7 @@ impl CirculantFieldSampler {
                 *slot = Complex::new(var * corr.rho(d), 0.0);
             }
         });
-        fft2d_with(&mut kernel, p, q, par)?;
+        fft2d_instrumented(&mut kernel, p, q, par, ins)?;
         let mut clipped = 0.0;
         let mut total = 0.0;
         let scale = (p * q) as f64;
@@ -344,12 +364,16 @@ impl CirculantFieldSampler {
                 }
             })
             .collect();
+        let clipped_fraction = if total > 0.0 { clipped / total } else { 0.0 };
+        ins.add("process.circulant.torus_points", (p * q) as u64);
+        ins.record("process.circulant.clipped_fraction", clipped_fraction);
+        drop(span);
         Ok(CirculantFieldSampler {
             geometry,
             torus_rows: p,
             torus_cols: q,
             sqrt_scaled_eigs,
-            clipped_fraction: if total > 0.0 { clipped / total } else { 0.0 },
+            clipped_fraction,
         })
     }
 

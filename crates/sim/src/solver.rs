@@ -13,6 +13,7 @@ use crate::error::SimError;
 use crate::netlist::Device;
 use crate::netlist::{CellNetlist, InitHint, GND, VDD};
 use leakage_numeric::matrix::Matrix;
+use leakage_numeric::Instruments;
 use leakage_process::Technology;
 
 /// Leakage-stabilizing conductance from every internal node to each rail
@@ -251,6 +252,26 @@ impl LeakageSolver {
         l_delta_nm: f64,
         vt_delta: f64,
     ) -> Result<f64, SimError> {
+        self.cell_leakage_instrumented(cell, state, l_delta_nm, vt_delta, Instruments::none())
+    }
+
+    /// [`LeakageSolver::cell_leakage`] reporting to an injected
+    /// [`Instruments`]: one `sim.solves` tick per call plus the Newton
+    /// iteration count. Counter-only on purpose — callers run this from
+    /// parallel characterization workers, and plain counter increments
+    /// aggregate to the same totals for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageSolver::solve`].
+    pub fn cell_leakage_instrumented(
+        &self,
+        cell: &CellNetlist,
+        state: u32,
+        l_delta_nm: f64,
+        vt_delta: f64,
+        ins: Instruments<'_>,
+    ) -> Result<f64, SimError> {
         let deltas: Vec<f64>;
         let slice: &[f64] = if vt_delta == 0.0 {
             &[]
@@ -258,7 +279,10 @@ impl LeakageSolver {
             deltas = vec![vt_delta; cell.devices().len()];
             &deltas
         };
-        Ok(self.solve(cell, state, l_delta_nm, slice)?.leakage)
+        let sol = self.solve(cell, state, l_delta_nm, slice)?;
+        ins.add("sim.solves", 1);
+        ins.add("sim.newton_iterations", sol.iterations as u64);
+        Ok(sol.leakage)
     }
 
     /// Per-device currents *leaving* (drain, gate, source) terminal nodes.

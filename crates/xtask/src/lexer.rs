@@ -298,11 +298,10 @@ impl<'a> Lexer<'a> {
     fn char_or_lifetime(&mut self, line: u32, col: u32) {
         // `'x'` / `'\n'` are char literals; `'a` (no closing quote) is a
         // lifetime or loop label.
-        let is_char = match (self.peek(1), self.peek(2)) {
-            (Some('\\'), _) => true,
-            (Some(_), Some('\'')) => true,
-            _ => false,
-        };
+        let is_char = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
         if is_char {
             self.char_literal_body(self.i, line, col);
         } else {

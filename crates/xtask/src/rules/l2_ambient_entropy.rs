@@ -3,9 +3,63 @@
 //! library crates make runs unrepeatable; timing belongs in `bench` and
 //! CLI code, and randomness must flow from counter-seeded streams
 //! (`ChipSampler::run_seeded` and friends).
+//!
+//! One carve-out: the observability crate's injected-clock pattern. Inside
+//! `crates/obs/`, a wall-clock read that sits within an
+//! `impl ... Clock for ...` block is the sanctioned bridge from the banned
+//! ambient clock to the injectable `Clock` trait every other crate must
+//! use. Raw reads elsewhere in `crates/obs/` — and `Clock` impls in any
+//! other library crate — are still flagged.
 
 use crate::engine::{Context, Diagnostic, Rule, Severity};
 use crate::source::SourceFile;
+
+/// Token index ranges `(open_brace, close_brace)` of `impl ... Clock for
+/// ...` blocks — only honoured for files under `crates/obs/`.
+fn clock_impl_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+    if !file.rel.starts_with("crates/obs/") {
+        return Vec::new();
+    }
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            // Scan the impl header (up to `{` or `;`) for the trait path
+            // containing `Clock` followed by `for`.
+            let mut saw_clock = false;
+            let mut clock_trait = false;
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                if toks[j].is_ident("Clock") {
+                    saw_clock = true;
+                } else if toks[j].is_ident("for") && saw_clock {
+                    clock_trait = true;
+                }
+                j += 1;
+            }
+            if clock_trait && j < toks.len() && toks[j].is_punct('{') {
+                let open = j;
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                out.push((open, j));
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    out
+}
 
 /// The L2 rule.
 pub struct AmbientEntropy;
@@ -29,6 +83,7 @@ impl Rule for AmbientEntropy {
             return;
         }
         let toks = &file.tokens;
+        let clock_impls = clock_impl_ranges(file);
         for i in 0..toks.len() {
             let t = &toks[i];
             if !file.lintable_library_line(t.line) {
@@ -36,12 +91,21 @@ impl Rule for AmbientEntropy {
             }
             let found: Option<&str> = if t.is_ident("thread_rng") {
                 Some("rand::thread_rng()")
-            } else if t.is_ident("from_entropy") {
-                Some("SeedableRng::from_entropy()")
             } else if super::path_pair(toks, i, "SystemTime", "now")
                 || super::path_pair(toks, i, "Instant", "now")
             {
-                Some("wall-clock read")
+                // The obs crate's `impl Clock for ...` blocks are the one
+                // sanctioned bridge to the ambient clock.
+                if clock_impls
+                    .iter()
+                    .any(|&(open, close)| i > open && i < close)
+                {
+                    None
+                } else {
+                    Some("wall-clock read")
+                }
+            } else if t.is_ident("from_entropy") {
+                Some("SeedableRng::from_entropy()")
             } else if super::path_pair(toks, i, "rand", "random") {
                 Some("rand::random()")
             } else {
@@ -71,7 +135,11 @@ mod tests {
     use crate::source::FileKind;
 
     fn check(src: &str, kind: FileKind) -> Vec<Diagnostic> {
-        let f = SourceFile::parse("crates/d/src/x.rs".into(), src.into(), kind);
+        check_at("crates/d/src/x.rs", src, kind)
+    }
+
+    fn check_at(rel: &str, src: &str, kind: FileKind) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(rel.into(), src.into(), kind);
         let mut out = Vec::new();
         AmbientEntropy.check_file(&f, &Context::default(), &mut out);
         out
@@ -101,5 +169,38 @@ mod tests {
     fn instant_mentioned_in_comment_or_string_is_fine() {
         let src = "// Instant::now is banned here\nfn f() { let s = \"Instant::now\"; }\n";
         assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    const CLOCK_IMPL: &str =
+        "impl Clock for WallClock {\n    fn now_nanos(&self) -> u64 {\n        \
+                              Instant::now().elapsed().as_nanos() as u64\n    }\n}\n";
+
+    #[test]
+    fn clock_impl_in_obs_is_exempt() {
+        let d = check_at("crates/obs/src/clock.rs", CLOCK_IMPL, FileKind::Library);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn clock_impl_outside_obs_still_flagged() {
+        let d = check_at("crates/core/src/clock.rs", CLOCK_IMPL, FileKind::Library);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn raw_read_in_obs_outside_clock_impl_still_flagged() {
+        let src = "pub fn sneak() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n";
+        let d = check_at("crates/obs/src/lib.rs", src, FileKind::Library);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn entropy_in_obs_clock_impl_not_excused() {
+        // The carve-out covers wall-clock reads only; RNG entropy inside a
+        // Clock impl is still an error.
+        let src = "impl Clock for Jittery {\n    fn now_nanos(&self) -> u64 {\n        \
+                   rand::thread_rng().gen()\n    }\n}\n";
+        let d = check_at("crates/obs/src/clock.rs", src, FileKind::Library);
+        assert_eq!(d.len(), 1, "{d:?}");
     }
 }

@@ -1,0 +1,12 @@
+// Fixture: L2 must fire — a raw wall-clock read in the obs crate that is
+// NOT inside an `impl Clock for ...` block gets no exemption.
+pub fn sneak_timestamp() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        // Fine on its own: inside the Clock impl.
+        std::time::Instant::now().elapsed().as_nanos() as u64
+    }
+}

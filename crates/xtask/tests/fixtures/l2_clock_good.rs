@@ -1,0 +1,10 @@
+// Fixture: L2 must stay quiet — wall-clock read inside an
+// `impl Clock for ...` block in the obs crate is the sanctioned bridge.
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        let t = std::time::Instant::now();
+        t.elapsed().as_nanos() as u64
+    }
+}

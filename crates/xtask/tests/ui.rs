@@ -64,6 +64,27 @@ fn l2_fires_on_bad_and_not_on_good() {
     assert!(good.is_empty(), "{good:?}");
 }
 
+const OBS_REL: &str = "crates/obs/src/fixture.rs";
+
+#[test]
+fn l2_clock_impl_carve_out_is_scoped_to_obs() {
+    // The injected-clock bridge: an `impl Clock for ...` wall-clock read is
+    // exempt inside crates/obs/ only.
+    let good = lint_fixture("l2_clock_good.rs", OBS_REL);
+    assert!(good.is_empty(), "{good:?}");
+    // The identical impl in any other library crate still fires.
+    let elsewhere = lint_fixture("l2_clock_good.rs", DEMO_REL);
+    assert_eq!(
+        rule_hits(&elsewhere, "no-ambient-entropy"),
+        1,
+        "{elsewhere:?}"
+    );
+    // A raw read in obs outside a Clock impl gets no exemption; the read
+    // inside the impl in the same file stays quiet.
+    let bad = lint_fixture("l2_clock_bad.rs", OBS_REL);
+    assert_eq!(rule_hits(&bad, "no-ambient-entropy"), 1, "{bad:?}");
+}
+
 #[test]
 fn l3_fires_on_bad_and_not_on_good() {
     let bad = lint_fixture("l3_bad.rs", ESTIMATOR_REL);

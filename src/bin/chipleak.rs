@@ -12,11 +12,16 @@
 //! estimates skip the transistor-level solves; `estimate` runs the early-
 //! mode flow on given high-level characteristics; `iscas85` runs the
 //! late-mode flow over the synthetic benchmark suite.
+//!
+//! Every command accepts `--metrics` (print deterministic counters, value
+//! summaries and wall-clock spans to stderr) and `--metrics-json FILE`
+//! (write the same snapshot as JSON).
 
 use fullchip_leakage::cells::model::CharacterizedLibrary;
 use fullchip_leakage::core::LeakageDistribution;
 use fullchip_leakage::netlist::extract::extract_characteristics;
 use fullchip_leakage::netlist::iscas85;
+use fullchip_leakage::obs::{AggregatingRecorder, Instruments, WallClock};
 use fullchip_leakage::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -43,13 +48,39 @@ fn main() -> ExitCode {
         }
         std::env::set_var(fullchip_leakage::core::parallel::THREADS_ENV, threads);
     }
+    // Global flags: `--metrics` / `--metrics-json FILE` attach a recorder
+    // to the instrumented hot paths. Off by default: the commands then run
+    // against the zero-overhead no-op recorder.
+    let want_metrics = opts.contains_key("metrics") || opts.contains_key("metrics-json");
+    let recorder = AggregatingRecorder::new();
+    let clock = WallClock;
+    let ins = if want_metrics {
+        Instruments::new(&recorder, &clock)
+    } else {
+        Instruments::none()
+    };
     let result = match command.as_str() {
-        "characterize" => cmd_characterize(&opts),
-        "estimate" => cmd_estimate(&opts),
-        "estimate-file" => cmd_estimate_file(&opts),
-        "iscas85" => cmd_iscas85(&opts),
+        "characterize" => cmd_characterize(&opts, ins),
+        "estimate" => cmd_estimate(&opts, ins),
+        "estimate-file" => cmd_estimate_file(&opts, ins),
+        "iscas85" => cmd_iscas85(&opts, ins),
         other => Err(format!("unknown command {other}\n{USAGE}")),
     };
+    let result = result.and_then(|()| {
+        if !want_metrics {
+            return Ok(());
+        }
+        let snapshot = recorder.snapshot();
+        if opts.contains_key("metrics") {
+            eprintln!("{}", snapshot.to_text());
+        }
+        if let Some(path) = opts.get("metrics-json") {
+            std::fs::write(path, snapshot.to_json_string())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -70,7 +101,12 @@ const USAGE: &str = "usage:
   chipleak iscas85  [--library FILE.json]
 
 global flags:
-  --threads N   worker threads for the parallel hot paths (0 = all cores)";
+  --threads N         worker threads for the parallel hot paths (0 = all cores)
+  --metrics           print hot-path counters/spans to stderr after the run
+  --metrics-json FILE write the metrics snapshot as JSON";
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["metrics"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -79,6 +115,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got {flag}"))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            out.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -90,6 +130,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 fn load_or_characterize(
     opts: &HashMap<String, String>,
     tech: &Technology,
+    ins: Instruments<'_>,
 ) -> Result<CharacterizedLibrary, String> {
     if let Some(path) = opts.get("library") {
         let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -98,11 +139,11 @@ fn load_or_characterize(
     eprintln!("characterizing the 62-cell library (pass --library FILE.json to reuse one) ...");
     let lib = CellLibrary::standard_62();
     Characterizer::new(tech)
-        .characterize_library(&lib, CharMethod::default())
+        .characterize_library_instrumented(&lib, CharMethod::default(), Parallelism::auto(), ins)
         .map_err(|e| e.to_string())
 }
 
-fn cmd_characterize(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_characterize(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), String> {
     let sweep_points: usize = opts
         .get("sweep-points")
         .map(|v| v.parse().map_err(|e| format!("--sweep-points: {e}")))
@@ -115,7 +156,12 @@ fn cmd_characterize(opts: &HashMap<String, String>) -> Result<(), String> {
         lib.len()
     );
     let charlib = Characterizer::new(&tech)
-        .characterize_library(&lib, CharMethod::Analytical { sweep_points })
+        .characterize_library_instrumented(
+            &lib,
+            CharMethod::Analytical { sweep_points },
+            Parallelism::auto(),
+            ins,
+        )
         .map_err(|e| e.to_string())?;
     let json = serde_json::to_string_pretty(&charlib).map_err(|e| e.to_string())?;
     match opts.get("out") {
@@ -128,7 +174,7 @@ fn cmd_characterize(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_estimate(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_estimate(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), String> {
     let n_cells: usize = opts
         .get("cells")
         .ok_or("--cells is required")?
@@ -153,7 +199,7 @@ fn cmd_estimate(opts: &HashMap<String, String>) -> Result<(), String> {
     let method = opts.get("method").map(String::as_str).unwrap_or("polar1d");
 
     let tech = Technology::cmos90();
-    let charlib = load_or_characterize(opts, &tech)?;
+    let charlib = load_or_characterize(opts, &tech, ins)?;
     let histogram = match opts.get("mix").map(String::as_str) {
         None | Some("uniform") => {
             UsageHistogram::uniform(charlib.len()).map_err(|e| e.to_string())?
@@ -187,9 +233,9 @@ fn cmd_estimate(opts: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .with_vt_correction(&tech);
     let e = match method {
-        "linear" => est.estimate_linear(),
-        "integral2d" => est.estimate_integral_2d(),
-        "polar1d" => est.estimate_polar_1d(),
+        "linear" => est.estimate_linear_instrumented(ins),
+        "integral2d" => est.estimate_integral_2d_instrumented(ins),
+        "polar1d" => est.estimate_polar_1d_instrumented(ins),
         other => return Err(format!("unknown method {other}")),
     }
     .map_err(|e| e.to_string())?;
@@ -211,7 +257,7 @@ fn cmd_estimate(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_estimate_file(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_estimate_file(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), String> {
     use fullchip_leakage::cells::corrmap::CorrelationPolicy;
     use fullchip_leakage::netlist::io::read_placement;
     let path = opts.get("placement").ok_or("--placement is required")?;
@@ -227,7 +273,7 @@ fn cmd_estimate_file(opts: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or(0.5);
     let tech = Technology::cmos90();
     let lib = CellLibrary::standard_62();
-    let charlib = load_or_characterize(opts, &tech)?;
+    let charlib = load_or_characterize(opts, &tech, ins)?;
     let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
     let placed = read_placement(std::io::BufReader::new(file), &lib)
         .map_err(|e| format!("reading {path}: {e}"))?;
@@ -242,16 +288,28 @@ fn cmd_estimate_file(opts: &HashMap<String, String>) -> Result<(), String> {
     let wid = TentCorrelation::new(dmax).map_err(|e| e.to_string())?;
     let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)
         .map_err(|e| e.to_string())?
-        .estimate_linear()
+        .estimate_linear_instrumented(ins)
         .map_err(|e| e.to_string())?;
     println!("RG estimate:   {:.4e} ± {:.4e} A", est.mean, est.std());
     if opts.get("exact").map(String::as_str) == Some("true") {
+        use fullchip_leakage::core::estimator::exact_placed_stats_instrumented;
         let rho_c = tech.l_variation().d2d_variance_fraction();
         let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
-        let pairwise =
-            PairwiseCovariance::new(&charlib, &placed.support(), p, CorrelationPolicy::Exact)
-                .map_err(|e| e.to_string())?;
-        let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
+        let pairwise = PairwiseCovariance::new_instrumented(
+            &charlib,
+            &placed.support(),
+            p,
+            CorrelationPolicy::Exact,
+            ins,
+        )
+        .map_err(|e| e.to_string())?;
+        let truth = exact_placed_stats_instrumented(
+            placed.gates(),
+            &pairwise,
+            &rho_total,
+            Parallelism::auto(),
+            ins,
+        );
         println!("O(n²) truth:   {:.4e} ± {:.4e} A", truth.mean, truth.std());
         println!(
             "σ error:       {:.2}%",
@@ -261,9 +319,9 @@ fn cmd_estimate_file(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_iscas85(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_iscas85(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), String> {
     let tech = Technology::cmos90();
-    let charlib = load_or_characterize(opts, &tech)?;
+    let charlib = load_or_characterize(opts, &tech, ins)?;
     let lib = CellLibrary::standard_62();
     let wid = TentCorrelation::new(100.0).map_err(|e| e.to_string())?;
     println!(
@@ -275,7 +333,7 @@ fn cmd_iscas85(opts: &HashMap<String, String>) -> Result<(), String> {
         let chars = extract_characteristics(&placed, lib.len(), 0.5).map_err(|e| e.to_string())?;
         let est = ChipLeakageEstimator::new(&charlib, &tech, chars, &wid)
             .map_err(|e| e.to_string())?
-            .estimate_linear()
+            .estimate_linear_instrumented(ins)
             .map_err(|e| e.to_string())?;
         println!(
             "{:>8} {:>7} {:>13.4e} {:>13.4e} {:>7.2}%",

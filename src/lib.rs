@@ -43,6 +43,7 @@ pub use leakage_core as core;
 pub use leakage_montecarlo as montecarlo;
 pub use leakage_netlist as netlist;
 pub use leakage_numeric as numeric;
+pub use leakage_obs as obs;
 pub use leakage_process as process;
 pub use leakage_sim as sim;
 

@@ -131,6 +131,67 @@ fn monte_carlo_run_is_identical_for_any_thread_count() {
 }
 
 #[test]
+fn metrics_are_identical_for_any_thread_count() {
+    // The observability layer's core guarantee: an instrumented run
+    // produces the same `MetricsSnapshot` — bit for bit, down to the JSON
+    // serialization — no matter how many worker threads did the work.
+    // Worker threads only perform commutative integer counter adds; spans
+    // and f64 observations happen on the calling thread after the
+    // chunk-ordered reduction. `FakeClock` removes wall-clock noise so the
+    // span durations and derived rates are comparable too.
+    use fullchip_leakage::cells::charax::Characterizer;
+    use fullchip_leakage::core::estimator::exact_placed_stats_instrumented;
+    use fullchip_leakage::obs::{AggregatingRecorder, FakeClock, Instruments};
+
+    let (placed, charlib, tech) = placed_design(400);
+    let lib = CellLibrary::standard_62();
+    let wid = TentCorrelation::new(50.0).expect("model");
+    let rho_c = tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let pairwise =
+        PairwiseCovariance::new(&charlib, &placed.support(), 0.5, CorrelationPolicy::Exact)
+            .expect("pairwise");
+    let sampler = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+        .build()
+        .expect("sampler");
+
+    let run = |par: Parallelism| {
+        let recorder = AggregatingRecorder::new();
+        let clock = FakeClock::new(17);
+        let ins = Instruments::new(&recorder, &clock);
+        let _ = exact_placed_stats_instrumented(placed.gates(), &pairwise, &rho_total, par, ins);
+        let _ = sampler.run_seeded_instrumented(101, 42, par, ins);
+        let _ = Characterizer::new(&tech)
+            .characterize_library_instrumented(
+                &lib,
+                CharMethod::Analytical { sweep_points: 5 },
+                par,
+                ins,
+            )
+            .expect("charax");
+        recorder.snapshot()
+    };
+
+    let serial = run(Parallelism::serial());
+    assert!(!serial.is_empty(), "instrumented run recorded nothing");
+    for par in [
+        Parallelism::threads(1),
+        Parallelism::threads(2),
+        Parallelism::threads(8),
+        Parallelism::auto(), // max (or CHIPLEAK_THREADS when set)
+    ] {
+        let parallel = run(par);
+        assert_eq!(serial, parallel, "{} threads", par.thread_count());
+        assert_eq!(
+            serial.to_json_string(),
+            parallel.to_json_string(),
+            "{} threads (JSON)",
+            par.thread_count()
+        );
+    }
+}
+
+#[test]
 fn estimators_are_pure_functions() {
     let tech = Technology::cmos90();
     let lib = CellLibrary::standard_62();

@@ -1,0 +1,194 @@
+//! Golden regression tests pinning the headline numbers of the published
+//! experiment tables (`results/table1_iscas85.md`,
+//! `results/fig7_integration_error.md`). The whole flow is deterministic —
+//! analytical characterization, seeded suite construction, fixed
+//! quadrature — so these values must reproduce to the precision they were
+//! published at. A drift here means an estimator, the characterization, or
+//! the ISCAS85 suite changed behaviour, not just a flaky run.
+
+use fullchip_leakage::cells::model::CharacterizedLibrary;
+use fullchip_leakage::core::estimator::{
+    exact_placed_mean, exact_placed_stats, integral_2d_variance, linear_time_variance,
+    polar_1d_variance,
+};
+use fullchip_leakage::netlist::extract::extract_characteristics;
+use fullchip_leakage::netlist::iscas85::build_suite;
+use fullchip_leakage::prelude::*;
+use fullchip_leakage::process::field::GridGeometry;
+
+/// Canonical experiment configuration (mirrors `leakage_bench::context`):
+/// cmos90, the 62-cell library, 13-point analytical fits, tent WID
+/// correlation with a 100 µm cutoff, signal probability 0.5.
+struct Golden {
+    tech: Technology,
+    lib: CellLibrary,
+    charlib: CharacterizedLibrary,
+}
+
+const SIGNAL_P: f64 = 0.5;
+
+fn golden() -> Golden {
+    let tech = Technology::cmos90();
+    let lib = CellLibrary::standard_62();
+    let charlib = Characterizer::new(&tech)
+        .characterize_library(&lib, CharMethod::Analytical { sweep_points: 13 })
+        .expect("characterization");
+    Golden { tech, lib, charlib }
+}
+
+fn wid() -> TentCorrelation {
+    TentCorrelation::new(100.0).expect("tent")
+}
+
+fn assert_rel(actual: f64, pinned: f64, tol: f64, what: &str) {
+    let rel = (actual - pinned).abs() / pinned.abs();
+    assert!(
+        rel < tol,
+        "{what}: {actual:e} drifted from pinned {pinned:e} (rel {rel:e} ≥ {tol:e})"
+    );
+}
+
+/// Table 1 rows small enough for the O(n²) reference in a debug test run:
+/// (circuit, gates, true σ, RG σ, σ err %). Values as published in
+/// `results/table1_iscas85.md`. Unlike Fig. 7, the suite's gate mix comes
+/// from a seeded `StdRng` stream, so the exact σ digits shift by ~0.2%
+/// when the `rand` implementation behind that stream changes; the pins
+/// here use a 0.5% band that holds across rand versions while still
+/// catching any real estimator or characterization drift.
+const TABLE1_SMALL: &[(&str, usize, f64, f64, f64)] = &[
+    ("c432", 160, 2.261e-7, 2.270e-7, 0.36),
+    ("c499", 202, 5.589e-7, 5.656e-7, 1.19),
+    ("c880", 383, 5.190e-7, 5.192e-7, 0.03),
+    ("c1355", 546, 1.419e-6, 1.427e-6, 0.55),
+    ("c1908", 880, 2.192e-6, 2.196e-6, 0.17),
+];
+
+/// Gate counts of the full published suite, including the circuits whose
+/// O(n²) reference is too slow for a unit test.
+const TABLE1_GATES: &[(&str, usize)] = &[
+    ("c432", 160),
+    ("c499", 202),
+    ("c880", 383),
+    ("c1355", 546),
+    ("c1908", 880),
+    ("c2670", 1193),
+    ("c5315", 2307),
+    ("c6288", 2416),
+    ("c7552", 3512),
+];
+
+#[test]
+fn table1_iscas85_headline_numbers_hold() {
+    let g = golden();
+    let wid = wid();
+    let rho_c = g.tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let suite = build_suite(&g.lib).expect("suite");
+
+    for &(name, gates, _, _, _) in TABLE1_SMALL {
+        let placed = suite
+            .iter()
+            .find(|p| p.name() == name)
+            .unwrap_or_else(|| panic!("{name} missing from suite"));
+        assert_eq!(placed.n_gates(), gates, "{name} gate count");
+
+        let chars = extract_characteristics(placed, g.lib.len(), SIGNAL_P).expect("extraction");
+        let est = ChipLeakageEstimator::new(&g.charlib, &g.tech, chars, &wid)
+            .expect("estimator")
+            .estimate_linear()
+            .expect("linear");
+        let pairwise = PairwiseCovariance::new(
+            &g.charlib,
+            &placed.support(),
+            SIGNAL_P,
+            CorrelationPolicy::Exact,
+        )
+        .expect("pairwise");
+        let truth = exact_placed_stats(placed.gates(), &pairwise, &rho_total);
+
+        let (_, _, true_sigma, rg_sigma, sigma_err) = TABLE1_SMALL
+            .iter()
+            .copied()
+            .find(|r| r.0 == name)
+            .expect("row");
+        assert_rel(truth.std(), true_sigma, 5e-3, &format!("{name} true σ"));
+        assert_rel(est.std(), rg_sigma, 5e-3, &format!("{name} RG σ"));
+        // The σ error itself moves with the gate mix; pin its neighbourhood
+        // and the paper's headline bound (all errors ≈ 1% or less).
+        let err = (est.std() / truth.std() - 1.0).abs() * 100.0;
+        assert!(
+            (err - sigma_err).abs() < 0.6,
+            "{name} σ err {err:.4}% drifted from pinned {sigma_err}%"
+        );
+        assert!(
+            err < 2.0,
+            "{name} σ err {err:.4}% breaks the headline bound"
+        );
+        // The headline claim of Table 1: RG mean errors are truly
+        // negligible (published as 0.000%).
+        let mean_err = (est.mean / exact_placed_mean(placed.gates(), &pairwise) - 1.0).abs();
+        assert!(mean_err < 1e-5, "{name} μ err {:.5}%", mean_err * 100.0);
+    }
+}
+
+#[test]
+fn table1_suite_gate_counts_hold() {
+    let lib = CellLibrary::standard_62();
+    let suite = build_suite(&lib).expect("suite");
+    for &(name, gates) in TABLE1_GATES {
+        let placed = suite
+            .iter()
+            .find(|p| p.name() == name)
+            .unwrap_or_else(|| panic!("{name} missing from suite"));
+        assert_eq!(placed.n_gates(), gates, "{name} gate count");
+    }
+}
+
+/// Fig. 7 rows exercised here: (grid side, σ linear, 2-D err %, polar
+/// err % or NaN when the method refuses). Values as published in
+/// `results/fig7_integration_error.md` (5 significant digits / 4
+/// decimals). The million-gate row is omitted on runtime grounds only.
+const FIG7: &[(usize, f64, f64, f64)] = &[
+    (10, 4.4881e-7, 5.7771, f64::NAN),
+    (32, 3.9217e-6, 0.7601, f64::NAN),
+    (71, 1.6862e-5, 0.2010, 0.2010),
+    (100, 3.2310e-5, 0.1084, 0.1084),
+];
+
+#[test]
+fn fig7_integration_error_headline_numbers_hold() {
+    let g = golden();
+    let wid = wid();
+    let rho_c = g.tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let hist = UsageHistogram::uniform(g.lib.len()).expect("hist");
+    let rg = RandomGate::new(&g.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact)
+        .expect("random gate");
+
+    for &(side, sigma_lin, err_2d, err_1d) in FIG7 {
+        let n = side * side;
+        let grid = GridGeometry::new(side, side, 3.0, 3.0).expect("grid");
+        let v_lin = linear_time_variance(&rg, &grid, &rho_total);
+        assert_rel(v_lin.sqrt(), sigma_lin, 1e-4, &format!("n={n} σ linear"));
+
+        let v_2d = integral_2d_variance(&rg, n, grid.width(), grid.height(), &rho_total, 32, 8);
+        let e_2d = ((v_2d.sqrt() / v_lin.sqrt()) - 1.0).abs() * 100.0;
+        assert!(
+            (e_2d - err_2d).abs() < 1e-3,
+            "n={n} 2-D err {e_2d:.4}% drifted from pinned {err_2d}%"
+        );
+
+        let polar = polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 64, 16);
+        if err_1d.is_nan() {
+            // D_max = 100 µm exceeds the die: polar must refuse, exactly as
+            // the published table's "n/a" rows record.
+            assert!(polar.is_err(), "n={n} polar should be inapplicable");
+        } else {
+            let e_1d = ((polar.expect("polar").sqrt() / v_lin.sqrt()) - 1.0).abs() * 100.0;
+            assert!(
+                (e_1d - err_1d).abs() < 1e-3,
+                "n={n} polar err {e_1d:.4}% drifted from pinned {err_1d}%"
+            );
+        }
+    }
+}

@@ -8,7 +8,9 @@ use fullchip_leakage::cells::corrmap::{
 };
 use fullchip_leakage::cells::model::{CharacterizedCell, CharacterizedLibrary, StateModel};
 use fullchip_leakage::cells::state::state_probabilities;
-use fullchip_leakage::core::estimator::{linear_time_variance, quadratic_lattice_variance};
+use fullchip_leakage::core::estimator::{
+    integral_2d_variance, linear_time_variance, polar_1d_variance, quadratic_lattice_variance,
+};
 use fullchip_leakage::numeric::integrate::gauss_legendre;
 use fullchip_leakage::prelude::*;
 use fullchip_leakage::process::field::GridGeometry;
@@ -23,6 +25,37 @@ fn triplet_strategy() -> impl Strategy<Value = LeakageTriplet> {
 
 fn sigma_strategy() -> impl Strategy<Value = f64> {
     1.0_f64..8.0
+}
+
+/// One-cell, one-state characterized library: the Random Gate then *is*
+/// every placed instance, which lets the RG estimators be checked against
+/// the placed O(n²) reference without any model mismatch.
+fn single_cell_lib(t: LeakageTriplet, sigma: f64) -> CharacterizedLibrary {
+    CharacterizedLibrary {
+        cells: vec![CharacterizedCell {
+            id: CellId(0),
+            name: "c".into(),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(sigma).expect("mean"),
+                std: t.std(sigma).expect("std"),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        }],
+        l_sigma: sigma,
+    }
+}
+
+fn single_cell_rg(lib: &CharacterizedLibrary) -> RandomGate {
+    RandomGate::new(
+        lib,
+        &UsageHistogram::uniform(1).expect("hist"),
+        0.5,
+        CorrelationPolicy::Exact,
+    )
+    .expect("random gate")
 }
 
 proptest! {
@@ -221,6 +254,111 @@ proptest! {
                     prop_assert!(dab > 0.0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn eq17_matches_exact_pairwise_reference_on_lattice(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        dmax in 5.0_f64..80.0,
+        t in triplet_strategy(),
+        sigma in sigma_strategy(),
+    ) {
+        // Oracle: the O(n) multiplicity sum (Eq. 17) against the O(n²)
+        // placed reference on the very lattice it models — one-cell
+        // library, gates at the grid's site centres. ρ is quantized to
+        // eighths because those are the shared knots of the RG kernel
+        // (41 knots) and the pairwise table (33 knots): both interpolants
+        // then return the identical tabulated covariance, so any residual
+        // disagreement is summation error, not model error.
+        let lib = single_cell_lib(t, sigma);
+        let rg = single_cell_rg(&lib);
+        // Power-of-two pitches keep site-centre differences bit-identical
+        // to the offset distances Eq. 17 sums over.
+        let grid = GridGeometry::new(rows, cols, 2.0, 4.0).unwrap();
+        let rho_total = move |d: f64| ((1.0 - d / dmax).max(0.0) * 8.0).round() / 8.0;
+        let eq17 = linear_time_variance(&rg, &grid, &rho_total);
+        let pairwise =
+            PairwiseCovariance::new(&lib, &[CellId(0)], 0.5, CorrelationPolicy::Exact).unwrap();
+        let mut gates = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let (x, y) = grid.site_center(r, c);
+                gates.push(PlacedGate { cell: CellId(0), x, y });
+            }
+        }
+        let exact = exact_placed_stats(&gates, &pairwise, &rho_total);
+        prop_assert!(exact.variance > 0.0);
+        let rel = (eq17 - exact.variance).abs() / exact.variance;
+        prop_assert!(rel < 1e-9, "Eq.17 {eq17} vs exact {} (rel {rel:e})", exact.variance);
+    }
+
+    #[test]
+    fn estimator_variances_are_nonnegative(
+        side in 2usize..24,
+        dmax in 1.0_f64..500.0,
+        rho_c in 0.0_f64..1.0,
+        t in triplet_strategy(),
+        sigma in sigma_strategy(),
+    ) {
+        let lib = single_cell_lib(t, sigma);
+        let rg = single_cell_rg(&lib);
+        let grid = GridGeometry::new(side, side, 3.0, 3.0).unwrap();
+        let wid = TentCorrelation::new(dmax).unwrap();
+        let rho_total = move |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+        let n = grid.n_sites();
+        let lin = linear_time_variance(&rg, &grid, &rho_total);
+        prop_assert!(lin >= 0.0, "linear {lin}");
+        let i2d =
+            integral_2d_variance(&rg, n, grid.width(), grid.height(), &rho_total, 16, 4);
+        prop_assert!(i2d >= 0.0, "integral-2d {i2d}");
+        // Polar is only applicable while the correlation support fits the
+        // die (D_max ≤ min(W, H)); out of range it must refuse, not return
+        // garbage.
+        match polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 32, 8) {
+            Ok(pol) => prop_assert!(pol >= 0.0, "polar-1d {pol}"),
+            Err(e) => prop_assert!(dmax > grid.width().min(grid.height()), "{e}"),
+        }
+        if side <= 8 {
+            let quad = quadratic_lattice_variance(&rg, &grid, &rho_total);
+            prop_assert!(quad >= 0.0, "quadratic {quad}");
+        }
+    }
+
+    #[test]
+    fn variance_is_monotone_in_d2d_fraction(
+        side in 3usize..14,
+        dmax_frac in 0.1_f64..0.95,
+        t in triplet_strategy(),
+        sigma in sigma_strategy(),
+    ) {
+        // ρ_total(d) = ρ_c + (1−ρ_c)·ρ_WID(d) rises pointwise with ρ_c, and
+        // the covariance kernel F is monotone in ρ, so every estimator's
+        // variance must be non-decreasing in the D2D fraction.
+        let lib = single_cell_lib(t, sigma);
+        let rg = single_cell_rg(&lib);
+        let grid = GridGeometry::new(side, side, 3.0, 3.0).unwrap();
+        // Keep the correlation support inside the die so polar stays
+        // applicable for every case.
+        let wid = TentCorrelation::new(dmax_frac * grid.width()).unwrap();
+        let n = grid.n_sites();
+        let (mut prev_lin, mut prev_i2d, mut prev_pol) = (0.0_f64, 0.0_f64, 0.0_f64);
+        for k in 0..=8 {
+            let rho_c = k as f64 / 8.0;
+            let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+            let lin = linear_time_variance(&rg, &grid, &rho_total);
+            let i2d =
+                integral_2d_variance(&rg, n, grid.width(), grid.height(), &rho_total, 16, 4);
+            let pol =
+                polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 32, 8)
+                    .unwrap();
+            prop_assert!(lin >= prev_lin * (1.0 - 1e-12), "linear at rho_c {rho_c}");
+            prop_assert!(i2d >= prev_i2d * (1.0 - 1e-12), "integral-2d at rho_c {rho_c}");
+            prop_assert!(pol >= prev_pol * (1.0 - 1e-12), "polar-1d at rho_c {rho_c}");
+            prev_lin = lin;
+            prev_i2d = i2d;
+            prev_pol = pol;
         }
     }
 }
