@@ -19,6 +19,14 @@ pub enum CoreError {
         /// Why it cannot be used.
         reason: String,
     },
+    /// Every rung of the resilient fallback ladder was rejected: no
+    /// estimator produced a valid result for this configuration.
+    EstimationExhausted {
+        /// Number of ladder stages attempted.
+        attempts: usize,
+        /// Rendered per-stage rejection reasons.
+        summary: String,
+    },
     /// A cell-model operation failed.
     Cells(leakage_cells::CellError),
     /// A process-model operation failed.
@@ -33,6 +41,12 @@ impl fmt::Display for CoreError {
             CoreError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
             CoreError::MethodNotApplicable { method, reason } => {
                 write!(f, "{method} not applicable: {reason}")
+            }
+            CoreError::EstimationExhausted { attempts, summary } => {
+                write!(
+                    f,
+                    "all {attempts} fallback-ladder stages rejected: {summary}"
+                )
             }
             CoreError::Cells(e) => write!(f, "cell model failure: {e}"),
             CoreError::Process(e) => write!(f, "process model failure: {e}"),

@@ -13,6 +13,7 @@
 mod exact;
 mod integral;
 mod linear;
+mod resilient;
 
 pub use exact::{
     exact_placed_mean, exact_placed_stats, exact_placed_stats_instrumented,
@@ -25,6 +26,10 @@ pub use integral::{
 pub use linear::{
     linear_time_variance, linear_time_variance_instrumented, quadratic_lattice_variance,
     quadratic_lattice_variance_instrumented,
+};
+pub use resilient::{
+    DegradationReport, LadderStage, RejectReason, ResilientEstimate, StageAttempt, StageOutcome,
+    MIN_CONTINUUM_CELLS,
 };
 
 use crate::chars::HighLevelCharacteristics;
@@ -49,6 +54,8 @@ pub enum EstimatorMethod {
     Integral2d,
     /// O(1) 1-D polar integral (Eqs. 24–26).
     Polar1d,
+    /// O(n²) brute-force lattice sum — the fallback ladder's last resort.
+    ExactLattice,
 }
 
 /// A full-chip leakage estimate.
@@ -296,7 +303,9 @@ impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
         ];
         match self.estimate_polar_1d_instrumented(ins) {
             Ok(e) => out.push(e),
-            Err(CoreError::MethodNotApplicable { .. }) => {}
+            Err(CoreError::MethodNotApplicable { .. }) => {
+                ins.add("core.estimate_all.polar_skipped", 1);
+            }
             Err(e) => return Err(e),
         }
         Ok(out)

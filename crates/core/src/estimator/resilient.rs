@@ -1,0 +1,713 @@
+//! Validity-guarded fallback ladder over the paper's estimators.
+//!
+//! The paper's own accuracy study (Fig. 7) shows the O(1) approximations
+//! are only trustworthy in part of the configuration space: the polar 1-D
+//! reduction needs a compact-support WID correlation that fits inside the
+//! die, and both continuum integrals need enough sites for the lattice →
+//! integral limit to hold. Outside those regimes — or when a numerical
+//! fault produces a non-finite or out-of-bracket variance — a production
+//! flow should not return a silently questionable number *or* die with a
+//! hard error when a more exact method is one step away.
+//!
+//! [`ChipLeakageEstimator::estimate_resilient`] runs the ladder
+//! polar-1d → integral-2d → linear (Eq. 17) → exact lattice, checking each
+//! rung's applicability predicate before running it and validating its
+//! output afterwards (finite, non-negative, inside the analytic variance
+//! bracket). Every skip and rejection is recorded in a
+//! [`DegradationReport`] and emitted through the injected
+//! [`Instruments`] — degradation is never silent.
+//! [`ChipLeakageEstimator::estimate_strict`] is the complementary mode:
+//! the requested rung either passes all checks or the rejection surfaces
+//! as a typed error.
+
+use super::{
+    quadratic_lattice_variance_instrumented, ChipLeakageEstimator, EstimatorMethod, LeakageEstimate,
+};
+use crate::error::CoreError;
+use leakage_numeric::Instruments;
+use leakage_process::correlation::SpatialCorrelation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Minimum cell count for the continuum (integral) estimators. Below this
+/// the lattice granularity error is visible (paper Fig. 7: > 0.1 % under
+/// a few hundred gates; the golden tests pin the 49-site regime as
+/// inaccurate), so the ladder degrades to the exact Eq. 17 sum instead.
+pub const MIN_CONTINUUM_CELLS: usize = 500;
+
+/// Relative slack applied to the analytic variance bracket before an
+/// output is declared out of bounds (absorbs quadrature error).
+const BRACKET_SLACK: f64 = 1e-3;
+
+/// The rungs of the fallback ladder, cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LadderStage {
+    /// O(1) polar 1-D integral (Eqs. 24–26).
+    Polar1d,
+    /// O(1) 2-D rectangular integral (Eq. 20).
+    Integral2d,
+    /// O(n) multiplicity sum (Eq. 17) — an exact lattice transform.
+    Linear,
+    /// O(n²) brute-force lattice sum — always applicable, last resort.
+    ExactLattice,
+}
+
+impl LadderStage {
+    /// The full ladder, cheapest first.
+    pub const LADDER: [LadderStage; 4] = [
+        LadderStage::Polar1d,
+        LadderStage::Integral2d,
+        LadderStage::Linear,
+        LadderStage::ExactLattice,
+    ];
+
+    /// Stable lower-case name (CLI flag values, report rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderStage::Polar1d => "polar1d",
+            LadderStage::Integral2d => "integral2d",
+            LadderStage::Linear => "linear",
+            LadderStage::ExactLattice => "exact-lattice",
+        }
+    }
+
+    /// The [`EstimatorMethod`] tag carried by this rung's estimates.
+    pub fn method(self) -> EstimatorMethod {
+        match self {
+            LadderStage::Polar1d => EstimatorMethod::Polar1d,
+            LadderStage::Integral2d => EstimatorMethod::Integral2d,
+            LadderStage::Linear => EstimatorMethod::Linear,
+            LadderStage::ExactLattice => EstimatorMethod::ExactLattice,
+        }
+    }
+
+    fn accepted_counter(self) -> &'static str {
+        match self {
+            LadderStage::Polar1d => "core.resilient.accepted.polar1d",
+            LadderStage::Integral2d => "core.resilient.accepted.integral2d",
+            LadderStage::Linear => "core.resilient.accepted.linear",
+            LadderStage::ExactLattice => "core.resilient.accepted.exact_lattice",
+        }
+    }
+
+    fn rejected_counter(self) -> &'static str {
+        match self {
+            LadderStage::Polar1d => "core.resilient.rejected.polar1d",
+            LadderStage::Integral2d => "core.resilient.rejected.integral2d",
+            LadderStage::Linear => "core.resilient.rejected.linear",
+            LadderStage::ExactLattice => "core.resilient.rejected.exact_lattice",
+        }
+    }
+}
+
+impl fmt::Display for LadderStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a rung was skipped or its output discarded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The rung's applicability predicate failed before it ran.
+    NotApplicable {
+        /// Which precondition failed.
+        reason: String,
+    },
+    /// The rung ran but returned a typed error.
+    Failed {
+        /// Rendered estimator error.
+        reason: String,
+    },
+    /// The rung produced a non-finite mean or variance.
+    NonFinite,
+    /// The rung produced a negative variance.
+    NegativeVariance {
+        /// The offending value (A²).
+        value: f64,
+    },
+    /// The variance fell outside the analytic bracket.
+    OutOfBracket {
+        /// The offending value (A²).
+        value: f64,
+        /// Bracket lower bound (A²).
+        lower: f64,
+        /// Bracket upper bound (A²).
+        upper: f64,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::NotApplicable { reason } => write!(f, "not applicable: {reason}"),
+            RejectReason::Failed { reason } => write!(f, "failed: {reason}"),
+            RejectReason::NonFinite => write!(f, "produced a non-finite moment"),
+            RejectReason::NegativeVariance { value } => {
+                write!(f, "produced a negative variance ({value:.3e} A²)")
+            }
+            RejectReason::OutOfBracket {
+                value,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "variance {value:.3e} A² outside the analytic bracket \
+                 [{lower:.3e}, {upper:.3e}] A²"
+            ),
+        }
+    }
+}
+
+/// Outcome of one ladder rung.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageOutcome {
+    /// The rung's output passed every validity check.
+    Accepted {
+        /// The accepted variance (A²).
+        variance: f64,
+    },
+    /// The rung was skipped or its output discarded.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+}
+
+/// One entry of a [`DegradationReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageAttempt {
+    /// Which rung.
+    pub stage: LadderStage,
+    /// What happened.
+    pub outcome: StageOutcome,
+}
+
+/// The audit trail of a resilient estimation: every rung tried, why the
+/// rejected ones were rejected, and the analytic error bounds the accepted
+/// variance was validated against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Rungs in attempt order; the last entry is the accepted one when
+    /// estimation succeeded.
+    pub attempts: Vec<StageAttempt>,
+    /// Analytic lower bound: every site pair at the D2D correlation floor
+    /// `ρ_C` (A²).
+    pub lower_bound: f64,
+    /// Analytic upper bound: every site pair perfectly correlated (A²).
+    pub upper_bound: f64,
+}
+
+impl DegradationReport {
+    /// The accepted rung, if any.
+    pub fn accepted(&self) -> Option<LadderStage> {
+        self.attempts.iter().find_map(|a| match a.outcome {
+            StageOutcome::Accepted { .. } => Some(a.stage),
+            StageOutcome::Rejected { .. } => None,
+        })
+    }
+
+    /// `true` when at least one rung was rejected before acceptance —
+    /// i.e. the result is a documented degradation, not the first choice.
+    pub fn degraded(&self) -> bool {
+        self.attempts
+            .iter()
+            .any(|a| matches!(a.outcome, StageOutcome::Rejected { .. }))
+    }
+
+    /// One human-readable line per rejected rung.
+    pub fn rejection_lines(&self) -> Vec<String> {
+        self.attempts
+            .iter()
+            .filter_map(|a| match &a.outcome {
+                StageOutcome::Rejected { reason } => Some(format!("{}: {reason}", a.stage)),
+                StageOutcome::Accepted { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Compact single-line summary of the whole ladder run.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = self
+            .attempts
+            .iter()
+            .map(|a| match &a.outcome {
+                StageOutcome::Accepted { .. } => format!("{}: accepted", a.stage),
+                StageOutcome::Rejected { reason } => format!("{}: {reason}", a.stage),
+            })
+            .collect();
+        parts.join("; ")
+    }
+}
+
+/// A [`LeakageEstimate`] plus the [`DegradationReport`] documenting how it
+/// was obtained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilientEstimate {
+    /// The accepted estimate.
+    pub estimate: LeakageEstimate,
+    /// The ladder audit trail.
+    pub report: DegradationReport,
+}
+
+impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
+    /// Analytic bracket for the full-chip leakage variance: the sum of `n`
+    /// identically distributed site totals is bounded below by every
+    /// distinct pair sitting at the D2D correlation floor `ρ_C` and above
+    /// by perfect correlation (`ρ = 1`), since the pairwise covariance is
+    /// monotone in `ρ` and `ρ_C ≤ ρ_total(d) ≤ 1` for the supported
+    /// (non-negative) WID models. Any valid estimate must land inside.
+    pub fn variance_bracket(&self) -> (f64, f64) {
+        let n = self.chars.n_cells() as f64;
+        let base = n * self.rg.variance();
+        let pairs = n * (n - 1.0);
+        (
+            base + pairs * self.rg.covariance(self.rho_c),
+            base + pairs * self.rg.covariance(1.0),
+        )
+    }
+
+    /// The rung's applicability predicate (paper Fig. 7 regimes), checked
+    /// *before* the rung runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MethodNotApplicable`] describing the violated
+    /// precondition.
+    pub fn stage_applicability(&self, stage: LadderStage) -> Result<(), CoreError> {
+        let not_applicable = |reason: String| CoreError::MethodNotApplicable {
+            method: stage.name(),
+            reason,
+        };
+        match stage {
+            LadderStage::Polar1d => {
+                if !(0.0..=1.0).contains(&self.rho_c) {
+                    return Err(not_applicable(format!(
+                        "the D2D split needs 0 ≤ ρ_C ≤ 1, got {}",
+                        self.rho_c
+                    )));
+                }
+                let d_max = self.wid.support_radius().ok_or_else(|| {
+                    not_applicable(
+                        "the WID correlation model has an infinite tail (no compact support)"
+                            .into(),
+                    )
+                })?;
+                let min_dim = self.chars.width().min(self.chars.height());
+                if d_max > min_dim {
+                    return Err(not_applicable(format!(
+                        "correlation support D_max = {d_max} exceeds min(W, H) = {min_dim}"
+                    )));
+                }
+                self.continuum_applicability(stage)
+            }
+            LadderStage::Integral2d => self.continuum_applicability(stage),
+            LadderStage::Linear | LadderStage::ExactLattice => Ok(()),
+        }
+    }
+
+    /// Shared continuum-regime predicate for the O(1) integral rungs: the
+    /// lattice → integral limit needs enough sites, and the correlation
+    /// kernel must be resolved by the site pitch.
+    fn continuum_applicability(&self, stage: LadderStage) -> Result<(), CoreError> {
+        if self.chars.n_cells() < MIN_CONTINUUM_CELLS {
+            return Err(CoreError::MethodNotApplicable {
+                method: stage.name(),
+                reason: format!(
+                    "{} cells is below the continuum floor of {MIN_CONTINUUM_CELLS} \
+                     (lattice granularity error exceeds the golden tolerance)",
+                    self.chars.n_cells()
+                ),
+            });
+        }
+        if let Some(d_max) = self.wid.support_radius() {
+            let pitch = self.grid.pitch_x().max(self.grid.pitch_y());
+            if d_max < pitch {
+                return Err(CoreError::MethodNotApplicable {
+                    method: stage.name(),
+                    reason: format!(
+                        "correlation support D_max = {d_max} µm is below the site pitch \
+                         {pitch} µm; the continuum integral cannot resolve it"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one rung end to end: predicate, estimator, output validation.
+    fn run_stage(
+        &self,
+        stage: LadderStage,
+        lower: f64,
+        upper: f64,
+        ins: Instruments<'_>,
+    ) -> StageOutcome {
+        if let Err(e) = self.stage_applicability(stage) {
+            let reason = match e {
+                CoreError::MethodNotApplicable { reason, .. } => reason,
+                other => other.to_string(),
+            };
+            return StageOutcome::Rejected {
+                reason: RejectReason::NotApplicable { reason },
+            };
+        }
+        let computed = match stage {
+            LadderStage::Polar1d => self.estimate_polar_1d_instrumented(ins),
+            LadderStage::Integral2d => self.estimate_integral_2d_instrumented(ins),
+            LadderStage::Linear => self.estimate_linear_instrumented(ins),
+            LadderStage::ExactLattice => {
+                let var = quadratic_lattice_variance_instrumented(
+                    &self.rg,
+                    &self.grid,
+                    &|d: f64| self.rho_total(d),
+                    ins,
+                ) * self.site_scale();
+                Ok(LeakageEstimate {
+                    mean: self.mean(),
+                    variance: var,
+                    method: EstimatorMethod::ExactLattice,
+                })
+            }
+        };
+        let estimate = match computed {
+            Ok(e) => e,
+            Err(e) => {
+                return StageOutcome::Rejected {
+                    reason: RejectReason::Failed {
+                        reason: e.to_string(),
+                    },
+                }
+            }
+        };
+        if !estimate.mean.is_finite() || !estimate.variance.is_finite() {
+            return StageOutcome::Rejected {
+                reason: RejectReason::NonFinite,
+            };
+        }
+        if estimate.variance < 0.0 {
+            return StageOutcome::Rejected {
+                reason: RejectReason::NegativeVariance {
+                    value: estimate.variance,
+                },
+            };
+        }
+        let lo = lower * (1.0 - BRACKET_SLACK);
+        let hi = upper * (1.0 + BRACKET_SLACK);
+        if estimate.variance < lo || estimate.variance > hi {
+            return StageOutcome::Rejected {
+                reason: RejectReason::OutOfBracket {
+                    value: estimate.variance,
+                    lower,
+                    upper,
+                },
+            };
+        }
+        StageOutcome::Accepted {
+            variance: estimate.variance,
+        }
+    }
+
+    /// Runs the validity-guarded fallback ladder and returns the first
+    /// accepted estimate together with its [`DegradationReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EstimationExhausted`] when every rung is
+    /// rejected (for example under injected NaN poisoning, where no
+    /// estimator can produce a finite variance).
+    pub fn estimate_resilient(&self) -> Result<ResilientEstimate, CoreError> {
+        self.estimate_resilient_instrumented(Instruments::none())
+    }
+
+    /// [`Self::estimate_resilient`] reporting to an injected
+    /// [`Instruments`]: an attempt counter per rung, a per-stage
+    /// accepted/rejected counter, a `core.resilient.degradations` tick
+    /// whenever the accepted rung is not the first choice, and the
+    /// accepted variance as a value observation. All metrics are recorded
+    /// from the calling thread, so snapshots are bit-identical for every
+    /// thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Self::estimate_resilient`].
+    pub fn estimate_resilient_instrumented(
+        &self,
+        ins: Instruments<'_>,
+    ) -> Result<ResilientEstimate, CoreError> {
+        let span = ins.span("core.estimate_resilient");
+        let (lower, upper) = self.variance_bracket();
+        let mut attempts = Vec::new();
+        for stage in LadderStage::LADDER {
+            ins.add("core.resilient.attempts", 1);
+            let outcome = self.run_stage(stage, lower, upper, ins);
+            match outcome {
+                StageOutcome::Accepted { variance } => {
+                    ins.add(stage.accepted_counter(), 1);
+                    if !attempts.is_empty() {
+                        ins.add("core.resilient.degradations", 1);
+                    }
+                    ins.record("core.resilient.variance", variance);
+                    attempts.push(StageAttempt {
+                        stage,
+                        outcome: StageOutcome::Accepted { variance },
+                    });
+                    drop(span);
+                    return Ok(ResilientEstimate {
+                        estimate: LeakageEstimate {
+                            mean: self.mean(),
+                            variance,
+                            method: stage.method(),
+                        },
+                        report: DegradationReport {
+                            attempts,
+                            lower_bound: lower,
+                            upper_bound: upper,
+                        },
+                    });
+                }
+                StageOutcome::Rejected { .. } => {
+                    ins.add(stage.rejected_counter(), 1);
+                    attempts.push(StageAttempt { stage, outcome });
+                }
+            }
+        }
+        ins.add("core.resilient.exhausted", 1);
+        drop(span);
+        let report = DegradationReport {
+            attempts,
+            lower_bound: lower,
+            upper_bound: upper,
+        };
+        Err(CoreError::EstimationExhausted {
+            attempts: report.attempts.len(),
+            summary: report.summary(),
+        })
+    }
+
+    /// Strict mode: the requested rung either passes its applicability
+    /// predicate *and* every output validity check, or the rejection
+    /// surfaces as a typed error — no silent fallback, no degradation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MethodNotApplicable`] carrying the rejection
+    /// reason when the rung fails any check.
+    pub fn estimate_strict(&self, stage: LadderStage) -> Result<LeakageEstimate, CoreError> {
+        self.estimate_strict_instrumented(stage, Instruments::none())
+    }
+
+    /// [`Self::estimate_strict`] reporting to an injected [`Instruments`].
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`Self::estimate_strict`].
+    pub fn estimate_strict_instrumented(
+        &self,
+        stage: LadderStage,
+        ins: Instruments<'_>,
+    ) -> Result<LeakageEstimate, CoreError> {
+        let (lower, upper) = self.variance_bracket();
+        match self.run_stage(stage, lower, upper, ins) {
+            StageOutcome::Accepted { variance } => {
+                ins.add(stage.accepted_counter(), 1);
+                Ok(LeakageEstimate {
+                    mean: self.mean(),
+                    variance,
+                    method: stage.method(),
+                })
+            }
+            StageOutcome::Rejected { reason } => {
+                ins.add(stage.rejected_counter(), 1);
+                ins.add("core.resilient.strict_refusals", 1);
+                // `MethodNotApplicable`'s Display already says "not
+                // applicable", so unwrap that variant's inner reason.
+                let detail = match reason {
+                    RejectReason::NotApplicable { reason } => reason,
+                    other => other.to_string(),
+                };
+                Err(CoreError::MethodNotApplicable {
+                    method: stage.name(),
+                    reason: format!("{detail} (strict mode refuses degradation)"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::HighLevelCharacteristics;
+    use leakage_cells::library::CellId;
+    use leakage_cells::model::{
+        CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel,
+    };
+    use leakage_cells::UsageHistogram;
+    use leakage_process::correlation::{ExponentialCorrelation, TentCorrelation};
+    use leakage_process::Technology;
+
+    const SIGMA: f64 = 4.5;
+
+    fn charlib() -> CharacterizedLibrary {
+        let t1 = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        let t2 = LeakageTriplet::new(3e-9, -0.05, 0.0006).unwrap();
+        let mk = |id: usize, t: LeakageTriplet| CharacterizedCell {
+            id: CellId(id),
+            name: format!("cell{id}"),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(SIGMA).unwrap(),
+                std: t.std(SIGMA).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        CharacterizedLibrary {
+            cells: vec![mk(0, t1), mk(1, t2)],
+            l_sigma: SIGMA,
+        }
+    }
+
+    fn chars(n_cells: usize, w: f64, h: f64) -> HighLevelCharacteristics {
+        HighLevelCharacteristics::builder()
+            .histogram(UsageHistogram::uniform(2).unwrap())
+            .n_cells(n_cells)
+            .die_dimensions(w, h)
+            .build()
+            .unwrap()
+    }
+
+    fn estimator<C: SpatialCorrelation>(
+        n_cells: usize,
+        w: f64,
+        h: f64,
+        wid: C,
+    ) -> ChipLeakageEstimator<C> {
+        ChipLeakageEstimator::new(&charlib(), &Technology::cmos90(), chars(n_cells, w, h), wid)
+            .unwrap()
+    }
+
+    /// A deliberately broken correlation model: NaN at every distance.
+    #[derive(Debug)]
+    struct NanCorrelation;
+    impl SpatialCorrelation for NanCorrelation {
+        fn rho(&self, _d: f64) -> f64 {
+            f64::NAN
+        }
+        fn support_radius(&self) -> Option<f64> {
+            Some(50.0)
+        }
+    }
+
+    #[test]
+    fn polar_accepted_when_applicable_and_bit_identical_to_direct_call() {
+        let est = estimator(10_000, 400.0, 300.0, TentCorrelation::new(50.0).unwrap());
+        let res = est.estimate_resilient().expect("ladder");
+        assert_eq!(res.estimate.method, EstimatorMethod::Polar1d);
+        assert!(!res.report.degraded());
+        assert_eq!(res.report.accepted(), Some(LadderStage::Polar1d));
+        let direct = est.estimate_polar_1d().expect("direct");
+        assert_eq!(res.estimate.variance.to_bits(), direct.variance.to_bits());
+        assert_eq!(res.estimate.mean.to_bits(), direct.mean.to_bits());
+    }
+
+    #[test]
+    fn infinite_tail_degrades_to_integral_2d() {
+        // Fig. 7 regime: no compact support → the polar rung is rejected
+        // up front and the 2-D integral answers, matching its direct call
+        // bit for bit.
+        let est = estimator(
+            10_000,
+            400.0,
+            300.0,
+            ExponentialCorrelation::new(40.0).unwrap(),
+        );
+        let res = est.estimate_resilient().expect("ladder");
+        assert_eq!(res.estimate.method, EstimatorMethod::Integral2d);
+        assert!(res.report.degraded());
+        assert_eq!(res.report.accepted(), Some(LadderStage::Integral2d));
+        let lines = res.report.rejection_lines();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("polar1d"), "{lines:?}");
+        assert!(lines[0].contains("infinite tail"), "{lines:?}");
+        let direct = est.estimate_integral_2d().expect("direct");
+        assert_eq!(res.estimate.variance.to_bits(), direct.variance.to_bits());
+    }
+
+    #[test]
+    fn oversized_support_degrades_to_integral_2d() {
+        // Fig. 7 regime: D_max > min(W, H) invalidates the polar
+        // reduction only; the 2-D integral still applies.
+        let est = estimator(10_000, 400.0, 300.0, TentCorrelation::new(350.0).unwrap());
+        let res = est.estimate_resilient().expect("ladder");
+        assert_eq!(res.estimate.method, EstimatorMethod::Integral2d);
+        let lines = res.report.rejection_lines();
+        assert!(lines[0].contains("exceeds min(W, H)"), "{lines:?}");
+    }
+
+    #[test]
+    fn tiny_designs_skip_the_continuum_rungs() {
+        // 49 cells: the golden tests pin this regime as inaccurate for the
+        // integrals, so the ladder lands on the exact Eq. 17 sum.
+        let est = estimator(49, 14.0, 14.0, TentCorrelation::new(8.0).unwrap());
+        let res = est.estimate_resilient().expect("ladder");
+        assert_eq!(res.estimate.method, EstimatorMethod::Linear);
+        assert_eq!(res.report.rejection_lines().len(), 2);
+        let direct = est.estimate_linear().expect("direct");
+        assert_eq!(res.estimate.variance.to_bits(), direct.variance.to_bits());
+    }
+
+    #[test]
+    fn accepted_variance_sits_inside_the_bracket() {
+        let est = estimator(5_000, 300.0, 300.0, TentCorrelation::new(60.0).unwrap());
+        let (lo, hi) = est.variance_bracket();
+        assert!(lo > 0.0 && hi > lo);
+        let res = est.estimate_resilient().expect("ladder");
+        assert!(res.estimate.variance >= lo * 0.999);
+        assert!(res.estimate.variance <= hi * 1.001);
+        assert_eq!(res.report.lower_bound, lo);
+        assert_eq!(res.report.upper_bound, hi);
+    }
+
+    #[test]
+    fn nan_poisoned_correlation_exhausts_the_ladder_with_a_typed_error() {
+        let est = estimator(10_000, 400.0, 300.0, NanCorrelation);
+        match est.estimate_resilient() {
+            Err(CoreError::EstimationExhausted { attempts, summary }) => {
+                assert_eq!(attempts, LadderStage::LADDER.len());
+                assert!(summary.contains("non-finite"), "{summary}");
+            }
+            other => panic!("expected EstimationExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_mode_surfaces_the_first_rejection() {
+        let est = estimator(
+            10_000,
+            400.0,
+            300.0,
+            ExponentialCorrelation::new(40.0).unwrap(),
+        );
+        match est.estimate_strict(LadderStage::Polar1d) {
+            Err(CoreError::MethodNotApplicable { method, reason }) => {
+                assert_eq!(method, "polar1d");
+                assert!(reason.contains("strict mode"), "{reason}");
+            }
+            other => panic!("expected MethodNotApplicable, got {other:?}"),
+        }
+        // The same configuration succeeds strictly on an applicable rung.
+        let ok = est.estimate_strict(LadderStage::Linear).expect("linear");
+        assert_eq!(ok.method, EstimatorMethod::Linear);
+    }
+
+    #[test]
+    fn ladder_is_deterministic() {
+        let est = estimator(2_000, 200.0, 150.0, TentCorrelation::new(30.0).unwrap());
+        let a = est.estimate_resilient().expect("a");
+        let b = est.estimate_resilient().expect("b");
+        assert_eq!(a, b);
+    }
+}

@@ -63,7 +63,10 @@ pub use leakage_numeric::parallel;
 
 pub use chars::HighLevelCharacteristics;
 pub use error::CoreError;
-pub use estimator::{ChipLeakageEstimator, LeakageEstimate, PlacedGate};
+pub use estimator::{
+    ChipLeakageEstimator, DegradationReport, LadderStage, LeakageEstimate, PlacedGate,
+    ResilientEstimate,
+};
 pub use leakage_yield::LeakageDistribution;
 pub use parallel::Parallelism;
 pub use random_gate::RandomGate;

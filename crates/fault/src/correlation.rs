@@ -1,0 +1,102 @@
+//! NaN-poisoning wrapper around any [`SpatialCorrelation`] model.
+
+use crate::rng::{mix, unit_hash};
+use leakage_process::correlation::SpatialCorrelation;
+
+/// Wraps a correlation model and replaces a seeded, deterministic subset
+/// of its outputs with NaN.
+///
+/// The poisoning decision is a *pure function of the queried distance*
+/// (a hash of the seed and the distance's bit pattern), never of call
+/// order, so the same distances are poisoned no matter how many worker
+/// threads query the model or in what interleaving — the estimator's
+/// degraded output stays bit-identical across thread budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NanPoisonedCorrelation<C> {
+    inner: C,
+    seed: u64,
+    rate: f64,
+}
+
+impl<C: SpatialCorrelation> NanPoisonedCorrelation<C> {
+    /// Poisons roughly `rate` of all distinct queried distances
+    /// (`rate = 1.0` poisons every query).
+    pub fn new(inner: C, seed: u64, rate: f64) -> NanPoisonedCorrelation<C> {
+        NanPoisonedCorrelation {
+            inner,
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Whether this wrapper poisons the query at distance `d`.
+    pub fn poisons(&self, d: f64) -> bool {
+        unit_hash(mix(self.seed) ^ d.to_bits()) < self.rate
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: SpatialCorrelation> SpatialCorrelation for NanPoisonedCorrelation<C> {
+    fn rho(&self, d: f64) -> f64 {
+        if self.poisons(d) {
+            f64::NAN
+        } else {
+            self.inner.rho(d)
+        }
+    }
+
+    fn support_radius(&self) -> Option<f64> {
+        self.inner.support_radius()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_process::correlation::TentCorrelation;
+
+    #[test]
+    fn rate_one_poisons_everything() {
+        let c = NanPoisonedCorrelation::new(TentCorrelation::new(50.0).unwrap(), 3, 1.0);
+        for i in 0..100 {
+            assert!(c.rho(i as f64).is_nan());
+        }
+    }
+
+    #[test]
+    fn rate_zero_is_transparent() {
+        let inner = TentCorrelation::new(50.0).unwrap();
+        let c = NanPoisonedCorrelation::new(inner, 3, 0.0);
+        for i in 0..100 {
+            let d = i as f64;
+            assert_eq!(c.rho(d).to_bits(), inner.rho(d).to_bits());
+        }
+        assert_eq!(c.support_radius(), inner.support_radius());
+    }
+
+    #[test]
+    fn poisoning_is_a_pure_function_of_distance() {
+        let c = NanPoisonedCorrelation::new(TentCorrelation::new(50.0).unwrap(), 11, 0.5);
+        // Query in two different orders; per-distance results must agree.
+        let forward: Vec<bool> = (0..64).map(|i| c.rho(i as f64).is_nan()).collect();
+        let backward: Vec<bool> = (0..64).rev().map(|i| c.rho(i as f64).is_nan()).collect();
+        let backward_reversed: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward_reversed);
+        // A 0.5 rate poisons some but not all distances.
+        assert!(forward.iter().any(|&b| b));
+        assert!(forward.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn different_seeds_pick_different_sites() {
+        let a = NanPoisonedCorrelation::new(TentCorrelation::new(50.0).unwrap(), 1, 0.5);
+        let b = NanPoisonedCorrelation::new(TentCorrelation::new(50.0).unwrap(), 2, 0.5);
+        let pa: Vec<bool> = (0..256).map(|i| a.poisons(i as f64)).collect();
+        let pb: Vec<bool> = (0..256).map(|i| b.poisons(i as f64)).collect();
+        assert_ne!(pa, pb);
+    }
+}

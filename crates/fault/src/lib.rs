@@ -1,0 +1,37 @@
+//! Deterministic fault injection for the full-chip leakage pipeline.
+//!
+//! This crate exists to *prove* the pipeline's robustness claims rather
+//! than assume them: every fault it injects is derived from a single
+//! [`FaultPlan`] seed through pure functions of the fault site (distance
+//! bits, chunk index, byte offset), never of thread scheduling or call
+//! order. A failing fault-injection test therefore reproduces exactly,
+//! and the acceptance criterion "metrics are bit-identical across thread
+//! counts even while faults fire" is testable at all.
+//!
+//! Fault classes:
+//!
+//! * [`NanPoisonedCorrelation`] — wraps any correlation model and returns
+//!   NaN for a seeded subset of distances (numerical poisoning);
+//! * [`starved_solver_options`] / [`starved_recovering_solver_options`] —
+//!   force Newton non-convergence with recovery off/on;
+//! * [`text::truncate`] / [`text::duplicate_line`] /
+//!   [`text::poison_number`] — corrupt netlist/placement text at seeded
+//!   sites;
+//! * [`PanicInjector`] — panics worker closures on seeded chunk indices.
+//!
+//! This is test support: production binaries must not depend on it.
+
+#![warn(missing_docs)]
+
+mod correlation;
+mod panic;
+mod plan;
+mod rng;
+mod solver;
+pub mod text;
+
+pub use correlation::NanPoisonedCorrelation;
+pub use panic::PanicInjector;
+pub use plan::{FaultClass, FaultPlan};
+pub use rng::{mix, unit_hash, SplitMix64};
+pub use solver::{starved_recovering_solver_options, starved_solver_options};

@@ -1,0 +1,73 @@
+//! Deterministic worker-panic injection for parallel regions.
+
+use crate::rng::{mix, unit_hash};
+
+/// Decides which chunk indices of a parallel region panic. The decision
+/// is a pure function of the seed and the chunk index — never of which
+/// thread picked the chunk up — so the surviving error (`WorkerPanic`
+/// with the smallest panicked chunk) is identical for every thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PanicInjector {
+    seed: u64,
+    rate: f64,
+}
+
+impl PanicInjector {
+    /// Panics on roughly `rate` of all chunk indices (`1.0` = every chunk).
+    pub fn new(seed: u64, rate: f64) -> PanicInjector {
+        PanicInjector {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Whether the chunk at `index` is selected for a panic.
+    pub fn fires_on(&self, index: usize) -> bool {
+        unit_hash(mix(self.seed) ^ index as u64) < self.rate
+    }
+
+    /// The selected chunks among `0..n_chunks`, ascending.
+    pub fn selected(&self, n_chunks: usize) -> Vec<usize> {
+        (0..n_chunks).filter(|&i| self.fires_on(i)).collect()
+    }
+
+    /// Panics with a stable, recognizable message when `index` is
+    /// selected; call this at the top of a worker closure under test.
+    pub fn maybe_panic(&self, index: usize) {
+        if self.fires_on(index) {
+            // chipleak-lint: allow(no-unwrap-in-library): panicking is this injector's entire purpose — it exists to prove panics become typed errors
+            panic!("injected worker fault on chunk {index}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_is_seed_deterministic() {
+        let a = PanicInjector::new(17, 0.3);
+        let b = PanicInjector::new(17, 0.3);
+        assert_eq!(a.selected(64), b.selected(64));
+    }
+
+    #[test]
+    fn rate_extremes() {
+        assert!(PanicInjector::new(1, 0.0).selected(64).is_empty());
+        assert_eq!(PanicInjector::new(1, 1.0).selected(64).len(), 64);
+    }
+
+    #[test]
+    fn maybe_panic_fires_with_stable_message() {
+        let inj = PanicInjector::new(1, 1.0);
+        let err = std::panic::catch_unwind(|| inj.maybe_panic(5)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert_eq!(msg, "injected worker fault on chunk 5");
+    }
+
+    #[test]
+    fn maybe_panic_is_silent_when_not_selected() {
+        PanicInjector::new(1, 0.0).maybe_panic(5);
+    }
+}

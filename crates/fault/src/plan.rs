@@ -1,0 +1,149 @@
+//! The [`FaultPlan`]: one seed, independent sub-streams per fault class.
+
+use crate::correlation::NanPoisonedCorrelation;
+use crate::panic::PanicInjector;
+use crate::rng::{mix, SplitMix64};
+use crate::solver::{starved_recovering_solver_options, starved_solver_options};
+use crate::text;
+use leakage_process::correlation::SpatialCorrelation;
+use leakage_sim::SolverOptions;
+
+/// The fault classes a [`FaultPlan`] can drive, used as sub-stream labels
+/// so that e.g. changing the truncation site never shifts the NaN sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// NaN poisoning of correlation queries.
+    NanPoisoning,
+    /// Forced Newton non-convergence.
+    SolverNonConvergence,
+    /// Truncated input text.
+    TruncatedInput,
+    /// Duplicated input lines.
+    DuplicatedInput,
+    /// NaN-corrupted numeric tokens.
+    CorruptNumber,
+    /// Worker-thread panics.
+    WorkerPanic,
+}
+
+impl FaultClass {
+    fn stream_tag(self) -> u64 {
+        match self {
+            FaultClass::NanPoisoning => 1,
+            FaultClass::SolverNonConvergence => 2,
+            FaultClass::TruncatedInput => 3,
+            FaultClass::DuplicatedInput => 4,
+            FaultClass::CorruptNumber => 5,
+            FaultClass::WorkerPanic => 6,
+        }
+    }
+}
+
+/// A seeded description of which faults to inject where. All artifacts
+/// derived from the same plan are reproducible from its seed alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Creates the plan from a seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A fresh generator for one fault class, decorrelated from the other
+    /// classes' streams.
+    pub fn stream(&self, class: FaultClass) -> SplitMix64 {
+        SplitMix64::new(mix(self.seed) ^ mix(class.stream_tag()))
+    }
+
+    /// Wraps `inner` so a `rate` fraction of correlation queries return
+    /// NaN (pure function of distance; thread-schedule independent).
+    pub fn nan_correlation<C: SpatialCorrelation>(
+        &self,
+        inner: C,
+        rate: f64,
+    ) -> NanPoisonedCorrelation<C> {
+        let seed = self.stream(FaultClass::NanPoisoning).next_u64();
+        NanPoisonedCorrelation::new(inner, seed, rate)
+    }
+
+    /// Solver options that force typed non-convergence (recovery off).
+    pub fn unconverging_solver(&self) -> SolverOptions {
+        starved_solver_options()
+    }
+
+    /// Solver options that starve the budget with recovery left on.
+    pub fn starved_recovering_solver(&self) -> SolverOptions {
+        starved_recovering_solver_options()
+    }
+
+    /// The input text truncated at a seeded offset.
+    pub fn truncated(&self, input: &str) -> String {
+        text::truncate(input, &mut self.stream(FaultClass::TruncatedInput))
+    }
+
+    /// The input text with one seeded line duplicated.
+    pub fn duplicated(&self, input: &str) -> String {
+        text::duplicate_line(input, &mut self.stream(FaultClass::DuplicatedInput))
+    }
+
+    /// The input text with one seeded numeric token replaced by NaN.
+    pub fn nan_number(&self, input: &str) -> String {
+        text::poison_number(input, &mut self.stream(FaultClass::CorruptNumber))
+    }
+
+    /// A panic injector firing on a `rate` fraction of chunk indices.
+    pub fn panic_injector(&self, rate: f64) -> PanicInjector {
+        let seed = self.stream(FaultClass::WorkerPanic).next_u64();
+        PanicInjector::new(seed, rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_process::correlation::TentCorrelation;
+
+    const TEXT: &str = "g1 1.0 2.0\ng2 3.0 4.0\n";
+
+    #[test]
+    fn plans_with_the_same_seed_agree_on_every_artifact() {
+        let a = FaultPlan::new(99);
+        let b = FaultPlan::new(99);
+        assert_eq!(a.truncated(TEXT), b.truncated(TEXT));
+        assert_eq!(a.duplicated(TEXT), b.duplicated(TEXT));
+        assert_eq!(a.nan_number(TEXT), b.nan_number(TEXT));
+        assert_eq!(
+            a.panic_injector(0.5).selected(32),
+            b.panic_injector(0.5).selected(32)
+        );
+        let ca = a.nan_correlation(TentCorrelation::new(50.0).unwrap(), 0.5);
+        let cb = b.nan_correlation(TentCorrelation::new(50.0).unwrap(), 0.5);
+        for i in 0..64 {
+            assert_eq!(ca.poisons(i as f64), cb.poisons(i as f64));
+        }
+    }
+
+    #[test]
+    fn class_streams_are_decorrelated() {
+        let p = FaultPlan::new(5);
+        let a = p.stream(FaultClass::NanPoisoning).next_u64();
+        let b = p.stream(FaultClass::WorkerPanic).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn solver_faults_are_budget_starved() {
+        let p = FaultPlan::new(5);
+        assert_eq!(p.unconverging_solver().max_iters, 1);
+        assert!(!p.unconverging_solver().recovery);
+        assert!(p.starved_recovering_solver().recovery);
+    }
+}

@@ -1,0 +1,93 @@
+//! Seeded, dependency-free pseudo-randomness for fault placement.
+//!
+//! SplitMix64 (Steele/Lea/Flood, as used to seed xoshiro generators) is
+//! tiny, has a full 2⁶⁴ period over its state increment, and — crucially
+//! for this crate — is a pure function of its state, so every fault site
+//! it selects is reproducible from the [`FaultPlan`](crate::FaultPlan)
+//! seed alone, independent of thread count or call interleaving.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → the full f64 mantissa resolution.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be positive.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The SplitMix64 output finalizer as a pure function: a stateless hash of
+/// `x` suitable for per-site fault decisions (no call-order dependence).
+pub fn mix(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless uniform `[0, 1)` value derived from `x` — the pure-function
+/// counterpart of [`SplitMix64::next_f64`].
+pub fn unit_hash(x: u64) -> f64 {
+    (mix(x) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_values_are_in_range() {
+        let mut r = SplitMix64::new(7);
+        for i in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let h = unit_hash(i);
+            assert!((0.0..1.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+}

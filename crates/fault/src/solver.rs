@@ -1,0 +1,43 @@
+//! Solver-targeted faults: option sets that force non-convergence.
+
+use leakage_sim::SolverOptions;
+
+/// Options that starve the Newton iteration of its budget *and* disable
+/// the recovery ladder: every non-trivial cell solve fails with
+/// `SimError::Unconverged { recovery_attempted: false, .. }`.
+pub fn starved_solver_options() -> SolverOptions {
+    SolverOptions {
+        max_iters: 1,
+        recovery: false,
+        ..SolverOptions::default()
+    }
+}
+
+/// Options that starve the budget but leave recovery enabled, exercising
+/// the full gmin-continuation / source-stepping ladder under duress. The
+/// ladder either rescues the solve or fails typed with
+/// `recovery_attempted: true`.
+pub fn starved_recovering_solver_options() -> SolverOptions {
+    SolverOptions {
+        max_iters: 1,
+        recovery: true,
+        ..SolverOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starved_options_differ_from_default_only_in_budget_and_recovery() {
+        let d = SolverOptions::default();
+        let s = starved_solver_options();
+        assert_eq!(s.max_iters, 1);
+        assert!(!s.recovery);
+        assert_eq!(s.gmin, d.gmin);
+        let r = starved_recovering_solver_options();
+        assert_eq!(r.max_iters, 1);
+        assert!(r.recovery);
+    }
+}

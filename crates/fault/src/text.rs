@@ -1,0 +1,138 @@
+//! Seeded corruption of textual inputs (netlists, placement files).
+//!
+//! Each transform takes the well-formed source text and a [`SplitMix64`]
+//! stream, and returns the corrupted text. The corruption site depends
+//! only on the stream state, so a given [`FaultPlan`](crate::FaultPlan)
+//! seed always damages the same byte/line/token — failures reproduce
+//! exactly under `cargo test` re-runs.
+
+use crate::rng::SplitMix64;
+
+/// Cuts the text mid-way at a seeded byte offset (snapped back to a UTF-8
+/// boundary), simulating a partially written or interrupted download.
+/// Returns the original text unchanged when it is too short to cut.
+pub fn truncate(text: &str, rng: &mut SplitMix64) -> String {
+    if text.len() < 2 {
+        return text.to_string();
+    }
+    // Cut strictly inside the text: offset in [1, len - 1].
+    let mut cut = 1 + rng.next_below(text.len() - 1);
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text[..cut].to_string()
+}
+
+/// Duplicates one seeded non-empty line in place, simulating a stuttered
+/// concatenation (the classic source of duplicate-instance definitions).
+/// Returns the original text unchanged when no line qualifies.
+pub fn duplicate_line(text: &str, rng: &mut SplitMix64) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let candidates: Vec<usize> = (0..lines.len())
+        .filter(|&i| !lines[i].trim().is_empty())
+        .collect();
+    if candidates.is_empty() {
+        return text.to_string();
+    }
+    let dup = candidates[rng.next_below(candidates.len())];
+    let mut out = Vec::with_capacity(lines.len() + 1);
+    for (i, line) in lines.iter().enumerate() {
+        out.push(*line);
+        if i == dup {
+            out.push(*line);
+        }
+    }
+    let mut joined = out.join("\n");
+    if text.ends_with('\n') {
+        joined.push('\n');
+    }
+    joined
+}
+
+/// Replaces one seeded numeric token with `NaN`, simulating a corrupted
+/// coordinate in a placement file. Returns the original text unchanged
+/// when it contains no numeric token.
+pub fn poison_number(text: &str, rng: &mut SplitMix64) -> String {
+    let tokens: Vec<(usize, usize)> = numeric_token_spans(text);
+    if tokens.is_empty() {
+        return text.to_string();
+    }
+    let (start, end) = tokens[rng.next_below(tokens.len())];
+    format!("{}NaN{}", &text[..start], &text[end..])
+}
+
+/// Byte spans of whitespace/comma-delimited tokens that parse as f64.
+fn numeric_token_spans(text: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let bytes = text.as_bytes();
+    let is_sep = |b: u8| b.is_ascii_whitespace() || b == b',';
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_sep(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && !is_sep(bytes[i]) {
+            i += 1;
+        }
+        let tok = &text[start..i];
+        if tok.parse::<f64>().is_ok() {
+            spans.push((start, i));
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLACEMENT: &str = "g1 10.0 20.0\ng2 30.5 40.5\ng3 50.0 60.0\n";
+
+    #[test]
+    fn truncate_is_a_strict_prefix() {
+        let mut rng = SplitMix64::new(1);
+        let cut = truncate(PLACEMENT, &mut rng);
+        assert!(cut.len() < PLACEMENT.len());
+        assert!(!cut.is_empty());
+        assert!(PLACEMENT.starts_with(&cut));
+    }
+
+    #[test]
+    fn truncate_is_seed_deterministic() {
+        let a = truncate(PLACEMENT, &mut SplitMix64::new(5));
+        let b = truncate(PLACEMENT, &mut SplitMix64::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_line_adds_exactly_one_line() {
+        let mut rng = SplitMix64::new(2);
+        let dup = duplicate_line(PLACEMENT, &mut rng);
+        assert_eq!(dup.lines().count(), PLACEMENT.lines().count() + 1);
+        // Every line of the corrupted text came from the original.
+        for line in dup.lines() {
+            assert!(PLACEMENT.lines().any(|l| l == line));
+        }
+    }
+
+    #[test]
+    fn poison_number_injects_a_nan_token() {
+        let mut rng = SplitMix64::new(3);
+        let bad = poison_number(PLACEMENT, &mut rng);
+        assert!(bad.contains("NaN"));
+        assert_eq!(bad.lines().count(), PLACEMENT.lines().count());
+    }
+
+    #[test]
+    fn transforms_pass_through_degenerate_inputs() {
+        let mut rng = SplitMix64::new(4);
+        assert_eq!(truncate("", &mut rng), "");
+        assert_eq!(duplicate_line("\n\n", &mut rng), "\n\n");
+        assert_eq!(
+            poison_number("no numbers here", &mut rng),
+            "no numbers here"
+        );
+    }
+}

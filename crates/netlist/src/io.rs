@@ -18,6 +18,7 @@ use crate::circuit::PlacedCircuit;
 use crate::error::NetlistError;
 use leakage_cells::library::CellLibrary;
 use leakage_core::PlacedGate;
+use std::collections::HashSet;
 use std::io::{BufRead, Write};
 
 /// Parses a placement from a reader.
@@ -27,7 +28,8 @@ use std::io::{BufRead, Write};
 /// # Errors
 ///
 /// Returns [`NetlistError::InvalidArgument`] with a line number for any
-/// syntax problem, unknown cell, missing header, or I/O failure.
+/// syntax problem, unknown cell, duplicate instance name, missing header,
+/// or I/O failure.
 pub fn read_placement<R: BufRead>(
     mut reader: R,
     library: &CellLibrary,
@@ -36,6 +38,7 @@ pub fn read_placement<R: BufRead>(
     let mut line_no = 0usize;
     let mut header: Option<(String, f64, f64)> = None;
     let mut gates: Vec<PlacedGate> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
 
     loop {
         line.clear();
@@ -70,6 +73,11 @@ pub fn read_placement<R: BufRead>(
                     "line {line_no}: expected '<instance> <cell> <x> <y>', got {} fields",
                     fields.len()
                 ),
+            });
+        }
+        if !seen.insert(fields[0].to_owned()) {
+            return Err(NetlistError::InvalidArgument {
+                reason: format!("line {line_no}: duplicate instance '{}'", fields[0]),
             });
         }
         let cell =

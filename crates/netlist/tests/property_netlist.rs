@@ -1,10 +1,15 @@
-//! Property-based tests of circuit generation, placement and extraction.
+//! Property-based tests of circuit generation, placement and extraction —
+//! including the malformed-input contract: any corruption of a placement
+//! file (truncation, duplicated lines, NaN coordinates) is either
+//! harmless or surfaces as a typed [`NetlistError`], never a panic.
 
 use leakage_cells::library::CellLibrary;
 use leakage_cells::{CellId, UsageHistogram};
+use leakage_fault::FaultPlan;
 use leakage_netlist::extract::extract_characteristics;
 use leakage_netlist::generate::RandomCircuitGenerator;
 use leakage_netlist::placement::{place_in_die, PlacementStyle};
+use leakage_netlist::{iscas85, NetlistError};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,6 +103,110 @@ proptest! {
             prop_assert_eq!(a.cell, b.cell);
             prop_assert!((a.x - b.x).abs() < 1e-12);
             prop_assert!((a.y - b.y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn corrupted_random_placements_fail_typed_or_stay_valid(
+        n in 1usize..60,
+        gen_seed in 0u64..500,
+        fault_seed in 0u64..10_000,
+    ) {
+        let lib = library();
+        let hist = UsageHistogram::uniform(lib.len()).unwrap();
+        let generator = RandomCircuitGenerator::new(hist);
+        let mut rng = StdRng::seed_from_u64(gen_seed);
+        let circuit = generator.generate(n, &mut rng).unwrap();
+        let placed = place_in_die(&circuit, PlacementStyle::RowMajor, 100.0, 100.0).unwrap();
+        let mut buf = Vec::new();
+        leakage_netlist::io::write_placement(&mut buf, &placed, lib).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+        let plan = FaultPlan::new(fault_seed);
+        for corrupted in [
+            plan.truncated(&clean),
+            plan.duplicated(&clean),
+            plan.nan_number(&clean),
+        ] {
+            match leakage_netlist::io::read_placement(corrupted.as_bytes(), lib) {
+                // A cut on a line boundary legitimately still parses; the
+                // surviving prefix must at least honor the gate count.
+                Ok(p) => prop_assert!(p.n_gates() <= placed.n_gates()),
+                Err(NetlistError::InvalidArgument { reason }) => {
+                    prop_assert!(!reason.is_empty());
+                }
+                Err(other) => prop_assert!(false, "untyped failure: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_iscas85_placements_fail_typed_or_stay_valid(
+        spec_pick in 0usize..10,
+        fault_seed in 0u64..10_000,
+    ) {
+        let lib = library();
+        let spec = &iscas85::TABLE1_SPECS[spec_pick % iscas85::TABLE1_SPECS.len()];
+        let placed = iscas85::build(spec, lib).unwrap();
+        let mut buf = Vec::new();
+        leakage_netlist::io::write_placement(&mut buf, &placed, lib).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+        let plan = FaultPlan::new(fault_seed);
+        for corrupted in [
+            plan.truncated(&clean),
+            plan.duplicated(&clean),
+            plan.nan_number(&clean),
+        ] {
+            match leakage_netlist::io::read_placement(corrupted.as_bytes(), lib) {
+                Ok(p) => prop_assert!(p.n_gates() <= placed.n_gates()),
+                Err(NetlistError::InvalidArgument { reason }) => {
+                    prop_assert!(!reason.is_empty());
+                }
+                Err(other) => prop_assert!(false, "untyped failure: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_gate_lines_always_name_the_duplicate(
+        n in 2usize..40,
+        seed in 0u64..500,
+    ) {
+        let lib = library();
+        let hist = UsageHistogram::uniform(lib.len()).unwrap();
+        let generator = RandomCircuitGenerator::new(hist);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = generator.generate(n, &mut rng).unwrap();
+        let placed = place_in_die(&circuit, PlacementStyle::RowMajor, 100.0, 100.0).unwrap();
+        let mut buf = Vec::new();
+        leakage_netlist::io::write_placement(&mut buf, &placed, lib).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+        // Re-append a known gate line: the parser must refuse with the
+        // duplicate instance name and a line number.
+        let gate_line = clean.lines().nth(1).unwrap().to_owned();
+        let corrupted = format!("{clean}{gate_line}\n");
+        match leakage_netlist::io::read_placement(corrupted.as_bytes(), lib) {
+            Err(NetlistError::InvalidArgument { reason }) => {
+                prop_assert!(reason.contains("duplicate instance"), "{}", reason);
+                prop_assert!(reason.contains("line"), "{}", reason);
+            }
+            other => prop_assert!(false, "expected duplicate rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_coordinates_are_always_rejected(
+        bad_pick in 0usize..4,
+        xy_pick in 0usize..2,
+    ) {
+        let lib = library();
+        let bad_token = ["NaN", "inf", "-inf", "nan"][bad_pick];
+        let (x, y) = if xy_pick == 0 { (bad_token, "5.0") } else { ("5.0", bad_token) };
+        let text = format!("design d 100.0 100.0\ng0 inv_x1 {x} {y}\n");
+        match leakage_netlist::io::read_placement(text.as_bytes(), lib) {
+            Err(NetlistError::InvalidArgument { reason }) => {
+                prop_assert!(reason.contains("finite"), "{}", reason);
+            }
+            other => prop_assert!(false, "expected non-finite rejection, got {other:?}"),
         }
     }
 }

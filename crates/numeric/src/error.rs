@@ -36,6 +36,16 @@ pub enum NumericError {
         /// What was wrong with the argument.
         reason: String,
     },
+    /// A worker closure panicked inside a fault-tolerant parallel region
+    /// ([`crate::parallel::Parallelism::try_map_chunks`]).
+    WorkerPanic {
+        /// Smallest chunk index whose closure panicked (deterministic:
+        /// independent of scheduling).
+        chunk: usize,
+        /// Panic payload when it was a string; `"<non-string panic>"`
+        /// otherwise.
+        message: String,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -57,6 +67,9 @@ impl fmt::Display for NumericError {
             }
             NumericError::InvalidArgument { reason } => {
                 write!(f, "invalid argument: {reason}")
+            }
+            NumericError::WorkerPanic { chunk, message } => {
+                write!(f, "worker panicked on chunk {chunk}: {message}")
             }
         }
     }
@@ -84,6 +97,10 @@ mod tests {
             },
             NumericError::InvalidArgument {
                 reason: "n must be positive".into(),
+            },
+            NumericError::WorkerPanic {
+                chunk: 3,
+                message: "boom".into(),
             },
         ];
         for e in errs {

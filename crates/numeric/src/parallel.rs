@@ -31,11 +31,23 @@
 //! assert_eq!(partials.iter().sum::<u64>(), (0..100u64).map(|i| i * i).sum());
 //! ```
 
+use crate::error::NumericError;
 #[cfg(feature = "parallel")]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable consulted by [`Parallelism::auto`] (`0` = auto).
 pub const THREADS_ENV: &str = "CHIPLEAK_THREADS";
+
+/// Best-effort human-readable rendering of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
 
 #[cfg(feature = "parallel")]
 fn hardware_threads() -> usize {
@@ -160,6 +172,54 @@ impl Parallelism {
                 // chipleak-lint: allow(no-unwrap-in-library): the atomic counter hands out every index in 0..n_chunks exactly once
                 .map(|s| s.expect("every chunk index claimed exactly once"))
                 .collect()
+        }
+    }
+
+    /// Fault-tolerant [`Parallelism::map_chunks`]: a panic inside `f` is
+    /// caught instead of unwinding the caller, and surfaces as
+    /// [`NumericError::WorkerPanic`] naming the *smallest* panicked chunk
+    /// index.
+    ///
+    /// Every chunk is attempted exactly once regardless of where panics
+    /// occur or how many threads run — there is no early exit — so side
+    /// effects visible to the caller (for example observability counters
+    /// incremented by `f`) are identical for every thread budget, and the
+    /// reported chunk index is deterministic.
+    ///
+    /// `f` runs under [`std::panic::AssertUnwindSafe`]; if it shares
+    /// interior-mutable state, the caller must ensure a mid-update panic
+    /// cannot leave that state torn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::WorkerPanic`] when at least one chunk's
+    /// closure panicked.
+    pub fn try_map_chunks<T, F>(self, n_chunks: usize, f: F) -> Result<Vec<T>, NumericError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let attempts = self.map_chunks(n_chunks, |i| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                .map_err(|p| panic_message(p.as_ref()))
+        });
+        let mut out = Vec::with_capacity(n_chunks);
+        let mut first: Option<(usize, String)> = None;
+        for (i, attempt) in attempts.into_iter().enumerate() {
+            match attempt {
+                Ok(v) => out.push(v),
+                Err(message) => {
+                    // Attempts arrive in chunk order, so the first error
+                    // seen is the smallest panicked index.
+                    if first.is_none() {
+                        first = Some((i, message));
+                    }
+                }
+            }
+        }
+        match first {
+            None => Ok(out),
+            Some((chunk, message)) => Err(NumericError::WorkerPanic { chunk, message }),
         }
     }
 
@@ -289,6 +349,61 @@ mod tests {
             covered = hi;
         }
         assert_eq!(covered, 23);
+    }
+
+    #[test]
+    fn try_map_chunks_matches_map_chunks_when_nothing_panics() {
+        let work = |c: usize| {
+            let (lo, hi) = chunk_bounds(c, 9, 100);
+            (lo..hi).map(|i| i as u64).sum::<u64>()
+        };
+        let plain = Parallelism::serial().map_chunks(9, work);
+        for t in [1, 2, 8] {
+            let tried = Parallelism::threads(t)
+                .try_map_chunks(9, work)
+                .expect("no panics injected");
+            assert_eq!(tried, plain, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn try_map_chunks_reports_smallest_panicked_chunk() {
+        for t in [1, 2, 8] {
+            let err = Parallelism::threads(t)
+                .try_map_chunks(8, |i| {
+                    if i == 5 || i == 2 {
+                        panic!("injected fault in chunk {i}");
+                    }
+                    i
+                })
+                .expect_err("panics were injected");
+            assert_eq!(
+                err,
+                NumericError::WorkerPanic {
+                    chunk: 2,
+                    message: "injected fault in chunk 2".into(),
+                },
+                "threads = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_map_chunks_attempts_every_chunk_despite_panics() {
+        // No early exit: caller-visible side effects must be identical for
+        // every thread budget even when some chunks panic.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for t in [1, 2, 8] {
+            let attempted = AtomicUsize::new(0);
+            let _ = Parallelism::threads(t).try_map_chunks(16, |i| {
+                attempted.fetch_add(1, Ordering::Relaxed);
+                if i % 3 == 0 {
+                    panic!("injected");
+                }
+                i
+            });
+            assert_eq!(attempted.load(Ordering::Relaxed), 16, "threads = {t}");
+        }
     }
 
     #[test]

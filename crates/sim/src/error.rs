@@ -10,14 +10,26 @@ pub enum SimError {
         /// Description of the problem.
         reason: String,
     },
-    /// The Newton iteration failed to converge.
-    NoConvergence {
+    /// The Newton iteration failed to converge even after every
+    /// deterministic recovery stage (gmin continuation, source stepping)
+    /// was exhausted.
+    Unconverged {
         /// Cell name for diagnosis.
         cell: String,
         /// Input state that failed.
         state: u32,
         /// Final residual norm (A).
         residual: f64,
+        /// The cell's own current scale (A) the residual was judged
+        /// against: the largest device terminal current magnitude at the
+        /// final iterate. A residual far below this scale would have been
+        /// accepted.
+        residual_scale: f64,
+        /// Total Newton iterations spent across all attempts.
+        iterations: usize,
+        /// Whether the gmin-continuation / source-stepping recovery
+        /// ladder ran (false when the caller disabled recovery).
+        recovery_attempted: bool,
     },
     /// An input state index exceeds the cell's input count.
     InvalidState {
@@ -34,13 +46,23 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidNetlist { reason } => write!(f, "invalid netlist: {reason}"),
-            SimError::NoConvergence {
+            SimError::Unconverged {
                 cell,
                 state,
                 residual,
+                residual_scale,
+                iterations,
+                recovery_attempted,
             } => write!(
                 f,
-                "dc solve for cell {cell} state {state:b} did not converge (residual {residual:.3e} A)"
+                "dc solve for cell {cell} state {state:b} did not converge after {iterations} \
+                 iterations (residual {residual:.3e} A against scale {residual_scale:.3e} A, \
+                 recovery {})",
+                if *recovery_attempted {
+                    "exhausted"
+                } else {
+                    "disabled"
+                }
             ),
             SimError::InvalidState { state, n_inputs } => write!(
                 f,
@@ -76,12 +98,26 @@ mod tests {
             reason: "no devices".into(),
         };
         assert!(e.to_string().contains("no devices"));
-        let e = SimError::NoConvergence {
+        let e = SimError::Unconverged {
             cell: "nand2".into(),
             state: 2,
             residual: 1e-12,
+            residual_scale: 1e-9,
+            iterations: 800,
+            recovery_attempted: true,
         };
         assert!(e.to_string().contains("nand2"));
+        assert!(e.to_string().contains("800"));
+        assert!(e.to_string().contains("recovery exhausted"));
+        let e = SimError::Unconverged {
+            cell: "nand2".into(),
+            state: 2,
+            residual: 1e-12,
+            residual_scale: 1e-9,
+            iterations: 1,
+            recovery_attempted: false,
+        };
+        assert!(e.to_string().contains("recovery disabled"));
         let e = SimError::InvalidState {
             state: 8,
             n_inputs: 2,

@@ -44,4 +44,4 @@ pub mod solver;
 
 pub use error::SimError;
 pub use netlist::CellNetlist;
-pub use solver::LeakageSolver;
+pub use solver::{LeakageSolver, RecoveryStage, SolverOptions};

@@ -24,8 +24,67 @@ const G_MIN: f64 = 1e-15;
 /// Maximum Newton step per node voltage (V).
 const MAX_STEP: f64 = 0.3;
 
-/// Iteration cap.
+/// Iteration cap per Newton attempt.
 const MAX_ITERS: usize = 200;
+
+/// Gmin-continuation schedule (S): start with a heavily stabilized,
+/// near-linear system and relax towards the target gmin. Each stage warm
+/// starts from the previous stage's solution.
+const GMIN_LADDER: [f64; 3] = [1e-6, 1e-9, 1e-12];
+
+/// Source-stepping schedule: supply and input rails are ramped from a
+/// fraction of VDD (where every device is nearly off and the system is
+/// mild) up to the full operating point, warm-starting each step.
+const SOURCE_STEPS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// Knobs for the Newton solve and its recovery ladder.
+///
+/// The defaults reproduce the production configuration; tests and fault
+/// injection shrink `max_iters` or disable `recovery` to exercise the
+/// typed [`SimError::Unconverged`] path deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Iteration cap per Newton attempt.
+    pub max_iters: usize,
+    /// Whether the gmin-continuation / source-stepping recovery ladder
+    /// runs after a failed plain attempt.
+    pub recovery: bool,
+    /// Stabilizing conductance tying internal nodes to the rails (S).
+    pub gmin: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> SolverOptions {
+        SolverOptions {
+            max_iters: MAX_ITERS,
+            recovery: true,
+            gmin: G_MIN,
+        }
+    }
+}
+
+/// Which recovery stage (if any) produced the accepted solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStage {
+    /// The plain damped-Newton attempt converged; no recovery needed.
+    None,
+    /// Accepted after the gmin-continuation schedule.
+    GminContinuation,
+    /// Accepted after the source-stepping schedule.
+    SourceStepping,
+}
+
+/// Outcome of one damped-Newton attempt (one rung of the recovery ladder).
+struct NewtonAttempt {
+    /// Whether the attempt met the acceptance test.
+    accepted: bool,
+    /// Final residual norm (A).
+    res_norm: f64,
+    /// Largest device terminal-current magnitude at the final iterate (A).
+    current_scale: f64,
+    /// Newton iterations spent in this attempt.
+    iterations: usize,
+}
 
 /// DC solution for one cell and input state.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,8 +96,10 @@ pub struct DcSolution {
     /// Current sunk into GND and logic-low inputs (A) — equals `leakage`
     /// up to solver tolerance (KCL).
     pub leakage_gnd_side: f64,
-    /// Newton iterations used.
+    /// Newton iterations used (summed across recovery attempts).
     pub iterations: usize,
+    /// Which recovery stage, if any, rescued the solve.
+    pub recovery: RecoveryStage,
 }
 
 /// Cell-level DC leakage solver bound to a technology card.
@@ -90,13 +151,45 @@ impl LeakageSolver {
     ///
     /// Returns [`SimError::InvalidState`] for an out-of-range state,
     /// [`SimError::InvalidNetlist`] if `vt_deltas` has the wrong length,
-    /// and [`SimError::NoConvergence`] if Newton fails.
+    /// and [`SimError::Unconverged`] if Newton fails even after the
+    /// gmin-continuation and source-stepping recovery stages.
     pub fn solve(
         &self,
         cell: &CellNetlist,
         state: u32,
         l_delta_nm: f64,
         vt_deltas: &[f64],
+    ) -> Result<DcSolution, SimError> {
+        self.solve_with_options(
+            cell,
+            state,
+            l_delta_nm,
+            vt_deltas,
+            &SolverOptions::default(),
+        )
+    }
+
+    /// [`LeakageSolver::solve`] with explicit [`SolverOptions`].
+    ///
+    /// The plain damped-Newton attempt runs first and, when it converges,
+    /// yields exactly the same bit pattern as the historical single-stage
+    /// solver. Only on failure does the deterministic recovery ladder
+    /// engage: gmin continuation (re-solving under a decreasing
+    /// stabilizing-conductance schedule, warm-starting each stage), then
+    /// source stepping (ramping the rails from a fraction of VDD to the
+    /// full operating point). [`SimError::Unconverged`] is returned only
+    /// after every enabled stage is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeakageSolver::solve`].
+    pub fn solve_with_options(
+        &self,
+        cell: &CellNetlist,
+        state: u32,
+        l_delta_nm: f64,
+        vt_deltas: &[f64],
+        opts: &SolverOptions,
     ) -> Result<DcSolution, SimError> {
         if state >= cell.n_states() {
             return Err(SimError::InvalidState {
@@ -114,52 +207,193 @@ impl LeakageSolver {
             });
         }
         let vdd = self.env.vdd;
+        let mut v = self.initial_voltages(cell, state, vdd);
+
+        if cell.n_internal() == 0 {
+            return Ok(self.finish(cell, v, l_delta_nm, vt_deltas, 0, RecoveryStage::None));
+        }
+
+        // Plain attempt — bit-identical to the historical one-stage solver
+        // for every cell that converges on the first try.
+        let first = self.newton_attempt(cell, &mut v, l_delta_nm, vt_deltas, opts.gmin, vdd, opts);
+        let mut iterations = first.iterations;
+        if first.accepted {
+            return Ok(self.finish(
+                cell,
+                v,
+                l_delta_nm,
+                vt_deltas,
+                iterations,
+                RecoveryStage::None,
+            ));
+        }
+        if !opts.recovery {
+            return Err(SimError::Unconverged {
+                cell: cell.name().to_owned(),
+                state,
+                residual: first.res_norm,
+                residual_scale: first.current_scale,
+                iterations,
+                recovery_attempted: false,
+            });
+        }
+
+        // Stage 1 — gmin continuation: restart from the hint basin with a
+        // heavily stabilized (near-linear) system, relax the conductance
+        // down the fixed schedule, warm-starting every pass, and judge
+        // acceptance on a final pass at the target gmin.
+        v = self.initial_voltages(cell, state, vdd);
+        for g in GMIN_LADDER {
+            let stage = self.newton_attempt(
+                cell,
+                &mut v,
+                l_delta_nm,
+                vt_deltas,
+                g.max(opts.gmin),
+                vdd,
+                opts,
+            );
+            iterations += stage.iterations;
+        }
+        let gmin_final =
+            self.newton_attempt(cell, &mut v, l_delta_nm, vt_deltas, opts.gmin, vdd, opts);
+        iterations += gmin_final.iterations;
+        if gmin_final.accepted {
+            return Ok(self.finish(
+                cell,
+                v,
+                l_delta_nm,
+                vt_deltas,
+                iterations,
+                RecoveryStage::GminContinuation,
+            ));
+        }
+
+        // Stage 2 — source stepping: ramp the rails (and high inputs) up
+        // the fixed fraction schedule, warm-starting each step; only the
+        // full-VDD step decides acceptance.
+        let mut last = gmin_final;
+        v = self.initial_voltages(cell, state, SOURCE_STEPS[0] * vdd);
+        for frac in SOURCE_STEPS {
+            let vdd_eff = frac * vdd;
+            self.set_rails(cell, state, &mut v, vdd_eff);
+            last = self.newton_attempt(
+                cell, &mut v, l_delta_nm, vt_deltas, opts.gmin, vdd_eff, opts,
+            );
+            iterations += last.iterations;
+        }
+        if last.accepted {
+            return Ok(self.finish(
+                cell,
+                v,
+                l_delta_nm,
+                vt_deltas,
+                iterations,
+                RecoveryStage::SourceStepping,
+            ));
+        }
+
+        Err(SimError::Unconverged {
+            cell: cell.name().to_owned(),
+            state,
+            residual: last.res_norm,
+            residual_scale: last.current_scale,
+            iterations,
+            recovery_attempted: true,
+        })
+    }
+
+    /// Boundary conditions and hinted initialization at an effective
+    /// supply voltage `vdd_eff` (equal to VDD except during source
+    /// stepping).
+    fn initial_voltages(&self, cell: &CellNetlist, state: u32, vdd_eff: f64) -> Vec<f64> {
         let n_nodes = cell.n_nodes();
         let first_internal = 2 + cell.n_inputs();
-        let n_int = cell.n_internal();
-
-        // Boundary conditions.
         let mut v = vec![0.0; n_nodes];
-        v[VDD] = vdd;
+        v[VDD] = vdd_eff;
         for i in 0..cell.n_inputs() {
-            v[2 + i] = if (state >> i) & 1 == 1 { vdd } else { 0.0 };
+            v[2 + i] = if (state >> i) & 1 == 1 { vdd_eff } else { 0.0 };
         }
         // Initialization: mid-rail unless hinted.
         for node in first_internal..n_nodes {
-            v[node] = 0.5 * vdd;
+            v[node] = 0.5 * vdd_eff;
         }
         for (node, hint) in cell.init_hints() {
             v[*node] = match hint {
-                InitHint::Fraction(f) => f * vdd,
+                InitHint::Fraction(f) => f * vdd_eff,
                 InitHint::FollowInput { input, inverted } => {
                     let bit = (state >> input) & 1 == 1;
                     if bit != *inverted {
-                        vdd
+                        vdd_eff
                     } else {
                         0.0
                     }
                 }
             };
         }
+        v
+    }
 
-        if n_int == 0 {
-            let leakage = self.supply_current(cell, &v, l_delta_nm, vt_deltas);
-            let gnd = self.ground_current(cell, &v, l_delta_nm, vt_deltas);
-            return Ok(DcSolution {
-                voltages: v,
-                leakage,
-                leakage_gnd_side: gnd,
-                iterations: 0,
-            });
+    /// Re-pins only the boundary nodes (rails and inputs) to `vdd_eff`,
+    /// leaving internal nodes at their warm-start values.
+    fn set_rails(&self, cell: &CellNetlist, state: u32, v: &mut [f64], vdd_eff: f64) {
+        v[VDD] = vdd_eff;
+        v[GND] = 0.0;
+        for i in 0..cell.n_inputs() {
+            v[2 + i] = if (state >> i) & 1 == 1 { vdd_eff } else { 0.0 };
         }
+    }
 
+    /// Builds the accepted solution (terminal currents at full rails).
+    fn finish(
+        &self,
+        cell: &CellNetlist,
+        v: Vec<f64>,
+        l_delta_nm: f64,
+        vt_deltas: &[f64],
+        iterations: usize,
+        recovery: RecoveryStage,
+    ) -> DcSolution {
+        let leakage = self.supply_current(cell, &v, l_delta_nm, vt_deltas);
+        let gnd = self.ground_current(cell, &v, l_delta_nm, vt_deltas);
+        DcSolution {
+            voltages: v,
+            leakage,
+            leakage_gnd_side: gnd,
+            iterations,
+            recovery,
+        }
+    }
+
+    /// One damped-Newton attempt from the current iterate in `v`.
+    ///
+    /// Runs up to `opts.max_iters` iterations with step-halving line
+    /// search, then judges the result: accepted when the last step was
+    /// tiny or the residual is far below the cell's own current scale —
+    /// exponential nodes can dither at machine precision while the
+    /// solution is long since found. A singular Jacobian ends the attempt
+    /// unconverged instead of aborting the ladder, so later recovery
+    /// stages still get their chance.
+    #[allow(clippy::too_many_arguments)]
+    fn newton_attempt(
+        &self,
+        cell: &CellNetlist,
+        v: &mut [f64],
+        l_delta_nm: f64,
+        vt_deltas: &[f64],
+        gmin: f64,
+        vdd_eff: f64,
+        opts: &SolverOptions,
+    ) -> NewtonAttempt {
+        let first_internal = 2 + cell.n_inputs();
+        let n_int = cell.n_internal();
         let norm = |r: &[f64]| r.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
         let mut residual = vec![0.0; n_int];
         let mut iterations = 0;
         let mut converged = false;
-        for iter in 0..MAX_ITERS {
+        for iter in 0..opts.max_iters {
             iterations = iter + 1;
-            self.kcl_residual(cell, &v, l_delta_nm, vt_deltas, &mut residual);
+            self.kcl_residual(cell, v, l_delta_nm, vt_deltas, gmin, vdd_eff, &mut residual);
             let res0 = norm(&residual);
 
             // Finite-difference Jacobian (columns = internal nodes).
@@ -170,7 +404,7 @@ impl LeakageSolver {
                 let old = v[node];
                 let h = 1e-7;
                 v[node] = old + h;
-                self.kcl_residual(cell, &v, l_delta_nm, vt_deltas, &mut pert);
+                self.kcl_residual(cell, v, l_delta_nm, vt_deltas, gmin, vdd_eff, &mut pert);
                 v[node] = old;
                 for i in 0..n_int {
                     jac[(i, j)] = (pert[i] - residual[i]) / h;
@@ -178,7 +412,10 @@ impl LeakageSolver {
             }
 
             let neg_res: Vec<f64> = residual.iter().map(|r| -r).collect();
-            let delta = jac.solve(&neg_res)?;
+            let delta = match jac.solve(&neg_res) {
+                Ok(delta) => delta,
+                Err(_) => break,
+            };
 
             // Damped Newton with backtracking: shrink the step until the
             // residual norm decreases (exponential device curves make the
@@ -191,10 +428,10 @@ impl LeakageSolver {
                 for (j, d) in delta.iter().enumerate() {
                     let step = (scale * d).clamp(-MAX_STEP, MAX_STEP);
                     let node = first_internal + j;
-                    v[node] = (base[j] + step).clamp(-0.2, vdd + 0.2);
+                    v[node] = (base[j] + step).clamp(-0.2, vdd_eff + 0.2);
                     max_dv = max_dv.max(step.abs());
                 }
-                self.kcl_residual(cell, &v, l_delta_nm, vt_deltas, &mut residual);
+                self.kcl_residual(cell, v, l_delta_nm, vt_deltas, gmin, vdd_eff, &mut residual);
                 if norm(&residual) <= res0 * (1.0 - 1e-4 * scale) || norm(&residual) < 1e-18 {
                     break;
                 }
@@ -206,37 +443,25 @@ impl LeakageSolver {
                 break;
             }
         }
-        self.kcl_residual(cell, &v, l_delta_nm, vt_deltas, &mut residual);
+        self.kcl_residual(cell, v, l_delta_nm, vt_deltas, gmin, vdd_eff, &mut residual);
         let res_norm = norm(&residual);
-        // Accept either a tiny final step or a residual far below the
-        // cell's own current scale — exponential nodes can dither at
-        // machine precision while the solution is long since found.
         let current_scale = cell
             .devices()
             .iter()
             .enumerate()
             .map(|(di, d)| {
                 let vt_delta = vt_deltas.get(di).copied().unwrap_or(0.0);
-                let (ld, _, _) = self.terminal_currents(d, l_delta_nm, vt_delta, &v);
+                let (ld, _, _) = self.terminal_currents(d, l_delta_nm, vt_delta, v);
                 ld.abs()
             })
             .fold(0.0_f64, f64::max);
-        if !converged && res_norm > (1e-9 * current_scale).max(1e-15) {
-            return Err(SimError::NoConvergence {
-                cell: cell.name().to_owned(),
-                state,
-                residual: res_norm,
-            });
-        }
-
-        let leakage = self.supply_current(cell, &v, l_delta_nm, vt_deltas);
-        let gnd = self.ground_current(cell, &v, l_delta_nm, vt_deltas);
-        Ok(DcSolution {
-            voltages: v,
-            leakage,
-            leakage_gnd_side: gnd,
+        let accepted = converged || res_norm <= (1e-9 * current_scale).max(1e-15);
+        NewtonAttempt {
+            accepted,
+            res_norm,
+            current_scale,
             iterations,
-        })
+        }
     }
 
     /// Convenience wrapper returning just the leakage current with a
@@ -282,6 +507,11 @@ impl LeakageSolver {
         let sol = self.solve(cell, state, l_delta_nm, slice)?;
         ins.add("sim.solves", 1);
         ins.add("sim.newton_iterations", sol.iterations as u64);
+        match sol.recovery {
+            RecoveryStage::None => {}
+            RecoveryStage::GminContinuation => ins.add("sim.recoveries.gmin", 1),
+            RecoveryStage::SourceStepping => ins.add("sim.recoveries.source_step", 1),
+        }
         Ok(sol.leakage)
     }
 
@@ -324,13 +554,17 @@ impl LeakageSolver {
         (i_ds - 0.5 * i_g, i_g, -i_ds - 0.5 * i_g)
     }
 
-    /// KCL residual (sum of currents leaving each internal node).
+    /// KCL residual (sum of currents leaving each internal node) under a
+    /// given stabilizing conductance and effective supply.
+    #[allow(clippy::too_many_arguments)]
     fn kcl_residual(
         &self,
         cell: &CellNetlist,
         v: &[f64],
         l_delta_nm: f64,
         vt_deltas: &[f64],
+        gmin: f64,
+        vdd_eff: f64,
         out: &mut [f64],
     ) {
         let first_internal = 2 + cell.n_inputs();
@@ -348,10 +582,10 @@ impl LeakageSolver {
                 out[d.source - first_internal] += leave_s;
             }
         }
-        // G_MIN ties to both rails.
+        // Stabilizing ties to both rails.
         for j in 0..out.len() {
             let node = first_internal + j;
-            out[j] += G_MIN * (v[node] - 0.0) + G_MIN * (v[node] - self.env.vdd);
+            out[j] += gmin * (v[node] - 0.0) + gmin * (v[node] - vdd_eff);
         }
     }
 
@@ -640,6 +874,119 @@ mod tests {
                 let leak = gl.cell_leakage(&cell, state, 0.0, 0.0).unwrap();
                 assert!(leak > 0.0 && leak < 1e-5, "{} state {state}", cell.name());
             }
+        }
+    }
+
+    #[test]
+    fn starved_iteration_budget_reports_unconverged_with_scale() {
+        // One iteration and no recovery cannot converge a nand3 from the
+        // mid-rail start: the typed error must carry the residual, the
+        // cell's current scale, the iteration spend, and the fact that
+        // recovery never ran.
+        let s = solver();
+        let nand3 = CellNetlist::nand(3, 1.0, 2.0);
+        let opts = SolverOptions {
+            max_iters: 1,
+            recovery: false,
+            ..SolverOptions::default()
+        };
+        match s.solve_with_options(&nand3, 0, 0.0, &[], &opts) {
+            Err(SimError::Unconverged {
+                cell,
+                state,
+                residual,
+                residual_scale,
+                iterations,
+                recovery_attempted,
+            }) => {
+                assert_eq!(cell, nand3.name());
+                assert_eq!(state, 0);
+                assert!(residual.is_finite() && residual > 0.0);
+                assert!(residual_scale.is_finite() && residual_scale > 0.0);
+                assert_eq!(iterations, 1);
+                assert!(!recovery_attempted);
+            }
+            other => panic!("expected Unconverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_ladder_rescues_starved_budget() {
+        // The same starved per-attempt budget *with* recovery enabled
+        // succeeds: the warm-started continuation stages accumulate enough
+        // progress even though each attempt gets only a few iterations.
+        let s = solver();
+        let nand3 = CellNetlist::nand(3, 1.0, 2.0);
+        let reference = s.solve(&nand3, 0, 0.0, &[]).expect("reference");
+        assert_eq!(reference.recovery, RecoveryStage::None);
+        let mut rescued = false;
+        for budget in 2..=5 {
+            let plain = SolverOptions {
+                max_iters: budget,
+                recovery: false,
+                ..SolverOptions::default()
+            };
+            if s.solve_with_options(&nand3, 0, 0.0, &[], &plain).is_ok() {
+                continue; // budget already large enough without recovery
+            }
+            let with_recovery = SolverOptions {
+                max_iters: budget,
+                recovery: true,
+                ..SolverOptions::default()
+            };
+            if let Ok(sol) = s.solve_with_options(&nand3, 0, 0.0, &[], &with_recovery) {
+                assert_ne!(sol.recovery, RecoveryStage::None);
+                assert!(
+                    (sol.leakage - reference.leakage).abs() / reference.leakage < 1e-4,
+                    "recovered {} vs reference {}",
+                    sol.leakage,
+                    reference.leakage
+                );
+                rescued = true;
+                break;
+            }
+        }
+        assert!(
+            rescued,
+            "no per-attempt budget in 2..=5 where the ladder rescued a failing plain solve"
+        );
+    }
+
+    #[test]
+    fn recovery_exhaustion_is_typed_and_counts_all_iterations() {
+        let s = solver();
+        let nand3 = CellNetlist::nand(3, 1.0, 2.0);
+        let opts = SolverOptions {
+            max_iters: 1,
+            recovery: true,
+            ..SolverOptions::default()
+        };
+        match s.solve_with_options(&nand3, 0, 0.0, &[], &opts) {
+            Err(SimError::Unconverged {
+                iterations,
+                recovery_attempted,
+                ..
+            }) => {
+                // 1 plain + 4 gmin stages + 4 source steps, 1 iter each.
+                assert_eq!(iterations, 9);
+                assert!(recovery_attempted);
+            }
+            Ok(sol) => panic!("expected exhaustion, got recovery {:?}", sol.recovery),
+            Err(other) => panic!("expected Unconverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_options_match_plain_solve_bit_for_bit() {
+        let s = solver();
+        let nand2 = CellNetlist::nand(2, 1.0, 2.0);
+        for state in 0..4 {
+            let a = s.solve(&nand2, state, 0.0, &[]).unwrap();
+            let b = s
+                .solve_with_options(&nand2, state, 0.0, &[], &SolverOptions::default())
+                .unwrap();
+            assert_eq!(a.leakage.to_bits(), b.leakage.to_bits());
+            assert_eq!(a.recovery, RecoveryStage::None);
         }
     }
 

@@ -1,0 +1,177 @@
+//! L6 `no-silent-fallback`: an `Err(...) => {}` match arm in library code
+//! swallows a failure with no trace. The robustness contract of the
+//! estimation pipeline is that every degradation is *recorded* — an obs
+//! counter, a `DegradationReport` entry, a log line — so a production run
+//! that silently skipped an estimator can always be distinguished from
+//! one that ran it. An empty arm makes that impossible; at minimum it
+//! must emit an observability event (`ins.add(...)`) inside the arm, or
+//! carry a justified suppression.
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// The L6 rule.
+pub struct SilentFallback;
+
+impl Rule for SilentFallback {
+    fn id(&self) -> &'static str {
+        "no-silent-fallback"
+    }
+
+    fn code(&self) -> &'static str {
+        "L6"
+    }
+
+    fn description(&self) -> &'static str {
+        "an empty `Err(...) => {}` match arm drops a failure without recording \
+         it; emit an obs event (or return/log) inside the arm"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != crate::source::FileKind::Library {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !file.lintable_library_line(t.line) {
+                continue;
+            }
+            if !t.is_ident("Err") {
+                continue;
+            }
+            // `Err ( <pattern> )` — skip the balanced pattern parens.
+            let Some(open) = toks.get(i + 1).filter(|u| u.is_punct('(')) else {
+                continue;
+            };
+            let _ = open;
+            let Some(after_pat) = skip_parens(toks, i + 1) else {
+                continue;
+            };
+            // `=>` lexes as two punct tokens.
+            if !(toks.get(after_pat).is_some_and(|u| u.is_punct('='))
+                && toks.get(after_pat + 1).is_some_and(|u| u.is_punct('>')))
+            {
+                continue;
+            }
+            let body = after_pat + 2;
+            // Empty block `{}` or unit `()` — nothing recorded, nothing
+            // returned: the failure vanishes.
+            let empty_block = toks.get(body).is_some_and(|u| u.is_punct('{'))
+                && toks.get(body + 1).is_some_and(|u| u.is_punct('}'));
+            let unit_body = toks.get(body).is_some_and(|u| u.is_punct('('))
+                && toks.get(body + 1).is_some_and(|u| u.is_punct(')'))
+                && !toks.get(body + 2).is_some_and(|u| u.is_punct('.'));
+            if empty_block || unit_body {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: "silent fallback: this `Err(...)` arm discards the failure \
+                              without recording it"
+                        .into(),
+                    help: "emit an obs event (e.g. `ins.add(\"...skipped\", 1)`) inside the \
+                           arm, surface the error, or add \
+                           `// chipleak-lint: allow(no-silent-fallback): <why>`"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Index just past a balanced `(...)` starting at `open` (must be `(`).
+/// Braces inside the pattern (`Err(E::V { .. })`) don't affect the depth.
+fn skip_parens(tokens: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('(') {
+            depth += 1;
+        } else if tokens[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn check(src: &str, kind: FileKind) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/d/src/x.rs".into(), src.into(), kind);
+        let mut out = Vec::new();
+        SilentFallback.check_file(&f, &Context::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_empty_block_and_unit_arms() {
+        let src = "fn f(r: Result<u8, E>) {\n\
+                     match r {\n\
+                       Ok(v) => use_it(v),\n\
+                       Err(_) => {}\n\
+                     }\n\
+                     match r {\n\
+                       Ok(v) => use_it(v),\n\
+                       Err(E::NotApplicable { .. }) => (),\n\
+                       Err(e) => log(e),\n\
+                     }\n\
+                   }\n";
+        let d = check(src, FileKind::Library);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.code == "L6"));
+    }
+
+    #[test]
+    fn recording_arms_are_fine() {
+        let src = "fn f(r: Result<u8, E>, ins: Ins) {\n\
+                     match r {\n\
+                       Ok(v) => use_it(v),\n\
+                       Err(E::NotApplicable { .. }) => {\n\
+                         ins.add(\"core.skip\", 1);\n\
+                       }\n\
+                       Err(e) => return Err(e),\n\
+                     }\n\
+                   }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn err_construction_is_not_a_match_arm() {
+        let src = "fn f() -> Result<(), E> { Err(E::Bad) }\n\
+                   fn g() -> Result<(), E> { Err(make()) }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn closure_arms_returning_unit_calls_are_fine() {
+        // `Err(e) => ().into()` style — unit followed by a method call is
+        // an expression, not a discard.
+        let src = "fn f(r: Result<u8, E>) -> D {\n\
+                     match r { Ok(_) => D::A, Err(_) => ().into() }\n\
+                   }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t(r: Result<u8, E>) {\n    match r { Ok(_) => {}, Err(_) => {} }\n  }\n}\n";
+        assert!(check(src, FileKind::Library).is_empty());
+        assert!(check(
+            "fn f(r: Result<u8, E>) { match r { Ok(_) => {}, Err(_) => {} } }\n",
+            FileKind::Test
+        )
+        .is_empty());
+    }
+}

@@ -1,4 +1,4 @@
-//! The chipleak-lint rule set (L1–L5) and shared token-pattern helpers.
+//! The chipleak-lint rule set (L1–L6) and shared token-pattern helpers.
 //!
 //! | Code | Id | Invariant |
 //! |------|----|-----------|
@@ -7,18 +7,21 @@
 //! | L3 | `compensated-summation` | estimator/stats sums route through Kahan helpers |
 //! | L4 | `parallel-api-parity` | `foo` routes through `foo_with`, threads stay gated |
 //! | L5 | `no-unwrap-in-library` | no unjustified `.unwrap()`/`.expect()`/`panic!` |
+//! | L6 | `no-silent-fallback` | `Err(...) => {}` arms must record the degradation |
 
 mod l1_nondeterministic_iteration;
 mod l2_ambient_entropy;
 mod l3_compensated_summation;
 mod l4_parallel_api_parity;
 mod l5_unwrap_in_library;
+mod l6_silent_fallback;
 
 pub use l1_nondeterministic_iteration::NondeterministicIteration;
 pub use l2_ambient_entropy::AmbientEntropy;
 pub use l3_compensated_summation::CompensatedSummation;
 pub use l4_parallel_api_parity::ParallelApiParity;
 pub use l5_unwrap_in_library::UnwrapInLibrary;
+pub use l6_silent_fallback::SilentFallback;
 
 use crate::engine::Rule;
 use crate::lexer::Tok;
@@ -32,6 +35,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(CompensatedSummation),
         Box::new(ParallelApiParity),
         Box::new(UnwrapInLibrary),
+        Box::new(SilentFallback),
     ]
 }
 

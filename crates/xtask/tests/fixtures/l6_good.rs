@@ -1,0 +1,16 @@
+// Fixture: L6 must stay quiet — every skipped estimator leaves a trace.
+pub fn estimate_all(ins: Ins) -> Result<Vec<f64>, Error> {
+    let mut out = Vec::new();
+    match polar(ins) {
+        Ok(e) => out.push(e),
+        Err(Error::NotApplicable { .. }) => {
+            ins.add("core.estimate_all.polar_skipped", 1);
+        }
+        Err(e) => return Err(e),
+    }
+    match integral(ins) {
+        Ok(e) => out.push(e),
+        Err(e) => return Err(e),
+    }
+    Ok(out)
+}

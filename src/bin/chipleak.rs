@@ -16,15 +16,63 @@
 //! Every command accepts `--metrics` (print deterministic counters, value
 //! summaries and wall-clock spans to stderr) and `--metrics-json FILE`
 //! (write the same snapshot as JSON).
+//!
+//! # Exit codes
+//!
+//! * `0` — success;
+//! * `1` — usage, input, or runtime error;
+//! * `2` — strict-mode refusal: the requested estimator failed a validity
+//!   check and `--strict` forbids falling back (`chipleak` reports why);
+//! * `3` — resilient-mode exhaustion: every rung of the fallback ladder
+//!   was rejected, no valid estimate exists for this configuration.
 
 use fullchip_leakage::cells::model::CharacterizedLibrary;
-use fullchip_leakage::core::LeakageDistribution;
+use fullchip_leakage::core::estimator::LadderStage;
+use fullchip_leakage::core::{CoreError, LeakageDistribution};
 use fullchip_leakage::netlist::extract::extract_characteristics;
 use fullchip_leakage::netlist::iscas85;
 use fullchip_leakage::obs::{AggregatingRecorder, Instruments, WallClock};
 use fullchip_leakage::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// CLI failure carrying its documented exit code (see the module docs).
+enum CliError {
+    /// Usage, input, or runtime error — exit code 1.
+    Runtime(String),
+    /// Strict-mode refusal of an invalid estimator — exit code 2.
+    StrictRefusal(String),
+    /// Resilient-ladder exhaustion — exit code 3.
+    Exhausted(String),
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            CliError::Runtime(m) | CliError::StrictRefusal(m) | CliError::Exhausted(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Runtime(_) => ExitCode::from(1),
+            CliError::StrictRefusal(_) => ExitCode::from(2),
+            CliError::Exhausted(_) => ExitCode::from(3),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Runtime(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Runtime(m.to_owned())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,7 +112,9 @@ fn main() -> ExitCode {
         "estimate" => cmd_estimate(&opts, ins),
         "estimate-file" => cmd_estimate_file(&opts, ins),
         "iscas85" => cmd_iscas85(&opts, ins),
-        other => Err(format!("unknown command {other}\n{USAGE}")),
+        other => Err(CliError::Runtime(format!(
+            "unknown command {other}\n{USAGE}"
+        ))),
     };
     let result = result.and_then(|()| {
         if !want_metrics {
@@ -84,8 +134,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            e.exit_code()
         }
     }
 }
@@ -93,20 +143,32 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   chipleak characterize [--sweep-points N] [--out FILE.json]
   chipleak estimate --cells N --die WxH [--dmax D] [--p P]
-                    [--method linear|integral2d|polar1d]
+                    [--method linear|integral2d|polar1d|exact-lattice]
                     [--mix uniform|control|datapath|memory|clock]
                     [--library FILE.json] [--yield-budget AMPS]
+                    [--resilient | --strict]
   chipleak estimate-file --placement FILE.txt [--dmax D] [--p P]
                     [--library FILE.json] [--exact true]
   chipleak iscas85  [--library FILE.json]
 
+estimate modes:
+  --resilient         run the validity-guarded fallback ladder
+                      (polar1d -> integral2d -> linear -> exact-lattice),
+                      report any degradation, exit 3 if every rung fails
+  --strict            run only --method; if it fails a validity check,
+                      refuse to fall back and exit 2
+
 global flags:
   --threads N         worker threads for the parallel hot paths (0 = all cores)
   --metrics           print hot-path counters/spans to stderr after the run
-  --metrics-json FILE write the metrics snapshot as JSON";
+  --metrics-json FILE write the metrics snapshot as JSON
+
+exit codes:
+  0 success   1 usage/input/runtime error
+  2 strict-mode refusal   3 resilient-ladder exhaustion";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["metrics", "resilient", "strict"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -127,6 +189,18 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(out)
 }
 
+fn parse_stage(method: &str) -> Result<LadderStage, CliError> {
+    match method {
+        "linear" => Ok(LadderStage::Linear),
+        "integral2d" => Ok(LadderStage::Integral2d),
+        "polar1d" => Ok(LadderStage::Polar1d),
+        "exact-lattice" => Ok(LadderStage::ExactLattice),
+        other => Err(CliError::Runtime(format!(
+            "unknown method {other}; use linear|integral2d|polar1d|exact-lattice"
+        ))),
+    }
+}
+
 fn load_or_characterize(
     opts: &HashMap<String, String>,
     tech: &Technology,
@@ -143,7 +217,7 @@ fn load_or_characterize(
         .map_err(|e| e.to_string())
 }
 
-fn cmd_characterize(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), String> {
+fn cmd_characterize(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), CliError> {
     let sweep_points: usize = opts
         .get("sweep-points")
         .map(|v| v.parse().map_err(|e| format!("--sweep-points: {e}")))
@@ -174,7 +248,7 @@ fn cmd_characterize(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Res
     Ok(())
 }
 
-fn cmd_estimate(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), String> {
+fn cmd_estimate(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), CliError> {
     let n_cells: usize = opts
         .get("cells")
         .ok_or("--cells is required")?
@@ -213,9 +287,9 @@ fn cmd_estimate(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<
                 "memory" => presets::memory_dominated(&lib),
                 "clock" => presets::clock_tree(&lib),
                 other => {
-                    return Err(format!(
+                    return Err(CliError::Runtime(format!(
                         "unknown mix {other}; use uniform|control|datapath|memory|clock"
-                    ))
+                    )))
                 }
             }
             .map_err(|e| e.to_string())?
@@ -232,13 +306,50 @@ fn cmd_estimate(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<
     let est = ChipLeakageEstimator::new(&charlib, &tech, chars, wid)
         .map_err(|e| e.to_string())?
         .with_vt_correction(&tech);
-    let e = match method {
-        "linear" => est.estimate_linear_instrumented(ins),
-        "integral2d" => est.estimate_integral_2d_instrumented(ins),
-        "polar1d" => est.estimate_polar_1d_instrumented(ins),
-        other => return Err(format!("unknown method {other}")),
+    let resilient = opts.contains_key("resilient");
+    let strict = opts.contains_key("strict");
+    if resilient && strict {
+        return Err(CliError::Runtime(
+            "--resilient and --strict are mutually exclusive".into(),
+        ));
     }
-    .map_err(|e| e.to_string())?;
+    let (e, method) = if resilient {
+        let res = est
+            .estimate_resilient_instrumented(ins)
+            .map_err(|e| match e {
+                CoreError::EstimationExhausted { .. } => CliError::Exhausted(e.to_string()),
+                other => CliError::Runtime(other.to_string()),
+            })?;
+        for line in res.report.rejection_lines() {
+            eprintln!("degraded: {line}");
+        }
+        let stage = res
+            .report
+            .accepted()
+            .expect("a successful ladder run has an accepted stage");
+        (res.estimate, stage.name())
+    } else {
+        let stage = parse_stage(method)?;
+        let e = if strict {
+            est.estimate_strict_instrumented(stage, ins)
+                .map_err(|e| CliError::StrictRefusal(e.to_string()))?
+        } else {
+            match stage {
+                LadderStage::Linear => est.estimate_linear_instrumented(ins),
+                LadderStage::Integral2d => est.estimate_integral_2d_instrumented(ins),
+                LadderStage::Polar1d => est.estimate_polar_1d_instrumented(ins),
+                // The O(n²) rung is only reachable through the guarded
+                // modes: unguarded it is never a sensible first choice.
+                LadderStage::ExactLattice => {
+                    return Err(CliError::Runtime(
+                        "--method exact-lattice requires --strict or --resilient".into(),
+                    ))
+                }
+            }
+            .map_err(|e| CliError::Runtime(e.to_string()))?
+        };
+        (e, stage.name())
+    };
 
     println!("method:        {method}");
     println!("mean leakage:  {:.4e} A", e.mean);
@@ -257,7 +368,7 @@ fn cmd_estimate(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<
     Ok(())
 }
 
-fn cmd_estimate_file(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), String> {
+fn cmd_estimate_file(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), CliError> {
     use fullchip_leakage::cells::corrmap::CorrelationPolicy;
     use fullchip_leakage::netlist::io::read_placement;
     let path = opts.get("placement").ok_or("--placement is required")?;
@@ -319,7 +430,7 @@ fn cmd_estimate_file(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Re
     Ok(())
 }
 
-fn cmd_iscas85(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), String> {
+fn cmd_iscas85(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Result<(), CliError> {
     let tech = Technology::cmos90();
     let charlib = load_or_characterize(opts, &tech, ins)?;
     let lib = CellLibrary::standard_62();

@@ -181,6 +181,106 @@ fn estimate_supports_mix_presets() {
 }
 
 #[test]
+fn resilient_mode_degrades_and_reports_the_rejected_rung() {
+    // dmax 100 on a 50x50 die invalidates polar1d; the ladder must land
+    // on integral2d, say so on stderr, and still exit 0.
+    let out = chipleak()
+        .args([
+            "estimate",
+            "--cells",
+            "2000",
+            "--die",
+            "50x50",
+            "--dmax",
+            "100",
+            "--resilient",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("degraded: polar1d"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("method:        integral2d"), "{stdout}");
+}
+
+#[test]
+fn strict_mode_refuses_with_exit_code_2() {
+    let out = chipleak()
+        .args([
+            "estimate", "--cells", "2000", "--die", "50x50", "--dmax", "100", "--method",
+            "polar1d", "--strict",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("strict mode refuses degradation"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn resilient_and_strict_are_mutually_exclusive() {
+    let out = chipleak()
+        .args([
+            "estimate",
+            "--cells",
+            "2000",
+            "--die",
+            "50x50",
+            "--resilient",
+            "--strict",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn exact_lattice_method_needs_a_guarded_mode() {
+    let out = chipleak()
+        .args([
+            "estimate",
+            "--cells",
+            "500",
+            "--die",
+            "50x50",
+            "--method",
+            "exact-lattice",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --strict or --resilient"));
+    let ok = chipleak()
+        .args([
+            "estimate",
+            "--cells",
+            "500",
+            "--die",
+            "50x50",
+            "--method",
+            "exact-lattice",
+            "--strict",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("exact-lattice"));
+}
+
+#[test]
 fn polar_method_rejected_when_dmax_exceeds_die() {
     let lib = charlib_path();
     let out = chipleak()

@@ -1,0 +1,319 @@
+//! Deterministic fault-injection suite: every injected fault class must
+//! end in a typed error or a recorded degradation — never a panic, an
+//! abort, or a silently propagated NaN — and the observability metrics
+//! must stay bit-identical across thread counts even while faults fire.
+//!
+//! All fault sites derive from a [`FaultPlan`] seed through pure functions
+//! of the site (distance bits, chunk index, byte offset), so a failure
+//! here reproduces exactly on re-run.
+
+use fullchip_leakage::core::estimator::LadderStage;
+use fullchip_leakage::core::CoreError;
+use fullchip_leakage::netlist::io::{read_placement, write_placement};
+use fullchip_leakage::netlist::{iscas85, NetlistError};
+use fullchip_leakage::obs::{AggregatingRecorder, FakeClock, Instruments};
+use fullchip_leakage::prelude::*;
+use fullchip_leakage::sim::{CellNetlist, LeakageSolver, SimError};
+use leakage_fault::FaultPlan;
+
+fn charlib() -> fullchip_leakage::cells::model::CharacterizedLibrary {
+    let tech = Technology::cmos90();
+    Characterizer::new(&tech)
+        .characterize_library(
+            &CellLibrary::standard_62(),
+            CharMethod::Analytical { sweep_points: 7 },
+        )
+        .expect("charax")
+}
+
+fn chars(n_cells: usize, w: f64, h: f64) -> HighLevelCharacteristics {
+    HighLevelCharacteristics::builder()
+        .histogram(UsageHistogram::uniform(62).expect("hist"))
+        .n_cells(n_cells)
+        .die_dimensions(w, h)
+        .build()
+        .expect("chars")
+}
+
+// ---------------------------------------------------------------------
+// Fault class 1: NaN poisoning of the correlation model.
+// ---------------------------------------------------------------------
+
+#[test]
+fn full_nan_poisoning_exhausts_the_ladder_with_a_typed_error() {
+    let plan = FaultPlan::new(0xDEAD);
+    let wid = plan.nan_correlation(TentCorrelation::new(50.0).expect("model"), 1.0);
+    let est = ChipLeakageEstimator::new(
+        &charlib(),
+        &Technology::cmos90(),
+        chars(5_000, 400.0, 300.0),
+        wid,
+    )
+    .expect("estimator");
+    match est.estimate_resilient() {
+        Err(CoreError::EstimationExhausted { attempts, summary }) => {
+            assert_eq!(attempts, 4, "{summary}");
+            assert!(summary.contains("non-finite"), "{summary}");
+        }
+        other => panic!("expected EstimationExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn partial_nan_poisoning_never_escapes_unrecorded() {
+    // At a 30 % poison rate some rungs may survive (their quadrature may
+    // miss every poisoned distance); whatever happens must be a finite
+    // accepted estimate with an honest report, or a typed exhaustion.
+    for seed in 0..8u64 {
+        let plan = FaultPlan::new(seed);
+        let wid = plan.nan_correlation(TentCorrelation::new(50.0).expect("model"), 0.3);
+        let est = ChipLeakageEstimator::new(
+            &charlib(),
+            &Technology::cmos90(),
+            chars(2_000, 250.0, 200.0),
+            wid,
+        )
+        .expect("estimator");
+        match est.estimate_resilient() {
+            Ok(res) => {
+                assert!(res.estimate.variance.is_finite(), "seed {seed}");
+                assert!(res.estimate.variance >= 0.0, "seed {seed}");
+                assert_eq!(res.report.accepted(), Some(stage_of(&res)), "seed {seed}");
+            }
+            Err(CoreError::EstimationExhausted { .. }) => {}
+            Err(other) => panic!("seed {seed}: untyped failure {other:?}"),
+        }
+    }
+}
+
+fn stage_of(res: &fullchip_leakage::core::ResilientEstimate) -> LadderStage {
+    res.report.accepted().expect("accepted stage")
+}
+
+#[test]
+fn nan_poisoned_ladder_is_deterministic_and_its_degradation_is_observable() {
+    let run = || {
+        let plan = FaultPlan::new(7);
+        let wid = plan.nan_correlation(TentCorrelation::new(50.0).expect("model"), 1.0);
+        let est = ChipLeakageEstimator::new(
+            &charlib(),
+            &Technology::cmos90(),
+            chars(2_000, 250.0, 200.0),
+            wid,
+        )
+        .expect("estimator");
+        let recorder = AggregatingRecorder::new();
+        let clock = FakeClock::new(3);
+        let ins = Instruments::new(&recorder, &clock);
+        let outcome = est.estimate_resilient_instrumented(ins);
+        (outcome, recorder.snapshot())
+    };
+    let (a, snap_a) = run();
+    let (b, snap_b) = run();
+    assert_eq!(a, b);
+    // The poisoned runs legitimately record NaN observations, and
+    // NaN != NaN under PartialEq — compare the serialized form instead.
+    assert_eq!(snap_a.to_json_string(), snap_b.to_json_string());
+    // The exhaustion left a trace: every rung's rejection was counted.
+    let json = snap_a.to_json_string();
+    assert!(json.contains("core.resilient.exhausted"), "{json}");
+    assert!(json.contains("core.resilient.rejected.polar1d"), "{json}");
+    assert!(
+        json.contains("core.resilient.rejected.exact_lattice"),
+        "{json}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fault class 2: forced solver non-convergence.
+// ---------------------------------------------------------------------
+
+#[test]
+fn starved_solver_fails_typed_with_scale_and_budget() {
+    let plan = FaultPlan::new(11);
+    let solver = LeakageSolver::new(&Technology::cmos90());
+    let nand = CellNetlist::nand(2, 1.0, 2.0);
+    let err = solver
+        .solve_with_options(&nand, 0, 0.0, &[], &plan.unconverging_solver())
+        .expect_err("1 iteration cannot converge");
+    match err {
+        SimError::Unconverged {
+            residual,
+            residual_scale,
+            iterations,
+            recovery_attempted,
+            ..
+        } => {
+            assert!(residual.is_finite());
+            assert!(residual_scale > 0.0);
+            assert_eq!(iterations, 1);
+            assert!(!recovery_attempted);
+        }
+        other => panic!("expected Unconverged, got {other:?}"),
+    }
+}
+
+#[test]
+fn starved_solver_with_recovery_ends_typed_or_rescued() {
+    let plan = FaultPlan::new(11);
+    let solver = LeakageSolver::new(&Technology::cmos90());
+    let reference = solver
+        .solve(&CellNetlist::nand(2, 1.0, 2.0), 0, 0.0, &[])
+        .expect("healthy solve");
+    match solver.solve_with_options(
+        &CellNetlist::nand(2, 1.0, 2.0),
+        0,
+        0.0,
+        &[],
+        &plan.starved_recovering_solver(),
+    ) {
+        Ok(sol) => {
+            // Rescued by the ladder: the answer must still be physical.
+            assert!(sol.leakage.is_finite() && sol.leakage > 0.0);
+            assert!((sol.leakage - reference.leakage).abs() / reference.leakage < 1e-3);
+        }
+        Err(SimError::Unconverged {
+            recovery_attempted, ..
+        }) => assert!(recovery_attempted),
+        Err(other) => panic!("untyped failure {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault class 3: truncated / duplicated / NaN-corrupted input text.
+// ---------------------------------------------------------------------
+
+fn reference_placement_text() -> String {
+    let lib = CellLibrary::standard_62();
+    let specs = iscas85::build_suite(&lib).expect("suite");
+    let mut buf = Vec::new();
+    write_placement(&mut buf, &specs[0], &lib).expect("write");
+    String::from_utf8(buf).expect("utf8")
+}
+
+#[test]
+fn corrupted_placements_yield_typed_errors_never_panics() {
+    let lib = CellLibrary::standard_62();
+    let clean = reference_placement_text();
+    assert!(
+        read_placement(clean.as_bytes(), &lib).is_ok(),
+        "reference must parse"
+    );
+    let mut at_least_one_error = 0usize;
+    for seed in 0..16u64 {
+        let plan = FaultPlan::new(seed);
+        for (class, corrupted) in [
+            ("truncated", plan.truncated(&clean)),
+            ("duplicated", plan.duplicated(&clean)),
+            ("nan-number", plan.nan_number(&clean)),
+        ] {
+            match read_placement(corrupted.as_bytes(), &lib) {
+                // A cut at a line boundary can legitimately still parse.
+                Ok(_) => {}
+                Err(NetlistError::InvalidArgument { reason }) => {
+                    assert!(!reason.is_empty(), "seed {seed} {class}");
+                    at_least_one_error += 1;
+                }
+                Err(other) => panic!("seed {seed} {class}: unexpected error kind {other:?}"),
+            }
+        }
+    }
+    assert!(
+        at_least_one_error >= 16,
+        "corruption was ineffective: only {at_least_one_error} rejections"
+    );
+}
+
+#[test]
+fn duplicated_instance_lines_are_rejected_with_the_line_number() {
+    let lib = CellLibrary::standard_62();
+    let clean = reference_placement_text();
+    // Deterministically duplicate a gate line (not the header): the parser
+    // must refuse the duplicate instance name, citing the line.
+    let gate_line = clean
+        .lines()
+        .find(|l| !l.trim().is_empty() && !l.starts_with('#') && !l.starts_with("design"))
+        .expect("gate line");
+    let corrupted = format!("{clean}{gate_line}\n");
+    match read_placement(corrupted.as_bytes(), &lib) {
+        Err(NetlistError::InvalidArgument { reason }) => {
+            assert!(reason.contains("duplicate instance"), "{reason}");
+            assert!(reason.contains("line"), "{reason}");
+        }
+        other => panic!("expected duplicate-instance rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn nan_coordinates_are_rejected_as_non_finite() {
+    let lib = CellLibrary::standard_62();
+    let text = "design d 100.0 100.0\ng0 inv_x1 NaN 5.0\n";
+    match read_placement(text.as_bytes(), &lib) {
+        Err(NetlistError::InvalidArgument { reason }) => {
+            assert!(reason.contains("finite"), "{reason}");
+        }
+        other => panic!("expected non-finite rejection, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault class 4: worker-thread panics inside parallel regions.
+// ---------------------------------------------------------------------
+
+#[test]
+fn worker_panics_become_typed_errors_bit_identical_across_thread_counts() {
+    use fullchip_leakage::numeric::NumericError;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let plan = FaultPlan::new(21);
+    let injector = plan.panic_injector(0.25);
+    let n_chunks = 32usize;
+    let expected_chunk = *injector
+        .selected(n_chunks)
+        .first()
+        .expect("rate 0.25 over 32 chunks must select at least one");
+
+    let mut outcomes = Vec::new();
+    for par in [
+        Parallelism::serial(),
+        Parallelism::threads(2),
+        Parallelism::threads(8),
+    ] {
+        let attempted = AtomicUsize::new(0);
+        let result = par.try_map_chunks(n_chunks, |i| {
+            attempted.fetch_add(1, Ordering::Relaxed);
+            injector.maybe_panic(i);
+            i as f64
+        });
+        // Every chunk ran exactly once despite the panics: caller-visible
+        // side effects (obs counters in real kernels) are thread-invariant.
+        assert_eq!(
+            attempted.load(Ordering::Relaxed),
+            n_chunks,
+            "{} threads",
+            par.thread_count()
+        );
+        match result {
+            Err(NumericError::WorkerPanic { chunk, message }) => {
+                assert_eq!(chunk, expected_chunk, "{} threads", par.thread_count());
+                outcomes.push((chunk, message));
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+    assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn panic_free_fault_runs_leave_healthy_results_intact() {
+    // rate 0 ⇒ the injector must be fully transparent.
+    let plan = FaultPlan::new(3);
+    let injector = plan.panic_injector(0.0);
+    let healthy = Parallelism::threads(4)
+        .try_map_chunks(16, |i| {
+            injector.maybe_panic(i);
+            i * 2
+        })
+        .expect("no faults");
+    assert_eq!(healthy, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+}
