@@ -5,8 +5,10 @@
 //!
 //! The exact estimator and the Monte-Carlo engine are timed both serially
 //! and with the session thread budget (`--threads N`, default all cores);
-//! the speedup columns quantify the parallel execution layer, and the raw
-//! numbers are recorded in `BENCH_parallel.json` for regression tracking.
+//! the speedup columns quantify the parallel execution layer. The
+//! machine-readable record (`BENCH_parallel.json`) is owned by the
+//! `scaling` binary, which also covers the tiled kernel and its thread
+//! sweep — this binary prints the human ladder table only.
 
 use leakage_bench::{context, print_table, SIGNAL_P};
 use leakage_cells::corrmap::CorrelationPolicy;
@@ -57,8 +59,6 @@ fn main() {
     )
     .expect("pairwise");
 
-    // (gates, serial seconds, parallel seconds) for the JSON record.
-    let mut exact_records: Vec<(usize, f64, f64)> = Vec::new();
     let mut rows = Vec::new();
     for side in [10usize, 32, 100, 316, 1000] {
         let n = side * side;
@@ -85,7 +85,6 @@ fn main() {
                 parallel.variance.to_bits(),
                 "parallel exact estimate must be bit-identical to serial"
             );
-            exact_records.push((n, ts, tp));
             (fmt_time(ts), fmt_time(tp), format!("{:.2}x", ts / tp))
         } else {
             (
@@ -172,26 +171,5 @@ fn main() {
         "paper claim: the O(n) method runs in under a second below 1,000 gates; the \
          O(1) methods are size-independent"
     );
-
-    // Machine-readable record (hand-rolled JSON: flat numbers only).
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str("  \"exact\": [\n");
-    for (i, (gates, ts, tp)) in exact_records.iter().enumerate() {
-        let comma = if i + 1 < exact_records.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"gates\": {gates}, \"serial_s\": {ts:.6}, \"parallel_s\": {tp:.6}, \
-             \"speedup\": {:.3}}}{comma}\n",
-            ts / tp
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"montecarlo\": [\n    {{\"gates\": {n}, \"trials\": {MC_TRIALS}, \
-         \"serial_s\": {mc_serial:.6}, \"parallel_s\": {mc_parallel:.6}, \
-         \"speedup\": {:.3}}}\n  ]\n}}\n",
-        mc_serial / mc_parallel
-    ));
-    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    eprintln!("wrote BENCH_parallel.json");
+    eprintln!("for BENCH_parallel.json and the tiled-kernel thread sweep, run the `scaling` bin");
 }

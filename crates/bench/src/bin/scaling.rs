@@ -1,0 +1,396 @@
+//! Scaling suite for the exact-kernel/Monte-Carlo perf work: times the
+//! naive and tiled O(n²) kernels across 10³→10⁵-gate placements with a
+//! 1/2/4/8 thread sweep, the O(n)/O(1) ladder up to 10⁶ gates, the
+//! batched vs. per-trial field sampling paths, and the Monte-Carlo engine
+//! end to end. Owns `BENCH_parallel.json` (the machine-readable record;
+//! `runtime_table` prints the human ladder table only).
+//!
+//! Modes:
+//!   `--smoke`      reduced sizes for CI (naive capped at 10⁴ gates)
+//!   `--threads N`  session thread budget for the `auto` columns
+//!   `--out PATH`   JSON output path (default `BENCH_parallel.json`)
+//!
+//! Always asserted (any host): naive/tiled and serial/parallel results are
+//! bit-identical, and batched field sampling beats the per-trial path by
+//! more than 1.5×. Asserted only when the host has ≥ 8 cores (speedups
+//! are meaningless on fewer): ≥ 3× tiled speedup at 8 threads on the
+//! largest exact size. The tiled ≥ 4× naive single-thread assertion runs
+//! at the largest size where both kernels were measured, when that size
+//! is ≥ 10⁴ gates (smaller sizes are timing noise).
+
+use leakage_bench::{context, print_table, SIGNAL_P};
+use leakage_cells::corrmap::CorrelationPolicy;
+use leakage_cells::UsageHistogram;
+use leakage_core::estimator::{
+    exact_placed_stats_tiled_instrumented, exact_placed_stats_with, integral_2d_variance,
+    linear_time_variance, polar_1d_variance, Tiling,
+};
+use leakage_core::pairwise::PairwiseCovariance;
+use leakage_core::{Parallelism, RandomGate};
+use leakage_montecarlo::ChipSamplerBuilder;
+use leakage_netlist::generate::RandomCircuitGenerator;
+use leakage_netlist::placement::{place, PlacementStyle};
+use leakage_numeric::Instruments;
+use leakage_process::correlation::SpatialCorrelation;
+use leakage_process::field::{CirculantFieldSampler, FieldScratch, GridGeometry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Thread budgets of the sweep columns.
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+struct ExactRow {
+    gates: usize,
+    naive_serial_s: Option<f64>,
+    /// Tiled wall-clock per sweep thread budget, in `SWEEP` order.
+    tiled_s: [f64; SWEEP.len()],
+}
+
+fn main() {
+    let _ = leakage_bench::apply_threads_flag();
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!("scaling suite: mode {mode}, host cores {host_cores}");
+
+    let ctx = context();
+    let wid = leakage_bench::wid();
+    let rho_c = ctx.tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let hist = UsageHistogram::uniform(ctx.lib.len()).expect("non-empty");
+    let rg = RandomGate::new(&ctx.charlib, &hist, SIGNAL_P, CorrelationPolicy::Exact)
+        .expect("random gate");
+    let generator = RandomCircuitGenerator::new(hist.clone());
+    let pairwise = PairwiseCovariance::new(
+        &ctx.charlib,
+        &hist.support(),
+        SIGNAL_P,
+        CorrelationPolicy::Exact,
+    )
+    .expect("pairwise");
+
+    // ---- exact kernels: naive vs tiled, thread sweep --------------------
+    // Production tiling: the tent correlation is exactly zero at/beyond its
+    // support radius, so ρ_total is the constant ρ_c there and the far
+    // cutoff is bit-exact (asserted against naive below).
+    let tiling = Tiling {
+        far_cutoff: wid.support_radius(),
+        ..Tiling::default()
+    };
+    let exact_sizes: &[usize] = &[1_000, 10_000, 100_000];
+    let naive_cap = if smoke { 10_000 } else { 100_000 };
+    let mut exact_rows: Vec<ExactRow> = Vec::new();
+    for &n in exact_sizes {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let circuit = generator.generate_exact(n, &mut rng).expect("gen");
+        let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
+        let soa = placed.placement_soa();
+
+        let naive_serial_s = if n <= naive_cap {
+            let t0 = Instant::now();
+            let naive = exact_placed_stats_with(
+                placed.gates(),
+                &pairwise,
+                &rho_total,
+                Parallelism::serial(),
+            );
+            let ts = t0.elapsed().as_secs_f64();
+            // Bit-identity oracle at the first sweep point; the remaining
+            // sweep entries are checked against this reference below.
+            let tiled = exact_placed_stats_tiled_instrumented(
+                &soa,
+                &pairwise,
+                &rho_total,
+                Parallelism::serial(),
+                tiling,
+                Instruments::none(),
+            );
+            assert_eq!(
+                naive.variance.to_bits(),
+                tiled.variance.to_bits(),
+                "tiled kernel must be bit-identical to naive at n = {n}"
+            );
+            assert_eq!(naive.mean.to_bits(), tiled.mean.to_bits());
+            Some(ts)
+        } else {
+            None
+        };
+
+        let mut tiled_s = [0.0; SWEEP.len()];
+        let mut reference: Option<(u64, u64)> = None;
+        for (i, &t) in SWEEP.iter().enumerate() {
+            let t0 = Instant::now();
+            let e = exact_placed_stats_tiled_instrumented(
+                &soa,
+                &pairwise,
+                &rho_total,
+                Parallelism::threads(t),
+                tiling,
+                Instruments::none(),
+            );
+            tiled_s[i] = t0.elapsed().as_secs_f64();
+            let bits = (e.mean.to_bits(), e.variance.to_bits());
+            match reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(
+                    r, bits,
+                    "tiled kernel must be thread-count invariant at n = {n}, {t} threads"
+                ),
+            }
+        }
+        eprintln!("exact n = {n} done");
+        exact_rows.push(ExactRow {
+            gates: n,
+            naive_serial_s,
+            tiled_s,
+        });
+    }
+
+    let mut rows = Vec::new();
+    for r in &exact_rows {
+        let naive = r.naive_serial_s.map_or("(skipped)".to_owned(), fmt_time);
+        let vs_naive = r
+            .naive_serial_s
+            .map_or("-".to_owned(), |ns| format!("{:.2}x", ns / r.tiled_s[0]));
+        rows.push(vec![
+            r.gates.to_string(),
+            naive,
+            fmt_time(r.tiled_s[0]),
+            fmt_time(r.tiled_s[1]),
+            fmt_time(r.tiled_s[2]),
+            fmt_time(r.tiled_s[3]),
+            vs_naive,
+            format!("{:.2}x", r.tiled_s[0] / r.tiled_s[3]),
+        ]);
+    }
+    print_table(
+        &format!("Exact O(n²) kernel scaling ({mode} mode, {host_cores} host cores)"),
+        &[
+            "gates",
+            "naive 1T",
+            "tiled 1T",
+            "tiled 2T",
+            "tiled 4T",
+            "tiled 8T",
+            "tiled/naive 1T",
+            "8T speedup",
+        ],
+        &rows,
+    );
+
+    // ---- O(n)/O(1) ladder up to paper scale -----------------------------
+    let ladder_sizes: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+    let mut ladder_rows = Vec::new();
+    let mut ladder_records = Vec::new();
+    for n in ladder_sizes {
+        let side = (n as f64).sqrt().round() as usize;
+        let grid = GridGeometry::new(side, side, 3.0, 3.0).expect("grid");
+        let t0 = Instant::now();
+        let _ = linear_time_variance(&rg, &grid, &rho_total);
+        let lin = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let _ = integral_2d_variance(&rg, n, grid.width(), grid.height(), &rho_total, 32, 8);
+        let i2d = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let pol = polar_1d_variance(&rg, n, grid.width(), grid.height(), &wid, rho_c, 64, 16)
+            .map(|_| t0.elapsed().as_secs_f64());
+        ladder_rows.push(vec![
+            n.to_string(),
+            fmt_time(lin),
+            fmt_time(i2d),
+            pol.as_ref().map_or("n/a".to_owned(), |&s| fmt_time(s)),
+        ]);
+        ladder_records.push((n, lin, i2d, pol.ok()));
+    }
+    print_table(
+        "Random-Gate ladder (size-independent of placement)",
+        &["gates", "linear O(n)", "2-D O(1)", "polar O(1)"],
+        &ladder_rows,
+    );
+
+    // ---- field sampling: per-trial (unplanned) vs batched ---------------
+    let draws = if smoke { 40 } else { 200 };
+    let field_side = 100;
+    let field_grid = GridGeometry::new(field_side, field_side, 3.0, 3.0).expect("grid");
+    let field = CirculantFieldSampler::new(field_grid, &wid, 1.0).expect("sampler");
+    let t0 = Instant::now();
+    let mut sink = 0.0_f64;
+    for p in 0..draws {
+        // The pre-batching hot loop: fresh allocations and an FFT that
+        // recomputes its twiddles on every draw.
+        let mut rng = StdRng::seed_from_u64(p as u64);
+        let (a, b) = field.sample_two_unplanned_with(&mut rng, Parallelism::serial());
+        sink += a[0] + b[0];
+    }
+    let per_trial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut scratch = FieldScratch::new();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    let mut sink_batched = 0.0_f64;
+    for p in 0..draws {
+        let mut rng = StdRng::seed_from_u64(p as u64);
+        field.sample_two_into(&mut rng, &mut a, &mut b, &mut scratch);
+        sink_batched += a[0] + b[0];
+    }
+    let batched_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        sink.to_bits(),
+        sink_batched.to_bits(),
+        "batched field sampling must be bit-identical to the per-trial path"
+    );
+    let batched_speedup = per_trial_s / batched_s;
+    print_table(
+        &format!("Field sampling: {draws} draws on a {field_side}×{field_side} grid"),
+        &["per-trial", "batched", "speedup"],
+        &[vec![
+            fmt_time(per_trial_s),
+            fmt_time(batched_s),
+            format!("{batched_speedup:.2}x"),
+        ]],
+    );
+
+    // ---- Monte-Carlo engine end to end ----------------------------------
+    let (mc_gates, mc_trials) = if smoke {
+        (2_000, 1_000)
+    } else {
+        (10_000, 10_000)
+    };
+    let mut rng = StdRng::seed_from_u64(mc_gates as u64);
+    let circuit = generator.generate_exact(mc_gates, &mut rng).expect("gen");
+    let placed = place(&circuit, &ctx.lib, PlacementStyle::RowMajor, 0.7).expect("place");
+    let sampler = ChipSamplerBuilder::new(&placed, &ctx.charlib, &ctx.tech, &wid)
+        .signal_probability(SIGNAL_P)
+        .build()
+        .expect("sampler");
+    let t0 = Instant::now();
+    let serial = sampler.run_seeded_with(mc_trials, 1234, Parallelism::serial());
+    let mc_serial = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = sampler.run_seeded_with(mc_trials, 1234, Parallelism::auto());
+    let mc_parallel = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        serial, parallel,
+        "parallel Monte-Carlo statistics must be bit-identical to serial"
+    );
+    print_table(
+        &format!("Monte-Carlo engine: {mc_gates} gates, {mc_trials} trials"),
+        &["serial", "auto", "speedup"],
+        &[vec![
+            fmt_time(mc_serial),
+            fmt_time(mc_parallel),
+            format!("{:.2}x", mc_serial / mc_parallel),
+        ]],
+    );
+
+    // ---- acceptance gates ------------------------------------------------
+    assert!(
+        batched_speedup > 1.5,
+        "batched field sampling must beat the per-trial path by > 1.5× \
+         (measured {batched_speedup:.2}×)"
+    );
+    if let Some(r) = exact_rows
+        .iter()
+        .rev()
+        .find(|r| r.naive_serial_s.is_some() && r.gates >= 10_000)
+    {
+        let ratio = r.naive_serial_s.unwrap_or(0.0) / r.tiled_s[0];
+        assert!(
+            ratio >= 4.0,
+            "tiled kernel must be ≥ 4× faster than naive single-threaded at \
+             {} gates (measured {ratio:.2}×)",
+            r.gates
+        );
+        eprintln!(
+            "tiled vs naive 1T at {} gates: {ratio:.2}x (>= 4x ok)",
+            r.gates
+        );
+    }
+    if host_cores >= 8 {
+        let r = exact_rows.last().expect("at least one exact size");
+        let speedup = r.tiled_s[0] / r.tiled_s[3];
+        assert!(
+            speedup >= 3.0,
+            "tiled kernel must show ≥ 3× speedup at 8 threads on {} gates \
+             (measured {speedup:.2}×, {host_cores} cores)",
+            r.gates
+        );
+        eprintln!("8T speedup at {} gates: {speedup:.2}x (>= 3x ok)", r.gates);
+    } else {
+        eprintln!(
+            "8-thread scaling assertion skipped: host has {host_cores} core(s); \
+             speedups on an oversubscribed host are scheduling noise"
+        );
+    }
+
+    // ---- machine-readable record (hand-rolled JSON) ----------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str("  \"thread_sweep\": [1, 2, 4, 8],\n");
+    json.push_str("  \"exact\": [\n");
+    for (i, r) in exact_rows.iter().enumerate() {
+        let comma = if i + 1 < exact_rows.len() { "," } else { "" };
+        let naive = r
+            .naive_serial_s
+            .map_or("null".to_owned(), |s| format!("{s:.6}"));
+        let vs = r
+            .naive_serial_s
+            .map_or("null".to_owned(), |s| format!("{:.3}", s / r.tiled_s[0]));
+        json.push_str(&format!(
+            "    {{\"gates\": {}, \"naive_serial_s\": {naive}, \
+             \"tiled_s\": [{:.6}, {:.6}, {:.6}, {:.6}], \
+             \"tiled_vs_naive_1t\": {vs}, \"tiled_speedup_8t\": {:.3}}}{comma}\n",
+            r.gates,
+            r.tiled_s[0],
+            r.tiled_s[1],
+            r.tiled_s[2],
+            r.tiled_s[3],
+            r.tiled_s[0] / r.tiled_s[3],
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"ladder\": [\n");
+    for (i, (n, lin, i2d, pol)) in ladder_records.iter().enumerate() {
+        let comma = if i + 1 < ladder_records.len() {
+            ","
+        } else {
+            ""
+        };
+        let pol = pol.map_or("null".to_owned(), |s| format!("{s:.6}"));
+        json.push_str(&format!(
+            "    {{\"gates\": {n}, \"linear_s\": {lin:.6}, \"integral2d_s\": {i2d:.6}, \
+             \"polar_s\": {pol}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"field_sampling\": {{\"draws\": {draws}, \"grid\": {field_side}, \
+         \"per_trial_s\": {per_trial_s:.6}, \"batched_s\": {batched_s:.6}, \
+         \"batched_speedup\": {batched_speedup:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"montecarlo\": {{\"gates\": {mc_gates}, \"trials\": {mc_trials}, \
+         \"serial_s\": {mc_serial:.6}, \"parallel_s\": {mc_parallel:.6}, \
+         \"speedup\": {:.3}}}\n}}\n",
+        mc_serial / mc_parallel
+    ));
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

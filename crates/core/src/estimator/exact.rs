@@ -1,11 +1,14 @@
 //! The O(n²) pairwise reference on a placed design ("true leakage", §3).
 
 use crate::estimator::{EstimatorMethod, LeakageEstimate};
-use crate::pairwise::PairwiseCovariance;
+use crate::pairwise::{PairwiseCovariance, PAIR_KNOTS};
+use leakage_cells::library::CellId;
+use leakage_numeric::interp::UnitDyadicTables;
 use leakage_numeric::parallel::Parallelism;
 use leakage_numeric::stats::KahanSum;
 use leakage_numeric::Instruments;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// One placed cell instance: type and placement coordinates (µm).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,12 +76,14 @@ fn triangle_row_bounds(n: usize, n_chunks: usize) -> Vec<usize> {
 
 /// [`exact_placed_stats`] with an explicit thread budget.
 ///
-/// The lower triangle is split into fixed, pair-balanced row chunks; each
-/// chunk accumulates its variance contribution into a compensated
-/// (Kahan–Neumaier) partial sum, and the partials are merged strictly in
-/// chunk order. The decomposition depends only on `gates.len()`, so the
-/// result is **bit-identical** for every thread budget, including
-/// [`Parallelism::serial`].
+/// The lower triangle is split into fixed, pair-balanced row chunks. Each
+/// *row* `a` owns one compensated (Kahan–Neumaier) accumulator fed its
+/// diagonal term first and then the pair terms in ascending-`b` order; the
+/// per-row accumulators are merged strictly in ascending row order. The
+/// reduction therefore depends only on `gates.len()` — not on the chunk
+/// decomposition or thread budget — so the result is **bit-identical** for
+/// every thread budget, including [`Parallelism::serial`], and for the
+/// tiled kernel ([`exact_placed_stats_tiled_with`]) at any tile size.
 ///
 /// # Panics
 ///
@@ -115,10 +120,11 @@ pub fn exact_placed_stats_instrumented<R: Fn(f64) -> f64 + Sync>(
     let n_chunks = (total_work / PAIRS_PER_CHUNK + 1).min(n.max(1) as u128) as usize;
     let bounds = triangle_row_bounds(n, n_chunks);
     let partials = par.map_chunks(n_chunks, |c| {
-        let mut acc = KahanSum::new();
+        let mut rows = Vec::with_capacity(bounds[c + 1] - bounds[c]);
         for a in bounds[c]..bounds[c + 1] {
             let ga = &gates[a];
             let sa = pairwise.std(ga.cell);
+            let mut acc = KahanSum::new();
             acc.add(sa * sa);
             for gb in &gates[a + 1..] {
                 let dx = ga.x - gb.x;
@@ -126,12 +132,15 @@ pub fn exact_placed_stats_instrumented<R: Fn(f64) -> f64 + Sync>(
                 let d = (dx * dx + dy * dy).sqrt();
                 acc.add(2.0 * pairwise.covariance(ga.cell, gb.cell, rho_total(d)));
             }
+            rows.push(acc);
         }
-        acc
+        rows
     });
     let mut variance = KahanSum::new();
-    for p in &partials {
-        variance.merge(p);
+    for rows in &partials {
+        for row in rows {
+            variance.merge(row);
+        }
     }
     ins.add("core.exact.gates", n as u64);
     ins.add(
@@ -139,6 +148,438 @@ pub fn exact_placed_stats_instrumented<R: Fn(f64) -> f64 + Sync>(
         (total_work).min(u64::MAX as u128) as u64,
     );
     ins.add("core.exact.chunks", n_chunks as u64);
+    ins.record("core.exact.mean", mean);
+    ins.record("core.exact.variance", variance.sum());
+    drop(span);
+    LeakageEstimate {
+        mean,
+        variance: variance.sum(),
+        method: EstimatorMethod::ExactPlaced,
+    }
+}
+
+/// Struct-of-arrays view of a placement: contiguous coordinate arrays plus
+/// dense per-gate type indices into an ascending type support.
+///
+/// The array-of-structs [`PlacedGate`] layout interleaves `cell`, `x`, `y`,
+/// so the O(n²) inner loop strides 24-byte records and re-resolves
+/// `BTreeMap` moment lookups per pair. This view is built **once** per
+/// placement and hands the tiled kernel ([`exact_placed_stats_tiled_with`])
+/// unit-stride `f64` streams and `O(1)` dense moment indexing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementSoA {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Per-gate index into `support` (dense, `< support.len()`).
+    type_idx: Vec<u32>,
+    /// Distinct cell types, ascending by id.
+    support: Vec<CellId>,
+}
+
+impl PlacementSoA {
+    /// Builds the columnar view. Coordinates are copied bit-for-bit; the
+    /// support is the ascending set of distinct types.
+    pub fn from_gates(gates: &[PlacedGate]) -> PlacementSoA {
+        let mut index: BTreeMap<CellId, u32> = BTreeMap::new();
+        for g in gates {
+            index.entry(g.cell).or_insert(0);
+        }
+        let support: Vec<CellId> = index.keys().copied().collect();
+        for (i, slot) in index.values_mut().enumerate() {
+            *slot = i as u32;
+        }
+        let mut xs = Vec::with_capacity(gates.len());
+        let mut ys = Vec::with_capacity(gates.len());
+        let mut type_idx = Vec::with_capacity(gates.len());
+        for g in gates {
+            xs.push(g.x);
+            ys.push(g.y);
+            type_idx.push(index[&g.cell]);
+        }
+        PlacementSoA {
+            xs,
+            ys,
+            type_idx,
+            support,
+        }
+    }
+
+    /// Number of placed gates.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when no gates are placed.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Distinct cell types, ascending by id.
+    pub fn support(&self) -> &[CellId] {
+        &self.support
+    }
+
+    /// Reconstructs gate `i` (bit-identical to the input gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn gate(&self, i: usize) -> PlacedGate {
+        PlacedGate {
+            cell: self.support[self.type_idx[i] as usize],
+            x: self.xs[i],
+            y: self.ys[i],
+        }
+    }
+
+    /// Reconstructs the full gate list in original order (bit-identical).
+    pub fn to_gates(&self) -> Vec<PlacedGate> {
+        (0..self.len()).map(|i| self.gate(i)).collect()
+    }
+}
+
+/// Default row/column block edge for the tiled kernel.
+///
+/// A 128-gate column block is ~3 KiB of coordinate + type data — it stays
+/// resident in L1 while all 128 rows of the tile sweep it, and the row
+/// block's per-type table slices stay hot in turn. Measurements between 64
+/// and 512 are within a few percent; the result is bit-identical for
+/// *every* tile size, so this is purely a throughput knob.
+pub const DEFAULT_TILE_ROWS: usize = 128;
+
+/// Tile-shape configuration for [`exact_placed_stats_tiled_instrumented`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tiling {
+    /// Rows (and columns) per square tile; clamped to ≥ 1.
+    pub rows: usize,
+    /// Distance at and beyond which the caller **promises** `rho_total` is
+    /// constant — i.e. the correlation model has compact support (the
+    /// paper's tent model reaches exactly zero at `D_max`; see
+    /// `SpatialCorrelation::support_radius`). Far pairs then skip the
+    /// sqrt + ρ evaluation + table interpolation for one precomputed
+    /// per-type-pair covariance load. The result stays **bit-identical**
+    /// to the naive kernel because the skipped evaluation would produce
+    /// exactly that constant value; the distance comparison runs on
+    /// squared distances with a cutoff rounded up so borderline pairs
+    /// always take the evaluated path. `None` disables the fast path.
+    pub far_cutoff: Option<f64>,
+}
+
+impl Default for Tiling {
+    fn default() -> Tiling {
+        Tiling {
+            rows: DEFAULT_TILE_ROWS,
+            far_cutoff: None,
+        }
+    }
+}
+
+/// Dense per-type moments plus the flat `ρ_L`-binned covariance table bank
+/// gathered once per tiled-kernel invocation.
+struct DenseMoments {
+    n_types: usize,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+    tables: UnitDyadicTables,
+}
+
+impl DenseMoments {
+    /// # Panics
+    ///
+    /// Panics if a type in the support is outside `pairwise`'s support.
+    fn build(soa: &PlacementSoA, pairwise: &PairwiseCovariance) -> DenseMoments {
+        let t = soa.support().len();
+        let mut means = Vec::with_capacity(t);
+        let mut vars = Vec::with_capacity(t);
+        for id in soa.support() {
+            means.push(pairwise.mean(*id));
+            let s = pairwise.std(*id);
+            vars.push(s * s);
+        }
+        let mut tables =
+            // chipleak-lint: allow(no-unwrap-in-library): PAIR_KNOTS = 33 = 2^5 + 1 is a compile-time constant satisfying the dyadic precondition
+            UnitDyadicTables::new(t * t, PAIR_KNOTS).expect("PAIR_KNOTS is 2^k + 1");
+        for i in 0..t {
+            for j in i..t {
+                let ys = pairwise.table_values(soa.support()[i], soa.support()[j]);
+                tables.set_table(i * t + j, ys);
+                if i != j {
+                    tables.set_table(j * t + i, ys);
+                }
+            }
+        }
+        DenseMoments {
+            n_types: t,
+            means,
+            vars,
+            tables,
+        }
+    }
+}
+
+/// Precomputed far-pair covariances for a [`Tiling::far_cutoff`]: one
+/// table value per (row type, column type) at the constant far-field ρ,
+/// plus the squared-distance threshold that soundly implies `d ≥ cutoff`.
+struct FarTable {
+    /// Smallest `d²` for which `d².sqrt() ≥ cutoff` is guaranteed; pairs
+    /// below it fall through to the evaluated path.
+    c2: f64,
+    /// `tables.eval(i·t + j, ρ_far)` for every type pair — the exact value
+    /// the evaluated path would produce for any far pair.
+    values: Vec<f64>,
+}
+
+impl FarTable {
+    fn build<R: Fn(f64) -> f64>(
+        cutoff: f64,
+        moments: &DenseMoments,
+        rho_total: &R,
+    ) -> Option<FarTable> {
+        if !cutoff.is_finite() || cutoff <= 0.0 {
+            return None;
+        }
+        // `cutoff²` rounds to nearest, so `sqrt` of it may land one ulp
+        // below the cutoff; nudge up until the implication `d² ≥ c2 ⇒
+        // d ≥ cutoff` holds (sqrt is monotone and correctly rounded).
+        let mut c2 = cutoff * cutoff;
+        while c2.sqrt() < cutoff {
+            c2 = f64::from_bits(c2.to_bits() + 1);
+        }
+        let rho_far = rho_total(cutoff).clamp(0.0, 1.0);
+        let t = moments.n_types;
+        let values = (0..t * t)
+            .map(|idx| moments.tables.eval(idx, rho_far))
+            .collect();
+        Some(FarTable { c2, values })
+    }
+}
+
+/// One row's pair terms against a column block, accumulated in ascending
+/// `b` order (the shared naive/tiled summation discipline). The zipped
+/// slice walk keeps the hot loop free of bounds checks; with a far table
+/// present, pairs at or beyond the cutoff take the precomputed covariance
+/// instead of evaluating ρ.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn row_pair_terms<R: Fn(f64) -> f64>(
+    acc: &mut KahanSum,
+    xa: f64,
+    ya: f64,
+    trow: usize,
+    xs: &[f64],
+    ys: &[f64],
+    type_idx: &[u32],
+    moments: &DenseMoments,
+    far: Option<&FarTable>,
+    rho_total: &R,
+) {
+    match far {
+        Some(f) => {
+            for ((&xb, &yb), &tj) in xs.iter().zip(ys).zip(type_idx) {
+                let dx = xa - xb;
+                let dy = ya - yb;
+                let d2 = dx * dx + dy * dy;
+                let v = if d2 >= f.c2 {
+                    f.values[trow + tj as usize]
+                } else {
+                    let rho = rho_total(d2.sqrt()).clamp(0.0, 1.0);
+                    moments.tables.eval(trow + tj as usize, rho)
+                };
+                acc.add(2.0 * v);
+            }
+        }
+        None => {
+            for ((&xb, &yb), &tj) in xs.iter().zip(ys).zip(type_idx) {
+                let dx = xa - xb;
+                let dy = ya - yb;
+                let d = (dx * dx + dy * dy).sqrt();
+                let rho = rho_total(d).clamp(0.0, 1.0);
+                acc.add(2.0 * moments.tables.eval(trow + tj as usize, rho));
+            }
+        }
+    }
+}
+
+/// Splits the row-tile range `0..n_tiles` into `n_chunks` contiguous spans
+/// of roughly equal pair count (row `a` owns `n - a` terms). Returns the
+/// `n_chunks + 1` tile boundaries.
+fn triangle_tile_bounds(n: usize, tile: usize, n_chunks: usize) -> Vec<usize> {
+    let n_tiles = n.div_ceil(tile);
+    let total: u128 = n as u128 * (n as u128 + 1) / 2;
+    let mut bounds = vec![0usize; n_chunks + 1];
+    let mut cum: u128 = 0;
+    let mut next = 1usize;
+    for t in 0..n_tiles {
+        let lo = t * tile;
+        let hi = ((t + 1) * tile).min(n);
+        // Rows lo..hi own (n - lo) + … + (n - hi + 1) terms.
+        let rows = (hi - lo) as u128;
+        cum += rows * (n - lo) as u128 - rows * (rows - 1) / 2;
+        while next < n_chunks && cum * n_chunks as u128 >= next as u128 * total {
+            bounds[next] = t + 1;
+            next += 1;
+        }
+    }
+    bounds[n_chunks] = n_tiles;
+    bounds
+}
+
+/// [`exact_placed_stats`] on the columnar view: the cache-blocked tiled
+/// kernel. Bit-identical to the naive pairwise sum.
+///
+/// # Panics
+///
+/// Panics if a type in the placement is outside the pairwise support.
+pub fn exact_placed_stats_tiled<R: Fn(f64) -> f64 + Sync>(
+    soa: &PlacementSoA,
+    pairwise: &PairwiseCovariance,
+    rho_total: &R,
+) -> LeakageEstimate {
+    exact_placed_stats_tiled_with(soa, pairwise, rho_total, Parallelism::auto())
+}
+
+/// [`exact_placed_stats_tiled`] with an explicit thread budget.
+///
+/// # Panics
+///
+/// Panics if a type in the placement is outside the pairwise support.
+pub fn exact_placed_stats_tiled_with<R: Fn(f64) -> f64 + Sync>(
+    soa: &PlacementSoA,
+    pairwise: &PairwiseCovariance,
+    rho_total: &R,
+    par: Parallelism,
+) -> LeakageEstimate {
+    exact_placed_stats_tiled_instrumented(
+        soa,
+        pairwise,
+        rho_total,
+        par,
+        Tiling::default(),
+        Instruments::none(),
+    )
+}
+
+/// The cache-blocked O(n²) pairwise kernel on a [`PlacementSoA`].
+///
+/// The lower triangle is processed as square tiles of `tiling.rows` gates:
+/// for each row tile, first its diagonal block, then the off-diagonal
+/// column blocks in ascending order, so each column block's coordinates and
+/// type indices stay cache-resident while every row of the tile sweeps it.
+/// Per-type moments and the `ρ_L` covariance tables are gathered up front
+/// into dense arrays and a flat [`UnitDyadicTables`] bank, replacing the
+/// per-pair `BTreeMap` lookup + binary search of the naive kernel.
+///
+/// Every *row* keeps its own compensated accumulator (diagonal term first,
+/// then ascending-`b` pair terms) and rows are merged in ascending order,
+/// exactly like [`exact_placed_stats_with`] — so the result is
+/// **bit-identical** to the naive kernel for every tile size and thread
+/// budget. Work is distributed over row tiles through
+/// [`Parallelism::map_chunks`] in fixed pair-balanced tile chunks.
+///
+/// Metrics: a span over the sum, gate / pair / chunk / tile counters and
+/// the tile edge, plus the resulting moments — all recorded on the calling
+/// thread after the ordered reduction.
+///
+/// # Panics
+///
+/// Panics if a type in the placement is outside the pairwise support.
+pub fn exact_placed_stats_tiled_instrumented<R: Fn(f64) -> f64 + Sync>(
+    soa: &PlacementSoA,
+    pairwise: &PairwiseCovariance,
+    rho_total: &R,
+    par: Parallelism,
+    tiling: Tiling,
+    ins: Instruments<'_>,
+) -> LeakageEstimate {
+    let span = ins.span("core.exact_placed_stats_tiled");
+    let n = soa.len();
+    let moments = DenseMoments::build(soa, pairwise);
+    let mut mean_acc = KahanSum::new();
+    for &ti in &soa.type_idx {
+        mean_acc.add(moments.means[ti as usize]);
+    }
+    let mean = mean_acc.sum();
+
+    let tile = tiling.rows.max(1);
+    let n_tiles = n.div_ceil(tile);
+    let total_work: u128 = n as u128 * (n as u128 + 1) / 2;
+    let n_chunks = (total_work / PAIRS_PER_CHUNK + 1).min(n_tiles.max(1) as u128) as usize;
+    let bounds = triangle_tile_bounds(n, tile, n_chunks);
+    let far = tiling
+        .far_cutoff
+        .and_then(|cutoff| FarTable::build(cutoff, &moments, rho_total));
+    let xs = &soa.xs;
+    let ys = &soa.ys;
+    let type_idx = &soa.type_idx;
+    let partials = par.map_chunks(n_chunks, |c| {
+        let mut rows_out: Vec<KahanSum> = Vec::new();
+        for t in bounds[c]..bounds[c + 1] {
+            let lo = t * tile;
+            let hi = ((t + 1) * tile).min(n);
+            let base = rows_out.len();
+            rows_out.resize(base + (hi - lo), KahanSum::new());
+            let rows = &mut rows_out[base..];
+            // Diagonal block: variance term, then in-tile pairs.
+            for a in lo..hi {
+                let ti = type_idx[a] as usize;
+                let acc = &mut rows[a - lo];
+                acc.add(moments.vars[ti]);
+                row_pair_terms(
+                    acc,
+                    xs[a],
+                    ys[a],
+                    ti * moments.n_types,
+                    &xs[a + 1..hi],
+                    &ys[a + 1..hi],
+                    &type_idx[a + 1..hi],
+                    &moments,
+                    far.as_ref(),
+                    rho_total,
+                );
+            }
+            // Off-diagonal blocks, ascending: the column block stays
+            // cache-hot while every row of this tile sweeps it.
+            for tb in t + 1..n_tiles {
+                let blo = tb * tile;
+                let bhi = ((tb + 1) * tile).min(n);
+                let (xsb, ysb, tib) = (&xs[blo..bhi], &ys[blo..bhi], &type_idx[blo..bhi]);
+                for a in lo..hi {
+                    let ti = type_idx[a] as usize;
+                    let acc = &mut rows[a - lo];
+                    row_pair_terms(
+                        acc,
+                        xs[a],
+                        ys[a],
+                        ti * moments.n_types,
+                        xsb,
+                        ysb,
+                        tib,
+                        &moments,
+                        far.as_ref(),
+                        rho_total,
+                    );
+                }
+            }
+        }
+        rows_out
+    });
+    let mut variance = KahanSum::new();
+    for rows in &partials {
+        for row in rows {
+            variance.merge(row);
+        }
+    }
+    ins.add("core.exact.gates", n as u64);
+    ins.add(
+        "core.exact.pairs",
+        (total_work).min(u64::MAX as u128) as u64,
+    );
+    ins.add("core.exact.chunks", n_chunks as u64);
+    ins.add(
+        "core.exact.tiles",
+        (n_tiles as u64) * (n_tiles as u64 + 1) / 2,
+    );
+    ins.add("core.exact.tile_rows", tile as u64);
     ins.record("core.exact.mean", mean);
     ins.record("core.exact.variance", variance.sum());
     drop(span);
@@ -334,6 +775,119 @@ mod tests {
         }
         let rel = (est.variance - reference.sum()).abs() / reference.sum().abs();
         assert!(rel < 1e-13, "relative error {rel:e}");
+    }
+
+    #[test]
+    fn soa_round_trips_gates_bit_for_bit() {
+        let gates = grid(123);
+        let soa = PlacementSoA::from_gates(&gates);
+        assert_eq!(soa.len(), gates.len());
+        assert_eq!(soa.support(), &[CellId(0), CellId(1)]);
+        let back = soa.to_gates();
+        for (g, r) in gates.iter().zip(&back) {
+            assert_eq!(g.cell, r.cell);
+            assert_eq!(g.x.to_bits(), r.x.to_bits());
+            assert_eq!(g.y.to_bits(), r.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_to_naive_for_any_tile_size_and_thread_count() {
+        let pw = pairwise(CorrelationPolicy::Exact);
+        let gates = grid(403);
+        let soa = PlacementSoA::from_gates(&gates);
+        let tent = |d: f64| (1.0 - d / 40.0).max(0.0);
+        let naive = exact_placed_stats_with(&gates, &pw, &tent, Parallelism::serial());
+        for rows in [1, 3, 64, 128, 403, 1024] {
+            for threads in [1, 2, 8] {
+                // far_cutoff = the tent's exact support radius: `grid`
+                // places gates on an integer lattice, so pairs land exactly
+                // on the d = 40 boundary and both sides of it.
+                for far_cutoff in [None, Some(40.0)] {
+                    let tiled = exact_placed_stats_tiled_instrumented(
+                        &soa,
+                        &pw,
+                        &tent,
+                        Parallelism::threads(threads),
+                        Tiling { rows, far_cutoff },
+                        leakage_numeric::Instruments::none(),
+                    );
+                    assert_eq!(
+                        naive.mean.to_bits(),
+                        tiled.mean.to_bits(),
+                        "mean, tile {rows}, threads {threads}, far {far_cutoff:?}"
+                    );
+                    assert_eq!(
+                        naive.variance.to_bits(),
+                        tiled.variance.to_bits(),
+                        "variance, tile {rows}, threads {threads}, far {far_cutoff:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn far_cutoff_edge_cases_fall_back_to_evaluation() {
+        let pw = pairwise(CorrelationPolicy::Exact);
+        let gates = grid(120);
+        let soa = PlacementSoA::from_gates(&gates);
+        let tent = |d: f64| (1.0 - d / 40.0).max(0.0);
+        let naive = exact_placed_stats_with(&gates, &pw, &tent, Parallelism::serial());
+        // Non-finite / non-positive cutoffs must disable the fast path, and
+        // a cutoff far beyond the die must be a no-op — all bit-identical.
+        for far_cutoff in [
+            Some(0.0),
+            Some(-3.0),
+            Some(f64::NAN),
+            Some(f64::INFINITY),
+            Some(1e9),
+        ] {
+            let tiled = exact_placed_stats_tiled_instrumented(
+                &soa,
+                &pw,
+                &tent,
+                Parallelism::serial(),
+                Tiling {
+                    rows: 64,
+                    far_cutoff,
+                },
+                leakage_numeric::Instruments::none(),
+            );
+            assert_eq!(
+                naive.variance.to_bits(),
+                tiled.variance.to_bits(),
+                "far {far_cutoff:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_default_wrappers_match_naive() {
+        let pw = pairwise(CorrelationPolicy::Simplified);
+        let gates = grid(150);
+        let soa = PlacementSoA::from_gates(&gates);
+        let tent = |d: f64| (1.0 - d / 25.0).max(0.0);
+        let naive = exact_placed_stats(&gates, &pw, &tent);
+        let auto = exact_placed_stats_tiled(&soa, &pw, &tent);
+        let one = exact_placed_stats_tiled_with(&soa, &pw, &tent, Parallelism::serial());
+        assert_eq!(naive.variance.to_bits(), auto.variance.to_bits());
+        assert_eq!(naive.variance.to_bits(), one.variance.to_bits());
+        assert_eq!(naive.mean.to_bits(), auto.mean.to_bits());
+        assert_eq!(auto.method, EstimatorMethod::ExactPlaced);
+    }
+
+    #[test]
+    fn triangle_tile_bounds_partition() {
+        for (n, tile, chunks) in [(1usize, 1usize, 1usize), (403, 64, 3), (1000, 128, 8)] {
+            let b = triangle_tile_bounds(n, tile, chunks);
+            assert_eq!(b.len(), chunks + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(b[chunks], n.div_ceil(tile));
+            for w in b.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,8 @@ mod resilient;
 
 pub use exact::{
     exact_placed_mean, exact_placed_stats, exact_placed_stats_instrumented,
-    exact_placed_stats_with, PlacedGate,
+    exact_placed_stats_tiled, exact_placed_stats_tiled_instrumented, exact_placed_stats_tiled_with,
+    exact_placed_stats_with, PlacedGate, PlacementSoA, Tiling, DEFAULT_TILE_ROWS,
 };
 pub use integral::{
     g_polar, integral_2d_variance, integral_2d_variance_instrumented, polar_1d_variance,

@@ -65,7 +65,7 @@ pub use chars::HighLevelCharacteristics;
 pub use error::CoreError;
 pub use estimator::{
     ChipLeakageEstimator, DegradationReport, LadderStage, LeakageEstimate, PlacedGate,
-    ResilientEstimate,
+    PlacementSoA, ResilientEstimate, Tiling,
 };
 pub use leakage_yield::LeakageDistribution;
 pub use parallel::Parallelism;

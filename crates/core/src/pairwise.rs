@@ -18,8 +18,11 @@ use leakage_numeric::interp::LinearInterp;
 use leakage_numeric::Instruments;
 use std::collections::BTreeMap;
 
-/// Number of `ρ_L` knots per pair table.
-const PAIR_KNOTS: usize = 33;
+/// Number of `ρ_L` knots per pair table (`2⁵ + 1`, so the knots are the
+/// dyadic rationals `k/32` — exactly representable in `f64`, which lets the
+/// tiled kernel's flat [`leakage_numeric::interp::UnitDyadicTables`] bank
+/// reproduce [`LinearInterp`] evaluation bit-for-bit).
+pub const PAIR_KNOTS: usize = 33;
 
 /// Pre-tabulated pairwise covariance kernel over a support of cell types.
 #[derive(Debug, Clone)]
@@ -161,6 +164,19 @@ impl PairwiseCovariance {
     pub fn covariance(&self, m: CellId, n: CellId, rho_l: f64) -> f64 {
         let key = if m.0 <= n.0 { (m, n) } else { (n, m) };
         self.tables[&key].eval(rho_l.clamp(0.0, 1.0))
+    }
+
+    /// Raw covariance values at the [`PAIR_KNOTS`] uniform `ρ_L` knots for
+    /// the unordered pair `(m, n)` — the exact numbers
+    /// [`PairwiseCovariance::covariance`] interpolates between. Used to
+    /// fill the tiled kernel's flat table bank without re-evaluating MGFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either type is not in the support.
+    pub fn table_values(&self, m: CellId, n: CellId) -> &[f64] {
+        let key = if m.0 <= n.0 { (m, n) } else { (n, m) };
+        self.tables[&key].values()
     }
 
     /// The correlation policy used to build the tables.

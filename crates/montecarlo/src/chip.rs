@@ -4,11 +4,12 @@ use crate::error::McError;
 use crate::gate_model::{build_gate_models, GateModel};
 use leakage_cells::model::CharacterizedLibrary;
 use leakage_netlist::PlacedCircuit;
+use leakage_numeric::fft::FftPlanCache;
 use leakage_numeric::parallel::Parallelism;
 use leakage_numeric::stats::RunningStats;
 use leakage_numeric::Instruments;
 use leakage_process::correlation::SpatialCorrelation;
-use leakage_process::field::{CirculantFieldSampler, GridGeometry};
+use leakage_process::field::{CirculantFieldSampler, FieldScratch, GridGeometry};
 use leakage_process::Technology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +24,7 @@ pub struct ChipSamplerBuilder<'a, C> {
     wid: &'a C,
     signal_probability: f64,
     sample_vt: bool,
+    plan_cache: Option<&'a FftPlanCache>,
 }
 
 impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
@@ -40,6 +42,7 @@ impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
             wid,
             signal_probability: 0.5,
             sample_vt: false,
+            plan_cache: None,
         }
     }
 
@@ -53,6 +56,15 @@ impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
     /// variance-negligibility ablation).
     pub fn sample_vt(mut self, enable: bool) -> Self {
         self.sample_vt = enable;
+        self
+    }
+
+    /// Shares the field sampler's colouring-FFT plan through `cache`:
+    /// sweeps that build many samplers over same-shape grids reuse one
+    /// plan instead of recomputing twiddle tables per sampler. Does not
+    /// change any sampled value.
+    pub fn plan_cache(mut self, cache: &'a FftPlanCache) -> Self {
+        self.plan_cache = Some(cache);
         self
     }
 
@@ -70,7 +82,17 @@ impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
             self.placed.height(),
         )?;
         let l_var = self.tech.l_variation();
-        let field = CirculantFieldSampler::new(grid, self.wid, l_var.sigma_wid())?;
+        let field = match self.plan_cache {
+            Some(cache) => CirculantFieldSampler::new_with_plan_cache(
+                grid,
+                self.wid,
+                l_var.sigma_wid(),
+                Parallelism::auto(),
+                cache,
+                Instruments::none(),
+            )?,
+            None => CirculantFieldSampler::new(grid, self.wid, l_var.sigma_wid())?,
+        };
         let vt_slope = if self.sample_vt {
             let n_avg = 0.5 * (self.tech.nmos().n_factor + self.tech.pmos().n_factor);
             1.0 / (n_avg * self.tech.thermal_voltage())
@@ -238,11 +260,19 @@ impl ChipSampler {
         let n_chunks = n_pairs.div_ceil(PAIRS_PER_CHUNK);
         let partials = par.map_chunks(n_chunks, |c| {
             let mut stats = RunningStats::new();
+            // One scratch + field-buffer set per chunk: the colouring FFT
+            // runs off the sampler's precomputed plan and steady-state
+            // draws within the chunk allocate nothing. The per-pair RNG
+            // streams are identical to the unbatched path, so the sampled
+            // values are bit-identical.
+            let mut scratch = FieldScratch::new();
+            let (mut f1, mut f2) = (Vec::new(), Vec::new());
             let lo = c * PAIRS_PER_CHUNK;
             let hi = ((c + 1) * PAIRS_PER_CHUNK).min(n_pairs);
             for p in lo..hi {
                 let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(p as u64));
-                let (f1, f2) = self.field.sample_two(&mut rng);
+                self.field
+                    .sample_two_into(&mut rng, &mut f1, &mut f2, &mut scratch);
                 stats.push(self.eval_with_field(&f1, &mut rng));
                 if 2 * p + 1 < trials {
                     stats.push(self.eval_with_field(&f2, &mut rng));
@@ -257,6 +287,8 @@ impl ChipSampler {
         ins.add("mc.trials", trials as u64);
         ins.add("mc.pair_streams", n_pairs as u64);
         ins.add("mc.chunks", n_chunks as u64);
+        ins.add("mc.plan_reuses", n_pairs as u64);
+        ins.add("mc.batch.pairs_per_chunk", PAIRS_PER_CHUNK as u64);
         ins.add("mc.gate_evals", (trials * self.gates.len()) as u64);
         ins.record("mc.mean", stats.mean());
         drop(span);
@@ -458,6 +490,24 @@ mod tests {
         let expect = 100.0 * charlib.cells[0].states[0].mean;
         let rel = (stats.mean() - expect).abs() / expect;
         assert!(rel < 0.02, "mc mean off by {rel}");
+    }
+
+    #[test]
+    fn plan_cache_builder_does_not_change_samples() {
+        let charlib = charlib();
+        let tech = tech();
+        let placed = placed(49);
+        let wid = TentCorrelation::new(10.0).unwrap();
+        let plain = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .build()
+            .unwrap();
+        let cache = FftPlanCache::new();
+        let cached = ChipSamplerBuilder::new(&placed, &charlib, &tech, &wid)
+            .plan_cache(&cache)
+            .build()
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(plain.run_seeded(101, 9), cached.run_seeded(101, 9));
     }
 
     #[test]

@@ -151,6 +151,12 @@ impl PlacedCircuit {
         self.gates.iter().map(|g| g.cell).collect()
     }
 
+    /// Columnar (struct-of-arrays) view of the placement for the tiled
+    /// O(n²) kernel. Coordinates round-trip bit-for-bit.
+    pub fn placement_soa(&self) -> leakage_core::PlacementSoA {
+        leakage_core::PlacementSoA::from_gates(&self.gates)
+    }
+
     /// Distinct types used, sorted.
     pub fn support(&self) -> Vec<CellId> {
         let mut ids: Vec<CellId> = self.gates.iter().map(|g| g.cell).collect();
@@ -178,6 +184,26 @@ mod tests {
         assert!(Circuit::new("t", vec![]).is_err());
         let c = Circuit::new("t", vec![CellId(9)]).unwrap();
         assert!(c.usage_histogram(3).is_err());
+    }
+
+    #[test]
+    fn placement_soa_round_trips_placed_gates() {
+        let gates: Vec<PlacedGate> = (0..37)
+            .map(|i| PlacedGate {
+                cell: CellId(i % 3),
+                x: 0.1 + i as f64 * 0.73,
+                y: 0.2 + (i % 7) as f64 * 1.31,
+            })
+            .collect();
+        let pc = PlacedCircuit::new("t", gates.clone(), 100.0, 100.0).unwrap();
+        let soa = pc.placement_soa();
+        assert_eq!(soa.len(), gates.len());
+        for (i, g) in gates.iter().enumerate() {
+            let r = soa.gate(i);
+            assert_eq!(g.cell, r.cell);
+            assert_eq!(g.x.to_bits(), r.x.to_bits());
+            assert_eq!(g.y.to_bits(), r.y.to_bits());
+        }
     }
 
     #[test]

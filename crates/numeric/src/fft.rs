@@ -310,6 +310,476 @@ fn transform2d(
     Ok(())
 }
 
+/// A precomputed radix-2 FFT plan for one transform length.
+///
+/// [`fft`]/[`ifft`] recompute the per-stage twiddle factors with an
+/// iterative recurrence (`w ← w·wₗ`) on every call — roughly half the
+/// arithmetic in the butterfly loop. A plan stores those twiddles (plus the
+/// bit-reversal permutation) once and reuses them, which is what makes
+/// batched Monte-Carlo sampling cheap: one plan per torus grid, thousands
+/// of executions.
+///
+/// The tables are generated by the *identical* recurrence the direct
+/// transform uses — not by `cos`/`sin` per index — so a planned transform
+/// is **bit-identical** to [`fft`]/[`ifft`] on the same input. Tests pin
+/// this on random buffers.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal swaps `(i, j)` with `i < j`, in the order the direct
+    /// transform performs them.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles, stages concatenated: stage `len` contributes
+    /// `len/2` factors, `n - 1` total.
+    fwd: Vec<Complex>,
+    /// Inverse twiddles (conjugate recurrence), same layout.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `n` is not a power of
+    /// two (or is zero).
+    pub fn new(n: usize) -> Result<FftPlan, NumericError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(NumericError::InvalidArgument {
+                reason: format!("fft plan length must be a power of two, got {n}"),
+            });
+        }
+        let mut swaps = Vec::new();
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                swaps.push((i as u32, j as u32));
+            }
+        }
+        Ok(FftPlan {
+            n,
+            swaps,
+            fwd: stage_twiddles(n, false),
+            inv: stage_twiddles(n, true),
+        })
+    }
+
+    /// The transform length the plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length-1 plan, whose transform is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place forward FFT; bit-identical to [`fft`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `data.len()` does not
+    /// match the plan length.
+    pub fn forward(&self, data: &mut [Complex]) -> Result<(), NumericError> {
+        self.check_len(data)?;
+        self.run(data, &self.fwd);
+        Ok(())
+    }
+
+    /// In-place inverse FFT including the `1/n` normalization;
+    /// bit-identical to [`ifft`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `data.len()` does not
+    /// match the plan length.
+    pub fn inverse(&self, data: &mut [Complex]) -> Result<(), NumericError> {
+        self.check_len(data)?;
+        self.run(data, &self.inv);
+        let n = self.n as f64;
+        for v in data.iter_mut() {
+            v.re /= n;
+            v.im /= n;
+        }
+        Ok(())
+    }
+
+    fn check_len(&self, data: &[Complex]) -> Result<(), NumericError> {
+        if data.len() != self.n {
+            return Err(NumericError::InvalidArgument {
+                reason: format!("plan length {} vs buffer length {}", self.n, data.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared butterfly pass over a precomputed twiddle table. Identical
+    /// data flow to `transform`, with the `w ← w·wₗ` recurrence replaced
+    /// by a table read of the very values that recurrence produces. The
+    /// blocks are walked through `chunks_exact_mut`/`split_at_mut` so the
+    /// inner loop carries no bounds checks; the butterfly arithmetic and
+    /// its evaluation order are unchanged, keeping the pass bit-identical
+    /// to the direct transform.
+    fn run(&self, data: &mut [Complex], twiddles: &[Complex]) {
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let n = self.n;
+        let mut len = 2;
+        let mut offset = 0;
+        while len <= n {
+            let half = len / 2;
+            let stage = &twiddles[offset..offset + half];
+            for block in data.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                for ((x, y), w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                    let u = *x;
+                    let v = *y * *w;
+                    *x = u + v;
+                    *y = u - v;
+                }
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// Twiddle factors for all stages of a length-`n` transform, concatenated
+/// in stage order, generated with the same `w ← w·wₗ` recurrence as the
+/// direct transform (bit-for-bit the values it would recompute).
+fn stage_twiddles(n: usize, inverse: bool) -> Vec<Complex> {
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wl = Complex::new(ang.cos(), ang.sin());
+        let mut w = Complex::new(1.0, 0.0);
+        for _ in 0..len / 2 {
+            out.push(w);
+            w = w * wl;
+        }
+        len <<= 1;
+    }
+    out
+}
+
+/// A 2-D FFT plan: one [`FftPlan`] per dimension plus the data-movement
+/// strategy of [`fft2d_with`], so planned 2-D transforms are bit-identical
+/// to the free functions for every thread budget.
+#[derive(Debug, Clone)]
+pub struct Fft2dPlan {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2dPlan {
+    /// Builds a plan for row-major `rows × cols` buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if either dimension is not
+    /// a power of two (or is zero).
+    pub fn new(rows: usize, cols: usize) -> Result<Fft2dPlan, NumericError> {
+        Ok(Fft2dPlan {
+            rows,
+            cols,
+            row_plan: FftPlan::new(cols)?,
+            col_plan: FftPlan::new(rows)?,
+        })
+    }
+
+    /// Number of rows the plan expects.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns the plan expects.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of points per buffer.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the plan transforms a single point (a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// In-place forward 2-D FFT; bit-identical to [`fft2d_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `data.len()` does not
+    /// match the plan shape.
+    pub fn forward_with(&self, data: &mut [Complex], par: Parallelism) -> Result<(), NumericError> {
+        let mut scratch = Vec::new();
+        self.forward_scratch_with(data, &mut scratch, par)
+    }
+
+    /// In-place inverse 2-D FFT (normalized); bit-identical to
+    /// [`ifft2d_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `data.len()` does not
+    /// match the plan shape.
+    pub fn inverse_with(&self, data: &mut [Complex], par: Parallelism) -> Result<(), NumericError> {
+        let mut scratch = Vec::new();
+        self.inverse_scratch_with(data, &mut scratch, par)
+    }
+
+    /// [`Fft2dPlan::forward_with`] reusing a caller-owned scratch buffer
+    /// (grown as needed, never shrunk) so batched callers pay zero
+    /// steady-state allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `data.len()` does not
+    /// match the plan shape.
+    pub fn forward_scratch_with(
+        &self,
+        data: &mut [Complex],
+        scratch: &mut Vec<Complex>,
+        par: Parallelism,
+    ) -> Result<(), NumericError> {
+        self.process(data, scratch, par, false)
+    }
+
+    /// [`Fft2dPlan::forward_scratch_with`] computing only the first
+    /// `keep_cols` columns of the output. The row pass still runs in full
+    /// (every output column depends on it), but the column pass transforms
+    /// only columns `< keep_cols`; those columns come out **bit-identical**
+    /// to the full transform, while columns `>= keep_cols` are left in
+    /// their intermediate post-row-pass state and must not be read.
+    ///
+    /// This is the circulant field sampler's hot path: the torus is padded
+    /// to a power of two, but only the physical sub-grid is ever extracted,
+    /// so the padding columns' transforms are pure waste.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `data.len()` does not
+    /// match the plan shape.
+    pub fn forward_cols_scratch_with(
+        &self,
+        data: &mut [Complex],
+        scratch: &mut Vec<Complex>,
+        par: Parallelism,
+        keep_cols: usize,
+    ) -> Result<(), NumericError> {
+        let (rows, cols) = (self.rows, self.cols);
+        if data.len() != rows * cols {
+            return Err(NumericError::InvalidArgument {
+                reason: format!("buffer length {} does not match {rows}x{cols}", data.len()),
+            });
+        }
+        let keep = keep_cols.min(cols);
+        if keep == cols {
+            return self.forward_scratch_with(data, scratch, par);
+        }
+        let row_pass = |plan: &FftPlan, buf: &mut [Complex]| plan.run(buf, &plan.fwd);
+        if par.is_serial() {
+            for r in 0..rows {
+                row_pass(&self.row_plan, &mut data[r * cols..(r + 1) * cols]);
+            }
+            scratch.resize(rows, Complex::zero());
+            let col = &mut scratch[..rows];
+            for c in 0..keep {
+                for r in 0..rows {
+                    col[r] = data[r * cols + c];
+                }
+                row_pass(&self.col_plan, col);
+                for r in 0..rows {
+                    data[r * cols + c] = col[r];
+                }
+            }
+            return Ok(());
+        }
+        par.for_each_chunk_mut(data, cols, |_, row| row_pass(&self.row_plan, row));
+        scratch.resize(rows * keep, Complex::zero());
+        let t = &mut scratch[..rows * keep];
+        for r in 0..rows {
+            for c in 0..keep {
+                t[c * rows + r] = data[r * cols + c];
+            }
+        }
+        par.for_each_chunk_mut(t, rows, |_, col| row_pass(&self.col_plan, col));
+        for r in 0..rows {
+            for c in 0..keep {
+                data[r * cols + c] = t[c * rows + r];
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Fft2dPlan::inverse_with`] reusing a caller-owned scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `data.len()` does not
+    /// match the plan shape.
+    pub fn inverse_scratch_with(
+        &self,
+        data: &mut [Complex],
+        scratch: &mut Vec<Complex>,
+        par: Parallelism,
+    ) -> Result<(), NumericError> {
+        self.process(data, scratch, par, true)?;
+        scale_inverse(data, self.rows, self.cols);
+        Ok(())
+    }
+
+    /// Shared driver mirroring `transform2d`'s data movement exactly:
+    /// serial = rows in place, then gather/scatter each column through a
+    /// `rows`-length scratch; parallel = rows as disjoint slices, then
+    /// transpose / transform / transpose-back. Either way every column
+    /// transform sees the same bytes the direct path feeds it.
+    fn process(
+        &self,
+        data: &mut [Complex],
+        scratch: &mut Vec<Complex>,
+        par: Parallelism,
+        inverse: bool,
+    ) -> Result<(), NumericError> {
+        let (rows, cols) = (self.rows, self.cols);
+        if data.len() != rows * cols {
+            return Err(NumericError::InvalidArgument {
+                reason: format!("buffer length {} does not match {rows}x{cols}", data.len()),
+            });
+        }
+        let run_1d = |plan: &FftPlan, buf: &mut [Complex]| {
+            if inverse {
+                // Normalization is applied once over the full 2-D buffer
+                // (matching `transform2d` + `scale_inverse`), so the 1-D
+                // stages run unnormalized here.
+                plan.run(buf, &plan.inv);
+            } else {
+                plan.run(buf, &plan.fwd);
+            }
+        };
+        if par.is_serial() {
+            for r in 0..rows {
+                run_1d(&self.row_plan, &mut data[r * cols..(r + 1) * cols]);
+            }
+            scratch.resize(rows, Complex::zero());
+            let col = &mut scratch[..rows];
+            for c in 0..cols {
+                for r in 0..rows {
+                    col[r] = data[r * cols + c];
+                }
+                run_1d(&self.col_plan, col);
+                for r in 0..rows {
+                    data[r * cols + c] = col[r];
+                }
+            }
+            return Ok(());
+        }
+        par.for_each_chunk_mut(data, cols, |_, row| run_1d(&self.row_plan, row));
+        scratch.resize(rows * cols, Complex::zero());
+        let t = &mut scratch[..rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                t[c * rows + r] = data[r * cols + c];
+            }
+        }
+        par.for_each_chunk_mut(t, rows, |_, col| run_1d(&self.col_plan, col));
+        for r in 0..rows {
+            for c in 0..cols {
+                data[r * cols + c] = t[c * rows + r];
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A keyed cache of shared [`Fft2dPlan`]s.
+///
+/// Building a plan costs the same trigonometric work one direct transform
+/// would spend on twiddles; callers that construct many samplers over the
+/// same torus grid (characterization sweeps, estimator services) share one
+/// plan per `(rows, cols)` key through this cache. Hits and misses are
+/// reported to the injected [`Instruments`] under
+/// `numeric.fft.plan_cache.{hits,misses}`, and depend only on the sequence
+/// of `plan_2d` calls — never on thread count — so instrumented runs stay
+/// snapshot-identical for every thread budget.
+#[derive(Debug, Default)]
+pub struct FftPlanCache {
+    plans: std::sync::Mutex<std::collections::BTreeMap<(usize, usize), std::sync::Arc<Fft2dPlan>>>,
+}
+
+impl FftPlanCache {
+    /// An empty cache.
+    pub fn new() -> FftPlanCache {
+        FftPlanCache::default()
+    }
+
+    /// Returns the shared plan for `rows × cols`, building it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if either dimension is not
+    /// a power of two (or is zero).
+    pub fn plan_2d(
+        &self,
+        rows: usize,
+        cols: usize,
+    ) -> Result<std::sync::Arc<Fft2dPlan>, NumericError> {
+        self.plan_2d_instrumented(rows, cols, Instruments::none())
+    }
+
+    /// [`FftPlanCache::plan_2d`] reporting hit/miss counters to `ins`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if either dimension is not
+    /// a power of two (or is zero).
+    pub fn plan_2d_instrumented(
+        &self,
+        rows: usize,
+        cols: usize,
+        ins: Instruments<'_>,
+    ) -> Result<std::sync::Arc<Fft2dPlan>, NumericError> {
+        let mut plans = self
+            .plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(plan) = plans.get(&(rows, cols)) {
+            ins.add("numeric.fft.plan_cache.hits", 1);
+            return Ok(std::sync::Arc::clone(plan));
+        }
+        let plan = std::sync::Arc::new(Fft2dPlan::new(rows, cols)?);
+        plans.insert((rows, cols), std::sync::Arc::clone(&plan));
+        ins.add("numeric.fft.plan_cache.misses", 1);
+        Ok(plan)
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// `true` when no plan has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +906,142 @@ mod tests {
         let mut rt_serial = serial;
         ifft2d(&mut rt_serial, rows, cols).unwrap();
         assert_eq!(rt, rt_serial);
+    }
+
+    fn wavy(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn plan_forward_is_bit_identical_to_fft() {
+        for n in [1, 2, 4, 8, 64, 256] {
+            let plan = FftPlan::new(n).unwrap();
+            assert_eq!(plan.len(), n);
+            let mut planned = wavy(n);
+            let mut direct = planned.clone();
+            plan.forward(&mut planned).unwrap();
+            fft(&mut direct).unwrap();
+            assert_eq!(planned, direct, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn plan_inverse_is_bit_identical_to_ifft() {
+        for n in [1, 2, 8, 128] {
+            let plan = FftPlan::new(n).unwrap();
+            let mut planned = wavy(n);
+            let mut direct = planned.clone();
+            plan.inverse(&mut planned).unwrap();
+            ifft(&mut direct).unwrap();
+            assert_eq!(planned, direct, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_lengths() {
+        assert!(FftPlan::new(0).is_err());
+        assert!(FftPlan::new(6).is_err());
+        let plan = FftPlan::new(8).unwrap();
+        let mut short = vec![Complex::zero(); 4];
+        assert!(plan.forward(&mut short).is_err());
+        assert!(plan.inverse(&mut short).is_err());
+    }
+
+    #[test]
+    fn plan2d_is_bit_identical_to_fft2d_for_any_thread_count() {
+        let (rows, cols) = (16, 32);
+        let plan = Fft2dPlan::new(rows, cols).unwrap();
+        let base = wavy(rows * cols);
+        for threads in [1, 2, 3, 8] {
+            let par = Parallelism::threads(threads);
+            let mut planned = base.clone();
+            let mut direct = base.clone();
+            plan.forward_with(&mut planned, par).unwrap();
+            fft2d_with(&mut direct, rows, cols, par).unwrap();
+            assert_eq!(planned, direct, "forward, threads = {threads}");
+            plan.inverse_with(&mut planned, par).unwrap();
+            ifft2d_with(&mut direct, rows, cols, par).unwrap();
+            assert_eq!(planned, direct, "inverse, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn plan2d_scratch_reuse_matches_fresh_scratch() {
+        let (rows, cols) = (8, 8);
+        let plan = Fft2dPlan::new(rows, cols).unwrap();
+        let mut scratch = Vec::new();
+        let base = wavy(rows * cols);
+        for round in 0..3 {
+            let mut reused = base.clone();
+            let mut fresh = base.clone();
+            plan.forward_scratch_with(&mut reused, &mut scratch, Parallelism::serial())
+                .unwrap();
+            plan.forward_with(&mut fresh, Parallelism::serial())
+                .unwrap();
+            assert_eq!(reused, fresh, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pruned_forward_matches_full_on_kept_columns() {
+        let (rows, cols) = (32, 16);
+        let plan = Fft2dPlan::new(rows, cols).unwrap();
+        let base = wavy(rows * cols);
+        let mut full = base.clone();
+        plan.forward_with(&mut full, Parallelism::serial()).unwrap();
+        for keep in [0, 1, 7, cols, cols + 5] {
+            for threads in [1, 2, 3, 8] {
+                let par = Parallelism::threads(threads);
+                let mut pruned = base.clone();
+                let mut scratch = Vec::new();
+                plan.forward_cols_scratch_with(&mut pruned, &mut scratch, par, keep)
+                    .unwrap();
+                for r in 0..rows {
+                    for c in 0..keep.min(cols) {
+                        assert_eq!(
+                            pruned[r * cols + c],
+                            full[r * cols + c],
+                            "keep = {keep}, threads = {threads}, ({r}, {c})"
+                        );
+                    }
+                }
+            }
+        }
+        let mut short = vec![Complex::zero(); 5];
+        let mut scratch = Vec::new();
+        assert!(plan
+            .forward_cols_scratch_with(&mut short, &mut scratch, Parallelism::serial(), 4)
+            .is_err());
+    }
+
+    #[test]
+    fn plan2d_rejects_mismatched_buffer() {
+        let plan = Fft2dPlan::new(4, 4).unwrap();
+        let mut data = vec![Complex::zero(); 12];
+        assert!(plan.forward_with(&mut data, Parallelism::serial()).is_err());
+        assert!(Fft2dPlan::new(3, 4).is_err());
+    }
+
+    #[test]
+    fn plan_cache_shares_plans_and_counts_hits() {
+        use leakage_obs::{AggregatingRecorder, FakeClock};
+        let recorder = AggregatingRecorder::new();
+        let clock = FakeClock::new(0);
+        let ins = Instruments::new(&recorder, &clock);
+        let cache = FftPlanCache::new();
+        assert!(cache.is_empty());
+        let a = cache.plan_2d_instrumented(8, 16, ins).unwrap();
+        let b = cache.plan_2d_instrumented(8, 16, ins).unwrap();
+        let c = cache.plan_2d_instrumented(16, 8, ins).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counters.get("numeric.fft.plan_cache.hits"), Some(&1));
+        assert_eq!(snap.counters.get("numeric.fft.plan_cache.misses"), Some(&2));
+        assert!(cache.plan_2d(6, 8).is_err());
     }
 
     #[test]

@@ -105,6 +105,109 @@ impl LinearInterp {
     }
 }
 
+/// A flat bank of piecewise-linear tables sharing one *uniform dyadic* knot
+/// grid over `[0, 1]`: `K` knots at `k / (K - 1)` with `K - 1` a power of
+/// two.
+///
+/// This is the lookup structure behind the tiled exact kernel: instead of a
+/// `BTreeMap` probe plus a binary search per gate pair, a table index is an
+/// array offset and the bracketing interval is `floor(x · (K - 1))`. The
+/// evaluation is **bit-identical** to [`LinearInterp::eval`] over the same
+/// knots and values:
+///
+/// * the knots `k / (K - 1)` are exact in `f64` (division by a power of
+///   two), so `x · (K - 1)` truncated to integer reproduces the binary
+///   search's bracket `lo` exactly — including the `xs[lo] == x` tie, where
+///   both paths pick `lo = k` and get `t = 0`;
+/// * the interpolation weight uses the same expression
+///   `(x - xs[lo]) / (xs[hi] - xs[lo])` with `xs[lo]` recomputed as
+///   `lo / (K - 1)` (the identical exact value) and the denominator the
+///   identical exact power of two;
+/// * out-of-range inputs take the same early returns to the boundary
+///   values.
+///
+/// The bitwise-equality property is pinned by tests against randomly filled
+/// tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitDyadicTables {
+    n_tables: usize,
+    n_knots: usize,
+    /// `1 / (K - 1)`, exact because `K - 1` is a power of two.
+    step: f64,
+    /// Row-major: table `i` occupies `values[i * n_knots .. (i + 1) * n_knots]`.
+    values: Vec<f64>,
+}
+
+impl UnitDyadicTables {
+    /// Allocates `n_tables` zero-filled tables over `n_knots` dyadic knots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `n_knots < 2` or
+    /// `n_knots - 1` is not a power of two.
+    pub fn new(n_tables: usize, n_knots: usize) -> Result<UnitDyadicTables, NumericError> {
+        if n_knots < 2 || !(n_knots - 1).is_power_of_two() {
+            return Err(NumericError::InvalidArgument {
+                reason: format!("n_knots must be 2^k + 1, got {n_knots}"),
+            });
+        }
+        Ok(UnitDyadicTables {
+            n_tables,
+            n_knots,
+            step: 1.0 / (n_knots - 1) as f64,
+            values: vec![0.0; n_tables * n_knots],
+        })
+    }
+
+    /// Number of tables in the bank.
+    pub fn n_tables(&self) -> usize {
+        self.n_tables
+    }
+
+    /// Number of knots per table.
+    pub fn n_knots(&self) -> usize {
+        self.n_knots
+    }
+
+    /// Overwrites table `idx` with `ys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or `ys.len() != n_knots`.
+    pub fn set_table(&mut self, idx: usize, ys: &[f64]) {
+        assert!(idx < self.n_tables, "table index {idx} out of range");
+        assert_eq!(ys.len(), self.n_knots, "value count must match knot count");
+        self.values[idx * self.n_knots..(idx + 1) * self.n_knots].copy_from_slice(ys);
+    }
+
+    /// The raw values of table `idx`.
+    pub fn table(&self, idx: usize) -> &[f64] {
+        &self.values[idx * self.n_knots..(idx + 1) * self.n_knots]
+    }
+
+    /// Evaluates table `idx` at `x`, clamping outside `[0, 1]`.
+    ///
+    /// Bit-identical to `LinearInterp::eval` over knots `k / (K - 1)` with
+    /// the same values (see the type-level docs for the argument).
+    #[inline]
+    pub fn eval(&self, idx: usize, x: f64) -> f64 {
+        let ys = &self.values[idx * self.n_knots..(idx + 1) * self.n_knots];
+        let k1 = (self.n_knots - 1) as f64;
+        if x <= 0.0 {
+            return ys[0];
+        }
+        if x >= 1.0 {
+            return ys[self.n_knots - 1];
+        }
+        // floor(x · (K-1)) lands on the same bracket the binary search
+        // finds; the cast truncates, which is floor for x in (0, 1).
+        let lo = ((x * k1) as usize).min(self.n_knots - 2);
+        let x_lo = lo as f64 * self.step;
+        let t = (x - x_lo) / self.step;
+        ys[lo] * (1.0 - t) + ys[lo + 1] * t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +241,65 @@ mod tests {
         assert!(LinearInterp::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
         assert!(LinearInterp::new(vec![0.0, 1.0], vec![1.0]).is_err());
         assert!(LinearInterp::new(vec![0.0, 1.0], vec![1.0, f64::NAN]).is_err());
+    }
+
+    /// Deterministic pseudo-random stream for the bitwise-equality tests
+    /// (xorshift; no external deps needed).
+    fn prng_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dyadic_tables_are_bit_identical_to_linear_interp() {
+        for &n_knots in &[2usize, 3, 5, 33] {
+            let k1 = (n_knots - 1) as f64;
+            let xs: Vec<f64> = (0..n_knots).map(|k| k as f64 / k1).collect();
+            let ys: Vec<f64> = prng_stream(n_knots as u64, n_knots)
+                .iter()
+                .map(|u| u * 2.0 - 0.5)
+                .collect();
+            let reference = LinearInterp::new(xs.clone(), ys.clone()).unwrap();
+            let mut bank = UnitDyadicTables::new(3, n_knots).unwrap();
+            bank.set_table(1, &ys);
+            assert_eq!(bank.table(1), &ys[..]);
+            // Knots themselves, knot neighbourhoods, random interior
+            // points, and out-of-range clamps.
+            let mut queries: Vec<f64> = xs.clone();
+            for &x in &xs {
+                queries.push(f64::from_bits(x.to_bits().wrapping_add(1)));
+                if x > 0.0 {
+                    queries.push(f64::from_bits(x.to_bits() - 1));
+                }
+            }
+            queries.extend(prng_stream(99, 500));
+            queries.extend([-1.0, -1e-300, 1.0 + 1e-12, 2.0]);
+            for x in queries {
+                assert_eq!(
+                    bank.eval(1, x).to_bits(),
+                    reference.eval(x).to_bits(),
+                    "n_knots = {n_knots}, x = {x:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_tables_reject_non_dyadic_knot_counts() {
+        assert!(UnitDyadicTables::new(1, 1).is_err());
+        assert!(UnitDyadicTables::new(1, 4).is_err()); // 3 intervals
+        assert!(UnitDyadicTables::new(1, 0).is_err());
+        assert!(UnitDyadicTables::new(0, 33).is_ok()); // empty bank is fine
+        let t = UnitDyadicTables::new(2, 33).unwrap();
+        assert_eq!(t.n_tables(), 2);
+        assert_eq!(t.n_knots(), 33);
     }
 
     #[test]

@@ -132,7 +132,10 @@ impl Parallelism {
         {
             // Unreachable in practice: every constructor clamps the budget
             // to 1 without the feature. Kept so serial builds compile
-            // without ever referencing std::thread.
+            // without ever referencing std::thread; the explicit `return`
+            // (needless only in serial builds, where this block is the
+            // function tail) keeps the two cfg arms symmetric.
+            #[allow(clippy::needless_return)]
             return (0..n_chunks).map(f).collect();
         }
         #[cfg(feature = "parallel")]
@@ -246,6 +249,9 @@ impl Parallelism {
             for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(i, chunk);
             }
+            // Needless only in serial builds, where the cfg block below
+            // compiles away and this early-out becomes the function tail.
+            #[allow(clippy::needless_return)]
             return;
         }
         #[cfg(feature = "parallel")]

@@ -14,13 +14,16 @@
 
 use crate::correlation::SpatialCorrelation;
 use crate::error::ProcessError;
-use leakage_numeric::fft::{fft2d_instrumented, fft2d_with, ifft2d, next_pow2, Complex};
+use leakage_numeric::fft::{
+    fft2d_instrumented, fft2d_with, ifft2d, next_pow2, Complex, Fft2dPlan, FftPlanCache,
+};
 use leakage_numeric::matrix::{Cholesky, Matrix};
 use leakage_numeric::parallel::Parallelism;
 use leakage_numeric::Instruments;
 use rand::Rng;
 use rand_distr::{Distribution, StandardNormal};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Geometry of the rectangular site grid (paper Fig. 4): `rows × cols`
 /// sites at pitch `(pitch_x, pitch_y)`; the die is `W = cols·pitch_x` by
@@ -279,6 +282,27 @@ pub struct CirculantFieldSampler {
     /// √(λ/(P·Q)) per torus frequency.
     sqrt_scaled_eigs: Vec<f64>,
     clipped_fraction: f64,
+    /// Precomputed colouring-FFT plan for the torus shape, built once at
+    /// construction (optionally shared through an [`FftPlanCache`]) and
+    /// reused by every draw.
+    plan: Arc<Fft2dPlan>,
+}
+
+/// Reusable per-worker scratch for batched circulant draws
+/// ([`CirculantFieldSampler::sample_two_into_with`]): the complex noise
+/// buffer plus the FFT transpose scratch. Buffers grow on first use and are
+/// reused afterwards, so steady-state draws allocate nothing.
+#[derive(Debug, Default)]
+pub struct FieldScratch {
+    noise: Vec<Complex>,
+    fft: Vec<Complex>,
+}
+
+impl FieldScratch {
+    /// Creates empty scratch (buffers are sized lazily on first draw).
+    pub fn new() -> FieldScratch {
+        FieldScratch::default()
+    }
 }
 
 impl CirculantFieldSampler {
@@ -328,6 +352,37 @@ impl CirculantFieldSampler {
         par: Parallelism,
         ins: Instruments<'_>,
     ) -> Result<Self, ProcessError> {
+        CirculantFieldSampler::build(geometry, corr, sigma, par, ins, None)
+    }
+
+    /// [`CirculantFieldSampler::new_instrumented`] sharing the colouring-FFT
+    /// plan through `cache`: samplers over the same torus shape (same grid
+    /// dimensions after padding) reuse one plan instead of each computing
+    /// its own twiddle/bit-reversal tables. Cache hits and misses are
+    /// counted on `ins` (`numeric.fft.plan_cache.*`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CirculantFieldSampler::new`].
+    pub fn new_with_plan_cache<C: SpatialCorrelation>(
+        geometry: GridGeometry,
+        corr: &C,
+        sigma: f64,
+        par: Parallelism,
+        cache: &FftPlanCache,
+        ins: Instruments<'_>,
+    ) -> Result<Self, ProcessError> {
+        CirculantFieldSampler::build(geometry, corr, sigma, par, ins, Some(cache))
+    }
+
+    fn build<C: SpatialCorrelation>(
+        geometry: GridGeometry,
+        corr: &C,
+        sigma: f64,
+        par: Parallelism,
+        ins: Instruments<'_>,
+        plan_cache: Option<&FftPlanCache>,
+    ) -> Result<Self, ProcessError> {
         let span = ins.span("process.circulant_build");
         if !(sigma >= 0.0) || !sigma.is_finite() {
             return Err(ProcessError::InvalidParameter {
@@ -367,6 +422,10 @@ impl CirculantFieldSampler {
         let clipped_fraction = if total > 0.0 { clipped / total } else { 0.0 };
         ins.add("process.circulant.torus_points", (p * q) as u64);
         ins.record("process.circulant.clipped_fraction", clipped_fraction);
+        let plan = match plan_cache {
+            Some(cache) => cache.plan_2d_instrumented(p, q, ins)?,
+            None => Arc::new(Fft2dPlan::new(p, q)?),
+        };
         drop(span);
         Ok(CirculantFieldSampler {
             geometry,
@@ -374,6 +433,7 @@ impl CirculantFieldSampler {
             torus_cols: q,
             sqrt_scaled_eigs,
             clipped_fraction,
+            plan,
         })
     }
 
@@ -400,6 +460,85 @@ impl CirculantFieldSampler {
         rng: &mut R,
         par: Parallelism,
     ) -> (Vec<f64>, Vec<f64>) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut scratch = FieldScratch::new();
+        self.sample_two_into_with(rng, par, &mut a, &mut b, &mut scratch);
+        (a, b)
+    }
+
+    /// Batched draw: fills `a` and `b` with two independent field samples,
+    /// reusing the caller's output vectors and `scratch` so steady-state
+    /// draws allocate nothing and the colouring FFT runs off the
+    /// precomputed plan. Bit-identical to
+    /// [`CirculantFieldSampler::sample_two`] for the same `rng` state.
+    pub fn sample_two_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        a: &mut Vec<f64>,
+        b: &mut Vec<f64>,
+        scratch: &mut FieldScratch,
+    ) {
+        self.sample_two_into_with(rng, Parallelism::serial(), a, b, scratch)
+    }
+
+    /// [`CirculantFieldSampler::sample_two_into`] with an explicit thread
+    /// budget for the colouring FFT.
+    pub fn sample_two_into_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        par: Parallelism,
+        a: &mut Vec<f64>,
+        b: &mut Vec<f64>,
+        scratch: &mut FieldScratch,
+    ) {
+        let q = self.torus_cols;
+        scratch.noise.clear();
+        scratch.noise.reserve(self.sqrt_scaled_eigs.len());
+        for &s in &self.sqrt_scaled_eigs {
+            let re: f64 = StandardNormal.sample(rng);
+            let im: f64 = StandardNormal.sample(rng);
+            scratch.noise.push(Complex::new(s * re, s * im));
+        }
+        // Forward unnormalized FFT colours the noise (see derivation in
+        // module docs: real/imag parts are independent with covariance c).
+        // Only the first `cols` torus columns are ever extracted below, so
+        // the padding columns' transforms are pruned; kept columns are
+        // bit-identical to the full transform.
+        self.plan
+            .forward_cols_scratch_with(
+                &mut scratch.noise,
+                &mut scratch.fft,
+                par,
+                self.geometry.cols(),
+            )
+            // chipleak-lint: allow(no-unwrap-in-library): the noise buffer was just filled to sqrt_scaled_eigs.len(), which equals the plan's torus size by construction
+            .expect("noise buffer matches plan shape");
+        let (rows, cols) = (self.geometry.rows(), self.geometry.cols());
+        a.clear();
+        b.clear();
+        a.reserve(rows * cols);
+        b.reserve(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = scratch.noise[r * q + c];
+                a.push(v.re);
+                b.push(v.im);
+            }
+        }
+    }
+
+    /// The legacy per-call draw: computes the FFT twiddle/bit-reversal
+    /// tables inline and allocates fresh buffers on every call, exactly as
+    /// the sampler did before plans existed. Kept as the honest baseline
+    /// for the batched-sampler benchmark and as a bitwise cross-check of
+    /// the planned path; produces the same bits as
+    /// [`CirculantFieldSampler::sample_two_with`] for the same `rng` state.
+    pub fn sample_two_unplanned_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        par: Parallelism,
+    ) -> (Vec<f64>, Vec<f64>) {
         let (p, q) = (self.torus_rows, self.torus_cols);
         let mut buf: Vec<Complex> = self
             .sqrt_scaled_eigs
@@ -410,8 +549,6 @@ impl CirculantFieldSampler {
                 Complex::new(s * re, s * im)
             })
             .collect();
-        // Forward unnormalized FFT colours the noise (see derivation in
-        // module docs: real/imag parts are independent with covariance c).
         // chipleak-lint: allow(l5): torus dims are next_power_of_two by construction
         fft2d_with(&mut buf, p, q, par).expect("padded power-of-two dimensions");
         let (rows, cols) = (self.geometry.rows(), self.geometry.cols());
@@ -759,6 +896,70 @@ mod tests {
                 "points, threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn planned_draw_is_bit_identical_to_unplanned() {
+        let g = GridGeometry::new(6, 9, 4.0, 5.0).unwrap();
+        let corr = ExponentialCorrelation::new(18.0).unwrap();
+        let s = CirculantFieldSampler::new(g, &corr, 1.1).unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = Parallelism::threads(threads);
+            let mut r1 = StdRng::seed_from_u64(77);
+            let mut r2 = StdRng::seed_from_u64(77);
+            let planned = s.sample_two_with(&mut r1, par);
+            let unplanned = s.sample_two_unplanned_with(&mut r2, par);
+            assert_eq!(planned, unplanned, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batched_scratch_reuse_matches_fresh_draws() {
+        let g = GridGeometry::new(5, 5, 3.0, 3.0).unwrap();
+        let corr = ExponentialCorrelation::new(10.0).unwrap();
+        let s = CirculantFieldSampler::new(g, &corr, 0.9).unwrap();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let mut scratch = FieldScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for _ in 0..4 {
+            s.sample_two_into(&mut r1, &mut a, &mut b, &mut scratch);
+            let (fa, fb) = s.sample_two(&mut r2);
+            assert_eq!(a, fa);
+            assert_eq!(b, fb);
+        }
+    }
+
+    #[test]
+    fn plan_cache_shares_plans_between_same_shape_samplers() {
+        let g = GridGeometry::new(6, 6, 4.0, 4.0).unwrap();
+        let corr = ExponentialCorrelation::new(12.0).unwrap();
+        let cache = FftPlanCache::new();
+        let s1 = CirculantFieldSampler::new_with_plan_cache(
+            g,
+            &corr,
+            1.0,
+            Parallelism::serial(),
+            &cache,
+            Instruments::none(),
+        )
+        .unwrap();
+        let s2 = CirculantFieldSampler::new_with_plan_cache(
+            g,
+            &corr,
+            2.0,
+            Parallelism::serial(),
+            &cache,
+            Instruments::none(),
+        )
+        .unwrap();
+        assert_eq!(cache.len(), 1, "same torus shape shares one plan");
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        // Cached-plan sampler draws the same bits as an uncached one.
+        let uncached = CirculantFieldSampler::new(g, &corr, 1.0).unwrap();
+        assert_eq!(s1.sample_two(&mut r1), uncached.sample_two(&mut r2));
+        let _ = s2;
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! L7 `tiled-kernel-parity`: a cache-blocked kernel is an *optimization*,
+//! never a semantic fork. Every public `*_tiled*` function must (a) keep a
+//! same-file serial twin — the name with `_tiled` removed — so the naive
+//! reference that the bit-identity tests compare against cannot be deleted
+//! out from under them, and (b) accept a `Parallelism` in its signature or
+//! route through a `_tiled` sibling that does, so tiled execution always
+//! flows through the workspace thread-count policy instead of growing a
+//! private threading scheme.
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// The L7 rule.
+pub struct TiledKernelParity;
+
+impl Rule for TiledKernelParity {
+    fn id(&self) -> &'static str {
+        "tiled-kernel-parity"
+    }
+
+    fn code(&self) -> &'static str {
+        "L7"
+    }
+
+    fn description(&self) -> &'static str {
+        "public `*_tiled*` kernels must keep a same-file serial twin (name minus \
+         `_tiled`) and take a `Parallelism` or route through a `_tiled` sibling that does"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != crate::source::FileKind::Library || !ctx.in_parallel_crate(&file.rel) {
+            return;
+        }
+        let toks = &file.tokens;
+        for f in &file.fns {
+            if !f.is_pub || !f.name.contains("_tiled") || file.in_test(f.line) {
+                continue;
+            }
+            // (a) The serial twin: same name with the `_tiled` marker
+            // removed, declared somewhere in the same file.
+            let twin = f.name.replacen("_tiled", "", 1);
+            if !file.fns.iter().any(|g| g.name == twin) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: f.line,
+                    col: 1,
+                    message: format!(
+                        "tiled kernel `{}` has no same-file serial twin `{twin}`; \
+                         the naive reference keeps the tiled path honest",
+                        f.name
+                    ),
+                    help: format!(
+                        "keep (or add) `{twin}` next to `{}` so the bit-identity \
+                         oracle tests retain their reference implementation",
+                        f.name
+                    ),
+                });
+            }
+            // (b) Thread-count policy: a `Parallelism` parameter, or a call
+            // into a `_tiled` sibling (which this rule holds to the same
+            // standard) that carries one.
+            let has_par = toks[f.sig.0..f.sig.1]
+                .iter()
+                .any(|t| t.is_ident("Parallelism"));
+            if has_par {
+                continue;
+            }
+            let routes_through_sibling = f.body.is_some_and(|(a, b)| {
+                toks[a..b].iter().any(|t| {
+                    t.kind == TokKind::Ident && t.text != f.name && t.text.contains("_tiled")
+                })
+            });
+            if !routes_through_sibling {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: f.line,
+                    col: 1,
+                    message: format!(
+                        "tiled kernel `{}` neither takes a `Parallelism` nor routes \
+                         through a `_tiled` sibling; tiled execution must flow through \
+                         the workspace thread-count policy",
+                        f.name
+                    ),
+                    help: format!(
+                        "add a `par: Parallelism` parameter, or implement `{}` as a \
+                         wrapper over a `_tiled` variant that has one",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CrateInfo;
+    use crate::source::FileKind;
+
+    fn ctx() -> Context {
+        Context {
+            crates: vec![CrateInfo {
+                rel_root: "crates/d".into(),
+                has_parallel_feature: true,
+            }],
+        }
+    }
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/d/src/x.rs".into(), src.into(), FileKind::Library);
+        let mut out = Vec::new();
+        TiledKernelParity.check_file(&f, &ctx(), &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_twin_and_missing_parallelism_both_flagged() {
+        let src = "pub fn frob_tiled(xs: &[f64]) -> f64 { xs[0] }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("serial twin"));
+        assert!(d[1].message.contains("Parallelism"));
+    }
+
+    #[test]
+    fn twin_plus_parallelism_is_clean() {
+        let src = "pub fn frob(xs: &[f64]) -> f64 { xs[0] }\n\
+                   pub fn frob_tiled(xs: &[f64], par: Parallelism) -> f64 { drop(par); xs[0] }\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn routing_through_tiled_sibling_satisfies_policy() {
+        let src = "pub fn frob_with(xs: &[f64], par: Parallelism) -> f64 { drop(par); xs[0] }\n\
+                   pub fn frob(xs: &[f64]) -> f64 { frob_with(xs, Parallelism::auto()) }\n\
+                   pub fn frob_tiled_with(xs: &[f64], par: Parallelism) -> f64 { drop(par); xs[0] }\n\
+                   pub fn frob_tiled(xs: &[f64]) -> f64 { frob_tiled_with(xs, Parallelism::auto()) }\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn suffix_variants_map_to_their_own_twins() {
+        // `frob_tiled_with` pairs with `frob_with`, not `frob`.
+        let src =
+            "pub fn frob_tiled_with(xs: &[f64], par: Parallelism) -> f64 { drop(par); xs[0] }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`frob_with`"), "{d:?}");
+    }
+
+    #[test]
+    fn private_and_test_fns_exempt() {
+        let src = "fn helper_tiled(xs: &[f64]) -> f64 { xs[0] }\n\
+                   #[cfg(test)]\nmod tests {\n\
+                     pub fn probe_tiled(xs: &[f64]) -> f64 { xs[0] }\n\
+                   }\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn non_parallel_crates_exempt() {
+        let f = SourceFile::parse(
+            "crates/other/src/x.rs".into(),
+            "pub fn frob_tiled(xs: &[f64]) -> f64 { xs[0] }\n".into(),
+            FileKind::Library,
+        );
+        let mut out = Vec::new();
+        TiledKernelParity.check_file(&f, &ctx(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,4 +1,4 @@
-//! The chipleak-lint rule set (L1–L6) and shared token-pattern helpers.
+//! The chipleak-lint rule set (L1–L7) and shared token-pattern helpers.
 //!
 //! | Code | Id | Invariant |
 //! |------|----|-----------|
@@ -8,6 +8,7 @@
 //! | L4 | `parallel-api-parity` | `foo` routes through `foo_with`, threads stay gated |
 //! | L5 | `no-unwrap-in-library` | no unjustified `.unwrap()`/`.expect()`/`panic!` |
 //! | L6 | `no-silent-fallback` | `Err(...) => {}` arms must record the degradation |
+//! | L7 | `tiled-kernel-parity` | `*_tiled*` kernels keep a serial twin, take `Parallelism` |
 
 mod l1_nondeterministic_iteration;
 mod l2_ambient_entropy;
@@ -15,6 +16,7 @@ mod l3_compensated_summation;
 mod l4_parallel_api_parity;
 mod l5_unwrap_in_library;
 mod l6_silent_fallback;
+mod l7_tiled_kernel_parity;
 
 pub use l1_nondeterministic_iteration::NondeterministicIteration;
 pub use l2_ambient_entropy::AmbientEntropy;
@@ -22,6 +24,7 @@ pub use l3_compensated_summation::CompensatedSummation;
 pub use l4_parallel_api_parity::ParallelApiParity;
 pub use l5_unwrap_in_library::UnwrapInLibrary;
 pub use l6_silent_fallback::SilentFallback;
+pub use l7_tiled_kernel_parity::TiledKernelParity;
 
 use crate::engine::Rule;
 use crate::lexer::Tok;
@@ -36,6 +39,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(ParallelApiParity),
         Box::new(UnwrapInLibrary),
         Box::new(SilentFallback),
+        Box::new(TiledKernelParity),
     ]
 }
 

@@ -1,0 +1,10 @@
+//! L7 violations: a public tiled kernel with no same-file serial twin and
+//! no route to the workspace thread-count policy.
+
+pub fn pair_sum_tiled(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}

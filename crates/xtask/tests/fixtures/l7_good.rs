@@ -1,0 +1,24 @@
+//! L7 conforming twin: the tiled kernel keeps its serial twin in the same
+//! file, the `_with` variant carries the `Parallelism`, and the default
+//! wrappers route through their siblings.
+
+pub fn pair_sum_with(xs: &[f64], par: Parallelism) -> f64 {
+    drop(par);
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}
+
+pub fn pair_sum(xs: &[f64]) -> f64 {
+    pair_sum_with(xs, Parallelism::auto())
+}
+
+pub fn pair_sum_tiled_with(xs: &[f64], par: Parallelism) -> f64 {
+    pair_sum_with(xs, par)
+}
+
+pub fn pair_sum_tiled(xs: &[f64]) -> f64 {
+    pair_sum_tiled_with(xs, Parallelism::auto())
+}

@@ -129,6 +129,14 @@ fn l6_fires_on_bad_and_not_on_good() {
 }
 
 #[test]
+fn l7_fires_on_bad_and_not_on_good() {
+    let bad = lint_fixture("l7_bad.rs", DEMO_REL);
+    assert!(rule_hits(&bad, "tiled-kernel-parity") >= 2, "{bad:?}");
+    let good = lint_fixture("l7_good.rs", DEMO_REL);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
 fn justified_suppression_round_trips_clean() {
     let diags = lint_fixture("suppressed_ok.rs", DEMO_REL);
     assert!(diags.is_empty(), "{diags:?}");

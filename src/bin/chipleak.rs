@@ -403,7 +403,7 @@ fn cmd_estimate_file(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Re
         .map_err(|e| e.to_string())?;
     println!("RG estimate:   {:.4e} ± {:.4e} A", est.mean, est.std());
     if opts.get("exact").map(String::as_str) == Some("true") {
-        use fullchip_leakage::core::estimator::exact_placed_stats_instrumented;
+        use fullchip_leakage::core::estimator::{exact_placed_stats_tiled_instrumented, Tiling};
         let rho_c = tech.l_variation().d2d_variance_fraction();
         let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
         let pairwise = PairwiseCovariance::new_instrumented(
@@ -414,11 +414,20 @@ fn cmd_estimate_file(opts: &HashMap<String, String>, ins: Instruments<'_>) -> Re
             ins,
         )
         .map_err(|e| e.to_string())?;
-        let truth = exact_placed_stats_instrumented(
-            placed.gates(),
+        // Tiled SoA kernel: bit-identical to the naive reference
+        // (tests/determinism.rs), just fast enough for full-chip inputs.
+        // The tent reaches exactly zero at its support radius, so ρ_total
+        // is the constant ρ_c for every pair at or beyond it — the far
+        // cutoff lets those pairs skip the ρ evaluation entirely.
+        let truth = exact_placed_stats_tiled_instrumented(
+            &placed.placement_soa(),
             &pairwise,
             &rho_total,
             Parallelism::auto(),
+            Tiling {
+                far_cutoff: wid.support_radius(),
+                ..Tiling::default()
+            },
             ins,
         );
         println!("O(n²) truth:   {:.4e} ± {:.4e} A", truth.mean, truth.std());

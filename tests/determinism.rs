@@ -114,6 +114,43 @@ fn exact_estimator_is_identical_for_any_thread_count() {
 }
 
 #[test]
+fn tiled_exact_estimator_is_identical_to_naive_for_any_thread_count() {
+    use fullchip_leakage::core::estimator::{
+        exact_placed_stats_tiled_with, exact_placed_stats_with,
+    };
+    let (placed, charlib, tech) = placed_design(600);
+    let wid = TentCorrelation::new(50.0).expect("model");
+    let rho_c = tech.l_variation().d2d_variance_fraction();
+    let rho_total = |d: f64| rho_c + (1.0 - rho_c) * wid.rho(d);
+    let pairwise =
+        PairwiseCovariance::new(&charlib, &placed.support(), 0.5, CorrelationPolicy::Exact)
+            .expect("pairwise");
+    let soa = placed.placement_soa();
+    let naive =
+        exact_placed_stats_with(placed.gates(), &pairwise, &rho_total, Parallelism::serial());
+    for par in [
+        Parallelism::serial(),
+        Parallelism::threads(2),
+        Parallelism::threads(8),
+        Parallelism::auto(), // max (or CHIPLEAK_THREADS when set)
+    ] {
+        let tiled = exact_placed_stats_tiled_with(&soa, &pairwise, &rho_total, par);
+        assert_eq!(
+            naive.mean.to_bits(),
+            tiled.mean.to_bits(),
+            "mean, {} threads",
+            par.thread_count()
+        );
+        assert_eq!(
+            naive.variance.to_bits(),
+            tiled.variance.to_bits(),
+            "variance, {} threads",
+            par.thread_count()
+        );
+    }
+}
+
+#[test]
 fn monte_carlo_run_is_identical_for_any_thread_count() {
     let (placed, charlib, tech) = placed_design(300);
     let wid = TentCorrelation::new(50.0).expect("model");
@@ -140,8 +177,12 @@ fn metrics_are_identical_for_any_thread_count() {
     // chunk-ordered reduction. `FakeClock` removes wall-clock noise so the
     // span durations and derived rates are comparable too.
     use fullchip_leakage::cells::charax::Characterizer;
-    use fullchip_leakage::core::estimator::exact_placed_stats_instrumented;
+    use fullchip_leakage::core::estimator::{
+        exact_placed_stats_instrumented, exact_placed_stats_tiled_instrumented, Tiling,
+    };
+    use fullchip_leakage::numeric::fft::FftPlanCache;
     use fullchip_leakage::obs::{AggregatingRecorder, FakeClock, Instruments};
+    use fullchip_leakage::process::field::{CirculantFieldSampler, GridGeometry};
 
     let (placed, charlib, tech) = placed_design(400);
     let lib = CellLibrary::standard_62();
@@ -155,11 +196,28 @@ fn metrics_are_identical_for_any_thread_count() {
         .build()
         .expect("sampler");
 
+    let soa = placed.placement_soa();
     let run = |par: Parallelism| {
         let recorder = AggregatingRecorder::new();
         let clock = FakeClock::new(17);
         let ins = Instruments::new(&recorder, &clock);
         let _ = exact_placed_stats_instrumented(placed.gates(), &pairwise, &rho_total, par, ins);
+        let _ = exact_placed_stats_tiled_instrumented(
+            &soa,
+            &pairwise,
+            &rho_total,
+            par,
+            Tiling::default(),
+            ins,
+        );
+        // Plan-cache hit/miss counters are part of the snapshot too: one
+        // miss (first build) and one hit (same torus shape).
+        let cache = FftPlanCache::new();
+        let grid = GridGeometry::new(6, 6, 3.0, 3.0).expect("grid");
+        let _ = CirculantFieldSampler::new_with_plan_cache(grid, &wid, 1.0, par, &cache, ins)
+            .expect("sampler");
+        let _ = CirculantFieldSampler::new_with_plan_cache(grid, &wid, 1.0, par, &cache, ins)
+            .expect("sampler");
         let _ = sampler.run_seeded_instrumented(101, 42, par, ins);
         let _ = Characterizer::new(&tech)
             .characterize_library_instrumented(

@@ -9,9 +9,11 @@ use fullchip_leakage::cells::corrmap::{
 use fullchip_leakage::cells::model::{CharacterizedCell, CharacterizedLibrary, StateModel};
 use fullchip_leakage::cells::state::state_probabilities;
 use fullchip_leakage::core::estimator::{
-    integral_2d_variance, linear_time_variance, polar_1d_variance, quadratic_lattice_variance,
+    exact_placed_stats_tiled_instrumented, exact_placed_stats_with, integral_2d_variance,
+    linear_time_variance, polar_1d_variance, quadratic_lattice_variance, PlacementSoA, Tiling,
 };
 use fullchip_leakage::numeric::integrate::gauss_legendre;
+use fullchip_leakage::obs::Instruments;
 use fullchip_leakage::prelude::*;
 use fullchip_leakage::process::field::GridGeometry;
 use proptest::prelude::*;
@@ -46,6 +48,35 @@ fn single_cell_lib(t: LeakageTriplet, sigma: f64) -> CharacterizedLibrary {
         }],
         l_sigma: sigma,
     }
+}
+
+/// Multi-type library for the tiled-kernel properties: one state per cell,
+/// triplets supplied by the strategy.
+fn multi_cell_lib(triplets: Vec<LeakageTriplet>, sigma: f64) -> CharacterizedLibrary {
+    CharacterizedLibrary {
+        cells: triplets
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| CharacterizedCell {
+                id: CellId(i),
+                name: format!("c{i}"),
+                n_inputs: 0,
+                states: vec![StateModel {
+                    state: 0,
+                    mean: t.mean(sigma).expect("mean"),
+                    std: t.std(sigma).expect("std"),
+                    triplet: Some(t),
+                    fit_r2: Some(1.0),
+                }],
+            })
+            .collect(),
+        l_sigma: sigma,
+    }
+}
+
+/// Random placement: (type ∈ {0,1,2}, x, y) per gate.
+fn placement_strategy() -> impl Strategy<Value = Vec<(usize, f64, f64)>> {
+    proptest::collection::vec((0usize..3, 0.0_f64..200.0, 0.0_f64..150.0), 1..100)
 }
 
 fn single_cell_rg(lib: &CharacterizedLibrary) -> RandomGate {
@@ -323,6 +354,99 @@ proptest! {
         if side <= 8 {
             let quad = quadratic_lattice_variance(&rg, &grid, &rho_total);
             prop_assert!(quad >= 0.0, "quadratic {quad}");
+        }
+    }
+
+    #[test]
+    fn placement_soa_round_trips_any_placement(placements in placement_strategy()) {
+        let gates: Vec<PlacedGate> = placements
+            .iter()
+            .map(|&(t, x, y)| PlacedGate { cell: CellId(t), x, y })
+            .collect();
+        let soa = PlacementSoA::from_gates(&gates);
+        prop_assert_eq!(soa.len(), gates.len());
+        // Per-gate accessor and the bulk conversion both restore the exact
+        // AoS view: same type, coordinates bit-for-bit, original order.
+        let back = soa.to_gates();
+        prop_assert_eq!(back.len(), gates.len());
+        for (i, g) in gates.iter().enumerate() {
+            let r = soa.gate(i);
+            prop_assert_eq!(g.cell, r.cell);
+            prop_assert_eq!(g.x.to_bits(), r.x.to_bits());
+            prop_assert_eq!(g.y.to_bits(), r.y.to_bits());
+            prop_assert_eq!(g.cell, back[i].cell);
+            prop_assert_eq!(g.x.to_bits(), back[i].x.to_bits());
+            prop_assert_eq!(g.y.to_bits(), back[i].y.to_bits());
+        }
+        // Support is the sorted set of distinct types actually used.
+        let mut expect: Vec<CellId> = gates.iter().map(|g| g.cell).collect();
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(soa.support().to_vec(), expect);
+    }
+
+    #[test]
+    fn tiled_kernel_is_bit_identical_to_naive(
+        placements in placement_strategy(),
+        ta in triplet_strategy(),
+        tb in triplet_strategy(),
+        tc in triplet_strategy(),
+        sigma in sigma_strategy(),
+        dmax in 5.0_f64..120.0,
+        tile_sel in 0usize..11,
+    ) {
+        // Tile-size cases: degenerate 1×1, small odd shapes, the default's
+        // neighborhood, and ≥ n (one tile spans the whole triangle).
+        let tile_rows = match tile_sel {
+            0 => 1,
+            9 => 64,
+            10 => 4096,
+            k => k, // 1..=8
+        };
+        let lib = multi_cell_lib(vec![ta, tb, tc], sigma);
+        let gates: Vec<PlacedGate> = placements
+            .iter()
+            .map(|&(t, x, y)| PlacedGate { cell: CellId(t), x, y })
+            .collect();
+        let mut support: Vec<CellId> = gates.iter().map(|g| g.cell).collect();
+        support.sort();
+        support.dedup();
+        let pairwise =
+            PairwiseCovariance::new(&lib, &support, 0.5, CorrelationPolicy::Exact).unwrap();
+        let rho_total = move |d: f64| (1.0 - d / dmax).max(0.0);
+        let naive =
+            exact_placed_stats_with(&gates, &pairwise, &rho_total, Parallelism::serial());
+        let soa = PlacementSoA::from_gates(&gates);
+        for par in [
+            Parallelism::threads(1),
+            Parallelism::threads(2),
+            Parallelism::threads(8),
+        ] {
+            // `Some(dmax)` exercises the far-pair fast path (the tent is
+            // exactly zero at and beyond its support radius), `None` the
+            // always-evaluated path; both must reproduce naive bits.
+            for far_cutoff in [None, Some(dmax)] {
+                let tiled = exact_placed_stats_tiled_instrumented(
+                    &soa,
+                    &pairwise,
+                    &rho_total,
+                    par,
+                    Tiling { rows: tile_rows, far_cutoff },
+                    Instruments::none(),
+                );
+                prop_assert_eq!(
+                    naive.mean.to_bits(),
+                    tiled.mean.to_bits(),
+                    "mean: tile {} threads {} far {:?}",
+                    tile_rows, par.thread_count(), far_cutoff
+                );
+                prop_assert_eq!(
+                    naive.variance.to_bits(),
+                    tiled.variance.to_bits(),
+                    "variance: tile {} threads {} far {:?}",
+                    tile_rows, par.thread_count(), far_cutoff
+                );
+            }
         }
     }
 
