@@ -143,6 +143,7 @@ impl PairwiseCovariance {
     ///
     /// Panics if the type is not in the support.
     pub fn mean(&self, id: CellId) -> f64 {
+        // chipleak-lint: allow(l9): panic on unknown type is the documented support-membership contract
         self.means[&id]
     }
 
@@ -152,6 +153,7 @@ impl PairwiseCovariance {
     ///
     /// Panics if the type is not in the support.
     pub fn std(&self, id: CellId) -> f64 {
+        // chipleak-lint: allow(l9): panic on unknown type is the documented support-membership contract
         self.stds[&id]
     }
 
@@ -163,6 +165,7 @@ impl PairwiseCovariance {
     /// Panics if either type is not in the support.
     pub fn covariance(&self, m: CellId, n: CellId, rho_l: f64) -> f64 {
         let key = if m.0 <= n.0 { (m, n) } else { (n, m) };
+        // chipleak-lint: allow(l9): panic on unknown type is the documented support-membership contract
         self.tables[&key].eval(rho_l.clamp(0.0, 1.0))
     }
 
@@ -176,6 +179,7 @@ impl PairwiseCovariance {
     /// Panics if either type is not in the support.
     pub fn table_values(&self, m: CellId, n: CellId) -> &[f64] {
         let key = if m.0 <= n.0 { (m, n) } else { (n, m) };
+        // chipleak-lint: allow(l9): panic on unknown type is the documented support-membership contract
         self.tables[&key].values()
     }
 

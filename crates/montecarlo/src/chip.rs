@@ -185,7 +185,7 @@ impl ChipSampler {
                 };
                 leak *= (-dvt * self.vt_slope).exp();
             }
-            total += leak;
+            total += leak; // chipleak-lint: allow(l10): fixed-order per-sample gate sum; Kahan would change golden-pinned bits
         }
         total
     }

@@ -127,7 +127,9 @@ fn transform(data: &mut [Complex], inverse: bool) -> Result<(), NumericError> {
             data.swap(i, j);
         }
     }
-    // Iterative Cooley–Tukey butterflies.
+    // Iterative Cooley–Tukey butterflies. Every `i + k + len / 2` stays
+    // below `n` because `len` divides the power-of-two `n` checked above.
+    debug_assert!(n.is_power_of_two());
     let sign = if inverse { 1.0 } else { -1.0 };
     let mut len = 2;
     while len <= n {
@@ -265,6 +267,8 @@ fn transform2d(
             reason: format!("fft2d dimensions must be powers of two, got {rows}x{cols}"),
         });
     }
+    // All row-major indexing below relies on the length check above.
+    debug_assert!(data.len() == rows * cols);
     if par.is_serial() {
         // Rows.
         for r in 0..rows {

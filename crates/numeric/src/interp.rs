@@ -47,7 +47,7 @@ impl LinearInterp {
                 reason: "need at least two knots".into(),
             });
         }
-        if xs.windows(2).any(|w| !(w[1] > w[0])) {
+        if xs.iter().zip(xs.iter().skip(1)).any(|(a, b)| !(b > a)) {
             return Err(NumericError::InvalidArgument {
                 reason: "knots must be strictly increasing".into(),
             });
@@ -63,6 +63,9 @@ impl LinearInterp {
     /// Evaluates the interpolant at `x`, clamping outside the knot range.
     pub fn eval(&self, x: f64) -> f64 {
         let n = self.xs.len();
+        // `new` rejects fewer than two knots and length-mismatched values,
+        // so every index below is in range.
+        debug_assert!(n >= 2 && self.ys.len() == n);
         if x <= self.xs[0] {
             return self.ys[0];
         }
@@ -191,6 +194,9 @@ impl UnitDyadicTables {
     /// the same values (see the type-level docs for the argument).
     #[inline]
     pub fn eval(&self, idx: usize, x: f64) -> f64 {
+        // `new` enforces `n_knots >= 2` and sizes `values` as
+        // `n_tables * n_knots`, so a valid `idx` keeps every access in range.
+        debug_assert!(self.n_knots >= 2 && (idx + 1) * self.n_knots <= self.values.len());
         let ys = &self.values[idx * self.n_knots..(idx + 1) * self.n_knots];
         let k1 = (self.n_knots - 1) as f64;
         if x <= 0.0 {

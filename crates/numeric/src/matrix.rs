@@ -458,7 +458,7 @@ impl Cholesky {
         for i in 0..n {
             let mut acc = 0.0;
             for k in 0..=i {
-                acc += self.l[i * n + k] * v[k];
+                acc += self.l[i * n + k] * v[k]; // chipleak-lint: allow(l10): fixed-k row dot product; Kahan would change golden-pinned bits
             }
             out[i] = acc;
         }

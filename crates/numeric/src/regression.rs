@@ -105,7 +105,7 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit, Numeric
     };
     for (x, y) in xs.iter().zip(ys) {
         let e = y - fit.eval(*x);
-        ss_res += e * e;
+        ss_res += e * e; // chipleak-lint: allow(l10): fixed sample order; Kahan would change golden-pinned bits
         ss_tot += (y - my) * (y - my);
     }
     let r2 = if ss_tot > 0.0 {

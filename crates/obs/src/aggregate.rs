@@ -213,6 +213,9 @@ pub struct WorkerRecorder<'a> {
 
 impl WorkerRecorder<'_> {
     fn shard(&self) -> std::sync::MutexGuard<'_, Shard> {
+        // `AggregatingRecorder::worker` wraps the slot modulo the shard
+        // count, so the bound index is always in range.
+        debug_assert!(self.index < self.shards.len());
         Shard::lock(&self.shards[self.index])
     }
 }

@@ -640,13 +640,13 @@ impl LeakageSolver {
             // side accumulates current *entering* low nodes.
             let sign = if high_side { 1.0 } else { -1.0 };
             if is_source_node(d.drain) {
-                total += sign * leave_d;
+                total += sign * leave_d; // chipleak-lint: allow(l10): fixed device order; Kahan would change golden-pinned bits
             }
             if is_source_node(d.gate) {
-                total += sign * leave_g;
+                total += sign * leave_g; // chipleak-lint: allow(l10): fixed device order; Kahan would change golden-pinned bits
             }
             if is_source_node(d.source) {
-                total += sign * leave_s;
+                total += sign * leave_s; // chipleak-lint: allow(l10): fixed device order; Kahan would change golden-pinned bits
             }
         }
         total

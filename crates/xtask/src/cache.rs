@@ -1,0 +1,269 @@
+//! Content-hash incremental cache for the file-scoped rule pass.
+//!
+//! The expensive part of a lint run is the per-file token scans of L1–L7
+//! (and L11); the workspace pass over fn summaries is cheap but depends on
+//! every file, so it always runs fresh. The cache therefore stores, per
+//! file, the FNV-1a hash of its text plus the *raw pre-suppression*
+//! diagnostics of the file-scoped rules. On a hit the file's scan is
+//! skipped and the cached diagnostics are replayed; suppression matching
+//! and L0 hygiene always re-run, so a cache hit can never hide a stale
+//! suppression.
+//!
+//! The whole cache is invalidated by an engine fingerprint covering the
+//! xtask version, the registered rule set, and the crate configuration —
+//! a rule change or feature-flag change never replays stale results.
+//!
+//! Default location: `target/chipleak-lint-cache.json` under the
+//! workspace root (swept by `cargo clean`, carried by CI's target cache).
+
+use crate::engine::{json_str, Diagnostic, Rule, Severity};
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One cached file entry.
+#[derive(Debug)]
+pub struct Entry {
+    /// FNV-1a hash of the file text.
+    pub hash: String,
+    /// Raw (pre-suppression) file-rule diagnostics.
+    pub diags: Vec<Diagnostic>,
+}
+
+/// FNV-1a 64-bit hash, hex-rendered.
+pub fn hash_text(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Engine fingerprint: a rule-set or crate-config change invalidates every
+/// entry.
+pub fn fingerprint(rules: &[Box<dyn Rule>], crates: &[crate::engine::CrateInfo]) -> String {
+    let mut desc = String::from(env!("CARGO_PKG_VERSION"));
+    for r in rules {
+        let _ = write!(desc, ";{}={}", r.code(), r.id());
+    }
+    for c in crates {
+        let _ = write!(
+            desc,
+            ";{}:{}:{}",
+            c.rel_root, c.name, c.has_parallel_feature
+        );
+    }
+    hash_text(&desc)
+}
+
+/// Loads the cache, returning replayable entries keyed by file path.
+/// A missing/corrupt file, fingerprint mismatch, or unknown rule id yields
+/// an empty map — a cache miss, never an error.
+pub fn load(path: &Path, fp: &str, rules: &[Box<dyn Rule>]) -> BTreeMap<String, Entry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let Ok(v) = json::parse(&text) else {
+        return BTreeMap::new();
+    };
+    if v.get("fingerprint").and_then(Value::as_str) != Some(fp) {
+        return BTreeMap::new();
+    }
+    let Some(files) = v.get("files").and_then(Value::as_obj) else {
+        return BTreeMap::new();
+    };
+    let mut out = BTreeMap::new();
+    'files: for (rel, entry) in files {
+        let Some(hash) = entry.get("hash").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(raw) = entry.get("diags").and_then(Value::as_arr) else {
+            continue;
+        };
+        let mut diags = Vec::with_capacity(raw.len());
+        for d in raw {
+            let Some(diag) = diag_from_json(d, rules) else {
+                // Unknown rule id: drop the whole file entry so the scan
+                // re-runs rather than silently losing a diagnostic.
+                continue 'files;
+            };
+            diags.push(diag);
+        }
+        out.insert(
+            rel.clone(),
+            Entry {
+                hash: hash.to_owned(),
+                diags,
+            },
+        );
+    }
+    out
+}
+
+/// Persists the cache; IO errors are swallowed (a cache is advisory).
+pub fn save(path: &Path, fp: &str, entries: &BTreeMap<String, Entry>) {
+    let mut s = String::from("{\"fingerprint\":");
+    s.push_str(&json_str(fp));
+    s.push_str(",\"files\":{");
+    for (i, (rel, e)) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{}:{{\"hash\":{},\"diags\":[",
+            json_str(rel),
+            json_str(&e.hash)
+        );
+        for (j, d) in e.diags.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
+                json_str(d.rule),
+                json_str(match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                }),
+                json_str(&d.file),
+                d.line,
+                d.col,
+                json_str(&d.message),
+                json_str(&d.help),
+            );
+        }
+        s.push_str("]}");
+    }
+    s.push_str("}}\n");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(path, s);
+}
+
+/// Rebuilds a [`Diagnostic`] from its cached JSON, resolving the rule id
+/// against the live registry (the `&'static str` fields must point into
+/// the running binary).
+fn diag_from_json(v: &Value, rules: &[Box<dyn Rule>]) -> Option<Diagnostic> {
+    let id = v.get("rule")?.as_str()?;
+    let (rule, code) = if id == "lint-suppression" {
+        ("lint-suppression", "L0")
+    } else {
+        let r = rules.iter().find(|r| r.id() == id)?;
+        (r.id(), r.code())
+    };
+    let severity = match v.get("severity")?.as_str()? {
+        "error" => Severity::Error,
+        "warning" => Severity::Warning,
+        _ => return None,
+    };
+    Some(Diagnostic {
+        rule,
+        code,
+        severity,
+        file: v.get("file")?.as_str()?.to_owned(),
+        line: v.get("line")?.as_f64()? as u32,
+        col: v.get("col")?.as_f64()? as u32,
+        message: v.get("message")?.as_str()?.to_owned(),
+        help: v.get("help")?.as_str()?.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CrateInfo;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("chipleak-lint-cache-tests");
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    fn sample_entry() -> Entry {
+        Entry {
+            hash: hash_text("fn f() {}"),
+            diags: vec![Diagnostic {
+                rule: "no-ambient-entropy",
+                code: "L2",
+                severity: Severity::Error,
+                file: "crates/a/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                message: "msg \"quoted\"".into(),
+                help: "help".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let path = tmp("round_trip.json");
+        let rules = crate::rules::registry();
+        let fp = fingerprint(&rules, &[]);
+        let mut entries = BTreeMap::new();
+        entries.insert("crates/a/src/lib.rs".to_owned(), sample_entry());
+        save(&path, &fp, &entries);
+        let loaded = load(&path, &fp, &rules);
+        assert_eq!(loaded.len(), 1);
+        let e = &loaded["crates/a/src/lib.rs"];
+        assert_eq!(e.hash, hash_text("fn f() {}"));
+        assert_eq!(e.diags.len(), 1);
+        assert_eq!(e.diags[0].rule, "no-ambient-entropy");
+        assert_eq!(e.diags[0].code, "L2");
+        assert_eq!(e.diags[0].message, "msg \"quoted\"");
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards() {
+        let path = tmp("fp_mismatch.json");
+        let rules = crate::rules::registry();
+        let mut entries = BTreeMap::new();
+        entries.insert("a.rs".to_owned(), sample_entry());
+        save(&path, "old-fp", &entries);
+        assert!(load(&path, "new-fp", &rules).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_id_drops_file_entry() {
+        let path = tmp("unknown_rule.json");
+        let text = "{\"fingerprint\":\"fp\",\"files\":{\"a.rs\":{\"hash\":\"h\",\"diags\":[\
+                    {\"rule\":\"ghost-rule\",\"severity\":\"error\",\"file\":\"a.rs\",\
+                    \"line\":1,\"col\":1,\"message\":\"m\",\"help\":\"h\"}]}}}";
+        std::fs::write(&path, text).unwrap();
+        assert!(load(&path, "fp", &crate::rules::registry()).is_empty());
+    }
+
+    #[test]
+    fn corrupt_cache_is_a_miss() {
+        let path = tmp("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load(&path, "fp", &crate::rules::registry()).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_depends_on_crate_config() {
+        let rules = crate::rules::registry();
+        let a = fingerprint(
+            &rules,
+            &[CrateInfo {
+                rel_root: "crates/a".into(),
+                name: "a".into(),
+                has_parallel_feature: true,
+            }],
+        );
+        let b = fingerprint(
+            &rules,
+            &[CrateInfo {
+                rel_root: "crates/a".into(),
+                name: "a".into(),
+                has_parallel_feature: false,
+            }],
+        );
+        assert_ne!(a, b);
+    }
+}

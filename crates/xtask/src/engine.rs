@@ -47,6 +47,8 @@ pub struct Diagnostic {
 pub struct CrateInfo {
     /// Workspace-relative crate root (`""` for the root package).
     pub rel_root: String,
+    /// Package name as declared in the manifest (dashes preserved).
+    pub name: String,
     /// Whether the crate manifest declares a `parallel` feature.
     pub has_parallel_feature: bool,
 }
@@ -72,28 +74,79 @@ impl Context {
     }
 }
 
-/// A lint rule: inspects one file at a time and reports diagnostics.
+/// The whole-workspace view handed to interprocedural rules: every parsed
+/// file plus the call graph built over their fn summaries.
+pub struct Workspace<'a> {
+    /// All files of the lint run, in stable path order.
+    pub files: &'a [SourceFile],
+    /// Workspace context (crate facts).
+    pub ctx: &'a Context,
+    /// Call graph over all fn summaries.
+    pub graph: crate::graph::CallGraph,
+}
+
+/// A lint rule: inspects one file at a time (and optionally the whole
+/// workspace) and reports diagnostics.
 pub trait Rule {
     /// Kebab-case id used in suppression comments and output.
     fn id(&self) -> &'static str;
-    /// Short code (`L1`..`L5`), also accepted in suppressions.
+    /// Short code (`L1`..`L11`), also accepted in suppressions.
     fn code(&self) -> &'static str;
     /// One-line description for `cargo xtask rules`.
     fn description(&self) -> &'static str;
-    /// Runs the rule over one file.
-    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>);
+    /// Runs the rule over one file. File-scoped rules implement this;
+    /// workspace rules leave it as the default no-op.
+    fn check_file(&self, _file: &SourceFile, _ctx: &Context, _out: &mut Vec<Diagnostic>) {}
+    /// Runs the rule over the whole workspace (call-graph view).
+    /// Interprocedural rules (L8–L11) implement this.
+    fn check_workspace(&self, _ws: &Workspace<'_>, _out: &mut Vec<Diagnostic>) {}
 }
 
 /// Runs `rules` over `files`, applies suppressions, and returns the
 /// surviving diagnostics sorted by position.
 pub fn run(rules: &[Box<dyn Rule>], files: &[SourceFile], ctx: &Context) -> Vec<Diagnostic> {
-    let mut raw = Vec::new();
-    for file in files {
-        for rule in rules {
-            rule.check_file(file, ctx, &mut raw);
-        }
+    let file_diags = files
+        .iter()
+        .map(|f| file_rule_diags(rules, f, ctx))
+        .collect();
+    run_with_file_diags(rules, files, ctx, file_diags)
+}
+
+/// [`run`], but with the per-file (file-scoped-rule) diagnostics supplied
+/// by the caller — either freshly computed or replayed from the
+/// incremental cache. The workspace pass (call graph + L8–L11) always runs
+/// fresh: it is cheap relative to the per-file token scans and depends on
+/// every file at once.
+pub fn run_with_file_diags(
+    rules: &[Box<dyn Rule>],
+    files: &[SourceFile],
+    ctx: &Context,
+    file_diags: Vec<Vec<Diagnostic>>,
+) -> Vec<Diagnostic> {
+    let mut raw: Vec<Diagnostic> = file_diags.into_iter().flatten().collect();
+    let ws = Workspace {
+        files,
+        ctx,
+        graph: crate::graph::CallGraph::build(files, &ctx.crates),
+    };
+    for rule in rules {
+        rule.check_workspace(&ws, &mut raw);
     }
     apply_suppressions(files, raw)
+}
+
+/// Raw (pre-suppression) diagnostics of the file-scoped rules for one
+/// file — the unit the incremental cache stores.
+pub fn file_rule_diags(
+    rules: &[Box<dyn Rule>],
+    file: &SourceFile,
+    ctx: &Context,
+) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for rule in rules {
+        rule.check_file(file, ctx, &mut raw);
+    }
+    raw
 }
 
 /// Suppression matching: a directive covers a diagnostic of a named rule
@@ -147,7 +200,7 @@ fn apply_suppressions(files: &[SourceFile], raw: Vec<Diagnostic>) -> Vec<Diagnos
                     ),
                     help: "append `: <why this is sound>` after the closing paren".into(),
                 });
-            } else if !used[fi][si] {
+            } else if !used[fi][si] && !anchors_panic_site(file, s) {
                 out.push(Diagnostic {
                     rule: "lint-suppression",
                     code: "L0",
@@ -168,6 +221,26 @@ fn apply_suppressions(files: &[SourceFile], raw: Vec<Diagnostic>) -> Vec<Diagnos
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
     out
+}
+
+/// L9 treats a justified L5/L9 directive on a panic or index site as a
+/// locally proven invariant and never emits a diagnostic there — so the
+/// textual suppression matching above cannot observe the directive being
+/// consumed. A directive anchored to a real panic/index site in the fn
+/// summaries is live, not stale: deleting it would re-arm the site.
+fn anchors_panic_site(file: &SourceFile, s: &crate::source::Suppression) -> bool {
+    if s.reason.is_empty()
+        || !(s.covers("no-unwrap-in-library", "L5") || s.covers("panic-freedom", "L9"))
+    {
+        return false;
+    }
+    file.summaries.iter().any(|f| {
+        f.panics
+            .iter()
+            .map(|p| p.line)
+            .chain(f.indexes.iter().map(|ix| ix.line))
+            .any(|line| s.file_scope || s.line == line || s.line + 1 == line)
+    })
 }
 
 /// Renders diagnostics in the familiar `file:line:col` compiler style.
@@ -222,7 +295,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     s
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,416 @@
+//! `--fix`: mechanical repairs the engine can prove safe.
+//!
+//! Two fix classes, applied in order:
+//!
+//! 1. **Provable `.unwrap()`/`.expect(..)` → `?`** — only when the
+//!    panicking call's receiver is a direct call to a free fn *in the same
+//!    file* whose return type is `Result<_, E>` with the *textually
+//!    identical* error type as the enclosing fn. That is the one shape
+//!    where replacing the panic with `?` cannot change the error type or
+//!    require a `From` impl the code may not have.
+//! 2. **Stale suppression cleanup** — a full lint run is taken after the
+//!    rewrites, and every directive the engine reports as *unused*
+//!    (L0 warning) is deleted: the whole line when the comment owns the
+//!    line, else just the trailing comment.
+//!
+//! Unjustified suppressions (L0 errors) are never auto-fixed: they need a
+//! human-written reason, not deletion.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::skip_parens;
+use crate::source::{FileKind, SourceFile};
+use crate::summary::FnSummary;
+use std::path::Path;
+
+/// One applied fix, for reporting.
+#[derive(Debug)]
+pub struct Applied {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line the fix touched.
+    pub line: u32,
+    /// Human description.
+    pub what: String,
+}
+
+/// Applies all provable fixes under `root`, writing files in place.
+pub fn apply(root: &Path) -> std::io::Result<Vec<Applied>> {
+    let mut applied = Vec::new();
+
+    // Pass 1: unwrap/expect → `?` where provably safe.
+    let files = crate::collect_workspace(root)?;
+    for file in &files {
+        if file.kind != FileKind::Library {
+            continue;
+        }
+        let edits = unwrap_edits(file);
+        if edits.is_empty() {
+            continue;
+        }
+        let new_text = splice(&file.text, &edits);
+        std::fs::write(root.join(&file.rel), new_text)?;
+        for e in edits {
+            applied.push(Applied {
+                file: file.rel.clone(),
+                line: e.line,
+                what: format!("rewrote `.{}(..)` on `{}(..)` to `?`", e.what, e.callee),
+            });
+        }
+    }
+
+    // Pass 2: delete stale suppressions (re-lint over the edited tree).
+    let files = crate::collect_workspace(root)?;
+    let crates = crate::collect_crates(root)?;
+    let diags = crate::run_lint(&files, crates);
+    let mut stale: std::collections::BTreeMap<String, Vec<u32>> = std::collections::BTreeMap::new();
+    for d in &diags {
+        if d.rule == "lint-suppression" && d.message.starts_with("unused suppression") {
+            stale.entry(d.file.clone()).or_default().push(d.line);
+        }
+    }
+    for (rel, lines) in stale {
+        let Some(file) = files.iter().find(|f| f.rel == rel) else {
+            continue;
+        };
+        std::fs::write(root.join(&rel), strip_directive_lines(&file.text, &lines))?;
+        for line in lines {
+            applied.push(Applied {
+                file: rel.clone(),
+                line,
+                what: "deleted stale suppression".into(),
+            });
+        }
+    }
+
+    applied.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(applied)
+}
+
+/// A byte-range replacement.
+#[derive(Debug)]
+struct Edit {
+    start: usize,
+    end: usize,
+    line: u32,
+    what: String,
+    callee: String,
+}
+
+/// Finds provable `.unwrap()`/`.expect(..)` → `?` rewrites in one file.
+fn unwrap_edits(file: &SourceFile) -> Vec<Edit> {
+    let mut edits = Vec::new();
+    let toks = &file.tokens;
+    for s in &file.summaries {
+        if s.in_test {
+            continue;
+        }
+        let Some(err) = result_err_type(&s.ret) else {
+            continue;
+        };
+        for p in &s.panics {
+            if p.what != "unwrap" && p.what != "expect" {
+                continue;
+            }
+            if suppressed_panic_site(file, p.line) {
+                continue; // a justified suppression is a human decision
+            }
+            // Locate the method-name token, then check the receiver shape:
+            // `callee ( ... ) . unwrap ( ... )` with `callee` a plain free
+            // call (no `.`/`::` prefix).
+            let Some(ti) = toks
+                .iter()
+                .position(|t| t.line == p.line && t.col == p.col && t.is_ident(&p.what))
+            else {
+                continue;
+            };
+            if ti < 3 || !toks[ti - 1].is_punct('.') || !toks[ti - 2].is_punct(')') {
+                continue;
+            }
+            let Some(open) = matching_open_paren(toks, ti - 2) else {
+                continue;
+            };
+            if open == 0 || toks[open - 1].kind != TokKind::Ident {
+                continue;
+            }
+            let callee = &toks[open - 1];
+            if open >= 2 && (toks[open - 2].is_punct('.') || toks[open - 2].is_punct(':')) {
+                continue; // method or path-qualified call: not resolvable here
+            }
+            if !callee_returns_err(&file.summaries, &callee.text, &err) {
+                continue;
+            }
+            // Replace from the `.` through the close paren of the
+            // unwrap/expect argument list with `?`.
+            let Some(args_open) = toks.get(ti + 1).filter(|t| t.is_punct('(')) else {
+                continue;
+            };
+            let _ = args_open;
+            let close = skip_parens(toks, ti + 1, toks.len());
+            let Some(close_tok) = toks.get(close.saturating_sub(1)) else {
+                continue;
+            };
+            let Some(start) = byte_offset(&file.text, toks[ti - 1].line, toks[ti - 1].col) else {
+                continue;
+            };
+            let Some(end) = byte_offset(&file.text, close_tok.line, close_tok.col) else {
+                continue;
+            };
+            edits.push(Edit {
+                start,
+                end: end + 1,
+                line: p.line,
+                what: p.what.clone(),
+                callee: callee.text.clone(),
+            });
+        }
+    }
+    edits
+}
+
+/// `true` when a justified L5/L9 suppression covers the panic site.
+fn suppressed_panic_site(file: &SourceFile, line: u32) -> bool {
+    file.suppressions.iter().any(|s| {
+        !s.reason.is_empty()
+            && (s.covers("no-unwrap-in-library", "L5") || s.covers("panic-freedom", "L9"))
+            && (s.file_scope || s.line == line || s.line + 1 == line)
+    })
+}
+
+/// `true` when exactly the free fns named `name` in this file all return
+/// `Result<_, err>` (and at least one exists).
+fn callee_returns_err(summaries: &[FnSummary], name: &str, err: &str) -> bool {
+    let mut any = false;
+    for s in summaries {
+        if s.name != name || s.impl_type.is_some() {
+            continue;
+        }
+        any = true;
+        if result_err_type(&s.ret).as_deref() != Some(err) {
+            return false;
+        }
+    }
+    any
+}
+
+/// The error type of a normalized `Result < T , E >` return type text.
+fn result_err_type(ret: &str) -> Option<String> {
+    let toks: Vec<&str> = ret.split_whitespace().collect();
+    let pos = toks.iter().position(|t| *t == "Result")?;
+    if toks.get(pos + 1) != Some(&"<") {
+        return None;
+    }
+    // Split the angle-bracket payload at the top-level comma.
+    let mut depth = 0usize;
+    let mut i = pos + 1;
+    let mut comma = None;
+    let mut close = None;
+    while i < toks.len() {
+        match toks[i] {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            "," if depth == 1 => comma = Some(i),
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    let (comma, close) = (comma?, close?);
+    if comma + 1 >= close {
+        return None;
+    }
+    Some(toks[comma + 1..close].join(" "))
+}
+
+/// Token index of the `(` matching the `)` at `close`.
+fn matching_open_paren(toks: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut i = close;
+    loop {
+        if toks[i].is_punct(')') {
+            depth += 1;
+        } else if toks[i].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+}
+
+/// Byte offset of the (1-based) line/char-column position.
+fn byte_offset(text: &str, line: u32, col: u32) -> Option<usize> {
+    let mut offset = 0usize;
+    for (n, l) in text.split_inclusive('\n').enumerate() {
+        if n + 1 == line as usize {
+            let (idx, _) = l.char_indices().nth(col as usize - 1)?;
+            return Some(offset + idx);
+        }
+        offset += l.len();
+    }
+    None
+}
+
+/// Applies byte-range edits (replacement text `?`), back to front.
+fn splice(text: &str, edits: &[Edit]) -> String {
+    let mut out = text.to_owned();
+    let mut sorted: Vec<&Edit> = edits.iter().collect();
+    sorted.sort_by_key(|e| std::cmp::Reverse(e.start));
+    for e in sorted {
+        out.replace_range(e.start..e.end, "?");
+    }
+    out
+}
+
+/// Removes the `chipleak-lint:` directive on each listed (1-based) line:
+/// the whole line when the comment owns it, else the trailing comment.
+fn strip_directive_lines(text: &str, lines: &[u32]) -> String {
+    let mut out = String::with_capacity(text.len());
+    for (n, l) in text.split_inclusive('\n').enumerate() {
+        let line_no = (n + 1) as u32;
+        if !lines.contains(&line_no) {
+            out.push_str(l);
+            continue;
+        }
+        let Some(pos) = l.find("//") else {
+            out.push_str(l);
+            continue;
+        };
+        if l[..pos].trim().is_empty() {
+            continue; // comment owns the line: drop it entirely
+        }
+        let kept = l[..pos].trim_end();
+        out.push_str(kept);
+        if l.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("chipleak-lint-fix-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/demo/src")).unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[package]\nname = \"root\"\n").unwrap();
+        std::fs::write(
+            dir.join("crates/demo/Cargo.toml"),
+            "[package]\nname = \"demo\"\n",
+        )
+        .unwrap();
+        dir
+    }
+
+    fn lib(dir: &Path) -> std::path::PathBuf {
+        dir.join("crates/demo/src/lib.rs")
+    }
+
+    #[test]
+    fn provable_unwrap_rewritten_to_question_mark() {
+        let dir = scratch("provable");
+        let src = "\
+pub fn parse_num(s: &str) -> Result<u32, ParseError> { s.parse().map_err(|_| ParseError) }
+pub fn double(s: &str) -> Result<u32, ParseError> {
+    let v = parse_num(s).unwrap();
+    Ok(v * 2)
+}
+";
+        std::fs::write(lib(&dir), src).unwrap();
+        let applied = apply(&dir).unwrap();
+        let out = std::fs::read_to_string(lib(&dir)).unwrap();
+        assert!(out.contains("let v = parse_num(s)?;"), "{out}");
+        assert!(
+            applied.iter().any(|a| a.what.contains("unwrap")),
+            "{applied:?}"
+        );
+    }
+
+    #[test]
+    fn expect_with_message_rewritten() {
+        let dir = scratch("expect");
+        let src = "\
+pub fn load() -> Result<u32, Error> { Ok(1) }
+pub fn run() -> Result<u32, Error> {
+    let v = load().expect(\"load failed (fatal)\");
+    Ok(v)
+}
+";
+        std::fs::write(lib(&dir), src).unwrap();
+        apply(&dir).unwrap();
+        let out = std::fs::read_to_string(lib(&dir)).unwrap();
+        assert!(out.contains("let v = load()?;"), "{out}");
+    }
+
+    #[test]
+    fn mismatched_error_types_left_alone() {
+        let dir = scratch("mismatch");
+        let src = "\
+pub fn load() -> Result<u32, IoError> { Ok(1) }
+// chipleak-lint: allow(l5): scratch fixture exercising the non-fix path
+pub fn run() -> Result<u32, ParseError> { Ok(load().unwrap()) }
+";
+        std::fs::write(lib(&dir), src).unwrap();
+        apply(&dir).unwrap();
+        let out = std::fs::read_to_string(lib(&dir)).unwrap();
+        assert!(out.contains(".unwrap()"), "{out}");
+    }
+
+    #[test]
+    fn method_receivers_left_alone() {
+        let dir = scratch("method");
+        let src = "\
+// chipleak-lint: allow-file(l5, l9): scratch fixture exercising the non-fix path
+pub fn run(s: &str) -> Result<u32, Error> { Ok(s.parse::<u32>().unwrap()) }
+";
+        std::fs::write(lib(&dir), src).unwrap();
+        apply(&dir).unwrap();
+        let out = std::fs::read_to_string(lib(&dir)).unwrap();
+        assert!(out.contains(".unwrap()"), "{out}");
+    }
+
+    #[test]
+    fn stale_suppressions_deleted_own_line_and_trailing() {
+        let dir = scratch("stale");
+        let src = "\
+// chipleak-lint: allow(l5): nothing fires here any more
+pub fn clean() -> u32 { 1 }
+pub fn also_clean() -> u32 { 2 } // chipleak-lint: allow(l2): stale too
+";
+        std::fs::write(lib(&dir), src).unwrap();
+        let applied = apply(&dir).unwrap();
+        let out = std::fs::read_to_string(lib(&dir)).unwrap();
+        assert!(!out.contains("chipleak-lint"), "{out}");
+        assert!(out.contains("pub fn also_clean() -> u32 { 2 }\n"), "{out}");
+        assert_eq!(applied.len(), 2, "{applied:?}");
+    }
+
+    #[test]
+    fn err_type_extraction() {
+        assert_eq!(
+            result_err_type("Result < u32 , ParseError >").as_deref(),
+            Some("ParseError")
+        );
+        assert_eq!(
+            result_err_type("Result < Vec < f64 > , Box < dyn Error > >").as_deref(),
+            Some("Box < dyn Error >")
+        );
+        assert_eq!(result_err_type("Option < u32 >"), None);
+        assert_eq!(result_err_type("EstimatorResult"), None);
+    }
+}

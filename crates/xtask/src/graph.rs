@@ -1,0 +1,388 @@
+//! Workspace call graph over [`crate::summary::FnSummary`] nodes, with
+//! reachability queries and evidence chains for the interprocedural rules.
+//!
+//! Resolution is deliberately *over-approximating*: a call site links to
+//! every function it could plausibly name, so reachability never misses a
+//! real path (the rules' exemption lists handle the resulting noise).
+//! Name resolution is purely syntactic — no type inference:
+//!
+//! - bare `name(...)` — same-file free fns, else same-crate, else every
+//!   free fn of that name in the workspace;
+//! - `path::to::name(...)` — when a path segment names a workspace crate
+//!   (`leakage_numeric`), free fns of that crate; `crate`/`self`/`super`
+//!   paths stay in the calling crate;
+//! - `Type::name(...)` — fns inside `impl Type` blocks (any crate);
+//!   `Self::name` uses the caller's own impl type;
+//! - `.name(...)` — every impl/trait method of that name in the workspace.
+
+use crate::engine::CrateInfo;
+use crate::source::{FileKind, SourceFile};
+use crate::summary::{CallKind, FnSummary};
+use std::collections::BTreeMap;
+
+/// A node: `(file index, summary index)` into the lint run's file slice.
+pub type NodeRef = (usize, usize);
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Flat node list; the node id is the index.
+    nodes: Vec<NodeRef>,
+    /// Sorted, deduplicated callee ids per node.
+    edges: Vec<Vec<usize>>,
+    /// Crate rel-root per node (`"crates/numeric"`, `""` for the root
+    /// package).
+    crate_of: Vec<String>,
+}
+
+impl CallGraph {
+    /// Builds the graph over the library fn summaries in `files`.
+    ///
+    /// Tool/test/bench/bin files and `#[cfg(test)]` fns are excluded:
+    /// every interprocedural rule roots at and flags library code only,
+    /// and common method names (`run`, `parse`, `build`) in tooling or
+    /// test helpers would otherwise pull unrelated code into every
+    /// reachability set.
+    pub fn build(files: &[SourceFile], crates: &[CrateInfo]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut crate_of = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            if file.kind != FileKind::Library {
+                continue;
+            }
+            for (si, s) in file.summaries.iter().enumerate() {
+                if s.in_test {
+                    continue;
+                }
+                nodes.push((fi, si));
+                crate_of.push(crate_root_of(&file.rel, crates));
+            }
+        }
+        // Name tables. BTreeMap keeps candidate order deterministic.
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut assoc: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (id, &(fi, si)) in nodes.iter().enumerate() {
+            let s = &files[fi].summaries[si];
+            match &s.impl_type {
+                Some(ty) => {
+                    methods.entry(&s.name).or_default().push(id);
+                    assoc.entry((ty, &s.name)).or_default().push(id);
+                }
+                None if s.trait_name.is_some() => {
+                    // Trait default methods are callable as methods.
+                    methods.entry(&s.name).or_default().push(id);
+                }
+                None => free.entry(&s.name).or_default().push(id),
+            }
+        }
+        let crate_names: Vec<(String, &str)> = crates
+            .iter()
+            .map(|c| (c.name.replace('-', "_"), c.rel_root.as_str()))
+            .collect();
+        let mut edges = vec![Vec::new(); nodes.len()];
+        for (id, &(fi, si)) in nodes.iter().enumerate() {
+            let s = &files[fi].summaries[si];
+            let mut out = Vec::new();
+            for call in &s.calls {
+                match call.kind {
+                    CallKind::Method => {
+                        if let Some(c) = methods.get(call.name.as_str()) {
+                            out.extend_from_slice(c);
+                        }
+                    }
+                    CallKind::Assoc => {
+                        let ty = call.qual.last().map(String::as_str).unwrap_or("");
+                        let ty = if ty == "Self" {
+                            s.impl_type.as_deref().unwrap_or("")
+                        } else {
+                            ty
+                        };
+                        if let Some(c) = assoc.get(&(ty, call.name.as_str())) {
+                            out.extend_from_slice(c);
+                        }
+                    }
+                    CallKind::Free => {
+                        let candidates = free.get(call.name.as_str()).map_or(&[][..], |v| v);
+                        let target_crate: Option<&str> = if call.qual.is_empty() {
+                            None
+                        } else if matches!(call.qual[0].as_str(), "crate" | "self" | "super") {
+                            Some(&crate_of[id])
+                        } else {
+                            call.qual.iter().find_map(|seg| {
+                                crate_names
+                                    .iter()
+                                    .find(|(n, _)| n == seg)
+                                    .map(|(_, root)| *root)
+                            })
+                        };
+                        let picked: Vec<usize> = match target_crate {
+                            Some(root) => candidates
+                                .iter()
+                                .copied()
+                                .filter(|&c| crate_of[c] == root)
+                                .collect(),
+                            None => {
+                                let same_file: Vec<usize> = candidates
+                                    .iter()
+                                    .copied()
+                                    .filter(|&c| nodes[c].0 == fi)
+                                    .collect();
+                                if !same_file.is_empty() {
+                                    same_file
+                                } else {
+                                    let same_crate: Vec<usize> = candidates
+                                        .iter()
+                                        .copied()
+                                        .filter(|&c| crate_of[c] == crate_of[id])
+                                        .collect();
+                                    if !same_crate.is_empty() {
+                                        same_crate
+                                    } else {
+                                        candidates.to_vec()
+                                    }
+                                }
+                            }
+                        };
+                        // Unresolvable crate-qualified paths fall back to
+                        // every candidate rather than dropping the edge.
+                        if picked.is_empty() {
+                            out.extend_from_slice(candidates);
+                        } else {
+                            out.extend(picked);
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges[id] = out;
+        }
+        CallGraph {
+            nodes,
+            edges,
+            crate_of,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The `(file, summary)` pair of a node id.
+    pub fn node(&self, id: usize) -> NodeRef {
+        self.nodes[id]
+    }
+
+    /// All node ids with their summaries.
+    pub fn iter<'a>(
+        &'a self,
+        files: &'a [SourceFile],
+    ) -> impl Iterator<Item = (usize, &'a FnSummary)> + 'a {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(move |(id, &(fi, si))| (id, &files[fi].summaries[si]))
+    }
+
+    /// The summary of a node id.
+    pub fn summary<'a>(&self, files: &'a [SourceFile], id: usize) -> &'a FnSummary {
+        let (fi, si) = self.nodes[id];
+        &files[fi].summaries[si]
+    }
+
+    /// Workspace-relative crate root of a node id.
+    pub fn crate_of(&self, id: usize) -> &str {
+        &self.crate_of[id]
+    }
+
+    /// BFS from `roots`; the result answers membership and yields
+    /// call-chain evidence.
+    pub fn reachable(&self, roots: &[usize]) -> Reach {
+        let mut from = vec![usize::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if from[r] == usize::MAX {
+                from[r] = r;
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if from[m] == usize::MAX {
+                    from[m] = n;
+                    queue.push_back(m);
+                }
+            }
+        }
+        Reach { from }
+    }
+}
+
+/// Result of a reachability query.
+pub struct Reach {
+    /// BFS parent per node; `usize::MAX` = unreached, self = root.
+    from: Vec<usize>,
+}
+
+impl Reach {
+    /// `true` when the node is reachable from any root.
+    pub fn contains(&self, id: usize) -> bool {
+        self.from[id] != usize::MAX
+    }
+
+    /// Shortest call chain `root → … → id` (inclusive) as node ids.
+    pub fn chain(&self, id: usize) -> Vec<usize> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while self.from[cur] != cur {
+            cur = self.from[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Renders a call chain as `a → b → c` using qualified fn names.
+pub fn render_chain(graph: &CallGraph, files: &[SourceFile], chain: &[usize]) -> String {
+    chain
+        .iter()
+        .map(|&id| {
+            let (fi, si) = graph.node(id);
+            files[fi].summaries[si].qual_name()
+        })
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Maps a file path to its crate rel-root (`""` for the root package).
+fn crate_root_of(rel: &str, crates: &[CrateInfo]) -> String {
+    crates
+        .iter()
+        .filter(|c| !c.rel_root.is_empty())
+        .find(|c| rel.starts_with(&format!("{}/", c.rel_root)))
+        .map(|c| c.rel_root.clone())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn crates() -> Vec<CrateInfo> {
+        vec![
+            CrateInfo {
+                rel_root: "crates/a".into(),
+                name: "leakage-a".into(),
+                has_parallel_feature: false,
+            },
+            CrateInfo {
+                rel_root: "crates/b".into(),
+                name: "leakage-b".into(),
+                has_parallel_feature: false,
+            },
+        ]
+    }
+
+    fn parse(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel.into(), src.into(), FileKind::Library)
+    }
+
+    fn find(graph: &CallGraph, files: &[SourceFile], name: &str) -> usize {
+        graph
+            .iter(files)
+            .find(|(_, s)| s.name == name)
+            .map(|(id, _)| id)
+            .expect(name)
+    }
+
+    #[test]
+    fn same_file_call_preferred_over_cross_crate() {
+        let files = vec![
+            parse(
+                "crates/a/src/lib.rs",
+                "pub fn entry() { helper(); }\nfn helper() {}\n",
+            ),
+            parse(
+                "crates/b/src/lib.rs",
+                "pub fn helper() { Instant::now(); }\n",
+            ),
+        ];
+        let g = CallGraph::build(&files, &crates());
+        let entry = find(&g, &files, "entry");
+        let local = g
+            .iter(&files)
+            .find(|(id, s)| s.name == "helper" && g.node(*id).0 == 0)
+            .unwrap()
+            .0;
+        let reach = g.reachable(&[entry]);
+        assert!(reach.contains(local));
+        let remote = g
+            .iter(&files)
+            .find(|(id, s)| s.name == "helper" && g.node(*id).0 == 1)
+            .unwrap()
+            .0;
+        assert!(!reach.contains(remote));
+    }
+
+    #[test]
+    fn crate_qualified_call_crosses_crates() {
+        let files = vec![
+            parse(
+                "crates/a/src/lib.rs",
+                "pub fn entry() { leakage_b::helper(); }\n",
+            ),
+            parse("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ];
+        let g = CallGraph::build(&files, &crates());
+        let reach = g.reachable(&[find(&g, &files, "entry")]);
+        assert!(reach.contains(find(&g, &files, "helper")));
+    }
+
+    #[test]
+    fn method_and_assoc_calls_resolve() {
+        let files = vec![parse(
+            "crates/a/src/lib.rs",
+            "pub struct S;\n\
+             impl S {\n  pub fn new() -> S { S }\n  pub fn work(&self) { deep(); }\n}\n\
+             fn deep() {}\n\
+             pub fn entry() { let s = S::new(); s.work(); }\n",
+        )];
+        let g = CallGraph::build(&files, &crates());
+        let reach = g.reachable(&[find(&g, &files, "entry")]);
+        assert!(reach.contains(find(&g, &files, "new")));
+        assert!(reach.contains(find(&g, &files, "work")));
+        assert!(reach.contains(find(&g, &files, "deep")));
+    }
+
+    #[test]
+    fn chain_reports_path() {
+        let files = vec![parse(
+            "crates/a/src/lib.rs",
+            "pub fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )];
+        let g = CallGraph::build(&files, &crates());
+        let reach = g.reachable(&[find(&g, &files, "a")]);
+        let chain = reach.chain(find(&g, &files, "c"));
+        assert_eq!(render_chain(&g, &files, &chain), "a -> b -> c");
+    }
+
+    #[test]
+    fn unrelated_fns_not_reachable() {
+        let files = vec![parse(
+            "crates/a/src/lib.rs",
+            "pub fn a() {}\nfn other() { Instant::now(); }\n",
+        )];
+        let g = CallGraph::build(&files, &crates());
+        let reach = g.reachable(&[find(&g, &files, "a")]);
+        assert!(!reach.contains(find(&g, &files, "other")));
+    }
+}

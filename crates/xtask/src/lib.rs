@@ -23,10 +23,17 @@
 //! same trade rustc's `tidy` makes). Rules are written so that a future
 //! swap to a full AST visitor only has to reimplement the `Rule` trait.
 
+pub mod cache;
 pub mod engine;
+pub mod fix;
+pub mod graph;
+pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod summary;
 
 use engine::{Context, CrateInfo, Diagnostic};
 use source::{FileKind, SourceFile};
@@ -88,6 +95,7 @@ pub fn collect_crates(root: &Path) -> std::io::Result<Vec<CrateInfo>> {
         let text = std::fs::read_to_string(&manifest)?;
         crates.push(CrateInfo {
             rel_root,
+            name: manifest_package_name(&text),
             has_parallel_feature: manifest_has_parallel_feature(&text),
         });
     }
@@ -111,11 +119,65 @@ fn manifest_has_parallel_feature(manifest: &str) -> bool {
     false
 }
 
+/// The `[package] name = "..."` value (empty when absent).
+fn manifest_package_name(manifest: &str) -> String {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    return v.trim().trim_matches(['"', '\'']).to_owned();
+                }
+            }
+        }
+    }
+    String::new()
+}
+
 /// Runs every registered rule over `files` and returns the surviving
 /// (post-suppression) diagnostics.
 pub fn run_lint(files: &[SourceFile], crates: Vec<CrateInfo>) -> Vec<Diagnostic> {
     let ctx = Context { crates };
     engine::run(&rules::registry(), files, &ctx)
+}
+
+/// [`run_lint`], replaying unchanged files' file-rule diagnostics from the
+/// incremental cache at `cache_path` (and refreshing it). Suppression
+/// matching and the workspace rules (L8–L11) always run fresh.
+pub fn run_lint_cached(
+    files: &[SourceFile],
+    crates: Vec<CrateInfo>,
+    cache_path: &Path,
+) -> Vec<Diagnostic> {
+    let rules = rules::registry();
+    let ctx = Context { crates };
+    let fp = cache::fingerprint(&rules, &ctx.crates);
+    let cached = cache::load(cache_path, &fp, &rules);
+    let mut next = std::collections::BTreeMap::new();
+    let mut file_diags = Vec::with_capacity(files.len());
+    for f in files {
+        let hash = cache::hash_text(&f.text);
+        let diags = match cached.get(&f.rel) {
+            Some(e) if e.hash == hash => e.diags.clone(),
+            _ => engine::file_rule_diags(&rules, f, &ctx),
+        };
+        next.insert(
+            f.rel.clone(),
+            cache::Entry {
+                hash,
+                diags: diags.clone(),
+            },
+        );
+        file_diags.push(diags);
+    }
+    cache::save(cache_path, &fp, &next);
+    engine::run_with_file_diags(&rules, files, &ctx, file_diags)
 }
 
 fn relative_unix(root: &Path, path: &Path) -> String {

@@ -1,7 +1,8 @@
 //! `cargo xtask` — workspace automation entry point.
 //!
 //! Subcommands:
-//! - `lint [--json] [--root PATH]` — run chipleak-lint over the workspace.
+//! - `lint [--format human|json|sarif] [--fix] [--no-cache] [--root PATH]`
+//!   — run chipleak-lint over the workspace.
 //! - `rules` — list the registered rules.
 //!
 //! Exit codes: 0 clean, 1 lint errors found, 2 usage or I/O failure.
@@ -31,17 +32,47 @@ const USAGE: &str = "\
 usage: cargo xtask <subcommand>
 
 subcommands:
-  lint [--json] [--root PATH]   run chipleak-lint over the workspace
-  rules                         list registered lint rules
+  lint [flags]   run chipleak-lint over the workspace
+  rules          list registered lint rules
+
+lint flags:
+  --format <human|json|sarif>  output format (default: human)
+  --json                       shorthand for --format json
+  --sarif                      shorthand for --format sarif
+  --fix                        apply provable fixes (stale suppressions,
+                               unwrap/expect -> ? rewrites), then lint
+  --no-cache                   skip the incremental cache
+  --root PATH                  lint a different workspace root
 ";
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
+    let mut fix = false;
+    let mut no_cache = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--sarif" => format = Format::Sarif,
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!("xtask: --format requires one of human|json|sarif, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fix" => fix = true,
+            "--no-cache" => no_cache = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -62,6 +93,21 @@ fn lint(args: &[String]) -> ExitCode {
             .join("..")
     });
 
+    if fix {
+        match xtask::fix::apply(&root) {
+            Ok(applied) => {
+                for a in &applied {
+                    eprintln!("fixed {}:{}: {}", a.file, a.line, a.what);
+                }
+                eprintln!("chipleak-lint: {} fix(es) applied", applied.len());
+            }
+            Err(e) => {
+                eprintln!("xtask: --fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let (files, crates) = match (
         xtask::collect_workspace(&root),
         xtask::collect_crates(&root),
@@ -72,11 +118,19 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags = xtask::run_lint(&files, crates);
-    if json {
-        print!("{}", render_json(&diags));
+    let diags = if no_cache {
+        xtask::run_lint(&files, crates)
     } else {
-        print!("{}", render_human(&diags));
+        let cache_path = root.join("target").join("chipleak-lint-cache.json");
+        xtask::run_lint_cached(&files, crates, &cache_path)
+    };
+    match format {
+        Format::Json => print!("{}", render_json(&diags)),
+        Format::Sarif => print!(
+            "{}",
+            xtask::sarif::render(&xtask::rules::registry(), &diags)
+        ),
+        Format::Human => print!("{}", render_human(&diags)),
     }
     let errors = diags.iter().any(|d| d.severity == Severity::Error);
     ExitCode::from(u8::from(errors))

@@ -1,0 +1,947 @@
+//! Lossless item parser over the token stream.
+//!
+//! [`parse`] turns the flat [`crate::lexer`] token stream into an item
+//! tree — `fn` items with parsed signatures, `mod`/`impl`/`trait` blocks
+//! with their children, and opaque `Other` items for everything else
+//! (structs, uses, consts, macro definitions). The parse is *lossless*:
+//! the token spans of the items tile their parent range exactly, so the
+//! original token stream can be reconstructed from the tree
+//! ([`reconstruct`] — pinned by a proptest in `tests/parse_roundtrip.rs`).
+//! Interprocedural rules never re-scan raw tokens; they consume the
+//! [`crate::summary::FnSummary`] facts extracted from this tree.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Exclusive token index range `[start, end)`.
+pub type TokSpan = (usize, usize);
+
+/// One parsed item.
+#[derive(Debug)]
+pub struct Item {
+    /// Token range of the whole item, attributes included.
+    pub span: TokSpan,
+    /// What the item is.
+    pub kind: ItemKind,
+}
+
+/// Item payload.
+#[derive(Debug)]
+pub enum ItemKind {
+    /// A `fn` item (free, method, or trait default/declaration).
+    Fn(FnDef),
+    /// Inline module with a body: `mod name { ... }`.
+    Mod {
+        /// Module name.
+        name: String,
+        /// Child items, tiling the body between the braces.
+        items: Vec<Item>,
+        /// Token range of the `{ ... }` body including braces.
+        body: TokSpan,
+    },
+    /// `impl [Trait for] Type` block.
+    Impl {
+        /// Self type name (first type ident after `for`, or after `impl`).
+        type_name: String,
+        /// Trait name when this is a trait impl.
+        trait_name: Option<String>,
+        /// Child items, tiling the body between the braces.
+        items: Vec<Item>,
+        /// Token range of the `{ ... }` body including braces.
+        body: TokSpan,
+    },
+    /// `trait Name { ... }` definition.
+    Trait {
+        /// Trait name.
+        name: String,
+        /// Child items, tiling the body between the braces.
+        items: Vec<Item>,
+        /// Token range of the `{ ... }` body including braces.
+        body: TokSpan,
+    },
+    /// Anything else (struct, enum, use, const, static, type, macro
+    /// definition/invocation, extern block, stray tokens).
+    Other,
+}
+
+/// One parameter of a `fn` signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Binding name (best effort: last ident of the pattern; `self` for
+    /// receivers; `_` patterns yield `_`).
+    pub name: String,
+    /// Normalized type text (tokens joined by single spaces); for `self`
+    /// receivers this is the receiver form (`self`, `& self`, `& mut self`).
+    pub ty: String,
+}
+
+/// A parsed `fn` item.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// `true` for any `pub` visibility.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range from the first attribute/visibility token to the body
+    /// open brace (exclusive) or terminating `;`.
+    pub sig_span: TokSpan,
+    /// Token range of the body including braces (`None` for declarations).
+    pub body_span: Option<TokSpan>,
+    /// Declared generic parameter names (idents introduced by `<...>`).
+    pub generics: Vec<String>,
+    /// Parsed parameters in order.
+    pub params: Vec<Param>,
+    /// Normalized return type text (empty for `()`-returning fns).
+    pub ret: String,
+}
+
+/// Parses a token stream into an item tree covering `0..tokens.len()`.
+pub fn parse(tokens: &[Tok]) -> Vec<Item> {
+    let mut p = Parser { toks: tokens };
+    p.items(0, tokens.len())
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+}
+
+impl<'a> Parser<'a> {
+    /// Parses the item sequence tiling `[start, end)`.
+    fn items(&mut self, start: usize, end: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        let mut i = start;
+        let mut other_start: Option<usize> = None;
+        while i < end {
+            let item_start = i;
+            // Attributes belong to the item that follows.
+            let mut j = i;
+            while j + 1 < end
+                && self.toks[j].is_punct('#')
+                && (self.toks[j + 1].is_punct('[')
+                    || (self.toks[j + 1].is_punct('!')
+                        && j + 2 < end
+                        && self.toks[j + 2].is_punct('[')))
+            {
+                let open = if self.toks[j + 1].is_punct('[') {
+                    j + 1
+                } else {
+                    j + 2
+                };
+                j = skip_brackets(self.toks, open, end);
+            }
+            // Header modifiers before an item keyword.
+            let mut k = j;
+            while let Some(t) = self.toks.get(k).filter(|_| k < end) {
+                if t.is_ident("pub") {
+                    k += 1;
+                    if self
+                        .toks
+                        .get(k)
+                        .filter(|_| k < end)
+                        .is_some_and(|u| u.is_punct('('))
+                    {
+                        k = skip_parens(self.toks, k, end);
+                    }
+                    continue;
+                }
+                if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "const" | "unsafe" | "async" | "default")
+                {
+                    // `const fn` / `const NAME: ...` both start with `const`;
+                    // only continue when an item keyword can still follow.
+                    if self
+                        .toks
+                        .get(k + 1)
+                        .filter(|_| k + 1 < end)
+                        .is_some_and(|u| {
+                            u.is_ident("fn")
+                                || u.is_ident("unsafe")
+                                || u.is_ident("extern")
+                                || u.is_ident("async")
+                        })
+                    {
+                        k += 1;
+                        continue;
+                    }
+                    break;
+                }
+                if t.is_ident("extern")
+                    && self
+                        .toks
+                        .get(k + 1)
+                        .filter(|_| k + 1 < end)
+                        .is_some_and(|u| u.kind == TokKind::Literal)
+                    && self
+                        .toks
+                        .get(k + 2)
+                        .filter(|_| k + 2 < end)
+                        .is_some_and(|u| u.is_ident("fn"))
+                {
+                    k += 2;
+                    continue;
+                }
+                break;
+            }
+            let keyword = self.toks.get(k).filter(|_| k < end);
+            let parsed: Option<(usize, ItemKind)> = match keyword {
+                Some(t) if t.is_ident("fn") => self.parse_fn(item_start, k, end),
+                Some(t) if t.is_ident("mod") => self.parse_mod(k, end),
+                Some(t) if t.is_ident("impl") => self.parse_impl(k, end),
+                Some(t) if t.is_ident("trait") => self.parse_trait(k, end),
+                _ => None,
+            };
+            match parsed {
+                Some((next, kind)) => {
+                    if let Some(os) = other_start.take() {
+                        out.push(Item {
+                            span: (os, item_start),
+                            kind: ItemKind::Other,
+                        });
+                    }
+                    out.push(Item {
+                        span: (item_start, next),
+                        kind,
+                    });
+                    i = next;
+                }
+                None => {
+                    // Not a recognized item: absorb tokens until the next
+                    // plausible item boundary into an Other run.
+                    if other_start.is_none() {
+                        other_start = Some(item_start);
+                    }
+                    i = self.skip_other(item_start, end);
+                }
+            }
+        }
+        if let Some(os) = other_start {
+            out.push(Item {
+                span: (os, end),
+                kind: ItemKind::Other,
+            });
+        }
+        out
+    }
+
+    /// Consumes one unrecognized construct: a `;`-terminated run or a
+    /// braced block (struct/enum/macro body), whichever comes first.
+    fn skip_other(&self, start: usize, end: usize) -> usize {
+        let mut i = start;
+        // Leading attribute on the unrecognized item.
+        while i + 1 < end
+            && self.toks[i].is_punct('#')
+            && (self.toks[i + 1].is_punct('[')
+                || (self.toks[i + 1].is_punct('!')
+                    && i + 2 < end
+                    && self.toks[i + 2].is_punct('[')))
+        {
+            let open = if self.toks[i + 1].is_punct('[') {
+                i + 1
+            } else {
+                i + 2
+            };
+            i = skip_brackets(self.toks, open, end);
+        }
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+                return skip_braces(self.toks, i, end);
+            } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+                return i + 1;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    fn parse_fn(
+        &mut self,
+        item_start: usize,
+        fn_kw: usize,
+        end: usize,
+    ) -> Option<(usize, ItemKind)> {
+        let name_tok = self.toks.get(fn_kw + 1).filter(|_| fn_kw + 1 < end)?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        // Find the signature end: body `{` or declaration `;` at paren and
+        // bracket depth 0 (generics/where clauses never contain braces;
+        // the bracket depth keeps `-> [f64; 2]` from ending the scan).
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut i = fn_kw + 1;
+        let (sig_end, body_span) = loop {
+            if i >= end {
+                break (end, None);
+            }
+            let t = &self.toks[i];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+                break (i, Some((i, skip_braces(self.toks, i, end))));
+            } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+                break (i + 1, None);
+            }
+            i += 1;
+        };
+        let next = body_span.map_or(sig_end, |(_, b)| b);
+        let sig_close = body_span.map_or(sig_end, |(a, _)| a);
+        let generics = generic_params(self.toks, fn_kw + 2, sig_close);
+        let params = params_in(self.toks, fn_kw + 2, sig_close);
+        let ret = return_type(self.toks, fn_kw + 2, sig_close);
+        let is_pub = self.toks[item_start..fn_kw]
+            .iter()
+            .any(|t| t.is_ident("pub"));
+        Some((
+            next,
+            ItemKind::Fn(FnDef {
+                name: name_tok.text.clone(),
+                is_pub,
+                line: self.toks[fn_kw].line,
+                sig_span: (item_start, sig_close),
+                body_span,
+                generics,
+                params,
+                ret,
+            }),
+        ))
+    }
+
+    fn parse_mod(&mut self, mod_kw: usize, end: usize) -> Option<(usize, ItemKind)> {
+        let name_tok = self.toks.get(mod_kw + 1).filter(|_| mod_kw + 1 < end)?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let after = self.toks.get(mod_kw + 2).filter(|_| mod_kw + 2 < end)?;
+        if !after.is_punct('{') {
+            return None; // `mod name;` is an Other item
+        }
+        let open = mod_kw + 2;
+        let close = skip_braces(self.toks, open, end);
+        let items = self.items(open + 1, close.saturating_sub(1).max(open + 1));
+        Some((
+            close,
+            ItemKind::Mod {
+                name: name_tok.text.clone(),
+                items,
+                body: (open, close),
+            },
+        ))
+    }
+
+    fn parse_impl(&mut self, impl_kw: usize, end: usize) -> Option<(usize, ItemKind)> {
+        // Header runs to the body `{` (or `;` — never valid, bail).
+        let mut i = impl_kw + 1;
+        let mut angle = 0isize;
+        let mut for_at: Option<usize> = None;
+        let open = loop {
+            if i >= end {
+                return None;
+            }
+            let t = &self.toks[i];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !(i > 0 && self.toks[i - 1].is_punct('-')) {
+                angle -= 1;
+            } else if t.is_ident("for") && angle == 0 {
+                for_at = Some(i);
+            } else if t.is_punct('{') && angle <= 0 {
+                break i;
+            } else if t.is_punct(';') && angle <= 0 {
+                return None;
+            }
+            i += 1;
+        };
+        let type_name = first_type_ident(self.toks, for_at.map_or(impl_kw + 1, |f| f + 1), open)
+            .unwrap_or_default();
+        let trait_name = for_at
+            .and_then(|f| first_type_ident(self.toks, impl_kw + 1, f))
+            .filter(|_| for_at.is_some());
+        let close = skip_braces(self.toks, open, end);
+        let items = self.items(open + 1, close.saturating_sub(1).max(open + 1));
+        Some((
+            close,
+            ItemKind::Impl {
+                type_name,
+                trait_name,
+                items,
+                body: (open, close),
+            },
+        ))
+    }
+
+    fn parse_trait(&mut self, trait_kw: usize, end: usize) -> Option<(usize, ItemKind)> {
+        let name_tok = self.toks.get(trait_kw + 1).filter(|_| trait_kw + 1 < end)?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let mut i = trait_kw + 2;
+        let open = loop {
+            if i >= end {
+                return None;
+            }
+            let t = &self.toks[i];
+            if t.is_punct('{') {
+                break i;
+            }
+            if t.is_punct(';') {
+                return None; // `trait X: Y;` — not a body
+            }
+            i += 1;
+        };
+        let close = skip_braces(self.toks, open, end);
+        let items = self.items(open + 1, close.saturating_sub(1).max(open + 1));
+        Some((
+            close,
+            ItemKind::Trait {
+                name: name_tok.text.clone(),
+                items,
+                body: (open, close),
+            },
+        ))
+    }
+}
+
+/// First ident in `[start, end)` that names a type: skips `&`, lifetimes,
+/// `mut`, `dyn`, and leading path segments end at the *last* path ident
+/// (`crate::module::Type` → `Type`).
+fn first_type_ident(toks: &[Tok], start: usize, end: usize) -> Option<String> {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            // Skip a whole generic list (`impl<C: Clock> Estimator<C>`
+            // must not pick up `C`).
+            let mut depth = 0isize;
+            while i < end {
+                if toks[i].is_punct('<') {
+                    depth += 1;
+                } else if toks[i].is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct('&') || t.kind == TokKind::Lifetime || t.is_ident("mut") || t.is_ident("dyn")
+        {
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            // Follow the path to its final segment.
+            let mut j = i;
+            while j + 3 < end
+                && toks[j + 1].is_punct(':')
+                && toks[j + 2].is_punct(':')
+                && toks[j + 3].kind == TokKind::Ident
+            {
+                j += 3;
+            }
+            return Some(toks[j].text.clone());
+        }
+        return None;
+    }
+    None
+}
+
+/// Declared generic parameter names of a fn signature: idents introduced
+/// in the top-level `<...>` directly after the fn name (type and const
+/// params; lifetimes excluded).
+fn generic_params(toks: &[Tok], start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(first) = toks.get(start).filter(|_| start < end) else {
+        return out;
+    };
+    if !first.is_punct('<') {
+        return out;
+    }
+    let mut depth = 0isize;
+    let mut expecting = true; // at a `<` or `,` of the outermost list
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            depth += 1;
+            expecting = depth == 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_punct(',') && depth == 1 {
+            expecting = true;
+        } else if expecting && t.kind == TokKind::Ident && depth == 1 {
+            if t.is_ident("const") {
+                // `const N: usize` — the name is next.
+            } else {
+                out.push(t.text.clone());
+                expecting = false;
+            }
+        } else if expecting && t.kind == TokKind::Lifetime {
+            expecting = false;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the parameter list of the fn whose signature occupies
+/// `[start, end)`: finds the top-level parens and splits at depth-0 commas.
+fn params_in(toks: &[Tok], start: usize, end: usize) -> Vec<Param> {
+    // Locate the param-list `(` — the first `(` at angle depth 0.
+    let mut angle = 0isize;
+    let mut open = None;
+    for (i, t) in toks.iter().enumerate().take(end).skip(start) {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            angle -= 1;
+        } else if t.is_punct('(') && angle <= 0 {
+            open = Some(i);
+            break;
+        }
+    }
+    let Some(open) = open else { return Vec::new() };
+    let close = skip_parens(toks, open, end).saturating_sub(1);
+    let mut params = Vec::new();
+    let mut depth = 0isize;
+    let mut angle = 0isize;
+    let mut seg_start = open + 1;
+    let mut i = open + 1;
+    while i <= close {
+        let at_end = i == close;
+        let t = &toks[i];
+        if !at_end {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+                angle -= 1;
+            }
+        }
+        if at_end || (t.is_punct(',') && depth == 0 && angle <= 0) {
+            if seg_start < i {
+                if let Some(p) = parse_param(toks, seg_start, i) {
+                    params.push(p);
+                }
+            }
+            seg_start = i + 1;
+        }
+        i += 1;
+    }
+    params
+}
+
+/// One `pattern: Type` segment (or a bare `self` receiver).
+fn parse_param(toks: &[Tok], start: usize, end: usize) -> Option<Param> {
+    // `self` receivers: `self`, `&self`, `&mut self`, `mut self`.
+    let names_self = toks[start..end].iter().any(|t| t.is_ident("self"));
+    // Split at the first top-level `:` (skipping `::`).
+    let mut depth = 0isize;
+    let mut colon = None;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')')
+            || t.is_punct(']')
+            // A `>` closes a generic group unless it is the `->` arrow.
+            || (t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')))
+        {
+            depth -= 1;
+        } else if t.is_punct(':') && depth == 0 {
+            if toks.get(i + 1).is_some_and(|u| u.is_punct(':')) {
+                i += 2;
+                continue;
+            }
+            colon = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    match colon {
+        Some(c) => {
+            let name = toks[start..c]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident || t.is_punct('_'))
+                .map(|t| t.text.clone())
+                .unwrap_or_else(|| "_".into());
+            Some(Param {
+                name,
+                ty: join(&toks[c + 1..end]),
+            })
+        }
+        None if names_self => Some(Param {
+            name: "self".into(),
+            ty: join(&toks[start..end]),
+        }),
+        None => None,
+    }
+}
+
+/// Normalized return type text: tokens between `->` (at paren/angle depth
+/// 0, after the param list) and the `where` clause / signature end.
+fn return_type(toks: &[Tok], start: usize, end: usize) -> String {
+    // Find the param-list close first so `-> f64` inside `Fn(f64) -> f64`
+    // generic bounds is not mistaken for the fn's own return arrow.
+    let mut angle = 0isize;
+    let mut open = None;
+    for (i, t) in toks.iter().enumerate().take(end).skip(start) {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            angle -= 1;
+        } else if t.is_punct('(') && angle <= 0 {
+            open = Some(i);
+            break;
+        }
+    }
+    let Some(open) = open else {
+        return String::new();
+    };
+    let after = skip_parens(toks, open, end);
+    let mut i = after;
+    while i + 1 < end {
+        if toks[i].is_punct('-') && toks[i + 1].is_punct('>') {
+            let mut j = i + 2;
+            while j < end && !toks[j].is_ident("where") {
+                j += 1;
+            }
+            return join(&toks[i + 2..j]);
+        }
+        i += 1;
+    }
+    String::new()
+}
+
+/// Joins token texts with single spaces (the normalized type rendering).
+pub fn join(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+/// Index just past a balanced `[...]`, bounded by `end`.
+fn skip_brackets(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Index just past a balanced `(...)`, bounded by `end`.
+pub fn skip_parens(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Index just past a balanced `{...}`, bounded by `end`.
+pub fn skip_braces(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Flattens the item tree back into the covered token index sequence.
+/// Losslessness means this equals `0..tokens_len` exactly; the proptest
+/// in `tests/parse_roundtrip.rs` pins that for arbitrary sources.
+pub fn reconstruct(items: &[Item]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for item in items {
+        reconstruct_item(item, &mut out);
+    }
+    out
+}
+
+fn reconstruct_item(item: &Item, out: &mut Vec<usize>) {
+    match &item.kind {
+        ItemKind::Fn(_) | ItemKind::Other => out.extend(item.span.0..item.span.1),
+        ItemKind::Mod { items, body, .. }
+        | ItemKind::Impl { items, body, .. }
+        | ItemKind::Trait { items, body, .. } => {
+            // Header + open brace, children, close brace.
+            out.extend(item.span.0..=body.0);
+            for child in items {
+                reconstruct_item(child, out);
+            }
+            // Any trailing tokens between the last child and the close
+            // brace were absorbed by the children (items() tiles the body
+            // range completely), so only the close brace remains.
+            out.extend(body.1.saturating_sub(1)..item.span.1);
+        }
+    }
+}
+
+/// Depth-first visit of every `FnDef` with its enclosing module path and
+/// impl/trait context.
+pub fn visit_fns<'t>(items: &'t [Item], f: &mut dyn FnMut(FnCtx<'t>)) {
+    let mut modules = Vec::new();
+    visit(items, &mut modules, None, None, f);
+}
+
+/// Context handed to [`visit_fns`] callbacks.
+pub struct FnCtx<'t> {
+    /// The fn item.
+    pub def: &'t FnDef,
+    /// Inline-module path from the file root.
+    pub modules: Vec<String>,
+    /// Enclosing `impl` self-type name, when inside an impl.
+    pub impl_type: Option<&'t str>,
+    /// Enclosing trait name: `impl Trait for` name or `trait` definition.
+    pub trait_name: Option<&'t str>,
+}
+
+fn visit<'t>(
+    items: &'t [Item],
+    modules: &mut Vec<String>,
+    impl_type: Option<&'t str>,
+    trait_name: Option<&'t str>,
+    f: &mut dyn FnMut(FnCtx<'t>),
+) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(def) => f(FnCtx {
+                def,
+                modules: modules.clone(),
+                impl_type,
+                trait_name,
+            }),
+            ItemKind::Mod { name, items, .. } => {
+                modules.push(name.clone());
+                visit(items, modules, impl_type, trait_name, f);
+                modules.pop();
+            }
+            ItemKind::Impl {
+                type_name,
+                trait_name: tn,
+                items,
+                ..
+            } => visit(items, modules, Some(type_name), tn.as_deref(), f),
+            ItemKind::Trait { name, items, .. } => visit(items, modules, impl_type, Some(name), f),
+            ItemKind::Other => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<(String, Vec<Param>, String)> {
+        let toks = lex(src).tokens;
+        let items = parse(&toks);
+        let mut out = Vec::new();
+        visit_fns(&items, &mut |ctx| {
+            out.push((
+                ctx.def.name.clone(),
+                ctx.def.params.clone(),
+                ctx.def.ret.clone(),
+            ))
+        });
+        out
+    }
+
+    #[test]
+    fn parses_free_fn_signature() {
+        let got = fns("pub fn f(xs: &[f64], n: usize) -> Result<f64, E> { xs[n] }\n");
+        assert_eq!(got.len(), 1);
+        let (name, params, ret) = &got[0];
+        assert_eq!(name, "f");
+        assert_eq!(
+            params[0],
+            Param {
+                name: "xs".into(),
+                ty: "& [ f64 ]".into()
+            }
+        );
+        assert_eq!(
+            params[1],
+            Param {
+                name: "n".into(),
+                ty: "usize".into()
+            }
+        );
+        assert_eq!(ret, "Result < f64 , E >");
+    }
+
+    #[test]
+    fn fn_arg_generics_do_not_leak_into_return_type() {
+        let got = fns("fn g<R: Fn(f64) -> f64>(r: R) -> f64 { r(0.0) }\n");
+        assert_eq!(got[0].2, "f64");
+        assert_eq!(
+            got[0].1,
+            vec![Param {
+                name: "r".into(),
+                ty: "R".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn impl_and_trait_context_resolved() {
+        let src = "impl Clock for WallClock { fn now(&self) -> u64 { 0 } }\n\
+                   impl Grid { pub fn len(&self) -> usize { 0 } }\n\
+                   trait Sampler { fn sample(&self); }\n";
+        let toks = lex(src).tokens;
+        let items = parse(&toks);
+        let mut got = Vec::new();
+        visit_fns(&items, &mut |ctx| {
+            got.push((
+                ctx.def.name.clone(),
+                ctx.impl_type.map(str::to_owned),
+                ctx.trait_name.map(str::to_owned),
+            ))
+        });
+        assert_eq!(
+            got,
+            [
+                ("now".into(), Some("WallClock".into()), Some("Clock".into())),
+                ("len".into(), Some("Grid".into()), None),
+                ("sample".into(), None, Some("Sampler".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_modules_tracked() {
+        let src = "mod outer { mod inner { fn deep() {} } fn shallow() {} }\n";
+        let toks = lex(src).tokens;
+        let items = parse(&toks);
+        let mut got = Vec::new();
+        visit_fns(&items, &mut |ctx| {
+            got.push((ctx.def.name.clone(), ctx.modules.clone()))
+        });
+        assert_eq!(
+            got,
+            [
+                ("deep".into(), vec!["outer".into(), "inner".into()]),
+                ("shallow".into(), vec!["outer".into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn reconstruction_tiles_mixed_items() {
+        let src = "use std::fmt;\n\
+                   pub struct S { x: f64 }\n\
+                   #[derive(Debug)]\nenum E { A, B }\n\
+                   impl S { fn get(&self) -> f64 { self.x } }\n\
+                   mod m { pub fn f() {} }\n\
+                   const N: usize = 3;\n\
+                   macro_rules! mac { () => {} }\n\
+                   trait T { fn d(&self) {} }\n\
+                   fn tail() -> u8 { 7 }\n";
+        let toks = lex(src).tokens;
+        let items = parse(&toks);
+        let covered = reconstruct(&items);
+        assert_eq!(covered, (0..toks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn self_receivers_parsed() {
+        let got = fns("impl S { fn a(&mut self, k: u32) {} fn b(self) {} }\n");
+        assert_eq!(
+            got[0].1[0],
+            Param {
+                name: "self".into(),
+                ty: "& mut self".into()
+            }
+        );
+        assert_eq!(
+            got[0].1[1],
+            Param {
+                name: "k".into(),
+                ty: "u32".into()
+            }
+        );
+        assert_eq!(
+            got[1].1[0],
+            Param {
+                name: "self".into(),
+                ty: "self".into()
+            }
+        );
+    }
+
+    #[test]
+    fn generic_param_names_collected() {
+        let src = "fn f<C: SpatialCorrelation, const N: usize, R>(c: C, r: R) {}\n";
+        let toks = lex(src).tokens;
+        let items = parse(&toks);
+        let mut generics = Vec::new();
+        visit_fns(&items, &mut |ctx| generics = ctx.def.generics.clone());
+        assert_eq!(generics, ["C", "N", "R"]);
+    }
+
+    #[test]
+    fn where_clause_excluded_from_return_type() {
+        let got = fns("fn f<T>(x: T) -> Vec<T> where T: Clone { vec![x] }\n");
+        assert_eq!(got[0].2, "Vec < T >");
+    }
+}

@@ -1,0 +1,160 @@
+//! L10 `merge-order`: interprocedural upgrade of L3. L3 polices naive
+//! accumulation inside the estimator stack's own files; L10 follows the
+//! call graph from every `parallel`-gated entry point (a fn taking a
+//! `Parallelism` or living inside a `#[cfg(feature = "parallel")]`
+//! extent) and flags bare `f64` accumulation loops in *any* reachable
+//! library fn. A chunk whose partial sums are folded with a bare `+=`
+//! makes the merged result depend on chunk boundaries and thread count —
+//! exactly the nondeterminism the fixed-order Kahan merges exist to kill.
+//!
+//! Exemptions: the compensation implementations themselves
+//! (`kahan*`/`neumaier*` fns), and sites already inside L3's scope (the
+//! estimator stack + `stats.rs`), which L3 reports with its sharper
+//! message — one site, one rule.
+
+use crate::engine::{Diagnostic, Rule, Severity, Workspace};
+
+/// The L10 rule.
+pub struct MergeOrder;
+
+/// L3's file scope — those sites are L3's business, not L10's.
+fn in_l3_scope(rel: &str) -> bool {
+    rel == "crates/numeric/src/stats.rs" || rel.starts_with("crates/core/src/estimator/")
+}
+
+impl Rule for MergeOrder {
+    fn id(&self) -> &'static str {
+        "merge-order"
+    }
+
+    fn code(&self) -> &'static str {
+        "L10"
+    }
+
+    fn description(&self) -> &'static str {
+        "f64 accumulation loops reachable from parallel-gated callers must route \
+         through KahanSum or a fixed-order merge"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+        let roots: Vec<usize> = ws
+            .graph
+            .iter(ws.files)
+            .filter(|(_, s)| s.parallel_gated && !s.in_test)
+            .map(|(id, _)| id)
+            .collect();
+        if roots.is_empty() {
+            return;
+        }
+        let reach = ws.graph.reachable(&roots);
+        for (id, s) in ws.graph.iter(ws.files) {
+            if s.accums.is_empty() || !reach.contains(id) || s.in_test {
+                continue;
+            }
+            if s.name.contains("kahan") || s.name.contains("neumaier") {
+                continue;
+            }
+            let (fi, _) = ws.graph.node(id);
+            let file = &ws.files[fi];
+            if file.kind != crate::source::FileKind::Library || in_l3_scope(&file.rel) {
+                continue;
+            }
+            let chain = reach.chain(id);
+            let chain_str = crate::graph::render_chain(&ws.graph, ws.files, &chain);
+            for a in &s.accums {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: a.line,
+                    col: a.col,
+                    message: format!(
+                        "bare `{} +=` accumulation is reachable from a parallel-gated \
+                         caller via {chain_str}",
+                        a.var
+                    ),
+                    help: "route the fold through leakage_numeric::stats::KahanSum (or a \
+                           fixed-order merge); suppress only for provably short sums"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Context, CrateInfo};
+    use crate::source::{FileKind, SourceFile};
+
+    fn lint(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, src)| {
+                SourceFile::parse(rel.to_owned(), src.to_owned(), FileKind::classify(rel))
+            })
+            .collect();
+        let ctx = Context {
+            crates: vec![CrateInfo {
+                rel_root: "crates/numeric".into(),
+                name: "leakage-numeric".into(),
+                has_parallel_feature: true,
+            }],
+        };
+        let ws = Workspace {
+            files: &files,
+            ctx: &ctx,
+            graph: crate::graph::CallGraph::build(&files, &ctx.crates),
+        };
+        let mut out = Vec::new();
+        MergeOrder.check_workspace(&ws, &mut out);
+        out
+    }
+
+    const ACCUM_HELPER: &str = "pub fn fold_naive(xs: &[f64]) -> f64 {\n\
+                                  let mut acc = 0.0;\n\
+                                  for x in xs { acc += x; }\n\
+                                  acc\n\
+                                }\n";
+
+    #[test]
+    fn accumulation_behind_parallel_entry_flagged() {
+        let src = format!(
+            "pub fn run_with(xs: &[f64], par: Parallelism) -> f64 {{ fold_naive(xs) }}\n{ACCUM_HELPER}"
+        );
+        let d = lint(vec![("crates/numeric/src/parallel.rs", &src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("run_with -> fold_naive"), "{d:?}");
+    }
+
+    #[test]
+    fn accumulation_outside_parallel_reach_exempt() {
+        let src =
+            format!("pub fn serial_only(xs: &[f64]) -> f64 {{ fold_naive(xs) }}\n{ACCUM_HELPER}");
+        let d = lint(vec![("crates/numeric/src/serial.rs", &src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn kahan_impl_exempt() {
+        let src = "pub fn run_with(xs: &[f64], par: Parallelism) -> f64 { kahan_sum(xs) }\n\
+                   pub fn kahan_sum(xs: &[f64]) -> f64 {\n\
+                     let mut c = 0.0;\n\
+                     for x in xs { c += x; }\n\
+                     c\n\
+                   }\n";
+        let d = lint(vec![("crates/numeric/src/parallel.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l3_scope_left_to_l3() {
+        let src = format!(
+            "pub fn run_with(xs: &[f64], par: Parallelism) -> f64 {{ fold_naive(xs) }}\n{ACCUM_HELPER}"
+        );
+        let d = lint(vec![("crates/core/src/estimator/mod.rs", &src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,271 @@
+//! L11 `signature-parity`: interprocedural upgrade of L4's name
+//! heuristics. The workspace API convention is a variant ladder —
+//! `foo` → `foo_with` (adds an explicit `Parallelism`) → `foo_instrumented`
+//! (adds an injected `Instruments`/`Recorder`) — and the three must stay
+//! signature-compatible, or a caller switching between them silently
+//! changes semantics. L4 checks that `foo` *routes through* `foo_with`;
+//! L11 checks, from the symbol table, that the signatures actually line
+//! up: after removing the policy parameters (`Parallelism`,
+//! `Instruments`, `Recorder`), parameter types and return type must be
+//! identical (generic parameter names are canonicalized, lifetimes
+//! ignored).
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::source::SourceFile;
+use crate::summary::FnSummary;
+use std::collections::BTreeMap;
+
+/// The L11 rule.
+pub struct SignatureParity;
+
+/// Parameter types that carry execution policy rather than data — removed
+/// on both sides before comparison. `Tiling` qualifies: tile size is a
+/// performance knob whose choice is bit-identical by construction, so a
+/// variant that additionally exposes it still computes the same function.
+fn is_policy_param(ty: &str) -> bool {
+    ty.contains("Parallelism")
+        || ty.contains("Instruments")
+        || ty.contains("Recorder")
+        || ty.contains("Tiling")
+}
+
+/// Normalizes a type string for comparison: lifetimes dropped, the fn's
+/// own generic parameter names replaced by a `$` marker.
+fn norm(ty: &str, generics: &[String]) -> String {
+    ty.split(' ')
+        .filter(|t| !t.starts_with('\''))
+        .map(|t| {
+            if generics.iter().any(|g| g == t) {
+                "$"
+            } else {
+                t
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The comparable shape of a signature: policy-stripped normalized param
+/// types plus the normalized return type.
+fn shape(s: &FnSummary) -> (Vec<String>, String) {
+    let params = s
+        .params
+        .iter()
+        .filter(|(_, ty)| !is_policy_param(ty))
+        .map(|(_, ty)| norm(ty, &s.generics))
+        .collect();
+    (params, norm(&s.ret, &s.generics))
+}
+
+impl Rule for SignatureParity {
+    fn id(&self) -> &'static str {
+        "signature-parity"
+    }
+
+    fn code(&self) -> &'static str {
+        "L11"
+    }
+
+    fn description(&self) -> &'static str {
+        "`_with`/`_instrumented` variants must match their base signature after \
+         removing Parallelism/Instruments parameters"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != crate::source::FileKind::Library {
+            return;
+        }
+        // Group summaries by lexical scope: inline-module path + impl type.
+        let mut scopes: BTreeMap<(String, String), Vec<&FnSummary>> = BTreeMap::new();
+        for s in &file.summaries {
+            if s.in_test {
+                continue;
+            }
+            let key = (
+                s.modules.join("::"),
+                s.impl_type.clone().unwrap_or_default(),
+            );
+            scopes.entry(key).or_default().push(s);
+        }
+        for group in scopes.values() {
+            for s in group {
+                let (suffix, policy, policy_desc) =
+                    if let Some(base) = s.name.strip_suffix("_instrumented") {
+                        (base, "Instruments", "an `Instruments`/`Recorder`")
+                    } else if let Some(base) = s.name.strip_suffix("_with") {
+                        (base, "Parallelism", "a `Parallelism`")
+                    } else {
+                        continue;
+                    };
+                if !s.is_pub {
+                    continue;
+                }
+                // (a) The variant must actually carry its policy parameter.
+                let has_policy = s.params.iter().any(|(_, ty)| match policy {
+                    "Parallelism" => ty.contains("Parallelism"),
+                    _ => ty.contains("Instruments") || ty.contains("Recorder"),
+                });
+                if !has_policy {
+                    out.push(self.diag(
+                        file,
+                        s.line,
+                        format!(
+                            "`{}` is named as a variant but takes no {policy_desc} parameter",
+                            s.name
+                        ),
+                    ));
+                }
+                // (b) Compare against the nearest declared ancestor:
+                // `foo_instrumented` prefers `foo_with`, else `foo`.
+                let ancestors: &[String] = &if policy == "Instruments" {
+                    [format!("{suffix}_with"), suffix.to_owned()]
+                } else {
+                    [suffix.to_owned(), String::new()]
+                };
+                let Some(base) = ancestors
+                    .iter()
+                    .filter(|n| !n.is_empty())
+                    .find_map(|n| group.iter().find(|b| &b.name == n))
+                else {
+                    continue;
+                };
+                let (vp, vr) = shape(s);
+                let (bp, br) = shape(base);
+                if vp != bp {
+                    out.push(self.diag(
+                        file,
+                        s.line,
+                        format!(
+                            "`{}` parameter types diverge from `{}`: [{}] vs [{}] \
+                             (after removing policy parameters)",
+                            s.name,
+                            base.name,
+                            vp.join(", "),
+                            bp.join(", ")
+                        ),
+                    ));
+                }
+                if vr != br {
+                    out.push(self.diag(
+                        file,
+                        s.line,
+                        format!(
+                            "`{}` returns `{}` but `{}` returns `{}`",
+                            s.name,
+                            if vr.is_empty() { "()" } else { &vr },
+                            base.name,
+                            if br.is_empty() { "()" } else { &br }
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl SignatureParity {
+    fn diag(&self, file: &SourceFile, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            code: self.code(),
+            severity: Severity::Error,
+            file: file.rel.clone(),
+            line,
+            col: 1,
+            message,
+            help: "keep the variant ladder signature-compatible: `foo_with` = `foo` + \
+                   `Parallelism`, `foo_instrumented` = `foo_with` + `Instruments`"
+                .into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/d/src/x.rs".into(), src.into(), FileKind::Library);
+        let mut out = Vec::new();
+        SignatureParity.check_file(&f, &Context::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn conforming_ladder_clean() {
+        let src = "pub fn frob(xs: &[f64], n: usize) -> f64 { frob_with(xs, n, Parallelism::serial()) }\n\
+                   pub fn frob_with(xs: &[f64], n: usize, par: Parallelism) -> f64 {\n\
+                     frob_instrumented(xs, n, par, Instruments::none())\n\
+                   }\n\
+                   pub fn frob_instrumented(xs: &[f64], n: usize, par: Parallelism, ins: Instruments<'_>) -> f64 { 0.0 }\n";
+        let d = check(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn param_divergence_flagged() {
+        let src = "pub fn frob(xs: &[f64], n: usize) -> f64 { 0.0 }\n\
+                   pub fn frob_with(xs: &[f64], par: Parallelism) -> f64 { 0.0 }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("diverge"), "{d:?}");
+    }
+
+    #[test]
+    fn return_divergence_flagged() {
+        let src = "pub fn frob(xs: &[f64]) -> f64 { 0.0 }\n\
+                   pub fn frob_with(xs: &[f64], par: Parallelism) -> (f64, f64) { (0.0, 0.0) }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("returns"), "{d:?}");
+    }
+
+    #[test]
+    fn missing_policy_param_flagged() {
+        let src = "pub fn frob(xs: &[f64]) -> f64 { 0.0 }\n\
+                   pub fn frob_with(xs: &[f64]) -> f64 { 0.0 }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("no a `Parallelism`") || d[0].message.contains("Parallelism"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn generic_names_canonicalized() {
+        // `R` vs `F` for the same bound position must not be a divergence.
+        let src = "pub fn frob<R: Fn(f64) -> f64>(r: &R) -> f64 { 0.0 }\n\
+                   pub fn frob_with<F: Fn(f64) -> f64>(r: &F, par: Parallelism) -> f64 { 0.0 }\n";
+        let d = check(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn instrumented_compares_against_with_variant() {
+        let src = "pub fn frob_with(xs: &[f64], par: Parallelism) -> f64 { 0.0 }\n\
+                   pub fn frob_instrumented(xs: &[f64], n: usize, par: Parallelism, ins: Instruments<'_>) -> f64 { 0.0 }\n";
+        let d = check(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`frob_with`"), "{d:?}");
+    }
+
+    #[test]
+    fn separate_impl_scopes_do_not_cross_match() {
+        let src = "impl A { pub fn new_with(n: usize, par: Parallelism) -> A { A } pub fn new(n: usize) -> A { A } }\n\
+                   impl B { pub fn new_with(s: &str, par: Parallelism) -> B { B } pub fn new(s: &str) -> B { B } }\n";
+        let d = check(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                     pub fn probe(n: usize) -> f64 { 0.0 }\n\
+                     pub fn probe_with(s: &str) -> f64 { 0.0 }\n\
+                   }\n";
+        let d = check(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -173,6 +173,7 @@ mod tests {
         Context {
             crates: vec![CrateInfo {
                 rel_root: "crates/d".into(),
+                name: "leakage-d".into(),
                 has_parallel_feature: true,
             }],
         }

@@ -109,6 +109,7 @@ mod tests {
         Context {
             crates: vec![CrateInfo {
                 rel_root: "crates/d".into(),
+                name: "leakage-d".into(),
                 has_parallel_feature: true,
             }],
         }

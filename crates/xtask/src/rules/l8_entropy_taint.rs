@@ -1,0 +1,189 @@
+//! L8 `entropy-taint`: interprocedural upgrade of L2. An ambient entropy
+//! or wall-clock read anywhere in the workspace must not be reachable from
+//! an estimator output — `pub` functions of the estimator stack
+//! (`crates/core/src/estimator/`) and the Monte-Carlo driver
+//! (`crates/montecarlo/`). L2 catches the read textually inside library
+//! files; L8 catches it being *laundered* through helpers in any file the
+//! estimators can call into, and reports the full call chain as evidence.
+//!
+//! The one sanctioned bridge is unchanged from L2: wall-clock reads inside
+//! an `impl Clock for ...` block in `crates/obs/` (the injectable-clock
+//! pattern) are exempt.
+
+use crate::engine::{Diagnostic, Rule, Severity, Workspace};
+
+/// The L8 rule.
+pub struct EntropyTaint;
+
+/// `true` when the fn at `rel` is an estimator-output root.
+fn is_root(rel: &str, s: &crate::summary::FnSummary) -> bool {
+    s.is_pub
+        && !s.in_test
+        && (rel.starts_with("crates/core/src/estimator/") || rel.starts_with("crates/montecarlo/"))
+}
+
+impl Rule for EntropyTaint {
+    fn id(&self) -> &'static str {
+        "entropy-taint"
+    }
+
+    fn code(&self) -> &'static str {
+        "L8"
+    }
+
+    fn description(&self) -> &'static str {
+        "no ambient entropy / wall-clock read may be reachable from estimator \
+         outputs through any call chain"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+        let roots: Vec<usize> = ws
+            .graph
+            .iter(ws.files)
+            .filter(|(id, s)| {
+                let (fi, _) = ws.graph.node(*id);
+                is_root(&ws.files[fi].rel, s)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if roots.is_empty() {
+            return;
+        }
+        let reach = ws.graph.reachable(&roots);
+        for (id, s) in ws.graph.iter(ws.files) {
+            if s.entropy.is_empty() || !reach.contains(id) {
+                continue;
+            }
+            let (fi, _) = ws.graph.node(id);
+            let file = &ws.files[fi];
+            let clock_impl_exempt =
+                file.rel.starts_with("crates/obs/") && s.trait_name.as_deref() == Some("Clock");
+            let chain = reach.chain(id);
+            let chain_str = crate::graph::render_chain(&ws.graph, ws.files, &chain);
+            for site in &s.entropy {
+                if site.is_clock && clock_impl_exempt {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: site.line,
+                    col: site.col,
+                    message: format!("{} taints estimator outputs via {chain_str}", site.what),
+                    help: "thread an explicit seed (or injected Clock) down this call \
+                           chain; ambient entropy makes estimates unrepeatable"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Context, CrateInfo};
+    use crate::source::{FileKind, SourceFile};
+
+    fn lint(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, src)| {
+                SourceFile::parse(rel.to_owned(), src.to_owned(), FileKind::classify(rel))
+            })
+            .collect();
+        let ctx = Context {
+            crates: vec![
+                CrateInfo {
+                    rel_root: "crates/core".into(),
+                    name: "leakage-core".into(),
+                    has_parallel_feature: true,
+                },
+                CrateInfo {
+                    rel_root: "crates/util".into(),
+                    name: "leakage-util".into(),
+                    has_parallel_feature: false,
+                },
+            ],
+        };
+        let ws = Workspace {
+            files: &files,
+            ctx: &ctx,
+            graph: crate::graph::CallGraph::build(&files, &ctx.crates),
+        };
+        let mut out = Vec::new();
+        EntropyTaint.check_workspace(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn laundered_entropy_flagged_with_chain() {
+        let d = lint(vec![
+            (
+                "crates/core/src/estimator/mod.rs",
+                "pub fn estimate_all() -> f64 { leakage_util::jitter() }\n",
+            ),
+            (
+                "crates/util/src/lib.rs",
+                "pub fn jitter() -> f64 { hidden() }\n\
+                 fn hidden() -> f64 { let r = rand::thread_rng(); 0.0 }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("estimate_all -> jitter -> hidden"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_entropy_not_l8s_business() {
+        let d = lint(vec![
+            (
+                "crates/core/src/estimator/mod.rs",
+                "pub fn estimate_all() -> f64 { 0.0 }\n",
+            ),
+            (
+                "crates/util/src/lib.rs",
+                "pub fn jitter() -> f64 { let r = rand::thread_rng(); 0.0 }\n",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn obs_clock_impl_bridge_exempt() {
+        let d = lint(vec![
+            (
+                "crates/core/src/estimator/mod.rs",
+                "pub fn estimate_all(c: &WallClock) -> u64 { c.now_nanos() }\n",
+            ),
+            (
+                "crates/obs/src/clock.rs",
+                "impl Clock for WallClock {\n\
+                   fn now_nanos(&self) -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n\
+                 }\n",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn rng_inside_clock_impl_not_excused() {
+        let d = lint(vec![
+            (
+                "crates/core/src/estimator/mod.rs",
+                "pub fn estimate_all(c: &Jittery) -> u64 { c.now_nanos() }\n",
+            ),
+            (
+                "crates/obs/src/clock.rs",
+                "impl Clock for Jittery {\n\
+                   fn now_nanos(&self) -> u64 { rand::thread_rng().gen() }\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

@@ -1,0 +1,269 @@
+//! L9 `panic-freedom`: interprocedural upgrade of L5. The resilient
+//! estimation ladder (`crates/core/src/estimator/resilient.rs`) and the
+//! service-bound public surface (the root package's `src/lib.rs`) promise
+//! typed errors, never panics — a panic three calls below
+//! `estimate_resilient` unwinds through worker threads and kills the whole
+//! estimate. This rule walks the call graph from those entry points and
+//! flags every reachable `unwrap`/`expect`/panic-macro and every
+//! unprovable slice-index expression, with the call chain as evidence.
+//!
+//! Escape hatches (documented in DESIGN.md §13):
+//! - a site covered by a justified `allow(no-unwrap-in-library)` (L5) or
+//!   `allow(panic-freedom)` suppression is treated as a locally proven
+//!   invariant;
+//! - an index expression is exempt when every identifier in the brackets
+//!   is a bounds-tied loop binder (`for i in 0..xs.len()` / `.enumerate()`),
+//!   or the enclosing fn states its bounds discipline with an
+//!   `assert!`-family invariant check.
+
+use crate::engine::{Diagnostic, Rule, Severity, Workspace};
+use crate::source::SourceFile;
+use crate::summary::FnSummary;
+
+/// The L9 rule.
+pub struct PanicFreedom;
+
+/// `true` when the fn is a panic-freedom root: the resilient ladder's
+/// public surface or the root package's library API.
+fn is_root(rel: &str, s: &FnSummary) -> bool {
+    s.is_pub
+        && !s.in_test
+        && (rel == "crates/core/src/estimator/resilient.rs" || rel == "src/lib.rs")
+}
+
+/// A justified L5/L9 suppression on the site line (or the line above)
+/// counts as a locally proven invariant.
+fn site_proven(file: &SourceFile, line: u32) -> bool {
+    file.suppressions.iter().any(|sup| {
+        !sup.reason.is_empty()
+            && (sup.covers("no-unwrap-in-library", "L5") || sup.covers("panic-freedom", "L9"))
+            && (sup.file_scope || sup.line == line || sup.line + 1 == line)
+    })
+}
+
+impl Rule for PanicFreedom {
+    fn id(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn code(&self) -> &'static str {
+        "L9"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic-macro or unprovable slice index may be reachable \
+         from estimator::resilient or the service-bound public API"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+        let roots: Vec<usize> = ws
+            .graph
+            .iter(ws.files)
+            .filter(|(id, s)| {
+                let (fi, _) = ws.graph.node(*id);
+                is_root(&ws.files[fi].rel, s)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if roots.is_empty() {
+            return;
+        }
+        let reach = ws.graph.reachable(&roots);
+        for (id, s) in ws.graph.iter(ws.files) {
+            if !reach.contains(id) || s.in_test {
+                continue;
+            }
+            let (fi, _) = ws.graph.node(id);
+            let file = &ws.files[fi];
+            if file.kind != crate::source::FileKind::Library {
+                continue;
+            }
+            let chain = reach.chain(id);
+            let chain_str = crate::graph::render_chain(&ws.graph, ws.files, &chain);
+            for p in &s.panics {
+                if site_proven(file, p.line) {
+                    continue;
+                }
+                out.push(self.diag(
+                    file,
+                    p.line,
+                    p.col,
+                    format!("`{}` is reachable from {chain_str}", p.what),
+                ));
+            }
+            for ix in &s.indexes {
+                if site_proven(file, ix.line) || index_provable(s, ix) {
+                    continue;
+                }
+                let target = if ix.recv.is_empty() {
+                    "slice".to_owned()
+                } else {
+                    format!("`{}`", ix.recv)
+                };
+                out.push(self.diag(
+                    file,
+                    ix.line,
+                    ix.col,
+                    format!("panicking index into {target} is reachable from {chain_str}"),
+                ));
+            }
+        }
+    }
+}
+
+/// `true` when the index expression cannot plausibly panic under the
+/// rule's bounds heuristics.
+fn index_provable(s: &FnSummary, ix: &crate::summary::IndexSite) -> bool {
+    // An `assert!`-family invariant in the same fn is the documented
+    // bounds-discipline marker (asserting fns state their preconditions).
+    if s.has_assert {
+        return true;
+    }
+    // All idents in the brackets are bounds-tied loop binders. Literal-only
+    // indexes (`xs[0]`) have no idents and do NOT pass this test — a fixed
+    // index on an unchecked slice is exactly the panic class L9 hunts.
+    !ix.idents.is_empty()
+        && ix
+            .idents
+            .iter()
+            .all(|name| s.bounded_binders.contains(name))
+}
+
+impl PanicFreedom {
+    fn diag(&self, file: &SourceFile, line: u32, col: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            code: self.code(),
+            severity: Severity::Error,
+            file: file.rel.clone(),
+            line,
+            col,
+            message,
+            help: "return a typed Error (`.get(i).ok_or(...)?`), assert the bound as a \
+                   stated invariant, or justify with `// chipleak-lint: allow(panic-freedom): <why>`"
+                .into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Context, CrateInfo};
+    use crate::source::FileKind;
+
+    fn lint(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, src)| {
+                SourceFile::parse(rel.to_owned(), src.to_owned(), FileKind::classify(rel))
+            })
+            .collect();
+        let ctx = Context {
+            crates: vec![CrateInfo {
+                rel_root: "crates/core".into(),
+                name: "leakage-core".into(),
+                has_parallel_feature: true,
+            }],
+        };
+        let ws = Workspace {
+            files: &files,
+            ctx: &ctx,
+            graph: crate::graph::CallGraph::build(&files, &ctx.crates),
+        };
+        let mut out = Vec::new();
+        PanicFreedom.check_workspace(&ws, &mut out);
+        out
+    }
+
+    const RESILIENT: &str = "crates/core/src/estimator/resilient.rs";
+
+    #[test]
+    fn deep_unwrap_flagged_with_chain() {
+        let d = lint(vec![(
+            RESILIENT,
+            "pub fn estimate_resilient() -> f64 { stage() }\n\
+             fn stage() -> f64 { kernel() }\n\
+             fn kernel() -> f64 { Some(1.0).unwrap() }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message
+                .contains("estimate_resilient -> stage -> kernel"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_unwrap_not_flagged() {
+        let d = lint(vec![(
+            RESILIENT,
+            "pub fn estimate_resilient() -> f64 { 0.0 }\n\
+             fn orphan() -> f64 { Some(1.0).unwrap() }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bounded_binder_index_provable() {
+        let d = lint(vec![(
+            RESILIENT,
+            "pub fn estimate_resilient(xs: &[f64]) -> f64 {\n\
+               let mut m = 1.0f64;\n\
+               for i in 0..xs.len() { m = m.max(xs[i]); }\n\
+               m\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unbounded_index_flagged() {
+        let d = lint(vec![(
+            RESILIENT,
+            "pub fn estimate_resilient(xs: &[f64], k: usize) -> f64 { xs[k] }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`xs`"), "{d:?}");
+    }
+
+    #[test]
+    fn assert_documents_bounds_discipline() {
+        let d = lint(vec![(
+            RESILIENT,
+            "pub fn estimate_resilient(xs: &[f64], k: usize) -> f64 {\n\
+               assert!(k < xs.len(), \"grid index in range\");\n\
+               xs[k]\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn justified_l5_suppression_counts_as_proof() {
+        let d = lint(vec![(
+            RESILIENT,
+            "pub fn estimate_resilient() -> f64 {\n\
+               // chipleak-lint: allow(no-unwrap-in-library): nonempty by construction\n\
+               Some(1.0).unwrap()\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_macro_reachable_from_root_package_api() {
+        let d = lint(vec![
+            (
+                "src/lib.rs",
+                "pub fn serve_estimate() -> f64 { leakage_core::estimator_entry() }\n",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "pub fn estimator_entry() -> f64 { panic!(\"boom\") }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("panic!"), "{d:?}");
+    }
+}

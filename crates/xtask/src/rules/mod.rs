@@ -9,7 +9,17 @@
 //! | L5 | `no-unwrap-in-library` | no unjustified `.unwrap()`/`.expect()`/`panic!` |
 //! | L6 | `no-silent-fallback` | `Err(...) => {}` arms must record the degradation |
 //! | L7 | `tiled-kernel-parity` | `*_tiled*` kernels keep a serial twin, take `Parallelism` |
+//! | L8 | `entropy-taint` | no entropy source reachable from estimator outputs |
+//! | L9 | `panic-freedom` | no panic site reachable from `estimator::resilient` / the service API |
+//! | L10 | `merge-order` | accumulation behind `parallel`-gated callers uses Kahan/fixed-order merges |
+//! | L11 | `signature-parity` | `_with`/`_instrumented` ladders stay signature-compatible |
+//!
+//! L1–L7 inspect one file at a time (`Rule::check_file`); L8–L10 walk the
+//! workspace call graph (`Rule::check_workspace`) and L11 compares parsed
+//! signatures from the symbol table.
 
+mod l10_merge_order;
+mod l11_signature_parity;
 mod l1_nondeterministic_iteration;
 mod l2_ambient_entropy;
 mod l3_compensated_summation;
@@ -17,7 +27,11 @@ mod l4_parallel_api_parity;
 mod l5_unwrap_in_library;
 mod l6_silent_fallback;
 mod l7_tiled_kernel_parity;
+mod l8_entropy_taint;
+mod l9_panic_freedom;
 
+pub use l10_merge_order::MergeOrder;
+pub use l11_signature_parity::SignatureParity;
 pub use l1_nondeterministic_iteration::NondeterministicIteration;
 pub use l2_ambient_entropy::AmbientEntropy;
 pub use l3_compensated_summation::CompensatedSummation;
@@ -25,6 +39,8 @@ pub use l4_parallel_api_parity::ParallelApiParity;
 pub use l5_unwrap_in_library::UnwrapInLibrary;
 pub use l6_silent_fallback::SilentFallback;
 pub use l7_tiled_kernel_parity::TiledKernelParity;
+pub use l8_entropy_taint::EntropyTaint;
+pub use l9_panic_freedom::PanicFreedom;
 
 use crate::engine::Rule;
 use crate::lexer::Tok;
@@ -40,6 +56,10 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(UnwrapInLibrary),
         Box::new(SilentFallback),
         Box::new(TiledKernelParity),
+        Box::new(EntropyTaint),
+        Box::new(PanicFreedom),
+        Box::new(MergeOrder),
+        Box::new(SignatureParity),
     ]
 }
 

@@ -1,0 +1,145 @@
+//! SARIF 2.1.0 output for CI code scanning.
+//!
+//! Emits the subset of the SARIF schema GitHub code scanning consumes:
+//! one run with a `tool.driver` (name, version, rule metadata) and one
+//! `result` per diagnostic with `ruleId`/`ruleIndex`, a `level`, a
+//! `message.text`, and a physical location (`uri` + `region`) rooted at
+//! `%SRCROOT%`. The shape is pinned by `tests/sarif_shape.rs` through the
+//! in-crate JSON parser.
+
+use crate::engine::{json_str, Diagnostic, Rule, Severity};
+use std::fmt::Write as _;
+
+/// SARIF version emitted.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// Schema URI advertised in `$schema`.
+pub const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders diagnostics as a single-run SARIF 2.1.0 log.
+pub fn render(rules: &[Box<dyn Rule>], diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    s.push_str("{\"$schema\":");
+    s.push_str(&json_str(SARIF_SCHEMA));
+    let _ = write!(s, ",\"version\":{}", json_str(SARIF_VERSION));
+    s.push_str(",\"runs\":[{\"tool\":{\"driver\":{");
+    let _ = write!(
+        s,
+        "\"name\":\"chipleak-lint\",\"version\":{},\"informationUri\":{},\"rules\":[",
+        json_str(env!("CARGO_PKG_VERSION")),
+        json_str("https://github.com/fullchip-leakage/fullchip-leakage#chipleak-lint"),
+    );
+    // Rule metadata, plus the engine's own L0 hygiene rule.
+    let mut rule_ids: Vec<(&str, &str)> = rules.iter().map(|r| (r.id(), r.description())).collect();
+    rule_ids.push((
+        "lint-suppression",
+        "suppressions must be justified and live (L0)",
+    ));
+    for (i, (id, desc)) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\"defaultConfiguration\":{{\"level\":\"error\"}}}}",
+            json_str(id),
+            json_str(desc),
+        );
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rule_index = rule_ids
+            .iter()
+            .position(|(id, _)| *id == d.rule)
+            .unwrap_or(rule_ids.len() - 1);
+        let level = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let _ = write!(
+            s,
+            "{{\"ruleId\":{},\"ruleIndex\":{rule_index},\"level\":\"{level}\",\
+             \"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":{},\"uriBaseId\":\"%SRCROOT%\"}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_str(d.rule),
+            json_str(&format!("{} [{}] help: {}", d.message, d.code, d.help)),
+            json_str(&d.file),
+            d.line.max(1),
+            d.col.max(1),
+        );
+    }
+    s.push_str("]}]}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            rule: "entropy-taint",
+            code: "L8",
+            severity: Severity::Error,
+            file: "crates/core/src/estimator/mod.rs".into(),
+            line: 12,
+            col: 5,
+            message: "taints \"output\"".into(),
+            help: "thread a seed".into(),
+        }]
+    }
+
+    #[test]
+    fn output_is_valid_json_with_sarif_shape() {
+        let out = render(&crate::rules::registry(), &sample());
+        let v = json::parse(&out).expect("valid JSON");
+        assert_eq!(v.get("version").unwrap().as_str(), Some(SARIF_VERSION));
+        let run = &v.get("runs").unwrap().as_arr().unwrap()[0];
+        let driver = run.get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.get("name").unwrap().as_str(), Some("chipleak-lint"));
+        let rules = driver.get("rules").unwrap().as_arr().unwrap();
+        assert!(rules.len() >= 12, "11 rules + L0");
+        let results = run.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.get("ruleId").unwrap().as_str(), Some("entropy-taint"));
+        let idx = r.get("ruleIndex").unwrap().as_f64().unwrap() as usize;
+        assert_eq!(
+            rules[idx].get("id").unwrap().as_str(),
+            Some("entropy-taint")
+        );
+        let loc = &r.get("locations").unwrap().as_arr().unwrap()[0];
+        let phys = loc.get("physicalLocation").unwrap();
+        assert_eq!(
+            phys.get("artifactLocation")
+                .unwrap()
+                .get("uri")
+                .unwrap()
+                .as_str(),
+            Some("crates/core/src/estimator/mod.rs")
+        );
+        assert_eq!(
+            phys.get("region")
+                .unwrap()
+                .get("startLine")
+                .unwrap()
+                .as_f64(),
+            Some(12.0)
+        );
+    }
+
+    #[test]
+    fn empty_diags_still_valid() {
+        let out = render(&crate::rules::registry(), &[]);
+        let v = json::parse(&out).expect("valid JSON");
+        let run = &v.get("runs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(run.get("results").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

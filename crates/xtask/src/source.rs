@@ -102,14 +102,28 @@ pub struct SourceFile {
     pub gated_spans: Vec<LineSpan>,
     /// All `fn` items (including nested/test ones).
     pub fns: Vec<FnItem>,
+    /// Parsed item tree ([`crate::parse`]) — the lossless IR.
+    pub items: Vec<crate::parse::Item>,
+    /// Per-fn interprocedural summaries extracted from the item tree.
+    pub summaries: Vec<crate::summary::FnSummary>,
 }
 
 impl SourceFile {
-    /// Lexes and scans one file.
+    /// Lexes, scans, and parses one file.
     pub fn parse(rel: String, text: String, kind: FileKind) -> SourceFile {
         let lexed = lex(&text);
         let suppressions = parse_suppressions(&lexed.comments);
         let scan = scan_structure(&lexed.tokens);
+        let items = crate::parse::parse(&lexed.tokens);
+        let test_spans = scan.test_spans;
+        let gated_spans = scan.gated_spans;
+        let summaries = crate::summary::summarize(
+            &lexed.tokens,
+            &items,
+            kind,
+            &|line| test_spans.iter().any(|&(a, b)| a <= line && line <= b),
+            &|line| gated_spans.iter().any(|&(a, b)| a <= line && line <= b),
+        );
         SourceFile {
             rel,
             kind,
@@ -117,9 +131,11 @@ impl SourceFile {
             tokens: lexed.tokens,
             comments: lexed.comments,
             suppressions,
-            test_spans: scan.test_spans,
-            gated_spans: scan.gated_spans,
+            test_spans,
+            gated_spans,
             fns: scan.fns,
+            items,
+            summaries,
         }
     }
 

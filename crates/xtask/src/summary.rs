@@ -1,0 +1,701 @@
+//! Per-function fact extraction: the bridge between the lossless parse
+//! tree ([`crate::parse`]) and the interprocedural rules (L8–L11).
+//!
+//! A [`FnSummary`] records everything a workspace-level rule needs to know
+//! about one function — its resolved-enough signature, every call site,
+//! and every panic / index / entropy / accumulation site inside its body —
+//! so the rules never touch raw tokens. The summaries are the nodes of the
+//! call graph built in [`crate::graph`].
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{self, FnCtx};
+use crate::source::FileKind;
+
+/// A call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// How the callee is named at the call site.
+    pub kind: CallKind,
+    /// Callee name (method or fn name, final path segment).
+    pub name: String,
+    /// Leading path segments (`a::b::name` → `["a", "b"]`); empty for
+    /// bare calls and method calls.
+    pub qual: Vec<String>,
+    /// 1-based source line of the name token.
+    pub line: u32,
+}
+
+/// The syntactic shape of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(...)` or `path::to::name(...)` on a lowercase final segment.
+    Free,
+    /// `.name(...)` method call.
+    Method,
+    /// `Type::name(...)` — associated call, first qual segment is a type.
+    Assoc,
+}
+
+/// A potentially panicking expression.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What panics: `unwrap`, `expect`, `panic!`, `unreachable!`,
+    /// `todo!`, `unimplemented!`, or `index`.
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A slice/array index expression `recv[...]`.
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    /// Best-effort receiver name (last ident before the `[`).
+    pub recv: String,
+    /// Identifiers appearing inside the brackets.
+    pub idents: Vec<String>,
+    /// `true` when the brackets contain a `..` range.
+    pub has_range: bool,
+    /// 1-based source line of the `[`.
+    pub line: u32,
+    /// 1-based source column of the `[`.
+    pub col: u32,
+}
+
+/// A bare float accumulation `acc += term` inside a loop body.
+#[derive(Debug, Clone)]
+pub struct AccumSite {
+    /// The accumulator local's name.
+    pub var: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// An ambient entropy / wall-clock read.
+#[derive(Debug, Clone)]
+pub struct EntropySite {
+    /// Human-readable source description (`rand::thread_rng()`, …).
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// `true` when the read is a wall-clock read (eligible for the obs
+    /// `impl Clock` carve-out).
+    pub is_clock: bool,
+}
+
+/// Everything the interprocedural rules know about one function.
+#[derive(Debug)]
+pub struct FnSummary {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` self type, when a method.
+    pub impl_type: Option<String>,
+    /// Enclosing trait: `impl Trait for` or `trait` definition name.
+    pub trait_name: Option<String>,
+    /// Inline-module path from the file root.
+    pub modules: Vec<String>,
+    /// `true` for any `pub` visibility.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `true` when the fn sits inside a `#[cfg(test)]` extent.
+    pub in_test: bool,
+    /// `true` when the fn sits inside a `#[cfg(feature = "parallel")]`
+    /// extent or takes a `Parallelism` parameter.
+    pub parallel_gated: bool,
+    /// `true` when any parameter type mentions `Parallelism`.
+    pub takes_parallelism: bool,
+    /// Declared generic parameter names.
+    pub generics: Vec<String>,
+    /// `(name, normalized type)` parameter pairs.
+    pub params: Vec<(String, String)>,
+    /// Normalized return type (empty for unit).
+    pub ret: String,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// Panic sites (`unwrap`/`expect`/panic-family macros).
+    pub panics: Vec<PanicSite>,
+    /// Index expressions.
+    pub indexes: Vec<IndexSite>,
+    /// Bare float accumulation loops.
+    pub accums: Vec<AccumSite>,
+    /// Ambient entropy / clock reads.
+    pub entropy: Vec<EntropySite>,
+    /// `true` when the body invokes any `assert!`-family macro — treated
+    /// as documented bounds discipline by L9.
+    pub has_assert: bool,
+    /// Loop binders provably tied to index ranges: `for i in 0..n` /
+    /// `.enumerate()` pattern idents.
+    pub bounded_binders: Vec<String>,
+}
+
+impl FnSummary {
+    /// Stable display path for diagnostics: `module::Type::name`.
+    pub fn qual_name(&self) -> String {
+        let mut s = String::new();
+        for m in &self.modules {
+            s.push_str(m);
+            s.push_str("::");
+        }
+        if let Some(t) = &self.impl_type {
+            s.push_str(t);
+            s.push_str("::");
+        }
+        s.push_str(&self.name);
+        s
+    }
+}
+
+/// Extracts summaries for every fn in a parsed file.
+pub fn summarize(
+    tokens: &[Tok],
+    items: &[parse::Item],
+    kind: FileKind,
+    in_test: &dyn Fn(u32) -> bool,
+    in_gate: &dyn Fn(u32) -> bool,
+) -> Vec<FnSummary> {
+    let mut out = Vec::new();
+    parse::visit_fns(items, &mut |ctx: FnCtx<'_>| {
+        let def = ctx.def;
+        let takes_parallelism = def.params.iter().any(|p| p.ty.contains("Parallelism"));
+        let mut s = FnSummary {
+            name: def.name.clone(),
+            impl_type: ctx.impl_type.map(str::to_owned),
+            trait_name: ctx.trait_name.map(str::to_owned),
+            modules: ctx.modules.clone(),
+            is_pub: def.is_pub,
+            line: def.line,
+            in_test: kind != FileKind::Library || in_test(def.line),
+            parallel_gated: takes_parallelism || in_gate(def.line),
+            takes_parallelism,
+            generics: def.generics.clone(),
+            params: def
+                .params
+                .iter()
+                .map(|p| (p.name.clone(), p.ty.clone()))
+                .collect(),
+            ret: def.ret.clone(),
+            calls: Vec::new(),
+            panics: Vec::new(),
+            indexes: Vec::new(),
+            accums: Vec::new(),
+            entropy: Vec::new(),
+            has_assert: false,
+            bounded_binders: Vec::new(),
+        };
+        if let Some((a, b)) = def.body_span {
+            scan_body(tokens, a, b, &mut s);
+        }
+        out.push(s);
+    });
+    out
+}
+
+/// Names that start control-flow constructs, never calls.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "move",
+    "in", "as", "fn", "impl", "where", "unsafe", "mut", "ref", "dyn", "box", "await", "async",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn is_assert_macro(name: &str) -> bool {
+    name == "assert"
+        || name == "assert_eq"
+        || name == "assert_ne"
+        || name.starts_with("debug_assert")
+}
+
+/// Walks a fn body token span and fills the site lists.
+fn scan_body(toks: &[Tok], start: usize, end: usize, s: &mut FnSummary) {
+    // Float-zero locals and loop spans for accumulation detection,
+    // restricted to this body.
+    let body = &toks[start..end];
+    let float_locals = float_zero_locals(body);
+    let loops = loop_spans(body);
+
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        // Method calls and panic methods: `.name(` / `.name::<`.
+        if t.is_punct('.') {
+            if let Some(m) = method_name_at(toks, i, end) {
+                let name = toks[m].text.clone();
+                if name == "unwrap" || name == "expect" {
+                    s.panics.push(PanicSite {
+                        what: name.clone(),
+                        line: toks[m].line,
+                        col: toks[m].col,
+                    });
+                }
+                s.calls.push(CallSite {
+                    kind: CallKind::Method,
+                    name,
+                    qual: Vec::new(),
+                    line: toks[m].line,
+                });
+                i = m + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            // Macros: `name ! ( | [ | {`.
+            if toks
+                .get(i + 1)
+                .filter(|_| i + 1 < end)
+                .is_some_and(|u| u.is_punct('!'))
+                && toks
+                    .get(i + 2)
+                    .filter(|_| i + 2 < end)
+                    .is_some_and(|u| u.is_punct('(') || u.is_punct('[') || u.is_punct('{'))
+            {
+                if PANIC_MACROS.contains(&t.text.as_str()) {
+                    s.panics.push(PanicSite {
+                        what: format!("{}!", t.text),
+                        line: t.line,
+                        col: t.col,
+                    });
+                } else if is_assert_macro(&t.text) {
+                    s.has_assert = true;
+                }
+                i += 2;
+                continue;
+            }
+            // Bounded binders: `for <pat> in <expr>` with `..`/`enumerate`.
+            if t.is_ident("for") {
+                collect_bounded_binders(toks, i, end, &mut s.bounded_binders);
+            }
+            // Entropy sources (L2's set).
+            if let Some((what, is_clock)) = entropy_at(toks, i) {
+                s.entropy.push(EntropySite {
+                    what: what.to_owned(),
+                    line: t.line,
+                    col: t.col,
+                    is_clock,
+                });
+            }
+            // Calls: `path :: segs :: name (` or bare `name (`.
+            if !(KEYWORDS.contains(&t.text.as_str()) || (i > start && toks[i - 1].is_punct('.'))) {
+                let path_start = i;
+                let mut j = i;
+                while j + 3 < end
+                    && toks[j + 1].is_punct(':')
+                    && toks[j + 2].is_punct(':')
+                    && toks[j + 3].kind == TokKind::Ident
+                {
+                    j += 3;
+                }
+                // Entropy sources named through a path (`rand::thread_rng`)
+                // would otherwise be consumed by the path walk below.
+                if j != i {
+                    if let Some((what, is_clock)) = entropy_at(toks, j) {
+                        s.entropy.push(EntropySite {
+                            what: what.to_owned(),
+                            line: toks[j].line,
+                            col: toks[j].col,
+                            is_clock,
+                        });
+                    }
+                }
+                let name_tok = &toks[j];
+                let callable = toks
+                    .get(j + 1)
+                    .filter(|_| j + 1 < end)
+                    .is_some_and(|u| u.is_punct('('))
+                    && !toks.get(j + 1).is_some_and(|u| u.is_punct('!'));
+                let is_ctor = name_tok
+                    .text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_uppercase());
+                if callable && !is_ctor && !KEYWORDS.contains(&name_tok.text.as_str()) {
+                    let qual: Vec<String> = toks[path_start..j]
+                        .iter()
+                        .filter(|u| u.kind == TokKind::Ident)
+                        .map(|u| u.text.clone())
+                        .collect();
+                    let kind = if qual
+                        .last()
+                        .is_some_and(|q| q.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+                    {
+                        CallKind::Assoc
+                    } else {
+                        CallKind::Free
+                    };
+                    s.calls.push(CallSite {
+                        kind,
+                        name: name_tok.text.clone(),
+                        qual,
+                        line: name_tok.line,
+                    });
+                }
+                // Accumulation: `acc += ...` inside a loop.
+                if float_locals.contains(&t.text)
+                    && toks
+                        .get(i + 1)
+                        .filter(|_| i + 1 < end)
+                        .is_some_and(|u| u.is_punct('+'))
+                    && toks
+                        .get(i + 2)
+                        .filter(|_| i + 2 < end)
+                        .is_some_and(|u| u.is_punct('='))
+                    && !(i > start && toks[i - 1].is_punct('.'))
+                {
+                    let rel = i - start;
+                    if loops.iter().any(|&(a, b)| a < rel && rel < b) {
+                        s.accums.push(AccumSite {
+                            var: t.text.clone(),
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        // Index expressions: `recv [ ... ]` where recv ends with an ident,
+        // `)`, or `]` (excludes array types/literals, slice patterns,
+        // attributes, and `vec![...]`).
+        if t.is_punct('[') && i > start {
+            let prev = &toks[i - 1];
+            let is_index = (prev.kind == TokKind::Ident && !KEYWORDS.contains(&prev.text.as_str()))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if is_index {
+                let close = skip_square(toks, i, end);
+                let inner = &toks[i + 1..close.saturating_sub(1).max(i + 1)];
+                let idents: Vec<String> = inner
+                    .iter()
+                    .filter(|u| u.kind == TokKind::Ident && !KEYWORDS.contains(&u.text.as_str()))
+                    .map(|u| u.text.clone())
+                    .collect();
+                let has_range = inner
+                    .windows(2)
+                    .any(|w| w[0].is_punct('.') && w[1].is_punct('.'));
+                s.indexes.push(IndexSite {
+                    recv: if prev.kind == TokKind::Ident {
+                        prev.text.clone()
+                    } else {
+                        String::new()
+                    },
+                    idents,
+                    has_range,
+                    line: t.line,
+                    col: t.col,
+                });
+                // Do not skip the contents: nested calls/indexes inside the
+                // brackets must still be scanned.
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `.name(` / `.name::<` at `i` (a `.`); returns the name token index.
+fn method_name_at(toks: &[Tok], i: usize, end: usize) -> Option<usize> {
+    let name = toks.get(i + 1).filter(|_| i + 1 < end)?;
+    let next = toks.get(i + 2).filter(|_| i + 2 < end)?;
+    if name.kind == TokKind::Ident
+        && (next.is_punct('(')
+            || (next.is_punct(':')
+                && toks
+                    .get(i + 3)
+                    .filter(|_| i + 3 < end)
+                    .is_some_and(|u| u.is_punct(':'))))
+    {
+        Some(i + 1)
+    } else {
+        None
+    }
+}
+
+/// The L2 entropy-source set, detected at token `i`.
+fn entropy_at(toks: &[Tok], i: usize) -> Option<(&'static str, bool)> {
+    let t = &toks[i];
+    if t.is_ident("thread_rng") {
+        return Some(("rand::thread_rng()", false));
+    }
+    if t.is_ident("from_entropy") {
+        return Some(("SeedableRng::from_entropy()", false));
+    }
+    if path_pair(toks, i, "rand", "random") {
+        return Some(("rand::random()", false));
+    }
+    if path_pair(toks, i, "SystemTime", "now") || path_pair(toks, i, "Instant", "now") {
+        return Some(("wall-clock read", true));
+    }
+    None
+}
+
+fn path_pair(toks: &[Tok], i: usize, a: &str, b: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.is_ident(a))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(b))
+}
+
+/// Pattern idents of `for <pat> in <expr> {` loops whose iterated
+/// expression is a literal range (`..`) or an `enumerate()` chain —
+/// binders the L9 heuristics treat as bounds-disciplined.
+fn collect_bounded_binders(toks: &[Tok], for_at: usize, end: usize, out: &mut Vec<String>) {
+    let mut j = for_at + 1;
+    let mut pat = Vec::new();
+    let mut paren = 0isize;
+    while j < end {
+        let u = &toks[j];
+        if u.is_punct('(') {
+            paren += 1;
+        } else if u.is_punct(')') {
+            paren -= 1;
+        } else if u.is_ident("in") && paren == 0 {
+            break;
+        } else if u.kind == TokKind::Ident && !u.is_ident("mut") {
+            pat.push(u.text.clone());
+        } else if u.is_punct('{') || u.is_punct(';') {
+            return; // `impl Trait for` or malformed
+        }
+        j += 1;
+    }
+    if j >= end {
+        return;
+    }
+    // Expression runs from after `in` to the body `{` at depth 0.
+    let expr_start = j + 1;
+    let mut k = expr_start;
+    let mut depth = 0isize;
+    let mut bounded = false;
+    while k < end {
+        let u = &toks[k];
+        if u.is_punct('(') || u.is_punct('[') {
+            depth += 1;
+        } else if u.is_punct(')') || u.is_punct(']') {
+            depth -= 1;
+        } else if u.is_punct('{') && depth == 0 {
+            break;
+        }
+        if k + 1 < end && u.is_punct('.') && toks[k + 1].is_punct('.') {
+            bounded = true;
+        }
+        if u.is_ident("enumerate") {
+            bounded = true;
+        }
+        k += 1;
+    }
+    if bounded {
+        out.extend(pat);
+    }
+}
+
+/// Index just past a balanced `[...]`, bounded by `end`.
+fn skip_square(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Names of locals initialized as floating-point zeros within a body.
+fn float_zero_locals(toks: &[Tok]) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j) else { continue };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        let mut k = j + 1;
+        let mut annotated_float = false;
+        if toks.get(k).is_some_and(|t| t.is_punct(':')) {
+            annotated_float = toks
+                .get(k + 1)
+                .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"));
+            k += 2;
+        }
+        if !toks.get(k).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        let Some(init) = toks.get(k + 1) else {
+            continue;
+        };
+        let float_literal = init.kind == TokKind::Literal
+            && (init.text.contains('.')
+                || init.text.ends_with("f64")
+                || init.text.ends_with("f32"));
+        if (float_literal || (annotated_float && init.kind == TokKind::Literal))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct(';'))
+        {
+            names.insert(name.text.clone());
+        }
+    }
+    names
+}
+
+/// Token spans (relative, exclusive end) of `for`/`while`/`loop` bodies.
+fn loop_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("for") || t.is_ident("while") || t.is_ident("loop")) {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut paren = 0isize;
+        let mut saw_in = false;
+        while j < toks.len() {
+            let u = &toks[j];
+            if u.is_punct('(') {
+                paren += 1;
+            } else if u.is_punct(')') {
+                paren -= 1;
+            } else if u.is_ident("in") && paren == 0 {
+                saw_in = true;
+            } else if u.is_punct('{') && paren == 0 {
+                if t.is_ident("for") && !saw_in {
+                    break;
+                }
+                spans.push((j, parse::skip_braces(toks, j, toks.len())));
+                break;
+            } else if u.is_punct(';') && paren == 0 {
+                break;
+            }
+            j += 1;
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn summaries(src: &str) -> Vec<FnSummary> {
+        let toks = lex(src).tokens;
+        let items = parse(&toks);
+        summarize(&toks, &items, FileKind::Library, &|_| false, &|_| false)
+    }
+
+    #[test]
+    fn calls_classified_by_shape() {
+        let src = "fn f() { helper(); stats::kahan_sum(&[]); KahanSum::new(); x.merge(y); }\n";
+        let s = &summaries(src)[0];
+        let kinds: Vec<(CallKind, &str)> =
+            s.calls.iter().map(|c| (c.kind, c.name.as_str())).collect();
+        assert!(kinds.contains(&(CallKind::Free, "helper")), "{kinds:?}");
+        assert!(kinds.contains(&(CallKind::Free, "kahan_sum")), "{kinds:?}");
+        assert!(kinds.contains(&(CallKind::Assoc, "new")), "{kinds:?}");
+        assert!(kinds.contains(&(CallKind::Method, "merge")), "{kinds:?}");
+    }
+
+    #[test]
+    fn struct_literals_not_calls() {
+        let src = "fn f() -> Tiling { Tiling { rows: 1, far_cutoff: None } }\n";
+        let s = &summaries(src)[0];
+        assert!(s.calls.is_empty(), "{:?}", s.calls);
+    }
+
+    #[test]
+    fn panic_sites_found() {
+        let src =
+            "fn f(x: Option<u8>) -> u8 { let v = x.unwrap(); if v > 9 { panic!(\"no\") } v }\n";
+        let s = &summaries(src)[0];
+        let whats: Vec<&str> = s.panics.iter().map(|p| p.what.as_str()).collect();
+        assert_eq!(whats, ["unwrap", "panic!"]);
+    }
+
+    #[test]
+    fn index_sites_and_bounded_binders() {
+        let src = "fn f(xs: &[f64], k: usize) -> f64 {\n\
+                     let mut t = 0.0f64;\n\
+                     for i in 0..xs.len() { t = t.max(xs[i]); }\n\
+                     xs[k] + xs[0]\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        assert_eq!(s.indexes.len(), 3, "{:?}", s.indexes);
+        assert!(s.bounded_binders.contains(&"i".to_string()));
+        assert_eq!(s.indexes[1].idents, ["k"]);
+        assert!(s.indexes[2].idents.is_empty());
+    }
+
+    #[test]
+    fn array_types_and_macros_not_indexes() {
+        let src = "fn f() -> [f64; 2] { let v = vec![1.0]; let [a, b] = [v[0], 2.0]; [a, b] }\n";
+        let s = &summaries(src)[0];
+        assert_eq!(s.indexes.len(), 1, "{:?}", s.indexes);
+        assert_eq!(s.indexes[0].recv, "v");
+    }
+
+    #[test]
+    fn accumulation_inside_loop_found() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n\
+                     let mut acc = 0.0;\n\
+                     for x in xs { acc += x; }\n\
+                     acc\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        assert_eq!(s.accums.len(), 1);
+        assert_eq!(s.accums[0].var, "acc");
+    }
+
+    #[test]
+    fn entropy_and_assert_detected() {
+        let src = "fn f(n: usize) -> u64 {\n\
+                     assert!(n > 0);\n\
+                     let r = rand::thread_rng();\n\
+                     let t = Instant::now();\n\
+                     0\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        assert!(s.has_assert);
+        assert_eq!(s.entropy.len(), 2, "{:?}", s.entropy);
+        assert!(!s.entropy[0].is_clock);
+        assert!(s.entropy[1].is_clock);
+    }
+
+    #[test]
+    fn parallelism_param_marks_gated() {
+        let src = "pub fn run_with(n: usize, par: Parallelism) -> f64 { n as f64 }\n";
+        let s = &summaries(src)[0];
+        assert!(s.takes_parallelism);
+        assert!(s.parallel_gated);
+    }
+
+    #[test]
+    fn enumerate_binders_bounded() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n\
+                     let mut m = 1.0f64;\n\
+                     for (i, x) in xs.iter().enumerate() { m = m.max(xs[i] * x); }\n\
+                     m\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        assert!(
+            s.bounded_binders.contains(&"i".to_string()),
+            "{:?}",
+            s.bounded_binders
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! L10 non-conforming twin: the parallel-gated entry folds its partial
+//! sums through a bare `+=` helper — merged bits now depend on chunking.
+
+pub fn merge_sum_with(xs: &[f64], par: Parallelism) -> f64 {
+    drop(par);
+    fold_parts(xs)
+}
+
+pub fn merge_sum(xs: &[f64]) -> f64 {
+    merge_sum_with(xs, Parallelism::auto())
+}
+
+fn fold_parts(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}

@@ -1,0 +1,23 @@
+//! L10 conforming twin: the parallel-gated entry routes its fold through
+//! a compensated merge, so the result is chunking-invariant.
+
+pub fn merge_sum_with(xs: &[f64], par: Parallelism) -> f64 {
+    drop(par);
+    kahan_merge(xs)
+}
+
+pub fn merge_sum(xs: &[f64]) -> f64 {
+    merge_sum_with(xs, Parallelism::auto())
+}
+
+fn kahan_merge(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut c = 0.0;
+    for x in xs {
+        let y = *x - c;
+        let t = acc + y;
+        c = (t - acc) - y;
+        acc = t;
+    }
+    acc
+}

@@ -1,0 +1,19 @@
+//! L11 non-conforming twin: one `_with` variant drifts from its base
+//! signature, another is a variant in name only.
+
+pub fn frob(xs: &[f64], n: usize) -> f64 {
+    frob_with(xs, Parallelism::auto())
+}
+
+pub fn frob_with(xs: &[f64], par: Parallelism) -> f64 {
+    drop(par);
+    xs.len() as f64
+}
+
+pub fn quux(xs: &[f64]) -> f64 {
+    quux_with(xs)
+}
+
+pub fn quux_with(xs: &[f64]) -> f64 {
+    xs.len() as f64
+}

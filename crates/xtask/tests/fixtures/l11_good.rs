@@ -1,0 +1,15 @@
+//! L11 conforming twin: the full variant ladder stays signature-compatible
+//! after the policy parameters are stripped.
+
+pub fn frob(xs: &[f64], n: usize) -> f64 {
+    frob_with(xs, n, Parallelism::auto())
+}
+
+pub fn frob_with(xs: &[f64], n: usize, par: Parallelism) -> f64 {
+    frob_instrumented(xs, n, par, Instruments::none())
+}
+
+pub fn frob_instrumented(xs: &[f64], n: usize, par: Parallelism, ins: Instruments<'_>) -> f64 {
+    drop((par, ins));
+    xs.len() as f64 * n as f64
+}

@@ -4,9 +4,17 @@
 
 pub fn pair_sum_with(xs: &[f64], par: Parallelism) -> f64 {
     drop(par);
+    kahan_fold(xs)
+}
+
+fn kahan_fold(xs: &[f64]) -> f64 {
     let mut acc = 0.0;
+    let mut c = 0.0;
     for x in xs {
-        acc += *x;
+        let y = *x - c;
+        let t = acc + y;
+        c = (t - acc) - y;
+        acc = t;
     }
     acc
 }

@@ -1,0 +1,16 @@
+//! L8 non-conforming twin: the estimator's public surface reaches an
+//! ambient entropy read two helpers down — invisible to L2's per-file
+//! scan of the estimator, visible to the call-graph walk.
+
+pub fn estimate_total(xs: &[f64]) -> f64 {
+    xs.len() as f64 * perturbation()
+}
+
+fn perturbation() -> f64 {
+    noise_source()
+}
+
+fn noise_source() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,10 @@
+//! L8 conforming twin: entropy is injected — every helper only touches
+//! the caller-provided seeded source, so no ambient read is reachable.
+
+pub fn estimate_total<R: Rng>(xs: &[f64], rng: &mut R) -> f64 {
+    xs.len() as f64 * perturbation(rng)
+}
+
+fn perturbation<R: Rng>(rng: &mut R) -> f64 {
+    rng.gen()
+}

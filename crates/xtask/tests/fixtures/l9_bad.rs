@@ -1,0 +1,14 @@
+//! L9 non-conforming twin: a panic site and an unprovable slice index,
+//! both reachable from the resilient ladder's public surface.
+
+pub fn estimate_resilient(xs: &[f64], k: usize) -> f64 {
+    pick(xs, k) + last(xs)
+}
+
+fn pick(xs: &[f64], k: usize) -> f64 {
+    xs[k]
+}
+
+fn last(xs: &[f64]) -> f64 {
+    xs.last().copied().unwrap()
+}

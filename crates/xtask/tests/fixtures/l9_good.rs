@@ -1,0 +1,22 @@
+//! L9 conforming twin: typed errors for fallible access, a bounds-tied
+//! loop binder for the provable index.
+
+pub fn estimate_resilient(xs: &[f64], k: usize) -> Result<f64, String> {
+    let v = xs
+        .get(k)
+        .copied()
+        .ok_or_else(|| format!("site index {k} out of range"))?;
+    Ok(v + checked_last(xs)? + peak(xs))
+}
+
+fn checked_last(xs: &[f64]) -> Result<f64, String> {
+    xs.last().copied().ok_or_else(|| "empty slice".to_owned())
+}
+
+fn peak(xs: &[f64]) -> f64 {
+    let mut m = f64::NEG_INFINITY;
+    for i in 0..xs.len() {
+        m = m.max(xs[i]);
+    }
+    m
+}
