@@ -311,6 +311,10 @@ impl Characterizer {
     ) -> Result<CharacterizedLibrary, CellError> {
         let span = ins.span("cells.characterize_library");
         let all = lib.cells();
+        debug_assert!(
+            !all.is_empty() || lib.len() == 0,
+            "chunk indexes stay below len"
+        );
         let results = par.map_chunks(all.len(), |i| {
             self.characterize_cell_instrumented(&all[i], method, ins)
         });

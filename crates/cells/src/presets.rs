@@ -17,6 +17,10 @@ fn from_mix(lib: &CellLibrary, mix: &[(&str, f64)]) -> Result<UsageHistogram, Ce
             .ok_or_else(|| CellError::UnknownCell {
                 what: (*name).to_owned(),
             })?;
+        debug_assert!(
+            cell.id().0 < weights.len(),
+            "library ids are dense in 0..len"
+        );
         weights[cell.id().0] += *w;
     }
     UsageHistogram::from_weights(weights)

@@ -14,6 +14,7 @@ mod exact;
 mod integral;
 mod linear;
 mod resilient;
+mod table;
 
 pub use exact::{
     exact_placed_mean, exact_placed_stats, exact_placed_stats_instrumented,
@@ -31,6 +32,10 @@ pub use linear::{
 pub use resilient::{
     DegradationReport, LadderStage, RejectReason, ResilientEstimate, StageAttempt, StageOutcome,
     MIN_CONTINUUM_CELLS,
+};
+pub use table::{
+    linear_time_variance_tabulated, linear_time_variance_tabulated_instrumented, CorrelationTable,
+    TableEntry,
 };
 
 use crate::chars::HighLevelCharacteristics;
@@ -236,6 +241,61 @@ impl<C: SpatialCorrelation> ChipLeakageEstimator<C> {
             &|d: f64| self.rho_total(d),
             ins,
         ) * self.site_scale();
+        Ok(LeakageEstimate {
+            mean: self.mean(),
+            variance: var,
+            method: EstimatorMethod::Linear,
+        })
+    }
+
+    /// Tabulates this estimator's Eq. 17 offset/correlation table — the
+    /// `(grid, corner)`-addressed artifact `chipleakd` caches so bursts of
+    /// histogram-only queries skip the per-offset `ρ` evaluation.
+    pub fn correlation_table(&self) -> CorrelationTable {
+        CorrelationTable::new(&self.grid, &|d: f64| self.rho_total(d))
+    }
+
+    /// O(n) estimate (Eq. 17) replayed from a precomputed
+    /// [`CorrelationTable`]; bit-identical to [`Self::estimate_linear`]
+    /// by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] when the table was built
+    /// for a different grid shape (the `ρ` values themselves are the
+    /// caller's contract — address tables by corner, as `chipleakd` does).
+    pub fn estimate_linear_tabulated(
+        &self,
+        table: &CorrelationTable,
+    ) -> Result<LeakageEstimate, CoreError> {
+        self.estimate_linear_tabulated_instrumented(table, Instruments::none())
+    }
+
+    /// [`Self::estimate_linear_tabulated`] reporting to an injected
+    /// [`Instruments`].
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as
+    /// [`Self::estimate_linear_tabulated`].
+    pub fn estimate_linear_tabulated_instrumented(
+        &self,
+        table: &CorrelationTable,
+        ins: Instruments<'_>,
+    ) -> Result<LeakageEstimate, CoreError> {
+        if !table.matches(&self.grid) {
+            return Err(CoreError::InvalidArgument {
+                reason: format!(
+                    "correlation table is for a {}x{} grid, estimator uses {}x{}",
+                    table.rows(),
+                    table.cols(),
+                    self.grid.rows(),
+                    self.grid.cols()
+                ),
+            });
+        }
+        let var =
+            linear_time_variance_tabulated_instrumented(&self.rg, table, ins) * self.site_scale();
         Ok(LeakageEstimate {
             mean: self.mean(),
             variance: var,

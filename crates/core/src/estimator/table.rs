@@ -1,0 +1,216 @@
+//! Precomputed Eq. 17 correlation tables — the cacheable form of the
+//! O(n) distance-multiplicity estimator.
+//!
+//! [`linear_time_variance`](super::linear_time_variance) walks every grid
+//! offset `(i, j)`, computing its pair multiplicity `n_ij` and the total
+//! correlation `ρ_total(d_ij)` on the fly. Both depend only on the site
+//! grid and the process corner — never on the library or the usage
+//! histogram — which makes the per-offset `(n_ij, ρ_ij)` sequence a
+//! highly reusable artifact: one table serves every histogram-only query
+//! against the same `(grid, corner)` pair. `chipleakd` caches these
+//! tables behind content-addressed keys.
+//!
+//! Bit-identity contract: [`CorrelationTable::new`] visits offsets in
+//! exactly the order `linear_time_variance` does, and
+//! [`linear_time_variance_tabulated`] replays the identical sequence of
+//! floating-point operations (same-site term first, then
+//! `n_ij · F(ρ_ij)` per offset into one Kahan accumulator). A tabulated
+//! estimate is therefore bit-identical to the untabulated one by
+//! construction — pinned by the tests below and `tests/determinism.rs`.
+
+use crate::random_gate::RandomGate;
+use leakage_numeric::stats::KahanSum;
+use leakage_numeric::Instruments;
+use leakage_process::field::GridGeometry;
+
+/// One distinct grid offset: its pair multiplicity and the total channel
+/// length correlation at its distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableEntry {
+    /// Number of ordered site pairs realizing this offset (Eq. 16,
+    /// including the ±i/±j symmetry factor).
+    pub multiplicity: f64,
+    /// `ρ_total(d_ij)` — D2D floor plus within-die decay at the offset
+    /// distance.
+    pub rho: f64,
+}
+
+/// The per-corner Eq. 17 table: every distinct offset of a `k × m` site
+/// grid with its multiplicity and total correlation, in the canonical
+/// offset order (`i` outer, `j` inner, `(0,0)` excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationTable {
+    rows: usize,
+    cols: usize,
+    entries: Vec<TableEntry>,
+}
+
+impl CorrelationTable {
+    /// Tabulates the grid's offsets under `rho_total`. The traversal
+    /// order matches `linear_time_variance` exactly.
+    pub fn new<R: Fn(f64) -> f64>(grid: &GridGeometry, rho_total: &R) -> CorrelationTable {
+        let m = grid.cols();
+        let k = grid.rows();
+        let mut entries = Vec::with_capacity(m * k - 1);
+        for i in 0..m {
+            for j in 0..k {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                let multiplicity = (m - i) as f64
+                    * (k - j) as f64
+                    * if i > 0 { 2.0 } else { 1.0 }
+                    * if j > 0 { 2.0 } else { 1.0 };
+                let d = grid.offset_distance(i as i64, j as i64);
+                entries.push(TableEntry {
+                    multiplicity,
+                    rho: rho_total(d),
+                });
+            }
+        }
+        CorrelationTable {
+            rows: k,
+            cols: m,
+            entries,
+        }
+    }
+
+    /// Grid rows the table was built for.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns the table was built for.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of distinct offsets (`rows · cols − 1`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` for the degenerate 1×1 grid.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tabulated offsets in canonical order.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// `true` when the table was built for a grid of this shape.
+    pub fn matches(&self, grid: &GridGeometry) -> bool {
+        self.rows == grid.rows() && self.cols == grid.cols()
+    }
+}
+
+/// Eq. 17 variance from a precomputed table: replays the identical
+/// floating-point sequence as
+/// [`linear_time_variance`](super::linear_time_variance) with the
+/// per-offset `ρ` lookups already done.
+pub fn linear_time_variance_tabulated(rg: &RandomGate, table: &CorrelationTable) -> f64 {
+    linear_time_variance_tabulated_instrumented(rg, table, Instruments::none())
+}
+
+/// [`linear_time_variance_tabulated`] reporting to an injected
+/// [`Instruments`]: a span over the replay plus offset count and the
+/// resulting variance as a value observation.
+pub fn linear_time_variance_tabulated_instrumented(
+    rg: &RandomGate,
+    table: &CorrelationTable,
+    ins: Instruments<'_>,
+) -> f64 {
+    let span = ins.span("core.linear_time_variance_tabulated");
+    let n = (table.rows * table.cols) as f64;
+    let mut var = KahanSum::new();
+    var.add(n * rg.variance());
+    for e in &table.entries {
+        var.add(e.multiplicity * rg.covariance(e.rho));
+    }
+    ins.add("core.linear_tabulated.offsets", table.entries.len() as u64);
+    ins.record("core.linear_tabulated.variance", var.sum());
+    drop(span);
+    var.sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::linear::linear_time_variance;
+    use super::*;
+    use leakage_cells::corrmap::CorrelationPolicy;
+    use leakage_cells::library::CellId;
+    use leakage_cells::model::{
+        CharacterizedCell, CharacterizedLibrary, LeakageTriplet, StateModel,
+    };
+    use leakage_cells::UsageHistogram;
+
+    const SIGMA: f64 = 4.5;
+
+    fn rg() -> RandomGate {
+        let t1 = LeakageTriplet::new(1e-9, -0.06, 0.0009).unwrap();
+        let t2 = LeakageTriplet::new(3e-9, -0.05, 0.0006).unwrap();
+        let mk = |id: usize, t: LeakageTriplet| CharacterizedCell {
+            id: CellId(id),
+            name: format!("cell{id}"),
+            n_inputs: 0,
+            states: vec![StateModel {
+                state: 0,
+                mean: t.mean(SIGMA).unwrap(),
+                std: t.std(SIGMA).unwrap(),
+                triplet: Some(t),
+                fit_r2: Some(1.0),
+            }],
+        };
+        let lib = CharacterizedLibrary {
+            cells: vec![mk(0, t1), mk(1, t2)],
+            l_sigma: SIGMA,
+        };
+        let hist = UsageHistogram::uniform(2).unwrap();
+        RandomGate::new(&lib, &hist, 0.5, CorrelationPolicy::Exact).unwrap()
+    }
+
+    fn rho_total(d: f64) -> f64 {
+        let rho_c = 0.3;
+        let dmax = 40.0;
+        rho_c + (1.0 - rho_c) * (1.0 - d / dmax).max(0.0)
+    }
+
+    #[test]
+    fn tabulated_is_bit_identical_to_direct() {
+        let rg = rg();
+        for (rows, cols) in [(1usize, 1usize), (1, 7), (5, 5), (13, 9)] {
+            let grid = GridGeometry::new(rows, cols, 10.0, 12.5).unwrap();
+            let table = CorrelationTable::new(&grid, &rho_total);
+            assert_eq!(table.len(), rows * cols - 1);
+            assert!(table.matches(&grid));
+            let direct = linear_time_variance(&rg, &grid, &rho_total);
+            let tabulated = linear_time_variance_tabulated(&rg, &table);
+            assert_eq!(
+                direct.to_bits(),
+                tabulated.to_bits(),
+                "{rows}x{cols}: direct {direct} != tabulated {tabulated}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_shape_mismatch_is_detectable() {
+        let g1 = GridGeometry::new(4, 4, 10.0, 10.0).unwrap();
+        let g2 = GridGeometry::new(4, 5, 10.0, 10.0).unwrap();
+        let table = CorrelationTable::new(&g1, &rho_total);
+        assert!(table.matches(&g1));
+        assert!(!table.matches(&g2));
+    }
+
+    #[test]
+    fn entries_follow_the_canonical_order() {
+        let grid = GridGeometry::new(2, 3, 1.0, 1.0).unwrap();
+        let table = CorrelationTable::new(&grid, &rho_total);
+        // i outer (0..cols), j inner (0..rows), (0,0) skipped: the first
+        // entry is (i=0, j=1), multiplicity m·(k−1)·2 = 3·1·2.
+        let first = table.entries().first().expect("non-degenerate grid");
+        assert_eq!(first.multiplicity, 6.0);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`text::truncate`] / [`text::duplicate_line`] /
 //!   [`text::poison_number`] — corrupt netlist/placement text at seeded
 //!   sites;
+//! * [`requests::clip_one_line`] / [`requests::oversize_one_line`] —
+//!   tear or inflate single `chipleakd` NDJSON request lines while the
+//!   rest of the stream survives;
 //! * [`PanicInjector`] — panics worker closures on seeded chunk indices.
 //!
 //! This is test support: production binaries must not depend on it.
@@ -26,6 +29,7 @@
 mod correlation;
 mod panic;
 mod plan;
+pub mod requests;
 mod rng;
 mod solver;
 pub mod text;

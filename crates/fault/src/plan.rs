@@ -24,6 +24,10 @@ pub enum FaultClass {
     CorruptNumber,
     /// Worker-thread panics.
     WorkerPanic,
+    /// One request line clipped mid-way (torn write on a live stream).
+    ClippedRequest,
+    /// One request line inflated past the server's line cap.
+    OversizedRequest,
 }
 
 impl FaultClass {
@@ -35,6 +39,8 @@ impl FaultClass {
             FaultClass::DuplicatedInput => 4,
             FaultClass::CorruptNumber => 5,
             FaultClass::WorkerPanic => 6,
+            FaultClass::ClippedRequest => 7,
+            FaultClass::OversizedRequest => 8,
         }
     }
 }
@@ -97,6 +103,28 @@ impl FaultPlan {
     /// The input text with one seeded numeric token replaced by NaN.
     pub fn nan_number(&self, input: &str) -> String {
         text::poison_number(input, &mut self.stream(FaultClass::CorruptNumber))
+    }
+
+    /// The request stream with one seeded line cut mid-way while the
+    /// rest of the stream (including later lines) survives.
+    pub fn clipped_request(&self, stream: &str) -> String {
+        crate::requests::clip_one_line(stream, &mut self.stream(FaultClass::ClippedRequest))
+    }
+
+    /// The request stream with one seeded line padded past `limit` bytes.
+    pub fn oversized_request(&self, stream: &str, limit: usize) -> String {
+        crate::requests::oversize_one_line(
+            stream,
+            limit,
+            &mut self.stream(FaultClass::OversizedRequest),
+        )
+    }
+
+    /// The request stream with one seeded JSON number replaced by NaN
+    /// (the JSON-aware sibling of [`nan_number`](Self::nan_number), which
+    /// cannot reach numbers inside compact JSON).
+    pub fn nan_request_number(&self, stream: &str) -> String {
+        crate::requests::poison_json_number(stream, &mut self.stream(FaultClass::CorruptNumber))
     }
 
     /// A panic injector firing on a `rate` fraction of chunk indices.

@@ -1,0 +1,180 @@
+//! Seeded corruption of NDJSON request streams (the `chipleakd` wire
+//! input).
+//!
+//! The whole-text transforms in [`text`](crate::text) already model two
+//! wire faults directly: [`text::truncate`](crate::text::truncate) is a
+//! mid-stream EOF (the tail of the stream, possibly mid-line, never
+//! arrives) and [`text::duplicate_line`](crate::text::duplicate_line) /
+//! [`text::poison_number`](crate::text::poison_number) replay and
+//! corrupt whole request lines. The transforms here cover the two
+//! stream faults those cannot express: clipping ONE line while the rest
+//! of the stream survives (a torn write inside a healthy connection),
+//! and inflating one line past the server's `max_line_bytes` cap.
+
+use crate::rng::SplitMix64;
+
+/// Byte spans of the non-empty lines of `stream` (newline excluded).
+fn line_spans(stream: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0;
+    for (i, b) in stream.bytes().enumerate() {
+        if b == b'\n' {
+            if i > start {
+                spans.push((start, i));
+            }
+            start = i + 1;
+        }
+    }
+    if stream.len() > start {
+        spans.push((start, stream.len()));
+    }
+    spans
+}
+
+/// Cuts one seeded request line mid-way — a torn write — while every
+/// other line (including the ones after it) arrives intact. The damaged
+/// line must draw a typed parse error; its neighbours must be served
+/// normally. Returns the stream unchanged when no line is long enough
+/// to cut.
+pub fn clip_one_line(stream: &str, rng: &mut SplitMix64) -> String {
+    let spans: Vec<(usize, usize)> = line_spans(stream)
+        .into_iter()
+        .filter(|&(s, e)| e - s >= 2)
+        .collect();
+    if spans.is_empty() {
+        return stream.to_string();
+    }
+    let (start, end) = spans[rng.next_below(spans.len())];
+    // Cut strictly inside the line: keep [1, len - 1] bytes of it.
+    let mut cut = start + 1 + rng.next_below(end - start - 1);
+    while !stream.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}{}", &stream[..cut], &stream[end..])
+}
+
+/// Pads one seeded request line with trailing spaces until it exceeds
+/// `limit` bytes, modelling an oversized job submission. The server must
+/// answer it with a typed `oversized` error and keep serving the rest of
+/// the stream. Lines already longer than `limit` are left alone; returns
+/// the stream unchanged when it has no lines.
+pub fn oversize_one_line(stream: &str, limit: usize, rng: &mut SplitMix64) -> String {
+    let spans = line_spans(stream);
+    if spans.is_empty() {
+        return stream.to_string();
+    }
+    let (start, end) = spans[rng.next_below(spans.len())];
+    let needed = (limit + 1).saturating_sub(end - start);
+    format!("{}{}{}", &stream[..end], " ".repeat(needed), &stream[end..])
+}
+
+/// Replaces one seeded JSON number value in the stream with `NaN`.
+/// Bare `NaN` is not JSON, so the damaged line must draw a typed parse
+/// error. The whitespace-token poisoner in
+/// [`text::poison_number`](crate::text::poison_number) cannot reach
+/// numbers inside compact JSON (no token boundaries), hence this
+/// grammar-aware variant. Returns the stream unchanged when it contains
+/// no number values.
+pub fn poison_json_number(stream: &str, rng: &mut SplitMix64) -> String {
+    let spans = json_number_spans(stream);
+    if spans.is_empty() {
+        return stream.to_string();
+    }
+    let (start, end) = spans[rng.next_below(spans.len())];
+    format!("{}NaN{}", &stream[..start], &stream[end..])
+}
+
+/// Byte spans of JSON number values: maximal `[-+.eE0-9]` runs that
+/// start right after `:`, `,`, or `[` (value position, not string
+/// content) and parse as f64.
+fn json_number_spans(stream: &str) -> Vec<(usize, usize)> {
+    let bytes = stream.as_bytes();
+    let mut spans = Vec::new();
+    let mut prev_significant = b'\n';
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if matches!(b, b'-' | b'0'..=b'9') && matches!(prev_significant, b':' | b',' | b'[') {
+            let start = i;
+            while i < bytes.len()
+                && matches!(bytes[i], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                i += 1;
+            }
+            if stream
+                .get(start..i)
+                .is_some_and(|tok| tok.parse::<f64>().is_ok())
+            {
+                spans.push((start, i));
+            }
+            prev_significant = b'0';
+            continue;
+        }
+        if !b.is_ascii_whitespace() {
+            prev_significant = b;
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STREAM: &str = "{\"v\":1,\"id\":1,\"job\":{\"kind\":\"ping\"}}\n{\"v\":1,\"id\":2,\"job\":{\"kind\":\"stats\"}}\n";
+
+    #[test]
+    fn clip_damages_exactly_one_line_and_keeps_the_rest() {
+        let mut rng = SplitMix64::new(7);
+        let clipped = clip_one_line(STREAM, &mut rng);
+        assert_ne!(clipped, STREAM);
+        let originals: Vec<&str> = STREAM.lines().collect();
+        let survivors = clipped.lines().filter(|l| originals.contains(l)).count();
+        assert_eq!(
+            survivors,
+            originals.len() - 1,
+            "one line damaged: {clipped:?}"
+        );
+        assert_eq!(clipped.lines().count(), originals.len(), "no line dropped");
+    }
+
+    #[test]
+    fn clip_is_reproducible_from_the_seed() {
+        let a = clip_one_line(STREAM, &mut SplitMix64::new(42));
+        let b = clip_one_line(STREAM, &mut SplitMix64::new(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversize_pushes_one_line_past_the_limit() {
+        let mut rng = SplitMix64::new(3);
+        let limit = 128;
+        let padded = oversize_one_line(STREAM, limit, &mut rng);
+        let over: Vec<&str> = padded.lines().filter(|l| l.len() > limit).collect();
+        assert_eq!(over.len(), 1, "exactly one oversized line");
+        assert_eq!(padded.lines().count(), STREAM.lines().count());
+        // The payload under the padding is still the original request.
+        let originals: Vec<&str> = STREAM.lines().collect();
+        assert!(originals.contains(&over[0].trim_end()));
+    }
+
+    #[test]
+    fn json_numbers_are_reachable_and_poisoning_breaks_the_json() {
+        let mut rng = SplitMix64::new(9);
+        let poisoned = poison_json_number(STREAM, &mut rng);
+        assert_ne!(poisoned, STREAM);
+        assert!(poisoned.contains("NaN"), "{poisoned:?}");
+        // Only value-position runs qualify — digits inside strings don't.
+        let quoted = "{\"id\":\"cmos90\"}\n";
+        assert_eq!(poison_json_number(quoted, &mut rng), quoted);
+    }
+
+    #[test]
+    fn degenerate_streams_pass_through_unchanged() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(clip_one_line("", &mut rng), "");
+        assert_eq!(clip_one_line("\n\n", &mut rng), "\n\n");
+        assert_eq!(oversize_one_line("", 64, &mut rng), "");
+    }
+}

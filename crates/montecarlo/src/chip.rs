@@ -25,6 +25,7 @@ pub struct ChipSamplerBuilder<'a, C> {
     signal_probability: f64,
     sample_vt: bool,
     plan_cache: Option<&'a FftPlanCache>,
+    ins: Instruments<'a>,
 }
 
 impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
@@ -43,6 +44,7 @@ impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
             signal_probability: 0.5,
             sample_vt: false,
             plan_cache: None,
+            ins: Instruments::none(),
         }
     }
 
@@ -68,6 +70,13 @@ impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
         self
     }
 
+    /// Routes sampler-construction instrumentation (plan-cache hit/miss
+    /// counters, colouring spans) to `ins`. Defaults to none.
+    pub fn instruments(mut self, ins: Instruments<'a>) -> Self {
+        self.ins = ins;
+        self
+    }
+
     /// Builds the sampler.
     ///
     /// # Errors
@@ -89,7 +98,7 @@ impl<'a, C: SpatialCorrelation> ChipSamplerBuilder<'a, C> {
                 l_var.sigma_wid(),
                 Parallelism::auto(),
                 cache,
-                Instruments::none(),
+                self.ins,
             )?,
             None => CirculantFieldSampler::new(grid, self.wid, l_var.sigma_wid())?,
         };
@@ -170,6 +179,10 @@ impl ChipSampler {
 
     /// Evaluates the chip leakage for one pre-sampled WID field.
     fn eval_with_field<R: Rng + ?Sized>(&self, wid_field: &[f64], rng: &mut R) -> f64 {
+        debug_assert!(
+            self.sites.iter().all(|s| *s < wid_field.len()),
+            "site map built against the sampled grid"
+        );
         let d2d: f64 = {
             let z: f64 = StandardNormal.sample(rng);
             z * self.sigma_d2d

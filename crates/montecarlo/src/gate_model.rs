@@ -19,6 +19,10 @@ impl GateModel {
     /// Draws a state and evaluates the leakage at channel-length
     /// deviation `dl`.
     pub(crate) fn sample_leakage<R: Rng + ?Sized>(&self, dl: f64, rng: &mut R) -> f64 {
+        debug_assert!(
+            !self.triplets.is_empty(),
+            "models carry one curve per state"
+        );
         let u: f64 = rng.gen();
         let state = self
             .cum_state_probs

@@ -88,6 +88,7 @@ pub fn place_in_die(
         }
         PlacementStyle::Clustered => {
             let mut order: Vec<usize> = (0..n).collect();
+            debug_assert!(n == circuit.gates().len(), "order indexes the gate list");
             order.sort_by_key(|i| circuit.gates()[*i].0);
             order
         }

@@ -431,6 +431,10 @@ impl FftPlan {
     /// its evaluation order are unchanged, keeping the pass bit-identical
     /// to the direct transform.
     fn run(&self, data: &mut [Complex], twiddles: &[Complex]) {
+        debug_assert!(
+            data.len() == self.n && twiddles.len() + 1 == self.n.max(1),
+            "buffer and twiddle table sized by the plan"
+        );
         for &(i, j) in &self.swaps {
             data.swap(i as usize, j as usize);
         }
@@ -591,6 +595,7 @@ impl Fft2dPlan {
             });
         }
         let keep = keep_cols.min(cols);
+        debug_assert!(data.len() == rows * cols, "length checked above");
         if keep == cols {
             return self.forward_scratch_with(data, scratch, par);
         }
@@ -664,6 +669,7 @@ impl Fft2dPlan {
                 reason: format!("buffer length {} does not match {rows}x{cols}", data.len()),
             });
         }
+        debug_assert!(data.len() == rows * cols, "length checked above");
         let run_1d = |plan: &FftPlan, buf: &mut [Complex]| {
             if inverse {
                 // Normalization is applied once over the full 2-D buffer

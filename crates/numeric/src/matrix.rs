@@ -271,6 +271,7 @@ impl Matrix {
         }
         let n = self.rows;
         let mut a = self.data.clone();
+        debug_assert!(a.len() == n * n, "square matrix checked above");
         let mut perm: Vec<usize> = (0..n).collect();
         let mut sign = 1.0;
         for k in 0..n {

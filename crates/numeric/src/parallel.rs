@@ -168,6 +168,7 @@ impl Parallelism {
                 all
             });
             for (i, v) in collected {
+                debug_assert!(i < slots.len(), "workers only claim indexes below n_chunks");
                 slots[i] = Some(v);
             }
             slots

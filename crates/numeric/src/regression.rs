@@ -141,6 +141,10 @@ pub fn fit_exp_quadratic(
     }
     let logs: Vec<f64> = leakages.iter().map(|x| x.ln()).collect();
     let fit = polyfit(lengths, &logs, 2)?;
+    debug_assert!(
+        fit.coeffs.len() == 3,
+        "degree-2 polyfit returns three coefficients"
+    );
     let a = fit.coeffs[0].exp();
     Ok((a, fit.coeffs[1], fit.coeffs[2], fit.r_squared))
 }

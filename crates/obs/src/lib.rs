@@ -17,6 +17,11 @@
 //! - [`Instruments`]: the `(recorder, clock)` pair hot paths thread
 //!   through their `*_instrumented` entry points, plus RAII [`SpanGuard`]
 //!   timing.
+//! - [`TeeRecorder`] / [`CountersOnly`]: combinators that fan one event
+//!   stream out to two sinks and restrict a shared sink to the
+//!   commutative counter subset — how `chipleakd` keeps a fleet-level
+//!   aggregate bit-identical across worker counts while requests keep
+//!   full-fidelity local views.
 //! - [`MetricsSnapshot`]: an ordered, `PartialEq`-comparable view of an
 //!   aggregate with a deterministic JSON rendering (BTreeMap key order,
 //!   shortest-roundtrip floats) for `chipleak --metrics-json` and
@@ -28,12 +33,14 @@
 pub mod aggregate;
 pub mod clock;
 pub mod recorder;
+pub mod tee;
 
 pub use aggregate::{
     AggregatingRecorder, MetricsSnapshot, SpanSummary, ValueSummary, WorkerRecorder,
 };
 pub use clock::{Clock, FakeClock, NullClock, WallClock};
 pub use recorder::{Instruments, NoopRecorder, Recorder, SpanGuard};
+pub use tee::{CountersOnly, TeeRecorder};
 
 /// Neumaier-compensated accumulator, local to this crate so `leakage-obs`
 /// stays dependency-free (the estimator stack has its own in

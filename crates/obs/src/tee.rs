@@ -1,0 +1,162 @@
+//! Recorder combinators: fan-out and counter filtering.
+//!
+//! `chipleakd` needs two views of the same event stream: a per-request
+//! [`AggregatingRecorder`](crate::AggregatingRecorder) with full fidelity
+//! (values, spans), and a fleet-level aggregate shared by every worker
+//! thread. The fleet view must stay bit-identical regardless of how jobs
+//! interleave across workers — which only holds if the fleet recorder
+//! receives *commutative* events. Counter increments are commutative
+//! (`u64` addition); value and span observations are not (Kahan folds and
+//! min/max ties are order-sensitive at the bit level).
+//!
+//! [`CountersOnly`] enforces that discipline by construction: it forwards
+//! counters and drops everything else. [`TeeRecorder`] fans one event
+//! stream out to two sinks, so a request handler can record once and feed
+//! both views:
+//!
+//! ```
+//! use leakage_obs::{AggregatingRecorder, CountersOnly, Recorder, TeeRecorder};
+//!
+//! let per_request = AggregatingRecorder::new();
+//! let fleet = AggregatingRecorder::new();
+//! let fleet_counters = CountersOnly::new(&fleet);
+//! let tee = TeeRecorder::new(&per_request, &fleet_counters);
+//! tee.add("service.cache.hits", 1);
+//! tee.record("core.linear.variance", 2.5);
+//! assert_eq!(fleet.snapshot().counters.len(), 1);
+//! assert!(fleet.snapshot().values.is_empty());
+//! assert_eq!(per_request.snapshot().values.len(), 1);
+//! ```
+
+use crate::recorder::Recorder;
+
+/// Fans every event out to two recorders, in order (`first`, then
+/// `second`). Enabled iff either side is enabled.
+pub struct TeeRecorder<'a> {
+    first: &'a dyn Recorder,
+    second: &'a dyn Recorder,
+}
+
+impl<'a> TeeRecorder<'a> {
+    /// Tee events to `first` and `second`.
+    pub fn new(first: &'a dyn Recorder, second: &'a dyn Recorder) -> Self {
+        Self { first, second }
+    }
+}
+
+impl Recorder for TeeRecorder<'_> {
+    fn add(&self, counter: &'static str, by: u64) {
+        self.first.add(counter, by);
+        self.second.add(counter, by);
+    }
+
+    fn record(&self, hist: &'static str, value: f64) {
+        self.first.record(hist, value);
+        self.second.record(hist, value);
+    }
+
+    fn span_ns(&self, span: &'static str, nanos: u64) {
+        self.first.span_ns(span, nanos);
+        self.second.span_ns(span, nanos);
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.first.is_enabled() || self.second.is_enabled()
+    }
+}
+
+/// Forwards counter increments and drops value/span observations — the
+/// commutative subset of the event stream. A shared aggregate fed only
+/// through `CountersOnly` is bit-identical for every worker count and
+/// every job interleaving, because `u64` addition is order-independent.
+pub struct CountersOnly<'a> {
+    inner: &'a dyn Recorder,
+}
+
+impl<'a> CountersOnly<'a> {
+    /// Forward counters (only) to `inner`.
+    pub fn new(inner: &'a dyn Recorder) -> Self {
+        Self { inner }
+    }
+}
+
+impl Recorder for CountersOnly<'_> {
+    fn add(&self, counter: &'static str, by: u64) {
+        self.inner.add(counter, by);
+    }
+
+    fn record(&self, _hist: &'static str, _value: f64) {}
+
+    fn span_ns(&self, _span: &'static str, _nanos: u64) {}
+
+    fn is_enabled(&self) -> bool {
+        self.inner.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregatingRecorder;
+    use crate::clock::FakeClock;
+    use crate::recorder::Instruments;
+
+    #[test]
+    fn tee_duplicates_all_event_kinds() {
+        let a = AggregatingRecorder::new();
+        let b = AggregatingRecorder::new();
+        let tee = TeeRecorder::new(&a, &b);
+        tee.add("c", 3);
+        tee.record("v", 1.5);
+        tee.span_ns("s", 42);
+        for snap in [a.snapshot(), b.snapshot()] {
+            assert_eq!(snap.counters.get("c"), Some(&3));
+            assert_eq!(snap.values.get("v").map(|v| v.count), Some(1));
+            assert_eq!(snap.spans.get("s").map(|s| s.total_ns), Some(42));
+        }
+    }
+
+    #[test]
+    fn counters_only_drops_values_and_spans() {
+        let inner = AggregatingRecorder::new();
+        let filter = CountersOnly::new(&inner);
+        filter.add("kept", 2);
+        filter.record("dropped", 9.0);
+        filter.span_ns("dropped_too", 7);
+        let snap = inner.snapshot();
+        assert_eq!(snap.counters.get("kept"), Some(&2));
+        assert!(snap.values.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn tee_through_instruments_feeds_both_views() {
+        let per_request = AggregatingRecorder::new();
+        let fleet = AggregatingRecorder::new();
+        let fleet_counters = CountersOnly::new(&fleet);
+        let tee = TeeRecorder::new(&per_request, &fleet_counters);
+        let clock = FakeClock::new(3);
+        let ins = Instruments::new(&tee, &clock);
+        ins.add("service.jobs", 1);
+        ins.record("core.variance", 4.0);
+        drop(ins.span("service.exec"));
+        let req = per_request.snapshot();
+        let fl = fleet.snapshot();
+        assert_eq!(req.counters.get("service.jobs"), Some(&1));
+        assert_eq!(fl.counters.get("service.jobs"), Some(&1));
+        assert_eq!(req.values.len(), 1);
+        assert_eq!(req.spans.len(), 1);
+        assert!(fl.values.is_empty() && fl.spans.is_empty());
+    }
+
+    #[test]
+    fn enabled_reflects_the_fanout() {
+        let agg = AggregatingRecorder::new();
+        let noop = crate::recorder::NoopRecorder;
+        assert!(TeeRecorder::new(&agg, &noop).is_enabled());
+        assert!(TeeRecorder::new(&noop, &agg).is_enabled());
+        assert!(!TeeRecorder::new(&noop, &noop).is_enabled());
+        assert!(CountersOnly::new(&agg).is_enabled());
+        assert!(!CountersOnly::new(&noop).is_enabled());
+    }
+}

@@ -515,6 +515,10 @@ impl CirculantFieldSampler {
             // chipleak-lint: allow(no-unwrap-in-library): the noise buffer was just filled to sqrt_scaled_eigs.len(), which equals the plan's torus size by construction
             .expect("noise buffer matches plan shape");
         let (rows, cols) = (self.geometry.rows(), self.geometry.cols());
+        debug_assert!(
+            scratch.noise.len() >= rows * q && cols <= q,
+            "noise buffer spans the padded torus"
+        );
         a.clear();
         b.clear();
         a.reserve(rows * cols);

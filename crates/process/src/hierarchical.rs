@@ -134,6 +134,10 @@ impl QuadtreeCorrelation {
             let scale = w.sqrt();
             for (i, site) in sites.iter().enumerate() {
                 let r = self.region(level, site.0, site.1);
+                debug_assert!(
+                    r < values.len(),
+                    "region() clamps into the divs x divs grid"
+                );
                 if values[r].is_nan() {
                     let z: f64 = StandardNormal.sample(rng);
                     values[r] = z * scale;

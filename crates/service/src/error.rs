@@ -1,0 +1,137 @@
+//! Typed wire errors and the mapping from domain errors.
+//!
+//! Every failure a request can provoke — from a corrupt byte on the
+//! wire to an exhausted resilient ladder — becomes a `{"err":{"kind":
+//! ...,"message":...}}` response with a kind from the closed set below.
+//! Nothing panics (lint L9 roots at this crate) and nothing is stringly
+//! ad hoc: clients dispatch on `kind`, humans read `message`. Messages
+//! reuse the domain errors' `Display` forms, which are deterministic
+//! (no addresses, no timestamps), so the golden transcripts can pin
+//! error responses byte-for-byte.
+
+/// The closed set of wire error kinds (DESIGN.md §14.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON.
+    Parse,
+    /// Valid JSON that violates the protocol shape (bad version,
+    /// unknown job kind, wrong field type, unknown field).
+    Protocol,
+    /// The request line exceeded the configured size limit.
+    Oversized,
+    /// A domain precondition failed (invalid corner, bad grid, ...).
+    InvalidArgument,
+    /// Strict mode refused to run: the requested method failed its
+    /// applicability or validation check and fallback is forbidden.
+    StrictRefusal,
+    /// The resilient ladder ran out of rungs.
+    Exhausted,
+    /// A server-side invariant failed. Should be unreachable.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire tag for this kind.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::InvalidArgument => "invalid_argument",
+            ErrorKind::StrictRefusal => "strict_refusal",
+            ErrorKind::Exhausted => "exhausted",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A typed error response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceError {
+    /// Dispatch tag.
+    pub kind: ErrorKind,
+    /// Deterministic human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Builds an error of `kind` with `message`.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a protocol-shape violation.
+    pub fn protocol(message: impl Into<String>) -> ServiceError {
+        ServiceError::new(ErrorKind::Protocol, message)
+    }
+
+    /// Shorthand for a domain-precondition failure.
+    pub fn invalid(message: impl Into<String>) -> ServiceError {
+        ServiceError::new(ErrorKind::InvalidArgument, message)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.tag(), self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<leakage_core::CoreError> for ServiceError {
+    fn from(e: leakage_core::CoreError) -> ServiceError {
+        let kind = match &e {
+            leakage_core::CoreError::EstimationExhausted { .. } => ErrorKind::Exhausted,
+            _ => ErrorKind::InvalidArgument,
+        };
+        ServiceError::new(kind, e.to_string())
+    }
+}
+
+impl From<leakage_cells::CellError> for ServiceError {
+    fn from(e: leakage_cells::CellError) -> ServiceError {
+        ServiceError::invalid(e.to_string())
+    }
+}
+
+impl From<leakage_process::ProcessError> for ServiceError {
+    fn from(e: leakage_process::ProcessError) -> ServiceError {
+        ServiceError::invalid(e.to_string())
+    }
+}
+
+impl From<leakage_netlist::NetlistError> for ServiceError {
+    fn from(e: leakage_netlist::NetlistError) -> ServiceError {
+        ServiceError::invalid(e.to_string())
+    }
+}
+
+impl From<leakage_montecarlo::McError> for ServiceError {
+    fn from(e: leakage_montecarlo::McError) -> ServiceError {
+        ServiceError::invalid(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable() {
+        for (kind, tag) in [
+            (ErrorKind::Parse, "parse"),
+            (ErrorKind::Protocol, "protocol"),
+            (ErrorKind::Oversized, "oversized"),
+            (ErrorKind::InvalidArgument, "invalid_argument"),
+            (ErrorKind::StrictRefusal, "strict_refusal"),
+            (ErrorKind::Exhausted, "exhausted"),
+            (ErrorKind::Internal, "internal"),
+        ] {
+            assert_eq!(kind.tag(), tag);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Job execution against the shared artifact store.
+//!
+//! This is where a resolved [`JobSpec`] meets the estimator stack. The
+//! instrumentation discipline here is load-bearing for determinism
+//! (DESIGN.md §14.5):
+//!
+//! - **Cache lookups and artifact computes** report only to the fleet's
+//!   counter sink ([`CountersOnly`]). Whether *this* request was the
+//!   one that computed a shared artifact depends on scheduling, so none
+//!   of that may leak into the per-request view — only into fleet
+//!   totals, which single-flight makes schedule-free.
+//! - **Estimator/sampler work** that every request performs regardless
+//!   of cache state reports through a [`TeeRecorder`] to both the
+//!   per-request recorder and the fleet counter sink. The per-request
+//!   counter echo (`"metrics":true`) is therefore a pure function of
+//!   the job — bit-identical under reordering and any worker count.
+//!
+//! Estimates run with the Vt mean correction enabled, matching what the
+//! one-shot `chipleak estimate` CLI always does — the conformance suite
+//! diffs the two paths byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use leakage_cells::charax::{CharMethod, Characterizer};
+use leakage_cells::model::CharacterizedLibrary;
+use leakage_cells::CellLibrary;
+use leakage_core::estimator::LadderStage;
+use leakage_core::{ChipLeakageEstimator, HighLevelCharacteristics, LeakageDistribution};
+use leakage_montecarlo::ChipSamplerBuilder;
+use leakage_netlist::generate::RandomCircuitGenerator;
+use leakage_netlist::placement::{place_in_die, PlacementStyle};
+use leakage_numeric::parallel::Parallelism;
+use leakage_obs::{
+    AggregatingRecorder, CountersOnly, Instruments, NullClock, Recorder, TeeRecorder,
+};
+use leakage_process::correlation::TentCorrelation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::{ErrorKind, ServiceError};
+use crate::keys;
+use crate::protocol::{
+    CharacterizeSpec, EstimateSpec, JobSpec, ModeSpec, MonteCarloSpec, OkBody, TechSpec,
+};
+use crate::store::ArtifactStore;
+
+/// What an executing job can see: the shared store and the fleet
+/// recorder (only ever fed counters from here).
+pub struct ExecContext<'a> {
+    /// The process-wide artifact store.
+    pub store: &'a ArtifactStore,
+    /// The fleet-level recorder shared by every worker.
+    pub fleet: &'a dyn Recorder,
+    /// Server-level default degradation policy (`chipleakd --resilient`),
+    /// applied when a job carries no `mode` of its own.
+    pub resilient_default: bool,
+}
+
+fn parallelism(threads: usize) -> Parallelism {
+    if threads == 0 {
+        Parallelism::auto()
+    } else {
+        Parallelism::threads(threads)
+    }
+}
+
+fn counter_echo(rec: &AggregatingRecorder) -> BTreeMap<String, u64> {
+    rec.snapshot().counters
+}
+
+/// Executes one job. `Stats` and `Shutdown` are handled by the server
+/// (they touch server state, not the estimator stack); routing them
+/// here is an internal error, not a panic.
+pub fn execute(ctx: &ExecContext<'_>, job: &JobSpec) -> Result<OkBody, ServiceError> {
+    match job {
+        JobSpec::Ping => Ok(OkBody::Pong),
+        JobSpec::Characterize(spec) => characterize(ctx, spec),
+        JobSpec::Estimate(spec) => estimate(ctx, spec),
+        JobSpec::MonteCarlo(spec) => montecarlo(ctx, spec),
+        JobSpec::Stats | JobSpec::Shutdown => Err(ServiceError::new(
+            ErrorKind::Internal,
+            "stats/shutdown jobs are handled by the server loop",
+        )),
+    }
+}
+
+/// Fetches (or computes, exactly once fleet-wide) the characterized
+/// library for a corner. The key hashes the corner's resolved physical
+/// parameters, so two spellings of the same corner share one artifact.
+fn library(
+    ctx: &ExecContext<'_>,
+    tech: TechSpec,
+    sweep_points: usize,
+    threads: usize,
+) -> Result<Arc<CharacterizedLibrary>, ServiceError> {
+    let technology = tech.technology();
+    let lv = technology.l_variation();
+    let key = keys::library_key(
+        technology.name(),
+        technology.vdd(),
+        technology.temperature(),
+        technology.vt_sigma(),
+        lv.nominal(),
+        lv.sigma_d2d(),
+        lv.sigma_wid(),
+        sweep_points,
+    );
+    let fleet_counters = CountersOnly::new(ctx.fleet);
+    let fleet_ins = Instruments::new(&fleet_counters, &NullClock);
+    ctx.store.libraries.get_or_compute(key, fleet_ins, || {
+        ctx.fleet.add("service.characterizations", 1);
+        Characterizer::new(&technology)
+            .characterize_library_instrumented(
+                &CellLibrary::standard_62(),
+                CharMethod::Analytical { sweep_points },
+                parallelism(threads),
+                fleet_ins,
+            )
+            .map_err(ServiceError::from)
+    })
+}
+
+fn characterize(ctx: &ExecContext<'_>, spec: &CharacterizeSpec) -> Result<OkBody, ServiceError> {
+    let lib = library(ctx, spec.tech, spec.sweep_points, spec.threads)?;
+    let _ = spec.metrics; // characterize's echo is its summary body
+    Ok(OkBody::Characterized {
+        tech: spec.tech.tag(),
+        sweep_points: spec.sweep_points,
+        cells: lib.len(),
+        l_sigma: lib.l_sigma,
+    })
+}
+
+fn estimate(ctx: &ExecContext<'_>, spec: &EstimateSpec) -> Result<OkBody, ServiceError> {
+    let charlib = library(ctx, spec.tech, spec.sweep_points, spec.threads)?;
+    let technology = spec.tech.technology();
+    let histogram = spec.mix.histogram(&CellLibrary::standard_62())?;
+    let chars = HighLevelCharacteristics::builder()
+        .histogram(histogram)
+        .n_cells(spec.n_cells)
+        .die_dimensions(spec.die_w, spec.die_h)
+        .signal_probability(spec.p)
+        .build()?;
+    let wid = TentCorrelation::new(spec.dmax)?;
+    let est = ChipLeakageEstimator::new(&charlib, &technology, chars, wid)?
+        .with_vt_correction(&technology);
+
+    let request_rec = AggregatingRecorder::new();
+    let fleet_counters = CountersOnly::new(ctx.fleet);
+    let tee = TeeRecorder::new(&request_rec, &fleet_counters);
+    let work_ins = Instruments::new(&tee, &NullClock);
+    let fleet_ins = Instruments::new(&fleet_counters, &NullClock);
+
+    let mode = spec.mode.unwrap_or(if ctx.resilient_default {
+        ModeSpec::Resilient
+    } else {
+        ModeSpec::Default
+    });
+    let (e, method, degraded) = match mode {
+        ModeSpec::Resilient => {
+            let res = est.estimate_resilient_instrumented(work_ins)?;
+            let stage = res.report.accepted().ok_or_else(|| {
+                ServiceError::new(
+                    ErrorKind::Internal,
+                    "resilient ladder succeeded without an accepted stage",
+                )
+            })?;
+            (res.estimate, stage.name(), res.report.rejection_lines())
+        }
+        ModeSpec::Strict => {
+            let e = est
+                .estimate_strict_instrumented(spec.method, work_ins)
+                .map_err(|e| ServiceError::new(ErrorKind::StrictRefusal, e.to_string()))?;
+            (e, spec.method.name(), Vec::new())
+        }
+        ModeSpec::Default => {
+            let e = match spec.method {
+                LadderStage::Linear => {
+                    // The histogram-only fast path: the Eq. 17 table
+                    // depends only on (grid, corner), so bursts of
+                    // queries over one floorplan share a cached table.
+                    let grid = est.grid();
+                    let key = keys::table_key(
+                        grid.rows(),
+                        grid.cols(),
+                        grid.width(),
+                        grid.height(),
+                        est.rho_c(),
+                        spec.dmax,
+                    );
+                    let table = ctx.store.tables.get_or_compute(key, fleet_ins, || {
+                        Ok::<_, ServiceError>(est.correlation_table())
+                    })?;
+                    est.estimate_linear_tabulated_instrumented(&table, work_ins)?
+                }
+                LadderStage::Integral2d => est.estimate_integral_2d_instrumented(work_ins)?,
+                LadderStage::Polar1d => est.estimate_polar_1d_instrumented(work_ins)?,
+                LadderStage::ExactLattice => {
+                    return Err(ServiceError::invalid(
+                        "method exact-lattice requires strict or resilient mode",
+                    ))
+                }
+            };
+            (e, spec.method.name(), Vec::new())
+        }
+    };
+    let dist = LeakageDistribution::from_estimate(&e)?;
+    Ok(OkBody::Estimate {
+        method,
+        mean: e.mean,
+        std: e.std(),
+        relative_std: e.relative_std(),
+        q95: dist.quantile(0.95),
+        q99: dist.quantile(0.99),
+        degraded,
+        metrics: spec.metrics.then(|| counter_echo(&request_rec)),
+    })
+}
+
+fn montecarlo(ctx: &ExecContext<'_>, spec: &MonteCarloSpec) -> Result<OkBody, ServiceError> {
+    let charlib = library(ctx, spec.tech, spec.sweep_points, spec.threads)?;
+    let technology = spec.tech.technology();
+    let histogram = spec.mix.histogram(&CellLibrary::standard_62())?;
+    let circuit = RandomCircuitGenerator::new(histogram)
+        .generate_exact(spec.n_cells, &mut StdRng::seed_from_u64(spec.netlist_seed))?;
+    let placed = place_in_die(&circuit, PlacementStyle::RowMajor, spec.die_w, spec.die_h)?;
+    let wid = TentCorrelation::new(spec.dmax)?;
+
+    let request_rec = AggregatingRecorder::new();
+    let fleet_counters = CountersOnly::new(ctx.fleet);
+    let tee = TeeRecorder::new(&request_rec, &fleet_counters);
+    let work_ins = Instruments::new(&tee, &NullClock);
+    let fleet_ins = Instruments::new(&fleet_counters, &NullClock);
+
+    // Sampler construction reports fleet-only: whether the colouring
+    // plan was a cache hit is scheduling, not job content.
+    let sampler = ChipSamplerBuilder::new(&placed, &charlib, &technology, &wid)
+        .signal_probability(spec.p)
+        .plan_cache(&ctx.store.plans)
+        .instruments(fleet_ins)
+        .build()?;
+    let stats = sampler.run_seeded_instrumented(
+        spec.trials,
+        spec.seed,
+        parallelism(spec.threads),
+        work_ins,
+    );
+    Ok(OkBody::MonteCarlo {
+        trials: spec.trials,
+        mean: stats.mean(),
+        std: stats.sample_variance().sqrt(),
+        metrics: spec.metrics.then(|| counter_echo(&request_rec)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CacheConfig;
+    use leakage_obs::NoopRecorder;
+
+    fn ctx_with<'a>(store: &'a ArtifactStore, fleet: &'a dyn Recorder) -> ExecContext<'a> {
+        ExecContext {
+            store,
+            fleet,
+            resilient_default: false,
+        }
+    }
+
+    fn estimate_spec() -> EstimateSpec {
+        EstimateSpec {
+            tech: TechSpec::Cmos90,
+            sweep_points: 5,
+            n_cells: 5000,
+            die_w: 400.0,
+            die_h: 300.0,
+            dmax: 100.0,
+            p: 0.5,
+            mix: crate::protocol::MixSpec::Uniform,
+            method: LadderStage::Linear,
+            mode: None,
+            threads: 1,
+            metrics: false,
+        }
+    }
+
+    #[test]
+    fn estimate_hits_the_library_and_table_caches() {
+        let store = ArtifactStore::new(CacheConfig::default());
+        let fleet = AggregatingRecorder::new();
+        let ctx = ctx_with(&store, &fleet);
+        let first = execute(&ctx, &JobSpec::Estimate(estimate_spec())).unwrap();
+        let second = execute(&ctx, &JobSpec::Estimate(estimate_spec())).unwrap();
+        assert_eq!(first, second, "cache hits must not perturb a single bit");
+        let counters = fleet.snapshot().counters;
+        assert_eq!(counters.get("service.cache.lib.misses"), Some(&1));
+        assert_eq!(counters.get("service.cache.lib.hits"), Some(&1));
+        assert_eq!(counters.get("service.cache.table.misses"), Some(&1));
+        assert_eq!(counters.get("service.cache.table.hits"), Some(&1));
+        assert_eq!(counters.get("service.characterizations"), Some(&1));
+    }
+
+    #[test]
+    fn cached_and_uncached_responses_are_bit_identical() {
+        let cached = ArtifactStore::new(CacheConfig::default());
+        let uncached = ArtifactStore::new(CacheConfig {
+            enabled: false,
+            capacity: None,
+        });
+        let fleet = NoopRecorder;
+        for job in [
+            JobSpec::Estimate(estimate_spec()),
+            JobSpec::Estimate(EstimateSpec {
+                method: LadderStage::Polar1d,
+                mode: Some(ModeSpec::Resilient),
+                ..estimate_spec()
+            }),
+        ] {
+            let ctx = ctx_with(&cached, &fleet);
+            let warm = execute(&ctx, &job).unwrap();
+            let again = execute(&ctx, &job).unwrap();
+            let ctx = ctx_with(&uncached, &fleet);
+            let cold = execute(&ctx, &job).unwrap();
+            assert_eq!(warm, again);
+            assert_eq!(warm, cold);
+        }
+    }
+
+    #[test]
+    fn exact_lattice_needs_a_guarded_mode() {
+        let store = ArtifactStore::new(CacheConfig::default());
+        let fleet = NoopRecorder;
+        let ctx = ctx_with(&store, &fleet);
+        let err = execute(
+            &ctx,
+            &JobSpec::Estimate(EstimateSpec {
+                method: LadderStage::ExactLattice,
+                ..estimate_spec()
+            }),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidArgument);
+        let ok = execute(
+            &ctx,
+            &JobSpec::Estimate(EstimateSpec {
+                method: LadderStage::ExactLattice,
+                mode: Some(ModeSpec::Strict),
+                n_cells: 400,
+                ..estimate_spec()
+            }),
+        );
+        assert!(ok.is_ok(), "small grids admit the exact rung: {ok:?}");
+    }
+
+    #[test]
+    fn metrics_echo_is_cache_state_independent() {
+        let store = ArtifactStore::new(CacheConfig::default());
+        let fleet = NoopRecorder;
+        let ctx = ctx_with(&store, &fleet);
+        let spec = EstimateSpec {
+            metrics: true,
+            ..estimate_spec()
+        };
+        // First call computes the artifacts, second hits the cache; the
+        // per-request echo must not see the difference.
+        let cold = execute(&ctx, &JobSpec::Estimate(spec.clone())).unwrap();
+        let warm = execute(&ctx, &JobSpec::Estimate(spec)).unwrap();
+        assert_eq!(cold, warm);
+        match cold {
+            OkBody::Estimate {
+                metrics: Some(m), ..
+            } => {
+                assert!(
+                    m.keys().all(|k| !k.starts_with("service.cache")),
+                    "cache counters must stay out of the echo: {m:?}"
+                );
+                assert!(!m.is_empty(), "the estimator path is instrumented");
+            }
+            other => panic!("expected an estimate body, got {other:?}"),
+        }
+    }
+}

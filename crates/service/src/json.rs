@@ -1,0 +1,559 @@
+//! Minimal, deterministic JSON for the `chipleakd` wire protocol.
+//!
+//! The protocol's conformance suite diffs responses *byte-for-byte*
+//! (`tests/service_protocol.rs`), so the serializer must be a pure
+//! function of the response value: object keys are emitted in a fixed
+//! hand-written order by the protocol layer, floats render as their
+//! shortest round-trip form, and no formatting decision depends on
+//! platform, locale, or library version. An in-tree emitter/parser keeps
+//! the entire byte stream under this crate's control — `serde_json`
+//! remains in use by the `chipleak` CLI for artifact files, but the wire
+//! format is pinned here.
+//!
+//! The parser is strict JSON (RFC 8259): no trailing garbage, duplicate
+//! object keys rejected, nesting capped at [`MAX_DEPTH`], non-finite
+//! numbers rejected. Strictness is what turns the fault-injection
+//! corpus's corrupted lines (`tests/fault_injection.rs`) into *typed*
+//! parse errors instead of silently-coerced garbage. Everything here is
+//! panic-free: lint L9 walks this file via the service roots.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts. The protocol needs three
+/// levels (`{"job":{"die":[w,h]}}`); 32 leaves headroom while bounding
+/// recursion on adversarial input (deep nesting must not abort the
+/// server by exhausting the stack — L9 covers unwinding panics only).
+pub const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value. Objects use [`BTreeMap`] (lint L1: deterministic
+/// iteration); the protocol layer never iterates request objects in a
+/// way that reaches the wire, but the rule holds structurally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as a finite `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Duplicate keys are a parse error.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is one exactly (integer-valued, in
+    /// range). `1e2` qualifies; `1.5` and `-1` do not.
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_num()?;
+        if v.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&v) {
+            Some(v as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Renders this value in the protocol's canonical form: object keys
+    /// in `BTreeMap` order, floats via [`write_number`], strings via
+    /// [`write_string`]. Used for echoing request `id`s back verbatim
+    /// in meaning (not in byte layout — `1e0` echoes as `1`).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => write_number(out, *v),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Appends a JSON string literal (quoted, escaped) to `out`.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                // `write!` to a String is infallible; ignore the Ok.
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number to `out` in canonical protocol form:
+/// integer-valued floats inside the exact-`i64` range print as integers
+/// (`62`, `-3`), everything else as Rust's shortest round-trip
+/// scientific form (`1.2e-6`), and non-finite values — which the
+/// protocol never produces on purpose — degrade to `null` rather than
+/// emitting invalid JSON.
+pub fn write_number(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if v.fract() == 0.0 && v.abs() <= 9.007_199_254_740_992e15 {
+        // `as` is saturating, but the range check keeps it exact.
+        // Negative zero keeps its sign so bit-identity survives the wire.
+        if v == 0.0 && v.is_sign_negative() {
+            out.push_str("-0");
+            return;
+        }
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v:e}");
+    }
+}
+
+/// Where a parse failed, as a byte offset into the input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What went wrong, deterministically worded.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    match p.peek() {
+        None => Ok(v),
+        Some(_) => Err(p.err("trailing characters after JSON value")),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        let end = self.pos + lit.len();
+        if self.bytes.get(self.pos..end) == Some(lit.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.bump(); // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.bump(); // consume '{'
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key string"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            if map.insert(key, value).is_some() {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(map)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.bump(); // consume '"'
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: scan a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 and the run stops on ASCII
+                // delimiters, so the slice lies on char boundaries.
+                if let Some(bytes) = self.bytes.get(start..self.pos) {
+                    match std::str::from_utf8(bytes) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                }
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => self.escape(&mut out)?,
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(b'"') => out.push('"'),
+            Some(b'\\') => out.push('\\'),
+            Some(b'/') => out.push('/'),
+            Some(b'b') => out.push('\u{08}'),
+            Some(b'f') => out.push('\u{0c}'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(b't') => out.push('\t'),
+            Some(b'u') => {
+                let hi = self.hex4()?;
+                let c = if (0xd800..0xdc00).contains(&hi) {
+                    // High surrogate: require the paired low surrogate.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.err("unpaired surrogate in \\u escape"));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xdc00..0xe000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate in \\u escape"));
+                    }
+                    let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                    char::from_u32(cp)
+                } else {
+                    char::from_u32(hi)
+                };
+                match c {
+                    Some(c) => out.push(c),
+                    None => return Err(self.err("invalid \\u escape")),
+                }
+            }
+            _ => return Err(self.err("invalid escape sequence")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("expected four hex digits in \\u escape")),
+            };
+            v = (v << 4) | d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        // Integer part: '0' alone or a nonzero-led digit run.
+        match self.bump() {
+            Some(b'0') => {}
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => Err(self.err("number out of range")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        let v = parse(src).expect(src);
+        let mut out = String::new();
+        v.write(&mut out);
+        out
+    }
+
+    #[test]
+    fn parses_the_scalar_zoo() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("0").unwrap(), Json::Num(0.0));
+        assert_eq!(parse("-12.5e-1").unwrap(), Json::Num(-1.25));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        assert_eq!(
+            parse("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Json::Str("é😀".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "nul",
+            "tru",
+            "{",
+            "[",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1,}",
+            "01",
+            "1.",
+            "1e",
+            "NaN",
+            "Infinity",
+            "-",
+            "\"",
+            "\"\\x\"",
+            "\"\\ud800\"",
+            "1 2",
+            "{\"a\":1,\"a\":2}",
+            "\"\u{01}\"",
+            "1e999",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn canonical_output_is_stable() {
+        assert_eq!(
+            roundtrip("{\"b\":1,\"a\":[true,null]}"),
+            "{\"a\":[true,null],\"b\":1}"
+        );
+        assert_eq!(roundtrip("1e0"), "1");
+        assert_eq!(roundtrip("-42"), "-42");
+        assert_eq!(roundtrip("1.25e-6"), "1.25e-6");
+        assert_eq!(roundtrip("\"tab\\there\""), "\"tab\\there\"");
+    }
+
+    #[test]
+    fn number_formatting_roundtrips_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            62.0,
+            1.0 / 3.0,
+            2.5e-9,
+            f64::MIN_POSITIVE,
+            9.007199254740992e15,
+            1.797e308,
+        ] {
+            let mut s = String::new();
+            write_number(&mut s, v);
+            let back: f64 = s.parse().expect(&s);
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {s}");
+        }
+        let mut s = String::new();
+        write_number(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn u64_extraction_is_exact() {
+        assert_eq!(parse("100").unwrap().as_u64(), Some(100));
+        assert_eq!(parse("1e2").unwrap().as_u64(), Some(100));
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+}

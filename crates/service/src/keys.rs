@@ -1,0 +1,160 @@
+//! Content-addressed cache keys.
+//!
+//! Every cacheable artifact — a characterized library, an Eq. 17
+//! correlation table, a circulant FFT plan — is addressed by an FNV-1a
+//! hash of the inputs that fully determine its bytes. Two jobs share an
+//! artifact exactly when their keys collide *by construction* (same
+//! inputs), never by coincidence of request wording: `"sweep_points":13`
+//! and an omitted `sweep_points` (default 13) hash identically because
+//! the key is built from the resolved value, not the request text.
+//!
+//! Floats enter the hash as their IEEE-754 bit patterns, so keying is as
+//! exact as the artifacts themselves (`0.1 + 0.2` and `0.3` are
+//! different corners). FNV-1a is the workspace's standard content hash
+//! (chipleak-lint's incremental cache uses the same function); at 64
+//! bits over a handful of cache entries, accidental collision is not a
+//! realistic failure mode, and a collision would require identical
+//! *resolved* parameter tuples anyway.
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over typed fields. Field order matters and
+/// is fixed by the key constructors below; strings are length-prefixed
+/// so adjacent fields cannot alias.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyHasher(u64);
+
+impl KeyHasher {
+    /// Starts a hash with a domain tag separating key families
+    /// (`"lib"` keys can never collide with `"table"` keys).
+    pub fn new(domain: &str) -> KeyHasher {
+        let mut h = KeyHasher(FNV_OFFSET);
+        h.write_str(domain);
+        h
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a float's exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The final 64-bit key.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Key for a characterized library: the corner's physical parameters
+/// plus the characterization sweep resolution.
+#[allow(clippy::too_many_arguments)]
+pub fn library_key(
+    tech_name: &str,
+    vdd: f64,
+    temperature: f64,
+    vt_sigma: f64,
+    l_nominal: f64,
+    l_sigma_d2d: f64,
+    l_sigma_wid: f64,
+    sweep_points: usize,
+) -> u64 {
+    let mut h = KeyHasher::new("lib");
+    h.write_str(tech_name);
+    h.write_f64(vdd);
+    h.write_f64(temperature);
+    h.write_f64(vt_sigma);
+    h.write_f64(l_nominal);
+    h.write_f64(l_sigma_d2d);
+    h.write_f64(l_sigma_wid);
+    h.write_u64(sweep_points as u64);
+    h.finish()
+}
+
+/// Key for an Eq. 17 correlation table: the site grid's exact shape and
+/// the total-correlation model (D2D floor `ρ_C` + tent range `dmax`).
+/// Deliberately excludes everything the table does not depend on
+/// (library, histogram, signal probability) so histogram-only query
+/// bursts share one table.
+pub fn table_key(rows: usize, cols: usize, width: f64, height: f64, rho_c: f64, dmax: f64) -> u64 {
+    let mut h = KeyHasher::new("table");
+    h.write_u64(rows as u64);
+    h.write_u64(cols as u64);
+    h.write_f64(width);
+    h.write_f64(height);
+    h.write_f64(rho_c);
+    h.write_f64(dmax);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_separate_families() {
+        assert_ne!(
+            KeyHasher::new("lib").finish(),
+            KeyHasher::new("table").finish()
+        );
+    }
+
+    #[test]
+    fn library_key_is_sensitive_to_each_field() {
+        let base = library_key("cmos90", 1.2, 300.0, 0.03, 100.0, 4.0, 4.0, 13);
+        assert_eq!(
+            base,
+            library_key("cmos90", 1.2, 300.0, 0.03, 100.0, 4.0, 4.0, 13)
+        );
+        assert_ne!(
+            base,
+            library_key("cmos65", 1.2, 300.0, 0.03, 100.0, 4.0, 4.0, 13)
+        );
+        assert_ne!(
+            base,
+            library_key("cmos90", 1.0, 300.0, 0.03, 100.0, 4.0, 4.0, 13)
+        );
+        assert_ne!(
+            base,
+            library_key("cmos90", 1.2, 300.0, 0.03, 100.0, 4.0, 4.0, 7)
+        );
+    }
+
+    #[test]
+    fn float_keys_are_bit_exact() {
+        let a = table_key(4, 5, 100.0, 80.0, 0.5, 0.1 + 0.2);
+        let b = table_key(4, 5, 100.0, 80.0, 0.5, 0.3);
+        assert_ne!(a, b, "0.1 + 0.2 is not bitwise 0.3");
+    }
+
+    #[test]
+    fn string_fields_are_length_prefixed() {
+        let mut a = KeyHasher::new("t");
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = KeyHasher::new("t");
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

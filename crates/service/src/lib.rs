@@ -1,0 +1,48 @@
+//! `leakage-service`: the batch estimation job server behind the
+//! `chipleakd` binary.
+//!
+//! A long-running process accepts estimation jobs — (design, process
+//! corner, method, thread budget) tuples — as newline-delimited JSON on
+//! stdin or a unix socket, and answers each line with exactly one JSON
+//! response line, in request order. Expensive artifacts (characterized
+//! libraries, Eq. 17 correlation tables, circulant FFT plans) live in a
+//! shared content-addressed [`store::ArtifactStore`], so a fleet of
+//! clients pays for characterization once.
+//!
+//! Everything here is pinned by determinism tests: the response byte
+//! stream is identical across worker counts, cache on/off, and request
+//! reordering of independent jobs; fleet metrics snapshots are pure
+//! functions of the request prefix. See DESIGN.md §14 for the protocol
+//! grammar and the determinism discipline that makes this hold.
+//!
+//! Layering:
+//!
+//! - [`json`] — serde-free JSON value model, strict parser, and the
+//!   canonical float wire format;
+//! - [`keys`] — FNV-1a content-addressed artifact keys;
+//! - [`protocol`] — request/response schema: parsing into [`protocol::JobSpec`],
+//!   rendering of [`protocol::OkBody`] / [`error::ServiceError`];
+//! - [`store`] — single-flight cache families with deterministic
+//!   hit/miss/eviction counters;
+//! - [`exec`] — job execution against the store, with per-request
+//!   metrics teed into the fleet recorder;
+//! - [`server`] — the serve loop: reader, worker pool, in-order writer,
+//!   stdin and unix-socket frontends.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod json;
+pub mod keys;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use error::{ErrorKind, ServiceError};
+pub use exec::ExecContext;
+pub use json::Json;
+pub use protocol::{parse_request, render_response, JobSpec, OkBody, Request, PROTOCOL_VERSION};
+pub use server::{ServeSummary, Service, ServiceConfig};
+pub use store::{ArtifactStore, CacheConfig, CacheFamily};

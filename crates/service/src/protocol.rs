@@ -1,0 +1,865 @@
+//! The `chipleakd` wire protocol: NDJSON requests and byte-pinned
+//! responses (DESIGN.md §14).
+//!
+//! One request per line, one response per line, responses in request
+//! order. A request is `{"v":1,"id":<any>,"job":{"kind":...}}`; the
+//! `id` is echoed back untouched in meaning (its canonical JSON form).
+//! Unknown fields — top-level or inside `job` — are protocol errors:
+//! the golden-transcript suite pins the protocol *hard*, and silently
+//! ignored fields are how wire formats rot.
+//!
+//! Parsing resolves every optional field to its default here, so the
+//! execution layer (and the content-addressed cache keys) only ever see
+//! fully resolved jobs: `{"sweep_points":13}` and an omitted
+//! `sweep_points` are the same job, byte-for-byte and key-for-key.
+
+use std::collections::BTreeMap;
+
+use leakage_cells::{CellError, CellLibrary, UsageHistogram};
+use leakage_core::estimator::LadderStage;
+use leakage_process::Technology;
+
+use crate::error::{ErrorKind, ServiceError};
+use crate::json::{self, Json};
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on `cells` — keeps a single job's grid walk bounded.
+pub const MAX_CELLS: u64 = 100_000_000;
+/// Upper bound on Monte-Carlo `trials` per job.
+pub const MAX_TRIALS: u64 = 1_000_000;
+/// Bounds on the characterization sweep resolution.
+pub const SWEEP_POINTS_RANGE: (u64, u64) = (3, 201);
+
+/// A named process corner. The closed tag set doubles as the corner's
+/// identity in cache keys (via the resolved [`Technology`] parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TechSpec {
+    /// 90 nm predictive corner (paper's main table).
+    Cmos90,
+    /// 65 nm scaled corner.
+    Cmos65,
+    /// 90 nm with the gate-leakage component enabled.
+    Cmos90GateLeakage,
+}
+
+impl TechSpec {
+    /// Wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TechSpec::Cmos90 => "cmos90",
+            TechSpec::Cmos65 => "cmos65",
+            TechSpec::Cmos90GateLeakage => "cmos90gl",
+        }
+    }
+
+    /// Resolves the corner's full parameter set.
+    pub fn technology(self) -> Technology {
+        match self {
+            TechSpec::Cmos90 => Technology::cmos90(),
+            TechSpec::Cmos65 => Technology::cmos65(),
+            TechSpec::Cmos90GateLeakage => Technology::cmos90_with_gate_leakage(),
+        }
+    }
+
+    fn parse(tag: &str) -> Result<TechSpec, ServiceError> {
+        match tag {
+            "cmos90" => Ok(TechSpec::Cmos90),
+            "cmos65" => Ok(TechSpec::Cmos65),
+            "cmos90gl" => Ok(TechSpec::Cmos90GateLeakage),
+            other => Err(ServiceError::protocol(format!(
+                "unknown tech {other:?}; use cmos90|cmos65|cmos90gl"
+            ))),
+        }
+    }
+}
+
+/// A usage-histogram preset (mirrors `chipleak estimate --mix`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixSpec {
+    /// Every cell equally likely.
+    Uniform,
+    /// Control-logic blend.
+    Control,
+    /// Datapath blend.
+    Datapath,
+    /// Memory-dominated blend.
+    Memory,
+    /// Clock-tree blend.
+    Clock,
+}
+
+impl MixSpec {
+    /// Builds the histogram over the standard 62-cell library.
+    pub fn histogram(self, lib: &CellLibrary) -> Result<UsageHistogram, CellError> {
+        use leakage_cells::presets;
+        match self {
+            MixSpec::Uniform => UsageHistogram::uniform(lib.len()),
+            MixSpec::Control => presets::control_logic(lib),
+            MixSpec::Datapath => presets::datapath(lib),
+            MixSpec::Memory => presets::memory_dominated(lib),
+            MixSpec::Clock => presets::clock_tree(lib),
+        }
+    }
+
+    fn parse(tag: &str) -> Result<MixSpec, ServiceError> {
+        match tag {
+            "uniform" => Ok(MixSpec::Uniform),
+            "control" => Ok(MixSpec::Control),
+            "datapath" => Ok(MixSpec::Datapath),
+            "memory" => Ok(MixSpec::Memory),
+            "clock" => Ok(MixSpec::Clock),
+            other => Err(ServiceError::protocol(format!(
+                "unknown mix {other:?}; use uniform|control|datapath|memory|clock"
+            ))),
+        }
+    }
+}
+
+/// Per-request degradation policy (mirrors the CLI's mode flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeSpec {
+    /// Run exactly the requested method, unguarded.
+    Default,
+    /// Run the requested method with applicability/validation checks;
+    /// refuse (never fall back) if they fail.
+    Strict,
+    /// Run the validity-guarded fallback ladder and report degradation.
+    Resilient,
+}
+
+impl ModeSpec {
+    fn parse(tag: &str) -> Result<ModeSpec, ServiceError> {
+        match tag {
+            "default" => Ok(ModeSpec::Default),
+            "strict" => Ok(ModeSpec::Strict),
+            "resilient" => Ok(ModeSpec::Resilient),
+            other => Err(ServiceError::protocol(format!(
+                "unknown mode {other:?}; use default|strict|resilient"
+            ))),
+        }
+    }
+}
+
+fn parse_stage(tag: &str) -> Result<LadderStage, ServiceError> {
+    match tag {
+        "linear" => Ok(LadderStage::Linear),
+        "integral2d" => Ok(LadderStage::Integral2d),
+        "polar1d" => Ok(LadderStage::Polar1d),
+        "exact-lattice" => Ok(LadderStage::ExactLattice),
+        other => Err(ServiceError::protocol(format!(
+            "unknown method {other:?}; use linear|integral2d|polar1d|exact-lattice"
+        ))),
+    }
+}
+
+/// A fully resolved estimation job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateSpec {
+    /// Process corner.
+    pub tech: TechSpec,
+    /// Characterization sweep resolution (default 13, the CLI default).
+    pub sweep_points: usize,
+    /// Gate count.
+    pub n_cells: usize,
+    /// Die width (µm).
+    pub die_w: f64,
+    /// Die height (µm).
+    pub die_h: f64,
+    /// Tent correlation range (µm; default 100, the CLI default).
+    pub dmax: f64,
+    /// Global signal probability (default 0.5).
+    pub p: f64,
+    /// Usage-histogram preset (default uniform).
+    pub mix: MixSpec,
+    /// Estimator stage (default polar1d, the CLI default). Ignored in
+    /// resilient mode, where the ladder chooses.
+    pub method: LadderStage,
+    /// Degradation policy. `None` defers to the server's `--resilient`
+    /// flag at execution time.
+    pub mode: Option<ModeSpec>,
+    /// Worker-thread budget for this job (0 = all cores). Changes wall
+    /// time only, never a single output bit.
+    pub threads: usize,
+    /// Echo this request's counter subset in the response.
+    pub metrics: bool,
+}
+
+/// A fully resolved characterization warm-up job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeSpec {
+    /// Process corner.
+    pub tech: TechSpec,
+    /// Sweep resolution (default 13).
+    pub sweep_points: usize,
+    /// Thread budget (0 = all cores).
+    pub threads: usize,
+    /// Echo counters in the response.
+    pub metrics: bool,
+}
+
+/// A fully resolved Monte-Carlo cross-check job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloSpec {
+    /// Process corner.
+    pub tech: TechSpec,
+    /// Sweep resolution for the backing library (default 13).
+    pub sweep_points: usize,
+    /// Gate count.
+    pub n_cells: usize,
+    /// Die width (µm).
+    pub die_w: f64,
+    /// Die height (µm).
+    pub die_h: f64,
+    /// Tent correlation range (default 100).
+    pub dmax: f64,
+    /// Signal probability (default 0.5).
+    pub p: f64,
+    /// Histogram preset (default uniform).
+    pub mix: MixSpec,
+    /// Trial count.
+    pub trials: usize,
+    /// Base seed for the counter-seeded trial streams (default 42).
+    pub seed: u64,
+    /// Seed for the synthetic netlist draw (default 0).
+    pub netlist_seed: u64,
+    /// Thread budget (0 = all cores).
+    pub threads: usize,
+    /// Echo counters in the response.
+    pub metrics: bool,
+}
+
+/// One parsed job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Liveness probe.
+    Ping,
+    /// Warm the library cache.
+    Characterize(CharacterizeSpec),
+    /// Histogram-only RG estimate.
+    Estimate(EstimateSpec),
+    /// Monte-Carlo cross-check on a synthetic placed design.
+    MonteCarlo(MonteCarloSpec),
+    /// Fleet counter snapshot. Order-sensitive by design: the server
+    /// serializes it against every earlier job.
+    Stats,
+    /// Stop reading further requests after acknowledging.
+    Shutdown,
+}
+
+/// A parsed request line: the `id` echo plus either a job or the error
+/// the line produced. Errors still get responses — in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The client's correlation id, `Json::Null` when absent.
+    pub id: Json,
+    /// The job, or what was wrong with the line.
+    pub job: Result<JobSpec, ServiceError>,
+}
+
+impl Request {
+    /// A request that failed before an id could be extracted.
+    pub fn failed(err: ServiceError) -> Request {
+        Request {
+            id: Json::Null,
+            job: Err(err),
+        }
+    }
+}
+
+// ---- field extraction helpers ------------------------------------------
+
+fn check_known_fields(
+    map: &BTreeMap<String, Json>,
+    allowed: &[&str],
+    context: &str,
+) -> Result<(), ServiceError> {
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ServiceError::protocol(format!(
+                "unknown field {key:?} in {context}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn opt_str<'a>(
+    map: &'a BTreeMap<String, Json>,
+    name: &str,
+) -> Result<Option<&'a str>, ServiceError> {
+    match map.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ServiceError::protocol(format!("field {name:?} must be a string"))),
+    }
+}
+
+fn opt_u64(map: &BTreeMap<String, Json>, name: &str) -> Result<Option<u64>, ServiceError> {
+    match map.get(name) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServiceError::protocol(format!("field {name:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+fn opt_f64(map: &BTreeMap<String, Json>, name: &str) -> Result<Option<f64>, ServiceError> {
+    match map.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .as_num()
+            .map(Some)
+            .ok_or_else(|| ServiceError::protocol(format!("field {name:?} must be a number"))),
+    }
+}
+
+fn opt_bool(map: &BTreeMap<String, Json>, name: &str) -> Result<bool, ServiceError> {
+    match map.get(name) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ServiceError::protocol(format!("field {name:?} must be a boolean"))),
+    }
+}
+
+fn need_u64(map: &BTreeMap<String, Json>, name: &str) -> Result<u64, ServiceError> {
+    opt_u64(map, name)?.ok_or_else(|| ServiceError::protocol(format!("field {name:?} is required")))
+}
+
+fn tech_field(map: &BTreeMap<String, Json>) -> Result<TechSpec, ServiceError> {
+    match opt_str(map, "tech")? {
+        None => Ok(TechSpec::Cmos90),
+        Some(tag) => TechSpec::parse(tag),
+    }
+}
+
+fn mix_field(map: &BTreeMap<String, Json>) -> Result<MixSpec, ServiceError> {
+    match opt_str(map, "mix")? {
+        None => Ok(MixSpec::Uniform),
+        Some(tag) => MixSpec::parse(tag),
+    }
+}
+
+fn sweep_points_field(map: &BTreeMap<String, Json>) -> Result<usize, ServiceError> {
+    let v = opt_u64(map, "sweep_points")?.unwrap_or(13);
+    let (lo, hi) = SWEEP_POINTS_RANGE;
+    if !(lo..=hi).contains(&v) {
+        return Err(ServiceError::protocol(format!(
+            "sweep_points must be in {lo}..={hi}, got {v}"
+        )));
+    }
+    Ok(v as usize)
+}
+
+fn threads_field(map: &BTreeMap<String, Json>) -> Result<usize, ServiceError> {
+    let v = opt_u64(map, "threads")?.unwrap_or(0);
+    if v > 1024 {
+        return Err(ServiceError::protocol(format!(
+            "threads must be at most 1024, got {v}"
+        )));
+    }
+    Ok(v as usize)
+}
+
+fn cells_field(map: &BTreeMap<String, Json>) -> Result<usize, ServiceError> {
+    let v = need_u64(map, "cells")?;
+    if v == 0 || v > MAX_CELLS {
+        return Err(ServiceError::protocol(format!(
+            "cells must be in 1..={MAX_CELLS}, got {v}"
+        )));
+    }
+    Ok(v as usize)
+}
+
+fn die_field(map: &BTreeMap<String, Json>) -> Result<(f64, f64), ServiceError> {
+    let arr = map
+        .get("die")
+        .ok_or_else(|| ServiceError::protocol("field \"die\" is required"))?
+        .as_arr()
+        .ok_or_else(|| ServiceError::protocol("field \"die\" must be [width, height]"))?;
+    match arr {
+        [w, h] => {
+            let (w, h) = (
+                w.as_num()
+                    .ok_or_else(|| ServiceError::protocol("die width must be a number"))?,
+                h.as_num()
+                    .ok_or_else(|| ServiceError::protocol("die height must be a number"))?,
+            );
+            if !(w > 0.0) || !(h > 0.0) {
+                return Err(ServiceError::protocol(format!(
+                    "die dimensions must be positive, got [{w}, {h}]"
+                )));
+            }
+            Ok((w, h))
+        }
+        _ => Err(ServiceError::protocol(
+            "field \"die\" must be [width, height]",
+        )),
+    }
+}
+
+fn dmax_field(map: &BTreeMap<String, Json>) -> Result<f64, ServiceError> {
+    let v = opt_f64(map, "dmax")?.unwrap_or(100.0);
+    if !(v > 0.0) {
+        return Err(ServiceError::protocol(format!(
+            "dmax must be positive, got {v}"
+        )));
+    }
+    Ok(v)
+}
+
+fn p_field(map: &BTreeMap<String, Json>) -> Result<f64, ServiceError> {
+    let v = opt_f64(map, "p")?.unwrap_or(0.5);
+    if !(0.0..=1.0).contains(&v) {
+        return Err(ServiceError::protocol(format!(
+            "p must be in [0, 1], got {v}"
+        )));
+    }
+    Ok(v)
+}
+
+// ---- request parsing ---------------------------------------------------
+
+/// Parses one request line. Every failure mode becomes a typed error
+/// carried inside the returned [`Request`], so the caller always has an
+/// id echo (when one was recoverable) and always produces a response.
+pub fn parse_request(line: &str) -> Request {
+    let value = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Request::failed(ServiceError::new(
+                ErrorKind::Parse,
+                format!("invalid JSON: {e}"),
+            ))
+        }
+    };
+    let top = match value.as_obj() {
+        Some(m) => m,
+        None => return Request::failed(ServiceError::protocol("request must be a JSON object")),
+    };
+    let id = top.get("id").cloned().unwrap_or(Json::Null);
+    let job = parse_job(top);
+    Request { id, job }
+}
+
+fn parse_job(top: &BTreeMap<String, Json>) -> Result<JobSpec, ServiceError> {
+    check_known_fields(top, &["v", "id", "job"], "request")?;
+    let v = need_u64(top, "v")?;
+    if v != PROTOCOL_VERSION {
+        return Err(ServiceError::protocol(format!(
+            "unsupported protocol version {v}; this server speaks {PROTOCOL_VERSION}"
+        )));
+    }
+    let job = top
+        .get("job")
+        .ok_or_else(|| ServiceError::protocol("field \"job\" is required"))?
+        .as_obj()
+        .ok_or_else(|| ServiceError::protocol("field \"job\" must be an object"))?;
+    let kind = opt_str(job, "kind")?
+        .ok_or_else(|| ServiceError::protocol("field \"kind\" is required in job"))?;
+    match kind {
+        "ping" => {
+            check_known_fields(job, &["kind"], "ping job")?;
+            Ok(JobSpec::Ping)
+        }
+        "stats" => {
+            check_known_fields(job, &["kind"], "stats job")?;
+            Ok(JobSpec::Stats)
+        }
+        "shutdown" => {
+            check_known_fields(job, &["kind"], "shutdown job")?;
+            Ok(JobSpec::Shutdown)
+        }
+        "characterize" => {
+            check_known_fields(
+                job,
+                &["kind", "tech", "sweep_points", "threads", "metrics"],
+                "characterize job",
+            )?;
+            Ok(JobSpec::Characterize(CharacterizeSpec {
+                tech: tech_field(job)?,
+                sweep_points: sweep_points_field(job)?,
+                threads: threads_field(job)?,
+                metrics: opt_bool(job, "metrics")?,
+            }))
+        }
+        "estimate" => {
+            check_known_fields(
+                job,
+                &[
+                    "kind",
+                    "tech",
+                    "sweep_points",
+                    "cells",
+                    "die",
+                    "dmax",
+                    "p",
+                    "mix",
+                    "method",
+                    "mode",
+                    "threads",
+                    "metrics",
+                ],
+                "estimate job",
+            )?;
+            let (die_w, die_h) = die_field(job)?;
+            Ok(JobSpec::Estimate(EstimateSpec {
+                tech: tech_field(job)?,
+                sweep_points: sweep_points_field(job)?,
+                n_cells: cells_field(job)?,
+                die_w,
+                die_h,
+                dmax: dmax_field(job)?,
+                p: p_field(job)?,
+                mix: mix_field(job)?,
+                method: match opt_str(job, "method")? {
+                    None => LadderStage::Polar1d,
+                    Some(tag) => parse_stage(tag)?,
+                },
+                mode: match opt_str(job, "mode")? {
+                    None => None,
+                    Some(tag) => Some(ModeSpec::parse(tag)?),
+                },
+                threads: threads_field(job)?,
+                metrics: opt_bool(job, "metrics")?,
+            }))
+        }
+        "montecarlo" => {
+            check_known_fields(
+                job,
+                &[
+                    "kind",
+                    "tech",
+                    "sweep_points",
+                    "cells",
+                    "die",
+                    "dmax",
+                    "p",
+                    "mix",
+                    "trials",
+                    "seed",
+                    "netlist_seed",
+                    "threads",
+                    "metrics",
+                ],
+                "montecarlo job",
+            )?;
+            let (die_w, die_h) = die_field(job)?;
+            let trials = need_u64(job, "trials")?;
+            if trials == 0 || trials > MAX_TRIALS {
+                return Err(ServiceError::protocol(format!(
+                    "trials must be in 1..={MAX_TRIALS}, got {trials}"
+                )));
+            }
+            Ok(JobSpec::MonteCarlo(MonteCarloSpec {
+                tech: tech_field(job)?,
+                sweep_points: sweep_points_field(job)?,
+                n_cells: cells_field(job)?,
+                die_w,
+                die_h,
+                dmax: dmax_field(job)?,
+                p: p_field(job)?,
+                mix: mix_field(job)?,
+                trials: trials as usize,
+                seed: opt_u64(job, "seed")?.unwrap_or(42),
+                netlist_seed: opt_u64(job, "netlist_seed")?.unwrap_or(0),
+                threads: threads_field(job)?,
+                metrics: opt_bool(job, "metrics")?,
+            }))
+        }
+        other => Err(ServiceError::protocol(format!(
+            "unknown job kind {other:?}; use ping|characterize|estimate|montecarlo|stats|shutdown"
+        ))),
+    }
+}
+
+// ---- response rendering ------------------------------------------------
+
+/// A successful response body. Field order on the wire is fixed by
+/// [`render_response`], not by struct layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OkBody {
+    /// `ping` reply.
+    Pong,
+    /// `characterize` reply.
+    Characterized {
+        /// Corner tag.
+        tech: &'static str,
+        /// Sweep resolution used.
+        sweep_points: usize,
+        /// Cells characterized.
+        cells: usize,
+        /// Total channel-length sigma (nm).
+        l_sigma: f64,
+    },
+    /// `estimate` reply.
+    Estimate {
+        /// Stage that produced the numbers.
+        method: &'static str,
+        /// Mean leakage (A).
+        mean: f64,
+        /// Leakage standard deviation (A).
+        std: f64,
+        /// σ/µ.
+        relative_std: f64,
+        /// 95th-percentile budget (A).
+        q95: f64,
+        /// 99th-percentile budget (A).
+        q99: f64,
+        /// Resilient-ladder rejection lines (empty outside resilient
+        /// mode, and when the first rung was accepted).
+        degraded: Vec<String>,
+        /// Per-request counter echo, when requested.
+        metrics: Option<BTreeMap<String, u64>>,
+    },
+    /// `montecarlo` reply.
+    MonteCarlo {
+        /// Trials run.
+        trials: usize,
+        /// Sample mean (A).
+        mean: f64,
+        /// Sample standard deviation (A).
+        std: f64,
+        /// Per-request counter echo, when requested.
+        metrics: Option<BTreeMap<String, u64>>,
+    },
+    /// `stats` reply: the fleet counter snapshot.
+    Stats {
+        /// Counter name → value, in name order.
+        counters: BTreeMap<String, u64>,
+    },
+    /// `shutdown` acknowledgement.
+    ShutdownAck,
+}
+
+fn write_counters(out: &mut String, counters: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_string(out, name);
+        out.push(':');
+        json::write_number(out, *value as f64);
+    }
+    out.push('}');
+}
+
+fn write_metrics(out: &mut String, metrics: &Option<BTreeMap<String, u64>>) {
+    if let Some(counters) = metrics {
+        out.push_str(",\"metrics\":");
+        write_counters(out, counters);
+    }
+}
+
+/// Renders one response line (without the trailing newline). The byte
+/// layout — key order, float form, spacing — is part of the protocol
+/// and pinned by `tests/golden/`.
+pub fn render_response(id: &Json, outcome: &Result<OkBody, ServiceError>) -> String {
+    let mut out = String::new();
+    out.push_str("{\"v\":1,\"id\":");
+    id.write(&mut out);
+    match outcome {
+        Ok(body) => {
+            out.push_str(",\"ok\":");
+            render_ok(&mut out, body);
+        }
+        Err(e) => {
+            out.push_str(",\"err\":{\"kind\":");
+            json::write_string(&mut out, e.kind.tag());
+            out.push_str(",\"message\":");
+            json::write_string(&mut out, &e.message);
+            out.push('}');
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn render_ok(out: &mut String, body: &OkBody) {
+    use std::fmt::Write as _;
+    match body {
+        OkBody::Pong => {
+            let _ = write!(out, "{{\"kind\":\"pong\",\"protocol\":{PROTOCOL_VERSION}}}");
+        }
+        OkBody::Characterized {
+            tech,
+            sweep_points,
+            cells,
+            l_sigma,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"characterized\",\"tech\":\"{tech}\",\"sweep_points\":{sweep_points},\"cells\":{cells},\"l_sigma\":"
+            );
+            json::write_number(out, *l_sigma);
+            out.push('}');
+        }
+        OkBody::Estimate {
+            method,
+            mean,
+            std,
+            relative_std,
+            q95,
+            q99,
+            degraded,
+            metrics,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"estimate\",\"method\":\"{method}\",\"mean\":"
+            );
+            json::write_number(out, *mean);
+            out.push_str(",\"std\":");
+            json::write_number(out, *std);
+            out.push_str(",\"relative_std\":");
+            json::write_number(out, *relative_std);
+            out.push_str(",\"q95\":");
+            json::write_number(out, *q95);
+            out.push_str(",\"q99\":");
+            json::write_number(out, *q99);
+            out.push_str(",\"degraded\":[");
+            for (i, line) in degraded.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_string(out, line);
+            }
+            out.push(']');
+            write_metrics(out, metrics);
+            out.push('}');
+        }
+        OkBody::MonteCarlo {
+            trials,
+            mean,
+            std,
+            metrics,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"montecarlo\",\"trials\":{trials},\"mean\":"
+            );
+            json::write_number(out, *mean);
+            out.push_str(",\"std\":");
+            json::write_number(out, *std);
+            write_metrics(out, metrics);
+            out.push('}');
+        }
+        OkBody::Stats { counters } => {
+            out.push_str("{\"kind\":\"stats\",\"counters\":");
+            write_counters(out, counters);
+            out.push('}');
+        }
+        OkBody::ShutdownAck => out.push_str("{\"kind\":\"shutdown\"}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(line: &str) -> JobSpec {
+        parse_request(line).job.expect(line)
+    }
+
+    fn parse_err(line: &str) -> ServiceError {
+        parse_request(line).job.expect_err(line)
+    }
+
+    #[test]
+    fn defaults_resolve_at_parse_time() {
+        let a = parse_ok(r#"{"v":1,"job":{"kind":"estimate","cells":10000,"die":[800,600]}}"#);
+        let b = parse_ok(
+            r#"{"v":1,"job":{"kind":"estimate","cells":10000,"die":[800,600],"tech":"cmos90","sweep_points":13,"dmax":100.0,"p":0.5,"mix":"uniform","method":"polar1d","threads":0}}"#,
+        );
+        assert_eq!(a, b, "explicit defaults and omitted fields are one job");
+    }
+
+    #[test]
+    fn ids_echo_in_canonical_form() {
+        let req = parse_request(r#"{"v":1,"id":"job-1","job":{"kind":"ping"}}"#);
+        assert_eq!(req.id, Json::Str("job-1".into()));
+        let resp = render_response(&req.id, &Ok(OkBody::Pong));
+        assert_eq!(
+            resp,
+            r#"{"v":1,"id":"job-1","ok":{"kind":"pong","protocol":1}}"#
+        );
+        let req = parse_request(r#"{"v":1,"job":{"kind":"ping"}}"#);
+        assert_eq!(
+            render_response(&req.id, &Ok(OkBody::Pong)),
+            r#"{"v":1,"id":null,"ok":{"kind":"pong","protocol":1}}"#
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_protocol_errors() {
+        assert_eq!(
+            parse_err(r#"{"v":1,"jobs":{"kind":"ping"}}"#).kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            parse_err(r#"{"v":1,"job":{"kind":"ping","extra":1}}"#).kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            parse_err(r#"{"v":1,"job":{"kind":"frobnicate"}}"#).kind,
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn version_is_enforced() {
+        assert_eq!(
+            parse_err(r#"{"job":{"kind":"ping"}}"#).kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            parse_err(r#"{"v":2,"job":{"kind":"ping"}}"#).kind,
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn malformed_json_keeps_a_null_id() {
+        let req = parse_request("{\"v\":1,\"id\":\"x\",\"job\":");
+        assert_eq!(req.id, Json::Null);
+        assert_eq!(req.job.expect_err("truncated").kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        assert_eq!(
+            parse_err(r#"{"v":1,"job":{"kind":"estimate","cells":0,"die":[800,600]}}"#).kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            parse_err(r#"{"v":1,"job":{"kind":"estimate","cells":100,"die":[-1,600]}}"#).kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            parse_err(
+                r#"{"v":1,"job":{"kind":"montecarlo","cells":100,"die":[80,60],"trials":0}}"#
+            )
+            .kind,
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            parse_err(r#"{"v":1,"job":{"kind":"estimate","cells":100,"die":[80,60],"p":1.5}}"#)
+                .kind,
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn error_rendering_is_stable() {
+        let err = ServiceError::new(ErrorKind::Oversized, "line exceeds 65536 bytes");
+        assert_eq!(
+            render_response(&Json::Num(7.0), &Err(err)),
+            r#"{"v":1,"id":7,"err":{"kind":"oversized","message":"line exceeds 65536 bytes"}}"#
+        );
+    }
+}

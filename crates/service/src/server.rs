@@ -1,0 +1,672 @@
+//! The `chipleakd` server loop: NDJSON in, NDJSON out, responses in
+//! request order regardless of worker count.
+//!
+//! ## Architecture
+//!
+//! [`Service::serve`] runs three roles inside one scoped-thread block:
+//!
+//! - the **reader** (calling thread) pulls size-capped lines, parses
+//!   them (parse/protocol errors become work items too — every line
+//!   gets a response), and enqueues `(seq, request)` work;
+//! - **workers** (`config.workers` threads) pop work FIFO, execute jobs
+//!   against the shared [`ArtifactStore`], and deposit rendered
+//!   responses keyed by `seq`;
+//! - the **writer** thread emits responses strictly in `seq` order, so
+//!   the byte stream out of an 8-worker server equals the 1-worker
+//!   stream exactly (pinned by the protocol suite run both ways).
+//!
+//! A dedicated writer (rather than writing at EOF) keeps interactive
+//! clients honest: a socket client that writes one request and waits
+//! for its response before the next would deadlock a write-at-the-end
+//! design.
+//!
+//! ## Order-sensitive jobs
+//!
+//! `stats` snapshots fleet counters, which execution mutates — so the
+//! server serializes it: the worker holding a `stats` job waits until
+//! every earlier response is written, and the reader stops dispatching
+//! until the `stats` response is out. Cheap (stats is rare), and it
+//! makes the snapshot a pure function of the request prefix, which is
+//! what lets the fault suite pin `stats` responses across 1/2/8
+//! workers. `shutdown` stops the reader immediately; queued work
+//! drains, responses flush, and [`Service::serve`] returns.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use leakage_obs::{AggregatingRecorder, MetricsSnapshot};
+
+use crate::error::{ErrorKind, ServiceError};
+use crate::exec::{self, ExecContext};
+use crate::protocol::{render_response, JobSpec, OkBody, Request};
+use crate::store::{ArtifactStore, CacheConfig};
+
+/// Server configuration, fixed at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Job-execution threads per stream (≥ 1). Changes scheduling only:
+    /// the response byte stream and the fleet snapshot are identical
+    /// for every value.
+    pub workers: usize,
+    /// Artifact cache policy.
+    pub cache: CacheConfig,
+    /// Default degradation policy for estimate jobs that carry no
+    /// `mode` field (the `--resilient` flag).
+    pub resilient_default: bool,
+    /// Maximum request-line length in bytes; longer lines get a typed
+    /// `oversized` error and are discarded without buffering.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            cache: CacheConfig::default(),
+            resilient_default: false,
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// What a finished [`Service::serve`] call saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines consumed (blank lines excluded).
+    pub requests: u64,
+    /// `true` when the stream ended on a `shutdown` job rather than EOF.
+    pub shutdown: bool,
+}
+
+/// The long-running estimation service: one shared artifact store, one
+/// fleet recorder, any number of streams served against them.
+pub struct Service {
+    store: std::sync::Arc<ArtifactStore>,
+    fleet: std::sync::Arc<AggregatingRecorder>,
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// Builds a service with its own store and fleet recorder.
+    pub fn new(config: ServiceConfig) -> Service {
+        Service {
+            store: ArtifactStore::new(config.cache),
+            fleet: std::sync::Arc::new(AggregatingRecorder::new()),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared artifact store (exposed for tests and the binary).
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// A deterministic snapshot of the fleet-level metrics. Only
+    /// counters are ever fed here, so the snapshot is bit-identical
+    /// across worker counts once the same requests have completed.
+    pub fn fleet_snapshot(&self) -> MetricsSnapshot {
+        self.fleet.snapshot()
+    }
+
+    fn outcome(&self, request: &Request) -> Result<OkBody, ServiceError> {
+        match &request.job {
+            Err(e) => Err(e.clone()),
+            Ok(JobSpec::Stats) => Ok(OkBody::Stats {
+                counters: self.fleet_snapshot().counters,
+            }),
+            Ok(JobSpec::Shutdown) => Ok(OkBody::ShutdownAck),
+            Ok(job) => {
+                let ctx = ExecContext {
+                    store: &self.store,
+                    fleet: self.fleet.as_ref(),
+                    resilient_default: self.config.resilient_default,
+                };
+                exec::execute(&ctx, job)
+            }
+        }
+    }
+
+    fn count_outcome(&self, outcome: &Result<OkBody, ServiceError>) {
+        use leakage_obs::Recorder as _;
+        match outcome {
+            Ok(_) => self.fleet.add("service.responses.ok", 1),
+            Err(_) => self.fleet.add("service.responses.err", 1),
+        }
+    }
+
+    /// Parses and executes one request line synchronously, returning
+    /// the rendered response and whether it was a `shutdown`. This is
+    /// the single-request building block (and the serial oracle the
+    /// concurrency tests compare against).
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        use leakage_obs::Recorder as _;
+        self.fleet.add("service.requests", 1);
+        let request = parse_or_reject(line.as_bytes(), self.config.max_line_bytes);
+        let shutdown = matches!(request.job, Ok(JobSpec::Shutdown));
+        let outcome = self.outcome(&request);
+        self.count_outcome(&outcome);
+        (render_response(&request.id, &outcome), shutdown)
+    }
+
+    /// Serves one NDJSON stream until EOF or a `shutdown` job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader and writer I/O failures; protocol-level
+    /// problems never surface here (they become error responses).
+    pub fn serve<R: BufRead, W: Write + Send>(
+        &self,
+        mut reader: R,
+        writer: W,
+    ) -> std::io::Result<ServeSummary> {
+        use leakage_obs::Recorder as _;
+        let workers = self.config.workers.max(1);
+        let queue = WorkQueue::new();
+        let out = OutBuffer::new();
+        let mut summary = ServeSummary {
+            requests: 0,
+            shutdown: false,
+        };
+        let mut read_error: Option<std::io::Error> = None;
+
+        std::thread::scope(|scope| {
+            let writer_handle = scope.spawn(|| out.write_all(writer));
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(WorkItem { seq, request }) = queue.pop() {
+                        if matches!(request.job, Ok(JobSpec::Stats)) {
+                            // Serialize against everything earlier (the
+                            // reader gates everything later).
+                            out.wait_written_below(seq);
+                        }
+                        let outcome = self.outcome(&request);
+                        self.count_outcome(&outcome);
+                        out.push(seq, render_response(&request.id, &outcome));
+                    }
+                });
+            }
+
+            // Reader role, on the calling thread.
+            let mut seq: u64 = 0;
+            loop {
+                let line = match read_line_limited(&mut reader, self.config.max_line_bytes) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        read_error = Some(e);
+                        break;
+                    }
+                };
+                let Some(line) = line else { break };
+                if line_is_blank(&line) {
+                    continue;
+                }
+                self.fleet.add("service.requests", 1);
+                let request = parse_or_reject(&line, self.config.max_line_bytes);
+                let is_shutdown = matches!(request.job, Ok(JobSpec::Shutdown));
+                let is_stats = matches!(request.job, Ok(JobSpec::Stats));
+                queue.push(WorkItem { seq, request });
+                seq += 1;
+                if is_stats {
+                    // Nothing after a stats job may execute before its
+                    // snapshot is taken: hold the reader until the
+                    // response is out.
+                    out.wait_written_below(seq);
+                }
+                if is_shutdown {
+                    summary.shutdown = true;
+                    break;
+                }
+            }
+            summary.requests = seq;
+            queue.close();
+            out.set_total(seq);
+            // Workers drain and exit; the writer exits once everything
+            // is flushed; the scope joins them all.
+            drop(writer_handle);
+        });
+
+        if let Some(e) = read_error {
+            return Err(e);
+        }
+        out.take_write_error().map_or(Ok(summary), Err)
+    }
+
+    /// Binds `path` and serves unix-socket connections until one of
+    /// them carries a `shutdown` job. Each connection gets the full
+    /// [`Service::serve`] treatment (its own worker pool) against the
+    /// shared store and fleet recorder; connections run concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept failures. Per-connection I/O errors
+    /// (clients vanishing mid-stream) end that connection only.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<u64> {
+        use leakage_obs::Recorder as _;
+        use std::os::unix::net::UnixListener;
+        // A stale socket file from a previous run would fail the bind.
+        match std::fs::remove_file(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let connections = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        connections.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        self.fleet.add("service.connections", 1);
+                        let stop = &stop;
+                        scope.spawn(move || {
+                            stream.set_nonblocking(false).ok();
+                            let writer = match stream.try_clone() {
+                                Ok(w) => w,
+                                Err(_) => return,
+                            };
+                            let reader = std::io::BufReader::new(stream);
+                            if let Ok(summary) = self.serve(reader, writer) {
+                                if summary.shutdown {
+                                    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                                }
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })?;
+        std::fs::remove_file(path).ok();
+        Ok(connections.load(std::sync::atomic::Ordering::SeqCst))
+    }
+}
+
+// ---- work queue --------------------------------------------------------
+
+struct WorkItem {
+    seq: u64,
+    request: Request,
+}
+
+struct WorkQueue {
+    state: Mutex<(VecDeque<WorkItem>, bool)>,
+    ready: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> WorkQueue {
+        WorkQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.0.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.1 = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    fn pop(&self) -> Option<WorkItem> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.0.pop_front() {
+                return Some(item);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+// ---- in-order output buffer --------------------------------------------
+
+struct OutState {
+    pending: BTreeMap<u64, String>,
+    next_seq: u64,
+    total: Option<u64>,
+    write_error: Option<std::io::Error>,
+}
+
+struct OutBuffer {
+    state: Mutex<OutState>,
+    changed: Condvar,
+}
+
+impl OutBuffer {
+    fn new() -> OutBuffer {
+        OutBuffer {
+            state: Mutex::new(OutState {
+                pending: BTreeMap::new(),
+                next_seq: 0,
+                total: None,
+                write_error: None,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn push(&self, seq: u64, response: String) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.pending.insert(seq, response);
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    fn set_total(&self, total: u64) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.total = Some(total);
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Blocks until every response with `seq < bound` has been written.
+    fn wait_written_below(&self, bound: u64) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while state.next_seq < bound {
+            state = self
+                .changed
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The writer-thread body: emit responses strictly in seq order
+    /// until `total` says the stream is complete. On a write failure
+    /// the error is parked and draining continues (dropping bytes), so
+    /// workers and barriers never deadlock on a dead client.
+    fn write_all<W: Write>(&self, mut writer: W) {
+        loop {
+            let (line, seq) = {
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    let next = state.next_seq;
+                    if let Some(line) = state.pending.remove(&next) {
+                        break (line, next);
+                    }
+                    if let Some(total) = state.total {
+                        if state.next_seq >= total {
+                            return;
+                        }
+                    }
+                    state = self
+                        .changed
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let result = writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush());
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = result {
+                if state.write_error.is_none() {
+                    state.write_error = Some(e);
+                }
+            }
+            state.next_seq = seq + 1;
+            drop(state);
+            self.changed.notify_all();
+        }
+    }
+
+    fn take_write_error(&self) -> Option<std::io::Error> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.write_error.take()
+    }
+}
+
+// ---- line reading ------------------------------------------------------
+
+fn line_is_blank(line: &[u8]) -> bool {
+    line.iter().all(|b| b.is_ascii_whitespace())
+}
+
+/// Turns raw line bytes into a request, handling the two pre-parse
+/// failure modes (oversized marker, invalid UTF-8) with typed errors.
+fn parse_or_reject(line: &[u8], max_line_bytes: usize) -> Request {
+    if line.len() > max_line_bytes {
+        return Request::failed(ServiceError::new(
+            ErrorKind::Oversized,
+            format!("request line exceeds {max_line_bytes} bytes"),
+        ));
+    }
+    match std::str::from_utf8(line) {
+        Ok(text) => crate::protocol::parse_request(text),
+        Err(_) => Request::failed(ServiceError::new(
+            ErrorKind::Parse,
+            "request line is not valid UTF-8",
+        )),
+    }
+}
+
+/// Reads one `\n`-terminated line, capping memory at `limit` bytes.
+/// Oversized lines are consumed (so the stream stays aligned) and
+/// returned as a sentinel vector longer than `limit` — only the first
+/// byte is kept, the rest is synthetic padding length.
+fn read_line_limited<R: BufRead>(reader: &mut R, limit: usize) -> std::io::Result<Option<Vec<u8>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut dropped: usize = 0;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF: a final unterminated line still counts as a line.
+            if buf.is_empty() && dropped == 0 {
+                return Ok(None);
+            }
+            break;
+        }
+        let newline = available.iter().position(|b| *b == b'\n');
+        let take = newline.unwrap_or(available.len());
+        if dropped == 0 && buf.len() + take <= limit {
+            buf.extend_from_slice(available.get(..take).unwrap_or(&[]));
+        } else {
+            dropped += take.saturating_sub(buf.len().min(take));
+            // Past the limit: stop buffering, keep consuming to the
+            // newline so the next request parses cleanly.
+            dropped += buf.len();
+            buf.clear();
+            dropped += 1;
+        }
+        let consumed = newline.map_or(take, |i| i + 1);
+        reader.consume(consumed);
+        if newline.is_some() {
+            break;
+        }
+    }
+    if dropped > 0 {
+        // Sentinel: longer than `limit`, content irrelevant.
+        return Ok(Some(vec![b'!'; limit + 1]));
+    }
+    Ok(Some(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve_text(service: &Service, input: &str) -> (String, ServeSummary) {
+        let mut out: Vec<u8> = Vec::new();
+        let summary = service
+            .serve(std::io::BufReader::new(input.as_bytes()), &mut out)
+            .expect("serve");
+        (String::from_utf8(out).expect("utf8 responses"), summary)
+    }
+
+    #[test]
+    fn ping_roundtrip_and_eof() {
+        let service = Service::new(ServiceConfig::default());
+        let (out, summary) =
+            serve_text(&service, "{\"v\":1,\"id\":1,\"job\":{\"kind\":\"ping\"}}\n");
+        assert_eq!(
+            out,
+            "{\"v\":1,\"id\":1,\"ok\":{\"kind\":\"pong\",\"protocol\":1}}\n"
+        );
+        assert_eq!(
+            summary,
+            ServeSummary {
+                requests: 1,
+                shutdown: false
+            }
+        );
+    }
+
+    #[test]
+    fn shutdown_stops_reading() {
+        let service = Service::new(ServiceConfig::default());
+        let input =
+            "{\"v\":1,\"job\":{\"kind\":\"shutdown\"}}\n{\"v\":1,\"job\":{\"kind\":\"ping\"}}\n";
+        let (out, summary) = serve_text(&service, input);
+        assert_eq!(out.lines().count(), 1, "nothing after shutdown is answered");
+        assert!(summary.shutdown);
+        assert_eq!(summary.requests, 1);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let service = Service::new(ServiceConfig::default());
+        let (out, summary) =
+            serve_text(&service, "\n  \n{\"v\":1,\"job\":{\"kind\":\"ping\"}}\n\n");
+        assert_eq!(out.lines().count(), 1);
+        assert_eq!(summary.requests, 1);
+    }
+
+    #[test]
+    fn bad_lines_get_in_order_error_responses() {
+        let service = Service::new(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        let input = "{broken\n{\"v\":1,\"id\":2,\"job\":{\"kind\":\"ping\"}}\n";
+        let (out, _) = serve_text(&service, input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines
+            .first()
+            .is_some_and(|l| l.contains("\"kind\":\"parse\"")));
+        assert!(lines
+            .get(1)
+            .is_some_and(|l| l.contains("\"kind\":\"pong\"")));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_and_skipped() {
+        let service = Service::new(ServiceConfig {
+            max_line_bytes: 64,
+            ..ServiceConfig::default()
+        });
+        let big = format!(
+            "{{\"v\":1,\"job\":{{\"kind\":\"ping\",\"pad\":\"{}\"}}}}\n",
+            "x".repeat(500)
+        );
+        let input = format!("{big}{{\"v\":1,\"job\":{{\"kind\":\"ping\"}}}}\n");
+        let (out, _) = serve_text(&service, &input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines
+            .first()
+            .is_some_and(|l| l.contains("\"kind\":\"oversized\"")));
+        assert!(lines
+            .get(1)
+            .is_some_and(|l| l.contains("\"kind\":\"pong\"")));
+    }
+
+    #[test]
+    fn unterminated_final_line_is_served() {
+        let service = Service::new(ServiceConfig::default());
+        let (out, _) = serve_text(&service, "{\"v\":1,\"job\":{\"kind\":\"ping\"}}");
+        assert!(out.contains("\"pong\""));
+    }
+
+    #[test]
+    fn stats_sees_exactly_its_prefix() {
+        let service = Service::new(ServiceConfig {
+            workers: 8,
+            ..ServiceConfig::default()
+        });
+        let input = "{\"v\":1,\"job\":{\"kind\":\"ping\"}}\n{\"v\":1,\"job\":{\"kind\":\"stats\"}}\n{\"v\":1,\"job\":{\"kind\":\"ping\"}}\n";
+        let (out, _) = serve_text(&service, input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let stats_line = lines.get(1).copied().unwrap_or("");
+        // Prefix: 2 requests counted (ping + stats itself), 1 ok
+        // response written.
+        assert!(
+            stats_line.contains("\"service.requests\":2"),
+            "{stats_line}"
+        );
+        assert!(
+            stats_line.contains("\"service.responses.ok\":1"),
+            "{stats_line}"
+        );
+    }
+
+    #[test]
+    fn worker_count_never_changes_a_byte() {
+        let input: String = (0..40)
+            .map(|i| {
+                if i % 7 == 3 {
+                    format!("{{\"v\":1,\"id\":{i},\"job\":{{\"kind\":\"nope\"}}}}\n")
+                } else {
+                    format!("{{\"v\":1,\"id\":{i},\"job\":{{\"kind\":\"ping\"}}}}\n")
+                }
+            })
+            .collect();
+        let mut streams = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let service = Service::new(ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            });
+            let (out, _) = serve_text(&service, &input);
+            streams.push(out);
+        }
+        assert_eq!(streams.first(), streams.get(1));
+        assert_eq!(streams.first(), streams.get(2));
+    }
+
+    #[test]
+    fn handle_line_matches_serve() {
+        let service = Service::new(ServiceConfig::default());
+        let line = "{\"v\":1,\"id\":\"x\",\"job\":{\"kind\":\"ping\"}}";
+        let (resp, shutdown) = service.handle_line(line);
+        assert!(!shutdown);
+        let oracle = Service::new(ServiceConfig::default());
+        let (out, _) = serve_text(&oracle, &format!("{line}\n"));
+        assert_eq!(format!("{resp}\n"), out);
+    }
+}

@@ -1,0 +1,338 @@
+//! The `Arc`-shared deterministic artifact store.
+//!
+//! One [`ArtifactStore`] lives for the whole server process; every
+//! request thread holds the same `Arc`. Three cache families sit behind
+//! content-addressed `u64` keys ([`crate::keys`]): characterized
+//! libraries, Eq. 17 correlation tables, and (via the embedded
+//! [`FftPlanCache`]) circulant colouring plans. Maps are `BTreeMap`
+//! (lint L1 — no hash-order iteration anywhere near an output path).
+//!
+//! ## Single-flight and deterministic counters
+//!
+//! A cache whose hit/miss totals depend on thread interleaving would
+//! poison the fleet metrics snapshot, which the fault-injection suite
+//! pins bit-identical across 1/2/8 workers. [`CacheFamily`] therefore
+//! runs every lookup through a *single-flight* protocol:
+//!
+//! - the first thread to ask for a key installs a `Pending` slot,
+//!   counts one **miss**, and computes outside the lock;
+//! - concurrent askers find the `Pending` slot, count a **hit**, and
+//!   block on a condvar until the value lands;
+//! - later askers find `Ready` and count a hit without blocking.
+//!
+//! Computes (and therefore misses) equal the number of *distinct keys*
+//! in the workload — a schedule-free quantity — and hits equal
+//! `requests − distinct keys`. The expensive artifact is built exactly
+//! once no matter how many clients race on a cold cache, which is the
+//! property the concurrency smoke test asserts through
+//! `service.cache.lib.misses == 1`.
+//!
+//! ## Eviction
+//!
+//! Families evict in FIFO insertion order once `capacity` is exceeded
+//! (`Pending` slots are never evicted). The default capacity is
+//! unbounded: under concurrency, eviction order — and hence *re*-miss
+//! counts — would depend on which thread completed first, so bounded
+//! capacity is an explicit operator opt-in (`chipleakd --cache-cap`)
+//! documented as trading counter determinism for memory.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use leakage_numeric::fft::FftPlanCache;
+use leakage_obs::Instruments;
+
+/// Cache behaviour knobs, fixed at server start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// `false` disables the store entirely: every request recomputes its
+    /// artifacts. Responses must stay bit-identical either way (pinned
+    /// by the cache-semantics proptests).
+    pub enabled: bool,
+    /// Per-family entry cap; `None` is unbounded (the default).
+    pub capacity: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity: None,
+        }
+    }
+}
+
+/// One slot in a family: either a value, or a promise that the first
+/// asker is computing it.
+enum Slot<T> {
+    Pending,
+    Ready(Arc<T>),
+}
+
+struct FamilyInner<T> {
+    map: BTreeMap<u64, Slot<T>>,
+    /// Keys of `Ready` entries in insertion order, for FIFO eviction.
+    fifo: VecDeque<u64>,
+}
+
+/// A single-flight, content-addressed cache for one artifact type.
+pub struct CacheFamily<T> {
+    inner: Mutex<FamilyInner<T>>,
+    landed: Condvar,
+    config: CacheConfig,
+    hits: &'static str,
+    misses: &'static str,
+    evictions: &'static str,
+}
+
+impl<T> CacheFamily<T> {
+    fn new(
+        config: CacheConfig,
+        hits: &'static str,
+        misses: &'static str,
+        evictions: &'static str,
+    ) -> Self {
+        CacheFamily {
+            inner: Mutex::new(FamilyInner {
+                map: BTreeMap::new(),
+                fifo: VecDeque::new(),
+            }),
+            landed: Condvar::new(),
+            config,
+            hits,
+            misses,
+            evictions,
+        }
+    }
+
+    /// Number of `Ready` entries currently resident.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.fifo.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up, computing it at most once across all concurrent
+    /// callers. `ins` receives the family's hit/miss/eviction counters
+    /// (callers pass the fleet-level counter sink). Errors are not
+    /// cached: a failed compute clears the pending slot so a later
+    /// request can retry, and every waiter receives its own recompute
+    /// attempt (deterministic errors return the same error everywhere).
+    pub fn get_or_compute<E>(
+        &self,
+        key: u64,
+        ins: Instruments<'_>,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        if !self.config.enabled {
+            ins.add(self.misses, 1);
+            return compute().map(Arc::new);
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match inner.map.get(&key) {
+                Some(Slot::Ready(v)) => {
+                    ins.add(self.hits, 1);
+                    return Ok(Arc::clone(v));
+                }
+                Some(Slot::Pending) => {
+                    // Another thread is computing this key right now:
+                    // wait for it to land. The hit is only counted once
+                    // the value arrives — if the compute fails instead,
+                    // this request retries as a fresh asker and counts
+                    // a miss, exactly as it would have serially.
+                    loop {
+                        inner = self
+                            .landed
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        match inner.map.get(&key) {
+                            Some(Slot::Ready(v)) => {
+                                ins.add(self.hits, 1);
+                                return Ok(Arc::clone(v));
+                            }
+                            Some(Slot::Pending) => continue,
+                            None => break,
+                        }
+                    }
+                }
+                None => {
+                    ins.add(self.misses, 1);
+                    inner.map.insert(key, Slot::Pending);
+                    drop(inner);
+                    let result = compute();
+                    let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    match result {
+                        Ok(value) => {
+                            let value = Arc::new(value);
+                            inner.map.insert(key, Slot::Ready(Arc::clone(&value)));
+                            inner.fifo.push_back(key);
+                            if let Some(cap) = self.config.capacity {
+                                while inner.fifo.len() > cap.max(1) {
+                                    if let Some(old) = inner.fifo.pop_front() {
+                                        inner.map.remove(&old);
+                                        ins.add(self.evictions, 1);
+                                    }
+                                }
+                            }
+                            drop(inner);
+                            self.landed.notify_all();
+                            return Ok(value);
+                        }
+                        Err(e) => {
+                            inner.map.remove(&key);
+                            drop(inner);
+                            self.landed.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The shared store: one cache family per artifact type plus the FFT
+/// plan cache the Monte-Carlo path shares across jobs.
+pub struct ArtifactStore {
+    /// Characterized libraries, keyed by [`crate::keys::library_key`].
+    pub libraries: CacheFamily<leakage_cells::model::CharacterizedLibrary>,
+    /// Eq. 17 tables, keyed by [`crate::keys::table_key`].
+    pub tables: CacheFamily<leakage_core::estimator::CorrelationTable>,
+    /// Circulant colouring plans, keyed internally by torus shape.
+    pub plans: FftPlanCache,
+}
+
+impl ArtifactStore {
+    /// Builds a store with the given cache policy.
+    pub fn new(config: CacheConfig) -> Arc<ArtifactStore> {
+        Arc::new(ArtifactStore {
+            libraries: CacheFamily::new(
+                config,
+                "service.cache.lib.hits",
+                "service.cache.lib.misses",
+                "service.cache.lib.evictions",
+            ),
+            tables: CacheFamily::new(
+                config,
+                "service.cache.table.hits",
+                "service.cache.table.misses",
+                "service.cache.table.evictions",
+            ),
+            plans: FftPlanCache::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_obs::AggregatingRecorder;
+    use leakage_obs::NullClock;
+
+    fn counters(rec: &AggregatingRecorder, name: &str) -> u64 {
+        rec.snapshot().counters.get(name).copied().unwrap_or(0)
+    }
+
+    fn family(config: CacheConfig) -> CacheFamily<u64> {
+        CacheFamily::new(config, "t.hits", "t.misses", "t.evictions")
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let fam = family(CacheConfig::default());
+        let rec = AggregatingRecorder::new();
+        let ins = Instruments::new(&rec, &NullClock);
+        let a = fam.get_or_compute::<()>(7, ins, || Ok(41)).unwrap();
+        let b = fam.get_or_compute::<()>(7, ins, || Ok(999)).unwrap();
+        assert_eq!((*a, *b), (41, 41), "second compute must not run");
+        assert_eq!(counters(&rec, "t.hits"), 1);
+        assert_eq!(counters(&rec, "t.misses"), 1);
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_every_time() {
+        let fam = family(CacheConfig {
+            enabled: false,
+            capacity: None,
+        });
+        let rec = AggregatingRecorder::new();
+        let ins = Instruments::new(&rec, &NullClock);
+        let a = fam.get_or_compute::<()>(7, ins, || Ok(1)).unwrap();
+        let b = fam.get_or_compute::<()>(7, ins, || Ok(2)).unwrap();
+        assert_eq!((*a, *b), (1, 2));
+        assert_eq!(counters(&rec, "t.misses"), 2);
+        assert!(fam.is_empty());
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let fam = family(CacheConfig::default());
+        let rec = AggregatingRecorder::new();
+        let ins = Instruments::new(&rec, &NullClock);
+        let err = fam.get_or_compute(3, ins, || Err::<u64, _>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert!(fam.is_empty());
+        let ok = fam.get_or_compute::<()>(3, ins, || Ok(5)).unwrap();
+        assert_eq!(*ok, 5);
+        assert_eq!(counters(&rec, "t.misses"), 2);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let fam = family(CacheConfig {
+            enabled: true,
+            capacity: Some(2),
+        });
+        let rec = AggregatingRecorder::new();
+        let ins = Instruments::new(&rec, &NullClock);
+        for k in [1u64, 2, 3] {
+            fam.get_or_compute::<()>(k, ins, || Ok(k * 10)).unwrap();
+        }
+        assert_eq!(fam.len(), 2);
+        assert_eq!(counters(&rec, "t.evictions"), 1);
+        // Key 1 was evicted: asking again recomputes.
+        fam.get_or_compute::<()>(1, ins, || Ok(10)).unwrap();
+        assert_eq!(counters(&rec, "t.misses"), 4);
+        // Key 3 survived both evictions.
+        fam.get_or_compute::<()>(3, ins, || Ok(30)).unwrap();
+        assert_eq!(counters(&rec, "t.hits"), 1);
+    }
+
+    #[test]
+    fn racing_cold_lookups_compute_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let fam = Arc::new(family(CacheConfig::default()));
+        let computes = Arc::new(AtomicU64::new(0));
+        let rec = Arc::new(AggregatingRecorder::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let fam = Arc::clone(&fam);
+            let computes = Arc::clone(&computes);
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                let ins = Instruments::new(rec.as_ref(), &NullClock);
+                let v = fam
+                    .get_or_compute::<()>(9, ins, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so waiters really wait.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(123)
+                    })
+                    .unwrap();
+                assert_eq!(*v, 123);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single-flight");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.get("t.misses"), Some(&1));
+        assert_eq!(snap.counters.get("t.hits"), Some(&7));
+    }
+}

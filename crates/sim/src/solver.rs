@@ -207,6 +207,10 @@ impl LeakageSolver {
             });
         }
         let vdd = self.env.vdd;
+        debug_assert!(
+            !SOURCE_STEPS.is_empty(),
+            "source-stepping schedule is non-empty"
+        );
         let mut v = self.initial_voltages(cell, state, vdd);
 
         if cell.n_internal() == 0 {
@@ -309,6 +313,10 @@ impl LeakageSolver {
     fn initial_voltages(&self, cell: &CellNetlist, state: u32, vdd_eff: f64) -> Vec<f64> {
         let n_nodes = cell.n_nodes();
         let first_internal = 2 + cell.n_inputs();
+        debug_assert!(
+            n_nodes >= first_internal,
+            "netlist numbers rails and inputs first"
+        );
         let mut v = vec![0.0; n_nodes];
         v[VDD] = vdd_eff;
         for i in 0..cell.n_inputs() {
@@ -337,6 +345,7 @@ impl LeakageSolver {
     /// Re-pins only the boundary nodes (rails and inputs) to `vdd_eff`,
     /// leaving internal nodes at their warm-start values.
     fn set_rails(&self, cell: &CellNetlist, state: u32, v: &mut [f64], vdd_eff: f64) {
+        debug_assert!(v.len() >= 2 + cell.n_inputs(), "v spans rails and inputs");
         v[VDD] = vdd_eff;
         v[GND] = 0.0;
         for i in 0..cell.n_inputs() {
@@ -387,6 +396,10 @@ impl LeakageSolver {
     ) -> NewtonAttempt {
         let first_internal = 2 + cell.n_inputs();
         let n_int = cell.n_internal();
+        debug_assert!(
+            v.len() == first_internal + n_int,
+            "v spans every netlist node"
+        );
         let norm = |r: &[f64]| r.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
         let mut residual = vec![0.0; n_int];
         let mut iterations = 0;
@@ -527,6 +540,10 @@ impl LeakageSolver {
         vt_delta: f64,
         v: &[f64],
     ) -> (f64, f64, f64) {
+        debug_assert!(
+            d.drain < v.len() && d.gate < v.len() && d.source < v.len(),
+            "device terminals index validated netlist nodes"
+        );
         let params = match d.mos_type {
             crate::device::MosType::Nmos => self.tech.nmos(),
             crate::device::MosType::Pmos => self.tech.pmos(),
@@ -568,6 +585,10 @@ impl LeakageSolver {
         out: &mut [f64],
     ) {
         let first_internal = 2 + cell.n_inputs();
+        debug_assert!(
+            out.len() == cell.n_internal() && v.len() == first_internal + out.len(),
+            "residual spans the internal nodes of v"
+        );
         out.iter_mut().for_each(|r| *r = 0.0);
         for (di, d) in cell.devices().iter().enumerate() {
             let vt_delta = vt_deltas.get(di).copied().unwrap_or(0.0);
@@ -620,6 +641,7 @@ impl LeakageSolver {
         high_side: bool,
     ) -> f64 {
         let vdd = self.env.vdd;
+        debug_assert!(v.len() >= 2 + cell.n_inputs(), "v spans rails and inputs");
         let is_source_node = |n: usize| -> bool {
             if n >= 2 + cell.n_inputs() {
                 return false;

@@ -24,11 +24,15 @@ use crate::summary::FnSummary;
 pub struct PanicFreedom;
 
 /// `true` when the fn is a panic-freedom root: the resilient ladder's
-/// public surface or the root package's library API.
+/// public surface, the root package's library API, or any public entry
+/// of the `chipleakd` service crate (a panic in a worker thread there
+/// kills a long-running server, not a one-shot CLI run).
 fn is_root(rel: &str, s: &FnSummary) -> bool {
     s.is_pub
         && !s.in_test
-        && (rel == "crates/core/src/estimator/resilient.rs" || rel == "src/lib.rs")
+        && (rel == "crates/core/src/estimator/resilient.rs"
+            || rel == "src/lib.rs"
+            || rel.starts_with("crates/service/src/"))
 }
 
 /// A justified L5/L9 suppression on the site line (or the line above)
@@ -249,6 +253,17 @@ mod tests {
              }\n",
         )]);
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn service_crate_public_fns_are_roots() {
+        let d = lint(vec![(
+            "crates/service/src/exec.rs",
+            "pub fn execute() -> f64 { helper() }\n\
+             fn helper() -> f64 { Some(1.0).unwrap() }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("execute -> helper"), "{d:?}");
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! `chipleakd` — the long-running batch estimation server.
+//!
+//! ```text
+//! chipleakd [--socket PATH] [--workers N] [--resilient]
+//!           [--cache-cap N] [--no-cache] [--max-line-bytes N]
+//!           [--metrics] [--metrics-json FILE]
+//! ```
+//!
+//! Without `--socket`, serves newline-delimited JSON requests on stdin
+//! and writes one response line per request to stdout, in request
+//! order, until EOF or a `shutdown` job. With `--socket PATH`, binds a
+//! unix socket and serves each connection the same way; a `shutdown`
+//! job on any connection stops the server. See DESIGN.md §14 for the
+//! protocol grammar.
+//!
+//! Expensive artifacts (characterized libraries, Eq. 17 correlation
+//! tables, FFT plans) are cached behind content-addressed keys and
+//! shared by every request and connection. `--no-cache` disables the
+//! store; `--cache-cap N` bounds each family to N entries (FIFO
+//! eviction, documented as trading counter determinism for memory).
+//!
+//! `--metrics` prints the fleet counter snapshot to stderr on exit;
+//! `--metrics-json FILE` writes it as JSON.
+//!
+//! # Exit codes
+//!
+//! * `0` — clean exit (EOF or `shutdown`);
+//! * `1` — usage or I/O error.
+
+use fullchip_leakage::service::{CacheConfig, Service, ServiceConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: chipleakd [--socket PATH] [--workers N] [--resilient]\n\
+                 \x20         [--cache-cap N] [--no-cache] [--max-line-bytes N]\n\
+                 \x20         [--metrics] [--metrics-json FILE]";
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["resilient", "no-cache", "metrics"];
+
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut opts = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg}"));
+        };
+        if BOOLEAN_FLAGS.contains(&key) {
+            opts.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("--{key} requires a value"));
+        };
+        opts.insert(key.to_owned(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn parse_usize(
+    opts: &std::collections::HashMap<String, String>,
+    key: &str,
+) -> Result<Option<usize>, String> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("--{key} must be a non-negative integer")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_flags(&args)?;
+    for key in opts.keys() {
+        if !matches!(
+            key.as_str(),
+            "socket"
+                | "workers"
+                | "resilient"
+                | "cache-cap"
+                | "no-cache"
+                | "max-line-bytes"
+                | "metrics"
+                | "metrics-json"
+        ) {
+            return Err(format!("unknown flag --{key}"));
+        }
+    }
+    let config = ServiceConfig {
+        workers: parse_usize(&opts, "workers")?.unwrap_or(1).max(1),
+        cache: CacheConfig {
+            enabled: !opts.contains_key("no-cache"),
+            capacity: parse_usize(&opts, "cache-cap")?,
+        },
+        resilient_default: opts.contains_key("resilient"),
+        max_line_bytes: parse_usize(&opts, "max-line-bytes")?
+            .unwrap_or(64 * 1024)
+            .max(1024),
+    };
+    let service = Service::new(config);
+
+    match opts.get("socket") {
+        Some(path) => {
+            let connections = service
+                .serve_unix(std::path::Path::new(path))
+                .map_err(|e| format!("socket serve failed on {path}: {e}"))?;
+            eprintln!("chipleakd: served {connections} connection(s), shutting down");
+        }
+        None => {
+            let stdin = std::io::stdin();
+            // `StdoutLock` is not `Send`; `Stdout` is, and line-buffers
+            // identically for the writer thread.
+            let summary = service
+                .serve(stdin.lock(), std::io::stdout())
+                .map_err(|e| format!("stdio serve failed: {e}"))?;
+            let how = if summary.shutdown { "shutdown" } else { "EOF" };
+            eprintln!(
+                "chipleakd: {} request(s), stopped on {how}",
+                summary.requests
+            );
+        }
+    }
+
+    // Fleet metrics on exit. The snapshot is counters-only by
+    // construction (see DESIGN.md §14.5), so the text dump is stable.
+    let want_metrics = opts.contains_key("metrics") || opts.contains_key("metrics-json");
+    if want_metrics {
+        let snapshot = service.fleet_snapshot();
+        if opts.contains_key("metrics") {
+            eprintln!("--- chipleakd fleet metrics ---");
+            for (name, value) in &snapshot.counters {
+                eprintln!("{name}: {value}");
+            }
+        }
+        if let Some(path) = opts.get("metrics-json") {
+            let mut counters = std::collections::BTreeMap::new();
+            for (name, value) in &snapshot.counters {
+                counters.insert(
+                    name.clone(),
+                    fullchip_leakage::service::Json::Num(*value as f64),
+                );
+            }
+            let doc = fullchip_leakage::service::Json::Obj(
+                [(
+                    "counters".to_owned(),
+                    fullchip_leakage::service::Json::Obj(counters),
+                )]
+                .into_iter()
+                .collect(),
+            );
+            let mut text = String::new();
+            doc.write(&mut text);
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

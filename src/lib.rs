@@ -45,6 +45,7 @@ pub use leakage_netlist as netlist;
 pub use leakage_numeric as numeric;
 pub use leakage_obs as obs;
 pub use leakage_process as process;
+pub use leakage_service as service;
 pub use leakage_sim as sim;
 
 /// Builds a late-mode estimator directly from a placed design: extracts

@@ -317,3 +317,170 @@ fn panic_free_fault_runs_leave_healthy_results_intact() {
         .expect("no faults");
     assert_eq!(healthy, (0..16).map(|i| i * 2).collect::<Vec<_>>());
 }
+
+// ---------------------------------------------------------------------
+// Fault classes 7-8: corrupted chipleakd request streams. Torn, replayed,
+// NaN-poisoned, oversized, and prematurely closed NDJSON input must each
+// end in a typed wire error for the damaged line while the rest of the
+// stream is served normally — never a panic, never a dropped healthy
+// response — and the fleet counters must stay bit-identical across
+// worker counts even while the faults fire.
+// ---------------------------------------------------------------------
+
+mod requests {
+    use fullchip_leakage::service::{Service, ServiceConfig};
+    use leakage_fault::FaultPlan;
+    use std::collections::BTreeMap;
+
+    /// A healthy request stream with cheap jobs (3-point sweeps) spanning
+    /// every response family: pong, characterize, estimate, typed error.
+    fn healthy_stream() -> String {
+        [
+            r#"{"v":1,"id":1,"job":{"kind":"ping"}}"#,
+            r#"{"v":1,"id":2,"job":{"kind":"characterize","sweep_points":3}}"#,
+            r#"{"v":1,"id":3,"job":{"kind":"estimate","cells":600,"die":[150,150],"sweep_points":3}}"#,
+            r#"{"v":1,"id":4,"job":{"kind":"estimate","cells":600,"die":[150,150],"sweep_points":3,"method":"linear"}}"#,
+            r#"{"v":1,"id":5,"job":{"kind":"estimate","cells":600,"die":[150,150],"sweep_points":3,"p":2.0}}"#,
+            r#"{"v":1,"id":6,"job":{"kind":"ping"}}"#,
+        ]
+        .map(|l| format!("{l}\n"))
+        .concat()
+    }
+
+    const LINE_CAP: usize = 512;
+
+    /// Serves `input` on a fresh service and returns the response lines
+    /// plus the fleet counter snapshot. Reaching the return at all is the
+    /// zero-panic assertion: a worker panic would propagate out of the
+    /// server's scoped threads and fail the test.
+    fn serve(input: &str, workers: usize) -> (Vec<String>, BTreeMap<String, u64>) {
+        let service = Service::new(ServiceConfig {
+            workers,
+            max_line_bytes: LINE_CAP,
+            ..ServiceConfig::default()
+        });
+        let mut out: Vec<u8> = Vec::new();
+        service
+            .serve(std::io::BufReader::new(input.as_bytes()), &mut out)
+            .expect("serve never fails on an in-memory stream");
+        let lines = String::from_utf8(out)
+            .expect("UTF-8 responses")
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        (lines, service.fleet_snapshot().counters)
+    }
+
+    fn assert_well_formed(lines: &[String]) {
+        for line in lines {
+            assert!(
+                line.starts_with("{\"v\":1,\"id\":"),
+                "malformed response: {line}"
+            );
+        }
+    }
+
+    fn count_errs(lines: &[String], kind: &str) -> usize {
+        let tag = format!("\"err\":{{\"kind\":{kind:?}");
+        lines.iter().filter(|l| l.contains(&tag)).count()
+    }
+
+    /// Every corruption class, applied at several seeds: the damaged line
+    /// draws its typed error, the healthy lines are all answered, and the
+    /// server reaches EOF without panicking.
+    #[test]
+    fn corrupted_streams_yield_typed_errors_and_healthy_lines_survive() {
+        let clean = healthy_stream();
+        let n = clean.lines().count();
+        for seed in [11, 23, 47] {
+            let plan = FaultPlan::new(seed);
+
+            // Torn write: one line clipped, the rest arrives.
+            let (lines, _) = serve(&plan.clipped_request(&clean), 2);
+            assert_well_formed(&lines);
+            assert_eq!(lines.len(), n, "clipped line still gets a response");
+            assert_eq!(count_errs(&lines, "parse"), 1, "seed {seed}: {lines:?}");
+
+            // Replayed line: jobs are idempotent, so a duplicate is just
+            // answered twice — no new errors appear.
+            let (lines, _) = serve(&plan.duplicated(&clean), 2);
+            assert_well_formed(&lines);
+            assert_eq!(lines.len(), n + 1);
+            assert_eq!(count_errs(&lines, "parse"), 0);
+
+            // NaN-corrupted numeric token: bare NaN is not JSON.
+            let (lines, _) = serve(&plan.nan_request_number(&clean), 2);
+            assert_well_formed(&lines);
+            assert_eq!(lines.len(), n);
+            assert_eq!(count_errs(&lines, "parse"), 1, "seed {seed}: {lines:?}");
+
+            // Oversized job: rejected by the line cap before parsing.
+            let (lines, _) = serve(&plan.oversized_request(&clean, LINE_CAP), 2);
+            assert_well_formed(&lines);
+            assert_eq!(lines.len(), n);
+            assert_eq!(count_errs(&lines, "oversized"), 1, "seed {seed}: {lines:?}");
+            let cap_msg = format!("request line exceeds {LINE_CAP} bytes");
+            assert!(
+                lines.iter().any(|l| l.contains(&cap_msg)),
+                "typed message names the cap: {lines:?}"
+            );
+
+            // Mid-stream EOF: the connection dies at a seeded byte. The
+            // complete prefix is served; a final torn fragment still gets
+            // an in-order response (parse error or, rarely, a clean cut).
+            let cut = plan.truncated(&clean);
+            let (lines, _) = serve(&cut, 2);
+            assert_well_formed(&lines);
+            assert_eq!(
+                lines.len(),
+                cut.lines().filter(|l| !l.trim().is_empty()).count(),
+                "every surviving line is answered, seed {seed}"
+            );
+        }
+    }
+
+    /// The healthy-line invariant, sharpened: responses for undamaged
+    /// request lines are byte-identical to their responses in a clean run.
+    #[test]
+    fn undamaged_lines_answer_exactly_as_in_a_clean_run() {
+        let clean = healthy_stream();
+        let (reference, _) = serve(&clean, 1);
+        let plan = FaultPlan::new(0xFA);
+        let corrupted = plan.clipped_request(&clean);
+        let (lines, _) = serve(&corrupted, 2);
+        let mut matched = 0;
+        for (req, resp) in corrupted.lines().zip(&lines) {
+            if let Some(i) = clean.lines().position(|l| l == req) {
+                assert_eq!(resp, &reference[i], "undamaged line {i} diverged");
+                matched += 1;
+            }
+        }
+        assert_eq!(matched, clean.lines().count() - 1);
+    }
+
+    /// Worker-count invariance under fire: the response bytes AND the
+    /// fleet counter snapshot must not depend on how many workers drained
+    /// the corrupted stream.
+    #[test]
+    fn fleet_snapshots_are_bit_identical_across_worker_counts_under_faults() {
+        let clean = healthy_stream();
+        let plan = FaultPlan::new(0xC0FFEE);
+        for corrupted in [
+            plan.clipped_request(&clean),
+            plan.duplicated(&clean),
+            plan.nan_request_number(&clean),
+            plan.oversized_request(&clean, LINE_CAP),
+            plan.truncated(&clean),
+        ] {
+            let (ref_lines, ref_counters) = serve(&corrupted, 1);
+            for workers in [2, 8] {
+                let (lines, counters) = serve(&corrupted, workers);
+                assert_eq!(lines, ref_lines, "{workers} workers changed a byte");
+                assert_eq!(
+                    counters, ref_counters,
+                    "{workers} workers changed a counter"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Cache-semantics properties for the batch estimation service.
+//!
+//! The artifact store must be an invisible optimisation: every response
+//! is a pure function of its own request line, independent of
+//!
+//! - whether the cache is enabled at all,
+//! - which jobs ran before it (hit vs cold miss),
+//! - how the stream is ordered, and
+//! - how many workers drain the queue.
+//!
+//! The oracle for each job template is a fresh single-worker service
+//! answering that one line with a cold cache. A random job stream —
+//! any mix, any order, any duplication — must reproduce the oracle
+//! byte-for-byte at every position, with caching on (arbitrary worker
+//! count) and with caching off.
+
+use fullchip_leakage::service::{CacheConfig, Service, ServiceConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Pure-math job templates (no montecarlo: RNG streams are pinned
+/// elsewhere; no stats/shutdown: those are deliberately stateful).
+/// Small sweeps keep characterization cheap; two distinct corners
+/// (cmos90/3 and cmos65/5) exercise cross-corner cache keying.
+const POOL: &[&str] = &[
+    r#"{"kind":"ping"}"#,
+    r#"{"kind":"characterize","sweep_points":3}"#,
+    r#"{"kind":"estimate","cells":1000,"die":[200,200],"sweep_points":3}"#,
+    r#"{"kind":"estimate","cells":1000,"die":[200,200],"sweep_points":3,"method":"linear","metrics":true}"#,
+    r#"{"kind":"estimate","cells":1000,"die":[200,200],"sweep_points":3,"method":"integral2d","dmax":50,"p":0.3}"#,
+    r#"{"kind":"estimate","cells":600,"die":[150,150],"sweep_points":5,"tech":"cmos65","mix":"control"}"#,
+    r#"{"kind":"estimate","cells":16,"die":[100,100],"sweep_points":3,"mode":"resilient"}"#,
+    r#"{"kind":"estimate","cells":400,"die":[100,100],"sweep_points":3,"method":"exact-lattice","mode":"strict"}"#,
+];
+
+fn request(template: usize) -> String {
+    format!(
+        r#"{{"v":1,"id":{template},"job":{}}}"#,
+        POOL.get(template).expect("template index in pool")
+    )
+}
+
+/// Cold-cache single-worker answer for each template, computed once.
+fn oracle() -> &'static Vec<String> {
+    static ORACLE: OnceLock<Vec<String>> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        (0..POOL.len())
+            .map(|t| {
+                let service = Service::new(ServiceConfig::default());
+                let (line, shutdown) = service.handle_line(&request(t));
+                assert!(!shutdown, "pool jobs never stop the stream");
+                line
+            })
+            .collect()
+    })
+}
+
+fn serve(sequence: &[usize], config: ServiceConfig) -> Vec<String> {
+    let input: String = sequence.iter().map(|&t| request(t) + "\n").collect();
+    let mut out: Vec<u8> = Vec::new();
+    Service::new(config)
+        .serve(std::io::BufReader::new(input.as_bytes()), &mut out)
+        .expect("serve stream");
+    String::from_utf8(out)
+        .expect("UTF-8 responses")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+fn assert_matches_oracle(sequence: &[usize], served: &[String]) {
+    assert_eq!(served.len(), sequence.len(), "one response per request");
+    for (i, (&t, line)) in sequence.iter().zip(served).enumerate() {
+        assert_eq!(
+            line,
+            &oracle()[t],
+            "position {i} (template {t}) diverged from the cold-cache oracle"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cache hits, misses, and evictions never change a byte: any job
+    /// stream reproduces the cold-cache oracle at every position, under
+    /// any worker count.
+    #[test]
+    fn responses_are_pure_functions_of_their_request(
+        sequence in proptest::collection::vec(0usize..POOL.len(), 2..8),
+        workers in 1usize..=4,
+    ) {
+        let served = serve(&sequence, ServiceConfig { workers, ..ServiceConfig::default() });
+        assert_matches_oracle(&sequence, &served);
+    }
+
+    /// Disabling the store entirely (every request recomputes) is
+    /// byte-identical to serving with it on.
+    #[test]
+    fn disabled_cache_is_bit_identical(
+        sequence in proptest::collection::vec(0usize..POOL.len(), 2..6),
+    ) {
+        let cold = ServiceConfig {
+            cache: CacheConfig { enabled: false, capacity: None },
+            ..ServiceConfig::default()
+        };
+        let served = serve(&sequence, cold);
+        assert_matches_oracle(&sequence, &served);
+    }
+
+    /// A capacity-1 store thrashes (every corner switch evicts) but the
+    /// responses still match the oracle — eviction is invisible too.
+    #[test]
+    fn tiny_capacity_evictions_are_invisible(
+        sequence in proptest::collection::vec(0usize..POOL.len(), 2..6),
+    ) {
+        let tiny = ServiceConfig {
+            cache: CacheConfig { enabled: true, capacity: Some(1) },
+            ..ServiceConfig::default()
+        };
+        let served = serve(&sequence, tiny);
+        assert_matches_oracle(&sequence, &served);
+    }
+}
+
+/// Reordering a stream permutes the responses with it: position `i` of
+/// the permuted stream answers the job that moved there, byte-for-byte.
+/// (A deterministic Fisher–Yates keeps the permutation reproducible.)
+#[test]
+fn reordering_jobs_never_changes_an_individual_response() {
+    let base: Vec<usize> = (0..POOL.len()).chain(2..POOL.len()).collect();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut step = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..4 {
+        let mut sequence = base.clone();
+        for i in (1..sequence.len()).rev() {
+            let j = (step() % (i as u64 + 1)) as usize;
+            sequence.swap(i, j);
+        }
+        let served = serve(
+            &sequence,
+            ServiceConfig {
+                workers: 1 + round % 3,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_matches_oracle(&sequence, &served);
+    }
+}

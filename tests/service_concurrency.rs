@@ -1,0 +1,144 @@
+//! Concurrency smoke test: several unix-socket clients hammer one
+//! `chipleakd` service with histogram-only estimate jobs that share a
+//! single characterized library. The single-flight artifact store must
+//! characterize exactly once — every other request either waits on the
+//! in-flight computation or hits the finished entry — and every
+//! response must be byte-identical to a cold single-worker oracle.
+#![cfg(unix)]
+
+use fullchip_leakage::service::{Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+/// Histogram-only jobs over ONE corner (cmos90, 3 sweep points): a
+/// single library entry serves all of them, while dmax/p/method/die
+/// variation spreads work across distinct distance tables.
+const JOBS: &[&str] = &[
+    r#"{"kind":"estimate","cells":1000,"die":[200,200],"sweep_points":3}"#,
+    r#"{"kind":"estimate","cells":1000,"die":[200,200],"sweep_points":3,"dmax":50}"#,
+    r#"{"kind":"estimate","cells":800,"die":[160,160],"sweep_points":3,"p":0.3,"method":"linear"}"#,
+    r#"{"kind":"estimate","cells":1200,"die":[240,200],"sweep_points":3,"method":"integral2d"}"#,
+    r#"{"kind":"estimate","cells":1000,"die":[200,200],"sweep_points":3,"metrics":true}"#,
+];
+
+const CLIENTS: usize = 6;
+const JOBS_PER_CLIENT: usize = 20;
+
+fn request(template: usize) -> String {
+    format!(
+        r#"{{"v":1,"id":{template},"job":{}}}"#,
+        JOBS.get(template).expect("template index in pool")
+    )
+}
+
+/// Cold-cache single-worker answers, one fresh service per template.
+fn oracle() -> Vec<String> {
+    (0..JOBS.len())
+        .map(|t| {
+            let service = Service::new(ServiceConfig::default());
+            let (line, _) = service.handle_line(&request(t));
+            line
+        })
+        .collect()
+}
+
+fn socket_path() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("chipleakd-smoke-{}.sock", std::process::id()))
+}
+
+#[test]
+fn many_clients_share_one_characterization() {
+    let oracle = oracle();
+    let service = Arc::new(Service::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let path = socket_path();
+
+    let server = {
+        let service = Arc::clone(&service);
+        let path = path.clone();
+        std::thread::spawn(move || service.serve_unix(&path))
+    };
+    for _ in 0..500 {
+        if path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(path.exists(), "server never bound {path:?}");
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let path = path.clone();
+            std::thread::spawn(move || -> Vec<(usize, String)> {
+                let mut stream = UnixStream::connect(&path).expect("connect");
+                // Each client walks the pool from a different offset so
+                // the very first requests already collide on the library.
+                let sequence: Vec<usize> =
+                    (0..JOBS_PER_CLIENT).map(|i| (c + i) % JOBS.len()).collect();
+                for &t in &sequence {
+                    writeln!(stream, "{}", request(t)).expect("send request");
+                }
+                stream.flush().expect("flush requests");
+                stream
+                    .shutdown(std::net::Shutdown::Write)
+                    .expect("half-close");
+                let reader = BufReader::new(stream);
+                let responses: Vec<String> =
+                    reader.lines().map(|l| l.expect("read response")).collect();
+                sequence.into_iter().zip(responses).collect()
+            })
+        })
+        .collect();
+
+    for (c, client) in clients.into_iter().enumerate() {
+        let answered = client.join().expect("client thread");
+        assert_eq!(
+            answered.len(),
+            JOBS_PER_CLIENT,
+            "client {c} got every response"
+        );
+        for (i, (t, line)) in answered.iter().enumerate() {
+            assert_eq!(
+                line, &oracle[*t],
+                "client {c} response {i} (template {t}) diverged from the serial oracle"
+            );
+        }
+    }
+
+    let mut stop = UnixStream::connect(&path).expect("connect for shutdown");
+    writeln!(stop, r#"{{"v":1,"id":"stop","job":{{"kind":"shutdown"}}}}"#).expect("send shutdown");
+    let mut ack = String::new();
+    BufReader::new(&stop).read_line(&mut ack).expect("read ack");
+    assert_eq!(
+        ack.trim_end(),
+        r#"{"v":1,"id":"stop","ok":{"kind":"shutdown"}}"#
+    );
+    let connections = server
+        .join()
+        .expect("server thread")
+        .expect("serve_unix result");
+    assert_eq!(connections, CLIENTS as u64 + 1);
+
+    let counters = service.fleet_snapshot().counters;
+    let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+    assert_eq!(
+        get("service.characterizations"),
+        1,
+        "exactly one characterization"
+    );
+    assert_eq!(get("service.cache.lib.misses"), 1, "one cold library miss");
+    assert_eq!(
+        get("service.cache.lib.hits"),
+        (CLIENTS * JOBS_PER_CLIENT) as u64 - 1,
+        "every other job reused the shared library"
+    );
+    assert_eq!(
+        get("service.requests"),
+        (CLIENTS * JOBS_PER_CLIENT) as u64 + 1
+    );
+    assert_eq!(get("service.responses.err"), 0);
+    assert_eq!(get("service.connections"), CLIENTS as u64 + 1);
+}

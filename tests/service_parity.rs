@@ -1,0 +1,167 @@
+//! The headline acceptance test for `chipleakd`: a cold start followed
+//! by 100 histogram-only estimate jobs performs EXACTLY ONE
+//! characterization (pinned through the obs fleet counters), and every
+//! cached response is bit-identical to what the one-shot `chipleak` CLI
+//! computes for the same job with no cache anywhere in sight.
+//!
+//! The CLI prints `{:.4e}`-rounded amperes; the service wire format
+//! carries full-precision floats. Parity is checked by rendering the
+//! service's numbers through the CLI's own format string, which is
+//! exact: two f64 values that agree to 5 significant digits AND come
+//! from the same estimator path are the same value or the test catches
+//! the drift at the 5th digit.
+
+use fullchip_leakage::service::{Service, ServiceConfig};
+
+/// Distinct histogram-only jobs, all on the cmos90 corner at the default
+/// 13-point sweep — CLI-expressible (method × mix × floorplan variation).
+struct Config {
+    job: &'static str,
+    cli: &'static [&'static str],
+}
+
+const CONFIGS: &[Config] = &[
+    Config {
+        job: r#"{"cells":10000,"die":[500,500]}"#,
+        cli: &["--cells", "10000", "--die", "500x500"],
+    },
+    Config {
+        job: r#"{"cells":10000,"die":[500,500],"method":"linear"}"#,
+        cli: &["--cells", "10000", "--die", "500x500", "--method", "linear"],
+    },
+    Config {
+        job: r#"{"cells":8000,"die":[400,300],"method":"integral2d","dmax":50,"p":0.3}"#,
+        cli: &[
+            "--cells",
+            "8000",
+            "--die",
+            "400x300",
+            "--method",
+            "integral2d",
+            "--dmax",
+            "50",
+            "--p",
+            "0.3",
+        ],
+    },
+    Config {
+        job: r#"{"cells":20000,"die":[600,600],"mix":"memory"}"#,
+        cli: &["--cells", "20000", "--die", "600x600", "--mix", "memory"],
+    },
+    Config {
+        job: r#"{"cells":5000,"die":[350,350],"mix":"control","dmax":80}"#,
+        cli: &[
+            "--cells", "5000", "--die", "350x350", "--mix", "control", "--dmax", "80",
+        ],
+    },
+];
+
+const TOTAL_JOBS: usize = 100;
+
+fn request(i: usize) -> String {
+    let config = &CONFIGS[i % CONFIGS.len()];
+    let body = config
+        .job
+        .strip_prefix('{')
+        .expect("job template is an object");
+    format!(r#"{{"v":1,"id":{i},"job":{{"kind":"estimate",{body}}}"#)
+}
+
+/// Pulls the f64 after `"key":` out of a wire response line.
+fn field(line: &str, key: &str) -> f64 {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag).unwrap_or_else(|| panic!("{key} in {line}")) + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("terminated value in {line}"));
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|e| panic!("{key}={} : {e}", &rest[..end]))
+}
+
+/// Pulls the `{:.4e}`-formatted amperes off a labelled CLI stdout line.
+fn cli_number(stdout: &str, label: &str) -> String {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with(label))
+        .unwrap_or_else(|| panic!("{label:?} in {stdout}"));
+    let rest = line[label.len()..].trim();
+    rest.strip_suffix(" A")
+        .unwrap_or_else(|| panic!("amperes suffix in {line:?}"))
+        .to_string()
+}
+
+fn run_cli(args: &[&str]) -> String {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_chipleak"))
+        .arg("estimate")
+        .args(args)
+        .output()
+        .expect("run chipleak");
+    assert!(
+        output.status.success(),
+        "chipleak estimate {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("UTF-8 stdout")
+}
+
+#[test]
+fn hundred_cached_jobs_one_characterization_cli_identical() {
+    // Cold start + 100 jobs over 5 distinct configs, one service.
+    let input: String = (0..TOTAL_JOBS).map(|i| request(i) + "\n").collect();
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let mut out: Vec<u8> = Vec::new();
+    service
+        .serve(std::io::BufReader::new(input.as_bytes()), &mut out)
+        .expect("serve jobs");
+    let responses: Vec<String> = String::from_utf8(out)
+        .expect("UTF-8 responses")
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(responses.len(), TOTAL_JOBS);
+
+    // Exactly one characterization: the first job misses, the other 99
+    // (including 95 exact repeats) reuse the shared library entry.
+    let counters = service.fleet_snapshot().counters;
+    let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+    assert_eq!(get("service.characterizations"), 1);
+    assert_eq!(get("service.cache.lib.misses"), 1);
+    assert_eq!(get("service.cache.lib.hits"), TOTAL_JOBS as u64 - 1);
+    assert_eq!(get("service.responses.ok"), TOTAL_JOBS as u64);
+    assert_eq!(get("service.responses.err"), 0);
+
+    // Cached repeats are bit-identical to the first (cold) answer modulo
+    // the echoed id: every config's 20 occurrences collapse to one body.
+    for (i, line) in responses.iter().enumerate() {
+        let first = &responses[i % CONFIGS.len()];
+        let body = line.split_once("\"ok\":").expect("ok body").1;
+        let first_body = first.split_once("\"ok\":").expect("ok body").1;
+        assert_eq!(body, first_body, "job {i} diverged from its cold twin");
+    }
+
+    // And the cold answers themselves match the one-shot CLI, rendered
+    // through the CLI's own format strings.
+    for (t, config) in CONFIGS.iter().enumerate() {
+        let stdout = run_cli(config.cli);
+        let line = &responses[t];
+        assert!(line.contains("\"ok\""), "config {t} errored: {line}");
+        for (label, key) in [
+            ("mean leakage:", "mean"),
+            ("std leakage:", "std"),
+            ("95% budget:", "q95"),
+            ("99% budget:", "q99"),
+        ] {
+            assert_eq!(
+                format!("{:.4e}", field(line, key)),
+                cli_number(&stdout, label),
+                "config {t}: service {key} drifted from `chipleak estimate {:?}`",
+                config.cli
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Golden protocol-transcript suite for `chipleakd`.
+//!
+//! Each `tests/golden/service/NAME.in.ndjson` is a recorded request
+//! stream; `NAME.out.ndjson` is the byte-exact response stream the
+//! server must produce for it — happy path, every estimation method,
+//! resilient degradation, and the full typed-error taxonomy. The replay
+//! runs three ways and demands identical bytes from each:
+//!
+//! - in-process [`Service`] with one worker (the reference ordering);
+//! - in-process with four workers (pins the reorder buffer: worker
+//!   count must never change a byte);
+//! - the real `chipleakd` binary over stdin/stdout (pins the bin
+//!   wiring).
+//!
+//! On mismatch the actual bytes are written to
+//! `target/golden-diff/NAME.actual.ndjson` (CI uploads them as an
+//! artifact) and the test prints the first differing line. Regenerate
+//! intentionally with `UPDATE_GOLDENS=1 cargo test --test
+//! service_protocol`.
+
+use fullchip_leakage::service::{Service, ServiceConfig};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/service")
+}
+
+fn transcripts() -> Vec<(String, PathBuf, PathBuf)> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(golden_dir()).expect("golden dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if let Some(stem) = name.strip_suffix(".in.ndjson") {
+            let out = path.with_file_name(format!("{stem}.out.ndjson"));
+            found.push((stem.to_owned(), path.clone(), out));
+        }
+    }
+    found.sort();
+    assert!(!found.is_empty(), "no golden transcripts found");
+    found
+}
+
+fn serve_in_process(input: &str, workers: usize) -> String {
+    let service = Service::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    });
+    let mut out: Vec<u8> = Vec::new();
+    service
+        .serve(std::io::BufReader::new(input.as_bytes()), &mut out)
+        .expect("serve transcript");
+    String::from_utf8(out).expect("responses are UTF-8")
+}
+
+fn serve_via_binary(input: &str) -> String {
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_chipleakd"))
+        .args(["--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn chipleakd");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let output = child.wait_with_output().expect("chipleakd exits");
+    assert!(
+        output.status.success(),
+        "chipleakd failed: {}",
+        output.status
+    );
+    String::from_utf8(output.stdout).expect("responses are UTF-8")
+}
+
+fn first_diff_line(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!(
+                "first difference at line {}:\n  expected: {e}\n  actual:   {a}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line count differs: expected {}, actual {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+fn check_or_update(name: &str, out_path: &Path, actual: &str) {
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(out_path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(out_path)
+        .unwrap_or_else(|_| panic!("missing golden {out_path:?}; run with UPDATE_GOLDENS=1"));
+    if expected != actual {
+        let diff_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("target/golden-diff");
+        std::fs::create_dir_all(&diff_dir).expect("create diff dir");
+        let actual_path = diff_dir.join(format!("{name}.actual.ndjson"));
+        std::fs::write(&actual_path, actual).expect("write actual");
+        panic!(
+            "golden mismatch for {name} (actual saved to {actual_path:?})\n{}",
+            first_diff_line(&expected, actual)
+        );
+    }
+}
+
+#[test]
+fn transcripts_replay_byte_exact_serial() {
+    for (name, in_path, out_path) in transcripts() {
+        let input = std::fs::read_to_string(&in_path).expect("read transcript");
+        let actual = serve_in_process(&input, 1);
+        check_or_update(&name, &out_path, &actual);
+    }
+}
+
+#[test]
+fn transcripts_replay_byte_exact_parallel() {
+    for (name, in_path, out_path) in transcripts() {
+        if std::env::var_os("UPDATE_GOLDENS").is_some() {
+            continue; // the serial test owns regeneration
+        }
+        let input = std::fs::read_to_string(&in_path).expect("read transcript");
+        let actual = serve_in_process(&input, 4);
+        check_or_update(&format!("{name}.parallel"), &out_path, &actual);
+    }
+}
+
+#[test]
+fn transcripts_replay_byte_exact_through_binary() {
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        return;
+    }
+    for (name, in_path, out_path) in transcripts() {
+        let input = std::fs::read_to_string(&in_path).expect("read transcript");
+        let actual = serve_via_binary(&input);
+        check_or_update(&format!("{name}.binary"), &out_path, &actual);
+    }
+}
+
+#[test]
+fn every_request_line_gets_exactly_one_response() {
+    for (_, in_path, _) in transcripts() {
+        let input = std::fs::read_to_string(&in_path).expect("read transcript");
+        let served = serve_in_process(&input, 1);
+        // A shutdown line stops the reader; lines after it get nothing.
+        let effective: Vec<&str> = {
+            let mut kept = Vec::new();
+            for line in input.lines().filter(|l| !l.trim().is_empty()) {
+                kept.push(line);
+                if line.contains("\"shutdown\"") {
+                    break;
+                }
+            }
+            kept
+        };
+        assert_eq!(
+            served.lines().count(),
+            effective.len(),
+            "one response per request in {in_path:?}"
+        );
+        for line in served.lines() {
+            assert!(
+                line.starts_with("{\"v\":1,\"id\":"),
+                "response shape: {line}"
+            );
+        }
+    }
+}
