@@ -1,0 +1,103 @@
+//! `chipleakd` throughput smoke bench: drives the in-memory serve path
+//! with a stream of histogram-only estimate jobs at 1 and 4 workers,
+//! records jobs/sec for each, and writes `BENCH_service.json` so the
+//! bench trajectory carries a service baseline.
+//!
+//! Flags:
+//!   `--jobs N`    request lines per run (default 120)
+//!   `--out PATH`  JSON output path (default `BENCH_service.json`)
+//!
+//! Always asserted (any host): the response byte stream is identical at
+//! every worker count — throughput may vary, bytes may not. No speedup
+//! gate: on a single-core CI runner the 4-worker figure is scheduling
+//! noise, and the point of the record is the trajectory, not a pass bar.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use leakage_service::{ServeSummary, Service, ServiceConfig};
+
+/// Worker counts of the sweep, in output order.
+const WORKERS: [usize; 2] = [1, 4];
+
+/// Distinct job bodies; the stream cycles through these, so each run
+/// sees both cold artifact-cache misses and warm hits.
+const JOBS: [&str; 6] = [
+    r#"{"kind":"estimate","cells":600,"die":[150,150],"sweep_points":3}"#,
+    r#"{"kind":"estimate","cells":600,"die":[150,150],"sweep_points":3,"method":"linear"}"#,
+    r#"{"kind":"estimate","cells":800,"die":[160,160],"sweep_points":3,"p":0.3}"#,
+    r#"{"kind":"estimate","cells":800,"die":[160,160],"sweep_points":3,"dmax":50}"#,
+    r#"{"kind":"estimate","cells":1000,"die":[200,200],"sweep_points":3,"method":"integral2d"}"#,
+    r#"{"kind":"ping"}"#,
+];
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(workers: usize, input: &str) -> (f64, ServeSummary, Vec<u8>) {
+    let service = Service::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    });
+    let mut out = Vec::new();
+    let t0 = Instant::now();
+    let summary = service
+        .serve(input.as_bytes(), &mut out)
+        .expect("in-memory serve cannot fail on I/O");
+    (t0.elapsed().as_secs_f64(), summary, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs: u64 = flag_value(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs takes a number"))
+        .unwrap_or(120);
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_service.json".to_owned());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut input = String::new();
+    for i in 0..jobs {
+        let body = JOBS[(i % JOBS.len() as u64) as usize];
+        let _ = writeln!(&mut input, "{{\"v\":1,\"id\":{i},\"job\":{body}}}");
+    }
+
+    let mut seconds = [0.0_f64; WORKERS.len()];
+    let mut reference: Option<Vec<u8>> = None;
+    for (i, &w) in WORKERS.iter().enumerate() {
+        let (s, summary, out) = run(w, &input);
+        assert_eq!(summary.requests, jobs, "{w} workers consumed the stream");
+        assert!(!summary.shutdown, "no shutdown job in the stream");
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(r, &out, "response bytes must be identical at {w} workers"),
+        }
+        seconds[i] = s;
+        eprintln!(
+            "{w} worker(s): {jobs} jobs in {s:.3} s = {:.1} jobs/s",
+            jobs as f64 / s
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, &w) in WORKERS.iter().enumerate() {
+        let comma = if i + 1 < WORKERS.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"workers\": {w}, \"seconds\": {:.6}, \"jobs_per_sec\": {:.3}}}{comma}\n",
+            seconds[i],
+            jobs as f64 / seconds[i],
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_4v1\": {:.3}\n}}\n",
+        seconds[0] / seconds[1]
+    ));
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

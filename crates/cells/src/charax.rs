@@ -312,7 +312,7 @@ impl Characterizer {
         let span = ins.span("cells.characterize_library");
         let all = lib.cells();
         debug_assert!(
-            !all.is_empty() || lib.len() == 0,
+            !all.is_empty() || lib.is_empty(),
             "chunk indexes stay below len"
         );
         let results = par.map_chunks(all.len(), |i| {

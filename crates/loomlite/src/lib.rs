@@ -1,0 +1,50 @@
+//! A minimal, dependency-free model checker exposing a subset of the
+//! `loom` crate's API (`loom::sync::{Mutex, Condvar}`, `loom::thread`,
+//! `loom::model`). Service code opts in with `--cfg loom`:
+//!
+//! ```toml
+//! [target.'cfg(loom)'.dependencies]
+//! loom = { package = "chipleak-loom", path = "../loomlite" }
+//! ```
+//!
+//! and swaps its sync imports behind the cfg, exactly as it would for
+//! the real loom. The checker then runs a closure under **every**
+//! schedule of its cooperatively-serialized threads (bounded DFS over
+//! scheduling choices), instead of the handful an OS scheduler happens
+//! to produce.
+//!
+//! ## Model
+//!
+//! - Sequential consistency only: at most one model thread executes at
+//!   a time, and every synchronization operation (mutex acquire,
+//!   condvar wait/notify, atomic access, spawn/join, `yield_now`) is a
+//!   *decision point* where the scheduler may switch threads. This is
+//!   enough to exhaust lock/condvar protocol interleavings — the
+//!   hazards lint rules L12–L15 reason about statically — though it
+//!   does not model weak memory reorderings.
+//! - **Spurious condvar wakeups** are explored (budgeted per
+//!   iteration, default 1): a blocked waiter may be chosen to wake
+//!   with no notify, which is what breaks non-predicate-looped waits.
+//! - **Deadlock detection**: if no thread is runnable and not all have
+//!   finished, the iteration fails with the blocked-thread states.
+//! - **Preemption bounding** (default 3, à la CHESS): involuntary
+//!   switches away from a still-runnable thread are budgeted, keeping
+//!   the search tractable; voluntary blocking never charges the
+//!   budget. `Builder { preemption_bound: None, .. }` disables it.
+//!
+//! ## Dual mode
+//!
+//! Primitives constructed *outside* a `model()` closure transparently
+//! delegate to `std::sync` — so a crate compiled with `--cfg loom`
+//! still runs its ordinary unit tests; only code under `model()` is
+//! scheduled by the checker.
+
+pub mod sync;
+pub mod thread;
+
+mod sched;
+
+pub use sched::{model, Builder};
+
+#[cfg(test)]
+mod tests;

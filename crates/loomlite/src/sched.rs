@@ -1,0 +1,588 @@
+//! The exploration engine: one [`Explorer`] per `model()` call, a DFS
+//! stack of scheduling choices persisted across iterations, and a
+//! cooperatively-serialized set of OS threads (exactly one model
+//! thread runs between decision points).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Panic payload used to unwind model threads once an iteration has
+/// already failed (deadlock or an assertion in another thread). Never
+/// reported; the first *real* failure is.
+pub(crate) struct ModelAbort;
+
+/// One backtrackable scheduling decision: which of `options` enabled
+/// threads ran. Points with a single option are not recorded.
+struct Choice {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+enum Failure {
+    /// All live threads blocked; the string renders their states.
+    Deadlock(String),
+    /// A model thread panicked (test assertion); payload is kept
+    /// separately so the orchestrator can resume it.
+    Panic,
+}
+
+struct Sched {
+    threads: Vec<ThreadState>,
+    active: usize,
+    /// Per-mutex owner, indexed by registration order.
+    mutexes: Vec<Option<usize>>,
+    /// Per-condvar FIFO waiter queue, indexed by registration order.
+    condvars: Vec<VecDeque<usize>>,
+    /// DFS choice stack — persists across iterations.
+    stack: Vec<Choice>,
+    /// Replay cursor into `stack` for the current iteration.
+    cursor: usize,
+    preemptions: usize,
+    spurious_left: usize,
+    finished: usize,
+    failure: Option<Failure>,
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+impl Sched {
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t] == ThreadState::Runnable)
+            .collect()
+    }
+
+    fn condvar_blocked(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| matches!(self.threads[t], ThreadState::BlockedCondvar(_)))
+            .collect()
+    }
+
+    fn render_states(&self) -> String {
+        let mut out = String::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if !out.is_empty() {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("thread {i}: {t:?}"));
+        }
+        out
+    }
+}
+
+/// Search configuration; see [`Builder`].
+#[derive(Clone, Copy)]
+struct Config {
+    preemption_bound: Option<usize>,
+    max_iterations: usize,
+    spurious_budget: usize,
+}
+
+pub(crate) struct Explorer {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    cfg: Config,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Explorer>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The `(explorer, thread id)` of the calling model thread, if any.
+pub(crate) fn current() -> Option<(Arc<Explorer>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Explorer {
+    fn new(cfg: Config) -> Explorer {
+        Explorer {
+            sched: Mutex::new(Sched {
+                threads: Vec::new(),
+                active: 0,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                stack: Vec::new(),
+                cursor: 0,
+                preemptions: 0,
+                spurious_left: 0,
+                finished: 0,
+                failure: None,
+                payload: None,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn abort(&self) -> ! {
+        std::panic::panic_any(ModelAbort)
+    }
+
+    /// Takes (or records) the next DFS choice among `n` options.
+    fn choose(&self, s: &mut Sched, n: usize) -> usize {
+        debug_assert!(n > 0, "choose() requires at least one option");
+        if n == 1 {
+            return 0;
+        }
+        if s.cursor < s.stack.len() {
+            let c = s.stack[s.cursor].chosen;
+            s.cursor += 1;
+            return c;
+        }
+        s.stack.push(Choice {
+            chosen: 0,
+            options: n,
+        });
+        s.cursor += 1;
+        0
+    }
+
+    /// Picks and activates the next thread. `opts` are runnable ids;
+    /// condvar-blocked threads are appended as spurious-wake options
+    /// while the iteration's budget lasts. Returns the picked id.
+    fn pick_next(&self, s: &mut Sched, opts: Vec<usize>) -> usize {
+        let mut all = opts;
+        let spur_from = all.len();
+        if s.spurious_left > 0 {
+            all.extend(s.condvar_blocked());
+        }
+        let idx = self.choose(s, all.len());
+        let pick = all[idx];
+        if idx >= spur_from {
+            // Spurious wakeup: pull the waiter out of its queue.
+            if let ThreadState::BlockedCondvar(cid) = s.threads[pick] {
+                s.condvars[cid].retain(|&t| t != pick);
+            }
+            s.threads[pick] = ThreadState::Runnable;
+            s.spurious_left -= 1;
+        }
+        s.active = pick;
+        self.cv.notify_all();
+        pick
+    }
+
+    /// Blocks the calling model thread until it is scheduled again.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut s: MutexGuard<'a, Sched>,
+        me: usize,
+    ) -> MutexGuard<'a, Sched> {
+        loop {
+            if s.failure.is_some() {
+                drop(s);
+                self.abort();
+            }
+            if s.active == me && s.threads[me] == ThreadState::Runnable {
+                return s;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Decision point for a *running* thread: the scheduler may switch
+    /// to any other runnable thread (charging the preemption budget)
+    /// or let `me` continue.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            drop(s);
+            self.abort();
+        }
+        let opts = s.runnable();
+        debug_assert!(opts.contains(&me));
+        let bounded = self
+            .cfg
+            .preemption_bound
+            .is_some_and(|b| s.preemptions >= b);
+        let pick = if bounded {
+            s.active = me;
+            me
+        } else {
+            self.pick_next(&mut s, opts)
+        };
+        if pick != me {
+            s.preemptions += 1;
+            let s = self.wait_for_turn(s, me);
+            drop(s);
+        }
+    }
+
+    /// Cede point for a thread that just blocked or finished (its
+    /// state is already set by the caller). Detects deadlock, picks a
+    /// successor, and — unless finished — waits to be rescheduled.
+    fn cede<'a>(&'a self, mut s: MutexGuard<'a, Sched>, me: usize) -> MutexGuard<'a, Sched> {
+        let opts = s.runnable();
+        if opts.is_empty() {
+            if s.finished == s.threads.len() {
+                // Iteration complete; wake the orchestrator.
+                self.cv.notify_all();
+                return s;
+            }
+            let msg = s.render_states();
+            s.failure = Some(Failure::Deadlock(msg));
+            self.cv.notify_all();
+            if s.threads[me] == ThreadState::Finished {
+                return s;
+            }
+            drop(s);
+            self.abort();
+        }
+        self.pick_next(&mut s, opts);
+        if s.threads[me] == ThreadState::Finished {
+            return s;
+        }
+        self.wait_for_turn(s, me)
+    }
+
+    // ---- primitive registration -----------------------------------
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut s = self.lock();
+        s.mutexes.push(None);
+        s.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut s = self.lock();
+        s.condvars.push(VecDeque::new());
+        s.condvars.len() - 1
+    }
+
+    // ---- mutex ----------------------------------------------------
+
+    pub(crate) fn acquire(&self, me: usize, mid: usize) {
+        self.yield_point(me);
+        let mut s = self.lock();
+        loop {
+            if s.failure.is_some() {
+                drop(s);
+                self.abort();
+            }
+            match s.mutexes[mid] {
+                None => {
+                    s.mutexes[mid] = Some(me);
+                    return;
+                }
+                Some(owner) if owner == me => {
+                    let msg = format!("thread {me} re-acquired model mutex {mid} it already holds");
+                    s.failure = Some(Failure::Deadlock(msg));
+                    self.cv.notify_all();
+                    drop(s);
+                    self.abort();
+                }
+                Some(_) => {
+                    s.threads[me] = ThreadState::BlockedMutex(mid);
+                    s = self.cede(s, me);
+                }
+            }
+        }
+    }
+
+    /// Re-acquire without a leading decision point (used when waking
+    /// from a condvar: being scheduled *was* the decision).
+    fn acquire_resumed(&self, me: usize, mid: usize) {
+        let mut s = self.lock();
+        loop {
+            if s.failure.is_some() {
+                drop(s);
+                self.abort();
+            }
+            match s.mutexes[mid] {
+                None => {
+                    s.mutexes[mid] = Some(me);
+                    return;
+                }
+                Some(_) => {
+                    s.threads[me] = ThreadState::BlockedMutex(mid);
+                    s = self.cede(s, me);
+                }
+            }
+        }
+    }
+
+    /// Guard-drop path: must never panic mid-unwind, so a failed
+    /// iteration makes this a no-op.
+    pub(crate) fn release(&self, me: usize, mid: usize) {
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            return;
+        }
+        debug_assert_eq!(s.mutexes[mid], Some(me), "release by non-owner");
+        s.mutexes[mid] = None;
+        for state in s.threads.iter_mut() {
+            if *state == ThreadState::BlockedMutex(mid) {
+                *state = ThreadState::Runnable;
+            }
+        }
+    }
+
+    // ---- condvar --------------------------------------------------
+
+    /// Atomically queues `me` on the condvar, releases the mutex, and
+    /// blocks; on wakeup (notify or spurious) re-acquires the mutex.
+    pub(crate) fn cv_wait(&self, me: usize, cid: usize, mid: usize) {
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            drop(s);
+            self.abort();
+        }
+        debug_assert_eq!(s.mutexes[mid], Some(me), "wait without holding the mutex");
+        s.condvars[cid].push_back(me);
+        s.mutexes[mid] = None;
+        for state in s.threads.iter_mut() {
+            if *state == ThreadState::BlockedMutex(mid) {
+                *state = ThreadState::Runnable;
+            }
+        }
+        s.threads[me] = ThreadState::BlockedCondvar(cid);
+        let s = self.cede(s, me);
+        drop(s);
+        self.acquire_resumed(me, mid);
+    }
+
+    pub(crate) fn notify_one(&self, me: usize, cid: usize) {
+        self.yield_point(me);
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            drop(s);
+            self.abort();
+        }
+        if let Some(t) = s.condvars[cid].pop_front() {
+            s.threads[t] = ThreadState::Runnable;
+        }
+    }
+
+    pub(crate) fn notify_all(&self, me: usize, cid: usize) {
+        self.yield_point(me);
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            drop(s);
+            self.abort();
+        }
+        while let Some(t) = s.condvars[cid].pop_front() {
+            s.threads[t] = ThreadState::Runnable;
+        }
+    }
+
+    // ---- threads --------------------------------------------------
+
+    /// Registers a new model thread (Runnable) and returns its id.
+    fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(ThreadState::Runnable);
+        s.threads.len() - 1
+    }
+
+    pub(crate) fn spawn_model(
+        self: &Arc<Self>,
+        me: usize,
+        body: Box<dyn FnOnce() + Send>,
+    ) -> usize {
+        let tid = self.register_thread();
+        let exp = Arc::clone(self);
+        let handle = std::thread::spawn(move || thread_main(exp, tid, body));
+        self.os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        // The spawn itself is a decision point: the child may run
+        // immediately or the parent may continue.
+        self.yield_point(me);
+        tid
+    }
+
+    pub(crate) fn join(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        let mut s = self.lock();
+        while s.threads[target] != ThreadState::Finished {
+            if s.failure.is_some() {
+                drop(s);
+                self.abort();
+            }
+            s.threads[me] = ThreadState::BlockedJoin(target);
+            s = self.cede(s, me);
+        }
+    }
+
+    // ---- iteration driving ----------------------------------------
+
+    /// Runs one iteration of `f` under the current choice stack.
+    /// Panics (deadlock) or resumes (assertion) on failure.
+    fn run_iteration(self: &Arc<Self>, f: Arc<dyn Fn() + Send + Sync>) {
+        {
+            let mut s = self.lock();
+            s.threads.clear();
+            s.threads.push(ThreadState::Runnable);
+            s.active = 0;
+            s.mutexes.clear();
+            s.condvars.clear();
+            s.cursor = 0;
+            s.preemptions = 0;
+            s.spurious_left = self.cfg.spurious_budget;
+            s.finished = 0;
+            s.failure = None;
+            s.payload = None;
+        }
+        let exp = Arc::clone(self);
+        let handle = std::thread::spawn(move || thread_main(exp, 0, Box::new(move || f())));
+        self.os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        let (deadlock, payload) = {
+            let mut s = self.lock();
+            while s.finished < s.threads.len() {
+                s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+            }
+            let deadlock = match s.failure.take() {
+                Some(Failure::Deadlock(msg)) => Some(msg),
+                _ => None,
+            };
+            (deadlock, s.payload.take())
+        };
+        let handles: Vec<_> = self
+            .os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+        if let Some(msg) = deadlock {
+            panic!("loomlite: deadlock detected ({msg})");
+        }
+    }
+
+    /// Advances the DFS stack to the next unexplored schedule;
+    /// `false` when the search space is exhausted.
+    fn advance(&self) -> bool {
+        let mut s = self.lock();
+        while let Some(top) = s.stack.last_mut() {
+            if top.chosen + 1 < top.options {
+                top.chosen += 1;
+                return true;
+            }
+            s.stack.pop();
+        }
+        false
+    }
+}
+
+/// Body shared by thread 0 and spawned model threads: wait for the
+/// first schedule, run, record the outcome, pass the baton.
+fn thread_main(exp: Arc<Explorer>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exp), tid)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let s = exp.lock();
+        let s = exp.wait_for_turn(s, tid);
+        drop(s);
+        body();
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut s = exp.lock();
+    s.threads[tid] = ThreadState::Finished;
+    s.finished += 1;
+    // Wake any joiners.
+    for state in s.threads.iter_mut() {
+        if *state == ThreadState::BlockedJoin(tid) {
+            *state = ThreadState::Runnable;
+        }
+    }
+    match result {
+        Ok(()) => {
+            let s = exp.cede(s, tid);
+            drop(s);
+        }
+        Err(p) => {
+            if p.downcast_ref::<ModelAbort>().is_none() && s.payload.is_none() {
+                s.failure = Some(Failure::Panic);
+                s.payload = Some(p);
+            }
+            exp.cv.notify_all();
+        }
+    }
+}
+
+/// Explores every schedule of `f` with the default configuration
+/// (preemption bound 3, spurious budget 1). Panics on the first
+/// failing schedule, replaying its assertion or deadlock report.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f);
+}
+
+/// Tunable exploration: `check` returns the number of schedules run.
+pub struct Builder {
+    /// Max involuntary context switches per schedule (`None` =
+    /// unbounded — exact but potentially exponential).
+    pub preemption_bound: Option<usize>,
+    /// Abort the search (panic) past this many schedules.
+    pub max_iterations: usize,
+    /// Spurious condvar wakeups injected per schedule.
+    pub spurious_budget: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(3),
+            max_iterations: 500_000,
+            spurious_budget: 1,
+        }
+    }
+}
+
+impl Builder {
+    pub fn check<F>(&self, f: F) -> usize
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            current().is_none(),
+            "loomlite: nested model() is not supported"
+        );
+        let cfg = Config {
+            preemption_bound: self.preemption_bound,
+            max_iterations: self.max_iterations,
+            spurious_budget: self.spurious_budget,
+        };
+        let exp = Arc::new(Explorer::new(cfg));
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= cfg.max_iterations,
+                "loomlite: search exceeded {} schedules — reduce the model",
+                cfg.max_iterations
+            );
+            exp.run_iteration(Arc::clone(&f));
+            if !exp.advance() {
+                return iterations;
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Dual-mode sync primitives: `loom::sync::{Mutex, Condvar}` plus the
+//! atomics the model tests use. Constructed on a model thread they are
+//! scheduler-mediated; constructed anywhere else they delegate to
+//! `std::sync` (so ordinary unit tests keep working under
+//! `--cfg loom`).
+
+use std::sync::Arc as StdArc;
+
+use crate::sched::{current, Explorer};
+
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+pub mod atomic;
+
+struct ModelHandle {
+    exp: StdArc<Explorer>,
+    id: usize,
+}
+
+fn model_handle(register: impl FnOnce(&Explorer) -> usize) -> Option<ModelHandle> {
+    current().map(|(exp, _)| {
+        let id = register(&exp);
+        ModelHandle { exp, id }
+    })
+}
+
+/// Calling-thread id on the owning explorer; panics if a
+/// model-constructed primitive escapes to a non-model thread.
+fn model_tid() -> usize {
+    current()
+        .map(|(_, tid)| tid)
+        .expect("loomlite: model-constructed primitive used outside model()")
+}
+
+/// A mutex whose acquisition order is explored by the scheduler when
+/// created inside `model()`. Data always lives in an inner
+/// `std::sync::Mutex`, which the model keeps uncontended.
+pub struct Mutex<T> {
+    model: Option<ModelHandle>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            model: model_handle(Explorer::register_mutex),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn raw_lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match &self.model {
+            Some(h) => {
+                h.exp.acquire(model_tid(), h.id);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(self.raw_lock()),
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                })),
+            },
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model lock (if any) on drop,
+/// after the inner std guard.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some(h) = &self.lock.model {
+            h.exp.release(model_tid(), h.id);
+        }
+    }
+}
+
+/// A condition variable; model mode explores notify ordering and
+/// budgeted spurious wakeups.
+pub struct Condvar {
+    model: Option<ModelHandle>,
+    real: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            model: model_handle(Explorer::register_condvar),
+            real: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match (&self.model, &guard.lock.model) {
+            (Some(cv), Some(mx)) => {
+                // Invariant: the inner std guard is held only while the
+                // model lock is owned, so it must drop before ceding.
+                drop(guard.inner.take());
+                cv.exp.cv_wait(model_tid(), cv.id, mx.id);
+                guard.inner = Some(guard.lock.raw_lock());
+                Ok(guard)
+            }
+            (None, None) => {
+                let inner = guard.inner.take().expect("guard taken");
+                match self.real.wait(inner) {
+                    Ok(g) => {
+                        guard.inner = Some(g);
+                        Ok(guard)
+                    }
+                    Err(p) => {
+                        guard.inner = Some(p.into_inner());
+                        Err(PoisonError::new(guard))
+                    }
+                }
+            }
+            _ => panic!("loomlite: condvar and mutex from different modes"),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match &self.model {
+            Some(cv) => cv.exp.notify_one(model_tid(), cv.id),
+            None => self.real.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match &self.model {
+            Some(cv) => cv.exp.notify_all(model_tid(), cv.id),
+            None => self.real.notify_all(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,84 @@
+//! Sequentially-consistent model atomics: every access is a decision
+//! point when the calling thread is under `model()`; plain `std`
+//! atomics otherwise. `Ordering` is accepted for API parity but the
+//! model always explores SeqCst interleavings (no weak memory).
+
+use crate::sched::current;
+
+pub use std::sync::atomic::Ordering;
+
+fn maybe_yield() {
+    if let Some((exp, tid)) = current() {
+        exp.yield_point(tid);
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $val:ty) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            v: $std,
+        }
+
+        impl $name {
+            pub fn new(v: $val) -> Self {
+                Self { v: <$std>::new(v) }
+            }
+
+            pub fn load(&self, _order: Ordering) -> $val {
+                maybe_yield();
+                self.v.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, val: $val, _order: Ordering) {
+                maybe_yield();
+                self.v.store(val, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, val: $val, _order: Ordering) -> $val {
+                maybe_yield();
+                self.v.swap(val, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                cur: $val,
+                new: $val,
+                _ok: Ordering,
+                _err: Ordering,
+            ) -> Result<$val, $val> {
+                maybe_yield();
+                self.v
+                    .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $val:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, val: $val, _order: Ordering) -> $val {
+                maybe_yield();
+                self.v.fetch_add(val, Ordering::SeqCst)
+            }
+
+            pub fn fetch_sub(&self, val: $val, _order: Ordering) -> $val {
+                maybe_yield();
+                self.v.fetch_sub(val, Ordering::SeqCst)
+            }
+
+            pub fn fetch_or(&self, val: $val, _order: Ordering) -> $val {
+                maybe_yield();
+                self.v.fetch_or(val, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+model_atomic_arith!(AtomicUsize, usize);
+model_atomic_arith!(AtomicU64, u64);

@@ -1,0 +1,235 @@
+//! Self-checks for the model checker: it must explore real
+//! interleavings, catch the classic condvar/lock bugs, and stay out of
+//! the way outside `model()`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex, PoisonError};
+use crate::{model, thread, Builder};
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+#[test]
+fn counter_under_mutex_is_exact() {
+    let iterations = Builder::default().check(|| {
+        let n = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                let mut g = n.lock().unwrap_or_else(PoisonError::into_inner);
+                *g += 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = n.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(*g, 2);
+    });
+    assert!(
+        iterations > 1,
+        "expected multiple schedules, got {iterations}"
+    );
+}
+
+#[test]
+fn atomic_increments_are_exact() {
+    model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn ab_ba_lock_order_deadlocks() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Builder {
+            spurious_budget: 0,
+            ..Builder::default()
+        }
+        .check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _ga = a2.lock().unwrap_or_else(PoisonError::into_inner);
+                let _gb = b2.lock().unwrap_or_else(PoisonError::into_inner);
+            });
+            {
+                let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+                let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+            h.join().unwrap();
+        });
+    }));
+    let msg = panic_message(result.expect_err("AB/BA must be caught"));
+    assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+}
+
+#[test]
+fn non_looped_condvar_wait_fails_under_spurious_wakeup() {
+    // The classic bug L15 forbids statically: `if !flag { wait() }`
+    // instead of `while !flag { wait() }`. A spurious (or early)
+    // wakeup returns with the predicate still false.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = Arc::clone(&state);
+            let h = thread::spawn(move || {
+                let (flag, cv) = &*setter;
+                *flag.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                cv.notify_one();
+            });
+            let (flag, cv) = &*state;
+            let mut g = flag.lock().unwrap_or_else(PoisonError::into_inner);
+            if !*g {
+                g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            assert!(*g, "woke with predicate still false");
+            drop(g);
+            h.join().unwrap();
+        });
+    }));
+    let msg = panic_message(result.expect_err("non-looped wait must fail"));
+    assert!(
+        msg.contains("predicate still false"),
+        "unexpected panic: {msg}"
+    );
+}
+
+#[test]
+fn looped_condvar_wait_passes() {
+    model(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let setter = Arc::clone(&state);
+        let h = thread::spawn(move || {
+            let (flag, cv) = &*setter;
+            *flag.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            cv.notify_one();
+        });
+        let (flag, cv) = &*state;
+        let mut g = flag.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*g {
+            g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(g);
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn lost_wakeup_is_reported_as_deadlock() {
+    // Non-atomic check-then-wait: the notifier can fire between the
+    // lockless check and the wait, leaving the waiter blocked forever.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Builder {
+            spurious_budget: 0,
+            ..Builder::default()
+        }
+        .check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = Arc::clone(&state);
+            let h = thread::spawn(move || {
+                let (flag, cv) = &*setter;
+                *flag.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                cv.notify_one();
+            });
+            let (flag, cv) = &*state;
+            let ready = { *flag.lock().unwrap_or_else(PoisonError::into_inner) };
+            if !ready {
+                // BUG: the flag may flip (and notify fire) right here.
+                let g = flag.lock().unwrap_or_else(PoisonError::into_inner);
+                let g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                drop(g);
+            }
+            h.join().unwrap();
+        });
+    }));
+    let msg = panic_message(result.expect_err("lost wakeup must be caught"));
+    assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+}
+
+#[test]
+fn reentrant_lock_is_reported() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let m = Mutex::new(0u32);
+            let _a = m.lock().unwrap_or_else(PoisonError::into_inner);
+            let _b = m.lock().unwrap_or_else(PoisonError::into_inner);
+        });
+    }));
+    let msg = panic_message(result.expect_err("reentrant lock must be caught"));
+    assert!(msg.contains("re-acquired"), "unexpected panic: {msg}");
+}
+
+#[test]
+fn preemption_bound_shrinks_search() {
+    let run = |bound| {
+        Builder {
+            preemption_bound: bound,
+            spurious_budget: 0,
+            ..Builder::default()
+        }
+        .check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let n = Arc::clone(&n);
+                handles.push(thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                    n.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 4);
+        })
+    };
+    let bounded = run(Some(1));
+    let unbounded = run(None);
+    assert!(
+        bounded < unbounded,
+        "bound 1 ({bounded}) should explore fewer schedules than unbounded ({unbounded})"
+    );
+}
+
+#[test]
+fn primitives_work_outside_model() {
+    // Real mode: plain std behaviour, OS threads truly concurrent.
+    let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+    let s2 = Arc::clone(&state);
+    let h = thread::spawn(move || {
+        let (m, cv) = &*s2;
+        *m.lock().unwrap_or_else(PoisonError::into_inner) = 7;
+        cv.notify_all();
+    });
+    let (m, cv) = &*state;
+    let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    while *g == 0 {
+        g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+    assert_eq!(*g, 7);
+    drop(g);
+    h.join().unwrap();
+}

@@ -1,0 +1,73 @@
+//! Dual-mode `loom::thread`: model threads are registered with the
+//! scheduler and cooperatively serialized; outside `model()` this is
+//! plain `std::thread`.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::sched::{current, Explorer};
+
+enum Handle<T> {
+    Model {
+        exp: Arc<Explorer>,
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+pub struct JoinHandle<T> {
+    handle: Handle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.handle {
+            Handle::Model { exp, tid, slot } => {
+                let me = current()
+                    .map(|(_, t)| t)
+                    .expect("loomlite: join() on a model handle outside model()");
+                exp.join(me, tid);
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("loomlite: joined thread produced no value");
+                Ok(v)
+            }
+            Handle::Real(h) => h.join(),
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        Some((exp, me)) => {
+            let slot = Arc::new(Mutex::new(None));
+            let out = Arc::clone(&slot);
+            let tid = exp.spawn_model(
+                me,
+                Box::new(move || {
+                    let v = f();
+                    *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                }),
+            );
+            JoinHandle {
+                handle: Handle::Model { exp, tid, slot },
+            }
+        }
+        None => JoinHandle {
+            handle: Handle::Real(std::thread::spawn(f)),
+        },
+    }
+}
+
+pub fn yield_now() {
+    match current() {
+        Some((exp, me)) => exp.yield_point(me),
+        None => std::thread::yield_now(),
+    }
+}

@@ -725,9 +725,22 @@ impl Fft2dPlan {
 /// `numeric.fft.plan_cache.{hits,misses}`, and depend only on the sequence
 /// of `plan_2d` calls — never on thread count — so instrumented runs stay
 /// snapshot-identical for every thread budget.
+/// One cache slot: either the finished plan, or a claim by the thread
+/// currently building it (single flight — concurrent askers for the
+/// same key wait instead of duplicating the trigonometric work).
+#[derive(Debug)]
+enum PlanSlot {
+    /// Some thread is building this plan outside the lock.
+    Pending,
+    /// The shared plan.
+    Ready(std::sync::Arc<Fft2dPlan>),
+}
+
 #[derive(Debug, Default)]
 pub struct FftPlanCache {
-    plans: std::sync::Mutex<std::collections::BTreeMap<(usize, usize), std::sync::Arc<Fft2dPlan>>>,
+    plans: std::sync::Mutex<std::collections::BTreeMap<(usize, usize), PlanSlot>>,
+    /// Signalled whenever a `Pending` slot resolves (published or vacated).
+    built: std::sync::Condvar,
 }
 
 impl FftPlanCache {
@@ -762,26 +775,72 @@ impl FftPlanCache {
         cols: usize,
         ins: Instruments<'_>,
     ) -> Result<std::sync::Arc<Fft2dPlan>, NumericError> {
-        let mut plans = self
-            .plans
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(plan) = plans.get(&(rows, cols)) {
-            ins.add("numeric.fft.plan_cache.hits", 1);
-            return Ok(std::sync::Arc::clone(plan));
+        let key = (rows, cols);
+        loop {
+            let mut plans = self
+                .plans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match plans.get(&key) {
+                Some(PlanSlot::Ready(plan)) => {
+                    ins.add("numeric.fft.plan_cache.hits", 1);
+                    return Ok(std::sync::Arc::clone(plan));
+                }
+                Some(PlanSlot::Pending) => {
+                    // Another thread is building this plan. Wait for the
+                    // slot to resolve, then re-inspect from the top: the
+                    // builder may have failed and vacated the slot, in
+                    // which case this thread becomes a fresh asker.
+                    let waited = self
+                        .built
+                        .wait_while(plans, |m| matches!(m.get(&key), Some(PlanSlot::Pending)))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    drop(waited);
+                    continue;
+                }
+                None => {}
+            }
+            // Single flight: claim the slot, build with the lock released
+            // (plan construction is exactly the trigonometric kernel work
+            // L13 forbids under a guard), then publish or vacate. The
+            // first asker owns the miss, errors count neither side, and
+            // waiters resolve as ordinary hits — so the counters keep
+            // their call-sequence determinism.
+            plans.insert(key, PlanSlot::Pending);
+            drop(plans);
+            let built = Fft2dPlan::new(rows, cols);
+            let mut plans = self
+                .plans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            return match built {
+                Ok(plan) => {
+                    let plan = std::sync::Arc::new(plan);
+                    plans.insert(key, PlanSlot::Ready(std::sync::Arc::clone(&plan)));
+                    drop(plans);
+                    ins.add("numeric.fft.plan_cache.misses", 1);
+                    self.built.notify_all();
+                    Ok(plan)
+                }
+                Err(e) => {
+                    plans.remove(&key);
+                    drop(plans);
+                    self.built.notify_all();
+                    Err(e)
+                }
+            };
         }
-        let plan = std::sync::Arc::new(Fft2dPlan::new(rows, cols)?);
-        plans.insert((rows, cols), std::sync::Arc::clone(&plan));
-        ins.add("numeric.fft.plan_cache.misses", 1);
-        Ok(plan)
     }
 
-    /// Number of distinct plans currently cached.
+    /// Number of distinct plans currently cached (`Pending` claims are
+    /// not plans and do not count).
     pub fn len(&self) -> usize {
         self.plans
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+            .values()
+            .filter(|slot| matches!(slot, PlanSlot::Ready(_)))
+            .count()
     }
 
     /// `true` when no plan has been built yet.
@@ -1052,6 +1111,66 @@ mod tests {
         assert_eq!(snap.counters.get("numeric.fft.plan_cache.hits"), Some(&1));
         assert_eq!(snap.counters.get("numeric.fft.plan_cache.misses"), Some(&2));
         assert!(cache.plan_2d(6, 8).is_err());
+    }
+
+    #[test]
+    fn plan_cache_racing_mixed_keys_builds_each_plan_once() {
+        use leakage_obs::{AggregatingRecorder, FakeClock};
+        let recorder = AggregatingRecorder::new();
+        let cache = std::sync::Arc::new(FftPlanCache::new());
+        let keys: Vec<(usize, usize)> = vec![(8, 8), (8, 16), (16, 16)];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                let keys = keys.clone();
+                let recorder = &recorder;
+                scope.spawn(move || {
+                    let clock = FakeClock::new(0);
+                    let ins = Instruments::new(recorder, &clock);
+                    for (r, c) in keys {
+                        let plan = cache.plan_2d_instrumented(r, c, ins).unwrap();
+                        assert_eq!((plan.rows, plan.cols), (r, c));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), keys.len());
+        let snap = recorder.snapshot();
+        let hits = snap
+            .counters
+            .get("numeric.fft.plan_cache.hits")
+            .copied()
+            .unwrap_or(0);
+        let misses = snap
+            .counters
+            .get("numeric.fft.plan_cache.misses")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            misses,
+            keys.len() as u64,
+            "single flight: each plan built exactly once (hits={hits})"
+        );
+        assert_eq!(hits + misses, 4 * keys.len() as u64);
+    }
+
+    #[test]
+    fn plan_cache_error_vacates_slot_and_counts_nothing() {
+        use leakage_obs::{AggregatingRecorder, FakeClock};
+        let recorder = AggregatingRecorder::new();
+        let clock = FakeClock::new(0);
+        let ins = Instruments::new(&recorder, &clock);
+        let cache = FftPlanCache::new();
+        assert!(cache.plan_2d_instrumented(3, 4, ins).is_err());
+        assert!(cache.is_empty(), "failed builds must not leave a claim");
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counters.get("numeric.fft.plan_cache.hits"), None);
+        assert_eq!(snap.counters.get("numeric.fft.plan_cache.misses"), None);
+        // The key stays buildable for a later (still failing) asker and
+        // valid keys are unaffected.
+        assert!(cache.plan_2d(3, 4).is_err());
+        assert!(cache.plan_2d(4, 4).is_ok());
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

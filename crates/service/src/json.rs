@@ -556,4 +556,105 @@ mod tests {
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
         assert_eq!(parse("-1").unwrap().as_u64(), None);
     }
+
+    #[test]
+    fn depth_bound_is_exact_at_max_depth() {
+        // Depth MAX_DEPTH parses; one more level is a typed error, for
+        // arrays, objects, and mixed nesting alike.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let ok = open.repeat(MAX_DEPTH) + "0" + &close.repeat(MAX_DEPTH);
+            assert!(parse(&ok).is_ok(), "{open}x{MAX_DEPTH} should parse");
+            let deep = open.repeat(MAX_DEPTH + 1) + "0" + &close.repeat(MAX_DEPTH + 1);
+            let err = parse(&deep).expect_err("one level past the bound");
+            assert_eq!(err.message, "nesting too deep");
+        }
+        let mixed = "[{\"a\":".repeat(MAX_DEPTH / 2) + "0" + &"}]".repeat(MAX_DEPTH / 2);
+        assert!(parse(&mixed).is_ok());
+    }
+
+    #[test]
+    fn every_control_character_escapes_and_roundtrips() {
+        for cp in 0u32..0x20 {
+            let c = char::from_u32(cp).expect("control chars are chars");
+            let original = Json::Str(format!("a{c}b"));
+            let mut wire = String::new();
+            original.write(&mut wire);
+            // The wire form never carries a raw control byte...
+            assert!(wire.bytes().all(|b| b >= 0x20), "{cp:#x} leaked raw");
+            // ...and parses back to the identical value.
+            assert_eq!(parse(&wire).unwrap(), original, "{cp:#x}");
+        }
+        // Spot-check the \u spellings at the window edges.
+        assert_eq!(parse("\"\\u0000\"").unwrap(), Json::Str("\u{0}".into()));
+        assert_eq!(parse("\"\\u001f\"").unwrap(), Json::Str("\u{1f}".into()));
+        assert_eq!(parse("\"\\uffff\"").unwrap(), Json::Str("\u{ffff}".into()));
+    }
+
+    #[test]
+    fn surrogate_escapes_pair_or_fail() {
+        // A correct pair decodes to one astral char and survives a
+        // write/parse cycle (the writer emits it raw, not re-escaped).
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Json::Str("😀".into()));
+        let mut wire = String::new();
+        v.write(&mut wire);
+        assert_eq!(wire, "\"😀\"");
+        assert_eq!(parse(&wire).unwrap(), v);
+        // Every broken spelling is a typed error, not replacement junk.
+        for bad in [
+            "\"\\udc00\"",        // lone low surrogate
+            "\"\\ud800\"",        // lone high surrogate
+            "\"\\ud800\\ud800\"", // high followed by high
+            "\"\\ud800\\u0041\"", // high followed by non-surrogate
+            "\"\\ud800x\"",       // high followed by plain text
+            "\"\\ud83d\\ude0\"",  // truncated low half
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_numbers_are_rejected_not_saturated() {
+        let wide = "1".repeat(400); // 400-digit mantissa overflows f64
+        for bad in [
+            "1e309",
+            "-1e999",
+            "2e308",
+            "1e99999999999999999999",
+            wide.as_str(),
+        ] {
+            let err = parse(bad).expect_err(bad);
+            assert_eq!(err.message, "number out of range", "{bad:?}");
+        }
+        // Underflow is not overflow: tiny magnitudes flush toward zero,
+        // stay finite, and are accepted.
+        assert_eq!(parse("1e-350").unwrap(), Json::Num(0.0));
+        // The largest finite double is in range.
+        assert!(parse("1.7976931348623157e308").is_ok());
+    }
+
+    #[test]
+    fn u64_and_integer_printing_agree_at_the_2p53_window() {
+        // 2^53 is the last f64 whose integer value is exact; it is both
+        // extractable and printed in integer form.
+        let edge = parse("9007199254740992").unwrap();
+        assert_eq!(edge.as_u64(), Some(9007199254740992));
+        let mut s = String::new();
+        write_number(&mut s, 9007199254740992.0);
+        assert_eq!(s, "9007199254740992");
+        // Just past the window, printing switches to scientific form but
+        // still round-trips bit-exactly.
+        let past = 9.007199254740994e15;
+        let mut s = String::new();
+        write_number(&mut s, past);
+        assert_eq!(s, "9.007199254740994e15");
+        assert_eq!(s.parse::<f64>().unwrap().to_bits(), past.to_bits());
+        assert_eq!(parse(&s).unwrap().as_u64(), None);
+        // Negative zero keeps its sign across the wire.
+        let mut s = String::new();
+        write_number(&mut s, -0.0);
+        assert_eq!(s, "-0");
+        let back = parse("-0").unwrap().as_num().unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+    }
 }

@@ -389,7 +389,7 @@ fn die_field(map: &BTreeMap<String, Json>) -> Result<(f64, f64), ServiceError> {
                 h.as_num()
                     .ok_or_else(|| ServiceError::protocol("die height must be a number"))?,
             );
-            if !(w > 0.0) || !(h > 0.0) {
+            if w.is_nan() || w <= 0.0 || h.is_nan() || h <= 0.0 {
                 return Err(ServiceError::protocol(format!(
                     "die dimensions must be positive, got [{w}, {h}]"
                 )));
@@ -404,7 +404,7 @@ fn die_field(map: &BTreeMap<String, Json>) -> Result<(f64, f64), ServiceError> {
 
 fn dmax_field(map: &BTreeMap<String, Json>) -> Result<f64, ServiceError> {
     let v = opt_f64(map, "dmax")?.unwrap_or(100.0);
-    if !(v > 0.0) {
+    if v.is_nan() || v <= 0.0 {
         return Err(ServiceError::protocol(format!(
             "dmax must be positive, got {v}"
         )));

@@ -37,7 +37,15 @@
 //! documented as trading counter determinism for memory.
 
 use std::collections::{BTreeMap, VecDeque};
+
+// Under `--cfg loom` the store runs on the model-checked shims, so the
+// loom suite (`tests/loom_store.rs`) can exhaustively explore the
+// single-flight protocol below; everywhere else these are `std::sync`.
+#[cfg(not(loom))]
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use leakage_numeric::fft::FftPlanCache;
 use leakage_obs::Instruments;
@@ -103,6 +111,15 @@ impl<T> CacheFamily<T> {
             misses,
             evictions,
         }
+    }
+
+    /// Bare-family constructor for the loom model check, which explores
+    /// the single-flight protocol without an [`ArtifactStore`] (and
+    /// must build the family *inside* `loom::model` so its lock and
+    /// condvar register with the scheduler).
+    #[cfg(loom)]
+    pub fn for_model(config: CacheConfig) -> Self {
+        CacheFamily::new(config, "model.hits", "model.misses", "model.evictions")
     }
 
     /// Number of `Ready` entries currently resident.

@@ -1,0 +1,129 @@
+//! Loom model check of the single-flight store protocol.
+//!
+//! Compile and run with the model-checked shims swapped in:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p leakage-service --test loom_store
+//! ```
+//!
+//! Every test asserts its property on *every* explored interleaving
+//! (including one injected spurious condvar wakeup per schedule):
+//! racing askers compute each key exactly once, hit/miss totals are a
+//! pure function of the request multiset, and a failed compute vacates
+//! its `Pending` slot so later askers retry instead of hanging.
+#![cfg(loom)]
+
+use leakage_obs::{AggregatingRecorder, FakeClock, Instruments};
+use leakage_service::store::{CacheConfig, CacheFamily};
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+#[test]
+fn racing_askers_compute_once_with_schedule_free_counters() {
+    loom::model(|| {
+        let fam = Arc::new(CacheFamily::<u64>::for_model(CacheConfig::default()));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let rec = Arc::new(AggregatingRecorder::new());
+        let clock = Arc::new(FakeClock::new(1));
+
+        let asker = |fam: &Arc<CacheFamily<u64>>| {
+            let fam = Arc::clone(fam);
+            let computes = Arc::clone(&computes);
+            let rec = Arc::clone(&rec);
+            let clock = Arc::clone(&clock);
+            thread::spawn(move || {
+                let ins = Instruments::new(&*rec, &*clock);
+                let v = fam
+                    .get_or_compute(7, ins, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        Ok::<u64, ()>(70)
+                    })
+                    .expect("compute never fails");
+                assert_eq!(*v, 70);
+            })
+        };
+        let t1 = asker(&fam);
+        let t2 = asker(&fam);
+        t1.join().expect("asker 1");
+        t2.join().expect("asker 2");
+
+        // The artifact is built exactly once on every schedule, and the
+        // counters land schedule-free: misses == distinct keys (1),
+        // hits == requests - distinct keys (1).
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
+        assert_eq!(fam.len(), 1);
+        let counters = rec.snapshot().counters;
+        assert_eq!(counters.get("model.misses"), Some(&1));
+        assert_eq!(counters.get("model.hits"), Some(&1));
+    });
+}
+
+#[test]
+fn failed_compute_vacates_the_slot_in_every_interleaving() {
+    loom::model(|| {
+        let fam = Arc::new(CacheFamily::<u64>::for_model(CacheConfig::default()));
+        let asker = |fam: &Arc<CacheFamily<u64>>| {
+            let fam = Arc::clone(fam);
+            thread::spawn(move || {
+                // Whether this thread owns the compute or waits on the
+                // other's `Pending` slot, it must see the error: errors
+                // are never cached, and a waiter whose owner failed
+                // retries as a fresh asker (which fails again here).
+                let r = fam.get_or_compute(1, Instruments::none(), || Err::<u64, &str>("nope"));
+                assert_eq!(r.expect_err("compute always fails"), "nope");
+            })
+        };
+        let t1 = asker(&fam);
+        let t2 = asker(&fam);
+        t1.join().expect("asker 1");
+        t2.join().expect("asker 2");
+
+        // No schedule may leave a stranded Pending slot behind...
+        assert!(fam.is_empty());
+        // ...so a later request retries and lands.
+        let v = fam
+            .get_or_compute(1, Instruments::none(), || Ok::<u64, &str>(9))
+            .expect("retry lands");
+        assert_eq!(*v, 9);
+        assert_eq!(fam.len(), 1);
+    });
+}
+
+#[test]
+fn three_askers_two_keys_compute_once_per_key() {
+    // Three threads exceed the default exhaustive budget comfortably;
+    // bound involuntary preemptions at 2 (the classic bugs — lost
+    // wakeups, double computes — all need at most 2).
+    let schedules = loom::Builder {
+        preemption_bound: Some(2),
+        max_iterations: 500_000,
+        spurious_budget: 1,
+    }
+    .check(|| {
+        let fam = Arc::new(CacheFamily::<u64>::for_model(CacheConfig::default()));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = [1u64, 1, 2]
+            .iter()
+            .map(|&key| {
+                let fam = Arc::clone(&fam);
+                let computes = Arc::clone(&computes);
+                thread::spawn(move || {
+                    let v = fam
+                        .get_or_compute(key, Instruments::none(), || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            Ok::<u64, ()>(key + 100)
+                        })
+                        .expect("compute never fails");
+                    assert_eq!(*v, key + 100);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("asker");
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 2);
+        assert_eq!(fam.len(), 2);
+    });
+    assert!(schedules > 1, "the model explored only one schedule");
+}

@@ -33,6 +33,11 @@ pub struct CallGraph {
     /// Crate rel-root per node (`"crates/numeric"`, `""` for the root
     /// package).
     crate_of: Vec<String>,
+    /// Per-node resolved targets of each call site, as
+    /// `(index into summary.calls, target node ids)` — the same
+    /// resolution the edges are built from, kept per-site so the
+    /// synchronization rules can filter by call shape and position.
+    call_targets: Vec<Vec<(usize, Vec<usize>)>>,
 }
 
 impl CallGraph {
@@ -81,14 +86,17 @@ impl CallGraph {
             .map(|c| (c.name.replace('-', "_"), c.rel_root.as_str()))
             .collect();
         let mut edges = vec![Vec::new(); nodes.len()];
+        let mut call_targets = vec![Vec::new(); nodes.len()];
         for (id, &(fi, si)) in nodes.iter().enumerate() {
             let s = &files[fi].summaries[si];
             let mut out = Vec::new();
-            for call in &s.calls {
+            let mut per_call = Vec::new();
+            for (ci, call) in s.calls.iter().enumerate() {
+                let mut targets: Vec<usize> = Vec::new();
                 match call.kind {
                     CallKind::Method => {
                         if let Some(c) = methods.get(call.name.as_str()) {
-                            out.extend_from_slice(c);
+                            targets.extend_from_slice(c);
                         }
                     }
                     CallKind::Assoc => {
@@ -99,7 +107,7 @@ impl CallGraph {
                             ty
                         };
                         if let Some(c) = assoc.get(&(ty, call.name.as_str())) {
-                            out.extend_from_slice(c);
+                            targets.extend_from_slice(c);
                         }
                     }
                     CallKind::Free => {
@@ -147,22 +155,37 @@ impl CallGraph {
                         // Unresolvable crate-qualified paths fall back to
                         // every candidate rather than dropping the edge.
                         if picked.is_empty() {
-                            out.extend_from_slice(candidates);
+                            targets.extend_from_slice(candidates);
                         } else {
-                            out.extend(picked);
+                            targets.extend(picked);
                         }
                     }
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                out.extend_from_slice(&targets);
+                if !targets.is_empty() {
+                    per_call.push((ci, targets));
                 }
             }
             out.sort_unstable();
             out.dedup();
             edges[id] = out;
+            call_targets[id] = per_call;
         }
         CallGraph {
             nodes,
             edges,
             crate_of,
+            call_targets,
         }
+    }
+
+    /// Resolved targets of each call site of a node, as
+    /// `(index into the summary's calls, target node ids)`; sites that
+    /// resolved to nothing are omitted.
+    pub fn call_targets(&self, id: usize) -> &[(usize, Vec<usize>)] {
+        &self.call_targets[id]
     }
 
     /// Number of nodes.

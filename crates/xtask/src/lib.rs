@@ -34,6 +34,7 @@ pub mod rules;
 pub mod sarif;
 pub mod source;
 pub mod summary;
+pub mod sync;
 
 use engine::{Context, CrateInfo, Diagnostic};
 use source::{FileKind, SourceFile};
@@ -162,7 +163,10 @@ pub fn run_lint_cached(
     let mut next = std::collections::BTreeMap::new();
     let mut file_diags = Vec::with_capacity(files.len());
     for f in files {
-        let hash = cache::hash_text(&f.text);
+        // The kind participates in the hash: a reclassification (say a
+        // crate becoming tooling) must invalidate the entry even though
+        // the file's text is unchanged.
+        let hash = cache::hash_text(&format!("{:?}\n{}", f.kind, f.text));
         let diags = match cached.get(&f.rel) {
             Some(e) if e.hash == hash => e.diags.clone(),
             _ => engine::file_rule_diags(&rules, f, &ctx),

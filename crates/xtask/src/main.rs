@@ -3,6 +3,7 @@
 //! Subcommands:
 //! - `lint [--format human|json|sarif] [--fix] [--no-cache] [--root PATH]`
 //!   — run chipleak-lint over the workspace.
+//! - `lint --explain <rule>` — print a rule's rationale and exit.
 //! - `rules` — list the registered rules.
 //!
 //! Exit codes: 0 clean, 1 lint errors found, 2 usage or I/O failure.
@@ -43,6 +44,8 @@ lint flags:
                                unwrap/expect -> ? rewrites), then lint
   --no-cache                   skip the incremental cache
   --root PATH                  lint a different workspace root
+  --explain <rule>             print a rule's rationale, escape hatches,
+                               and an example diagnostic, then exit
 ";
 
 #[derive(Clone, Copy, PartialEq)]
@@ -68,6 +71,13 @@ fn lint(args: &[String]) -> ExitCode {
                 Some("sarif") => format = Format::Sarif,
                 other => {
                     eprintln!("xtask: --format requires one of human|json|sarif, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match it.next() {
+                Some(query) => return explain(query),
+                None => {
+                    eprintln!("xtask: --explain requires a rule code or id (e.g. L9)");
                     return ExitCode::from(2);
                 }
             },
@@ -134,6 +144,19 @@ fn lint(args: &[String]) -> ExitCode {
     }
     let errors = diags.iter().any(|d| d.severity == Severity::Error);
     ExitCode::from(u8::from(errors))
+}
+
+fn explain(query: &str) -> ExitCode {
+    match xtask::rules::explain::render(query) {
+        Some(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("xtask: no rule named `{query}` — run `cargo xtask rules` for the list");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn rules() -> ExitCode {

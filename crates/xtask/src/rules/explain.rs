@@ -1,0 +1,257 @@
+//! `cargo xtask lint --explain <rule>`: long-form rationale, escape
+//! hatches, and an example diagnostic for every registered rule. The
+//! bodies live in one table so `rationale_covers_every_rule` can hold
+//! future rules to the same bar.
+
+use super::registry;
+
+/// Per-code explanation bodies (`why` / `escape hatches` / `example`).
+const BODIES: &[(&str, &str)] = &[
+    (
+        "L1",
+        "why:\n\
+         \x20 HashMap/HashSet iteration order varies per process (SipHash keys are\n\
+         \x20 randomized), so any result folded from it differs run to run.\n\
+         escape hatches:\n\
+         \x20 use BTreeMap/BTreeSet or sort before folding; justify rare cases with\n\
+         \x20 `// chipleak-lint: allow(no-nondeterministic-iteration): <why>`.\n\
+         example:\n\
+         \x20 crates/core/src/grid.rs:41:9: error[L1/no-nondeterministic-iteration]:\n\
+         \x20 iteration over `HashMap` feeds library results\n",
+    ),
+    (
+        "L2",
+        "why:\n\
+         \x20 thread_rng/wall-clock reads make estimates unreproducible; all entropy\n\
+         \x20 and time must be injected (seeded RNG, `Clock` trait).\n\
+         escape hatches:\n\
+         \x20 inject a seeded `StdRng`/`FakeClock`; `impl Clock` bridges are exempt\n\
+         \x20 inside crates/obs; otherwise justify with\n\
+         \x20 `// chipleak-lint: allow(no-ambient-entropy): <why>`.\n\
+         example:\n\
+         \x20 crates/montecarlo/src/sampler.rs:88:5: error[L2/no-ambient-entropy]:\n\
+         \x20 `thread_rng()` influences library results\n",
+    ),
+    (
+        "L3",
+        "why:\n\
+         \x20 naive `sum += x` accumulates O(n) rounding error on full-chip sized\n\
+         \x20 inputs; estimator/stats sums must route through the Kahan helpers.\n\
+         escape hatches:\n\
+         \x20 use `KahanSum`/compensated fold helpers; integer or bounded-length\n\
+         \x20 accumulation can be justified with\n\
+         \x20 `// chipleak-lint: allow(compensated-summation): <why>`.\n\
+         example:\n\
+         \x20 crates/core/src/estimator/exact.rs:120:9: error[L3/compensated-summation]:\n\
+         \x20 accumulation into `total` bypasses compensated summation\n",
+    ),
+    (
+        "L4",
+        "why:\n\
+         \x20 every parallel entry point needs a serial twin (`foo` routing through\n\
+         \x20 `foo_with`) so results stay thread-count independent and testable.\n\
+         escape hatches:\n\
+         \x20 add the `_with(..., Parallelism)` variant and forward; justify\n\
+         \x20 intentionally-parallel-only APIs with\n\
+         \x20 `// chipleak-lint: allow(parallel-api-parity): <why>`.\n\
+         example:\n\
+         \x20 crates/numeric/src/conv.rs:33:1: error[L4/parallel-api-parity]:\n\
+         \x20 `convolve` has no `_with` twin taking `Parallelism`\n",
+    ),
+    (
+        "L5",
+        "why:\n\
+         \x20 a panic in library code aborts the whole estimate; errors must surface\n\
+         \x20 as typed `Result`s the service can degrade on.\n\
+         escape hatches:\n\
+         \x20 return a typed Error variant; locally provable invariants may be\n\
+         \x20 justified with `// chipleak-lint: allow(no-unwrap-in-library): <invariant>`.\n\
+         example:\n\
+         \x20 crates/process/src/field.rs:57:14: error[L5/no-unwrap-in-library]:\n\
+         \x20 `.unwrap()` can panic in library code\n",
+    ),
+    (
+        "L6",
+        "why:\n\
+         \x20 `Err(...) => {}` arms hide degraded estimates; every fallback must\n\
+         \x20 record the degradation so consumers can see accuracy loss.\n\
+         escape hatches:\n\
+         \x20 record through the degradation report/recorder in the arm, or justify\n\
+         \x20 with `// chipleak-lint: allow(no-silent-fallback): <why>`.\n\
+         example:\n\
+         \x20 crates/core/src/estimator/resilient.rs:92:13: error[L6/no-silent-fallback]:\n\
+         \x20 `Err(_)` arm drops the failure without recording it\n",
+    ),
+    (
+        "L7",
+        "why:\n\
+         \x20 tiled kernels (`*_tiled*`) must keep a serial twin and take\n\
+         \x20 `Parallelism`, so tiling stays an optimization, not a semantic fork.\n\
+         escape hatches:\n\
+         \x20 add the serial twin and the policy parameter, or justify with\n\
+         \x20 `// chipleak-lint: allow(tiled-kernel-parity): <why>`.\n\
+         example:\n\
+         \x20 crates/core/src/estimator/exact.rs:210:1: error[L7/tiled-kernel-parity]:\n\
+         \x20 `sum_tiled` has no serial twin\n",
+    ),
+    (
+        "L8",
+        "why:\n\
+         \x20 an entropy source reachable from estimator outputs taints every\n\
+         \x20 downstream number, even when laundered through helpers; the call-graph\n\
+         \x20 walk catches what L2's file scan cannot.\n\
+         escape hatches:\n\
+         \x20 thread a seeded RNG through the call chain, or justify with\n\
+         \x20 `// chipleak-lint: allow(entropy-taint): <why>`.\n\
+         example:\n\
+         \x20 crates/core/src/estimator/mod.rs:61:1: error[L8/entropy-taint]:\n\
+         \x20 `thread_rng` is reachable from estimate_total -> perturbation -> noise_source\n",
+    ),
+    (
+        "L9",
+        "why:\n\
+         \x20 the resilient ladder and the service-bound API promise typed errors;\n\
+         \x20 a panic three calls down unwinds through worker threads and kills the\n\
+         \x20 whole estimate, so no unwrap/expect/panic-macro or unprovable index\n\
+         \x20 may be reachable from those roots.\n\
+         escape hatches:\n\
+         \x20 `.get(i).ok_or(...)?`, an `assert!`-stated bound, bounds-tied loop\n\
+         \x20 binders, or a justified `allow(panic-freedom)` / `allow(no-unwrap-in-library)`.\n\
+         example:\n\
+         \x20 crates/core/src/estimator/table.rs:77:21: error[L9/panic-freedom]:\n\
+         \x20 `unwrap` is reachable from estimate_resilient -> stage -> kernel\n",
+    ),
+    (
+        "L10",
+        "why:\n\
+         \x20 merge order changes floating-point sums; accumulation behind\n\
+         \x20 parallel-gated callers must use Kahan or fixed-order merges to stay\n\
+         \x20 thread-count independent.\n\
+         escape hatches:\n\
+         \x20 merge per-worker partials in worker-index order with compensated\n\
+         \x20 sums, or justify with `// chipleak-lint: allow(merge-order): <why>`.\n\
+         example:\n\
+         \x20 crates/numeric/src/parallel.rs:140:9: error[L10/merge-order]:\n\
+         \x20 accumulation reachable from merge_sum_with -> fold_parts is order-sensitive\n",
+    ),
+    (
+        "L11",
+        "why:\n\
+         \x20 `_with`/`_instrumented` ladders must stay signature-compatible with\n\
+         \x20 their base fn, or the convenience wrappers silently diverge from the\n\
+         \x20 policy-taking variants.\n\
+         escape hatches:\n\
+         \x20 keep base params a prefix of the variant's (policy/instrument params\n\
+         \x20 appended), or justify with `// chipleak-lint: allow(signature-parity): <why>`.\n\
+         example:\n\
+         \x20 crates/numeric/src/fft.rs:190:1: error[L11/signature-parity]:\n\
+         \x20 `fft2d_instrumented` diverges from `fft2d_with` before the added params\n",
+    ),
+    (
+        "L12",
+        "why:\n\
+         \x20 two threads taking the same locks in opposite orders deadlock the\n\
+         \x20 first time the schedules interleave; the workspace lock-acquisition\n\
+         \x20 graph (guard regions + call closure) must stay acyclic.\n\
+         escape hatches:\n\
+         \x20 pick one global acquisition order (DESIGN.md \u{a7}15) or release the\n\
+         \x20 first guard before the second; cycles proven non-interleaving may be\n\
+         \x20 justified with `// chipleak-lint: allow(lock-order): <why>`.\n\
+         example:\n\
+         \x20 crates/service/src/server.rs:301:9: error[L12/lock-order]:\n\
+         \x20 acquiring `OutBuffer::state` while `WorkQueue::state` is held closes a\n\
+         \x20 lock-order cycle: WorkQueue::state -> OutBuffer::state -> WorkQueue::state\n",
+    ),
+    (
+        "L13",
+        "why:\n\
+         \x20 a guard held across blocking I/O, sleeps, joins, channel receives, or\n\
+         \x20 loop-bearing kernel work serializes every other thread behind one\n\
+         \x20 slow operation (the single-flight store exists precisely to\n\
+         \x20 characterize outside its family mutex).\n\
+         escape hatches:\n\
+         \x20 compute first, publish under the lock; provably O(1) work may be\n\
+         \x20 justified with `// chipleak-lint: allow(blocking-under-lock): <why>`.\n\
+         example:\n\
+         \x20 crates/numeric/src/fft.rs:773:1: error[L13/blocking-under-lock]:\n\
+         \x20 `new` reaches loop-bearing kernel work (Fft2dPlan::new -> FftPlan::new)\n\
+         \x20 while `FftPlanCache::plans` is held\n",
+    ),
+    (
+        "L14",
+        "why:\n\
+         \x20 std mutexes are not reentrant: a call chain that re-acquires a lock\n\
+         \x20 the caller already holds deadlocks (or panics) with no second thread\n\
+         \x20 involved — the classic recorder-callback trap.\n\
+         escape hatches:\n\
+         \x20 drop the guard first, or pass the guard/locked data down instead of\n\
+         \x20 re-locking; runtime-disjoint paths (e.g. different shards) may be\n\
+         \x20 justified with `// chipleak-lint: allow(lock-reentrancy): <why>`.\n\
+         example:\n\
+         \x20 crates/obs/src/aggregate.rs:230:9: error[L14/lock-reentrancy]:\n\
+         \x20 call chain re-acquires `Mutex<Shard>` already held by the caller:\n\
+         \x20 AggregatingRecorder::snapshot -> WorkerRecorder::add\n",
+    ),
+    (
+        "L15",
+        "why:\n\
+         \x20 `Condvar::wait` may wake spuriously and may lose the race against the\n\
+         \x20 notifier, so a bare `if`-guarded wait resumes with the predicate\n\
+         \x20 still false; every wait/wait_timeout must sit in a predicate loop.\n\
+         escape hatches:\n\
+         \x20 `while !predicate { guard = cv.wait(guard)...; }` or `wait_while`;\n\
+         \x20 timeout waits whose caller re-checks may be justified with\n\
+         \x20 `// chipleak-lint: allow(condvar-wait-loop): <why>`.\n\
+         example:\n\
+         \x20 crates/service/src/store.rs:118:17: error[L15/condvar-wait-loop]:\n\
+         \x20 `self.built.wait(...)` is not inside a predicate loop\n",
+    ),
+];
+
+/// Renders the explanation for a rule named by code (`L9`, case
+/// insensitive) or id (`panic-freedom`); `None` for unknown rules.
+pub fn render(query: &str) -> Option<String> {
+    let q = query.to_ascii_lowercase();
+    for rule in registry() {
+        if rule.code().to_ascii_lowercase() == q || rule.id() == q {
+            let body = BODIES
+                .iter()
+                .find(|(c, _)| *c == rule.code())
+                .map_or("", |(_, b)| *b);
+            return Some(format!(
+                "{} `{}` — {}\n\n{}",
+                rule.code(),
+                rule.id(),
+                rule.description(),
+                body
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rationale_covers_every_rule() {
+        for rule in registry() {
+            let text = render(rule.code()).unwrap_or_else(|| panic!("{} unknown", rule.code()));
+            for section in ["why:", "escape hatches:", "example:"] {
+                assert!(
+                    text.contains(section),
+                    "{} explanation lacks `{section}`",
+                    rule.code()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_id_and_case_insensitive_code() {
+        assert_eq!(render("panic-freedom"), render("l9"));
+        assert_eq!(render("L15"), render("condvar-wait-loop"));
+        assert!(render("L99").is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! L12 `lock-order`: a cycle in the workspace lock-acquisition graph
+//! is a deadlock waiting for the right interleaving. The rule builds
+//! the graph from guard regions ([`crate::sync::SyncFacts`]): an edge
+//! `A -> B` means some fn acquires `B` — directly, via a
+//! guard-returning wrapper, or anywhere down its call chain — while a
+//! guard for `A` is live. Any edge whose target can reach back to its
+//! source closes a cycle and is flagged with the full identity path.
+//!
+//! Escape hatch: a justified `allow(lock-order)` on the nested
+//! acquisition site, for cycles proven unreachable (e.g. the two
+//! orders are taken by the same thread, or a tryprotocol breaks the
+//! hold-and-wait).
+
+use crate::engine::{Diagnostic, Rule, Severity, Workspace};
+use crate::sync::SyncFacts;
+use std::collections::BTreeSet;
+
+/// The L12 rule.
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn code(&self) -> &'static str {
+        "L12"
+    }
+
+    fn description(&self) -> &'static str {
+        "the workspace lock-acquisition graph must stay acyclic (no AB/BA deadlocks)"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+        let sync = SyncFacts::build(ws.files, &ws.graph);
+        let mut seen: BTreeSet<(&str, &str)> = BTreeSet::new();
+        for e in &sync.lock_edges {
+            if !seen.insert((e.from.as_str(), e.to.as_str())) {
+                continue;
+            }
+            let Some(back) = sync.lock_path(&e.to, &e.from) else {
+                continue;
+            };
+            let mut cycle: Vec<&str> = vec![e.from.as_str()];
+            cycle.extend(back.iter().map(String::as_str));
+            let (fi, _) = ws.graph.node(e.node);
+            let file = &ws.files[fi];
+            out.push(Diagnostic {
+                rule: self.id(),
+                code: self.code(),
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: e.line,
+                col: e.col,
+                message: format!(
+                    "acquiring `{}` while `{}` is held closes a lock-order cycle: {}",
+                    e.to,
+                    e.from,
+                    cycle.join(" -> ")
+                ),
+                help: "pick one global acquisition order (document it in DESIGN.md §15) and \
+                       release the first guard before taking the second, or justify with \
+                       `// chipleak-lint: allow(lock-order): <why the cycle cannot interleave>`"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Context, CrateInfo};
+    use crate::source::{FileKind, SourceFile};
+
+    fn lint(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, src)| {
+                SourceFile::parse(rel.to_owned(), src.to_owned(), FileKind::classify(rel))
+            })
+            .collect();
+        let ctx = Context {
+            crates: vec![CrateInfo {
+                rel_root: "crates/core".into(),
+                name: "leakage-core".into(),
+                has_parallel_feature: true,
+            }],
+        };
+        let ws = Workspace {
+            files: &files,
+            ctx: &ctx,
+            graph: crate::graph::CallGraph::build(&files, &ctx.crates),
+        };
+        let mut out = Vec::new();
+        LockOrder.check_workspace(&ws, &mut out);
+        out
+    }
+
+    const LIB: &str = "crates/core/src/lib.rs";
+
+    #[test]
+    fn ab_ba_cycle_flagged_in_both_directions() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn ab(&self) {\n\
+                 let _ga = self.a.lock().unwrap();\n\
+                 let _gb = self.b.lock().unwrap();\n\
+               }\n\
+               pub fn ba(&self) {\n\
+                 let _gb = self.b.lock().unwrap();\n\
+                 let _ga = self.a.lock().unwrap();\n\
+               }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(
+            d.iter().any(|x| x.message.contains("S::a -> S::b -> S::a")),
+            "{d:?}"
+        );
+        assert!(
+            d.iter().any(|x| x.message.contains("S::b -> S::a -> S::b")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn ab(&self) {\n\
+                 let _ga = self.a.lock().unwrap();\n\
+                 let _gb = self.b.lock().unwrap();\n\
+               }\n\
+               pub fn ab_again(&self) {\n\
+                 let _ga = self.a.lock().unwrap();\n\
+                 let _gb = self.b.lock().unwrap();\n\
+               }\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn interprocedural_inversion_flagged() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn ab(&self) {\n\
+                 let _ga = self.a.lock().unwrap();\n\
+                 self.take_b();\n\
+               }\n\
+               fn take_b(&self) { let _gb = self.b.lock().unwrap(); }\n\
+               pub fn ba(&self) {\n\
+                 let _gb = self.b.lock().unwrap();\n\
+                 self.take_a();\n\
+               }\n\
+               fn take_a(&self) { let _ga = self.a.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn drop_before_second_acquisition_is_clean() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn ab(&self) {\n\
+                 let ga = self.a.lock().unwrap();\n\
+                 drop(ga);\n\
+                 let _gb = self.b.lock().unwrap();\n\
+               }\n\
+               pub fn ba(&self) {\n\
+                 let gb = self.b.lock().unwrap();\n\
+                 drop(gb);\n\
+                 let _ga = self.a.lock().unwrap();\n\
+               }\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

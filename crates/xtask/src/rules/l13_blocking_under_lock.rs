@@ -1,0 +1,237 @@
+//! L13 `blocking-under-lock`: nothing slow may run while a guard is
+//! live. Two classes are flagged inside any guard region (direct
+//! `.lock()`/`.read()`/`.write()` sites and guard-returning wrapper
+//! calls alike):
+//!
+//! - *outright blocking* calls — socket accept/connect, buffered
+//!   reads, writes/flushes, sleeps, thread joins, and channel
+//!   receives;
+//! - *kernel work* — any call that reaches a loop-bearing fn in the
+//!   characterization/estimation/FFT/Monte-Carlo/simulation kernels
+//!   over heavy edges (instrumentation vocabulary excluded), with the
+//!   call chain as evidence. The single-flight store must characterize
+//!   and plan outside its family mutex; holders of a hot lock must
+//!   not re-enter the estimation stack.
+//!
+//! Escape hatch: a justified `allow(blocking-under-lock)` on the call
+//! line, for work that is provably O(1) or where the guard is a
+//! startup-only lock with no contention.
+
+use crate::engine::{Diagnostic, Rule, Severity, Workspace};
+use crate::sync::{SyncFacts, BLOCKING_CALLS};
+
+/// The L13 rule.
+pub struct BlockingUnderLock;
+
+impl Rule for BlockingUnderLock {
+    fn id(&self) -> &'static str {
+        "blocking-under-lock"
+    }
+
+    fn code(&self) -> &'static str {
+        "L13"
+    }
+
+    fn description(&self) -> &'static str {
+        "no blocking I/O, sleep, join, channel recv, or reachable kernel loop while a guard is live"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+        let sync = SyncFacts::build(ws.files, &ws.graph);
+        for (id, s) in ws.graph.iter(ws.files) {
+            let (fi, _) = ws.graph.node(id);
+            let file = &ws.files[fi];
+            // Outright blocking calls, by name, under any live guard.
+            for call in &s.calls {
+                if !BLOCKING_CALLS.contains(&call.name.as_str()) {
+                    continue;
+                }
+                let held = sync.held_at(id, call.tok);
+                let Some(acq) = held.first() else { continue };
+                out.push(self.diag(
+                    &file.rel,
+                    call.line,
+                    format!(
+                        "blocking call `{}` while `{}` (acquired by {}) is held",
+                        call.name, acq.identity, acq.how
+                    ),
+                ));
+            }
+            // Calls that reach loop-bearing kernel work under a guard.
+            for (ci, targets) in &sync.heavy_calls[id] {
+                let call = &s.calls[*ci];
+                let held = sync.held_at(id, call.tok);
+                let Some(acq) = held.first() else { continue };
+                let Some(&t) = targets.iter().find(|&&t| sync.heavy[t]) else {
+                    continue;
+                };
+                let chain = sync.heavy_chain(t);
+                let chain_str = crate::graph::render_chain(&ws.graph, ws.files, &chain);
+                out.push(self.diag(
+                    &file.rel,
+                    call.line,
+                    format!(
+                        "`{}` reaches loop-bearing kernel work ({chain_str}) while `{}` \
+                         (acquired by {}) is held",
+                        call.name, acq.identity, acq.how
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl BlockingUnderLock {
+    fn diag(&self, rel: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            code: self.code(),
+            severity: Severity::Error,
+            file: rel.to_owned(),
+            line,
+            col: 1,
+            message,
+            help: "move the slow work outside the guard (compute first, publish under the \
+                   lock — see the single-flight store), or justify with \
+                   `// chipleak-lint: allow(blocking-under-lock): <why this is O(1)>`"
+                .into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Context, CrateInfo};
+    use crate::source::{FileKind, SourceFile};
+
+    fn lint(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, src)| {
+                SourceFile::parse(rel.to_owned(), src.to_owned(), FileKind::classify(rel))
+            })
+            .collect();
+        let ctx = Context {
+            crates: vec![CrateInfo {
+                rel_root: "crates/core".into(),
+                name: "leakage-core".into(),
+                has_parallel_feature: true,
+            }],
+        };
+        let ws = Workspace {
+            files: &files,
+            ctx: &ctx,
+            graph: crate::graph::CallGraph::build(&files, &ctx.crates),
+        };
+        let mut out = Vec::new();
+        BlockingUnderLock.check_workspace(&ws, &mut out);
+        out
+    }
+
+    const LIB: &str = "crates/core/src/lib.rs";
+    const ESTIMATOR: &str = "crates/core/src/estimator/exact.rs";
+
+    #[test]
+    fn sleep_under_guard_flagged() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn f(&self) {\n\
+                 let _g = self.a.lock().unwrap();\n\
+                 std::thread::sleep(std::time::Duration::from_millis(1));\n\
+               }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`sleep` while `S::a`"), "{d:?}");
+    }
+
+    #[test]
+    fn recv_under_guard_flagged_but_clean_after_drop() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn bad(&self, rx: &std::sync::mpsc::Receiver<u32>) {\n\
+                 let _g = self.a.lock().unwrap();\n\
+                 let _ = rx.recv();\n\
+               }\n\
+               pub fn good(&self, rx: &std::sync::mpsc::Receiver<u32>) {\n\
+                 let g = self.a.lock().unwrap();\n\
+                 drop(g);\n\
+                 let _ = rx.recv();\n\
+               }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 5, "{d:?}");
+    }
+
+    #[test]
+    fn kernel_loop_reached_under_guard_flagged_with_chain() {
+        let d = lint(vec![(
+            ESTIMATOR,
+            "pub fn kernel(xs: &[f64]) -> f64 {\n\
+               let mut m = 0.0f64;\n\
+               for i in 0..xs.len() { m = m.max(xs[i]); }\n\
+               m\n\
+             }\n\
+             pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn f(&self, xs: &[f64]) -> f64 {\n\
+                 let _g = self.a.lock().unwrap();\n\
+                 kernel(xs)\n\
+               }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("kernel"), "{d:?}");
+        assert!(d[0].message.contains("while `S::a`"), "{d:?}");
+    }
+
+    #[test]
+    fn kernel_called_outside_guard_is_clean() {
+        let d = lint(vec![(
+            ESTIMATOR,
+            "pub fn kernel(xs: &[f64]) -> f64 {\n\
+               let mut m = 0.0f64;\n\
+               for i in 0..xs.len() { m = m.max(xs[i]); }\n\
+               m\n\
+             }\n\
+             pub struct S { a: std::sync::Mutex<f64> }\n\
+             impl S {\n\
+               pub fn f(&self, xs: &[f64]) {\n\
+                 let v = kernel(xs);\n\
+                 let mut g = self.a.lock().unwrap();\n\
+                 *g = v.max(*g);\n\
+               }\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn recorder_instrumentation_under_guard_is_clean() {
+        let d = lint(vec![(
+            ESTIMATOR,
+            "pub struct Ins;\n\
+             impl Ins {\n\
+               pub fn add(&self, _c: &'static str, _by: u64) {\n\
+                 let mut i = 0usize;\n\
+                 for _ in 0..2 { i += 1; }\n\
+                 let _ = i;\n\
+               }\n\
+             }\n\
+             pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn f(&self, ins: &Ins) {\n\
+                 let _g = self.a.lock().unwrap();\n\
+                 ins.add(\"hits\", 1);\n\
+               }\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,189 @@
+//! L14 `lock-reentrancy`: `std::sync` mutexes are not reentrant —
+//! re-acquiring a held lock deadlocks the calling thread (or panics)
+//! with no second thread involved. The rule flags any acquisition of
+//! a lock identity that is already held at that token: a second
+//! `.lock()` in the same fn, or a call whose strict-edge closure
+//! (including `Recorder`-trait methods and guard-returning wrappers)
+//! acquires the held identity, with the call chain as evidence.
+//!
+//! Escape hatch: a justified `allow(lock-reentrancy)` on the
+//! re-acquiring line, for paths proven disjoint at runtime (e.g. the
+//! callee only touches a different shard of a sharded lock array).
+
+use crate::engine::{Diagnostic, Rule, Severity, Workspace};
+use crate::sync::SyncFacts;
+use std::collections::BTreeSet;
+
+/// The L14 rule.
+pub struct LockReentrancy;
+
+impl Rule for LockReentrancy {
+    fn id(&self) -> &'static str {
+        "lock-reentrancy"
+    }
+
+    fn code(&self) -> &'static str {
+        "L14"
+    }
+
+    fn description(&self) -> &'static str {
+        "no call chain may re-acquire a lock the caller already holds (std locks self-deadlock)"
+    }
+
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Diagnostic>) {
+        let sync = SyncFacts::build(ws.files, &ws.graph);
+        let mut seen: BTreeSet<(usize, u32, &str)> = BTreeSet::new();
+        for r in &sync.reentries {
+            if !seen.insert((r.node, r.line, r.identity.as_str())) {
+                continue;
+            }
+            let (fi, _) = ws.graph.node(r.node);
+            let file = &ws.files[fi];
+            let message = match r.target {
+                None => format!("`{}` is re-acquired while already held", r.identity),
+                Some(t) => {
+                    let mut chain = vec![r.node];
+                    chain.extend(sync.acquire_chain(t, &r.identity));
+                    let chain_str = crate::graph::render_chain(&ws.graph, ws.files, &chain);
+                    format!(
+                        "call chain re-acquires `{}` already held by the caller: {chain_str}",
+                        r.identity
+                    )
+                }
+            };
+            out.push(Diagnostic {
+                rule: self.id(),
+                code: self.code(),
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: r.line,
+                col: r.col,
+                message,
+                help: "drop the guard before the call, pass the guard (or the locked data) \
+                       down instead of re-locking, or justify with \
+                       `// chipleak-lint: allow(lock-reentrancy): <why the paths are disjoint>`"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Context, CrateInfo};
+    use crate::source::{FileKind, SourceFile};
+
+    fn lint(files: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, src)| {
+                SourceFile::parse(rel.to_owned(), src.to_owned(), FileKind::classify(rel))
+            })
+            .collect();
+        let ctx = Context {
+            crates: vec![CrateInfo {
+                rel_root: "crates/core".into(),
+                name: "leakage-core".into(),
+                has_parallel_feature: true,
+            }],
+        };
+        let ws = Workspace {
+            files: &files,
+            ctx: &ctx,
+            graph: crate::graph::CallGraph::build(&files, &ctx.crates),
+        };
+        let mut out = Vec::new();
+        LockReentrancy.check_workspace(&ws, &mut out);
+        out
+    }
+
+    const LIB: &str = "crates/core/src/lib.rs";
+
+    #[test]
+    fn double_lock_in_one_fn_flagged() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn f(&self) {\n\
+                 let _g1 = self.a.lock().unwrap();\n\
+                 let _g2 = self.a.lock().unwrap();\n\
+               }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("re-acquired"), "{d:?}");
+    }
+
+    #[test]
+    fn reentry_through_call_chain_flagged_with_chain() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn f(&self) {\n\
+                 let _g = self.a.lock().unwrap();\n\
+                 self.helper();\n\
+               }\n\
+               fn helper(&self) { self.leaf(); }\n\
+               fn leaf(&self) { let _g = self.a.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("S::f -> S::helper -> S::leaf"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_locks_are_clean() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn f(&self) {\n\
+                 let g1 = self.a.lock().unwrap();\n\
+                 drop(g1);\n\
+                 let _g2 = self.a.lock().unwrap();\n\
+               }\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn distinct_locals_do_not_unify() {
+        let d = lint(vec![(
+            LIB,
+            "pub fn f() {\n\
+               let m1 = std::sync::Mutex::new(0);\n\
+               let m2 = std::sync::Mutex::new(0);\n\
+               let _g1 = m1.lock().unwrap();\n\
+               let _g2 = m2.lock().unwrap();\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn recorder_trait_reentry_flagged() {
+        let d = lint(vec![(
+            LIB,
+            "pub struct R { shard: std::sync::Mutex<u32> }\n\
+             impl R {\n\
+               pub fn bump(&self, by: u32) {\n\
+                 *self.shard.lock().unwrap() += by;\n\
+               }\n\
+               pub fn snapshot(&self) -> u32 {\n\
+                 let g = self.shard.lock().unwrap();\n\
+                 self.bump(0);\n\
+                 *g\n\
+               }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("R::snapshot -> R::bump"), "{d:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! L15 `condvar-wait-loop`: `Condvar::wait` may wake spuriously and
+//! may win the race against the notifier's state change, so a bare
+//! `if`-guarded (or unguarded) wait proceeds with the predicate still
+//! false. Every `wait`/`wait_timeout` call must sit inside a
+//! `loop`/`while` that re-checks the predicate; `wait_while`/
+//! `wait_timeout_while` re-check internally and are exempt.
+//!
+//! Escape hatch: a justified `allow(condvar-wait-loop)` on the wait
+//! line — legitimate only for timeout-based waits whose caller
+//! re-checks the predicate itself (rare; prefer `wait_timeout_while`).
+
+use crate::engine::{Context, Diagnostic, Rule, Severity};
+use crate::source::{FileKind, SourceFile};
+
+/// The L15 rule.
+pub struct CondvarWaitLoop;
+
+impl Rule for CondvarWaitLoop {
+    fn id(&self) -> &'static str {
+        "condvar-wait-loop"
+    }
+
+    fn code(&self) -> &'static str {
+        "L15"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Condvar::wait/wait_timeout must sit in a predicate loop (wait_while is exempt)"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Library {
+            return;
+        }
+        for s in &file.summaries {
+            if s.in_test {
+                continue;
+            }
+            for w in &s.waits {
+                // `wait_while` family re-checks the predicate itself;
+                // argless `.wait()` is some other API, not a condvar.
+                if !matches!(w.method.as_str(), "wait" | "wait_timeout") || !w.has_args {
+                    continue;
+                }
+                if w.in_loop {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    code: self.code(),
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: w.line,
+                    col: w.col,
+                    message: format!(
+                        "`{}.{}(...)` is not inside a predicate loop — spurious or early \
+                         wakeups resume with the condition still false",
+                        w.cond_path, w.method
+                    ),
+                    help: "wrap the wait in `while !predicate { guard = cv.wait(guard)...; }` \
+                           or use `wait_while`; or justify with \
+                           `// chipleak-lint: allow(condvar-wait-loop): <why>`"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn lint(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(rel.to_owned(), src.to_owned(), FileKind::classify(rel));
+        let mut out = Vec::new();
+        CondvarWaitLoop.check_file(&file, &Context::default(), &mut out);
+        out
+    }
+
+    const LIB: &str = "crates/core/src/lib.rs";
+
+    #[test]
+    fn bare_wait_flagged() {
+        let d = lint(
+            LIB,
+            "pub fn f(m: &std::sync::Mutex<bool>, cv: &std::sync::Condvar) {\n\
+               let mut g = m.lock().unwrap();\n\
+               if !*g { g = cv.wait(g).unwrap(); }\n\
+               let _ = *g;\n\
+             }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("cv.wait"), "{d:?}");
+    }
+
+    #[test]
+    fn looped_wait_clean() {
+        let d = lint(
+            LIB,
+            "pub fn f(m: &std::sync::Mutex<bool>, cv: &std::sync::Condvar) {\n\
+               let mut g = m.lock().unwrap();\n\
+               while !*g { g = cv.wait(g).unwrap(); }\n\
+               let _ = *g;\n\
+             }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn wait_while_exempt() {
+        let d = lint(
+            LIB,
+            "pub fn f(m: &std::sync::Mutex<bool>, cv: &std::sync::Condvar) {\n\
+               let g = cv.wait_while(m.lock().unwrap(), |ready| !*ready).unwrap();\n\
+               let _ = *g;\n\
+             }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_looped_wait_timeout_flagged() {
+        let d = lint(
+            LIB,
+            "pub fn f(m: &std::sync::Mutex<bool>, cv: &std::sync::Condvar) {\n\
+               let g = m.lock().unwrap();\n\
+               let _ = cv.wait_timeout(g, std::time::Duration::from_millis(5)).unwrap();\n\
+             }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn test_code_and_non_library_files_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() {\n    let m = std::sync::Mutex::new(false);\n    let cv = std::sync::Condvar::new();\n    let g = m.lock().unwrap();\n    let _ = cv.wait(g).unwrap();\n  }\n}\n";
+        assert!(lint(LIB, src).is_empty());
+        let bench = "pub fn f(m: &std::sync::Mutex<bool>, cv: &std::sync::Condvar) {\n\
+               let g = m.lock().unwrap();\n\
+               let _ = cv.wait(g).unwrap();\n\
+             }\n";
+        assert!(lint("crates/bench/src/bin/run.rs", bench).is_empty());
+    }
+}

@@ -13,13 +13,24 @@
 //! | L9 | `panic-freedom` | no panic site reachable from `estimator::resilient` / the service API |
 //! | L10 | `merge-order` | accumulation behind `parallel`-gated callers uses Kahan/fixed-order merges |
 //! | L11 | `signature-parity` | `_with`/`_instrumented` ladders stay signature-compatible |
+//! | L12 | `lock-order` | the workspace lock-acquisition graph stays acyclic |
+//! | L13 | `blocking-under-lock` | no blocking I/O or kernel loop reachable while a guard is live |
+//! | L14 | `lock-reentrancy` | no call chain re-acquires a lock the caller already holds |
+//! | L15 | `condvar-wait-loop` | `Condvar::wait` sits in a predicate loop (`wait_while` exempt) |
 //!
-//! L1–L7 inspect one file at a time (`Rule::check_file`); L8–L10 walk the
-//! workspace call graph (`Rule::check_workspace`) and L11 compares parsed
-//! signatures from the symbol table.
+//! L1–L7 and L15 inspect one file at a time (`Rule::check_file`);
+//! L8–L10 and L12–L14 walk the workspace call graph
+//! (`Rule::check_workspace`) and L11 compares parsed signatures from the
+//! symbol table. The concurrency rules (L12–L14) share the lock-region
+//! and lock-graph facts in [`crate::sync`].
 
+pub mod explain;
 mod l10_merge_order;
 mod l11_signature_parity;
+mod l12_lock_order;
+mod l13_blocking_under_lock;
+mod l14_lock_reentrancy;
+mod l15_condvar_wait_loop;
 mod l1_nondeterministic_iteration;
 mod l2_ambient_entropy;
 mod l3_compensated_summation;
@@ -32,6 +43,10 @@ mod l9_panic_freedom;
 
 pub use l10_merge_order::MergeOrder;
 pub use l11_signature_parity::SignatureParity;
+pub use l12_lock_order::LockOrder;
+pub use l13_blocking_under_lock::BlockingUnderLock;
+pub use l14_lock_reentrancy::LockReentrancy;
+pub use l15_condvar_wait_loop::CondvarWaitLoop;
 pub use l1_nondeterministic_iteration::NondeterministicIteration;
 pub use l2_ambient_entropy::AmbientEntropy;
 pub use l3_compensated_summation::CompensatedSummation;
@@ -60,6 +75,10 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(PanicFreedom),
         Box::new(MergeOrder),
         Box::new(SignatureParity),
+        Box::new(LockOrder),
+        Box::new(BlockingUnderLock),
+        Box::new(LockReentrancy),
+        Box::new(CondvarWaitLoop),
     ]
 }
 

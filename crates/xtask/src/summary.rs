@@ -23,6 +23,17 @@ pub struct CallSite {
     pub qual: Vec<String>,
     /// 1-based source line of the name token.
     pub line: u32,
+    /// Absolute token index of the name token.
+    pub tok: usize,
+    /// Method-call receiver as a dotted ident chain (`self.inner`,
+    /// `fam`); `None` for non-method calls and for receivers that are
+    /// themselves calls/index expressions.
+    pub recv_path: Option<String>,
+    /// Absolute token span over which the call's result stays live:
+    /// the binding's lexical region when `let`-bound bare (ended early
+    /// by `drop(binding)`), else the rest of the statement. Used to
+    /// track guards returned by wrapper functions.
+    pub region: (usize, usize),
 }
 
 /// The syntactic shape of a call.
@@ -72,6 +83,59 @@ pub struct AccumSite {
     pub line: u32,
     /// 1-based source column.
     pub col: u32,
+}
+
+/// A guard acquisition: argless `.lock()`, `.read()`, or `.write()`
+/// on a pure dotted-path receiver.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Dotted receiver path (`self.inner`, `m`).
+    pub path: String,
+    /// `lock`, `read`, or `write`.
+    pub method: String,
+    /// 1-based source line of the method name.
+    pub line: u32,
+    /// 1-based source column of the method name.
+    pub col: u32,
+    /// Absolute token index of the method name.
+    pub tok: usize,
+    /// Local the guard is `let`-bound to, when it is.
+    pub binding: Option<String>,
+    /// Absolute token span over which the guard is live: the binding's
+    /// lexical region (truncated at the first `drop(binding)`) when
+    /// bound, else the rest of the acquiring statement.
+    pub region: (usize, usize),
+}
+
+/// A condvar wait: `recv.wait(guard)` / `wait_timeout` / `wait_while`
+/// / `wait_timeout_while` on a pure dotted-path receiver.
+#[derive(Debug, Clone)]
+pub struct WaitSite {
+    /// Dotted receiver path of the condvar (`self.landed`).
+    pub cond_path: String,
+    /// The wait method name.
+    pub method: String,
+    /// `false` for argless `.wait()` (e.g. `Child::wait`), which is
+    /// never a condvar wait.
+    pub has_args: bool,
+    /// `true` when the call sits inside a `for`/`while`/`loop` body.
+    pub in_loop: bool,
+    /// 1-based source line of the method name.
+    pub line: u32,
+    /// 1-based source column of the method name.
+    pub col: u32,
+}
+
+/// A channel endpoint operation: `.send(..)` / `.recv()` /
+/// `.try_recv()` / `.recv_timeout(..)` on a pure dotted-path receiver.
+#[derive(Debug, Clone)]
+pub struct ChannelSite {
+    /// Dotted receiver path.
+    pub path: String,
+    /// The endpoint method name.
+    pub method: String,
+    /// 1-based source line.
+    pub line: u32,
 }
 
 /// An ambient entropy / wall-clock read.
@@ -132,6 +196,16 @@ pub struct FnSummary {
     /// Loop binders provably tied to index ranges: `for i in 0..n` /
     /// `.enumerate()` pattern idents.
     pub bounded_binders: Vec<String>,
+    /// Absolute token span of the body, when present.
+    pub body_span: Option<(usize, usize)>,
+    /// `true` when the body contains any `for`/`while`/`loop`.
+    pub has_loop: bool,
+    /// Guard acquisitions (mutex/rwlock) with liveness regions.
+    pub locks: Vec<LockSite>,
+    /// Condvar waits.
+    pub waits: Vec<WaitSite>,
+    /// Channel sends/receives.
+    pub channels: Vec<ChannelSite>,
 }
 
 impl FnSummary {
@@ -187,6 +261,11 @@ pub fn summarize(
             entropy: Vec::new(),
             has_assert: false,
             bounded_binders: Vec::new(),
+            body_span: def.body_span,
+            has_loop: false,
+            locks: Vec::new(),
+            waits: Vec::new(),
+            channels: Vec::new(),
         };
         if let Some((a, b)) = def.body_span {
             scan_body(tokens, a, b, &mut s);
@@ -218,6 +297,7 @@ fn scan_body(toks: &[Tok], start: usize, end: usize, s: &mut FnSummary) {
     let body = &toks[start..end];
     let float_locals = float_zero_locals(body);
     let loops = loop_spans(body);
+    s.has_loop = !loops.is_empty();
 
     let mut i = start;
     while i < end {
@@ -233,11 +313,52 @@ fn scan_body(toks: &[Tok], start: usize, end: usize, s: &mut FnSummary) {
                         col: toks[m].col,
                     });
                 }
+                let recv_path = receiver_path(toks, i, start);
+                let region = live_region(toks, m, start, end);
+                let argless = toks.get(m + 1).is_some_and(|u| u.is_punct('('))
+                    && toks.get(m + 2).is_some_and(|u| u.is_punct(')'));
+                if let Some(path) = &recv_path {
+                    if argless && matches!(name.as_str(), "lock" | "read" | "write") {
+                        s.locks.push(LockSite {
+                            path: path.clone(),
+                            method: name.clone(),
+                            line: toks[m].line,
+                            col: toks[m].col,
+                            tok: m,
+                            binding: let_bound_guard(toks, m, start, end),
+                            region,
+                        });
+                    }
+                    if matches!(
+                        name.as_str(),
+                        "wait" | "wait_timeout" | "wait_while" | "wait_timeout_while"
+                    ) {
+                        let rel = m - start;
+                        s.waits.push(WaitSite {
+                            cond_path: path.clone(),
+                            method: name.clone(),
+                            has_args: !argless,
+                            in_loop: loops.iter().any(|&(a, b)| a < rel && rel < b),
+                            line: toks[m].line,
+                            col: toks[m].col,
+                        });
+                    }
+                    if matches!(name.as_str(), "send" | "recv" | "try_recv" | "recv_timeout") {
+                        s.channels.push(ChannelSite {
+                            path: path.clone(),
+                            method: name.clone(),
+                            line: toks[m].line,
+                        });
+                    }
+                }
                 s.calls.push(CallSite {
                     kind: CallKind::Method,
                     name,
                     qual: Vec::new(),
                     line: toks[m].line,
+                    tok: m,
+                    recv_path,
+                    region,
                 });
                 i = m + 1;
                 continue;
@@ -334,6 +455,9 @@ fn scan_body(toks: &[Tok], start: usize, end: usize, s: &mut FnSummary) {
                         name: name_tok.text.clone(),
                         qual,
                         line: name_tok.line,
+                        tok: j,
+                        recv_path: None,
+                        region: live_region(toks, j, start, end),
                     });
                 }
                 // Accumulation: `acc += ...` inside a loop.
@@ -491,6 +615,172 @@ fn collect_bounded_binders(toks: &[Tok], for_at: usize, end: usize, out: &mut Ve
     }
     if bounded {
         out.extend(pat);
+    }
+}
+
+/// Method-call receiver as a pure dotted ident chain, walking backward
+/// from the `.` at `dot`. `None` when the receiver involves a call or
+/// index result (`foo().x`, `xs[i].y`), a `?`, or a literal — such
+/// receivers cannot be mapped to a stable lock identity.
+fn receiver_path(toks: &[Tok], dot: usize, start: usize) -> Option<String> {
+    let mut segs: Vec<&str> = Vec::new();
+    let mut j = dot;
+    loop {
+        if j <= start {
+            return None;
+        }
+        let prev = &toks[j - 1];
+        if prev.kind == TokKind::Ident && !KEYWORDS.contains(&prev.text.as_str()) {
+            segs.push(&prev.text);
+            if j - 1 > start && toks[j - 2].is_punct('.') {
+                j -= 2;
+                continue;
+            }
+            break;
+        }
+        return None;
+    }
+    segs.reverse();
+    Some(segs.join("."))
+}
+
+/// Token index of the start of the statement containing `site`:
+/// just past the previous `;`, past a block-closing `}`, or past the
+/// enclosing block/group opener.
+fn stmt_start(toks: &[Tok], site: usize, start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = site;
+    while j > start {
+        let t = &toks[j - 1];
+        if t.is_punct(';') && depth == 0 {
+            return j;
+        }
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if t.is_punct('}') && depth == 0 {
+                return j;
+            }
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// Token index of the end of the statement containing `site`: the next
+/// `;` at relative depth 0 (balanced groups skipped), or the closer of
+/// the enclosing group for tail expressions.
+fn stmt_end(toks: &[Tok], site: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = site;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct(';') && depth == 0 {
+            return j;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Token index of the `}` closing the block that contains `from`.
+fn block_end(toks: &[Tok], from: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = from;
+    while j < end {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// When the statement containing `site` is `let [mut] NAME [: T] =`
+/// and the call at `site` is chained only through `unwrap`-family
+/// adapters (so the binding really holds the call's result), returns
+/// the binding name.
+fn let_bound_guard(toks: &[Tok], site: usize, start: usize, end: usize) -> Option<String> {
+    let ss = stmt_start(toks, site, start);
+    if !toks.get(ss).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut j = ss + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = toks.get(j).filter(|t| t.kind == TokKind::Ident)?;
+    // Only the bare `let name [: T] = expr` shape; tuple/struct patterns
+    // are never guard bindings in this workspace.
+    let after = toks.get(j + 1)?;
+    if !(after.is_punct('=') || after.is_punct(':')) {
+        return None;
+    }
+    // The call's value must reach the binding undisturbed: only
+    // unwrap-family method chaining after the call, no field walks or
+    // other adapters (`let n = m.lock().unwrap().len()` binds a usize,
+    // not the guard).
+    let se = stmt_end(toks, site, end);
+    let mut k = site + 1;
+    let mut depth = 0usize;
+    while k < se {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct('.') {
+            let chained = toks.get(k + 1).map(|u| u.text.as_str()).unwrap_or("");
+            if !matches!(chained, "unwrap" | "expect" | "unwrap_or_else") {
+                return None;
+            }
+        } else if depth == 0 && t.is_punct('?') {
+            return None;
+        }
+        k += 1;
+    }
+    Some(name.text.clone())
+}
+
+/// The absolute token span over which the value produced at `site`
+/// stays live (exclusive of `site` itself): for a bare `let`-bound
+/// result, to the enclosing block's `}` — truncated at the first
+/// `drop(binding)`; otherwise to the end of the statement.
+fn live_region(toks: &[Tok], site: usize, start: usize, end: usize) -> (usize, usize) {
+    let se = stmt_end(toks, site, end);
+    if let Some(binding) = let_bound_guard(toks, site, start, end) {
+        let be = block_end(toks, se, end);
+        let mut j = se;
+        while j + 3 < be {
+            if toks[j].is_ident("drop")
+                && toks[j + 1].is_punct('(')
+                && toks[j + 2].is_ident(&binding)
+                && toks[j + 3].is_punct(')')
+            {
+                return (site, j);
+            }
+            j += 1;
+        }
+        (site, be)
+    } else {
+        (site, se)
     }
 }
 
@@ -682,6 +972,157 @@ mod tests {
         let s = &summaries(src)[0];
         assert!(s.takes_parallelism);
         assert!(s.parallel_gated);
+    }
+
+    #[test]
+    fn lock_site_region_ends_at_drop() {
+        let src = "impl Fam {\n\
+                     fn get(&self) -> u64 {\n\
+                       let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                       inner.count += 1;\n\
+                       drop(inner);\n\
+                       self.compute();\n\
+                       0\n\
+                     }\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        assert_eq!(s.locks.len(), 1, "{:?}", s.locks);
+        let lock = &s.locks[0];
+        assert_eq!(lock.path, "self.inner");
+        assert_eq!(lock.binding.as_deref(), Some("inner"));
+        // The `compute` call must fall OUTSIDE the guard region.
+        let compute = s.calls.iter().find(|c| c.name == "compute").unwrap();
+        assert!(
+            !(lock.region.0 < compute.tok && compute.tok < lock.region.1),
+            "compute at {} must be outside region {:?}",
+            compute.tok,
+            lock.region
+        );
+        // The `+= 1` statement sits inside it.
+        assert!(lock.region.1 > lock.region.0);
+    }
+
+    #[test]
+    fn unbound_lock_region_covers_statement() {
+        let src = "impl S {\n\
+                     fn bump(&self) {\n\
+                       self.state.lock().unwrap().push(1);\n\
+                       self.after();\n\
+                     }\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        assert_eq!(s.locks.len(), 1);
+        let lock = &s.locks[0];
+        assert!(lock.binding.is_none());
+        let push = s.calls.iter().find(|c| c.name == "push").unwrap();
+        let after = s.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(lock.region.0 < push.tok && push.tok < lock.region.1);
+        assert!(after.tok > lock.region.1);
+    }
+
+    #[test]
+    fn guard_in_inner_block_ends_at_block_close() {
+        let src = "impl O {\n\
+                     fn write(&self) {\n\
+                       let line = {\n\
+                         let mut state = self.state.lock().unwrap();\n\
+                         state.take()\n\
+                       };\n\
+                       self.emit(line);\n\
+                     }\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        assert_eq!(s.locks.len(), 1);
+        let lock = &s.locks[0];
+        assert_eq!(lock.binding.as_deref(), Some("state"));
+        let emit = s.calls.iter().find(|c| c.name == "emit").unwrap();
+        assert!(
+            emit.tok > lock.region.1,
+            "emit at {} must be outside region {:?}",
+            emit.tok,
+            lock.region
+        );
+        let take = s.calls.iter().find(|c| c.name == "take").unwrap();
+        assert!(lock.region.0 < take.tok && take.tok < lock.region.1);
+    }
+
+    #[test]
+    fn consumed_guard_is_not_a_binding() {
+        let src = "impl S { fn len(&self) -> usize { let n = self.m.lock().unwrap().len(); n } }\n";
+        let s = &summaries(src)[0];
+        assert_eq!(s.locks.len(), 1);
+        // `n` holds a usize, not the guard: temporary region only.
+        assert!(s.locks[0].binding.is_none());
+    }
+
+    #[test]
+    fn impure_receiver_yields_no_lock_site() {
+        let src = "fn f(v: &[M]) { v[0].lock().unwrap(); shard().lock().unwrap(); }\n";
+        let s = &summaries(src)[0];
+        assert!(s.locks.is_empty(), "{:?}", s.locks);
+        let lock_call = s.calls.iter().find(|c| c.name == "lock").unwrap();
+        assert!(lock_call.recv_path.is_none());
+    }
+
+    #[test]
+    fn wait_sites_and_loop_detection() {
+        let src = "impl Q {\n\
+                     fn pop(&self) {\n\
+                       let mut g = self.state.lock().unwrap();\n\
+                       while g.is_empty() {\n\
+                         g = self.ready.wait(g).unwrap();\n\
+                       }\n\
+                       let other = self.cv.wait(g).unwrap();\n\
+                       drop(other);\n\
+                       self.child.wait();\n\
+                     }\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        assert_eq!(s.waits.len(), 3, "{:?}", s.waits);
+        assert!(s.waits[0].in_loop && s.waits[0].has_args);
+        assert_eq!(s.waits[0].cond_path, "self.ready");
+        assert!(!s.waits[1].in_loop && s.waits[1].has_args);
+        assert!(!s.waits[2].has_args, "argless Child::wait");
+    }
+
+    #[test]
+    fn channel_sites_recorded() {
+        let src =
+            "fn f(tx: Sender<u8>, rx: Receiver<u8>) { tx.send(1).unwrap(); rx.recv().unwrap(); }\n";
+        let s = &summaries(src)[0];
+        let ops: Vec<(&str, &str)> = s
+            .channels
+            .iter()
+            .map(|c| (c.path.as_str(), c.method.as_str()))
+            .collect();
+        assert_eq!(ops, [("tx", "send"), ("rx", "recv")]);
+    }
+
+    #[test]
+    fn method_receiver_paths_and_wrapper_region() {
+        let src = "impl W {\n\
+                     fn add(&self) {\n\
+                       let g = self.shard();\n\
+                       g.bump();\n\
+                     }\n\
+                     fn touch(&self) { self.shard().bump(); }\n\
+                   }\n";
+        let s = &summaries(src)[0];
+        let shard = s.calls.iter().find(|c| c.name == "shard").unwrap();
+        assert_eq!(shard.recv_path.as_deref(), Some("self"));
+        let bump = s.calls.iter().find(|c| c.name == "bump").unwrap();
+        assert!(
+            shard.region.0 < bump.tok && bump.tok < shard.region.1,
+            "bump at {} inside wrapper region {:?}",
+            bump.tok,
+            shard.region
+        );
+        assert!(!s.has_loop);
+        // Inline wrapper use: region covers the statement.
+        let t = &summaries(src)[1];
+        let shard2 = t.calls.iter().find(|c| c.name == "shard").unwrap();
+        let bump2 = t.calls.iter().find(|c| c.name == "bump").unwrap();
+        assert!(shard2.region.0 < bump2.tok && bump2.tok < shard2.region.1);
     }
 
     #[test]

@@ -1,0 +1,829 @@
+//! Synchronization facts over the call graph: which locks each fn
+//! acquires (directly, through guard-returning wrappers, or
+//! transitively), which guard regions are live at a token, and the
+//! workspace lock-acquisition graph. The concurrency rules (L12–L14)
+//! are thin queries over these facts; L15 reads wait sites straight
+//! off the summaries.
+//!
+//! Lock identities are syntactic, field-granular names:
+//!
+//! - `self.field.lock()` inside `impl Type` → `Type::field` — every
+//!   method of the type agrees on the name, so nesting across methods
+//!   composes;
+//! - a lock rooted at a parameter names the parameter's lock type
+//!   (`Mutex<Shard>` from `m: &Mutex<Shard>`) — wrappers like
+//!   `Shard::lock(m)` thereby share one identity across call sites;
+//! - anything else (a local) is scoped to the owning fn
+//!   (`module::Type::fn::path`), so distinct locals never unify.
+//!
+//! Call edges are filtered before they feed the fixpoints: method
+//! calls must have a pure dotted receiver and a name outside the
+//! container/iterator/sync-primitive vocabulary ("strict" edges).
+//! "Heavy" edges additionally drop the `Recorder` vocabulary
+//! (`add`/`record`/`merge`/`span_ns`) so instrumentation under a lock
+//! does not count as kernel work, while L12/L14 still see the lock the
+//! recorder itself takes.
+
+use crate::graph::CallGraph;
+use crate::source::SourceFile;
+use crate::summary::{CallKind, CallSite, FnSummary};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method names that never count as sync-relevant call edges:
+/// container/iterator/option vocabulary plus the sync primitives
+/// themselves (a `.lock()` site is a [`crate::summary::LockSite`], not
+/// an edge to some workspace fn that happens to be called `lock`).
+const STRICT_METHOD_EXCLUDE: &[&str] = &[
+    // containers and iterators
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "entry",
+    "or_insert",
+    "or_default",
+    "push",
+    "push_back",
+    "pop",
+    "pop_front",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "clone",
+    "extend",
+    "drain",
+    "clear",
+    "take",
+    "replace",
+    "next",
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+    "filter",
+    "fold",
+    "collect",
+    "to_owned",
+    "to_string",
+    "as_ref",
+    "as_str",
+    "as_bytes",
+    "fetch_add",
+    "load",
+    "store",
+    "min",
+    "max",
+    "expect",
+    "unwrap",
+    // sync primitives
+    "lock",
+    "read",
+    "write",
+    "try_lock",
+    "try_read",
+    "try_write",
+    "wait",
+    "wait_while",
+    "wait_timeout",
+    "wait_timeout_while",
+    "notify_one",
+    "notify_all",
+];
+
+/// Extra method names dropped from *heavy* edges only: the `Recorder`
+/// vocabulary. `ins.add(...)` under a guard is instrumentation, not
+/// blocking kernel work — but the shard lock it takes must still feed
+/// the lock graph, so strict edges keep these names.
+const HEAVY_METHOD_EXCLUDE: &[&str] = &["add", "record", "merge", "span_ns"];
+
+/// Files whose loop-bearing fns count as kernel work for L13: cell
+/// characterization, the estimation kernels, FFT, Monte-Carlo
+/// sampling, and grid simulation.
+const KERNEL_PREFIXES: &[&str] = &[
+    "crates/cells/src/charax.rs",
+    "crates/core/src/estimator/",
+    "crates/numeric/src/fft.rs",
+    "crates/montecarlo/src/",
+    "crates/sim/src/",
+];
+
+/// Call names that block the calling thread outright (I/O, sleeps,
+/// joins, channel receives). `Condvar::wait` is deliberately absent:
+/// waiting releases the guard, and L15 owns wait-site discipline.
+pub const BLOCKING_CALLS: &[&str] = &[
+    "accept",
+    "connect",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "fill_buf",
+    "read_exact",
+    "write_all",
+    "flush",
+    "sleep",
+    "join",
+    "recv",
+    "recv_timeout",
+];
+
+/// `true` when a call site may carry sync facts between fns.
+fn strict_call(call: &CallSite) -> bool {
+    match call.kind {
+        CallKind::Method => {
+            call.recv_path.is_some() && !STRICT_METHOD_EXCLUDE.contains(&call.name.as_str())
+        }
+        CallKind::Assoc | CallKind::Free => true,
+    }
+}
+
+/// `true` when a call site may carry *heavy work* between fns.
+fn heavy_call(call: &CallSite) -> bool {
+    strict_call(call)
+        && !(call.kind == CallKind::Method && HEAVY_METHOD_EXCLUDE.contains(&call.name.as_str()))
+}
+
+/// Extracts the balanced `Mutex<...>`/`RwLock<...>` head of a
+/// whitespace-free type rendering, if present.
+fn lock_primitive(flat: &str) -> Option<String> {
+    for prim in ["Mutex<", "RwLock<"] {
+        if let Some(pos) = flat.find(prim) {
+            let rest = &flat[pos..];
+            let mut depth = 0i32;
+            for (i, c) in rest.char_indices() {
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(rest[..=i].to_owned());
+                    }
+                }
+            }
+            return Some(rest.to_owned());
+        }
+    }
+    None
+}
+
+/// Canonical identity of the lock behind a dotted receiver path.
+pub fn lock_identity(s: &FnSummary, path: &str) -> String {
+    let mut segs = path.split('.');
+    let root = segs.next().unwrap_or(path);
+    let field = segs.next();
+    if root == "self" {
+        if let (Some(ty), Some(f)) = (s.impl_type.as_deref(), field) {
+            return format!("{ty}::{f}");
+        }
+    }
+    if let Some((_, ty)) = s.params.iter().find(|(n, _)| n == root) {
+        let flat: String = ty.chars().filter(|c| !c.is_whitespace()).collect();
+        if let Some(prim) = lock_primitive(&flat) {
+            return prim;
+        }
+        let base = flat.trim_start_matches('&').trim_start_matches("mut");
+        return match field {
+            Some(f) => format!("{base}::{f}"),
+            None => base.to_owned(),
+        };
+    }
+    format!("{}::{}", s.qual_name(), path)
+}
+
+/// One lock acquisition a fn performs: a direct `.lock()`/`.read()`/
+/// `.write()` site, or a call to a guard-returning wrapper.
+#[derive(Debug, Clone)]
+pub struct Acq {
+    /// Canonical lock identity (see [`lock_identity`]).
+    pub identity: String,
+    /// How the lock is taken, for diagnostics (`.lock()` on `self.inner`,
+    /// or the wrapper's name).
+    pub how: String,
+    /// 1-based site line.
+    pub line: u32,
+    /// 1-based site column (1 for wrapper-call acquisitions).
+    pub col: u32,
+    /// Token index of the acquiring site.
+    pub tok: usize,
+    /// Token span over which the guard is live (exclusive of `tok`).
+    pub region: (usize, usize),
+}
+
+/// A lock-graph edge: `to` is acquired somewhere while `from` is held.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The identity already held.
+    pub from: String,
+    /// The identity acquired under it.
+    pub to: String,
+    /// Node performing the nested acquisition (or the call leading to it).
+    pub node: usize,
+    /// 1-based line of the nested site.
+    pub line: u32,
+    /// 1-based column of the nested site.
+    pub col: u32,
+}
+
+/// A re-acquisition of an already-held lock (self-deadlock with
+/// non-reentrant std mutexes).
+#[derive(Debug, Clone)]
+pub struct Reentry {
+    /// Node holding the lock when it is re-acquired.
+    pub node: usize,
+    /// 1-based line of the re-acquiring site (or call).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The lock identity acquired twice.
+    pub identity: String,
+    /// The callee that (transitively) re-acquires, for chain evidence;
+    /// `None` for an intra-fn double acquisition.
+    pub target: Option<usize>,
+}
+
+/// Synchronization facts for one lint run, indexed by call-graph node.
+pub struct SyncFacts {
+    /// Per-node direct acquisitions (own sites + wrapper calls).
+    pub direct: Vec<Vec<Acq>>,
+    /// Per-node transitive closure of acquired lock identities over
+    /// strict edges.
+    pub acquires: Vec<BTreeSet<String>>,
+    /// Per-node: is (or reaches over heavy edges) loop-bearing kernel code.
+    pub heavy: Vec<bool>,
+    /// Per-node: is itself loop-bearing kernel code.
+    pub kernel: Vec<bool>,
+    /// Lock-acquisition graph edges (distinct identities only).
+    pub lock_edges: Vec<LockEdge>,
+    /// Held-lock re-acquisitions.
+    pub reentries: Vec<Reentry>,
+    /// Strict call sites per node: `(index into summary.calls, targets)`.
+    pub strict_calls: Vec<Vec<(usize, Vec<usize>)>>,
+    /// Heavy call sites per node (subset of `strict_calls`).
+    pub heavy_calls: Vec<Vec<(usize, Vec<usize>)>>,
+}
+
+impl SyncFacts {
+    /// Computes all facts for the files under `graph`.
+    pub fn build(files: &[SourceFile], graph: &CallGraph) -> SyncFacts {
+        let n = graph.len();
+        let mut strict_calls: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
+        let mut heavy_calls: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
+        for id in 0..n {
+            let s = graph.summary(files, id);
+            for (ci, targets) in graph.call_targets(id) {
+                let call = &s.calls[*ci];
+                if strict_call(call) {
+                    strict_calls[id].push((*ci, targets.clone()));
+                    if heavy_call(call) {
+                        heavy_calls[id].push((*ci, targets.clone()));
+                    }
+                }
+            }
+        }
+
+        // Guard-returning wrappers and the identities they acquire
+        // (fixpoint: wrappers may delegate to other wrappers).
+        let wrapper: Vec<bool> = (0..n)
+            .map(|id| graph.summary(files, id).ret.contains("Guard"))
+            .collect();
+        let mut wrapper_locks: Vec<BTreeSet<String>> = (0..n)
+            .map(|id| {
+                if !wrapper[id] {
+                    return BTreeSet::new();
+                }
+                let s = graph.summary(files, id);
+                s.locks.iter().map(|l| lock_identity(s, &l.path)).collect()
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for id in 0..n {
+                if !wrapper[id] {
+                    continue;
+                }
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for (_, targets) in &strict_calls[id] {
+                    for &t in targets {
+                        if wrapper[t] && t != id {
+                            add.extend(wrapper_locks[t].iter().cloned());
+                        }
+                    }
+                }
+                for ident in add {
+                    changed |= wrapper_locks[id].insert(ident);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Direct acquisitions: own lock sites + wrapper-call sites.
+        let mut direct: Vec<Vec<Acq>> = vec![Vec::new(); n];
+        for id in 0..n {
+            let s = graph.summary(files, id);
+            for l in &s.locks {
+                direct[id].push(Acq {
+                    identity: lock_identity(s, &l.path),
+                    how: format!("`{}.{}()`", l.path, l.method),
+                    line: l.line,
+                    col: l.col,
+                    tok: l.tok,
+                    region: l.region,
+                });
+            }
+            for (ci, targets) in &strict_calls[id] {
+                let call = &s.calls[*ci];
+                let mut idents: BTreeSet<String> = BTreeSet::new();
+                for &t in targets {
+                    if wrapper[t] && t != id {
+                        idents.extend(wrapper_locks[t].iter().cloned());
+                    }
+                }
+                for identity in idents {
+                    direct[id].push(Acq {
+                        identity,
+                        how: format!("`{}(...)` (guard-returning wrapper)", call.name),
+                        line: call.line,
+                        col: 1,
+                        tok: call.tok,
+                        region: call.region,
+                    });
+                }
+            }
+        }
+
+        // Transitive acquisitions over strict edges.
+        let mut acquires: Vec<BTreeSet<String>> = direct
+            .iter()
+            .map(|acqs| acqs.iter().map(|a| a.identity.clone()).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for id in 0..n {
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for (_, targets) in &strict_calls[id] {
+                    for &t in targets {
+                        if t != id {
+                            for ident in &acquires[t] {
+                                if !acquires[id].contains(ident) {
+                                    add.insert(ident.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                for ident in add {
+                    changed |= acquires[id].insert(ident);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Kernel membership and backward heavy propagation.
+        let kernel: Vec<bool> = (0..n)
+            .map(|id| {
+                let (fi, _) = graph.node(id);
+                let s = graph.summary(files, id);
+                s.has_loop && KERNEL_PREFIXES.iter().any(|p| files[fi].rel.starts_with(p))
+            })
+            .collect();
+        let mut heavy = kernel.clone();
+        loop {
+            let mut changed = false;
+            for id in 0..n {
+                if heavy[id] {
+                    continue;
+                }
+                let reaches = heavy_calls[id]
+                    .iter()
+                    .any(|(_, targets)| targets.iter().any(|&t| heavy[t]));
+                if reaches {
+                    heavy[id] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Lock-graph edges and re-acquisitions.
+        let mut lock_edges = Vec::new();
+        let mut reentries = Vec::new();
+        for id in 0..n {
+            let s = graph.summary(files, id);
+            for a in &direct[id] {
+                for b in &direct[id] {
+                    if b.tok > a.region.0 && b.tok < a.region.1 && b.tok != a.tok {
+                        if b.identity == a.identity {
+                            reentries.push(Reentry {
+                                node: id,
+                                line: b.line,
+                                col: b.col,
+                                identity: a.identity.clone(),
+                                target: None,
+                            });
+                        } else {
+                            lock_edges.push(LockEdge {
+                                from: a.identity.clone(),
+                                to: b.identity.clone(),
+                                node: id,
+                                line: b.line,
+                                col: b.col,
+                            });
+                        }
+                    }
+                }
+                for (ci, targets) in &strict_calls[id] {
+                    let call = &s.calls[*ci];
+                    if !(call.tok > a.region.0 && call.tok < a.region.1) {
+                        continue;
+                    }
+                    for &t in targets {
+                        if t == id {
+                            continue;
+                        }
+                        for b_ident in &acquires[t] {
+                            if *b_ident == a.identity {
+                                reentries.push(Reentry {
+                                    node: id,
+                                    line: call.line,
+                                    col: 1,
+                                    identity: a.identity.clone(),
+                                    target: Some(t),
+                                });
+                            } else {
+                                lock_edges.push(LockEdge {
+                                    from: a.identity.clone(),
+                                    to: b_ident.clone(),
+                                    node: id,
+                                    line: call.line,
+                                    col: 1,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        SyncFacts {
+            direct,
+            acquires,
+            heavy,
+            kernel,
+            lock_edges,
+            reentries,
+            strict_calls,
+            heavy_calls,
+        }
+    }
+
+    /// The acquisitions of `node` whose guard region contains `tok`.
+    pub fn held_at(&self, node: usize, tok: usize) -> Vec<&Acq> {
+        self.direct[node]
+            .iter()
+            .filter(|a| tok > a.region.0 && tok < a.region.1)
+            .collect()
+    }
+
+    /// BFS path of lock identities from `from` to `to` over the lock
+    /// graph, inclusive of both endpoints; `None` when unreachable.
+    pub fn lock_path(&self, from: &str, to: &str) -> Option<Vec<String>> {
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in &self.lock_edges {
+            adj.entry(e.from.as_str())
+                .or_default()
+                .insert(e.to.as_str());
+        }
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        parent.insert(from, from);
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            if cur == to {
+                let mut path = vec![cur.to_owned()];
+                let mut c = cur;
+                while parent[c] != c {
+                    c = parent[c];
+                    path.push(c.to_owned());
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if let Some(nexts) = adj.get(cur) {
+                for &nx in nexts {
+                    parent.entry(nx).or_insert_with(|| {
+                        queue.push_back(nx);
+                        cur
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortest strict-edge call chain from `start` to a fn that
+    /// directly acquires `identity` (inclusive); empty when none.
+    pub fn acquire_chain(&self, start: usize, identity: &str) -> Vec<usize> {
+        self.chain(start, |facts, id| {
+            facts.direct[id].iter().any(|a| a.identity == identity)
+        })
+    }
+
+    /// Shortest heavy-edge call chain from `start` to a loop-bearing
+    /// kernel fn (inclusive); empty when none.
+    pub fn heavy_chain(&self, start: usize) -> Vec<usize> {
+        let mut parent = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        parent.insert(start, start);
+        queue.push_back(start);
+        while let Some(cur) = queue.pop_front() {
+            if self.kernel[cur] {
+                return unwind(&parent, cur);
+            }
+            for (_, targets) in &self.heavy_calls[cur] {
+                for &t in targets {
+                    parent.entry(t).or_insert_with(|| {
+                        queue.push_back(t);
+                        cur
+                    });
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn chain(&self, start: usize, hit: impl Fn(&SyncFacts, usize) -> bool) -> Vec<usize> {
+        let mut parent = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        parent.insert(start, start);
+        queue.push_back(start);
+        while let Some(cur) = queue.pop_front() {
+            if hit(self, cur) {
+                return unwind(&parent, cur);
+            }
+            for (_, targets) in &self.strict_calls[cur] {
+                for &t in targets {
+                    parent.entry(t).or_insert_with(|| {
+                        queue.push_back(t);
+                        cur
+                    });
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Rebuilds the BFS path ending at `last` from a parent map.
+fn unwind(parent: &BTreeMap<usize, usize>, last: usize) -> Vec<usize> {
+    let mut path = vec![last];
+    let mut c = last;
+    while parent[&c] != c {
+        c = parent[&c];
+        path.push(c);
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CrateInfo;
+    use crate::source::{FileKind, SourceFile};
+
+    fn facts(files: Vec<(&str, &str)>) -> (Vec<SourceFile>, CallGraph, SyncFacts) {
+        let files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, src)| {
+                SourceFile::parse(rel.to_owned(), src.to_owned(), FileKind::classify(rel))
+            })
+            .collect();
+        let crates = vec![CrateInfo {
+            rel_root: "crates/core".into(),
+            name: "leakage-core".into(),
+            has_parallel_feature: true,
+        }];
+        let graph = CallGraph::build(&files, &crates);
+        let sync = SyncFacts::build(&files, &graph);
+        (files, graph, sync)
+    }
+
+    fn node_named(files: &[SourceFile], graph: &CallGraph, name: &str) -> usize {
+        (0..graph.len())
+            .find(|&id| graph.summary(files, id).name == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+
+    #[test]
+    fn identity_self_field_and_param_and_local() {
+        let (files, graph, _) = facts(vec![(
+            "crates/core/src/lib.rs",
+            "pub struct S { inner: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn a(&self) { let _g = self.inner.lock().unwrap(); }\n\
+             }\n\
+             pub fn b(m: &std::sync::Mutex<u32>) { let _g = m.lock().unwrap(); }\n\
+             pub fn c() { let m = std::sync::Mutex::new(0); let _g = m.lock().unwrap(); }\n",
+        )]);
+        let a = graph.summary(&files, node_named(&files, &graph, "a"));
+        assert_eq!(lock_identity(a, "self.inner"), "S::inner");
+        let b = graph.summary(&files, node_named(&files, &graph, "b"));
+        assert_eq!(lock_identity(b, "m"), "Mutex<u32>");
+        let c = graph.summary(&files, node_named(&files, &graph, "c"));
+        assert_eq!(lock_identity(c, "m"), "c::m");
+    }
+
+    #[test]
+    fn wrapper_call_counts_as_acquisition() {
+        let (files, graph, sync) = facts(vec![(
+            "crates/core/src/lib.rs",
+            "pub struct Shard;\n\
+             impl Shard {\n\
+               pub fn lock(m: &std::sync::Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {\n\
+                 m.lock().unwrap()\n\
+               }\n\
+             }\n\
+             pub fn user(m: &std::sync::Mutex<Shard>) {\n\
+               let _g = Shard::lock(m);\n\
+             }\n",
+        )]);
+        let user = node_named(&files, &graph, "user");
+        assert!(
+            sync.direct[user]
+                .iter()
+                .any(|a| a.identity == "Mutex<Shard>"),
+            "wrapper call should register Mutex<Shard>: {:?}",
+            sync.direct[user]
+        );
+    }
+
+    #[test]
+    fn nested_guards_make_a_lock_edge_and_cycles_resolve() {
+        let (files, graph, sync) = facts(vec![(
+            "crates/core/src/lib.rs",
+            "pub struct S { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn ab(&self) {\n\
+                 let _ga = self.a.lock().unwrap();\n\
+                 let _gb = self.b.lock().unwrap();\n\
+               }\n\
+               pub fn ba(&self) {\n\
+                 let _gb = self.b.lock().unwrap();\n\
+                 let _ga = self.a.lock().unwrap();\n\
+               }\n\
+             }\n",
+        )]);
+        let _ = files;
+        let _ = graph;
+        assert!(
+            sync.lock_edges
+                .iter()
+                .any(|e| e.from == "S::a" && e.to == "S::b"),
+            "{:?}",
+            sync.lock_edges
+        );
+        assert!(
+            sync.lock_edges
+                .iter()
+                .any(|e| e.from == "S::b" && e.to == "S::a"),
+            "{:?}",
+            sync.lock_edges
+        );
+        let path = sync.lock_path("S::b", "S::a").expect("cycle path");
+        assert_eq!(path, vec!["S::b".to_owned(), "S::a".to_owned()]);
+    }
+
+    #[test]
+    fn callee_acquisition_makes_interprocedural_edge() {
+        let (files, graph, sync) = facts(vec![(
+            "crates/core/src/lib.rs",
+            "pub struct S { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn outer(&self) {\n\
+                 let _ga = self.a.lock().unwrap();\n\
+                 self.inner_b();\n\
+               }\n\
+               fn inner_b(&self) { let _gb = self.b.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        let outer = node_named(&files, &graph, "outer");
+        assert!(
+            sync.lock_edges
+                .iter()
+                .any(|e| e.from == "S::a" && e.to == "S::b" && e.node == outer),
+            "{:?}",
+            sync.lock_edges
+        );
+    }
+
+    #[test]
+    fn reentry_direct_and_through_call() {
+        let (files, graph, sync) = facts(vec![(
+            "crates/core/src/lib.rs",
+            "pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn twice(&self) {\n\
+                 let _g1 = self.a.lock().unwrap();\n\
+                 let _g2 = self.a.lock().unwrap();\n\
+               }\n\
+               pub fn outer(&self) {\n\
+                 let _g = self.a.lock().unwrap();\n\
+                 self.takes_it();\n\
+               }\n\
+               fn takes_it(&self) { let _g = self.a.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        let twice = node_named(&files, &graph, "twice");
+        let outer = node_named(&files, &graph, "outer");
+        assert!(
+            sync.reentries
+                .iter()
+                .any(|r| r.node == twice && r.target.is_none() && r.identity == "S::a"),
+            "{:?}",
+            sync.reentries
+        );
+        assert!(
+            sync.reentries
+                .iter()
+                .any(|r| r.node == outer && r.target.is_some() && r.identity == "S::a"),
+            "{:?}",
+            sync.reentries
+        );
+        let takes_it = node_named(&files, &graph, "takes_it");
+        let chain = sync.acquire_chain(takes_it, "S::a");
+        assert_eq!(chain, vec![takes_it]);
+    }
+
+    #[test]
+    fn heavy_propagates_backward_but_not_through_recorder_calls() {
+        let (files, graph, sync) = facts(vec![(
+            "crates/core/src/estimator/exact.rs",
+            "pub fn kernel(xs: &[f64]) -> f64 {\n\
+               let mut m = 0.0f64;\n\
+               for i in 0..xs.len() { m = m.max(xs[i]); }\n\
+               m\n\
+             }\n\
+             pub fn driver(xs: &[f64]) -> f64 { kernel(xs) }\n\
+             pub struct Ins;\n\
+             impl Ins {\n\
+               pub fn add(&self, _c: &'static str, _by: u64) {\n\
+                 let mut i = 0usize; loop { i += 1; if i > 1 { break; } }\n\
+               }\n\
+             }\n\
+             pub fn instrumented(ins: &Ins) { ins.add(\"n\", 1); }\n",
+        )]);
+        let kernel = node_named(&files, &graph, "kernel");
+        let driver = node_named(&files, &graph, "driver");
+        let instrumented = node_named(&files, &graph, "instrumented");
+        assert!(sync.kernel[kernel]);
+        assert!(sync.heavy[driver], "driver reaches the kernel");
+        assert!(
+            !sync.heavy[instrumented],
+            "recorder vocabulary must not carry heaviness"
+        );
+        assert_eq!(sync.heavy_chain(driver), vec![driver, kernel]);
+    }
+
+    #[test]
+    fn held_at_respects_guard_regions() {
+        let (files, graph, sync) = facts(vec![(
+            "crates/core/src/lib.rs",
+            "pub struct S { a: std::sync::Mutex<u32> }\n\
+             impl S {\n\
+               pub fn f(&self) {\n\
+                 let g = self.a.lock().unwrap();\n\
+                 drop(g);\n\
+                 self.after();\n\
+               }\n\
+               fn after(&self) {}\n\
+             }\n",
+        )]);
+        let f = node_named(&files, &graph, "f");
+        let s = graph.summary(&files, f);
+        let after_call = s.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(
+            sync.held_at(f, after_call.tok).is_empty(),
+            "guard dropped before the call"
+        );
+        assert!(
+            sync.reentries.iter().all(|r| r.node != f),
+            "{:?}",
+            sync.reentries
+        );
+    }
+}

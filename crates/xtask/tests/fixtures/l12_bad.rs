@@ -1,0 +1,34 @@
+//! L12 fixture: AB/BA lock-order inversion — `forward` nests `b` under
+//! `a` while `backward` nests `a` under `b`, so two threads can each
+//! hold one lock and wait forever for the other.
+
+pub struct Pair {
+    a: std::sync::Mutex<u64>,
+    b: std::sync::Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self
+            .a
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let gb = self
+            .b
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ga ^ *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self
+            .b
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ga = self
+            .a
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ga ^ *gb
+    }
+}

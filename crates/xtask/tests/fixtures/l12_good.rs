@@ -1,0 +1,33 @@
+//! L12 conforming twin: both paths take `a` before `b`, so the lock
+//! graph has one direction only and stays acyclic.
+
+pub struct Pair {
+    a: std::sync::Mutex<u64>,
+    b: std::sync::Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self
+            .a
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let gb = self
+            .b
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ga ^ *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let ga = self
+            .a
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let gb = self
+            .b
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *gb ^ *ga
+    }
+}

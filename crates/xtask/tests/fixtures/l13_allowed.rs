@@ -1,0 +1,17 @@
+//! L13 suppression fixture: the same blocking receive as `l13_bad.rs`,
+//! silenced by a justified allow on the call line.
+
+pub struct Family {
+    inner: std::sync::Mutex<f64>,
+}
+
+impl Family {
+    pub fn drain(&self, rx: &std::sync::mpsc::Receiver<f64>) {
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // chipleak-lint: allow(blocking-under-lock): the sender is the same thread two lines up, so the queue is never empty here
+        *g = rx.recv().unwrap_or(0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! L13 fixture: slow work under a live guard — a loop-bearing
+//! characterization kernel invoked while the family mutex is held, and
+//! a blocking channel receive under the same lock.
+
+pub struct Family {
+    inner: std::sync::Mutex<f64>,
+}
+
+fn characterize(xs: &[f64]) -> f64 {
+    let mut m = 0.0f64;
+    for i in 0..xs.len() {
+        m = m.max(xs[i]);
+    }
+    m
+}
+
+impl Family {
+    pub fn fill(&self, xs: &[f64]) {
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g = characterize(xs);
+    }
+
+    pub fn drain(&self, rx: &std::sync::mpsc::Receiver<f64>) {
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g = rx.recv().unwrap_or(0.0);
+    }
+}

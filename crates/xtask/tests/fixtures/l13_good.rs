@@ -1,0 +1,34 @@
+//! L13 conforming twin: compute first, publish under the lock — the
+//! guard region contains only the O(1) store.
+
+pub struct Family {
+    inner: std::sync::Mutex<f64>,
+}
+
+fn characterize(xs: &[f64]) -> f64 {
+    let mut m = 0.0f64;
+    for i in 0..xs.len() {
+        m = m.max(xs[i]);
+    }
+    m
+}
+
+impl Family {
+    pub fn fill(&self, xs: &[f64]) {
+        let v = characterize(xs);
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g = v;
+    }
+
+    pub fn drain(&self, rx: &std::sync::mpsc::Receiver<f64>) {
+        let v = rx.recv().unwrap_or(0.0);
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g = v;
+    }
+}

@@ -1,0 +1,38 @@
+//! L14 fixture: re-acquiring a held lock — once directly in the same
+//! fn, once through a call chain (`snapshot_and_bump` holds `state`
+//! and calls `bump`, which locks it again: self-deadlock).
+
+pub struct Registry {
+    state: std::sync::Mutex<u64>,
+}
+
+impl Registry {
+    pub fn bump(&self) {
+        let mut g = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g = g.saturating_add(1);
+    }
+
+    pub fn snapshot_and_bump(&self) -> u64 {
+        let g = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.bump();
+        *g
+    }
+
+    pub fn double_lock(&self) -> u64 {
+        let a = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let b = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *a ^ *b
+    }
+}

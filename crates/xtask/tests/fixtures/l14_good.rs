@@ -1,0 +1,32 @@
+//! L14 conforming twin: the guard is dropped before any path that
+//! locks again, and nested helpers receive the guard instead of
+//! re-locking.
+
+pub struct Registry {
+    state: std::sync::Mutex<u64>,
+}
+
+fn bump_locked(g: &mut u64) {
+    *g = g.saturating_add(1);
+}
+
+impl Registry {
+    pub fn bump(&self) {
+        let mut g = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        bump_locked(&mut g);
+    }
+
+    pub fn snapshot_then_bump(&self) -> u64 {
+        let g = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let v = *g;
+        drop(g);
+        self.bump();
+        v
+    }
+}

@@ -1,0 +1,35 @@
+//! L15 fixture: `Condvar::wait`/`wait_timeout` outside a predicate
+//! loop — a spurious wakeup (or a notify racing the predicate store)
+//! resumes with the condition still false.
+
+pub struct Gate {
+    ready: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl Gate {
+    pub fn pass(&self) {
+        let mut g = self
+            .ready
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !*g {
+            g = self
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *g = false;
+    }
+
+    pub fn pass_briefly(&self) {
+        let g = self
+            .ready
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _r = self
+            .cv
+            .wait_timeout(g, std::time::Duration::from_millis(10))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}

@@ -1,0 +1,35 @@
+//! L15 conforming twin: the wait sits in a `while` that re-checks the
+//! predicate, or uses `wait_while`, which re-checks internally.
+
+pub struct Gate {
+    ready: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl Gate {
+    pub fn pass(&self) {
+        let mut g = self
+            .ready
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*g {
+            g = self
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *g = false;
+    }
+
+    pub fn pass_predicate(&self) {
+        let guard = self
+            .ready
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut g = self
+            .cv
+            .wait_while(guard, |ready| !*ready)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g = false;
+    }
+}

@@ -196,6 +196,128 @@ fn l11_fires_on_bad_and_not_on_good() {
 }
 
 #[test]
+fn l12_fires_on_bad_and_not_on_good() {
+    let bad = lint_fixture("l12_bad.rs", DEMO_REL);
+    // Both directions of the inversion are reported, each with the
+    // full identity cycle as evidence.
+    assert_eq!(rule_hits(&bad, "lock-order"), 2, "{bad:?}");
+    assert!(
+        bad.iter()
+            .any(|d| d.rule == "lock-order" && d.message.contains("Pair::a -> Pair::b -> Pair::a")),
+        "{bad:?}"
+    );
+    let good = lint_fixture("l12_good.rs", DEMO_REL);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn l13_fires_on_bad_and_not_on_good() {
+    // The fixture sits in the estimator tree, so `characterize`'s loop
+    // counts as kernel work; the blocking `recv` fires independently.
+    let bad = lint_fixture("l13_bad.rs", ESTIMATOR_REL);
+    assert_eq!(rule_hits(&bad, "blocking-under-lock"), 2, "{bad:?}");
+    assert!(
+        bad.iter().any(|d| d.rule == "blocking-under-lock"
+            && d.message.contains("characterize")
+            && d.message.contains("Family::inner")),
+        "{bad:?}"
+    );
+    assert!(
+        bad.iter()
+            .any(|d| d.rule == "blocking-under-lock" && d.message.contains("`recv`")),
+        "{bad:?}"
+    );
+    let good = lint_fixture("l13_good.rs", ESTIMATOR_REL);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn l13_kernel_scope_is_the_kernel_tree_only() {
+    // Outside the kernel prefixes the loop is not "kernel work"; only
+    // the blocking receive remains.
+    let elsewhere = lint_fixture("l13_bad.rs", DEMO_REL);
+    assert_eq!(
+        rule_hits(&elsewhere, "blocking-under-lock"),
+        1,
+        "{elsewhere:?}"
+    );
+}
+
+#[test]
+fn l13_justified_allow_silences() {
+    let diags = lint_fixture("l13_allowed.rs", DEMO_REL);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l14_fires_on_bad_and_not_on_good() {
+    let bad = lint_fixture("l14_bad.rs", DEMO_REL);
+    // One direct double-lock, one re-entry through the call chain.
+    assert_eq!(rule_hits(&bad, "lock-reentrancy"), 2, "{bad:?}");
+    assert!(
+        bad.iter().any(|d| d.rule == "lock-reentrancy"
+            && d.message
+                .contains("Registry::snapshot_and_bump -> Registry::bump")),
+        "{bad:?}"
+    );
+    let good = lint_fixture("l14_good.rs", DEMO_REL);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn l15_fires_on_bad_and_not_on_good() {
+    let bad = lint_fixture("l15_bad.rs", DEMO_REL);
+    // One bare `wait`, one non-looped `wait_timeout`.
+    assert_eq!(rule_hits(&bad, "condvar-wait-loop"), 2, "{bad:?}");
+    let good = lint_fixture("l15_good.rs", DEMO_REL);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn explain_output_is_pinned_for_old_and_new_rules() {
+    // `cargo xtask lint --explain <rule>` prints exactly this text (the
+    // binary adds nothing around `render`). One pre-existing rule and one
+    // concurrency rule keep the format honest.
+    let l9 = xtask::rules::explain::render("L9").expect("L9 is registered");
+    assert_eq!(
+        l9,
+        "L9 `panic-freedom` — no unwrap/expect/panic-macro or unprovable slice index \
+         may be reachable from estimator::resilient or the service-bound public API\n\
+         \n\
+         why:\n\
+         \x20 the resilient ladder and the service-bound API promise typed errors;\n\
+         \x20 a panic three calls down unwinds through worker threads and kills the\n\
+         \x20 whole estimate, so no unwrap/expect/panic-macro or unprovable index\n\
+         \x20 may be reachable from those roots.\n\
+         escape hatches:\n\
+         \x20 `.get(i).ok_or(...)?`, an `assert!`-stated bound, bounds-tied loop\n\
+         \x20 binders, or a justified `allow(panic-freedom)` / `allow(no-unwrap-in-library)`.\n\
+         example:\n\
+         \x20 crates/core/src/estimator/table.rs:77:21: error[L9/panic-freedom]:\n\
+         \x20 `unwrap` is reachable from estimate_resilient -> stage -> kernel\n"
+    );
+
+    let l15 = xtask::rules::explain::render("L15").expect("L15 is registered");
+    assert_eq!(
+        l15,
+        "L15 `condvar-wait-loop` — every Condvar::wait/wait_timeout must sit in a \
+         predicate loop (wait_while is exempt)\n\
+         \n\
+         why:\n\
+         \x20 `Condvar::wait` may wake spuriously and may lose the race against the\n\
+         \x20 notifier, so a bare `if`-guarded wait resumes with the predicate\n\
+         \x20 still false; every wait/wait_timeout must sit in a predicate loop.\n\
+         escape hatches:\n\
+         \x20 `while !predicate { guard = cv.wait(guard)...; }` or `wait_while`;\n\
+         \x20 timeout waits whose caller re-checks may be justified with\n\
+         \x20 `// chipleak-lint: allow(condvar-wait-loop): <why>`.\n\
+         example:\n\
+         \x20 crates/service/src/store.rs:118:17: error[L15/condvar-wait-loop]:\n\
+         \x20 `self.built.wait(...)` is not inside a predicate loop\n"
+    );
+}
+
+#[test]
 fn justified_suppression_round_trips_clean() {
     let diags = lint_fixture("suppressed_ok.rs", DEMO_REL);
     assert!(diags.is_empty(), "{diags:?}");
