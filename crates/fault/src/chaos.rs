@@ -1,0 +1,132 @@
+//! The [`ChaosPlan`]: seeded per-request fault decisions for soaking the
+//! `chipleakd` overload-survival layer.
+//!
+//! A chaos soak drives the real server while workers crash, jobs stall
+//! past their deadlines, and clients drain slowly — and then asserts the
+//! survival invariants (every request answered exactly once with a typed
+//! outcome, surviving responses byte-identical to a clean run, zero
+//! fleet deaths). Those assertions are only meaningful if the faults
+//! themselves are reproducible, so every decision here is a pure
+//! function of `(plan seed, request sequence number)` — never of thread
+//! scheduling, wall time, or call order. The same plan produces the same
+//! storm at 1 worker and at 8.
+
+use crate::plan::{FaultClass, FaultPlan};
+use crate::rng::{mix, unit_hash};
+
+/// Seeded per-request chaos decisions: which request sequence numbers
+/// crash their worker, which stall past their deadline, and how a slow
+/// client paces its reads. Built by [`FaultPlan::chaos`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    panic_stream: u64,
+    stall_stream: u64,
+    client_stream: u64,
+    panic_rate: f64,
+    stall_rate: f64,
+}
+
+impl FaultPlan {
+    /// A chaos plan whose worker-panic and stalled-job decisions fire on
+    /// roughly `panic_rate` / `stall_rate` fractions of request sequence
+    /// numbers. Rates are clamped to `[0, 1]`; NaN disables the class.
+    pub fn chaos(&self, panic_rate: f64, stall_rate: f64) -> ChaosPlan {
+        let clamp = |r: f64| if r.is_nan() { 0.0 } else { r.clamp(0.0, 1.0) };
+        ChaosPlan {
+            panic_stream: self.stream(FaultClass::WorkerPanic).next_u64(),
+            stall_stream: self.stream(FaultClass::StalledJob).next_u64(),
+            client_stream: self.stream(FaultClass::SlowClient).next_u64(),
+            panic_rate: clamp(panic_rate),
+            stall_rate: clamp(stall_rate),
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// Whether the worker executing request `seq` panics. Pure function
+    /// of the plan seed and `seq`: the same requests crash regardless of
+    /// which worker picked them up or in what order.
+    pub fn panics(&self, seq: u64) -> bool {
+        unit_hash(self.panic_stream ^ mix(seq)) < self.panic_rate
+    }
+
+    /// Whether request `seq` stalls mid-execution long enough to blow
+    /// its deadline. Decorrelated from [`panics`](Self::panics): a seq
+    /// can crash, stall, both, or neither.
+    pub fn stalls(&self, seq: u64) -> bool {
+        unit_hash(self.stall_stream ^ mix(seq)) < self.stall_rate
+    }
+
+    /// The sequence numbers in `0..n` whose workers panic — the storm's
+    /// manifest, for asserting each crash produced exactly one typed
+    /// `internal` response.
+    pub fn selected_panics(&self, n: u64) -> Vec<u64> {
+        (0..n).filter(|&seq| self.panics(seq)).collect()
+    }
+
+    /// The sequence numbers in `0..n` that stall past their deadline.
+    pub fn selected_stalls(&self, n: u64) -> Vec<u64> {
+        (0..n).filter(|&seq| self.stalls(seq)).collect()
+    }
+
+    /// Milliseconds a slow client pauses before draining its `k`-th
+    /// response, in `[0, max_ms]`. Deterministic schedule for the
+    /// slow-client scenario: the harness sleeps these amounts while the
+    /// server's write timeout bounds the damage.
+    pub fn client_pause_ms(&self, k: u64, max_ms: u64) -> u64 {
+        if max_ms == 0 {
+            return 0;
+        }
+        mix(self.client_stream ^ mix(k)) % (max_ms + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_storm() {
+        let a = FaultPlan::new(7).chaos(0.3, 0.2);
+        let b = FaultPlan::new(7).chaos(0.3, 0.2);
+        assert_eq!(a.selected_panics(256), b.selected_panics(256));
+        assert_eq!(a.selected_stalls(256), b.selected_stalls(256));
+        for k in 0..32 {
+            assert_eq!(a.client_pause_ms(k, 50), b.client_pause_ms(k, 50));
+        }
+    }
+
+    #[test]
+    fn rates_bound_the_selection() {
+        let none = FaultPlan::new(7).chaos(0.0, 0.0);
+        assert!(none.selected_panics(512).is_empty());
+        assert!(none.selected_stalls(512).is_empty());
+        let all = FaultPlan::new(7).chaos(1.0, 1.0);
+        assert_eq!(all.selected_panics(64).len(), 64);
+        assert_eq!(all.selected_stalls(64).len(), 64);
+        // NaN and out-of-range rates are tamed, not propagated.
+        let weird = FaultPlan::new(7).chaos(f64::NAN, 7.0);
+        assert!(weird.selected_panics(64).is_empty());
+        assert_eq!(weird.selected_stalls(64).len(), 64);
+    }
+
+    #[test]
+    fn panic_and_stall_decisions_are_decorrelated() {
+        let plan = FaultPlan::new(11).chaos(0.5, 0.5);
+        let panics = plan.selected_panics(512);
+        let stalls = plan.selected_stalls(512);
+        assert_ne!(panics, stalls);
+        // Independence sanity: some seqs do both, some do neither.
+        assert!(panics.iter().any(|s| stalls.contains(s)));
+        assert!((0..512).any(|s| !plan.panics(s) && !plan.stalls(s)));
+    }
+
+    #[test]
+    fn client_pauses_stay_in_range() {
+        let plan = FaultPlan::new(3).chaos(0.0, 0.0);
+        for k in 0..256 {
+            assert!(plan.client_pause_ms(k, 25) <= 25);
+            assert_eq!(plan.client_pause_ms(k, 0), 0);
+        }
+    }
+}

@@ -20,12 +20,15 @@
 //! * [`requests::clip_one_line`] / [`requests::oversize_one_line`] —
 //!   tear or inflate single `chipleakd` NDJSON request lines while the
 //!   rest of the stream survives;
-//! * [`PanicInjector`] — panics worker closures on seeded chunk indices.
+//! * [`PanicInjector`] — panics worker closures on seeded chunk indices;
+//! * [`ChaosPlan`] — per-request worker-panic / stalled-job / slow-client
+//!   decisions for soaking the `chipleakd` overload-survival layer.
 //!
 //! This is test support: production binaries must not depend on it.
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod correlation;
 mod panic;
 mod plan;
@@ -34,6 +37,7 @@ mod rng;
 mod solver;
 pub mod text;
 
+pub use chaos::ChaosPlan;
 pub use correlation::NanPoisonedCorrelation;
 pub use panic::PanicInjector;
 pub use plan::{FaultClass, FaultPlan};

@@ -28,6 +28,10 @@ pub enum FaultClass {
     ClippedRequest,
     /// One request line inflated past the server's line cap.
     OversizedRequest,
+    /// A client that drains responses slowly (stalled socket reads).
+    SlowClient,
+    /// A job that stalls mid-execution past its deadline.
+    StalledJob,
 }
 
 impl FaultClass {
@@ -41,6 +45,8 @@ impl FaultClass {
             FaultClass::WorkerPanic => 6,
             FaultClass::ClippedRequest => 7,
             FaultClass::OversizedRequest => 8,
+            FaultClass::SlowClient => 9,
+            FaultClass::StalledJob => 10,
         }
     }
 }

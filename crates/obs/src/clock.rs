@@ -55,6 +55,14 @@ impl FakeClock {
     pub fn elapsed_nanos(&self) -> u64 {
         self.next.load(Ordering::Relaxed)
     }
+
+    /// Jumps the clock forward by `nanos` without a read. Fault-injection
+    /// harnesses use this to simulate a stalled job: advance past a
+    /// request deadline and the next cooperative checkpoint expires it,
+    /// deterministically and without sleeping.
+    pub fn advance(&self, nanos: u64) {
+        self.next.fetch_add(nanos, Ordering::Relaxed);
+    }
 }
 
 impl Clock for FakeClock {
@@ -96,6 +104,14 @@ mod tests {
         assert_eq!(c.now_nanos(), 7);
         assert_eq!(c.now_nanos(), 14);
         assert_eq!(c.elapsed_nanos(), 21);
+    }
+
+    #[test]
+    fn fake_clock_advance_jumps_without_a_read() {
+        let c = FakeClock::new(1);
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(1_000_000);
+        assert_eq!(c.now_nanos(), 1_000_001);
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub enum ErrorKind {
     StrictRefusal,
     /// The resilient ladder ran out of rungs.
     Exhausted,
+    /// The server shed this request at admission: the bounded work
+    /// queue was full (`--queue-cap`). The job never executed; retry
+    /// after backing off.
+    Overloaded,
+    /// The request's deadline (`deadline_ms` / `--default-deadline-ms`)
+    /// expired before a result was produced — either while queued or at
+    /// a cooperative checkpoint mid-execution.
+    DeadlineExceeded,
     /// A server-side invariant failed. Should be unreachable.
     Internal,
 }
@@ -40,6 +48,8 @@ impl ErrorKind {
             ErrorKind::InvalidArgument => "invalid_argument",
             ErrorKind::StrictRefusal => "strict_refusal",
             ErrorKind::Exhausted => "exhausted",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::Internal => "internal",
         }
     }
@@ -129,6 +139,8 @@ mod tests {
             (ErrorKind::InvalidArgument, "invalid_argument"),
             (ErrorKind::StrictRefusal, "strict_refusal"),
             (ErrorKind::Exhausted, "exhausted"),
+            (ErrorKind::Overloaded, "overloaded"),
+            (ErrorKind::DeadlineExceeded, "deadline_exceeded"),
             (ErrorKind::Internal, "internal"),
         ] {
             assert_eq!(kind.tag(), tag);

@@ -32,7 +32,7 @@ use leakage_netlist::generate::RandomCircuitGenerator;
 use leakage_netlist::placement::{place_in_die, PlacementStyle};
 use leakage_numeric::parallel::Parallelism;
 use leakage_obs::{
-    AggregatingRecorder, CountersOnly, Instruments, NullClock, Recorder, TeeRecorder,
+    AggregatingRecorder, Clock, CountersOnly, Instruments, NullClock, Recorder, TeeRecorder,
 };
 use leakage_process::correlation::TentCorrelation;
 use rand::rngs::StdRng;
@@ -55,6 +55,45 @@ pub struct ExecContext<'a> {
     /// Server-level default degradation policy (`chipleakd --resilient`),
     /// applied when a job carries no `mode` of its own.
     pub resilient_default: bool,
+    /// The request's deadline, checked at kernel checkpoint boundaries.
+    /// `None` (the common case) skips every check — and every clock
+    /// read — so deadline-free execution is byte-for-byte what it was
+    /// before deadlines existed.
+    pub deadline: Option<Deadline<'a>>,
+}
+
+/// A cooperative cancellation token: the absolute expiry plus the clock
+/// that measures it. Kernels are never interrupted mid-flight; the
+/// execution path polls [`ExecContext::checkpoint`] *between* kernels
+/// (after the characterization fetch, before the estimator or sampler
+/// runs), which keeps every kernel's output bit-exact while bounding
+/// how much work a doomed request can still burn.
+pub struct Deadline<'a> {
+    /// Time source (the server's injected clock).
+    pub clock: &'a dyn Clock,
+    /// Absolute expiry in clock nanoseconds.
+    pub at: u64,
+}
+
+impl ExecContext<'_> {
+    /// Returns a typed `deadline_exceeded` error if this request's
+    /// deadline has passed; a no-deadline context always passes. The
+    /// checkpoint `name` is part of the response message, so operators
+    /// can see *where* budgets run out — messages stay deterministic
+    /// because checkpoint names are static and carry no timings.
+    pub fn checkpoint(&self, name: &str) -> Result<(), ServiceError> {
+        let Some(deadline) = &self.deadline else {
+            return Ok(());
+        };
+        if deadline.clock.now_nanos() > deadline.at {
+            self.fleet.add("service.deadline.cancelled", 1);
+            return Err(ServiceError::new(
+                ErrorKind::DeadlineExceeded,
+                format!("deadline expired at checkpoint `{name}`"),
+            ));
+        }
+        Ok(())
+    }
 }
 
 fn parallelism(threads: usize) -> Parallelism {
@@ -73,6 +112,7 @@ fn counter_echo(rec: &AggregatingRecorder) -> BTreeMap<String, u64> {
 /// (they touch server state, not the estimator stack); routing them
 /// here is an internal error, not a panic.
 pub fn execute(ctx: &ExecContext<'_>, job: &JobSpec) -> Result<OkBody, ServiceError> {
+    ctx.checkpoint("admission")?;
     match job {
         JobSpec::Ping => Ok(OkBody::Pong),
         JobSpec::Characterize(spec) => characterize(ctx, spec),
@@ -134,6 +174,9 @@ fn characterize(ctx: &ExecContext<'_>, spec: &CharacterizeSpec) -> Result<OkBody
 
 fn estimate(ctx: &ExecContext<'_>, spec: &EstimateSpec) -> Result<OkBody, ServiceError> {
     let charlib = library(ctx, spec.tech, spec.sweep_points, spec.threads)?;
+    // A cold characterization above may have consumed the whole
+    // budget; bail before spending estimator time on a doomed request.
+    ctx.checkpoint("library")?;
     let technology = spec.tech.technology();
     let histogram = spec.mix.histogram(&CellLibrary::standard_62())?;
     let chars = HighLevelCharacteristics::builder()
@@ -157,6 +200,7 @@ fn estimate(ctx: &ExecContext<'_>, spec: &EstimateSpec) -> Result<OkBody, Servic
     } else {
         ModeSpec::Default
     });
+    ctx.checkpoint("estimator")?;
     let (e, method, degraded) = match mode {
         ModeSpec::Resilient => {
             let res = est.estimate_resilient_instrumented(work_ins)?;
@@ -220,6 +264,7 @@ fn estimate(ctx: &ExecContext<'_>, spec: &EstimateSpec) -> Result<OkBody, Servic
 
 fn montecarlo(ctx: &ExecContext<'_>, spec: &MonteCarloSpec) -> Result<OkBody, ServiceError> {
     let charlib = library(ctx, spec.tech, spec.sweep_points, spec.threads)?;
+    ctx.checkpoint("library")?;
     let technology = spec.tech.technology();
     let histogram = spec.mix.histogram(&CellLibrary::standard_62())?;
     let circuit = RandomCircuitGenerator::new(histogram)
@@ -235,6 +280,7 @@ fn montecarlo(ctx: &ExecContext<'_>, spec: &MonteCarloSpec) -> Result<OkBody, Se
 
     // Sampler construction reports fleet-only: whether the colouring
     // plan was a cache hit is scheduling, not job content.
+    ctx.checkpoint("sampler")?;
     let sampler = ChipSamplerBuilder::new(&placed, &charlib, &technology, &wid)
         .signal_probability(spec.p)
         .plan_cache(&ctx.store.plans)
@@ -265,6 +311,7 @@ mod tests {
             store,
             fleet,
             resilient_default: false,
+            deadline: None,
         }
     }
 

@@ -41,8 +41,13 @@ pub mod server;
 pub mod store;
 
 pub use error::{ErrorKind, ServiceError};
-pub use exec::ExecContext;
+pub use exec::{Deadline, ExecContext};
 pub use json::Json;
 pub use protocol::{parse_request, render_response, JobSpec, OkBody, Request, PROTOCOL_VERSION};
-pub use server::{ServeSummary, Service, ServiceConfig};
+pub use server::{ServeSummary, Service, ServiceConfig, Sleeper, ThreadSleeper};
 pub use store::{ArtifactStore, CacheConfig, CacheFamily};
+
+// Deadline enforcement is injected-clock-driven; re-export the clock
+// types so embedders (the binary, tests, benches) name them without a
+// direct `leakage-obs` dependency.
+pub use leakage_obs::{Clock, FakeClock, NullClock, WallClock};

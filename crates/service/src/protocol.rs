@@ -256,6 +256,12 @@ pub struct Request {
     pub id: Json,
     /// The job, or what was wrong with the line.
     pub job: Result<JobSpec, ServiceError>,
+    /// Optional per-request deadline in milliseconds, measured from
+    /// admission. `None` falls back to the server's
+    /// `--default-deadline-ms` (absent there too: no deadline). The
+    /// field is optional on the wire, so pre-deadline transcripts
+    /// replay unchanged.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -264,6 +270,7 @@ impl Request {
         Request {
             id: Json::Null,
             job: Err(err),
+            deadline_ms: None,
         }
     }
 }
@@ -442,12 +449,22 @@ pub fn parse_request(line: &str) -> Request {
         None => return Request::failed(ServiceError::protocol("request must be a JSON object")),
     };
     let id = top.get("id").cloned().unwrap_or(Json::Null);
-    let job = parse_job(top);
-    Request { id, job }
+    // A malformed deadline poisons the whole request (the job must not
+    // run without the deadline the client asked for), but the id echo
+    // above survives either way.
+    let (job, deadline_ms) = match opt_u64(top, "deadline_ms") {
+        Ok(deadline_ms) => (parse_job(top), deadline_ms),
+        Err(e) => (Err(e), None),
+    };
+    Request {
+        id,
+        job,
+        deadline_ms,
+    }
 }
 
 fn parse_job(top: &BTreeMap<String, Json>) -> Result<JobSpec, ServiceError> {
-    check_known_fields(top, &["v", "id", "job"], "request")?;
+    check_known_fields(top, &["v", "id", "job", "deadline_ms"], "request")?;
     let v = need_u64(top, "v")?;
     if v != PROTOCOL_VERSION {
         return Err(ServiceError::protocol(format!(
@@ -852,6 +869,20 @@ mod tests {
                 .kind,
             ErrorKind::Protocol
         );
+    }
+
+    #[test]
+    fn deadline_ms_is_optional_and_typed() {
+        let req = parse_request(r#"{"v":1,"job":{"kind":"ping"}}"#);
+        assert_eq!(req.deadline_ms, None);
+        let req = parse_request(r#"{"v":1,"deadline_ms":250,"job":{"kind":"ping"}}"#);
+        assert_eq!(req.deadline_ms, Some(250));
+        assert!(req.job.is_ok());
+        // A malformed deadline must not let the job run without it.
+        let req = parse_request(r#"{"v":1,"id":9,"deadline_ms":"soon","job":{"kind":"ping"}}"#);
+        assert_eq!(req.deadline_ms, None);
+        assert_eq!(req.id, Json::Num(9.0));
+        assert_eq!(req.job.expect_err("bad deadline").kind, ErrorKind::Protocol);
     }
 
     #[test]

@@ -30,6 +30,29 @@
 //! what lets the fault suite pin `stats` responses across 1/2/8
 //! workers. `shutdown` stops the reader immediately; queued work
 //! drains, responses flush, and [`Service::serve`] returns.
+//!
+//! ## Overload survival
+//!
+//! Three mechanisms keep a saturated or faulting server answering
+//! (DESIGN.md §16):
+//!
+//! - **Admission control** — with `queue_cap` set, the reader sheds
+//!   work the moment the queue is full, answering the shed request with
+//!   a typed `overloaded` error *at its seq* (never a silent drop).
+//!   Shedding is decided by the single reader at enqueue time, so which
+//!   requests shed is independent of worker count and scheduling.
+//! - **Deadlines** — requests carry `deadline_ms` (or inherit
+//!   `default_deadline_ms`); the admission timestamp comes from the
+//!   injected [`Clock`]. Expiry in-queue or at a cooperative exec
+//!   checkpoint answers `deadline_exceeded`. The default [`NullClock`]
+//!   reads zero forever, so deadlines never fire unless a real (or
+//!   fake) clock is injected — golden transcripts replay bit-exact.
+//! - **Supervision** — each worker body runs under `catch_unwind`; a
+//!   panic answers the in-flight request with a typed `internal` error,
+//!   vacates any artifact-store slot the dead worker held (the store's
+//!   own unwind guard), bumps `service.supervisor.respawns`, and
+//!   re-enters the body. Surviving responses keep their bytes and their
+//!   seq order.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, Write};
@@ -42,7 +65,7 @@ use std::sync::{Condvar, Mutex, PoisonError};
 #[cfg(loom)]
 use loom::sync::{Condvar, Mutex, PoisonError};
 
-use leakage_obs::{AggregatingRecorder, MetricsSnapshot};
+use leakage_obs::{AggregatingRecorder, Clock, MetricsSnapshot, NullClock};
 
 use crate::error::{ErrorKind, ServiceError};
 use crate::exec::{self, ExecContext};
@@ -64,6 +87,21 @@ pub struct ServiceConfig {
     /// Maximum request-line length in bytes; longer lines get a typed
     /// `oversized` error and are discarded without buffering.
     pub max_line_bytes: usize,
+    /// Admission-control bound on queued (not yet popped) work items;
+    /// `None` (the default) admits everything. With a cap, excess
+    /// requests are shed at enqueue time with a typed `overloaded`
+    /// error, and the `service.queue.depth` high-water counter is
+    /// recorded (documented, like `--cache-cap`'s eviction counters, as
+    /// trading counter determinism for boundedness — response *bytes*
+    /// per request stay deterministic either way).
+    pub queue_cap: Option<usize>,
+    /// Deadline applied to requests that carry no `deadline_ms` of
+    /// their own; `None` means no default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// `SO_SNDTIMEO` for unix-socket connections, so one slow client
+    /// can stall only its own connection, never the fleet. `None`
+    /// leaves writes unbounded.
+    pub write_timeout_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +111,9 @@ impl Default for ServiceConfig {
             cache: CacheConfig::default(),
             resilient_default: false,
             max_line_bytes: 64 * 1024,
+            queue_cap: None,
+            default_deadline_ms: None,
+            write_timeout_ms: None,
         }
     }
 }
@@ -84,6 +125,9 @@ pub struct ServeSummary {
     pub requests: u64,
     /// `true` when the stream ended on a `shutdown` job rather than EOF.
     pub shutdown: bool,
+    /// Requests shed at admission with a typed `overloaded` error
+    /// (always 0 without a `queue_cap`).
+    pub shed: u64,
 }
 
 /// The long-running estimation service: one shared artifact store, one
@@ -92,6 +136,19 @@ pub struct Service {
     store: std::sync::Arc<ArtifactStore>,
     fleet: std::sync::Arc<AggregatingRecorder>,
     config: ServiceConfig,
+    /// Deadline time source. [`NullClock`] by default, so deadlines
+    /// never expire and the response bytes of deadline-free transcripts
+    /// are untouched; the binary injects `WallClock`, tests inject
+    /// `FakeClock`.
+    clock: std::sync::Arc<dyn Clock + Send + Sync>,
+    /// Sleep used by the accept loop's poll and retry backoff;
+    /// injectable so tests observe the schedule without real delays.
+    sleeper: std::sync::Arc<dyn Sleeper + Send + Sync>,
+    /// Fault-injection hook, called with each work item's seq right
+    /// before execution. A panicking hook exercises the supervisor; a
+    /// clock-advancing hook simulates a stalled job. Never set in
+    /// production.
+    fault_hook: Option<std::sync::Arc<dyn Fn(u64) + Send + Sync>>,
 }
 
 impl Service {
@@ -101,7 +158,33 @@ impl Service {
             store: ArtifactStore::new(config.cache),
             fleet: std::sync::Arc::new(AggregatingRecorder::new()),
             config,
+            clock: std::sync::Arc::new(NullClock),
+            sleeper: std::sync::Arc::new(ThreadSleeper),
+            fault_hook: None,
         }
+    }
+
+    /// Replaces the deadline clock (builder-style).
+    #[must_use]
+    pub fn with_clock(mut self, clock: std::sync::Arc<dyn Clock + Send + Sync>) -> Service {
+        self.clock = clock;
+        self
+    }
+
+    /// Replaces the accept-loop sleeper (builder-style).
+    #[must_use]
+    pub fn with_sleeper(mut self, sleeper: std::sync::Arc<dyn Sleeper + Send + Sync>) -> Service {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// Installs a per-request fault hook (builder-style). Test-only
+    /// instrumentation: the chaos soak uses it to crash or stall
+    /// specific seqs deterministically.
+    #[must_use]
+    pub fn with_fault_hook(mut self, hook: std::sync::Arc<dyn Fn(u64) + Send + Sync>) -> Service {
+        self.fault_hook = Some(hook);
+        self
     }
 
     /// The active configuration.
@@ -121,7 +204,7 @@ impl Service {
         self.fleet.snapshot()
     }
 
-    fn outcome(&self, request: &Request) -> Result<OkBody, ServiceError> {
+    fn outcome(&self, request: &Request, deadline_at: Option<u64>) -> Result<OkBody, ServiceError> {
         match &request.job {
             Err(e) => Err(e.clone()),
             Ok(JobSpec::Stats) => Ok(OkBody::Stats {
@@ -133,6 +216,10 @@ impl Service {
                     store: &self.store,
                     fleet: self.fleet.as_ref(),
                     resilient_default: self.config.resilient_default,
+                    deadline: deadline_at.map(|at| exec::Deadline {
+                        clock: self.clock.as_ref(),
+                        at,
+                    }),
                 };
                 exec::execute(&ctx, job)
             }
@@ -147,6 +234,29 @@ impl Service {
         }
     }
 
+    /// The absolute deadline for a request admitted *now*, from its own
+    /// `deadline_ms` or the server default. No deadline means no clock
+    /// read at all.
+    fn admission_deadline(&self, request: &Request) -> Option<u64> {
+        let ms = request.deadline_ms.or(self.config.default_deadline_ms)?;
+        Some(
+            self.clock
+                .now_nanos()
+                .saturating_add(ms.saturating_mul(1_000_000)),
+        )
+    }
+
+    /// The typed answer for a deadline that expired before execution
+    /// started (still queued, or never scheduled).
+    fn queue_expired(&self) -> ServiceError {
+        use leakage_obs::Recorder as _;
+        self.fleet.add("service.deadline.queue_expired", 1);
+        ServiceError::new(
+            ErrorKind::DeadlineExceeded,
+            "deadline expired before execution started",
+        )
+    }
+
     /// Parses and executes one request line synchronously, returning
     /// the rendered response and whether it was a `shutdown`. This is
     /// the single-request building block (and the serial oracle the
@@ -156,7 +266,13 @@ impl Service {
         self.fleet.add("service.requests", 1);
         let request = parse_or_reject(line.as_bytes(), self.config.max_line_bytes);
         let shutdown = matches!(request.job, Ok(JobSpec::Shutdown));
-        let outcome = self.outcome(&request);
+        let deadline_at = self.admission_deadline(&request);
+        let expired = deadline_at.is_some_and(|at| self.clock.now_nanos() > at);
+        let outcome = if expired {
+            Err(self.queue_expired())
+        } else {
+            self.outcome(&request, deadline_at)
+        };
         self.count_outcome(&outcome);
         (render_response(&request.id, &outcome), shutdown)
     }
@@ -174,33 +290,25 @@ impl Service {
     ) -> std::io::Result<ServeSummary> {
         use leakage_obs::Recorder as _;
         let workers = self.config.workers.max(1);
-        let queue = WorkQueue::new();
+        let queue = WorkQueue::new(self.config.queue_cap);
         let out = OutBuffer::new();
+        let slots: Vec<WorkerSlot> = (0..workers).map(|_| WorkerSlot::new()).collect();
         let mut summary = ServeSummary {
             requests: 0,
             shutdown: false,
+            shed: 0,
         };
         let mut read_error: Option<std::io::Error> = None;
 
         std::thread::scope(|scope| {
             let writer_handle = scope.spawn(|| out.write_all(writer));
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    while let Some(WorkItem { seq, request }) = queue.pop() {
-                        if matches!(request.job, Ok(JobSpec::Stats)) {
-                            // Serialize against everything earlier (the
-                            // reader gates everything later).
-                            out.wait_written_below(seq);
-                        }
-                        let outcome = self.outcome(&request);
-                        self.count_outcome(&outcome);
-                        out.push(seq, render_response(&request.id, &outcome));
-                    }
-                });
+            for slot in &slots {
+                scope.spawn(|| self.supervised_worker(&queue, &out, slot));
             }
 
             // Reader role, on the calling thread.
             let mut seq: u64 = 0;
+            let mut high_water: usize = 0;
             loop {
                 let line = match read_line_limited(&mut reader, self.config.max_line_bytes) {
                     Ok(l) => l,
@@ -217,7 +325,30 @@ impl Service {
                 let request = parse_or_reject(&line, self.config.max_line_bytes);
                 let is_shutdown = matches!(request.job, Ok(JobSpec::Shutdown));
                 let is_stats = matches!(request.job, Ok(JobSpec::Stats));
-                queue.push(WorkItem { seq, request });
+                let deadline_at = self.admission_deadline(&request);
+                let item = WorkItem {
+                    seq,
+                    request,
+                    deadline_at,
+                };
+                // Admission control happens here, on the single reader,
+                // so which requests shed depends only on the request
+                // prefix and queue occupancy — never on worker racing.
+                // `shutdown` always admits: a saturated server must
+                // still be stoppable.
+                match queue.push(item, is_shutdown) {
+                    Admission::Admitted { depth } => high_water = high_water.max(depth),
+                    Admission::Shed(item) => {
+                        summary.shed += 1;
+                        self.fleet.add("service.shed.overload", 1);
+                        let outcome = Err(ServiceError::new(
+                            ErrorKind::Overloaded,
+                            "work queue is full; request shed at admission",
+                        ));
+                        self.count_outcome(&outcome);
+                        out.push(item.seq, render_response(&item.request.id, &outcome));
+                    }
+                }
                 seq += 1;
                 if is_stats {
                     // Nothing after a stats job may execute before its
@@ -231,6 +362,12 @@ impl Service {
                 }
             }
             summary.requests = seq;
+            if self.config.queue_cap.is_some() {
+                // Queue occupancy depends on drain speed, so this
+                // counter exists only in bounded mode, where admission
+                // already trades snapshot determinism for boundedness.
+                self.fleet.add("service.queue.depth", high_water as u64);
+            }
             queue.close();
             out.set_total(seq);
             // Workers drain and exit; the writer exits once everything
@@ -244,6 +381,95 @@ impl Service {
         out.take_write_error().map_or(Ok(summary), Err)
     }
 
+    /// One worker seat: re-enters the worker body for as long as it
+    /// keeps crashing. Each crash answers the in-flight request with a
+    /// typed `internal` error at its original seq (so the reorder
+    /// buffer stays gapless), counts a respawn, and loops. A clean
+    /// return means the queue closed.
+    fn supervised_worker(&self, queue: &WorkQueue, out: &OutBuffer, slot: &WorkerSlot) {
+        use leakage_obs::Recorder as _;
+        loop {
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.worker_body(queue, out, slot)
+            }));
+            match run {
+                Ok(()) => return,
+                Err(_) => {
+                    self.fleet.add("service.supervisor.respawns", 1);
+                    if let Some(dead) = slot.take() {
+                        let outcome = Err(ServiceError::new(
+                            ErrorKind::Internal,
+                            "worker panicked while executing this request; worker respawned",
+                        ));
+                        self.count_outcome(&outcome);
+                        out.push(dead.seq, render_response(&dead.id, &outcome));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The worker loop proper: pop, execute, deposit. Runs under the
+    /// supervisor's `catch_unwind`; everything it claims is recorded in
+    /// `slot` *before* any fallible execution, so a panic anywhere in
+    /// here leaves the supervisor enough to answer the request.
+    fn worker_body(&self, queue: &WorkQueue, out: &OutBuffer, slot: &WorkerSlot) {
+        while let Some(item) = queue.pop() {
+            slot.set(InFlight {
+                seq: item.seq,
+                id: item.request.id.clone(),
+            });
+            let outcome = self.item_outcome(&item, out);
+            self.count_outcome(&outcome);
+            out.push(item.seq, render_response(&item.request.id, &outcome));
+            slot.clear();
+        }
+    }
+
+    /// Executes one admitted work item: in-queue deadline check, stats
+    /// barrier, fault hook, then the job itself (with cooperative
+    /// checkpoints when a deadline is set).
+    fn item_outcome(&self, item: &WorkItem, out: &OutBuffer) -> Result<OkBody, ServiceError> {
+        if item
+            .deadline_at
+            .is_some_and(|at| self.clock.now_nanos() > at)
+        {
+            return Err(self.queue_expired());
+        }
+        if matches!(item.request.job, Ok(JobSpec::Stats)) {
+            // Serialize against everything earlier (the reader gates
+            // everything later).
+            out.wait_written_below(item.seq);
+        }
+        if let Some(hook) = &self.fault_hook {
+            hook(item.seq);
+        }
+        self.outcome(&item.request, item.deadline_at)
+    }
+
+    /// Binds a unix listener at `path` (replacing a stale socket file
+    /// from a previous run) and switches it to the nonblocking mode
+    /// [`Service::serve_listener`] expects. Split out from
+    /// [`Service::serve_unix`] so the binary can give bind failures —
+    /// bad directory, permissions, an address in use — their own exit
+    /// code, distinct from runtime serve errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stale-socket removal and bind/configure failures.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &std::path::Path) -> std::io::Result<std::os::unix::net::UnixListener> {
+        // A stale socket file from a previous run would fail the bind.
+        match std::fs::remove_file(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        Ok(listener)
+    }
+
     /// Binds `path` and serves unix-socket connections until one of
     /// them carries a `shutdown` job. Each connection gets the full
     /// [`Service::serve`] treatment (its own worker pool) against the
@@ -255,27 +481,53 @@ impl Service {
     /// (clients vanishing mid-stream) end that connection only.
     #[cfg(unix)]
     pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<u64> {
+        let listener = Self::bind_unix(path)?;
+        self.serve_listener(listener, path)
+    }
+
+    /// The accept loop behind [`Service::serve_unix`], on an
+    /// already-bound nonblocking listener.
+    ///
+    /// Transient accept errors (`EINTR`, `EMFILE`/`ENFILE` descriptor
+    /// exhaustion, aborted handshakes) are retried on a bounded
+    /// exponential backoff through the injected sleeper instead of
+    /// killing the server; the retry budget resets on every successful
+    /// accept, so only a *persistent* fault propagates. Accepted
+    /// connections get the configured write timeout, so a client that
+    /// stops reading stalls only its own connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistent accept failures (transient budget
+    /// exhausted) and non-transient accept errors.
+    #[cfg(unix)]
+    pub fn serve_listener(
+        &self,
+        listener: std::os::unix::net::UnixListener,
+        path: &std::path::Path,
+    ) -> std::io::Result<u64> {
         use leakage_obs::Recorder as _;
-        use std::os::unix::net::UnixListener;
-        // A stale socket file from a previous run would fail the bind.
-        match std::fs::remove_file(path) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
-        let listener = UnixListener::bind(path)?;
-        listener.set_nonblocking(true)?;
         let stop = std::sync::atomic::AtomicBool::new(false);
         let connections = std::sync::atomic::AtomicU64::new(0);
         std::thread::scope(|scope| -> std::io::Result<()> {
+            let mut backoff = AcceptBackoff::new();
             loop {
                 match listener.accept() {
                     Ok((stream, _addr)) => {
+                        backoff.reset();
                         connections.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                         self.fleet.add("service.connections", 1);
                         let stop = &stop;
+                        let write_timeout = self.config.write_timeout_ms;
                         scope.spawn(move || {
                             stream.set_nonblocking(false).ok();
+                            if let Some(ms) = write_timeout {
+                                stream
+                                    .set_write_timeout(Some(std::time::Duration::from_millis(
+                                        ms.max(1),
+                                    )))
+                                    .ok();
+                            }
                             let writer = match stream.try_clone() {
                                 Ok(w) => w,
                                 Err(_) => return,
@@ -292,7 +544,14 @@ impl Service {
                         if stop.load(std::sync::atomic::Ordering::SeqCst) {
                             break;
                         }
-                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        self.sleeper.sleep_ms(ACCEPT_POLL_MS);
+                    }
+                    Err(e) if is_transient_accept_error(&e) => {
+                        let Some(delay_ms) = backoff.next_delay_ms() else {
+                            return Err(e);
+                        };
+                        self.fleet.add("service.accept.retries", 1);
+                        self.sleeper.sleep_ms(delay_ms);
                     }
                     Err(e) => return Err(e),
                 }
@@ -304,31 +563,126 @@ impl Service {
     }
 }
 
+// ---- accept-loop hardening ---------------------------------------------
+
+/// Idle-poll interval for the nonblocking accept loop.
+#[cfg(unix)]
+const ACCEPT_POLL_MS: u64 = 10;
+
+/// Injected sleep, so tests can pin the accept loop's deterministic
+/// backoff schedule without waiting it out.
+pub trait Sleeper: Sync {
+    /// Sleeps for `ms` milliseconds (or records the request, in tests).
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The production sleeper: `std::thread::sleep`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// Bounded exponential backoff for transient accept errors: 1, 2, 4,
+/// 8, 16, 32 ms, then give up. Pure state machine (the sleeping is the
+/// caller's), so the schedule is unit-testable and deterministic.
+#[derive(Debug, Default)]
+struct AcceptBackoff {
+    attempts: u32,
+}
+
+impl AcceptBackoff {
+    const MAX_ATTEMPTS: u32 = 6;
+
+    fn new() -> AcceptBackoff {
+        AcceptBackoff { attempts: 0 }
+    }
+
+    /// A successful accept proves the fault cleared.
+    fn reset(&mut self) {
+        self.attempts = 0;
+    }
+
+    /// The next delay to sleep before retrying, or `None` once the
+    /// budget is spent and the error should propagate.
+    fn next_delay_ms(&mut self) -> Option<u64> {
+        if self.attempts >= Self::MAX_ATTEMPTS {
+            return None;
+        }
+        let delay = 1u64 << self.attempts;
+        self.attempts += 1;
+        Some(delay)
+    }
+}
+
+/// Accept errors worth retrying: interrupted syscalls, descriptor
+/// exhaustion (`EMFILE`/`ENFILE` — some *other* connection may close),
+/// and handshakes the peer aborted before we got to them.
+fn is_transient_accept_error(e: &std::io::Error) -> bool {
+    if e.kind() == std::io::ErrorKind::Interrupted {
+        return true;
+    }
+    // EMFILE=24, ENFILE=23, ECONNABORTED=103 (Linux); no stable
+    // `io::ErrorKind` exists for the first two.
+    matches!(e.raw_os_error(), Some(23 | 24 | 103))
+}
+
 // ---- work queue --------------------------------------------------------
 
 struct WorkItem {
     seq: u64,
     request: Request,
+    /// Absolute expiry in clock nanoseconds, stamped at admission.
+    deadline_at: Option<u64>,
+}
+
+/// What the reader's enqueue attempt came to.
+enum Admission {
+    /// Queued; `depth` is the occupancy right after the push (the
+    /// reader tracks the high-water mark from it without re-locking).
+    Admitted { depth: usize },
+    /// Bounced off the cap: the item comes back so the caller can
+    /// answer it with a typed `overloaded` error — shedding never
+    /// silently drops.
+    Shed(WorkItem),
 }
 
 struct WorkQueue {
     state: Mutex<(VecDeque<WorkItem>, bool)>,
     ready: Condvar,
+    /// Admission bound on queued items; `None` admits everything.
+    cap: Option<usize>,
 }
 
 impl WorkQueue {
-    fn new() -> WorkQueue {
+    fn new(cap: Option<usize>) -> WorkQueue {
         WorkQueue {
             state: Mutex::new((VecDeque::new(), false)),
             ready: Condvar::new(),
+            cap,
         }
     }
 
-    fn push(&self, item: WorkItem) {
+    /// Enqueues `item`, or sheds it when the queue is at capacity.
+    /// `force` bypasses the cap (used for `shutdown`, which must reach
+    /// a worker no matter how saturated the queue is).
+    fn push(&self, item: WorkItem, force: bool) -> Admission {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !force {
+            if let Some(cap) = self.cap {
+                if state.0.len() >= cap.max(1) {
+                    return Admission::Shed(item);
+                }
+            }
+        }
         state.0.push_back(item);
+        let depth = state.0.len();
         drop(state);
         self.ready.notify_one();
+        Admission::Admitted { depth }
     }
 
     fn close(&self) {
@@ -352,6 +706,45 @@ impl WorkQueue {
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+}
+
+// ---- worker supervision ------------------------------------------------
+
+/// The request a worker seat is currently executing, recorded before
+/// any fallible work so the supervisor can answer it after a crash.
+struct InFlight {
+    seq: u64,
+    id: crate::json::Json,
+}
+
+/// One worker seat's in-flight register. A plain mutexed `Option`: the
+/// worker sets/clears it, and only after the worker body has unwound
+/// (so never concurrently) the supervisor takes it.
+struct WorkerSlot {
+    current: Mutex<Option<InFlight>>,
+}
+
+impl WorkerSlot {
+    fn new() -> WorkerSlot {
+        WorkerSlot {
+            current: Mutex::new(None),
+        }
+    }
+
+    fn set(&self, inflight: InFlight) {
+        let mut current = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        *current = Some(inflight);
+    }
+
+    fn clear(&self) {
+        let mut current = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        *current = None;
+    }
+
+    fn take(&self) -> Option<InFlight> {
+        let mut current = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        current.take()
     }
 }
 
@@ -461,7 +854,9 @@ fn line_is_blank(line: &[u8]) -> bool {
 
 /// Turns raw line bytes into a request, handling the two pre-parse
 /// failure modes (oversized marker, invalid UTF-8) with typed errors.
-fn parse_or_reject(line: &[u8], max_line_bytes: usize) -> Request {
+/// Public so the boundary proptests can pin the byte-cap → `oversized`
+/// mapping directly; production callers are the serve loop only.
+pub fn parse_or_reject(line: &[u8], max_line_bytes: usize) -> Request {
     if line.len() > max_line_bytes {
         return Request::failed(ServiceError::new(
             ErrorKind::Oversized,
@@ -480,8 +875,12 @@ fn parse_or_reject(line: &[u8], max_line_bytes: usize) -> Request {
 /// Reads one `\n`-terminated line, capping memory at `limit` bytes.
 /// Oversized lines are consumed (so the stream stays aligned) and
 /// returned as a sentinel vector longer than `limit` — only the first
-/// byte is kept, the rest is synthetic padding length.
-fn read_line_limited<R: BufRead>(reader: &mut R, limit: usize) -> std::io::Result<Option<Vec<u8>>> {
+/// byte is kept, the rest is synthetic padding length. Public so the
+/// boundary proptests can drive the cap edge cases directly.
+pub fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+) -> std::io::Result<Option<Vec<u8>>> {
     let mut buf: Vec<u8> = Vec::new();
     let mut dropped: usize = 0;
     loop {
@@ -547,7 +946,8 @@ mod tests {
             summary,
             ServeSummary {
                 requests: 1,
-                shutdown: false
+                shutdown: false,
+                shed: 0
             }
         );
     }
@@ -666,6 +1066,257 @@ mod tests {
         assert_eq!(streams.first(), streams.get(2));
     }
 
+    // A scripted input stream: lines interleaved with gates the test
+    // releases (or that release on EOF), so admission-control tests can
+    // force the exact queue occupancy the reader sees at each push.
+    enum Step {
+        Line(&'static str),
+        WaitFor(std::sync::Arc<std::sync::atomic::AtomicBool>),
+    }
+
+    struct ScriptedReader {
+        steps: std::collections::VecDeque<Step>,
+        buf: Vec<u8>,
+        pos: usize,
+        on_eof: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl std::io::Read for ScriptedReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = {
+                let available = self.fill_buf()?;
+                let n = available.len().min(out.len());
+                out.get_mut(..n)
+                    .unwrap_or(&mut [])
+                    .copy_from_slice(available.get(..n).unwrap_or(&[]));
+                n
+            };
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl BufRead for ScriptedReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            use std::sync::atomic::Ordering;
+            while self.pos >= self.buf.len() {
+                match self.steps.pop_front() {
+                    Some(Step::Line(text)) => {
+                        self.buf = format!("{text}\n").into_bytes();
+                        self.pos = 0;
+                    }
+                    Some(Step::WaitFor(flag)) => {
+                        while !flag.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    None => {
+                        self.on_eof.store(true, Ordering::SeqCst);
+                        return Ok(&[]);
+                    }
+                }
+            }
+            Ok(self.buf.get(self.pos..).unwrap_or(&[]))
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_overloaded_at_the_right_seqs() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let entered = Arc::new(AtomicBool::new(false));
+        let released = Arc::new(AtomicBool::new(false));
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            queue_cap: Some(2),
+            ..ServiceConfig::default()
+        })
+        .with_fault_hook({
+            let entered = Arc::clone(&entered);
+            let released = Arc::clone(&released);
+            Arc::new(move |seq| {
+                if seq == 0 {
+                    entered.store(true, Ordering::SeqCst);
+                }
+                // Hold the lone worker until the reader hits EOF, so
+                // pushes 1..=4 land against a worker that cannot drain.
+                while !released.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            })
+        });
+        let ping = |i: u64| -> &'static str {
+            // Static request lines keep the script 'static; ids 0..=4.
+            [
+                "{\"v\":1,\"id\":0,\"job\":{\"kind\":\"ping\"}}",
+                "{\"v\":1,\"id\":1,\"job\":{\"kind\":\"ping\"}}",
+                "{\"v\":1,\"id\":2,\"job\":{\"kind\":\"ping\"}}",
+                "{\"v\":1,\"id\":3,\"job\":{\"kind\":\"ping\"}}",
+                "{\"v\":1,\"id\":4,\"job\":{\"kind\":\"ping\"}}",
+            ][i as usize]
+        };
+        let reader = ScriptedReader {
+            steps: [
+                Step::Line(ping(0)),
+                // Only continue once the worker holds seq 0 (popped,
+                // out of the queue): occupancy is now exactly 0.
+                Step::WaitFor(Arc::clone(&entered)),
+                Step::Line(ping(1)), // depth 1
+                Step::Line(ping(2)), // depth 2 = cap
+                Step::Line(ping(3)), // shed
+                Step::Line(ping(4)), // shed
+            ]
+            .into_iter()
+            .collect(),
+            buf: Vec::new(),
+            pos: 0,
+            on_eof: Arc::clone(&released),
+        };
+        let mut out: Vec<u8> = Vec::new();
+        let summary = service.serve(reader, &mut out).expect("serve");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.shed, 2, "pushes past the cap shed, exactly");
+        assert_eq!(lines.len(), 5, "shed requests still get responses");
+        for (i, line) in lines.iter().enumerate() {
+            let expect_shed = i >= 3;
+            assert_eq!(
+                line.contains("\"kind\":\"overloaded\""),
+                expect_shed,
+                "line {i}: {line}"
+            );
+            assert!(
+                line.contains(&format!("\"id\":{i}")),
+                "responses stay in seq order: {line}"
+            );
+        }
+        let counters = service.fleet_snapshot().counters;
+        assert_eq!(counters.get("service.shed.overload"), Some(&2));
+        assert_eq!(
+            counters.get("service.queue.depth"),
+            Some(&2),
+            "high-water mark equals the cap the reader filled to"
+        );
+    }
+
+    #[test]
+    fn zero_deadline_expires_in_queue_with_identical_bytes_at_any_worker_count() {
+        use leakage_obs::FakeClock;
+        let input = "{\"v\":1,\"id\":0,\"deadline_ms\":0,\"job\":{\"kind\":\"ping\"}}\n\
+                     {\"v\":1,\"id\":1,\"job\":{\"kind\":\"ping\"}}\n\
+                     {\"v\":1,\"id\":2,\"deadline_ms\":3600000,\"job\":{\"kind\":\"ping\"}}\n";
+        let mut streams = Vec::new();
+        for workers in [1usize, 4] {
+            let service = Service::new(ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            })
+            .with_clock(std::sync::Arc::new(FakeClock::new(1)));
+            let (out, _) = serve_text(&service, input);
+            streams.push(out);
+        }
+        let out = streams.first().cloned().unwrap_or_default();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(
+            lines
+                .first()
+                .is_some_and(|l| l.contains("\"kind\":\"deadline_exceeded\"")
+                    && l.contains("before execution started")),
+            "{lines:?}"
+        );
+        assert!(lines
+            .get(1)
+            .is_some_and(|l| l.contains("\"kind\":\"pong\"")));
+        assert!(
+            lines
+                .get(2)
+                .is_some_and(|l| l.contains("\"kind\":\"pong\"")),
+            "a generous deadline does not fire: {lines:?}"
+        );
+        assert_eq!(streams.first(), streams.get(1));
+    }
+
+    #[test]
+    fn null_clock_never_expires_even_a_zero_deadline() {
+        let service = Service::new(ServiceConfig::default());
+        let (out, _) = serve_text(
+            &service,
+            "{\"v\":1,\"deadline_ms\":0,\"job\":{\"kind\":\"ping\"}}\n",
+        );
+        assert!(out.contains("\"pong\""), "{out}");
+    }
+
+    #[test]
+    fn worker_panic_answers_internal_and_the_fleet_survives() {
+        let mut streams = Vec::new();
+        for workers in [1usize, 2] {
+            let service = Service::new(ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            })
+            .with_fault_hook(std::sync::Arc::new(|seq| {
+                if seq == 1 {
+                    panic!("injected worker crash at seq 1");
+                }
+            }));
+            let input: String = (0..4)
+                .map(|i| format!("{{\"v\":1,\"id\":{i},\"job\":{{\"kind\":\"ping\"}}}}\n"))
+                .collect();
+            let (out, summary) = serve_text(&service, &input);
+            assert_eq!(summary.requests, 4, "serve survives the crash");
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 4, "every request is answered exactly once");
+            for (i, line) in lines.iter().enumerate() {
+                if i == 1 {
+                    assert!(line.contains("\"kind\":\"internal\""), "{line}");
+                    assert!(line.contains("worker respawned"), "{line}");
+                } else {
+                    assert!(line.contains("\"kind\":\"pong\""), "{line}");
+                }
+            }
+            let counters = service.fleet_snapshot().counters;
+            assert_eq!(counters.get("service.supervisor.respawns"), Some(&1));
+            assert_eq!(counters.get("service.responses.ok"), Some(&3));
+            assert_eq!(counters.get("service.responses.err"), Some(&1));
+            streams.push(out);
+        }
+        assert_eq!(
+            streams.first(),
+            streams.get(1),
+            "crash responses are byte-identical across worker counts"
+        );
+    }
+
+    #[test]
+    fn accept_backoff_schedule_is_bounded_and_resets() {
+        let mut b = AcceptBackoff::new();
+        let schedule: Vec<Option<u64>> = (0..7).map(|_| b.next_delay_ms()).collect();
+        assert_eq!(
+            schedule,
+            vec![Some(1), Some(2), Some(4), Some(8), Some(16), Some(32), None]
+        );
+        b.reset();
+        assert_eq!(b.next_delay_ms(), Some(1), "success resets the budget");
+    }
+
+    #[test]
+    fn transient_accept_errors_are_classified() {
+        use std::io::{Error, ErrorKind as IoKind};
+        assert!(is_transient_accept_error(&Error::from(IoKind::Interrupted)));
+        for errno in [23, 24, 103] {
+            assert!(is_transient_accept_error(&Error::from_raw_os_error(errno)));
+        }
+        assert!(!is_transient_accept_error(&Error::from(
+            IoKind::PermissionDenied
+        )));
+        assert!(!is_transient_accept_error(&Error::from_raw_os_error(13)));
+    }
+
     #[test]
     fn handle_line_matches_serve() {
         let service = Service::new(ServiceConfig::default());
@@ -696,7 +1347,9 @@ mod loom_tests {
             request: Request {
                 id: crate::json::Json::Null,
                 job: Ok(JobSpec::Ping),
+                deadline_ms: None,
             },
+            deadline_at: None,
         }
     }
 
@@ -731,7 +1384,7 @@ mod loom_tests {
     #[test]
     fn work_queue_delivers_each_item_exactly_once_then_drains() {
         loom::model(|| {
-            let q = Arc::new(WorkQueue::new());
+            let q = Arc::new(WorkQueue::new(None));
             let seen = Arc::new(AtomicUsize::new(0));
             let worker = |q: &Arc<WorkQueue>| {
                 let q = Arc::clone(q);
@@ -746,14 +1399,158 @@ mod loom_tests {
             };
             let w1 = worker(&q);
             let w2 = worker(&q);
-            q.push(item(0));
-            q.push(item(1));
+            assert!(matches!(q.push(item(0), false), Admission::Admitted { .. }));
+            assert!(matches!(q.push(item(1), false), Admission::Admitted { .. }));
             q.close();
             w1.join().expect("worker 1");
             w2.join().expect("worker 2");
             // Both items were delivered (exactly once, per the assert
             // above) and close() woke every blocked popper.
             assert_eq!(seen.load(Ordering::SeqCst), 0b11);
+        });
+    }
+
+    /// Shed-exactly-once: with a cap of 1 and a worker draining
+    /// concurrently, every push either admits or sheds (returning the
+    /// item), admitted + shed covers all pushes, and each admitted item
+    /// is delivered to the worker exactly once. Which pushes shed is
+    /// schedule-dependent; the accounting identity never is.
+    #[test]
+    fn bounded_queue_sheds_exactly_the_overflow_and_delivers_the_rest() {
+        loom::Builder {
+            preemption_bound: Some(2),
+            max_iterations: 500_000,
+            spurious_budget: 1,
+        }
+        .check(|| {
+            let q = Arc::new(WorkQueue::new(Some(1)));
+            let seen = Arc::new(AtomicUsize::new(0));
+            let worker = {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                thread::spawn(move || {
+                    while let Some(it) = q.pop() {
+                        let bit = 1usize << it.seq;
+                        let prev = seen.fetch_or(bit, Ordering::SeqCst);
+                        assert_eq!(prev & bit, 0, "item {} delivered twice", it.seq);
+                    }
+                })
+            };
+            let mut admitted = 0usize;
+            let mut shed_seqs = 0usize;
+            for seq in 0..3u64 {
+                match q.push(item(seq), false) {
+                    Admission::Admitted { depth } => {
+                        assert!((1..=1).contains(&depth), "cap 1 bounds the depth");
+                        admitted += 1;
+                    }
+                    Admission::Shed(it) => {
+                        assert_eq!(it.seq, seq, "the shed item comes back intact");
+                        shed_seqs |= 1 << it.seq;
+                    }
+                }
+            }
+            q.close();
+            worker.join().expect("worker");
+            let delivered = seen.load(Ordering::SeqCst);
+            assert_eq!(
+                admitted + shed_seqs.count_ones() as usize,
+                3,
+                "every push is accounted for: admitted or shed, never dropped"
+            );
+            assert_eq!(
+                delivered.count_ones() as usize,
+                admitted,
+                "exactly the admitted items reach a worker"
+            );
+            assert_eq!(
+                delivered & shed_seqs,
+                0,
+                "no item is both shed and delivered"
+            );
+        });
+    }
+
+    /// Respawn-preserves-order: a worker seat dies holding seq 0 while
+    /// a survivor deposits seq 1. The supervisor answers the dead seat's
+    /// request from its in-flight slot; on every schedule the writer
+    /// still emits seq order, gaplessly.
+    #[test]
+    fn crashed_worker_recovery_keeps_seq_order() {
+        loom::model(|| {
+            let out = Arc::new(OutBuffer::new());
+            let slot = Arc::new(WorkerSlot::new());
+            // The doomed worker claimed seq 0 before dying; the model
+            // starts at the instant after the unwind.
+            slot.set(InFlight {
+                seq: 0,
+                id: crate::json::Json::Null,
+            });
+            let writer = {
+                let out = Arc::clone(&out);
+                thread::spawn(move || {
+                    let mut bytes = Vec::new();
+                    out.write_all(&mut bytes);
+                    bytes
+                })
+            };
+            let survivor = {
+                let out = Arc::clone(&out);
+                thread::spawn(move || out.push(1, "ok1".to_string()))
+            };
+            // Supervisor role (model root): answer the in-flight
+            // request at its original seq, then finalize.
+            if let Some(dead) = slot.take() {
+                out.push(dead.seq, "err0".to_string());
+            }
+            out.set_total(2);
+            survivor.join().expect("survivor");
+            let bytes = writer.join().expect("writer");
+            assert_eq!(bytes.as_slice(), b"err0\nok1\n");
+        });
+    }
+
+    /// Drain-terminates: close + set_total lets every role exit on
+    /// every schedule. loomlite's deadlock detection fails the model if
+    /// any interleaving leaves a thread parked forever.
+    #[test]
+    fn close_then_drain_terminates_every_role() {
+        loom::Builder {
+            preemption_bound: Some(2),
+            max_iterations: 500_000,
+            spurious_budget: 1,
+        }
+        .check(|| {
+            let q = Arc::new(WorkQueue::new(Some(2)));
+            let out = Arc::new(OutBuffer::new());
+            let worker = {
+                let q = Arc::clone(&q);
+                let out = Arc::clone(&out);
+                thread::spawn(move || {
+                    while let Some(it) = q.pop() {
+                        out.push(it.seq, format!("r{}", it.seq));
+                    }
+                })
+            };
+            let writer = {
+                let out = Arc::clone(&out);
+                thread::spawn(move || {
+                    let mut bytes = Vec::new();
+                    out.write_all(&mut bytes);
+                    bytes
+                })
+            };
+            for seq in 0..2u64 {
+                assert!(matches!(
+                    q.push(item(seq), false),
+                    Admission::Admitted { .. }
+                ));
+            }
+            q.close();
+            out.set_total(2);
+            worker.join().expect("worker");
+            let bytes = writer.join().expect("writer");
+            assert_eq!(bytes.as_slice(), b"r0\nr1\n");
         });
     }
 }

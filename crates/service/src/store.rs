@@ -181,7 +181,14 @@ impl<T> CacheFamily<T> {
                     ins.add(self.misses, 1);
                     inner.map.insert(key, Slot::Pending);
                     drop(inner);
+                    // If `compute` unwinds (a worker panic), the guard
+                    // vacates the `Pending` slot and wakes every waiter
+                    // on the way out — the panic-path extension of the
+                    // error-vacates-slot invariant below. Without it a
+                    // crashed computer would strand waiters forever.
+                    let vacate = PendingVacate { family: self, key };
                     let result = compute();
+                    std::mem::forget(vacate);
                     let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
                     match result {
                         Ok(value) => {
@@ -210,6 +217,30 @@ impl<T> CacheFamily<T> {
                 }
             }
         }
+    }
+}
+
+/// Unwind guard for the single-flight compute: dropped normally it is
+/// `mem::forget`-disarmed first, so `drop` only ever runs on a panic,
+/// where it removes the `Pending` slot (if still pending) and notifies
+/// waiters so they retry as fresh askers.
+struct PendingVacate<'a, T> {
+    family: &'a CacheFamily<T>,
+    key: u64,
+}
+
+impl<T> Drop for PendingVacate<'_, T> {
+    fn drop(&mut self) {
+        let mut inner = self
+            .family
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if matches!(inner.map.get(&self.key), Some(Slot::Pending)) {
+            inner.map.remove(&self.key);
+        }
+        drop(inner);
+        self.family.landed.notify_all();
     }
 }
 
@@ -318,6 +349,65 @@ mod tests {
         // Key 3 survived both evictions.
         fam.get_or_compute::<()>(3, ins, || Ok(30)).unwrap();
         assert_eq!(counters(&rec, "t.hits"), 1);
+    }
+
+    #[test]
+    fn panicking_compute_vacates_the_pending_slot() {
+        let fam = Arc::new(family(CacheConfig::default()));
+        let crashed = {
+            let fam = Arc::clone(&fam);
+            std::thread::spawn(move || {
+                let rec = AggregatingRecorder::new();
+                let ins = Instruments::new(&rec, &NullClock);
+                fam.get_or_compute::<()>(11, ins, || -> Result<u64, ()> {
+                    panic!("injected compute crash")
+                })
+                .ok();
+            })
+        };
+        assert!(
+            crashed.join().is_err(),
+            "the panic propagates to its thread"
+        );
+        // The slot must be vacated, not stranded `Pending`: a later
+        // asker computes fresh instead of blocking forever.
+        let rec = AggregatingRecorder::new();
+        let ins = Instruments::new(&rec, &NullClock);
+        let v = fam.get_or_compute::<()>(11, ins, || Ok(77)).unwrap();
+        assert_eq!(*v, 77);
+        assert_eq!(counters(&rec, "t.misses"), 1, "fresh asker, fresh miss");
+    }
+
+    #[test]
+    fn waiter_survives_a_computer_crash() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let fam = Arc::new(family(CacheConfig::default()));
+        let entered = Arc::new(AtomicBool::new(false));
+        let computer = {
+            let fam = Arc::clone(&fam);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                let rec = AggregatingRecorder::new();
+                let ins = Instruments::new(&rec, &NullClock);
+                fam.get_or_compute::<()>(12, ins, || -> Result<u64, ()> {
+                    entered.store(true, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("injected compute crash")
+                })
+                .ok();
+            })
+        };
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // This call arrives while the doomed compute is in flight: it
+        // parks on the pending slot, gets woken by the vacate guard,
+        // and retries as a fresh asker.
+        let rec = AggregatingRecorder::new();
+        let ins = Instruments::new(&rec, &NullClock);
+        let v = fam.get_or_compute::<()>(12, ins, || Ok(88)).unwrap();
+        assert_eq!(*v, 88);
+        assert!(computer.join().is_err());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Boundary proptests for the reader's byte-cap line framing
+//! ([`read_line_limited`]) and its pre-parse rejection partner
+//! ([`parse_or_reject`]).
+//!
+//! The cap is the server's first line of overload defense — a client
+//! cannot make the reader buffer more than `max_line_bytes` per line —
+//! so its edges are pinned exactly: a line of precisely `limit` bytes
+//! survives intact, one byte more collapses to the oversized sentinel
+//! (and from there to a typed `oversized` wire error), CRLF parses like
+//! LF, and an unterminated final line is still delivered.
+
+use leakage_service::server::{parse_or_reject, read_line_limited};
+use leakage_service::ErrorKind;
+use proptest::prelude::*;
+
+/// One `read_line_limited` call over an in-memory stream, with the
+/// smallest BufRead buffer that still exercises refills.
+fn read_first(input: &[u8], limit: usize) -> Option<Vec<u8>> {
+    let mut reader = std::io::BufReader::with_capacity(8, input);
+    read_line_limited(&mut reader, limit).expect("in-memory reads cannot fail")
+}
+
+/// Reads every line until EOF.
+fn read_all(input: &[u8], limit: usize) -> Vec<Vec<u8>> {
+    let mut reader = std::io::BufReader::with_capacity(8, input);
+    let mut lines = Vec::new();
+    while let Some(line) = read_line_limited(&mut reader, limit).expect("in-memory read") {
+        lines.push(line);
+    }
+    lines
+}
+
+proptest! {
+    /// A line of exactly `limit` bytes is returned byte-for-byte; the
+    /// cap is inclusive.
+    #[test]
+    fn exact_cap_line_survives_intact(limit in 1usize..200, byte in 0x20u8..0x7f) {
+        let line = vec![byte; limit];
+        let mut input = line.clone();
+        input.push(b'\n');
+        prop_assert_eq!(read_first(&input, limit), Some(line));
+    }
+
+    /// One byte past the cap collapses to the sentinel: longer than
+    /// `limit`, so downstream cannot mistake it for a real request.
+    #[test]
+    fn one_past_the_cap_yields_the_oversized_sentinel(limit in 1usize..200, byte in 0x20u8..0x7f) {
+        let mut input = vec![byte; limit + 1];
+        input.push(b'\n');
+        let got = read_first(&input, limit).expect("a line was read");
+        prop_assert!(got.len() > limit, "sentinel must exceed the cap");
+    }
+
+    /// An oversized line never desynchronizes the stream: the next
+    /// line is still read intact, whatever the overflow length.
+    #[test]
+    fn oversized_lines_keep_the_stream_aligned(
+        limit in 1usize..64,
+        overflow in 1usize..300,
+        next in proptest::collection::vec(0x20u8..0x7f, 0..32),
+    ) {
+        prop_assume!(next.len() <= limit);
+        let mut input = vec![b'x'; limit + overflow];
+        input.push(b'\n');
+        input.extend_from_slice(&next);
+        input.push(b'\n');
+        let lines = read_all(&input, limit);
+        prop_assert_eq!(lines.len(), 2);
+        prop_assert!(lines[0].len() > limit);
+        prop_assert_eq!(lines[1].clone(), next);
+    }
+
+    /// EOF mid-line: a final unterminated line still counts, under and
+    /// at the cap.
+    #[test]
+    fn eof_mid_line_still_delivers_the_partial_line(limit in 1usize..200, len in 1usize..200) {
+        prop_assume!(len <= limit);
+        let input = vec![b'a'; len];
+        let lines = read_all(&input, limit);
+        prop_assert_eq!(lines, vec![vec![b'a'; len]]);
+    }
+
+    /// EOF mid-line past the cap is still the oversized sentinel, not
+    /// a truncated impostor request.
+    #[test]
+    fn eof_mid_oversized_line_is_still_the_sentinel(limit in 1usize..64, overflow in 1usize..300) {
+        let input = vec![b'a'; limit + overflow];
+        let lines = read_all(&input, limit);
+        prop_assert_eq!(lines.len(), 1);
+        prop_assert!(lines[0].len() > limit);
+    }
+
+    /// The sentinel maps to the typed `oversized` wire error, with the
+    /// configured cap quoted in the message.
+    #[test]
+    fn sentinel_parses_to_a_typed_oversized_error(limit in 8usize..200) {
+        let sentinel = vec![b'!'; limit + 1];
+        let request = parse_or_reject(&sentinel, limit);
+        let err = request.job.expect_err("oversized must not parse");
+        prop_assert_eq!(err.kind, ErrorKind::Oversized);
+        prop_assert!(err.message.contains(&limit.to_string()));
+    }
+}
+
+#[test]
+fn crlf_and_lf_requests_parse_identically() {
+    // The framing layer keeps the `\r` (it splits on `\n` only); the
+    // JSON layer treats it as trailing whitespace, so a CRLF client and
+    // an LF client see identical responses.
+    let limit = 512;
+    let body = br#"{"v":1,"id":7,"job":{"kind":"ping"}}"#;
+    let lf = read_first(&[body.as_slice(), b"\n"].concat(), limit).expect("lf line");
+    let crlf = read_first(&[body.as_slice(), b"\r\n"].concat(), limit).expect("crlf line");
+    assert_eq!(lf, body.as_slice());
+    assert_eq!(crlf, [body.as_slice(), b"\r"].concat());
+    let parsed_lf = parse_or_reject(&lf, limit);
+    let parsed_crlf = parse_or_reject(&crlf, limit);
+    assert!(parsed_lf.job.is_ok() && parsed_crlf.job.is_ok());
+    assert_eq!(
+        format!("{:?}", parsed_lf.job),
+        format!("{:?}", parsed_crlf.job)
+    );
+    assert_eq!(
+        format!("{:?}", parsed_lf.id),
+        format!("{:?}", parsed_crlf.id)
+    );
+}
+
+#[test]
+fn a_crlf_line_at_the_cap_counts_the_cr_against_the_budget() {
+    // `limit` bytes of payload plus the retained `\r` is limit+1 —
+    // over the cap. The CR is real bytes on the wire; it must not get
+    // a free pass.
+    let limit = 16;
+    let mut input = vec![b'x'; limit];
+    input.extend_from_slice(b"\r\n");
+    let got = read_first(&input, limit).expect("a line was read");
+    assert!(got.len() > limit, "CR must count toward the cap");
+}

@@ -246,6 +246,40 @@ impl CallGraph {
         }
         Reach { from }
     }
+
+    /// BFS from `roots` that consults `skip_call(node, call index)` per
+    /// call site: a `true` return drops that site's edges from the walk.
+    /// Rules use this to model lexical escape extents — e.g. L9 treats
+    /// calls inside a `catch_unwind(...)` argument list as supervised,
+    /// so panics below them cannot unwind back to the root.
+    pub fn reachable_filtered(
+        &self,
+        roots: &[usize],
+        skip_call: impl Fn(usize, usize) -> bool,
+    ) -> Reach {
+        let mut from = vec![usize::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if from[r] == usize::MAX {
+                from[r] = r;
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for (ci, targets) in &self.call_targets[n] {
+                if skip_call(n, *ci) {
+                    continue;
+                }
+                for &m in targets {
+                    if from[m] == usize::MAX {
+                        from[m] = n;
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        Reach { from }
+    }
 }
 
 /// Result of a reachability query.

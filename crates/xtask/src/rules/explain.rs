@@ -116,7 +116,10 @@ const BODIES: &[(&str, &str)] = &[
          \x20 may be reachable from those roots.\n\
          escape hatches:\n\
          \x20 `.get(i).ok_or(...)?`, an `assert!`-stated bound, bounds-tied loop\n\
-         \x20 binders, or a justified `allow(panic-freedom)` / `allow(no-unwrap-in-library)`.\n\
+         \x20 binders, a `catch_unwind(...)` supervisor (panics inside its parens\n\
+         \x20 are contained — unless the same fn calls `resume_unwind`, which\n\
+         \x20 re-raises the payload and re-arms the rule), or a justified\n\
+         \x20 `allow(panic-freedom)` / `allow(no-unwrap-in-library)`.\n\
          example:\n\
          \x20 crates/core/src/estimator/table.rs:77:21: error[L9/panic-freedom]:\n\
          \x20 `unwrap` is reachable from estimate_resilient -> stage -> kernel\n",

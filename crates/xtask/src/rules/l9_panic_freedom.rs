@@ -14,7 +14,15 @@
 //! - an index expression is exempt when every identifier in the brackets
 //!   is a bounds-tied loop binder (`for i in 0..xs.len()` / `.enumerate()`),
 //!   or the enclosing fn states its bounds discipline with an
-//!   `assert!`-family invariant check.
+//!   `assert!`-family invariant check;
+//! - a `catch_unwind(...)` argument list is a supervisor boundary: panic
+//!   sites lexically inside it, and everything reachable only through
+//!   calls made inside it, are caught locally and cannot unwind to the
+//!   root (the service's worker supervisor, `try_map_chunks`). The escape
+//!   is scoped to the extent, not the fn — sites outside the parentheses
+//!   in the same fn are still flagged — and is withdrawn entirely when
+//!   the same fn calls `resume_unwind`, which turns the catch into a
+//!   passthrough that re-raises the payload.
 
 use crate::engine::{Diagnostic, Rule, Severity, Workspace};
 use crate::source::SourceFile;
@@ -72,7 +80,15 @@ impl Rule for PanicFreedom {
         if roots.is_empty() {
             return;
         }
-        let reach = ws.graph.reachable(&roots);
+        // Calls made inside a `catch_unwind(...)` argument list cannot
+        // unwind to the root: their panics stop at the supervisor. Those
+        // edges are dropped from the walk — unless the catching fn also
+        // calls `resume_unwind`, which re-raises the payload and makes
+        // the catch a passthrough.
+        let reach = ws.graph.reachable_filtered(&roots, |n, ci| {
+            let s = ws.graph.summary(ws.files, n);
+            !s.has_resume_unwind && in_catch_span(s, s.calls[ci].tok)
+        });
         for (id, s) in ws.graph.iter(ws.files) {
             if !reach.contains(id) || s.in_test {
                 continue;
@@ -82,10 +98,11 @@ impl Rule for PanicFreedom {
             if file.kind != crate::source::FileKind::Library {
                 continue;
             }
+            let supervised = |tok: usize| !s.has_resume_unwind && in_catch_span(s, tok);
             let chain = reach.chain(id);
             let chain_str = crate::graph::render_chain(&ws.graph, ws.files, &chain);
             for p in &s.panics {
-                if site_proven(file, p.line) {
+                if site_proven(file, p.line) || supervised(p.tok) {
                     continue;
                 }
                 out.push(self.diag(
@@ -96,7 +113,7 @@ impl Rule for PanicFreedom {
                 ));
             }
             for ix in &s.indexes {
-                if site_proven(file, ix.line) || index_provable(s, ix) {
+                if site_proven(file, ix.line) || index_provable(s, ix) || supervised(ix.tok) {
                     continue;
                 }
                 let target = if ix.recv.is_empty() {
@@ -113,6 +130,12 @@ impl Rule for PanicFreedom {
             }
         }
     }
+}
+
+/// `true` when the token sits inside one of the fn's `catch_unwind(...)`
+/// argument-list extents.
+fn in_catch_span(s: &FnSummary, tok: usize) -> bool {
+    s.catch_spans.iter().any(|&(a, b)| a < tok && tok < b)
 }
 
 /// `true` when the index expression cannot plausibly panic under the
@@ -264,6 +287,58 @@ mod tests {
         )]);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("execute -> helper"), "{d:?}");
+    }
+
+    #[test]
+    fn catch_unwind_supervises_the_calls_inside_its_parens() {
+        let d = lint(vec![(
+            "crates/service/src/server.rs",
+            "pub fn supervise() {\n\
+               let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body()));\n\
+             }\n\
+             fn body() { Some(1.0).unwrap(); }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn catch_unwind_supervises_lexically_inline_panics() {
+        let d = lint(vec![(
+            "crates/service/src/server.rs",
+            "pub fn supervise() {\n\
+               let _ = std::panic::catch_unwind(|| Some(1.0).unwrap());\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn the_escape_is_scoped_to_the_parens_not_the_fn() {
+        let d = lint(vec![(
+            "crates/service/src/server.rs",
+            "pub fn supervise() -> f64 {\n\
+               let _ = std::panic::catch_unwind(|| body());\n\
+               Some(1.0).unwrap()\n\
+             }\n\
+             fn body() {}\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`unwrap`"), "{d:?}");
+    }
+
+    #[test]
+    fn resume_unwind_withdraws_the_supervisor_escape() {
+        let d = lint(vec![(
+            "crates/service/src/server.rs",
+            "pub fn passthrough() {\n\
+               if let Err(p) = std::panic::catch_unwind(|| body()) {\n\
+                 std::panic::resume_unwind(p);\n\
+               }\n\
+             }\n\
+             fn body() { Some(1.0).unwrap(); }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("passthrough -> body"), "{d:?}");
     }
 
     #[test]

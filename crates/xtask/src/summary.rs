@@ -57,6 +57,10 @@ pub struct PanicSite {
     pub line: u32,
     /// 1-based source column.
     pub col: u32,
+    /// Absolute token index of the site (the method/macro name token),
+    /// so rules can test membership in lexical extents like
+    /// `catch_unwind` argument spans.
+    pub tok: usize,
 }
 
 /// A slice/array index expression `recv[...]`.
@@ -72,6 +76,8 @@ pub struct IndexSite {
     pub line: u32,
     /// 1-based source column of the `[`.
     pub col: u32,
+    /// Absolute token index of the `[`.
+    pub tok: usize,
 }
 
 /// A bare float accumulation `acc += term` inside a loop body.
@@ -206,6 +212,14 @@ pub struct FnSummary {
     pub waits: Vec<WaitSite>,
     /// Channel sends/receives.
     pub channels: Vec<ChannelSite>,
+    /// Absolute token spans of `catch_unwind(...)` argument lists: the
+    /// lexical extents whose panics are caught locally instead of
+    /// unwinding the caller (supervisor boundaries).
+    pub catch_spans: Vec<(usize, usize)>,
+    /// `true` when the body calls `resume_unwind` — the fn re-raises
+    /// caught payloads, so its `catch_spans` are passthroughs, not
+    /// panic sinks.
+    pub has_resume_unwind: bool,
 }
 
 impl FnSummary {
@@ -266,9 +280,13 @@ pub fn summarize(
             locks: Vec::new(),
             waits: Vec::new(),
             channels: Vec::new(),
+            catch_spans: Vec::new(),
+            has_resume_unwind: false,
         };
         if let Some((a, b)) = def.body_span {
             scan_body(tokens, a, b, &mut s);
+            s.catch_spans = catch_spans(tokens, b, &s);
+            s.has_resume_unwind = s.calls.iter().any(|c| c.name == "resume_unwind");
         }
         out.push(s);
     });
@@ -311,6 +329,7 @@ fn scan_body(toks: &[Tok], start: usize, end: usize, s: &mut FnSummary) {
                         what: name.clone(),
                         line: toks[m].line,
                         col: toks[m].col,
+                        tok: m,
                     });
                 }
                 let recv_path = receiver_path(toks, i, start);
@@ -382,6 +401,7 @@ fn scan_body(toks: &[Tok], start: usize, end: usize, s: &mut FnSummary) {
                         what: format!("{}!", t.text),
                         line: t.line,
                         col: t.col,
+                        tok: i,
                     });
                 } else if is_assert_macro(&t.text) {
                     s.has_assert = true;
@@ -514,6 +534,7 @@ fn scan_body(toks: &[Tok], start: usize, end: usize, s: &mut FnSummary) {
                     has_range,
                     line: t.line,
                     col: t.col,
+                    tok: i,
                 });
                 // Do not skip the contents: nested calls/indexes inside the
                 // brackets must still be scanned.
@@ -521,6 +542,38 @@ fn scan_body(toks: &[Tok], start: usize, end: usize, s: &mut FnSummary) {
         }
         i += 1;
     }
+}
+
+/// Absolute token spans of the argument lists of every `catch_unwind`
+/// call in the summarized body: `(open paren, matching close paren)`.
+/// Panic and call sites inside these extents are caught locally — the
+/// supervisor-boundary escape L9 honors (unless the same fn re-raises
+/// with `resume_unwind`).
+fn catch_spans(toks: &[Tok], body_end: usize, s: &FnSummary) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for call in &s.calls {
+        if call.name != "catch_unwind" {
+            continue;
+        }
+        // The argument list opens at the first `(` after the name token
+        // (immediately, or past a `::<...>` turbofish).
+        let Some(open) = (call.tok + 1..body_end).find(|&k| toks[k].is_punct('(')) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        for (k, tok) in toks.iter().enumerate().take(body_end).skip(open) {
+            if tok.is_punct('(') {
+                depth += 1;
+            } else if tok.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    spans.push((open, k));
+                    break;
+                }
+            }
+        }
+    }
+    spans
 }
 
 /// `.name(` / `.name::<` at `i` (a `.`); returns the name token index.

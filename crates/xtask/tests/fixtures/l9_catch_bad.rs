@@ -1,0 +1,14 @@
+//! L9 non-conforming twin for the supervisor escape: `resume_unwind`
+//! re-raises the caught payload, so the catch is a passthrough rather
+//! than a sink and the escape is withdrawn for the whole fn — and the
+//! trailing index sits outside the parens, never supervised at all.
+
+pub fn estimate_resilient(xs: &[f64], k: usize) -> f64 {
+    let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| risky(xs, k)))
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    v + xs[k + 1]
+}
+
+fn risky(xs: &[f64], k: usize) -> f64 {
+    xs[k]
+}

@@ -1,0 +1,15 @@
+//! L9 conforming twin for the supervisor escape: a `catch_unwind`
+//! argument list is a legitimate panic sink, so the unprovable indexes
+//! it wraps — inline in the closure and down the wrapped call chain —
+//! stay unreported as long as the payload is converted to a typed error
+//! rather than re-raised. (Indexes, not unwraps: L5's textual scan is a
+//! separate promise that no supervisor can waive.)
+
+pub fn estimate_resilient(xs: &[f64], k: usize) -> Result<f64, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| xs[k] + risky(xs, k)))
+        .map_err(|_| "worker panicked while executing this request; worker respawned".to_owned())
+}
+
+fn risky(xs: &[f64], k: usize) -> f64 {
+    xs[k / 2] + xs[k + 1]
+}

@@ -174,6 +174,18 @@ fn l9_fires_on_bad_and_not_on_good() {
 }
 
 #[test]
+fn l9_catch_unwind_supervisor_is_a_scoped_escape() {
+    // A catch_unwind argument list is a panic sink: the wrapped helper's
+    // index and unwrap, and the inline guard panic, are all supervised.
+    let good = lint_fixture("l9_catch_good.rs", RESILIENT_REL);
+    assert!(good.is_empty(), "{good:?}");
+    // resume_unwind re-raises the payload, withdrawing the escape for the
+    // whole fn; the unwrap after the parens was never supervised at all.
+    let bad = lint_fixture("l9_catch_bad.rs", RESILIENT_REL);
+    assert!(rule_hits(&bad, "panic-freedom") >= 2, "{bad:?}");
+}
+
+#[test]
 fn l10_fires_on_bad_and_not_on_good() {
     let bad = lint_fixture("l10_bad.rs", DEMO_REL);
     assert!(rule_hits(&bad, "merge-order") >= 1, "{bad:?}");
@@ -291,7 +303,10 @@ fn explain_output_is_pinned_for_old_and_new_rules() {
          \x20 may be reachable from those roots.\n\
          escape hatches:\n\
          \x20 `.get(i).ok_or(...)?`, an `assert!`-stated bound, bounds-tied loop\n\
-         \x20 binders, or a justified `allow(panic-freedom)` / `allow(no-unwrap-in-library)`.\n\
+         \x20 binders, a `catch_unwind(...)` supervisor (panics inside its parens\n\
+         \x20 are contained — unless the same fn calls `resume_unwind`, which\n\
+         \x20 re-raises the payload and re-arms the rule), or a justified\n\
+         \x20 `allow(panic-freedom)` / `allow(no-unwrap-in-library)`.\n\
          example:\n\
          \x20 crates/core/src/estimator/table.rs:77:21: error[L9/panic-freedom]:\n\
          \x20 `unwrap` is reachable from estimate_resilient -> stage -> kernel\n"

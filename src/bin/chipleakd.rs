@@ -3,6 +3,8 @@
 //! ```text
 //! chipleakd [--socket PATH] [--workers N] [--resilient]
 //!           [--cache-cap N] [--no-cache] [--max-line-bytes N]
+//!           [--queue-cap N] [--default-deadline-ms N]
+//!           [--write-timeout-ms N]
 //!           [--metrics] [--metrics-json FILE]
 //! ```
 //!
@@ -19,23 +21,59 @@
 //! store; `--cache-cap N` bounds each family to N entries (FIFO
 //! eviction, documented as trading counter determinism for memory).
 //!
+//! Overload survival (DESIGN.md §16): `--queue-cap N` bounds the work
+//! queue — requests past the cap are answered with a typed
+//! `overloaded` error instead of queueing without bound.
+//! `--default-deadline-ms N` stamps a deadline on every request that
+//! does not carry its own `deadline_ms`; expired requests answer
+//! `deadline_exceeded`. `--write-timeout-ms N` bounds how long a slow
+//! socket client can stall its connection thread's writes.
+//!
 //! `--metrics` prints the fleet counter snapshot to stderr on exit;
 //! `--metrics-json FILE` writes it as JSON.
 //!
 //! # Exit codes
 //!
 //! * `0` — clean exit (EOF or `shutdown`);
-//! * `1` — usage or I/O error.
+//! * `1` — runtime I/O error while serving;
+//! * `2` — usage error (unknown flag, malformed value, `--workers 0`);
+//! * `3` — cannot bind the `--socket` path.
 
-use fullchip_leakage::service::{CacheConfig, Service, ServiceConfig};
+use fullchip_leakage::service::{CacheConfig, Service, ServiceConfig, WallClock};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: chipleakd [--socket PATH] [--workers N] [--resilient]\n\
                  \x20         [--cache-cap N] [--no-cache] [--max-line-bytes N]\n\
+                 \x20         [--queue-cap N] [--default-deadline-ms N]\n\
+                 \x20         [--write-timeout-ms N]\n\
                  \x20         [--metrics] [--metrics-json FILE]";
 
 /// Flags that take no value.
 const BOOLEAN_FLAGS: &[&str] = &["resilient", "no-cache", "metrics"];
+
+/// Everything that can stop `chipleakd`, split by how operators need to
+/// react. Supervisors restart on `Runtime`, page on `Bind` (the path is
+/// almost always held by another instance or an unwritable directory),
+/// and fix the command line on `Usage` — so each maps to its own exit
+/// code and `Bind` keeps the os error text verbatim.
+enum CliError {
+    /// Bad command line: unknown flag, malformed value, `--workers 0`.
+    Usage(String),
+    /// `--socket PATH` could not be bound.
+    Bind { path: String, err: std::io::Error },
+    /// I/O failure while serving or writing metrics.
+    Runtime(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Runtime(_) => ExitCode::from(1),
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Bind { .. } => ExitCode::from(3),
+        }
+    }
+}
 
 fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
     let mut opts = std::collections::HashMap::new();
@@ -69,9 +107,50 @@ fn parse_usize(
     }
 }
 
-fn run() -> Result<(), String> {
+fn parse_u64(
+    opts: &std::collections::HashMap<String, String>,
+    key: &str,
+) -> Result<Option<u64>, String> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("--{key} must be a non-negative integer")),
+    }
+}
+
+fn build_config(opts: &std::collections::HashMap<String, String>) -> Result<ServiceConfig, String> {
+    let workers = match parse_usize(opts, "workers")? {
+        // `--workers 0` used to silently become 1; an operator who typed
+        // it meant something, so refuse loudly instead of guessing.
+        Some(0) => return Err("--workers must be at least 1".to_owned()),
+        Some(n) => n,
+        None => 1,
+    };
+    let queue_cap = match parse_usize(opts, "queue-cap")? {
+        Some(0) => return Err("--queue-cap must be at least 1".to_owned()),
+        other => other,
+    };
+    Ok(ServiceConfig {
+        workers,
+        cache: CacheConfig {
+            enabled: !opts.contains_key("no-cache"),
+            capacity: parse_usize(opts, "cache-cap")?,
+        },
+        resilient_default: opts.contains_key("resilient"),
+        max_line_bytes: parse_usize(opts, "max-line-bytes")?
+            .unwrap_or(64 * 1024)
+            .max(1024),
+        queue_cap,
+        default_deadline_ms: parse_u64(opts, "default-deadline-ms")?,
+        write_timeout_ms: parse_u64(opts, "write-timeout-ms")?,
+    })
+}
+
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = parse_flags(&args)?;
+    let opts = parse_flags(&args).map_err(CliError::Usage)?;
     for key in opts.keys() {
         if !matches!(
             key.as_str(),
@@ -81,30 +160,32 @@ fn run() -> Result<(), String> {
                 | "cache-cap"
                 | "no-cache"
                 | "max-line-bytes"
+                | "queue-cap"
+                | "default-deadline-ms"
+                | "write-timeout-ms"
                 | "metrics"
                 | "metrics-json"
         ) {
-            return Err(format!("unknown flag --{key}"));
+            return Err(CliError::Usage(format!("unknown flag --{key}")));
         }
     }
-    let config = ServiceConfig {
-        workers: parse_usize(&opts, "workers")?.unwrap_or(1).max(1),
-        cache: CacheConfig {
-            enabled: !opts.contains_key("no-cache"),
-            capacity: parse_usize(&opts, "cache-cap")?,
-        },
-        resilient_default: opts.contains_key("resilient"),
-        max_line_bytes: parse_usize(&opts, "max-line-bytes")?
-            .unwrap_or(64 * 1024)
-            .max(1024),
-    };
-    let service = Service::new(config);
+    let config = build_config(&opts).map_err(CliError::Usage)?;
+    // Deadlines measure real elapsed time in the binary; library code and
+    // tests inject `NullClock`/`FakeClock` instead (DESIGN.md §16.2).
+    let service = Service::new(config).with_clock(std::sync::Arc::new(WallClock));
 
     match opts.get("socket") {
         Some(path) => {
+            // Bind before serve so a held or unwritable path fails fast
+            // with its own exit code, not as a generic serve error.
+            let listener =
+                Service::bind_unix(std::path::Path::new(path)).map_err(|err| CliError::Bind {
+                    path: path.clone(),
+                    err,
+                })?;
             let connections = service
-                .serve_unix(std::path::Path::new(path))
-                .map_err(|e| format!("socket serve failed on {path}: {e}"))?;
+                .serve_listener(listener, std::path::Path::new(path))
+                .map_err(|e| CliError::Runtime(format!("socket serve failed on {path}: {e}")))?;
             eprintln!("chipleakd: served {connections} connection(s), shutting down");
         }
         None => {
@@ -113,7 +194,7 @@ fn run() -> Result<(), String> {
             // identically for the writer thread.
             let summary = service
                 .serve(stdin.lock(), std::io::stdout())
-                .map_err(|e| format!("stdio serve failed: {e}"))?;
+                .map_err(|e| CliError::Runtime(format!("stdio serve failed: {e}")))?;
             let how = if summary.shutdown { "shutdown" } else { "EOF" };
             eprintln!(
                 "chipleakd: {} request(s), stopped on {how}",
@@ -152,7 +233,8 @@ fn run() -> Result<(), String> {
             let mut text = String::new();
             doc.write(&mut text);
             text.push('\n');
-            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, text)
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
         }
     }
     Ok(())
@@ -162,8 +244,14 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            ExitCode::FAILURE
+            match &e {
+                CliError::Usage(msg) => eprintln!("error: {msg}\n{USAGE}"),
+                CliError::Bind { path, err } => {
+                    eprintln!("error: cannot bind socket {path}: {err}");
+                }
+                CliError::Runtime(msg) => eprintln!("error: {msg}"),
+            }
+            e.exit_code()
         }
     }
 }

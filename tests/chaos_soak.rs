@@ -1,0 +1,384 @@
+//! Chaos soak for the `chipleakd` overload-survival layer (DESIGN.md
+//! §16): drive the real server while a seeded [`ChaosPlan`] crashes
+//! workers, stalls jobs past their deadlines, and slows client drains —
+//! then hold it to the survival invariants:
+//!
+//! - **zero fleet deaths** — `serve` returns `Ok` through every storm;
+//! - **exactly once** — every request line is answered at its sequence
+//!   position with a typed outcome (`ok`, `internal`,
+//!   `deadline_exceeded`), never dropped, never duplicated;
+//! - **survivor byte-identity** — responses to unfaulted requests are
+//!   byte-identical to a clean run, at 1 worker and at 4;
+//! - **goldens unaffected** — the PR 7 protocol transcripts replay
+//!   byte-for-byte with admission control and default deadlines armed.
+//!
+//! Every fault decision is a pure function of `(seed, seq)` (see
+//! `crates/fault/src/chaos.rs`), so each storm reproduces exactly and
+//! is identical at every worker count.
+
+use fullchip_leakage::service::{FakeClock, Service, ServiceConfig};
+use leakage_fault::{ChaosPlan, FaultPlan};
+use std::sync::Arc;
+
+const SOAK_SEED: u64 = 0xC4A0_5EED;
+const REQUESTS: u64 = 40;
+
+/// A cheap request mix: pings interleaved with histogram-only estimates
+/// that share one characterized library. `deadline_ms` comes from the
+/// caller so the stall scenario can give doomed requests a tight budget
+/// and survivors an unreachable one.
+fn request_line(seq: u64, deadline_ms: Option<u64>) -> String {
+    let id = seq + 1;
+    let job = if seq.is_multiple_of(3) {
+        r#"{"kind":"ping"}"#.to_owned()
+    } else {
+        format!(
+            r#"{{"kind":"estimate","cells":{},"die":[150,150],"sweep_points":3}}"#,
+            600 + 10 * (seq % 4)
+        )
+    };
+    match deadline_ms {
+        Some(ms) => format!(r#"{{"v":1,"id":{id},"job":{job},"deadline_ms":{ms}}}"#),
+        None => format!(r#"{{"v":1,"id":{id},"job":{job}}}"#),
+    }
+}
+
+fn stream(deadline_for: impl Fn(u64) -> Option<u64>) -> String {
+    (0..REQUESTS)
+        .map(|seq| request_line(seq, deadline_for(seq)) + "\n")
+        .collect()
+}
+
+/// Serves `input` and returns the response lines plus the fleet
+/// counters. Reaching the return at all is the zero-fleet-deaths
+/// assertion: an unsupervised panic would propagate out of the server's
+/// scoped threads and abort the test.
+fn serve(service: &Service, input: &str) -> (Vec<String>, std::collections::BTreeMap<String, u64>) {
+    let mut out: Vec<u8> = Vec::new();
+    service
+        .serve(std::io::BufReader::new(input.as_bytes()), &mut out)
+        .expect("the fleet survives the storm");
+    let lines = String::from_utf8(out)
+        .expect("UTF-8 responses")
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    (lines, service.fleet_snapshot().counters)
+}
+
+/// Exactly-once: one response per request, in seq order, ids echoed.
+fn assert_answered_exactly_once(lines: &[String]) {
+    assert_eq!(lines.len() as u64, REQUESTS, "one response per request");
+    for (i, line) in lines.iter().enumerate() {
+        let prefix = format!("{{\"v\":1,\"id\":{},", i + 1);
+        assert!(
+            line.starts_with(&prefix),
+            "response {i} out of order or id not echoed: {line}"
+        );
+    }
+}
+
+/// Byte-equality with a CI-friendly failure mode: on mismatch the actual
+/// transcript is written to `target/chaos-diff/NAME.actual.ndjson` (the
+/// chaos-soak job uploads that directory as an artifact) before panicking.
+fn assert_transcript_eq(name: &str, expected: &str, actual: &str, context: &str) {
+    if expected == actual {
+        return;
+    }
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/chaos-diff");
+    std::fs::create_dir_all(&dir).expect("create diff dir");
+    let path = dir.join(format!("{name}.actual.ndjson"));
+    std::fs::write(&path, actual).expect("write actual transcript");
+    panic!("{context} (actual saved to {path:?})");
+}
+
+fn kind_of(line: &str) -> Option<&str> {
+    let start = line.find("\"err\":{\"kind\":\"")? + "\"err\":{\"kind\":\"".len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+#[test]
+fn panic_storm_answers_every_request_once_and_survivors_are_byte_identical() {
+    let plan = FaultPlan::new(SOAK_SEED).chaos(0.3, 0.0);
+    let crashed = plan.selected_panics(REQUESTS);
+    assert!(
+        !crashed.is_empty() && (crashed.len() as u64) < REQUESTS,
+        "seed must produce a partial storm, got {} of {REQUESTS}",
+        crashed.len()
+    );
+    let input = stream(|_| None);
+    let (clean, _) = serve(&Service::new(ServiceConfig::default()), &input);
+
+    let mut transcripts = Vec::new();
+    for workers in [1usize, 4] {
+        let service = Service::new(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        })
+        .with_fault_hook(Arc::new(move |seq| {
+            if plan.panics(seq) {
+                panic!("chaos: injected worker crash at seq {seq}");
+            }
+        }));
+        let (lines, counters) = serve(&service, &input);
+        assert_answered_exactly_once(&lines);
+        for (seq, line) in lines.iter().enumerate() {
+            if plan.panics(seq as u64) {
+                assert_eq!(kind_of(line), Some("internal"), "crashed seq {seq}: {line}");
+                assert!(
+                    line.contains("worker respawned"),
+                    "crashed seq {seq}: {line}"
+                );
+            } else {
+                assert_eq!(line, &clean[seq], "survivor {seq} diverged from clean run");
+            }
+        }
+        assert_eq!(
+            counters.get("service.supervisor.respawns"),
+            Some(&(crashed.len() as u64)),
+            "one respawn per crashed request"
+        );
+        transcripts.push(lines.join("\n"));
+    }
+    assert_transcript_eq(
+        "panic_storm.workers4",
+        &transcripts[0],
+        &transcripts[1],
+        "the storm transcript must be byte-identical at 1 and 4 workers",
+    );
+}
+
+#[test]
+fn stall_storm_expires_exactly_the_stalled_requests() {
+    let plan = FaultPlan::new(SOAK_SEED).chaos(0.0, 0.25);
+    let stalled = plan.selected_stalls(REQUESTS);
+    assert!(
+        !stalled.is_empty() && (stalled.len() as u64) < REQUESTS,
+        "seed must produce a partial storm, got {} of {REQUESTS}",
+        stalled.len()
+    );
+    // Doomed requests get a 1 ms budget, survivors an hour. A stall
+    // advances the clock 10 s, so a stalled request is past its own
+    // deadline at its first checkpoint, while 40 stalls' cumulative
+    // 400 s cannot touch an hour-long budget.
+    let deadline_for = |seq: u64| Some(if plan.stalls(seq) { 1 } else { 3_600_000 });
+    let input = stream(deadline_for);
+    // Clean run on the same (never-advanced) clock type: every request
+    // beats its deadline, including the 1 ms ones.
+    let (clean, _) = serve(
+        &Service::new(ServiceConfig::default()).with_clock(Arc::new(FakeClock::new(0))),
+        &input,
+    );
+
+    for workers in [1usize, 4] {
+        let clock = Arc::new(FakeClock::new(0));
+        let hook_clock = Arc::clone(&clock);
+        let service = Service::new(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        })
+        .with_clock(clock)
+        .with_fault_hook(Arc::new(move |seq| {
+            if plan.stalls(seq) {
+                hook_clock.advance(10_000_000_000);
+            }
+        }));
+        let (lines, counters) = serve(&service, &input);
+        assert_answered_exactly_once(&lines);
+        for (seq, line) in lines.iter().enumerate() {
+            if plan.stalls(seq as u64) {
+                // Whether the deadline died in-queue or at a checkpoint
+                // depends on worker interleaving; the typed kind does not.
+                assert_eq!(
+                    kind_of(line),
+                    Some("deadline_exceeded"),
+                    "stalled seq {seq}: {line}"
+                );
+            } else {
+                assert_eq!(line, &clean[seq], "survivor {seq} diverged from clean run");
+            }
+        }
+        let expired = counters.get("service.deadline.queue_expired").unwrap_or(&0)
+            + counters.get("service.deadline.cancelled").unwrap_or(&0);
+        assert_eq!(
+            expired,
+            stalled.len() as u64,
+            "every stall expires exactly once, in-queue or cooperatively"
+        );
+    }
+}
+
+#[test]
+fn combined_storm_types_every_outcome_and_never_drops_a_request() {
+    let plan = FaultPlan::new(SOAK_SEED).chaos(0.25, 0.25);
+    let deadline_for = |seq: u64| Some(if plan.stalls(seq) { 1 } else { 3_600_000 });
+    let input = stream(deadline_for);
+    let (clean, _) = serve(
+        &Service::new(ServiceConfig::default()).with_clock(Arc::new(FakeClock::new(0))),
+        &input,
+    );
+
+    for workers in [1usize, 4] {
+        let clock = Arc::new(FakeClock::new(0));
+        let hook_clock = Arc::clone(&clock);
+        let service = Service::new(ServiceConfig {
+            workers,
+            // Arm admission control too; the queue is never saturated
+            // here, so it must not change a byte.
+            queue_cap: Some(1024),
+            ..ServiceConfig::default()
+        })
+        .with_clock(clock)
+        .with_fault_hook(Arc::new(move |seq| {
+            if plan.stalls(seq) {
+                hook_clock.advance(10_000_000_000);
+            }
+            if plan.panics(seq) {
+                panic!("chaos: injected worker crash at seq {seq}");
+            }
+        }));
+        let (lines, counters) = serve(&service, &input);
+        assert_answered_exactly_once(&lines);
+        let mut respawn_floor = 0u64;
+        for (seq, line) in lines.iter().enumerate() {
+            let seq_u = seq as u64;
+            match (plan.panics(seq_u), plan.stalls(seq_u)) {
+                (true, false) => {
+                    assert_eq!(kind_of(line), Some("internal"), "seq {seq}: {line}");
+                    respawn_floor += 1;
+                }
+                (false, true) => {
+                    assert_eq!(
+                        kind_of(line),
+                        Some("deadline_exceeded"),
+                        "seq {seq}: {line}"
+                    );
+                }
+                (true, true) => {
+                    // A doubly-faulted request may die of its deadline
+                    // in-queue before the worker can crash on it; either
+                    // way the outcome is typed.
+                    let kind = kind_of(line);
+                    assert!(
+                        kind == Some("internal") || kind == Some("deadline_exceeded"),
+                        "seq {seq}: {line}"
+                    );
+                }
+                (false, false) => {
+                    assert_eq!(line, &clean[seq], "survivor {seq} diverged from clean run");
+                }
+            }
+        }
+        let respawns = *counters.get("service.supervisor.respawns").unwrap_or(&0);
+        let panic_ceiling = plan.selected_panics(REQUESTS).len() as u64;
+        assert!(
+            (respawn_floor..=panic_ceiling).contains(&respawns),
+            "respawns {respawns} outside [{respawn_floor}, {panic_ceiling}]"
+        );
+        assert_eq!(*counters.get("service.shed.overload").unwrap_or(&0), 0);
+    }
+}
+
+/// Slow-client scenario (unix sockets only): the client drains its
+/// responses on a seeded stop-and-go schedule while the server's write
+/// timeout bounds how long any single stalled write can hold the
+/// connection thread. The session must still complete cleanly with
+/// every response intact and in order.
+#[cfg(unix)]
+#[test]
+fn slow_client_drain_completes_under_write_timeouts() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+
+    const SLOW_REQUESTS: u64 = 12;
+    let plan: ChaosPlan = FaultPlan::new(SOAK_SEED).chaos(0.0, 0.0);
+    let path = std::env::temp_dir().join(format!("chipleakd-chaos-{}.sock", std::process::id()));
+    // A stale socket from a recycled pid would satisfy the exists-poll
+    // below before the server thread replaces it; clear it up front so
+    // the path only reappears once the listener is actually bound.
+    let _ = std::fs::remove_file(&path);
+    let service = Arc::new(Service::new(ServiceConfig {
+        workers: 2,
+        write_timeout_ms: Some(2_000),
+        ..ServiceConfig::default()
+    }));
+
+    let server = {
+        let service = Arc::clone(&service);
+        let path = path.clone();
+        std::thread::spawn(move || service.serve_unix(&path))
+    };
+    for _ in 0..500 {
+        if path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(path.exists(), "server never bound {path:?}");
+
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    for seq in 0..SLOW_REQUESTS {
+        writeln!(stream, "{}", request_line(seq, None)).expect("write request");
+    }
+    stream.flush().expect("flush requests");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    for k in 0..SLOW_REQUESTS {
+        // Stop-and-go: pause before each read so the server's writes
+        // back up against a sluggish consumer.
+        std::thread::sleep(std::time::Duration::from_millis(
+            plan.client_pause_ms(k, 20),
+        ));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        assert!(
+            line.starts_with(&format!("{{\"v\":1,\"id\":{},", k + 1)),
+            "response {k} out of order: {line}"
+        );
+    }
+    writeln!(stream, r#"{{"v":1,"id":99,"job":{{"kind":"shutdown"}}}}"#).expect("send shutdown");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read shutdown ack");
+    assert!(line.contains("\"ok\""), "shutdown not acknowledged: {line}");
+    server
+        .join()
+        .expect("server thread joins")
+        .expect("server exits cleanly");
+}
+
+/// The PR 7 golden transcripts must replay byte-for-byte with the
+/// overload features armed (bounded queue, default deadline on the
+/// default `NullClock`): robustness machinery at rest is invisible.
+#[test]
+fn goldens_replay_unchanged_with_overload_features_armed() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/service");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("golden dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let Some(stem) = name.strip_suffix(".in.ndjson") else {
+            continue;
+        };
+        let input = std::fs::read_to_string(&path).expect("read golden input");
+        let expected = std::fs::read_to_string(path.with_file_name(format!("{stem}.out.ndjson")))
+            .expect("read golden output");
+        let service = Service::new(ServiceConfig {
+            workers: 2,
+            queue_cap: Some(4096),
+            default_deadline_ms: Some(3_600_000),
+            ..ServiceConfig::default()
+        });
+        let mut out: Vec<u8> = Vec::new();
+        service
+            .serve(std::io::BufReader::new(input.as_bytes()), &mut out)
+            .expect("serve golden");
+        assert_transcript_eq(
+            stem,
+            &expected,
+            &String::from_utf8(out).expect("UTF-8"),
+            &format!("golden {stem} diverged with overload features armed"),
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no golden transcripts found");
+}

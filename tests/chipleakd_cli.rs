@@ -1,0 +1,108 @@
+//! `chipleakd` command-line contract: exit codes and flag validation.
+//!
+//! Operators script around these codes (restart on 1, page on 3, fix
+//! the invocation on 2 — see docs/operations.md), so each failure class
+//! is pinned through the real binary:
+//!
+//! * `2` — usage errors: unknown flags, malformed values, `--workers 0`
+//!   (which used to silently become 1);
+//! * `3` — an unbindable `--socket` path, with the OS error on stderr.
+
+use std::process::{Command, Output, Stdio};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chipleakd"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn chipleakd")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn zero_workers_is_a_usage_error_not_a_silent_fallback() {
+    let output = run(&["--workers", "0"]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("--workers must be at least 1"), "{stderr}");
+    assert!(stderr.contains("usage:"), "usage shown on usage errors");
+}
+
+#[test]
+fn unknown_flags_and_malformed_values_exit_2() {
+    for args in [
+        &["--bogus"][..],
+        &["--workers", "many"][..],
+        &["--queue-cap", "0"][..],
+        &["--queue-cap", "-3"][..],
+        &["--default-deadline-ms", "soon"][..],
+        &["--workers"][..],
+        &["stray-positional"][..],
+    ] {
+        let output = run(args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?}: {}",
+            stderr_of(&output)
+        );
+        assert!(
+            stderr_of(&output).contains("usage:"),
+            "args {args:?} must print usage"
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn unbindable_socket_path_exits_3_with_the_os_error() {
+    let output = run(&["--socket", "/nonexistent-chipleakd-dir/d.sock"]);
+    assert_eq!(output.status.code(), Some(3), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("cannot bind socket /nonexistent-chipleakd-dir/d.sock"),
+        "{stderr}"
+    );
+    // The bind failure is an operator problem, not a CLI problem: no
+    // usage banner, and the OS error text is preserved verbatim.
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("os error"), "{stderr}");
+}
+
+#[test]
+fn valid_overload_flags_are_accepted() {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_chipleakd"))
+        .args([
+            "--workers",
+            "2",
+            "--queue-cap",
+            "16",
+            "--default-deadline-ms",
+            "60000",
+            "--write-timeout-ms",
+            "1000",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn chipleakd");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"{\"v\":1,\"id\":1,\"job\":{\"kind\":\"ping\"}}\n")
+        .expect("write request");
+    let output = child.wait_with_output().expect("chipleakd exits");
+    assert_eq!(output.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&output.stdout),
+        "{\"v\":1,\"id\":1,\"ok\":{\"kind\":\"pong\",\"protocol\":1}}\n"
+    );
+}

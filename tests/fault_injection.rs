@@ -483,4 +483,83 @@ mod requests {
             }
         }
     }
+
+    /// The supervision counters obey the same discipline: a seeded
+    /// panic storm crashes the same (seq-keyed) requests at every
+    /// worker count, so `service.supervisor.respawns` — and the whole
+    /// snapshot with it — stays bit-identical across 1/2/8 workers.
+    #[test]
+    fn respawn_counters_are_bit_identical_across_worker_counts() {
+        let input = healthy_stream();
+        let chaos = FaultPlan::new(0xC0FFEE).chaos(0.4, 0.0);
+        let crashed = chaos.selected_panics(input.lines().count() as u64);
+        assert!(!crashed.is_empty(), "seed must crash something");
+        let serve_stormy = |workers: usize| {
+            let service = Service::new(ServiceConfig {
+                workers,
+                max_line_bytes: LINE_CAP,
+                ..ServiceConfig::default()
+            })
+            .with_fault_hook(std::sync::Arc::new(move |seq| {
+                if chaos.panics(seq) {
+                    panic!("fault plan: crash at seq {seq}");
+                }
+            }));
+            let mut out: Vec<u8> = Vec::new();
+            service
+                .serve(std::io::BufReader::new(input.as_bytes()), &mut out)
+                .expect("the fleet survives the storm");
+            let lines: Vec<String> = String::from_utf8(out)
+                .expect("UTF-8 responses")
+                .lines()
+                .map(str::to_owned)
+                .collect();
+            (lines, service.fleet_snapshot().counters)
+        };
+        let (ref_lines, ref_counters) = serve_stormy(1);
+        assert_well_formed(&ref_lines);
+        assert_eq!(count_errs(&ref_lines, "internal"), crashed.len());
+        assert_eq!(
+            ref_counters.get("service.supervisor.respawns"),
+            Some(&(crashed.len() as u64))
+        );
+        // Unbounded queue: the occupancy high-water counter must be
+        // absent, not zero — it exists only where admission control
+        // already traded snapshot determinism for boundedness.
+        assert!(!ref_counters.contains_key("service.queue.depth"));
+        for workers in [2, 8] {
+            let (lines, counters) = serve_stormy(workers);
+            assert_eq!(lines, ref_lines, "{workers} workers changed a byte");
+            assert_eq!(
+                counters, ref_counters,
+                "{workers} workers changed a counter"
+            );
+        }
+    }
+
+    /// With a queue cap configured the occupancy high-water mark joins
+    /// the snapshot (its value is drain-speed dependent by design and
+    /// bounded by the cap).
+    #[test]
+    fn bounded_mode_reports_the_queue_high_water_mark() {
+        let cap = 3;
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            max_line_bytes: LINE_CAP,
+            queue_cap: Some(cap),
+            ..ServiceConfig::default()
+        });
+        let mut out: Vec<u8> = Vec::new();
+        service
+            .serve(
+                std::io::BufReader::new(healthy_stream().as_bytes()),
+                &mut out,
+            )
+            .expect("serve");
+        let counters = service.fleet_snapshot().counters;
+        let depth = counters
+            .get("service.queue.depth")
+            .expect("bounded mode always reports the high-water mark");
+        assert!(*depth <= cap as u64, "high water {depth} exceeds cap {cap}");
+    }
 }
